@@ -1,0 +1,177 @@
+(* Statistically robust micro-benchmarks with Bechamel: one Test.make per
+   experiment's core operation (E1-E8). The table mode (main experiments)
+   reports wall-clock end-to-end numbers; this mode isolates the kernel of
+   each experiment with OLS-fit per-run costs. *)
+
+open Bechamel
+open Toolkit
+
+let dict = Bench_util.shared_dict
+
+let make_tests () =
+  let gen = Rx_workload.Workload.create ~seed:99 in
+
+  (* E1 kernel: pack a mid-size document into records *)
+  let e1_doc = Bench_util.parse (Rx_workload.Workload.balanced_document gen ~depth:6 ~fanout:3 ()) in
+  let e1 =
+    Test.make ~name:"e1/pack-records"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Rx_xmlstore.Packer.records_of_tokens ~threshold:2048 e1_doc)))
+  in
+
+  (* E2 kernel: one B+tree value-index range probe *)
+  let pool = Bench_util.fresh_pool () in
+  let store = Rx_xmlstore.Doc_store.create pool dict in
+  let def =
+    Rx_xindex.Index_def.make ~name:"p" ~path:"/Catalog/Categories/Product/RegPrice"
+      ~key_type:Rx_xindex.Index_def.K_double
+  in
+  let idx = Rx_xindex.Value_index.create pool dict def in
+  Rx_xindex.Value_index.hook idx store;
+  for i = 1 to 500 do
+    Rx_xmlstore.Doc_store.insert_document store ~docid:i
+      (Rx_workload.Workload.catalog_document gen ~categories:1 ~products_per_category:1)
+  done;
+  let e2 =
+    Test.make ~name:"e2/index-range-probe"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Rx_xindex.Value_index.entries idx
+                ~min:(Rx_xml.Typed_value.Double 450., true)
+                ())))
+  in
+
+  (* E3 kernel: QuickXScan over a fixed token stream *)
+  let e3_tokens =
+    Bench_util.parse (Rx_workload.Workload.balanced_document gen ~depth:6 ~fanout:3 ())
+  in
+  let e3_query = Rx_quickxscan.Query.compile_string dict "//n3[n4]" in
+  let e3 =
+    Test.make ~name:"e3/quickxscan-pass"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rx_quickxscan.Engine.eval_tokens e3_query e3_tokens)))
+  in
+
+  (* E4 kernel: recursive matching *)
+  let e4_tokens =
+    Bench_util.parse (Rx_workload.Workload.recursive_document gen ~nesting:32 ())
+  in
+  let e4_query = Rx_quickxscan.Query.compile_string dict "//a//a//a" in
+  let e4 =
+    Test.make ~name:"e4/recursive-matching"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rx_quickxscan.Engine.eval_tokens e4_query e4_tokens)))
+  in
+
+  (* E5 kernel: one row through the tagging template *)
+  let template =
+    Rx_xqueryrt.Template.compile dict
+      (Rx_xqueryrt.Template.Element
+         {
+           name = "Emp";
+           attrs = [ ("id", [ `Arg 0 ]); ("name", [ `Arg 1; `Lit " "; `Arg 2 ]) ];
+           children =
+             [ Rx_xqueryrt.Template.Forest [ ("HIRE", [ `Arg 3 ]); ("department", [ `Arg 4 ]) ] ];
+         })
+  in
+  let args =
+    [|
+      Rx_xqueryrt.Template.A_string "1234";
+      Rx_xqueryrt.Template.A_string "John";
+      Rx_xqueryrt.Template.A_string "Doe";
+      Rx_xqueryrt.Template.A_string "1998-06-01";
+      Rx_xqueryrt.Template.A_string "Accting";
+    |]
+  in
+  let e5 =
+    Test.make ~name:"e5/template-row"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rx_xqueryrt.Template.instantiate template ~args)))
+  in
+
+  (* E6 kernel: one group aggregation with ORDER BY *)
+  let rows = List.init 100 (fun i -> Printf.sprintf "row-%03d" (997 * i mod 1000)) in
+  let row_template =
+    Rx_xqueryrt.Template.compile dict
+      (Rx_xqueryrt.Template.Element
+         { name = "row"; attrs = []; children = [ Rx_xqueryrt.Template.Text [ `Arg 0 ] ] })
+  in
+  let e6 =
+    Test.make ~name:"e6/xmlagg-group"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity
+             (Rx_xqueryrt.Xmlagg.aggregate_to_tokens
+                ~order_by:((fun r -> r), String.compare)
+                ~rows
+                ~row_xml:(fun r sink ->
+                  Rx_xqueryrt.Template.instantiate_into row_template
+                    ~args:[| Rx_xqueryrt.Template.A_string r |] sink)
+                ())))
+  in
+
+  (* E7 kernel: parse a document *)
+  let e7_doc = Rx_workload.Workload.catalog_document gen ~categories:5 ~products_per_category:20 in
+  let e7 =
+    Test.make ~name:"e7/parse"
+      (Staged.stage (fun () ->
+           Sys.opaque_identity (Rx_xml.Parser.parse_iter dict e7_doc (fun _ -> ()))))
+  in
+
+  (* E8 kernel: one MVCC stage+commit *)
+  let mvcc_pool = Bench_util.fresh_pool () in
+  let mvcc = Rx_txn.Mvcc_store.create mvcc_pool dict in
+  let body = Bench_util.parse "<doc><payload>xxxx</payload></doc>" in
+  let e8 =
+    Test.make ~name:"e8/mvcc-write"
+      (Staged.stage (fun () ->
+           let staged = Rx_txn.Mvcc_store.stage_write mvcc ~docid:1 body in
+           ignore (Rx_txn.Mvcc_store.commit mvcc [ staged ]);
+           ignore (Rx_txn.Mvcc_store.gc mvcc ~oldest_snapshot:(Rx_txn.Mvcc_store.snapshot mvcc))))
+  in
+  [ e1; e2; e3; e4; e5; e6; e7; e8 ]
+
+let run () =
+  Report.print_header "Bechamel micro-benchmarks (one kernel per experiment)";
+  let tests = make_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000)
+      ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let analyzed = Analyze.all ols (Instance.monotonic_clock) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let per_run =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+          in
+          let name =
+            if String.length name > 2 && String.sub name 0 2 = "g " then
+              String.sub name 2 (String.length name - 2)
+            else name
+          in
+          rows :=
+            [
+              name;
+              Printf.sprintf "%.1f" per_run;
+              Printf.sprintf "%.4f" r2;
+            ]
+            :: !rows)
+        analyzed)
+    tests;
+  Report.print_table ~columns:[ "kernel"; "ns/run"; "r^2" ]
+    (List.sort compare !rows)

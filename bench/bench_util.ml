@@ -1,0 +1,21 @@
+(* Shared setup helpers for the experiments. *)
+
+open Rx_storage
+
+let fresh_pool ?(capacity = 4096) ?page_size () =
+  Buffer_pool.create ~capacity (Pager.create_in_memory ?page_size ())
+
+let shared_dict = Rx_xml.Name_dict.create ()
+
+let parse src = Rx_xml.Parser.parse shared_dict src
+
+(* Count the XQuery-data-model nodes of a token list (attributes included,
+   matching the paper's per-node accounting). *)
+let token_node_count tokens =
+  List.fold_left
+    (fun acc token ->
+      match token with
+      | Rx_xml.Token.Start_element { attrs; _ } -> acc + 1 + List.length attrs
+      | Rx_xml.Token.Text _ | Rx_xml.Token.Comment _ | Rx_xml.Token.Pi _ -> acc + 1
+      | _ -> acc)
+    0 tokens

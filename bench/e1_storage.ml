@@ -1,0 +1,99 @@
+(* E1 — §3.1 analytical model: storage and traversal cost of the packed
+   tree scheme versus one-record-per-node shredding, as the packing factor
+   p (records-per-node ratio) varies with the record-size threshold.
+
+   Paper predictions: storage shrinks with p (per-record overhead is
+   amortized), the NodeID index needs ≤ 2k/p entries instead of k, and
+   traversal costs ~k·t/p instead of k·t (one record fetch per node). *)
+
+open Rx_xmlstore
+
+let thresholds = [ 128; 512; 2048; 8192 ]
+
+let run () =
+  Report.print_header "E1  Packed-tree storage vs one-record-per-node (§3.1)";
+  let gen = Rx_workload.Workload.create ~seed:1 in
+  let doc = Rx_workload.Workload.balanced_document gen ~depth:8 ~fanout:3 () in
+  let tokens = Bench_util.parse doc in
+  let k = Bench_util.token_node_count tokens in
+  Report.print_note "document: balanced 3-ary tree, k = %d nodes, %s of XML" k
+    (Report.fmt_bytes (String.length doc));
+
+  (* baseline: one record per node *)
+  let npr_pool = Bench_util.fresh_pool () in
+  let npr = Rx_baselines.Node_per_record.create npr_pool Bench_util.shared_dict in
+  let (), npr_insert_ms =
+    Report.time_ms (fun () ->
+        Rx_baselines.Node_per_record.insert_tokens npr ~docid:1 tokens)
+  in
+  let npr_stats = Rx_baselines.Node_per_record.stats npr in
+  let npr_traverse_ms =
+    Report.time_stable (fun () ->
+        let n = ref 0 in
+        Rx_baselines.Node_per_record.events npr ~docid:1 (fun _ -> incr n);
+        !n)
+  in
+
+  let rows = ref [] in
+  let add_row label ~records ~index_entries ~data_pages ~index_pages ~bytes
+      ~insert_ms ~traverse_ms =
+    let p = float_of_int k /. float_of_int records in
+    rows :=
+      [
+        label;
+        string_of_int records;
+        Printf.sprintf "%.1f" p;
+        string_of_int index_entries;
+        string_of_int data_pages;
+        string_of_int index_pages;
+        Report.fmt_bytes bytes;
+        Report.fmt_ms insert_ms;
+        Report.fmt_ms traverse_ms;
+        Report.fmt_ratio (npr_traverse_ms /. traverse_ms);
+      ]
+      :: !rows
+  in
+  add_row "node-per-record" ~records:npr_stats.Rx_baselines.Node_per_record.records
+    ~index_entries:npr_stats.Rx_baselines.Node_per_record.index_entries
+    ~data_pages:npr_stats.Rx_baselines.Node_per_record.data_pages
+    ~index_pages:npr_stats.Rx_baselines.Node_per_record.index_pages
+    ~bytes:npr_stats.Rx_baselines.Node_per_record.record_bytes
+    ~insert_ms:npr_insert_ms ~traverse_ms:npr_traverse_ms;
+
+  let variants =
+    List.map (fun th -> (Printf.sprintf "packed/%dB" th, th, Packer.Largest_first)) thresholds
+    @ [ ("packed/2048B+flushall", 2048, Packer.Flush_all) ]
+  in
+  List.iter
+    (fun (label, threshold, policy) ->
+      let pool = Bench_util.fresh_pool () in
+      let store =
+        Doc_store.create ~record_threshold:threshold ~packing_policy:policy pool
+          Bench_util.shared_dict
+      in
+      let (), insert_ms =
+        Report.time_ms (fun () -> Doc_store.insert_tokens store ~docid:1 tokens)
+      in
+      let stats = Doc_store.stats store in
+      let traverse_ms =
+        Report.time_stable (fun () ->
+            let n = ref 0 in
+            Doc_store.events store ~docid:1 (fun _ -> incr n);
+            !n)
+      in
+      add_row label ~records:stats.Doc_store.records
+        ~index_entries:stats.Doc_store.index_entries
+        ~data_pages:stats.Doc_store.data_pages ~index_pages:stats.Doc_store.index_pages
+        ~bytes:stats.Doc_store.record_bytes ~insert_ms ~traverse_ms)
+    variants;
+
+  Report.print_table
+    ~columns:
+      [
+        "scheme"; "records"; "p"; "nodeid-entries"; "data-pgs"; "idx-pgs";
+        "bytes"; "insert-ms"; "traverse-ms"; "speedup";
+      ]
+    (List.rev !rows);
+  Report.print_note
+    "expected shape: records ~ k/p; NodeID entries <= 2k/p vs k; traversal \
+     speedup grows with p (§3.1's ~1/p ratio)."

@@ -1,0 +1,78 @@
+(* E5 — §4.1 / Figure 5: constructor evaluation with a flattened tagging
+   template versus standard bottom-up function evaluation that materializes
+   every intermediate result — "very effective for generating XML for large
+   numbers of repeated rows". *)
+
+open Rx_xqueryrt
+
+let n_rows = 20_000
+
+let emp_cexpr =
+  Template.Element
+    {
+      name = "Emp";
+      attrs = [ ("id", [ `Arg 0 ]); ("name", [ `Arg 1; `Lit " "; `Arg 2 ]) ];
+      children = [ Template.Forest [ ("HIRE", [ `Arg 3 ]); ("department", [ `Arg 4 ]) ] ];
+    }
+
+let run () =
+  Report.print_header "E5  Constructor templates vs naive evaluation (Figure 5)";
+  let dict = Bench_util.shared_dict in
+  let gen = Rx_workload.Workload.create ~seed:5 in
+  let rows =
+    Array.init n_rows (fun i ->
+        [|
+          Template.A_string (string_of_int (1000 + i));
+          Template.A_string (Rx_workload.Workload.word gen);
+          Template.A_string (Rx_workload.Workload.word gen);
+          Template.A_string "1998-06-01";
+          Template.A_string (Rx_workload.Workload.word gen);
+        |])
+  in
+  let template = Template.compile dict emp_cexpr in
+  Report.print_note "constructor: the paper's Emp example; %d rows; template has %d instructions"
+    n_rows (Template.instruction_count template);
+
+  let sink_len sink_fill =
+    let buf = Buffer.create (n_rows * 96) in
+    let sink = Rx_xml.Serializer.make_sink dict buf in
+    sink_fill sink;
+    Buffer.length buf
+  in
+  let template_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        sink_len (fun sink ->
+            Array.iter (fun args -> Template.instantiate_into template ~args sink) rows))
+  in
+  let naive_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        sink_len (fun sink ->
+            Array.iter
+              (fun args ->
+                List.iter sink (Template.naive_eval dict emp_cexpr ~args))
+              rows))
+  in
+  let out_bytes =
+    sink_len (fun sink ->
+        Array.iter (fun args -> Template.instantiate_into template ~args sink) rows)
+  in
+  Report.print_table
+    ~columns:[ "method"; "ms/batch"; "rows/s"; "output" ]
+    [
+      [
+        "tagging template";
+        Report.fmt_ms template_ms;
+        Printf.sprintf "%.0fk" (float_of_int n_rows /. template_ms);
+        Report.fmt_bytes out_bytes;
+      ];
+      [
+        "naive nested eval";
+        Report.fmt_ms naive_ms;
+        Printf.sprintf "%.0fk" (float_of_int n_rows /. naive_ms);
+        Report.fmt_bytes out_bytes;
+      ];
+      [ "speedup"; Report.fmt_ratio (naive_ms /. template_ms); ""; "" ];
+    ];
+  Report.print_note
+    "expected shape: the template wins by avoiding per-row intermediate \
+     token lists and re-tagging."

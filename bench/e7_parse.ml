@@ -1,0 +1,131 @@
+(* E7 — §3.2: the insertion pipeline. Compares SAX-style per-event handler
+   dispatch against the buffered binary token stream, and measures the cost
+   of schema validation with the table-driven VM ("XML processing is highly
+   CPU-intensive, with major contributors being parsing and validation"). *)
+
+open Rx_xml
+
+(* A SAX-ish handler record: one closure per event kind, dispatched per
+   event — the procedure-call overhead the token stream amortizes. *)
+type sax_handler = {
+  on_start : Qname.t -> Token.attr list -> unit;
+  on_end : unit -> unit;
+  on_text : string -> unit;
+  on_misc : unit -> unit;
+}
+
+let sax_parse dict src h =
+  Parser.parse_iter dict src (fun token ->
+      match token with
+      | Token.Start_element { name; attrs; _ } -> h.on_start name attrs
+      | Token.End_element -> h.on_end ()
+      | Token.Text { content; _ } -> h.on_text content
+      | _ -> h.on_misc ())
+
+let catalog_xsd =
+  {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Catalog" type="CatalogType"/>
+  <xs:complexType name="CatalogType">
+    <xs:sequence>
+      <xs:element name="Categories" type="CategoriesType" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="CategoriesType">
+    <xs:sequence>
+      <xs:element name="Product" type="ProductType" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="category" type="xs:string" use="required"/>
+  </xs:complexType>
+  <xs:complexType name="ProductType">
+    <xs:sequence>
+      <xs:element name="RegPrice" type="xs:decimal"/>
+      <xs:element name="Discount" type="xs:decimal"/>
+      <xs:element name="ProductName" type="xs:string"/>
+      <xs:element name="Stock" type="xs:integer" minOccurs="0"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>|}
+
+let run () =
+  Report.print_header "E7  Insertion pipeline: token stream and validation (§3.2)";
+  let dict = Bench_util.shared_dict in
+  let gen = Rx_workload.Workload.create ~seed:7 in
+  let doc =
+    Rx_workload.Workload.catalog_document gen ~categories:40 ~products_per_category:50
+  in
+  let mb = float_of_int (String.length doc) /. 1e6 in
+  Report.print_note "document: product catalog, %s" (Report.fmt_bytes (String.length doc));
+  let compiled =
+    Rx_schema.Compiled.compile dict (Rx_schema.Schema_model.parse_xsd dict catalog_xsd)
+  in
+  Report.print_note "compiled schema: %d DFA states"
+    (Rx_schema.Compiled.total_dfa_states compiled);
+
+  let counter = ref 0 in
+  let handler =
+    {
+      on_start = (fun _ attrs -> counter := !counter + 1 + List.length attrs);
+      on_end = (fun () -> incr counter);
+      on_text = (fun s -> counter := !counter + String.length s);
+      on_misc = (fun () -> incr counter);
+    }
+  in
+  let sax_ms =
+    Report.time_stable ~min_time_ms:300. (fun () -> sax_parse dict doc handler)
+  in
+  (* buffered token stream: the producer parses once into the binary
+     stream; each downstream consumer then drains decoded batches instead
+     of re-parsing — the §3.2 point about multiple processing stages *)
+  let binary = Token_stream.of_document dict doc in
+  let stream_encode_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        Token_stream.of_document dict doc)
+  in
+  let stream_consume_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        let r = Token_stream.Reader.of_string binary in
+        let rec drain () =
+          match Token_stream.Reader.next r with
+          | Some (Token.Start_element { attrs; _ }) ->
+              counter := !counter + 1 + List.length attrs;
+              drain ()
+          | Some _ ->
+              incr counter;
+              drain ()
+          | None -> ()
+        in
+        drain ())
+  in
+  let parse_only_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        Parser.parse_iter dict doc (fun _ -> ()))
+  in
+  let validate_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        let tokens = Parser.parse dict doc in
+        Rx_schema.Validator.validate_iter compiled dict tokens (fun _ -> ()))
+  in
+  let tree_construct_ms =
+    Report.time_stable ~min_time_ms:300. (fun () ->
+        let tokens = Parser.parse dict doc in
+        ignore
+          (Rx_xmlstore.Packer.records_of_tokens ~threshold:2048 tokens))
+  in
+  Report.print_table
+    ~columns:[ "stage"; "ms/doc"; "MB/s" ]
+    (List.map
+       (fun (label, ms) ->
+         [ label; Report.fmt_ms ms; Printf.sprintf "%.1f" (mb /. ms *. 1000.) ])
+       [
+         ("raw parse (no consumer)", parse_only_ms);
+         ("SAX-style per-event handlers", sax_ms);
+         ("produce binary token stream", stream_encode_ms);
+         ("re-consume binary stream (per stage)", stream_consume_ms);
+         ("parse + schema validation (VM)", validate_ms);
+         ("parse + tree construction (packing)", tree_construct_ms);
+       ]);
+  Report.print_note
+    "expected shape: a downstream stage consuming the buffered stream is \
+     much cheaper than re-parsing (SAX row) - the win compounds with every \
+     extra stage; validation stays within a small factor of raw parsing \
+     (table-driven VM)."

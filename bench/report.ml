@@ -1,0 +1,58 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+let print_header title =
+  let line = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n==  %s  ==\n%s\n" line title line
+
+let print_note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* Render rows with right-aligned numeric columns. *)
+let print_table ~columns rows =
+  let ncols = List.length columns in
+  let widths = Array.of_list (List.map String.length columns) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then Printf.printf "%s%*s" (if i = 0 then "" else "  ") widths.(i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.mapi (fun i _ -> String.make widths.(i) '-') columns);
+  List.iter print_row rows
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+  (result, dt)
+
+(* Repeat until at least [min_time_ms] elapsed; returns per-iteration ms. *)
+let time_stable ?(min_time_ms = 50.) f =
+  let t0 = Unix.gettimeofday () in
+  let iters = ref 0 in
+  let elapsed () = (Unix.gettimeofday () -. t0) *. 1000. in
+  while elapsed () < min_time_ms || !iters = 0 do
+    ignore (Sys.opaque_identity (f ()));
+    incr iters
+  done;
+  elapsed () /. float_of_int !iters
+
+let fmt_ms ms =
+  if ms < 0.01 then Printf.sprintf "%.4f" ms
+  else if ms < 1. then Printf.sprintf "%.3f" ms
+  else if ms < 100. then Printf.sprintf "%.2f" ms
+  else Printf.sprintf "%.0f" ms
+
+let fmt_ratio r = Printf.sprintf "%.2fx" r
+
+let fmt_bytes n =
+  if n >= 10_000_000 then Printf.sprintf "%.1fMB" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fKB" (float_of_int n /. 1e3)
+  else Printf.sprintf "%dB" n

@@ -1,0 +1,310 @@
+(* rx — command-line shell over a persistent System R/X database directory.
+
+     rx init            --db DIR
+     rx create-table    --db DIR --table T --columns "sku:varchar,doc:xml"
+     rx create-index    --db DIR --table T --column C --name I --path P --type double
+     rx create-text-index --db DIR --table T --column C --name I
+     rx insert          --db DIR --table T --xml "doc=<a>...</a>" [--xml-file doc=path]
+     rx get             --db DIR --table T --column C --docid N
+     rx query           --db DIR --table T --column C --xpath Q [--explain]
+     rx search          --db DIR --table T --column C --terms "native xml"
+     rx stats           --db DIR
+*)
+
+open Cmdliner
+open Systemrx
+open Rx_relational
+
+let with_db dir f =
+  let db = Database.open_dir dir in
+  Fun.protect ~finally:(fun () -> Database.close db) (fun () -> f db)
+
+let db_arg =
+  let doc = "Database directory (created if absent)." in
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
+
+let table_arg =
+  Arg.(required & opt (some string) None & info [ "table" ] ~docv:"TABLE" ~doc:"Table name.")
+
+let column_arg =
+  Arg.(required & opt (some string) None & info [ "column" ] ~docv:"COL" ~doc:"XML column name.")
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Rx_xml.Parser.Parse_error _ as e ->
+      Printf.eprintf "error: %s\n" (Option.get (Rx_xml.Parser.error_message e));
+      1
+  | Rx_schema.Validator.Validation_error _ as e ->
+      Printf.eprintf "error: %s\n" (Option.get (Rx_schema.Validator.error_message e));
+      1
+
+(* --- init --- *)
+
+let init_cmd =
+  let run dir =
+    handle_errors (fun () ->
+        with_db dir (fun _db -> Printf.printf "initialized database in %s\n" dir))
+  in
+  Cmd.v (Cmd.info "init" ~doc:"Create (or open) a database directory.")
+    Term.(const run $ db_arg)
+
+(* --- create-table --- *)
+
+let parse_columns spec =
+  String.split_on_char ',' spec
+  |> List.map (fun part ->
+         match String.split_on_char ':' (String.trim part) with
+         | [ name; ty ] -> (
+             match Value.col_type_of_string (String.trim ty) with
+             | Some ty -> (String.trim name, ty)
+             | None -> invalid_arg (Printf.sprintf "unknown column type %S" ty))
+         | _ -> invalid_arg (Printf.sprintf "bad column spec %S (want name:type)" part))
+
+let create_table_cmd =
+  let columns_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "columns" ] ~docv:"SPEC" ~doc:"Comma-separated name:type list, e.g. \"sku:varchar,doc:xml\".")
+  in
+  let run dir table columns =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let cols = parse_columns columns in
+            ignore (Database.create_table db ~name:table ~columns:cols);
+            Printf.printf "created table %s (%d columns)\n" table (List.length cols)))
+  in
+  Cmd.v (Cmd.info "create-table" ~doc:"Create a base table (use type xml for XML columns).")
+    Term.(const run $ db_arg $ table_arg $ columns_arg)
+
+(* --- create-index --- *)
+
+let create_index_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc:"Index name.")
+  in
+  let path_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "path" ] ~docv:"XPATH" ~doc:"Simple XPath expression without predicates.")
+  in
+  let type_arg =
+    Arg.(
+      value & opt string "string"
+      & info [ "type" ] ~docv:"TYPE" ~doc:"Key type: string|double|decimal|integer|date.")
+  in
+  let run dir table column name path ty =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let key_type =
+              match Rx_xindex.Index_def.key_type_of_string ty with
+              | Some kt -> kt
+              | None -> invalid_arg (Printf.sprintf "unknown key type %S" ty)
+            in
+            Database.create_xml_index db ~table ~column ~name ~path ~key_type;
+            Printf.printf "created XPath value index %s ON %s AS %s\n" name path ty))
+  in
+  Cmd.v (Cmd.info "create-index" ~doc:"Create an XPath value index on an XML column.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ name_arg $ path_arg $ type_arg)
+
+let create_text_index_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc:"Index name.")
+  in
+  let run dir table column name =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            Database.create_text_index db ~table ~column ~name;
+            Printf.printf "created full-text index %s\n" name))
+  in
+  Cmd.v (Cmd.info "create-text-index" ~doc:"Create a full-text index on an XML column.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ name_arg)
+
+(* --- register/bind schema --- *)
+
+let register_schema_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc:"Schema name.")
+  in
+  let file_arg =
+    Arg.(required & opt (some string) None & info [ "xsd" ] ~docv:"FILE" ~doc:"XSD file.")
+  in
+  let run dir name file =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let ic = open_in_bin file in
+            let xsd = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            Database.register_schema db ~name ~xsd;
+            Printf.printf "registered schema %s\n" name))
+  in
+  Cmd.v (Cmd.info "register-schema" ~doc:"Compile and register an XML schema (Figure 4).")
+    Term.(const run $ db_arg $ name_arg $ file_arg)
+
+let bind_schema_cmd =
+  let schema_arg =
+    Arg.(required & opt (some string) None & info [ "schema" ] ~docv:"NAME" ~doc:"Registered schema.")
+  in
+  let run dir table column schema =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            Database.bind_schema db ~table ~column ~schema;
+            Printf.printf "bound schema %s to %s.%s\n" schema table column))
+  in
+  Cmd.v (Cmd.info "bind-schema" ~doc:"Validate a column's documents against a schema.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ schema_arg)
+
+(* --- insert --- *)
+
+let split_kv what s =
+  match String.index_opt s '=' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> invalid_arg (Printf.sprintf "bad %s %S (want name=value)" what s)
+
+let insert_cmd =
+  let value_args =
+    Arg.(value & opt_all string [] & info [ "value" ] ~docv:"COL=V" ~doc:"Relational column value (varchar).")
+  in
+  let xml_args =
+    Arg.(value & opt_all string [] & info [ "xml" ] ~docv:"COL=DOC" ~doc:"Inline XML document.")
+  in
+  let xml_file_args =
+    Arg.(value & opt_all string [] & info [ "xml-file" ] ~docv:"COL=FILE" ~doc:"XML document from a file.")
+  in
+  let run dir table values xmls xml_files =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let values =
+              List.map
+                (fun s ->
+                  let k, v = split_kv "--value" s in
+                  (k, Value.Varchar v))
+                values
+            in
+            let xml_inline = List.map (split_kv "--xml") xmls in
+            let xml_from_files =
+              List.map
+                (fun s ->
+                  let k, path = split_kv "--xml-file" s in
+                  let ic = open_in_bin path in
+                  let doc = really_input_string ic (in_channel_length ic) in
+                  close_in ic;
+                  (k, doc))
+                xml_files
+            in
+            let docid =
+              Database.insert db ~table ~values ~xml:(xml_inline @ xml_from_files) ()
+            in
+            Printf.printf "inserted row with DocID %d\n" docid))
+  in
+  Cmd.v (Cmd.info "insert" ~doc:"Insert a row with XML column documents.")
+    Term.(const run $ db_arg $ table_arg $ value_args $ xml_args $ xml_file_args)
+
+(* --- get / query / search / stats --- *)
+
+let docid_arg =
+  Arg.(required & opt (some int) None & info [ "docid" ] ~docv:"N" ~doc:"Row DocID.")
+
+let get_cmd =
+  let run dir table column docid =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            print_endline (Database.document db ~table ~column ~docid)))
+  in
+  Cmd.v (Cmd.info "get" ~doc:"Print an XML column value.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ docid_arg)
+
+let query_cmd =
+  let xpath_arg =
+    Arg.(required & opt (some string) None & info [ "xpath" ] ~docv:"XPATH" ~doc:"Query.")
+  in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Show the access plan too.")
+  in
+  let run dir table column xpath explain =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            if explain then begin
+              let plan = Database.explain db ~table ~column ~xpath in
+              Printf.printf "plan: %s\n" plan.Database.description
+            end;
+            let results = Database.query_serialized db ~table ~column ~xpath in
+            List.iter print_endline results;
+            Printf.eprintf "%d match(es)\n" (List.length results)))
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate an XPath query over an XML column.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ xpath_arg $ explain_arg)
+
+let search_cmd =
+  let terms_arg =
+    Arg.(required & opt (some string) None & info [ "terms" ] ~docv:"WORDS" ~doc:"Search terms.")
+  in
+  let any_arg = Arg.(value & flag & info [ "any" ] ~doc:"Match any term instead of all.") in
+  let run dir table column terms any =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let mode = if any then `Any else `All in
+            let docids = Database.text_search db ~table ~column ~mode terms in
+            List.iter (fun d -> Printf.printf "DocID %d\n" d) docids;
+            Printf.eprintf "%d document(s)\n" (List.length docids)))
+  in
+  Cmd.v (Cmd.info "search" ~doc:"Full-text search over an XML column.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ terms_arg $ any_arg)
+
+let xquery_cmd =
+  let query_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "query" ] ~docv:"FLWOR"
+          ~doc:"FLWOR query, e.g. 'for \\$p in collection(\"t.c\") /a/b where \\$p/x > 1 return <r>{\\$p/x}</r>'.")
+  in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Show the access plan too.")
+  in
+  let run dir query explain =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let compiled =
+              try Xquery_lite.compile db query
+              with Xquery_lite.Error msg -> invalid_arg msg
+            in
+            if explain then Printf.printf "plan: %s\n" (Xquery_lite.explain compiled);
+            let results = Xquery_lite.run_compiled db compiled in
+            List.iter print_endline results;
+            Printf.eprintf "%d item(s)\n" (List.length results)))
+  in
+  Cmd.v (Cmd.info "xquery" ~doc:"Evaluate a FLWOR query over a collection.")
+    Term.(const run $ db_arg $ query_arg $ explain_arg)
+
+let stats_cmd =
+  let run dir =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let s = Database.stats db in
+            Printf.printf
+              "tables: %d\ndocuments: %d\npacked records: %d\nNodeID index entries: %d\nvalue index entries: %d\ndata pages: %d\nWAL bytes appended: %d\n"
+              s.Database.tables s.Database.documents s.Database.xml_records
+              s.Database.node_index_entries s.Database.value_index_entries
+              s.Database.data_pages s.Database.log_bytes))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.") Term.(const run $ db_arg)
+
+let () =
+  let info =
+    Cmd.info "rx" ~version:"1.0.0"
+      ~doc:"System R/X: a native XML database on relational infrastructure."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            init_cmd; create_table_cmd; create_index_cmd; create_text_index_cmd;
+            register_schema_cmd; bind_schema_cmd; insert_cmd; get_cmd; query_cmd;
+            xquery_cmd; search_cmd; stats_cmd;
+          ]))

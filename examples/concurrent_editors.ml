@@ -1,0 +1,79 @@
+(* Concurrency control on XML documents (§5): document-level MVCC — readers
+   never block — and sub-document multiple-granularity locking on
+   prefix-encoded node IDs.
+
+   Run with: dune exec examples/concurrent_editors.exe *)
+
+open Rx_txn
+open Rx_xml
+
+let dict = Name_dict.create ()
+
+let () =
+  (* --- document-level multi-versioning (§5.1) --- *)
+  let pool =
+    Rx_storage.Buffer_pool.create ~capacity:512 (Rx_storage.Pager.create_in_memory ())
+  in
+  let mvcc = Mvcc_store.create pool dict in
+
+  ignore
+    (Mvcc_store.commit mvcc
+       [ Mvcc_store.stage_write mvcc ~docid:1
+           (Parser.parse dict "<report><status>draft</status></report>") ]);
+
+  (* a reader opens a snapshot... *)
+  let reader_snapshot = Mvcc_store.snapshot mvcc in
+
+  (* ...while a writer publishes a new version *)
+  ignore
+    (Mvcc_store.commit mvcc
+       [ Mvcc_store.stage_write mvcc ~docid:1
+           (Parser.parse dict "<report><status>final</status></report>") ]);
+
+  Printf.printf "reader (old snapshot): %s\n"
+    (Mvcc_store.serialize_at mvcc ~snapshot:reader_snapshot ~docid:1);
+  Printf.printf "new reader           : %s\n"
+    (Mvcc_store.serialize_at mvcc ~snapshot:(Mvcc_store.snapshot mvcc) ~docid:1);
+  Printf.printf "versions kept        : %d\n\n" (Mvcc_store.version_count mvcc ~docid:1);
+
+  (* --- sub-document locking with node-ID prefixes (§5.2) --- *)
+  let mgr = Transaction.create_manager () in
+  let node id = Resource.Node { table = 1; docid = 1; node = id } in
+  let show who r mode outcome =
+    Printf.printf "%-8s %-12s %-3s -> %s\n" who (Resource.to_string r)
+      (Lock_modes.to_string mode)
+      (match outcome with
+      | `Granted -> "granted"
+      | `Blocked by ->
+          Printf.sprintf "blocked by %s"
+            (String.concat "," (List.map string_of_int by)))
+  in
+
+  let editor1 = Transaction.begin_txn mgr in
+  let editor2 = Transaction.begin_txn mgr in
+  let auditor = Transaction.begin_txn mgr in
+
+  (* editor1 locks the subtree rooted at node 02.02 exclusively *)
+  let r1 = node "\x02\x02" in
+  show "editor1" r1 Lock_modes.X (Transaction.lock editor1 r1 Lock_modes.X);
+
+  (* editor2 can update a disjoint subtree of the same document *)
+  let r2 = node "\x02\x04" in
+  show "editor2" r2 Lock_modes.X (Transaction.lock editor2 r2 Lock_modes.X);
+
+  (* the auditor wants to read a node inside editor1's subtree: the prefix
+     test makes the ancestor lock cover it *)
+  let r3 = node "\x02\x02\x06" in
+  show "auditor" r3 Lock_modes.S (Transaction.lock auditor r3 Lock_modes.S);
+
+  (* editor1 finishes; the auditor's queued request is granted *)
+  let promoted = Transaction.commit editor1 in
+  Printf.printf "editor1 commits; promoted transactions: [%s]\n"
+    (String.concat "," (List.map string_of_int promoted));
+  show "auditor" r3 Lock_modes.S (Transaction.lock auditor r3 Lock_modes.S);
+  ignore (Transaction.commit editor2);
+  ignore (Transaction.commit auditor);
+
+  (* old versions can be reclaimed once no snapshot needs them *)
+  let reclaimed = Mvcc_store.gc mvcc ~oldest_snapshot:(Mvcc_store.snapshot mvcc) in
+  Printf.printf "\ngc reclaimed %d old version(s)\n" reclaimed

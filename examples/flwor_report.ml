@@ -1,0 +1,49 @@
+(* FLWOR-lite over a stored collection (the §6 "more complete XQuery"
+   future work): the for/where clauses are rewritten into one XPath
+   expression, so value indexes and the Table-2 planner apply unchanged.
+
+   Run with: dune exec examples/flwor_report.exe *)
+
+open Systemrx
+open Rx_relational
+
+let () =
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"orders"
+      ~columns:[ ("region", Value.T_varchar); ("doc", Value.T_xml) ]
+  in
+  Database.create_xml_index db ~table:"orders" ~column:"doc" ~name:"total"
+    ~path:"/order/total" ~key_type:Rx_xindex.Index_def.K_decimal;
+
+  let insert region id customer total items =
+    ignore
+      (Database.insert db ~table:"orders"
+         ~values:[ ("region", Value.Varchar region) ]
+         ~xml:
+           [
+             ( "doc",
+               Printf.sprintf
+                 {|<order id="%d"><customer>%s</customer><total>%s</total>%s</order>|}
+                 id customer total
+                 (String.concat ""
+                    (List.map (fun i -> Printf.sprintf "<item>%s</item>" i) items)) );
+           ]
+         ())
+  in
+  insert "west" 1001 "acme" "129.95" [ "gizmo"; "widget" ];
+  insert "east" 1002 "globex" "19.99" [ "doodad" ];
+  insert "west" 1003 "initech" "799.00" [ "gadget"; "gizmo"; "sprocket" ];
+  insert "east" 1004 "umbrella" "310.50" [ "widget" ];
+
+  let query =
+    {|for $o in collection("orders.doc") /order
+      where $o/total > 100
+      order by $o/total descending
+      return <big id="{$o/@id}" customer="{$o/customer}">{$o/total}{$o/item}</big>|}
+  in
+  print_endline "-- query --";
+  print_endline query;
+  let compiled = Xquery_lite.compile db query in
+  Printf.printf "\n-- plan --\n%s\n\n-- results --\n" (Xquery_lite.explain compiled);
+  List.iter print_endline (Xquery_lite.run_compiled db compiled)

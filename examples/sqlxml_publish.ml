@@ -1,0 +1,80 @@
+(* SQL/XML publishing (§4.1): turning relational rows into XML with the
+   flattened constructor templates of Figure 5 and XMLAGG with ORDER BY —
+   the paper's Emp example, extended with a per-department aggregation.
+
+   Run with: dune exec examples/sqlxml_publish.exe *)
+
+open Rx_xml
+open Rx_xqueryrt
+
+type emp = { id : int; fname : string; lname : string; hire : string; dept : string }
+
+let employees =
+  [
+    { id = 1234; fname = "John"; lname = "Doe"; hire = "1998-06-01"; dept = "Accting" };
+    { id = 1235; fname = "Mary"; lname = "Major"; hire = "2001-02-15"; dept = "Engineering" };
+    { id = 1236; fname = "Ann"; lname = "Smith"; hire = "1999-11-30"; dept = "Engineering" };
+    { id = 1237; fname = "Bob"; lname = "Brown"; hire = "2003-07-04"; dept = "Accting" };
+  ]
+
+let dict = Name_dict.create ()
+
+(* XMLELEMENT(NAME "Emp",
+     XMLATTRIBUTES(e.id AS "id", e.fname || ' ' || e.lname AS "name"),
+     XMLFOREST(e.hire AS "HIRE", e.dept AS "department")) *)
+let emp_template =
+  Template.compile dict
+    (Template.Element
+       {
+         name = "Emp";
+         attrs = [ ("id", [ `Arg 0 ]); ("name", [ `Arg 1; `Lit " "; `Arg 2 ]) ];
+         children =
+           [ Template.Forest [ ("HIRE", [ `Arg 3 ]); ("department", [ `Arg 4 ]) ] ];
+       })
+
+let emp_args e =
+  [|
+    Template.A_string (string_of_int e.id);
+    Template.A_string e.fname;
+    Template.A_string e.lname;
+    Template.A_string e.hire;
+    Template.A_string e.dept;
+  |]
+
+let () =
+  Printf.printf "-- one row through the flattened tagging template --\n%s\n\n"
+    (Template.to_string emp_template ~args:(emp_args (List.hd employees)) dict);
+
+  (* SELECT dept, XMLELEMENT(NAME "Dept", XMLATTRIBUTES(dept AS "name"),
+       XMLAGG(emp_xml ORDER BY lname)) GROUP BY dept *)
+  let depts = List.sort_uniq compare (List.map (fun e -> e.dept) employees) in
+  List.iter
+    (fun dept ->
+      let rows = List.filter (fun e -> e.dept = dept) employees in
+      let agg =
+        Xmlagg.aggregate_to_tokens
+          ~order_by:((fun e -> e.lname), String.compare)
+          ~rows
+          ~row_xml:(fun e sink ->
+            Template.instantiate_into emp_template ~args:(emp_args e) sink)
+          ()
+      in
+      let dept_template =
+        Template.compile dict
+          (Template.Element
+             { name = "Dept"; attrs = [ ("name", [ `Arg 0 ]) ];
+               children = [ Template.Xml_arg 1 ] })
+      in
+      let out =
+        Template.to_string dept_template
+          ~args:[| Template.A_string dept; Template.A_xml agg |]
+          dict
+      in
+      Printf.printf "%s\n" out)
+    depts;
+
+  (* NULL handling: a missing hire date drops the whole XMLFOREST member *)
+  let args = emp_args (List.hd employees) in
+  args.(3) <- Template.A_null;
+  Printf.printf "\n-- with a NULL hire date --\n%s\n"
+    (Template.to_string emp_template ~args dict)

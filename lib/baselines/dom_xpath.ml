@@ -1,0 +1,202 @@
+open Rx_xml
+module Q = Rx_quickxscan.Query
+
+type kind = Element | Attr | Text | Comment | Pi
+
+type node = {
+  seq : int;
+  kind : kind;
+  name : Qname.t; (* meaningful for Element / Attr / Pi (target interned) *)
+  content : string; (* Attr value, Text content, Comment content, Pi data *)
+  mutable children : node list; (* document order; excludes attributes *)
+  mutable attrs : node list;
+  mutable parent : node option;
+}
+
+type dom = { roots : node list; count : int; bytes : int }
+
+let no_name = Qname.make 0
+
+let build tokens =
+  let seq = ref 0 in
+  let bytes = ref 0 in
+  let next () =
+    incr seq;
+    !seq
+  in
+  let mk kind name content =
+    bytes := !bytes + 64 + String.length content;
+    {
+      seq = next ();
+      kind;
+      name;
+      content;
+      children = [];
+      attrs = [];
+      parent = None;
+    }
+  in
+  let roots = ref [] in
+  let stack = ref [] in
+  let add node =
+    match !stack with
+    | parent :: _ ->
+        node.parent <- Some parent;
+        parent.children <- node :: parent.children
+    | [] -> roots := node :: !roots
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> ()
+      | Token.Start_element { name; attrs; _ } ->
+          let e = mk Element name "" in
+          e.attrs <-
+            List.map (fun (a : Token.attr) -> mk Attr a.Token.name a.Token.value) attrs;
+          List.iter (fun a -> a.parent <- Some e) e.attrs;
+          add e;
+          stack := e :: !stack
+      | Token.End_element -> (
+          match !stack with
+          | e :: rest ->
+              e.children <- List.rev e.children;
+              stack := rest
+          | [] -> invalid_arg "Dom_xpath.build: unbalanced stream")
+      | Token.Text { content; _ } -> add (mk Text no_name content)
+      | Token.Comment content -> add (mk Comment no_name content)
+      | Token.Pi { target; data } ->
+          add (mk Pi (Qname.make 0) (target ^ "\000" ^ data)))
+    tokens;
+  if !stack <> [] then invalid_arg "Dom_xpath.build: unclosed element";
+  { roots = List.rev !roots; count = !seq; bytes = !bytes }
+
+let node_count dom = dom.count
+let approximate_bytes dom = dom.bytes
+
+let rec string_value node =
+  match node.kind with
+  | Text -> node.content
+  | Attr -> node.content
+  | Comment -> node.content
+  | Pi -> ( match String.index_opt node.content '\000' with
+      | Some i -> String.sub node.content (i + 1) (String.length node.content - i - 1)
+      | None -> node.content)
+  | Element ->
+      String.concat ""
+        (List.map
+           (fun c -> match c.kind with Element | Text -> string_value c | _ -> "")
+           node.children)
+
+let rec descendants node acc =
+  List.fold_left (fun acc c -> descendants c (c :: acc)) acc node.children
+
+let test_matches (test : Q.test) node =
+  match (test, node.kind) with
+  | Q.Any_element, Element -> true
+  | Q.Element { uri; local }, Element ->
+      node.name.Qname.uri = uri && node.name.Qname.local = local
+  | Q.Any_node, (Element | Text | Comment | Pi) -> true
+  | Q.Text_node, Text -> true
+  | Q.Comment_node, Comment -> true
+  | Q.Pi_node, Pi -> true
+  | Q.Any_attribute, Attr -> true
+  | Q.Attribute_named { uri; local }, Attr ->
+      node.name.Qname.uri = uri && node.name.Qname.local = local
+  | _ -> false
+
+let axis_candidates (axis : Q.axis) node =
+  match axis with
+  | Q.Child -> node.children
+  | Q.Descendant -> List.rev (descendants node [])
+  | Q.Descendant_or_self -> node :: List.rev (descendants node [])
+  | Q.Self -> [ node ]
+  | Q.Attribute -> node.attrs
+
+(* pseudo-root holder so the first step can use the same machinery *)
+let pseudo_root roots =
+  {
+    seq = 0;
+    kind = Element;
+    name = no_name;
+    content = "";
+    children = roots;
+    attrs = [];
+    parent = None;
+  }
+
+let number_of_string s = float_of_string_opt (String.trim s)
+
+let atomic_compare (op : Rx_xpath.Ast.cmp)
+    (l : [ `S of string | `N of float ]) (r : [ `S of string | `N of float ]) =
+  let num_cmp a b =
+    match op with
+    | Rx_xpath.Ast.Eq -> a = b
+    | Rx_xpath.Ast.Neq -> a <> b
+    | Rx_xpath.Ast.Lt -> a < b
+    | Rx_xpath.Ast.Le -> a <= b
+    | Rx_xpath.Ast.Gt -> a > b
+    | Rx_xpath.Ast.Ge -> a >= b
+  in
+  match (l, r) with
+  | `N a, `N b -> num_cmp a b
+  | `S a, `S b when op = Rx_xpath.Ast.Eq -> String.equal a b
+  | `S a, `S b when op = Rx_xpath.Ast.Neq -> not (String.equal a b)
+  | l, r -> (
+      let as_num = function `N f -> Some f | `S s -> number_of_string s in
+      match (as_num l, as_num r) with
+      | Some a, Some b -> num_cmp a b
+      | _ -> false)
+
+let rec select_chain query contexts (qn : Q.qnode) =
+  let step_nodes =
+    List.concat_map
+      (fun ctx ->
+        List.filter (test_matches qn.Q.test) (axis_candidates qn.Q.axis ctx))
+      contexts
+  in
+  (* dedup by seq, keep document order *)
+  let module IS = Set.Make (Int) in
+  let _, step_nodes =
+    List.fold_left
+      (fun (seen, acc) n ->
+        if IS.mem n.seq seen then (seen, acc) else (IS.add n.seq seen, n :: acc))
+      (IS.empty, []) step_nodes
+  in
+  let step_nodes = List.sort (fun a b -> compare a.seq b.seq) step_nodes in
+  let kept =
+    match qn.Q.pred with
+    | None -> step_nodes
+    | Some pe -> List.filter (fun n -> eval_pexpr query n pe) step_nodes
+  in
+  match qn.Q.children with
+  | chain :: _ when chain.Q.role = qn.Q.role && not qn.Q.is_terminal ->
+      select_chain query kept chain
+  | _ -> kept
+
+and eval_pexpr query node = function
+  | Q.P_exists qid -> select_chain query [ node ] query.Q.nodes.(qid) <> []
+  | Q.P_compare (op, l, r) ->
+      let atoms = function
+        | Q.Self_value -> [ `S (string_value node) ]
+        | Q.Branch qid ->
+            List.map
+              (fun n -> `S (string_value n))
+              (select_chain query [ node ] query.Q.nodes.(qid))
+        | Q.Lit_string s -> [ `S s ]
+        | Q.Lit_number n -> [ `N n ]
+      in
+      let ls = atoms l and rs = atoms r in
+      List.exists (fun a -> List.exists (fun b -> atomic_compare op a b) rs) ls
+  | Q.P_and (a, b) -> eval_pexpr query node a && eval_pexpr query node b
+  | Q.P_or (a, b) -> eval_pexpr query node a || eval_pexpr query node b
+  | Q.P_not a -> not (eval_pexpr query node a)
+
+let eval_nodes query dom =
+  match query.Q.root.Q.children with
+  | [ first ] -> select_chain query [ pseudo_root dom.roots ] first
+  | _ -> invalid_arg "Dom_xpath.eval: malformed query tree"
+
+let eval query dom = List.map (fun n -> n.seq) (eval_nodes query dom)
+
+let eval_with_values query dom =
+  List.map (fun n -> (n.seq, string_value n)) (eval_nodes query dom)

@@ -1,0 +1,24 @@
+(** DOM-based navigational XPath evaluation — the in-memory-tree approach
+    the paper's engine avoids (§3.2, §4.2: "orders of magnitude better than
+    some DOM-based algorithm"). It materializes the whole document, then
+    evaluates each step by set-at-a-time navigation.
+
+    Nodes are numbered in document order with the same sequence numbering as
+    {!Rx_quickxscan.Engine.feed_tokens} (element, then its attributes, then
+    content), so results are directly comparable — this module doubles as
+    the test oracle for QuickXScan. *)
+
+type dom
+
+val build : Rx_xml.Token.t list -> dom
+val node_count : dom -> int
+
+val approximate_bytes : dom -> int
+(** Rough in-memory footprint of the materialized tree, for the E3 memory
+    comparison. *)
+
+val eval : Rx_quickxscan.Query.t -> dom -> int list
+(** Result sequence numbers in document order, duplicate-free. *)
+
+val eval_with_values : Rx_quickxscan.Query.t -> dom -> (int * string) list
+(** Results paired with their string values. *)

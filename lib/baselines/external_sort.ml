@@ -1,0 +1,77 @@
+(* Rows are written to temp files as length-prefixed (key, payload) pairs;
+   runs are sorted in memory, spilled, then merged k-way. *)
+
+let write_run path rows =
+  let oc = open_out_bin path in
+  List.iter
+    (fun (key, payload) ->
+      output_string oc (Printf.sprintf "%08d%s" (String.length key) key);
+      output_string oc (Printf.sprintf "%08d%s" (String.length payload) payload))
+    rows;
+  close_out oc
+
+let read_lstring ic =
+  match really_input_string ic 8 with
+  | len_str ->
+      let len = int_of_string len_str in
+      Some (really_input_string ic len)
+  | exception End_of_file -> None
+
+let read_pair ic =
+  match read_lstring ic with
+  | None -> None
+  | Some key -> (
+      match read_lstring ic with
+      | Some payload -> Some (key, payload)
+      | None -> invalid_arg "External_sort: truncated run file")
+
+let sort ?(run_size = 64) ~key ~encode ~decode rows =
+  let pairs = List.map (fun r -> (key r, encode r)) rows in
+  (* run generation *)
+  let rec chunks acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if n = run_size then chunks (List.rev current :: acc) [ x ] 1 rest
+        else chunks acc (x :: current) (n + 1) rest
+  in
+  let runs = chunks [] [] 0 pairs in
+  let files =
+    List.map
+      (fun run ->
+        let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b) run in
+        let path = Filename.temp_file "rxsort" ".run" in
+        write_run path sorted;
+        path)
+      runs
+  in
+  (* k-way merge over per-run cursors *)
+  let channels = Array.of_list (List.map open_in_bin files) in
+  let heads = Array.map read_pair channels in
+  let out = ref [] in
+  let rec merge () =
+    let best = ref None in
+    Array.iteri
+      (fun i head ->
+        match head with
+        | None -> ()
+        | Some (k, _) -> (
+            match !best with
+            | Some (bk, _) when compare bk k <= 0 -> ()
+            | _ -> best := Some (k, i)))
+      heads;
+    match !best with
+    | None -> ()
+    | Some (_, i) ->
+        (match heads.(i) with
+        | Some (_, payload) -> out := payload :: !out
+        | None -> assert false);
+        heads.(i) <- read_pair channels.(i);
+        merge ()
+  in
+  merge ();
+  Array.iter close_in channels;
+  List.iter Sys.remove files;
+  List.rev_map decode !out
+
+let sorted_strings ?run_size rows =
+  sort ?run_size ~key:(fun s -> s) ~encode:(fun s -> s) ~decode:(fun s -> s) rows

@@ -1,0 +1,16 @@
+(** External merge sort — the "typical external SORT" the paper's XMLAGG
+    optimization avoids (§4.1): run generation to temporary files followed
+    by a k-way merge, paying serialization and file I/O per group even when
+    the group fits in memory. The E6 baseline. *)
+
+val sort :
+  ?run_size:int ->
+  key:('a -> string) ->
+  encode:('a -> string) ->
+  decode:(string -> 'a) ->
+  'a list ->
+  'a list
+(** Stable by key. [run_size] rows per initial run (default 64). *)
+
+val sorted_strings : ?run_size:int -> string list -> string list
+(** Convenience instance for string rows sorted by themselves. *)

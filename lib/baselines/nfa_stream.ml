@@ -1,0 +1,100 @@
+open Rx_xml
+open Rx_xpath
+
+type cstep = { desc : bool; uri : int; local : int; star : bool }
+
+(* A live state is a partial embedding: the next step to match and the
+   document depth of its last matched node. A state stays alive while that
+   node is open. *)
+type state = { next_step : int; at_depth : int }
+
+type t = {
+  steps : cstep array;
+  mutable depth : int;
+  mutable live : state list;
+  mutable matches : int list; (* rev *)
+  mutable active : int;
+  mutable max_active : int;
+}
+
+let create dict (path : Ast.path) =
+  if not (Ast.is_linear path) then invalid_arg "Nfa_stream: path not linear";
+  if not path.Ast.absolute then invalid_arg "Nfa_stream: path not absolute";
+  let cstep (s : Ast.step) =
+    let desc = s.Ast.axis = Ast.Descendant in
+    if s.Ast.axis = Ast.Attribute then
+      invalid_arg "Nfa_stream: attribute steps unsupported";
+    match s.Ast.test with
+    | Ast.Name { prefix = None; local } ->
+        {
+          desc;
+          uri = 0;
+          local = Name_dict.intern dict local;
+          star = false;
+        }
+    | Ast.Wildcard -> { desc; uri = 0; local = -1; star = true }
+    | _ -> invalid_arg "Nfa_stream: only name tests supported"
+  in
+  let steps = Array.of_list (List.map cstep path.Ast.steps) in
+  {
+    steps;
+    depth = 0;
+    live = [ { next_step = 0; at_depth = 0 } ];
+    matches = [];
+    active = 1;
+    max_active = 1;
+  }
+
+let step_matches (s : cstep) (name : Qname.t) =
+  s.star || (name.Qname.uri = s.uri && name.Qname.local = s.local)
+
+let start_element t ~name ~seq =
+  t.depth <- t.depth + 1;
+  let spawned = ref [] in
+  List.iter
+    (fun st ->
+      if st.next_step < Array.length t.steps then begin
+        let step = t.steps.(st.next_step) in
+        let depth_ok =
+          if step.desc then t.depth > st.at_depth
+          else t.depth = st.at_depth + 1
+        in
+        if depth_ok && step_matches step name then begin
+          if st.next_step + 1 = Array.length t.steps then
+            t.matches <- seq :: t.matches
+          else ();
+          (* spawn a new partial embedding; the old one persists to match
+             other occurrences (no transitivity sharing) *)
+          spawned := { next_step = st.next_step + 1; at_depth = t.depth } :: !spawned
+        end
+      end)
+    t.live;
+  t.live <- !spawned @ t.live;
+  t.active <- List.length t.live;
+  if t.active > t.max_active then t.max_active <- t.active
+
+let end_element t =
+  t.live <- List.filter (fun st -> st.at_depth < t.depth) t.live;
+  t.depth <- t.depth - 1;
+  t.active <- List.length t.live
+
+let finish t =
+  if t.depth <> 0 then invalid_arg "Nfa_stream.finish: unbalanced stream";
+  List.sort_uniq compare (List.rev t.matches)
+
+let max_active t = t.max_active
+
+let feed_tokens t tokens =
+  let seq = ref 0 in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> ()
+      | Token.Start_element { name; attrs; _ } ->
+          incr seq;
+          let elem_seq = !seq in
+          seq := !seq + List.length attrs;
+          start_element t ~name ~seq:elem_seq
+      | Token.End_element -> end_element t
+      | Token.Text _ | Token.Comment _ | Token.Pi _ -> incr seq)
+    tokens

@@ -1,0 +1,25 @@
+(** Instance-tracking streaming matcher — the "other streaming algorithms"
+    of Figure 7. It evaluates a linear path by keeping one runtime state per
+    {e partial embedding} of the path prefix into the document, instead of
+    QuickXScan's one-per-stack-top with transitivity. On recursive
+    documents ([//a//a//a] over nested [a] elements) the number of live
+    states grows combinatorially, which E4 measures. Results are identical
+    to QuickXScan on linear paths. *)
+
+type t
+
+val create : Rx_xml.Name_dict.t -> Rx_xpath.Ast.path -> t
+(** @raise Invalid_argument unless the path is linear
+    ({!Rx_xpath.Ast.is_linear}) and absolute, with element name tests
+    only. *)
+
+val start_element : t -> name:Rx_xml.Qname.t -> seq:int -> unit
+val end_element : t -> unit
+
+val finish : t -> int list
+(** Matched sequence numbers, document order, duplicate-free. *)
+
+val max_active : t -> int
+(** High-water mark of live partial-match states. *)
+
+val feed_tokens : t -> Rx_xml.Token.t list -> unit

@@ -1,0 +1,192 @@
+open Rx_util
+open Rx_storage
+open Rx_xml
+open Rx_xmlstore
+
+(* Per-node record: kind byte, then kind-specific fields. Parent-child
+   structure is implicit in the Dewey node IDs. *)
+
+type t = {
+  heap : Heap_file.t;
+  index : Rx_btree.Btree.t;
+  dict : Name_dict.t;
+  mutable record_bytes : int;
+}
+
+let create pool dict =
+  {
+    heap = Heap_file.create pool;
+    index = Rx_btree.Btree.create pool;
+    dict;
+    record_bytes = 0;
+  }
+
+let index_key docid node_id =
+  let buf = Buffer.create 16 in
+  Key_codec.encode_int64 buf (Int64.of_int docid);
+  Buffer.add_string buf node_id;
+  Buffer.contents buf
+
+let encode_qname w (q : Qname.t) =
+  Bytes_io.Writer.varint w q.Qname.uri;
+  Bytes_io.Writer.varint w q.Qname.local;
+  Bytes_io.Writer.varint w q.Qname.prefix
+
+let decode_qname r =
+  let uri = Bytes_io.Reader.varint r in
+  let local = Bytes_io.Reader.varint r in
+  let prefix = Bytes_io.Reader.varint r in
+  { Qname.uri; local; prefix }
+
+let encode_node token =
+  let w = Bytes_io.Writer.create () in
+  (match token with
+  | Token.Start_element { name; attrs; ns_decls } ->
+      Bytes_io.Writer.u8 w 1;
+      encode_qname w name;
+      Bytes_io.Writer.varint w (List.length attrs);
+      List.iter
+        (fun (a : Token.attr) ->
+          encode_qname w a.Token.name;
+          Bytes_io.Writer.lstring w a.Token.value)
+        attrs;
+      Bytes_io.Writer.varint w (List.length ns_decls);
+      List.iter
+        (fun (p, u) ->
+          Bytes_io.Writer.varint w p;
+          Bytes_io.Writer.varint w u)
+        ns_decls
+  | Token.Text { content; _ } ->
+      Bytes_io.Writer.u8 w 2;
+      Bytes_io.Writer.lstring w content
+  | Token.Comment c ->
+      Bytes_io.Writer.u8 w 3;
+      Bytes_io.Writer.lstring w c
+  | Token.Pi { target; data } ->
+      Bytes_io.Writer.u8 w 4;
+      Bytes_io.Writer.lstring w target;
+      Bytes_io.Writer.lstring w data
+  | Token.Start_document | Token.End_document | Token.End_element ->
+      invalid_arg "Node_per_record: not a node token");
+  Bytes_io.Writer.contents w
+
+let decode_node payload =
+  let r = Bytes_io.Reader.of_string payload in
+  match Bytes_io.Reader.u8 r with
+  | 1 ->
+      let name = decode_qname r in
+      let n_attrs = Bytes_io.Reader.varint r in
+      let attrs =
+        List.init n_attrs (fun _ ->
+            let name = decode_qname r in
+            let value = Bytes_io.Reader.lstring r in
+            { Token.name; value; annot = None })
+      in
+      let n_ns = Bytes_io.Reader.varint r in
+      let ns_decls =
+        List.init n_ns (fun _ ->
+            let p = Bytes_io.Reader.varint r in
+            let u = Bytes_io.Reader.varint r in
+            (p, u))
+      in
+      Token.Start_element { name; attrs; ns_decls }
+  | 2 -> Token.Text { content = Bytes_io.Reader.lstring r; annot = None }
+  | 3 -> Token.Comment (Bytes_io.Reader.lstring r)
+  | 4 ->
+      let target = Bytes_io.Reader.lstring r in
+      let data = Bytes_io.Reader.lstring r in
+      Token.Pi { target; data }
+  | n -> invalid_arg (Printf.sprintf "Node_per_record: bad kind %d" n)
+
+let insert_node t ~docid node_id token =
+  let payload = encode_node token in
+  t.record_bytes <- t.record_bytes + String.length payload;
+  let rid = Heap_file.insert t.heap payload in
+  let w = Bytes_io.Writer.create ~capacity:6 () in
+  Rid.encode w rid;
+  Rx_btree.Btree.insert t.index ~key:(index_key docid node_id)
+    ~value:(Bytes_io.Writer.contents w)
+
+let insert_tokens t ~docid tokens =
+  (* mirror the packer's node-id assignment *)
+  let stack = ref [ (Node_id.root, ref 0) ] in
+  let alloc () =
+    match !stack with
+    | (base, counter) :: _ ->
+        let rel = Node_id.nth_sibling_rel !counter in
+        incr counter;
+        Node_id.append base rel
+    | [] -> invalid_arg "Node_per_record: token outside document"
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> ()
+      | Token.Start_element _ ->
+          let id = alloc () in
+          insert_node t ~docid id token;
+          stack := (id, ref 0) :: !stack
+      | Token.End_element -> stack := List.tl !stack
+      | Token.Text { content; _ }
+        when (match !stack with [ _ ] -> true | _ -> false)
+             && String.trim content = "" ->
+          ()
+      | Token.Text _ | Token.Comment _ | Token.Pi _ ->
+          insert_node t ~docid (alloc ()) token)
+    tokens
+
+let insert_document t ~docid src = insert_tokens t ~docid (Parser.parse t.dict src)
+
+let events t ~docid f =
+  (* scan the document's entries in node-id order = document order; emit
+     End_element when leaving a subtree, inferred from node-id ancestry *)
+  let open_stack = ref [] in
+  let close_down_to id =
+    let rec loop () =
+      match !open_stack with
+      | top :: rest when not (Node_id.is_ancestor ~ancestor:top id) ->
+          f { Doc_store.id = None; token = Token.End_element };
+          open_stack := rest;
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  f { Doc_store.id = None; token = Token.Start_document };
+  Rx_btree.Btree.iter_prefix t.index ~prefix:(index_key docid Node_id.root)
+    (fun key value ->
+      let _, pos = Key_codec.decode_int64 key 0 in
+      let node_id = String.sub key pos (String.length key - pos) in
+      let rid = Rid.decode (Bytes_io.Reader.of_string value) in
+      let token = decode_node (Heap_file.read t.heap rid) in
+      close_down_to node_id;
+      f { Doc_store.id = Some node_id; token };
+      (match token with
+      | Token.Start_element _ -> open_stack := node_id :: !open_stack
+      | _ -> ());
+      `Continue);
+  (* "\x01" is below every real node id, so this closes everything *)
+  close_down_to "\x01";
+  f { Doc_store.id = None; token = Token.End_document }
+
+let serialize t ~docid =
+  let tokens = ref [] in
+  events t ~docid (fun e -> tokens := e.Doc_store.token :: !tokens);
+  Serializer.to_string t.dict (List.rev !tokens)
+
+type stats = {
+  records : int;
+  index_entries : int;
+  data_pages : int;
+  index_pages : int;
+  record_bytes : int;
+}
+
+let stats t =
+  {
+    records = Heap_file.record_count t.heap;
+    index_entries = Rx_btree.Btree.entry_count t.index;
+    data_pages = Heap_file.data_pages t.heap;
+    index_pages = Rx_btree.Btree.page_count t.index;
+    record_bytes = t.record_bytes;
+  }

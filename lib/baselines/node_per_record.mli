@@ -1,0 +1,27 @@
+(** The "one row per node" relational shredding alternative that §3.1's
+    analytical model compares against (Tian et al. / Florescu-Kossmann
+    style): every node of the XQuery data model becomes its own storage
+    record plus a NodeID-index entry. E1 measures storage size, index-entry
+    counts and traversal cost against the packed-record scheme. *)
+
+type t
+
+val create : Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> t
+val insert_tokens : t -> docid:int -> Rx_xml.Token.t list -> unit
+val insert_document : t -> docid:int -> string -> unit
+
+val events : t -> docid:int -> (Rx_xmlstore.Doc_store.event -> unit) -> unit
+(** Document-order traversal: one index probe + one record fetch per node —
+    the k·t cost of the analytical model. *)
+
+val serialize : t -> docid:int -> string
+
+type stats = {
+  records : int;
+  index_entries : int;
+  data_pages : int;
+  index_pages : int;
+  record_bytes : int;
+}
+
+val stats : t -> stats

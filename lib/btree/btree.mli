@@ -1,0 +1,54 @@
+(** B+tree index manager over buffer-pool pages.
+
+    Keys and values are byte strings; keys are unique and ordered by
+    [String.compare] (callers build composite keys with
+    {!Rx_util.Key_codec}). Deletion is lazy (no rebalancing), as in several
+    production engines; pages never become unreachable. All page mutations
+    flow through {!Rx_storage.Buffer_pool.update} and are therefore
+    journaled. *)
+
+type t
+
+val create : Rx_storage.Buffer_pool.t -> t
+(** Allocates a meta page and an empty root leaf. *)
+
+val attach : Rx_storage.Buffer_pool.t -> meta_page:int -> t
+val meta_page : t -> int
+
+val insert : t -> key:string -> value:string -> unit
+(** Inserts or replaces.
+    @raise Invalid_argument if [key + value] exceeds {!Node.max_entry_size}. *)
+
+val find : t -> string -> string option
+val mem : t -> string -> bool
+
+val delete : t -> string -> bool
+(** [true] if the key was present. *)
+
+val entry_count : t -> int
+val height : t -> int
+
+val iter_range :
+  t ->
+  ?lo:string ->
+  ?hi:string ->
+  (string -> string -> [ `Continue | `Stop ]) ->
+  unit
+(** In-order iteration over keys in [\[lo, hi)]; unbounded ends when
+    omitted. *)
+
+val iter_prefix :
+  t -> prefix:string -> (string -> string -> [ `Continue | `Stop ]) -> unit
+
+val fold_range :
+  t -> ?lo:string -> ?hi:string -> init:'a -> ('a -> string -> string -> 'a) -> 'a
+
+val to_list : t -> (string * string) list
+
+val page_count : t -> int
+(** Pages reachable from the root (meta page excluded) — index-size
+    accounting for E1. *)
+
+val check_invariants : t -> unit
+(** Validates key order within nodes, separator bounds, level consistency
+    and the leaf chain. @raise Failure on violation. *)

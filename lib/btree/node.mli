@@ -1,0 +1,44 @@
+(** B+tree node page layout.
+
+    Cells live at the end of the page; a sorted cell-pointer array grows
+    forward after the header, so binary search never moves cell bodies.
+    Leaf cells hold (key, value); internal cells hold (key, child) with the
+    convention that [child] covers keys strictly below [key], and the
+    header's [right] field is the rightmost child (or, for leaves, the
+    right-sibling page for range scans). *)
+
+val init : bytes -> level:int -> unit
+val level : bytes -> int
+val is_leaf : bytes -> bool
+val ncells : bytes -> int
+
+val right : bytes -> int
+(** Right sibling (leaf) or rightmost child (internal); 0 if none. *)
+
+val set_right : bytes -> int -> unit
+
+val key_at : bytes -> int -> string
+val leaf_cell : bytes -> int -> string * string
+val internal_cell : bytes -> int -> string * int
+val set_internal_child : bytes -> int -> int -> unit
+(** Rewrites the child pointer of cell [i] in place. *)
+
+val search : bytes -> string -> bool * int
+(** [(found, i)] where [i] is the index of the first cell whose key is
+    [>= key]; [found] reports an exact match at [i]. *)
+
+val leaf_insert_at : bytes -> int -> key:string -> value:string -> bool
+(** [false] if the node is full (caller must split). *)
+
+val internal_insert_at : bytes -> int -> key:string -> child:int -> bool
+val delete_at : bytes -> int -> unit
+val replace_value_at : bytes -> int -> string -> bool
+val free_space : bytes -> int
+
+val max_entry_size : page_size:int -> int
+(** Upper bound on [key + value] length such that any node can always hold
+    at least four entries. *)
+
+val cells : bytes -> (string * string) list
+(** All cells in key order; for internal nodes the "value" is the u32 child
+    in big-endian. *)

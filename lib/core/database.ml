@@ -1,0 +1,595 @@
+open Rx_storage
+open Rx_xml
+open Rx_xmlstore
+open Rx_relational
+open Rx_xindex
+
+type xml_column = {
+  store : Doc_store.t;
+  mutable indexes : Value_index.t list;
+  mutable text_indexes : (string * Rx_fulltext.Text_index.t) list;
+  mutable schema : Rx_schema.Compiled.t option;
+  mutable schema_name : string option;
+}
+
+type table = {
+  tname : string;
+  base : Base_table.t;
+  xml_columns : (string * xml_column) list;
+  mutable next_docid : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  log : Rx_wal.Log_manager.t;
+  dict : Name_dict.t;
+  txn_mgr : Rx_txn.Transaction.manager;
+  catalog : Catalog.t;
+  record_threshold : int;
+  mutable tables : (string * table) list;
+  mutable schemas : (string * Rx_schema.Compiled.t) list;
+}
+
+type match_ = { docid : int; node : Node_id.t }
+
+type plan_info = { description : string; uses_index : bool; exact : bool }
+
+(* --- lifecycle --- *)
+
+let install_txn pool log =
+  let mgr = Rx_txn.Transaction.create_manager ~log ~pool () in
+  Rx_txn.Transaction.install_journal mgr;
+  mgr
+
+let create_in_memory ?page_size ?(record_threshold = 2048) () =
+  let pool = Buffer_pool.create ~capacity:2048 (Pager.create_in_memory ?page_size ()) in
+  let log = Rx_wal.Log_manager.create_in_memory () in
+  let txn_mgr = install_txn pool log in
+  let catalog = Catalog.create pool in
+  {
+    pool;
+    log;
+    dict = Name_dict.create ();
+    txn_mgr;
+    catalog;
+    record_threshold;
+    tables = [];
+    schemas = [];
+  }
+
+let in_txn t f =
+  let txn = Rx_txn.Transaction.begin_txn t.txn_mgr in
+  match Rx_txn.Transaction.run_as txn f with
+  | result ->
+      ignore (Rx_txn.Transaction.commit txn);
+      result
+  | exception e ->
+      ignore (Rx_txn.Transaction.abort txn);
+      raise e
+
+let dict t = t.dict
+let buffer_pool t = t.pool
+
+let find_table t name = List.assoc_opt name t.tables
+
+let table_exn t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Database: no table %s" name)
+
+let xml_column_exn tbl column =
+  match List.assoc_opt column tbl.xml_columns with
+  | Some xc -> xc
+  | None ->
+      invalid_arg (Printf.sprintf "Database: %s has no XML column %s" tbl.tname column)
+
+(* --- catalog persistence --- *)
+
+let catalog_entries t =
+  let dict_entry = Catalog.Dictionary (Name_dict.to_list t.dict) in
+  let table_entries =
+    List.concat_map
+      (fun (name, tbl) ->
+        Catalog.Table
+          {
+            name;
+            columns = Array.to_list (Base_table.columns tbl.base);
+            heap_header = Base_table.heap_header tbl.base;
+            docid_index_meta = Base_table.docid_index_meta tbl.base;
+            next_docid = tbl.next_docid;
+          }
+        :: List.concat_map
+             (fun (cname, xc) ->
+               Catalog.Xml_column
+                 {
+                   table = name;
+                   column = cname;
+                   heap_header = Doc_store.heap_header xc.store;
+                   node_index_meta = Doc_store.index_meta xc.store;
+                 }
+               :: (match xc.schema_name with
+                  | Some schema ->
+                      [ Catalog.Schema_binding { table = name; column = cname; schema } ]
+                  | None -> [])
+               @ List.map
+                   (fun idx ->
+                     let def = Value_index.def idx in
+                     Catalog.Xml_index
+                       {
+                         table = name;
+                         column = cname;
+                         name = def.Index_def.name;
+                         path = Rx_xpath.Ast.to_string def.Index_def.path;
+                         key_type =
+                           Index_def.key_type_to_string def.Index_def.key_type;
+                         tree_meta = Value_index.meta_page idx;
+                       })
+                   xc.indexes
+               @ List.map
+                   (fun (iname, ti) ->
+                     Catalog.Text_index
+                       {
+                         table = name;
+                         column = cname;
+                         name = iname;
+                         tree_meta = Rx_fulltext.Text_index.meta_page ti;
+                       })
+                   xc.text_indexes)
+             tbl.xml_columns)
+      t.tables
+  in
+  let schema_entries =
+    List.map
+      (fun (name, compiled) ->
+        Catalog.Schema { name; binary = Rx_schema.Compiled.encode compiled })
+      t.schemas
+  in
+  (dict_entry :: schema_entries) @ table_entries
+
+let save_catalog t = in_txn t (fun () -> Catalog.save t.catalog (catalog_entries t))
+
+let checkpoint t =
+  save_catalog t;
+  Rx_wal.Recovery.checkpoint t.log t.pool
+
+let close t =
+  checkpoint t;
+  Pager.close (Buffer_pool.pager t.pool)
+
+let open_dir ?page_size ?(record_threshold = 2048) dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let data = Filename.concat dir "data.rxdb" in
+  let wal = Filename.concat dir "wal.rxlog" in
+  let fresh = not (Sys.file_exists data) in
+  let pool = Buffer_pool.create ~capacity:2048 (Pager.open_file ?page_size data) in
+  let log = Rx_wal.Log_manager.open_file wal in
+  if not fresh then ignore (Rx_wal.Recovery.run log pool);
+  let txn_mgr = install_txn pool log in
+  if fresh then begin
+    let catalog = Catalog.create pool in
+    {
+      pool;
+      log;
+      dict = Name_dict.create ();
+      txn_mgr;
+      catalog;
+      record_threshold;
+      tables = [];
+      schemas = [];
+    }
+  end
+  else begin
+    (* the catalog heap is always the first structure created: its header
+       page is page 1 *)
+    let catalog = Catalog.attach pool ~header_page:1 in
+    let entries = Catalog.entries catalog in
+    let dict =
+      match
+        List.find_map
+          (function Catalog.Dictionary d -> Some d | _ -> None)
+          entries
+      with
+      | Some d -> Name_dict.restore d
+      | None -> Name_dict.create ()
+    in
+    let schemas =
+      List.filter_map
+        (function
+          | Catalog.Schema { name; binary } ->
+              Some (name, Rx_schema.Compiled.decode binary)
+          | _ -> None)
+        entries
+    in
+    let t =
+      { pool; log; dict; txn_mgr; catalog; record_threshold; tables = []; schemas }
+    in
+    (* rebuild tables *)
+    let tables =
+      List.filter_map
+        (function
+          | Catalog.Table { name; columns; heap_header; docid_index_meta; next_docid }
+            ->
+              let base =
+                Base_table.attach pool ~columns:(Array.of_list columns) ~heap_header
+                  ~docid_index_meta
+              in
+              let xml_columns =
+                List.filter_map
+                  (function
+                    | Catalog.Xml_column
+                        { table; column; heap_header; node_index_meta }
+                      when table = name ->
+                        let store =
+                          Doc_store.attach ~record_threshold pool dict
+                            ~heap_header ~index_meta:node_index_meta
+                        in
+                        Some (column, { store; indexes = []; text_indexes = []; schema = None; schema_name = None })
+                    | _ -> None)
+                  entries
+              in
+              Some (name, { tname = name; base; xml_columns; next_docid })
+          | _ -> None)
+        entries
+    in
+    t.tables <- tables;
+    (* value indexes and schema bindings *)
+    List.iter
+      (function
+        | Catalog.Xml_index { table; column; name; path; key_type; tree_meta } -> (
+            match find_table t table with
+            | Some tbl ->
+                let xc = xml_column_exn tbl column in
+                let key_type =
+                  match Index_def.key_type_of_string key_type with
+                  | Some kt -> kt
+                  | None -> invalid_arg "Database: bad key type in catalog"
+                in
+                let def = Index_def.make ~name ~path ~key_type in
+                let idx = Value_index.attach pool dict def ~meta_page:tree_meta in
+                Value_index.hook idx xc.store;
+                xc.indexes <- xc.indexes @ [ idx ]
+            | None -> ())
+        | Catalog.Text_index { table; column; name; tree_meta } -> (
+            match find_table t table with
+            | Some tbl ->
+                let xc = xml_column_exn tbl column in
+                let ti = Rx_fulltext.Text_index.attach pool ~meta_page:tree_meta in
+                Rx_fulltext.Text_index.hook ti xc.store;
+                xc.text_indexes <- xc.text_indexes @ [ (name, ti) ]
+            | None -> ())
+        | Catalog.Schema_binding { table; column; schema } -> (
+            match (find_table t table, List.assoc_opt schema t.schemas) with
+            | Some tbl, Some compiled ->
+                let xc = xml_column_exn tbl column in
+                xc.schema <- Some compiled;
+                xc.schema_name <- Some schema
+            | _ -> ())
+        | _ -> ())
+      entries;
+    t
+  end
+
+(* --- DDL --- *)
+
+let create_table t ~name ~columns =
+  if find_table t name <> None then
+    invalid_arg (Printf.sprintf "Database: table %s already exists" name);
+  if columns = [] then invalid_arg "Database: a table needs at least one column";
+  in_txn t (fun () ->
+      let base = Base_table.create t.pool ~columns:(Array.of_list columns) in
+      let xml_columns =
+        List.filter_map
+          (fun (cname, ty) ->
+            if ty = Value.T_xml then
+              Some
+                ( cname,
+                  {
+                    store =
+                      Doc_store.create ~record_threshold:t.record_threshold t.pool
+                        t.dict;
+                    indexes = [];
+                    text_indexes = [];
+                    schema = None;
+                    schema_name = None;
+                  } )
+            else None)
+          columns
+      in
+      let tbl = { tname = name; base; xml_columns; next_docid = 1 } in
+      t.tables <- t.tables @ [ (name, tbl) ];
+      tbl)
+
+let table = find_table
+let list_tables t = List.map fst t.tables
+
+let register_schema t ~name ~xsd =
+  let model = Rx_schema.Schema_model.parse_xsd t.dict xsd in
+  let compiled = Rx_schema.Compiled.compile t.dict model in
+  t.schemas <- (name, compiled) :: List.remove_assoc name t.schemas
+
+let bind_schema t ~table ~column ~schema =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  match List.assoc_opt schema t.schemas with
+  | Some compiled ->
+      xc.schema <- Some compiled;
+      xc.schema_name <- Some schema
+  | None -> invalid_arg (Printf.sprintf "Database: no schema %s" schema)
+
+let create_xml_index t ~table ~column ~name ~path ~key_type =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  if
+    List.exists
+      (fun idx -> (Value_index.def idx).Index_def.name = name)
+      xc.indexes
+  then invalid_arg (Printf.sprintf "Database: index %s already exists" name);
+  let def = Index_def.make ~name ~path ~key_type in
+  in_txn t (fun () ->
+      let idx = Value_index.create t.pool t.dict def in
+      (* backfill over existing documents, record by record (§3.2) *)
+      Base_table.iter
+        (fun docid _ ->
+          if Doc_store.mem xc.store ~docid then
+            Doc_store.iter_records xc.store ~docid (fun ~rid ~record ->
+                Value_index.index_record idx ~docid ~rid ~record
+                  ~store:(Some xc.store)))
+        tbl.base;
+      Value_index.hook idx xc.store;
+      xc.indexes <- xc.indexes @ [ idx ])
+
+let list_xml_indexes t ~table ~column =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  List.map (fun idx -> (Value_index.def idx).Index_def.name) xc.indexes
+
+let create_text_index t ~table ~column ~name =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  if List.mem_assoc name xc.text_indexes then
+    invalid_arg (Printf.sprintf "Database: text index %s already exists" name);
+  in_txn t (fun () ->
+      let ti = Rx_fulltext.Text_index.create t.pool in
+      Base_table.iter
+        (fun docid _ ->
+          if Doc_store.mem xc.store ~docid then
+            Doc_store.iter_records xc.store ~docid (fun ~rid ~record ->
+                Rx_fulltext.Text_index.index_record ti ~docid ~rid ~record))
+        tbl.base;
+      Rx_fulltext.Text_index.hook ti xc.store;
+      xc.text_indexes <- xc.text_indexes @ [ (name, ti) ])
+
+let text_index_exn xc =
+  match xc.text_indexes with
+  | (_, ti) :: _ -> ti
+  | [] -> invalid_arg "Database: column has no text index"
+
+let text_search t ~table ~column ?(mode = `All) query =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let ti = text_index_exn xc in
+  let terms = Rx_fulltext.Text_index.tokenize query in
+  match mode with
+  | `All -> Rx_fulltext.Text_index.docs_with_all ti ~terms
+  | `Any -> Rx_fulltext.Text_index.docs_with_any ti ~terms
+
+let text_score t ~table ~column ~docid query =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let ti = text_index_exn xc in
+  List.fold_left
+    (fun acc term -> acc + Rx_fulltext.Text_index.doc_term_count ti ~term ~docid)
+    0
+    (List.sort_uniq compare (Rx_fulltext.Text_index.tokenize query))
+
+(* --- DML --- *)
+
+let insert t ~table ?(values = []) ?(xml = []) () =
+  let tbl = table_exn t table in
+  in_txn t (fun () ->
+      let docid = tbl.next_docid in
+      tbl.next_docid <- docid + 1;
+      (* store the XML column documents first (validated if bound) *)
+      List.iter
+        (fun (column, src) ->
+          let xc = xml_column_exn tbl column in
+          let tokens =
+            match xc.schema with
+            | Some compiled -> Rx_schema.Validator.validate_document compiled t.dict src
+            | None -> Parser.parse t.dict src
+          in
+          Doc_store.insert_tokens xc.store ~docid tokens)
+        xml;
+      let row =
+        Array.map
+          (fun (cname, ty) ->
+            if ty = Value.T_xml then
+              if List.mem_assoc cname xml then Value.Xml_ref docid else Value.Null
+            else
+              match List.assoc_opt cname values with
+              | Some v -> v
+              | None -> Value.Null)
+          (Base_table.columns tbl.base)
+      in
+      ignore (Base_table.insert tbl.base ~docid row);
+      docid)
+
+let delete t ~table ~docid =
+  let tbl = table_exn t table in
+  in_txn t (fun () ->
+      (match Base_table.fetch_by_docid tbl.base docid with
+      | None -> invalid_arg (Printf.sprintf "Database: no row with DocID %d" docid)
+      | Some row ->
+          Array.iteri
+            (fun i v ->
+              match v with
+              | Value.Xml_ref d ->
+                  let cname, _ = (Base_table.columns tbl.base).(i) in
+                  let xc = xml_column_exn tbl cname in
+                  Doc_store.delete_document xc.store ~docid:d
+              | _ -> ())
+            row);
+      ignore (Base_table.delete_by_docid tbl.base docid))
+
+let fetch_row t ~table ~docid =
+  Base_table.fetch_by_docid (table_exn t table).base docid
+
+let row_count t ~table = Base_table.row_count (table_exn t table).base
+
+let document t ~table ~column ~docid =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  Doc_store.serialize xc.store ~docid
+
+let update_xml_text t ~table ~column ~docid node content =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  in_txn t (fun () -> Doc_store.update_text xc.store ~docid node content)
+
+let insert_xml_fragment t ~table ~column ~docid position fragment =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  (* parse the fragment with a synthetic wrapper, then strip it *)
+  let tokens = Parser.parse t.dict ("<rx-fragment>" ^ fragment ^ "</rx-fragment>") in
+  let inner =
+    match tokens with
+    | Token.Start_document :: Token.Start_element _ :: rest ->
+        let rec strip acc = function
+          | [ Token.End_element; Token.End_document ] -> List.rev acc
+          | tok :: rest -> strip (tok :: acc) rest
+          | [] -> invalid_arg "Database.insert_xml_fragment: bad fragment"
+        in
+        strip [] rest
+    | _ -> invalid_arg "Database.insert_xml_fragment: bad fragment"
+  in
+  in_txn t (fun () -> Doc_store.insert_fragment xc.store ~docid position inner)
+
+let delete_xml_node t ~table ~column ~docid node =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  in_txn t (fun () -> Doc_store.delete_subtree xc.store ~docid node)
+
+let xml_handle t ~table ~column ~docid =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  Rx_xqueryrt.Xml_handle.of_stored xc.store ~docid
+
+(* --- queries --- *)
+
+let compile_query ?ns_env t xpath =
+  let path = Rx_xpath.Rewrite.simplify (Rx_xpath.Xpath_parser.parse xpath) in
+  let query = Rx_quickxscan.Query.compile ?ns_env t.dict path in
+  (path, query)
+
+let plan_for ?ns_env t xc xpath =
+  let path, query = compile_query ?ns_env t xpath in
+  let plan = Planner.plan ~indexes:xc.indexes ~query:path in
+  (path, query, plan)
+
+let explain ?ns_env t ~table ~column ~xpath =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let _, _, plan = plan_for ?ns_env t xc xpath in
+  {
+    description = Planner.describe plan;
+    uses_index = (match plan with Planner.Full_scan -> false | _ -> true);
+    exact = (match plan with Planner.Index_access { exact; _ } -> exact | _ -> false);
+  }
+
+let column_docids tbl column =
+  let ci =
+    match Base_table.column_index tbl.base column with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Database: no column %s" column)
+  in
+  let acc = ref [] in
+  Base_table.iter
+    (fun _ row ->
+      match row.(ci) with Value.Xml_ref d -> acc := d :: !acc | _ -> ())
+    tbl.base;
+  List.rev !acc
+
+let query ?ns_env t ~table ~column ~xpath =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let _, query, plan = plan_for ?ns_env t xc xpath in
+  let scan_docs docids =
+    List.concat_map
+      (fun docid ->
+        List.map
+          (fun node -> { docid; node })
+          (Executor.eval_stored query xc.store ~docid))
+      docids
+  in
+  match plan with
+  | Planner.Full_scan -> scan_docs (column_docids tbl column)
+  | Planner.Index_access { exact; _ } -> (
+      match Planner.execute_candidates ~indexes:xc.indexes plan with
+      | `All -> scan_docs (column_docids tbl column)
+      | `Docids docids -> scan_docs docids
+      | `Anchors anchors ->
+          if exact then
+            List.map (fun (docid, node) -> { docid; node }) anchors
+          else
+            scan_docs
+              (List.sort_uniq compare (List.map fst anchors)))
+
+let query_docids ?ns_env t ~table ~column ~xpath =
+  List.sort_uniq compare
+    (List.map (fun m -> m.docid) (query ?ns_env t ~table ~column ~xpath))
+
+let query_serialized ?ns_env t ~table ~column ~xpath =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  List.map
+    (fun m ->
+      let tokens = ref [] in
+      Doc_store.subtree_events xc.store ~docid:m.docid m.node (fun e ->
+          tokens := e.Doc_store.token :: !tokens);
+      Serializer.to_string t.dict (List.rev !tokens))
+    (query ?ns_env t ~table ~column ~xpath)
+
+(* --- stats --- *)
+
+type stats = {
+  tables : int;
+  documents : int;
+  xml_records : int;
+  node_index_entries : int;
+  value_index_entries : int;
+  data_pages : int;
+  log_bytes : int;
+}
+
+let stats (t : t) =
+  let documents = ref 0
+  and xml_records = ref 0
+  and node_entries = ref 0
+  and value_entries = ref 0
+  and data_pages = ref 0 in
+  List.iter
+    (fun (_, tbl) ->
+      List.iter
+        (fun (_, xc) ->
+          let s = Doc_store.stats xc.store in
+          documents := !documents + s.Doc_store.documents;
+          xml_records := !xml_records + s.Doc_store.records;
+          node_entries := !node_entries + s.Doc_store.index_entries;
+          data_pages := !data_pages + s.Doc_store.data_pages;
+          List.iter
+            (fun idx -> value_entries := !value_entries + Value_index.entry_count idx)
+            xc.indexes)
+        tbl.xml_columns)
+    t.tables;
+  {
+    tables = List.length t.tables;
+    documents = !documents;
+    xml_records = !xml_records;
+    node_index_entries = !node_entries;
+    value_index_entries = !value_entries;
+    data_pages = !data_pages;
+    log_bytes = Rx_wal.Log_manager.appended_bytes t.log;
+  }
+
+let column_store t ~table ~column =
+  (xml_column_exn (table_exn t table) column).store

@@ -1,0 +1,169 @@
+(** System R/X database facade: base tables with XML columns stored
+    natively (Figure 2), schema registration and validation at insert,
+    XPath value indexes, and XPath queries with Table-2 access-path
+    selection. All manipulation goes through this API, mirroring the
+    paper's "all the manipulation and querying of XML data are through SQL
+    and SQL/XML" — the SQL surface itself is out of scope (§2).
+
+    Single-user auto-commit operation: every mutating call runs as its own
+    WAL-backed transaction; [checkpoint] makes state durable and
+    truncatable; a database opened on existing files recovers and reloads
+    the catalog. *)
+
+type t
+type table
+
+type match_ = { docid : int; node : Rx_xmlstore.Node_id.t }
+
+type plan_info = {
+  description : string; (** e.g. "NODEID-ANDING(i1,i2)+FILTER" *)
+  uses_index : bool;
+  exact : bool;
+}
+
+val create_in_memory : ?page_size:int -> ?record_threshold:int -> unit -> t
+
+val open_dir : ?page_size:int -> ?record_threshold:int -> string -> t
+(** Opens (creating if needed) a database in a directory: [data.rxdb] pages
+    and [wal.rxlog]. Runs crash recovery and reloads the catalog. *)
+
+val checkpoint : t -> unit
+val close : t -> unit
+val dict : t -> Rx_xml.Name_dict.t
+
+(** {1 DDL} *)
+
+val create_table :
+  t -> name:string -> columns:(string * Rx_relational.Value.col_type) list -> table
+(** @raise Invalid_argument if the table exists or no column is given. *)
+
+val table : t -> string -> table option
+val list_tables : t -> string list
+
+val register_schema : t -> name:string -> xsd:string -> unit
+(** Compiles the XSD to its binary form and stores it in the catalog
+    (Figure 4). @raise Rx_schema.Schema_model.Schema_error *)
+
+val bind_schema : t -> table:string -> column:string -> schema:string -> unit
+(** Documents inserted into the column are validated (and type-annotated)
+    from then on. *)
+
+val create_xml_index :
+  t ->
+  table:string ->
+  column:string ->
+  name:string ->
+  path:string ->
+  key_type:Rx_xindex.Index_def.key_type ->
+  unit
+(** Creates an XPath value index and backfills it over existing
+    documents. *)
+
+val list_xml_indexes : t -> table:string -> column:string -> string list
+
+val create_text_index : t -> table:string -> column:string -> name:string -> unit
+(** Full-text inverted index over the column's text and attribute values
+    (the §6 future-work extension); backfills existing documents. *)
+
+val text_search :
+  t ->
+  table:string ->
+  column:string ->
+  ?mode:[ `All | `Any ] ->
+  string ->
+  int list
+(** DocIDs whose documents contain all (default) or any of the query's
+    terms. *)
+
+val text_score : t -> table:string -> column:string -> docid:int -> string -> int
+(** Total occurrences of the query's terms in the document. *)
+
+(** {1 DML} *)
+
+val insert :
+  t ->
+  table:string ->
+  ?values:(string * Rx_relational.Value.t) list ->
+  ?xml:(string * string) list ->
+  unit ->
+  int
+(** Inserts a row; returns its DocID. XML documents are parsed (validated
+    when a schema is bound), packed and indexed.
+    @raise Rx_xml.Parser.Parse_error / Rx_schema.Validator.Validation_error *)
+
+val delete : t -> table:string -> docid:int -> unit
+val fetch_row : t -> table:string -> docid:int -> Rx_relational.Value.t array option
+val row_count : t -> table:string -> int
+
+val document : t -> table:string -> column:string -> docid:int -> string
+(** Serialized XML column value. *)
+
+(** {2 Sub-document updates}
+
+    Node IDs come from {!query} results; existing IDs are stable across
+    these operations (§3.1) and all indexes are maintained. Updates on a
+    schema-bound column are {e not} re-validated (matching the paper's
+    sub-document update story, where validation happens at full-document
+    insertion). *)
+
+val update_xml_text :
+  t -> table:string -> column:string -> docid:int -> Rx_xmlstore.Node_id.t ->
+  string -> unit
+
+val insert_xml_fragment :
+  t ->
+  table:string ->
+  column:string ->
+  docid:int ->
+  Rx_xmlstore.Doc_store.position ->
+  string ->
+  Rx_xmlstore.Node_id.t list
+(** The string is a balanced XML fragment (possibly several top-level
+    nodes). *)
+
+val delete_xml_node :
+  t -> table:string -> column:string -> docid:int -> Rx_xmlstore.Node_id.t -> unit
+
+val xml_handle :
+  t -> table:string -> column:string -> docid:int -> Rx_xqueryrt.Xml_handle.t
+(** Deferred-fetch handle (§4.4). *)
+
+(** {1 Queries} *)
+
+val explain :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> plan_info
+
+val query :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> match_ list
+(** Matching nodes across all documents of the column, in (DocID, document
+    order). [ns_env] binds the query's namespace prefixes to URIs. *)
+
+val query_docids :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> int list
+
+val query_serialized :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> string list
+(** Serializations of each matched subtree. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  tables : int;
+  documents : int;
+  xml_records : int;
+  node_index_entries : int;
+  value_index_entries : int;
+  data_pages : int;
+  log_bytes : int;
+}
+
+val stats : t -> stats
+
+val column_store : t -> table:string -> column:string -> Rx_xmlstore.Doc_store.t
+(** Direct access to a column's document store (benchmarks). *)
+
+val buffer_pool : t -> Rx_storage.Buffer_pool.t

@@ -1,0 +1,25 @@
+open Rx_xml
+open Rx_xmlstore
+module E = Rx_quickxscan.Engine
+
+let feed_store_events engine ~item_of store ~docid =
+  Doc_store.events store ~docid (fun event ->
+      match (event.Doc_store.id, event.Doc_store.token) with
+      | _, Token.Start_document | _, Token.End_document -> ()
+      | Some id, Token.Start_element { name; attrs; _ } ->
+          E.start_element engine ~name ~attrs ~item:(item_of id)
+            ~attr_item:(fun _ -> item_of id)
+      | None, Token.End_element -> E.end_element engine
+      | Some id, Token.Text { content; _ } ->
+          E.text engine ~content ~item:(item_of id)
+      | Some id, Token.Comment content -> E.comment engine ~content ~item:(item_of id)
+      | Some id, Token.Pi { target; data } -> E.pi engine ~target ~data ~item:(item_of id)
+      | _ -> invalid_arg "Executor: malformed event stream")
+
+let eval_stored query store ~docid =
+  let engine = E.create query in
+  feed_store_events engine ~item_of:(fun id -> id) store ~docid;
+  E.finish engine
+
+let eval_stored_count query store ~docid =
+  List.length (eval_stored query store ~docid)

@@ -1,0 +1,20 @@
+(** Query execution over stored documents: drives QuickXScan with the
+    virtual-SAX events of the document store (§4.4), yielding logical node
+    IDs as result items. *)
+
+val eval_stored :
+  Rx_quickxscan.Query.t ->
+  Rx_xmlstore.Doc_store.t ->
+  docid:int ->
+  Rx_xmlstore.Node_id.t list
+(** Result nodes in document order. Attribute results are represented by
+    their owning element's node ID. *)
+
+val eval_stored_count : Rx_quickxscan.Query.t -> Rx_xmlstore.Doc_store.t -> docid:int -> int
+
+val feed_store_events :
+  'a Rx_quickxscan.Engine.t ->
+  item_of:(Rx_xmlstore.Node_id.t -> 'a) ->
+  Rx_xmlstore.Doc_store.t ->
+  docid:int ->
+  unit

@@ -1,0 +1,38 @@
+(** A FLWOR subset over stored collections — the "more complete XQuery" of
+    the paper's future work (§6), built entirely from the engine's existing
+    parts: the [for]/[where] clauses are rewritten into one XPath expression
+    (so the Table-2 planner and value indexes apply unchanged, the paper's
+    §4.2 rewrite philosophy), [order by] sorts matches on a key evaluated
+    with QuickXScan over each match's subtree, and [return] constructors
+    compile to the tagging templates of §4.1 with node-sequence holes.
+
+    Grammar (one [for] clause):
+
+    {v
+    for $v in collection("table.column") <xpath>
+    [where <cond on $v>]
+    [order by $v/<relpath> [descending]]
+    return <constructor>
+    v}
+
+    where [<cond>] is any predicate the XPath subset supports, written with
+    [$v]-rooted paths (e.g. [$v/RegPrice > 100 and $v/Discount > 0.1]), and
+    a constructor is literal XML with [{$v}] / [{$v/relpath}] holes —
+    element-content holes splice the matched nodes, attribute-value holes
+    take their string value. *)
+
+exception Error of string
+
+type compiled
+
+val compile : Database.t -> string -> compiled
+(** @raise Error on syntax or binding problems. *)
+
+val explain : compiled -> string
+(** The access plan of the rewritten XPath (the folded [for]+[where]). *)
+
+val run : Database.t -> string -> string list
+(** One serialized XML string per result item, in [order by] (or document)
+    order. *)
+
+val run_compiled : Database.t -> compiled -> string list

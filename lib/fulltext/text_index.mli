@@ -1,0 +1,48 @@
+(** Full-text indexing over the stored XQuery data model — the §6 future
+    work ("more complete XQuery and full-text search"), built the same way
+    as XPath value indexes: a B+tree of [(term, DocID, NodeID) → RID]
+    postings maintained per packed record through the document store's
+    observers. Text nodes are always inline in their record, so per-record
+    maintenance is exact.
+
+    Terms are lowercased maximal alphanumeric runs; short terms (< 2
+    characters) are skipped. *)
+
+type t
+
+type posting = {
+  term : string;
+  docid : int;
+  node : Rx_xmlstore.Node_id.t; (** the text node *)
+  rid : Rx_storage.Rid.t;
+}
+
+val tokenize : string -> string list
+(** Normalized terms in order (duplicates preserved). *)
+
+val create : Rx_storage.Buffer_pool.t -> t
+val attach : Rx_storage.Buffer_pool.t -> meta_page:int -> t
+val meta_page : t -> int
+
+val hook : t -> Rx_xmlstore.Doc_store.t -> unit
+(** Registers insert/delete observers; documents inserted earlier are not
+    indexed (use {!index_record} to backfill). *)
+
+val index_record :
+  t -> docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit
+
+val postings : t -> term:string -> posting list
+(** All postings of a term, ordered by (docid, node). *)
+
+val docs_with_term : t -> term:string -> int list
+(** Sorted, duplicate-free. *)
+
+val docs_with_all : t -> terms:string list -> int list
+(** Conjunctive document-level search. Empty input selects nothing. *)
+
+val docs_with_any : t -> terms:string list -> int list
+
+val doc_term_count : t -> term:string -> docid:int -> int
+(** Occurrences of the term in the document (a simple tf score). *)
+
+val entry_count : t -> int

@@ -1,0 +1,494 @@
+open Rx_xml
+
+(* Synthesized-attribute payload merged bottom-up. Items carry their
+   document-order sequence number and, for value-output queries, the string
+   value captured when the instance closed. *)
+type 'a contribution = {
+  mutable c_items : ('a * int * string option) list; (* unordered *)
+  mutable c_values : string list;
+  mutable c_count : int;
+}
+
+let fresh_contribution () = { c_items = []; c_values = []; c_count = 0 }
+
+let merge_into dst src =
+  dst.c_items <- List.rev_append src.c_items dst.c_items;
+  dst.c_values <- List.rev_append src.c_values dst.c_values;
+  dst.c_count <- dst.c_count + src.c_count
+
+type 'a instance = {
+  i_qnode : Query.qnode;
+  i_depth : int;
+  i_item : 'a option;
+  i_seq : int;
+  i_anchor : 'a instance option; (* previous-step instance matched against *)
+  i_up : 'a instance option; (* None = propagate sideways on close *)
+  i_buckets : 'a contribution array; (* one per child qnode *)
+  i_pass : 'a contribution; (* pass-through: bypasses this node's predicate *)
+  i_value : Buffer.t option;
+}
+
+type 'a t = {
+  query : Query.t;
+  parent_qid : int array; (* qid -> parent qid; -1 = virtual root *)
+  stacks : 'a instance list ref array; (* by qid *)
+  root_inst : 'a instance;
+  mutable depth : int;
+  mutable seq : int;
+  mutable active : int;
+  mutable max_active : int;
+  mutable events : int;
+  mutable value_insts : 'a instance list; (* open instances accumulating text *)
+  elem_qnodes : Query.qnode array; (* ascending tree depth *)
+  elem_qnodes_rev : Query.qnode array;
+  text_qnodes : Query.qnode array;
+  comment_qnodes : Query.qnode array;
+  pi_qnodes : Query.qnode array;
+  attr_qnodes : Query.qnode array;
+}
+
+let make_instance qnode ~depth ~item ~seq ~anchor ~up =
+  {
+    i_qnode = qnode;
+    i_depth = depth;
+    i_item = item;
+    i_seq = seq;
+    i_anchor = anchor;
+    i_up = up;
+    i_buckets =
+      Array.init (List.length qnode.Query.children) (fun _ -> fresh_contribution ());
+    i_pass = fresh_contribution ();
+    i_value = (if qnode.Query.needs_self_value then Some (Buffer.create 32) else None);
+  }
+
+let create query =
+  let n = Array.length query.Query.nodes in
+  let parent_qid = Array.make n (-1) in
+  Array.iter
+    (fun (qn : Query.qnode) ->
+      List.iter (fun (c : Query.qnode) -> parent_qid.(c.Query.qid) <- qn.Query.qid) qn.Query.children)
+    query.Query.nodes;
+  let select p =
+    Array.of_list (List.filter p (Array.to_list query.Query.by_depth))
+  in
+  let elem_qnodes =
+    select (fun (q : Query.qnode) ->
+        (match q.Query.test with
+        | Query.Any_element | Query.Element _ | Query.Any_node -> true
+        | _ -> false)
+        && q.Query.axis <> Query.Attribute)
+  in
+  let elem_qnodes_rev =
+    let a = Array.copy elem_qnodes in
+    let n = Array.length a in
+    Array.init n (fun i -> a.(n - 1 - i))
+  in
+  let kind_nodes kind_test =
+    select (fun (q : Query.qnode) ->
+        (q.Query.test = kind_test || q.Query.test = Query.Any_node)
+        && q.Query.axis <> Query.Attribute && q.Query.axis <> Query.Self)
+  in
+  let root_qnode = query.Query.root in
+  let root_inst =
+    make_instance root_qnode ~depth:0 ~item:None ~seq:0 ~anchor:None ~up:None
+  in
+  {
+    query;
+    parent_qid;
+    stacks = Array.init n (fun _ -> ref []);
+    root_inst;
+    depth = 0;
+    seq = 0;
+    active = 0;
+    max_active = 0;
+    events = 0;
+    value_insts = [];
+    elem_qnodes;
+    elem_qnodes_rev;
+    text_qnodes = kind_nodes Query.Text_node;
+    comment_qnodes = kind_nodes Query.Comment_node;
+    pi_qnodes = kind_nodes Query.Pi_node;
+    attr_qnodes = select (fun (q : Query.qnode) -> q.Query.axis = Query.Attribute);
+  }
+
+let parent_top t (q : Query.qnode) =
+  let pid = t.parent_qid.(q.Query.qid) in
+  if pid < 0 then Some t.root_inst
+  else match !(t.stacks.(pid)) with top :: _ -> Some top | [] -> None
+
+(* Deepest previous-step instance strictly above the current node. Only the
+   instance created at this very element can be at the current depth, so at
+   most one stack entry is skipped — this is still the paper's stack-top
+   check. *)
+let parent_above t (q : Query.qnode) =
+  let pid = t.parent_qid.(q.Query.qid) in
+  if pid < 0 then Some t.root_inst
+  else
+    let rec scan = function
+      | top :: rest ->
+          if top.i_depth < t.depth then Some top else scan rest
+      | [] -> None
+    in
+    scan !(t.stacks.(pid))
+
+let bucket_for t inst qid =
+  inst.i_buckets.(t.query.Query.nodes.(qid).Query.pos_in_parent)
+
+(* --- predicate evaluation --- *)
+
+let number_of_string s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Some f
+  | None -> None
+
+let atomic_compare (op : Rx_xpath.Ast.cmp) (l : [ `S of string | `N of float ])
+    (r : [ `S of string | `N of float ]) =
+  let num_cmp a b =
+    match op with
+    | Rx_xpath.Ast.Eq -> a = b
+    | Rx_xpath.Ast.Neq -> a <> b
+    | Rx_xpath.Ast.Lt -> a < b
+    | Rx_xpath.Ast.Le -> a <= b
+    | Rx_xpath.Ast.Gt -> a > b
+    | Rx_xpath.Ast.Ge -> a >= b
+  in
+  match (l, r) with
+  | `N a, `N b -> num_cmp a b
+  | (`S _, `N _ | `N _, `S _ | `S _, `S _) -> (
+      let as_num = function `N f -> Some f | `S s -> number_of_string s in
+      match (op, l, r) with
+      | (Rx_xpath.Ast.Eq | Rx_xpath.Ast.Neq), `S a, `S b ->
+          (* string = string compares as strings (XPath 1.0) *)
+          if op = Rx_xpath.Ast.Eq then String.equal a b else not (String.equal a b)
+      | _ -> (
+          match (as_num l, as_num r) with
+          | Some a, Some b -> num_cmp a b
+          | _ -> false))
+
+let operand_atoms t inst = function
+  | Query.Self_value -> (
+      match inst.i_value with
+      | Some buf -> [ `S (Buffer.contents buf) ]
+      | None -> [])
+  | Query.Branch qid ->
+      List.map (fun v -> `S v) (bucket_for t inst qid).c_values
+  | Query.Lit_string s -> [ `S s ]
+  | Query.Lit_number n -> [ `N n ]
+
+let rec eval_pexpr t inst = function
+  | Query.P_exists qid ->
+      let b = bucket_for t inst qid in
+      b.c_count > 0 || b.c_values <> [] || b.c_items <> []
+  | Query.P_compare (op, l, r) ->
+      let ls = operand_atoms t inst l and rs = operand_atoms t inst r in
+      List.exists (fun a -> List.exists (fun b -> atomic_compare op a b) rs) ls
+  | Query.P_and (a, b) -> eval_pexpr t inst a && eval_pexpr t inst b
+  | Query.P_or (a, b) -> eval_pexpr t inst a || eval_pexpr t inst b
+  | Query.P_not a -> not (eval_pexpr t inst a)
+
+let predicate_passes t inst =
+  match inst.i_qnode.Query.pred with
+  | None -> true
+  | Some pe -> eval_pexpr t inst pe
+
+(* --- instance lifecycle --- *)
+
+let push_instance t (q : Query.qnode) anchor ~depth ~item ~seq =
+  let stack = t.stacks.(q.Query.qid) in
+  let up =
+    match !stack with
+    | below :: _ -> (
+        (* shares the previous-step matching with its stack neighbour?
+           then propagate sideways on close (Table 1) *)
+        match below.i_anchor with
+        | Some a when a == anchor -> None
+        | Some _ | None -> Some anchor)
+    | [] -> Some anchor
+  in
+  let inst = make_instance q ~depth ~item:(Some item) ~seq ~anchor:(Some anchor) ~up in
+  stack := inst :: !stack;
+  t.active <- t.active + 1;
+  if t.active > t.max_active then t.max_active <- t.active;
+  if inst.i_value <> None then t.value_insts <- inst :: t.value_insts;
+  inst
+
+(* Contribution produced when [inst] closes. *)
+let close_out t inst =
+  let q = inst.i_qnode in
+  let out = fresh_contribution () in
+  if predicate_passes t inst then begin
+    (* own payload *)
+    (match q.Query.role with
+    | Query.Main ->
+        if q.Query.is_output then begin
+          let value = Option.map Buffer.contents inst.i_value in
+          out.c_items <- [ (Option.get inst.i_item, inst.i_seq, value) ]
+        end
+    | Query.Branch_value ->
+        if q.Query.is_terminal then begin
+          match inst.i_value with
+          | Some buf -> out.c_values <- [ Buffer.contents buf ]
+          | None -> ()
+        end
+    | Query.Branch_exists -> if q.Query.is_terminal then out.c_count <- 1);
+    (* chain-child payload climbs the path *)
+    (match q.Query.children with
+    | chain :: _ when chain.Query.role = q.Query.role && not q.Query.is_terminal ->
+        merge_into out inst.i_buckets.(0)
+    | _ -> ())
+  end;
+  merge_into out inst.i_pass;
+  out
+
+let route_close t inst out =
+  let q = inst.i_qnode in
+  match inst.i_up with
+  | Some parent -> merge_into (bucket_for t parent q.Query.qid) out
+  | None -> (
+      match !(t.stacks.(q.Query.qid)) with
+      | below :: _ ->
+          merge_into below.i_pass out;
+          (* raw sideways copy for descendant-axis child buckets: this
+             instance's subtree is also part of [below]'s subtree *)
+          List.iteri
+            (fun j (c : Query.qnode) ->
+              match c.Query.axis with
+              | Query.Descendant | Query.Descendant_or_self ->
+                  merge_into below.i_buckets.(j) inst.i_buckets.(j)
+              | Query.Child | Query.Attribute | Query.Self -> ())
+            q.Query.children
+      | [] ->
+          (* no sharing partner left: deliver to the anchor *)
+          (match inst.i_anchor with
+          | Some anchor -> merge_into (bucket_for t anchor q.Query.qid) out
+          | None -> ()))
+
+let close_instance t inst =
+  t.active <- t.active - 1;
+  if inst.i_value <> None then
+    t.value_insts <- List.filter (fun i -> i != inst) t.value_insts;
+  let out = close_out t inst in
+  route_close t inst out
+
+(* An instantaneous match (text, comment, PI, attribute): no children, so
+   predicates see empty buckets; the value is the node's own content. *)
+let instant_contribution t (q : Query.qnode) anchor ~item ~seq ~value =
+  let inst =
+    {
+      i_qnode = q;
+      i_depth = t.depth;
+      i_item = Some item;
+      i_seq = seq;
+      i_anchor = Some anchor;
+      i_up = Some anchor;
+      i_buckets =
+        Array.init (List.length q.Query.children) (fun _ -> fresh_contribution ());
+      i_pass = fresh_contribution ();
+      i_value =
+        (if q.Query.needs_self_value || (q.Query.role = Query.Branch_value && q.Query.is_terminal)
+           || (q.Query.role = Query.Main && q.Query.is_output)
+         then begin
+           let b = Buffer.create (String.length value) in
+           Buffer.add_string b value;
+           Some b
+         end
+         else None);
+    }
+  in
+  if predicate_passes t inst then begin
+    let out = fresh_contribution () in
+    (match q.Query.role with
+    | Query.Main ->
+        if q.Query.is_output then out.c_items <- [ (item, seq, Some value) ]
+    | Query.Branch_value -> if q.Query.is_terminal then out.c_values <- [ value ]
+    | Query.Branch_exists -> if q.Query.is_terminal then out.c_count <- 1);
+    merge_into (bucket_for t anchor q.Query.qid) out
+  end
+
+(* --- events --- *)
+
+let elem_test_matches (test : Query.test) (name : Qname.t) =
+  match test with
+  | Query.Any_element | Query.Any_node -> true
+  | Query.Element { uri; local } -> name.Qname.uri = uri && name.Qname.local = local
+  | Query.Any_attribute | Query.Attribute_named _ | Query.Text_node
+  | Query.Comment_node | Query.Pi_node ->
+      false
+
+let attr_test_matches (test : Query.test) (name : Qname.t) =
+  match test with
+  | Query.Any_attribute -> true
+  | Query.Attribute_named { uri; local } ->
+      name.Qname.uri = uri && name.Qname.local = local
+  | _ -> false
+
+let start_element t ~name ~attrs ~item ~attr_item =
+  t.events <- t.events + 1;
+  t.depth <- t.depth + 1;
+  t.seq <- t.seq + 1;
+  let node_seq = t.seq in
+  (* match element-selecting query nodes, shallow chain positions first so
+     Self / descendant-or-self steps can see instances created this event *)
+  Array.iter
+    (fun (q : Query.qnode) ->
+      if elem_test_matches q.Query.test name then begin
+        let anchor =
+          match q.Query.axis with
+          | Query.Child -> (
+              match parent_above t q with
+              | Some p when p.i_depth = t.depth - 1 -> Some p
+              | _ -> None)
+          | Query.Descendant -> parent_above t q
+          | Query.Descendant_or_self | Query.Self -> (
+              (* prefer the instance at this very node (self); otherwise,
+                 for descendant-or-self, any strict ancestor *)
+              match parent_top t q with
+              | Some p when p.i_depth = t.depth -> Some p
+              | _ when q.Query.axis = Query.Descendant_or_self ->
+                  parent_above t q
+              | _ -> None)
+          | Query.Attribute -> None
+        in
+        match anchor with
+        | Some p -> ignore (push_instance t q p ~depth:t.depth ~item ~seq:node_seq)
+        | None -> ()
+      end)
+    t.elem_qnodes;
+  (* attributes: instantaneous children of instances created at this node *)
+  if attrs <> [] then begin
+    let attr_seqs =
+      List.mapi
+        (fun i (a : Token.attr) ->
+          t.seq <- t.seq + 1;
+          (i, a, t.seq))
+        attrs
+    in
+    Array.iter
+      (fun (q : Query.qnode) ->
+        match parent_top t q with
+        | Some p when p.i_depth = t.depth && p != t.root_inst ->
+            List.iter
+              (fun (i, (a : Token.attr), seq) ->
+                if attr_test_matches q.Query.test a.Token.name then
+                  instant_contribution t q p ~item:(attr_item i) ~seq
+                    ~value:a.Token.value)
+              attr_seqs
+        | _ -> ())
+      t.attr_qnodes
+  end
+
+let leaf_event t qnodes ~content ~item =
+  t.events <- t.events + 1;
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  (* text accumulation for open value instances happens in [text] only *)
+  Array.iter
+    (fun (q : Query.qnode) ->
+      match parent_top t q with
+      | None -> ()
+      | Some p ->
+          let ok =
+            match q.Query.axis with
+            | Query.Child -> p.i_depth = t.depth
+            | Query.Descendant | Query.Descendant_or_self -> p.i_depth <= t.depth
+            | Query.Self | Query.Attribute -> false
+          in
+          if ok then instant_contribution t q p ~item ~seq ~value:content)
+    qnodes
+
+let text t ~content ~item =
+  List.iter
+    (fun inst ->
+      match inst.i_value with
+      | Some buf -> Buffer.add_string buf content
+      | None -> ())
+    t.value_insts;
+  leaf_event t t.text_qnodes ~content ~item
+
+let comment t ~content ~item = leaf_event t t.comment_qnodes ~content ~item
+
+let pi t ~target ~data ~item =
+  ignore target;
+  leaf_event t t.pi_qnodes ~content:data ~item
+
+let end_element t =
+  t.events <- t.events + 1;
+  Array.iter
+    (fun (q : Query.qnode) ->
+      let stack = t.stacks.(q.Query.qid) in
+      match !stack with
+      | top :: rest when top.i_depth = t.depth ->
+          stack := rest;
+          close_instance t top
+      | _ -> ())
+    t.elem_qnodes_rev;
+  t.depth <- t.depth - 1
+
+let finish_full t =
+  if t.depth <> 0 then invalid_arg "Engine.finish: unbalanced stream";
+  let results = t.root_inst.i_buckets.(0).c_items in
+  let sorted = List.sort (fun (_, a, _) (_, b, _) -> compare a b) results in
+  let rec dedup = function
+    | (_, a, _) :: ((_, b, _) :: _ as rest) when a = b -> dedup rest
+    | x :: rest -> x :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let finish t = List.map (fun (item, _, _) -> item) (finish_full t)
+let finish_with_values t = List.map (fun (item, _, v) -> (item, v)) (finish_full t)
+let max_active t = t.max_active
+let events_processed t = t.events
+
+let feed_tokens t ~item_of tokens =
+  let seq = ref 0 in
+  let next () =
+    incr seq;
+    !seq
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> ()
+      | Token.Start_element { name; attrs; _ } ->
+          let elem_seq = next () in
+          let attr_seqs = List.map (fun _ -> next ()) attrs in
+          let arr = Array.of_list attr_seqs in
+          start_element t ~name ~attrs ~item:(item_of elem_seq)
+            ~attr_item:(fun i -> item_of arr.(i))
+      | Token.End_element -> end_element t
+      | Token.Text { content; _ } -> text t ~content ~item:(item_of (next ()))
+      | Token.Comment content -> comment t ~content ~item:(item_of (next ()))
+      | Token.Pi { target; data } -> pi t ~target ~data ~item:(item_of (next ())))
+    tokens
+
+let feed_binary t ~item_of binary =
+  let reader = Token_stream.Reader.of_string binary in
+  let seq = ref 0 in
+  let next () =
+    incr seq;
+    !seq
+  in
+  let rec loop () =
+    match Token_stream.Reader.next reader with
+    | None -> ()
+    | Some token ->
+        (match token with
+        | Token.Start_document | Token.End_document -> ()
+        | Token.Start_element { name; attrs; _ } ->
+            let elem_seq = next () in
+            let attr_seqs = Array.of_list (List.map (fun _ -> next ()) attrs) in
+            start_element t ~name ~attrs ~item:(item_of elem_seq)
+              ~attr_item:(fun i -> item_of attr_seqs.(i))
+        | Token.End_element -> end_element t
+        | Token.Text { content; _ } -> text t ~content ~item:(item_of (next ()))
+        | Token.Comment content -> comment t ~content ~item:(item_of (next ()))
+        | Token.Pi { target; data } -> pi t ~target ~data ~item:(item_of (next ())));
+        loop ()
+  in
+  loop ()
+
+let eval_tokens query tokens =
+  let t = create query in
+  feed_tokens t ~item_of:(fun seq -> seq) tokens;
+  finish t

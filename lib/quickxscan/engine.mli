@@ -1,0 +1,64 @@
+(** QuickXScan: the streaming XPath evaluation engine of §4.2.
+
+    One pass over a document event stream evaluates the compiled query
+    tree via attribute-grammar propagation: a (horizontal) stack per query
+    node keeps matching instances; inherited attributes (matching) are
+    decided top-down using only the stack top of the previous step;
+    synthesized attributes (candidate result sequences, predicate operand
+    values, existence counts) are merged bottom-up when instances are
+    popped, with the Table-1 upward/sideways propagation rules. The number
+    of live matching instances is O(|Q|·r) where r is the document's
+    recursion depth — the property benchmarked in E4.
+
+    The engine is polymorphic in the "item" attached to each node event,
+    so the same code evaluates XPath over parsed token streams, packed
+    records, and stored documents (the virtual-SAX organization of §4.4).
+
+    Duplicate suppression: an item may travel along several matching paths
+    (nested same-name matches); results are deduplicated by their
+    document-order sequence number before being returned. *)
+
+type 'a t
+
+val create : Query.t -> 'a t
+
+val start_element :
+  'a t ->
+  name:Rx_xml.Qname.t ->
+  attrs:Rx_xml.Token.attr list ->
+  item:'a ->
+  attr_item:(int -> 'a) ->
+  unit
+(** [attr_item i] supplies the item for the [i]-th attribute (0-based,
+    in the order of [attrs]) when an attribute step selects it. *)
+
+val end_element : 'a t -> unit
+val text : 'a t -> content:string -> item:'a -> unit
+val comment : 'a t -> content:string -> item:'a -> unit
+val pi : 'a t -> target:string -> data:string -> item:'a -> unit
+
+val finish : 'a t -> 'a list
+(** Result sequence in document order, duplicate-free. The stream must be
+    balanced (all elements closed). *)
+
+val finish_with_values : 'a t -> ('a * string option) list
+(** Results paired with their string values when the output step required
+    value accumulation (used for index key extraction). *)
+
+val max_active : 'a t -> int
+(** High-water mark of live matching instances (Figure 7 metric). *)
+
+val events_processed : 'a t -> int
+
+val feed_tokens : 'a t -> item_of:(int -> 'a) -> Rx_xml.Token.t list -> unit
+(** Drives the engine over a token list; [item_of seq] builds the item for
+    the node whose document-order sequence number is [seq] (elements,
+    texts, comments, PIs and attributes all consume sequence numbers, in
+    document order, starting at 1). *)
+
+val feed_binary : 'a t -> item_of:(int -> 'a) -> string -> unit
+(** Same as {!feed_tokens} over a binary buffered token stream
+    ({!Rx_xml.Token_stream}) — the virtual-SAX source matrix of §4.4. *)
+
+val eval_tokens : Query.t -> Rx_xml.Token.t list -> int list
+(** Convenience: result sequence numbers over a token stream. *)

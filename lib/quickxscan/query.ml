@@ -1,0 +1,272 @@
+open Rx_xpath
+
+type axis = Child | Descendant | Attribute | Self | Descendant_or_self
+
+type test =
+  | Any_element
+  | Element of { uri : int; local : int }
+  | Any_attribute
+  | Attribute_named of { uri : int; local : int }
+  | Text_node
+  | Comment_node
+  | Pi_node
+  | Any_node
+
+type role = Main | Branch_exists | Branch_value
+
+type operand =
+  | Self_value
+  | Branch of int
+  | Lit_string of string
+  | Lit_number of float
+
+type pexpr =
+  | P_exists of int
+  | P_compare of Ast.cmp * operand * operand
+  | P_and of pexpr * pexpr
+  | P_or of pexpr * pexpr
+  | P_not of pexpr
+
+type qnode = {
+  qid : int;
+  axis : axis;
+  test : test;
+  role : role;
+  is_output : bool;
+  is_terminal : bool;
+  needs_self_value : bool;
+  children : qnode list;
+  pred : pexpr option;
+  pos_in_parent : int;
+  tree_depth : int;
+}
+
+type t = {
+  root : qnode;
+  nodes : qnode array;
+  by_depth : qnode array;
+  output_qid : int;
+}
+
+type builder = {
+  dict : Rx_xml.Name_dict.t;
+  ns_env : (string * string) list;
+  value_output : bool;
+  mutable next_qid : int;
+  mutable collected : qnode list;
+}
+
+let fresh_qid b =
+  let q = b.next_qid in
+  b.next_qid <- q + 1;
+  q
+
+let resolve_test b ~attribute (test : Ast.node_test) =
+  let name_id s = Rx_xml.Name_dict.intern b.dict s in
+  let uri_of_prefix = function
+    | None -> 0
+    | Some p -> (
+        match List.assoc_opt p b.ns_env with
+        | Some uri -> name_id uri
+        | None -> invalid_arg (Printf.sprintf "Query.compile: unbound prefix '%s'" p))
+  in
+  if attribute then
+    match test with
+    | Ast.Name { prefix; local } ->
+        Attribute_named { uri = uri_of_prefix prefix; local = name_id local }
+    | Ast.Wildcard | Ast.Node_test -> Any_attribute
+    | Ast.Text_test | Ast.Comment_test | Ast.Pi_test ->
+        invalid_arg "Query.compile: kind test on the attribute axis"
+  else
+    match test with
+    | Ast.Name { prefix; local } ->
+        Element { uri = uri_of_prefix prefix; local = name_id local }
+    | Ast.Wildcard -> Any_element
+    | Ast.Text_test -> Text_node
+    | Ast.Comment_test -> Comment_node
+    | Ast.Pi_test -> Pi_node
+    | Ast.Node_test -> Any_node
+
+let resolve_axis (axis : Ast.axis) =
+  match axis with
+  | Ast.Child -> Child
+  | Ast.Descendant -> Descendant
+  | Ast.Attribute -> Attribute
+  | Ast.Self -> Self
+  | Ast.Descendant_or_self -> Descendant_or_self
+  | Ast.Parent -> invalid_arg "Query.compile: parent axis survived rewrite"
+
+let element_ish = function
+  | Element _ | Any_element | Any_node -> true
+  | Any_attribute | Attribute_named _ | Text_node | Comment_node | Pi_node -> false
+
+(* Build the chain for [steps]; returns the chain-root qnode. *)
+let rec build_chain b ~role ~tree_depth ~pos_in_parent (steps : Ast.step list) =
+  match steps with
+  | [] -> invalid_arg "Query.compile: empty step chain"
+  | step :: rest ->
+      let axis = resolve_axis step.Ast.axis in
+      let test = resolve_test b ~attribute:(axis = Attribute) step.Ast.test in
+      let qid = fresh_qid b in
+      let next_child =
+        match rest with
+        | [] -> None
+        | _ -> Some (build_chain b ~role ~tree_depth:(tree_depth + 1) ~pos_in_parent:0 rest)
+      in
+      let branch_children = ref [] in
+      let needs_self = ref false in
+      let next_pos = ref (match next_child with None -> 0 | Some _ -> 1) in
+      let add_branch ~role steps =
+        let qn =
+          build_chain b ~role ~tree_depth:(tree_depth + 1) ~pos_in_parent:!next_pos steps
+        in
+        incr next_pos;
+        branch_children := qn :: !branch_children;
+        qn.qid
+      in
+      let compile_operand = function
+        | Ast.Op_string s -> Lit_string s
+        | Ast.Op_number n -> Lit_number n
+        | Ast.Op_path { Ast.steps = [ { Ast.axis = Ast.Self; test = Ast.Node_test; preds = [] } ]; absolute = false } ->
+            needs_self := true;
+            Self_value
+        | Ast.Op_path { Ast.steps = []; absolute = false } ->
+            needs_self := true;
+            Self_value
+        | Ast.Op_path { Ast.steps; absolute } ->
+            if absolute then
+              invalid_arg "Query.compile: absolute paths in predicates are unsupported";
+            Branch (add_branch ~role:Branch_value steps)
+      in
+      let rec compile_pred = function
+        | Ast.Exists { Ast.steps; absolute } ->
+            if absolute then
+              invalid_arg "Query.compile: absolute paths in predicates are unsupported";
+            P_exists (add_branch ~role:Branch_exists steps)
+        | Ast.Compare (op, a, b') -> P_compare (op, compile_operand a, compile_operand b')
+        | Ast.And (x, y) -> P_and (compile_pred x, compile_pred y)
+        | Ast.Or (x, y) -> P_or (compile_pred x, compile_pred y)
+        | Ast.Not x -> P_not (compile_pred x)
+      in
+      let pred =
+        match step.Ast.preds with
+        | [] -> None
+        | preds ->
+            Some
+              (List.fold_left
+                 (fun acc p ->
+                   match acc with None -> Some (compile_pred p) | Some a -> Some (P_and (a, compile_pred p)))
+                 None preds
+              |> Option.get)
+      in
+      let is_terminal = rest = [] in
+      let qn =
+        {
+          qid;
+          axis;
+          test;
+          role;
+          is_output = (role = Main && is_terminal);
+          is_terminal;
+          needs_self_value =
+            !needs_self
+            || (role = Branch_value && is_terminal && element_ish test && axis <> Attribute)
+            || (b.value_output && role = Main && is_terminal && element_ish test
+               && axis <> Attribute);
+          children =
+            (match next_child with
+            | Some c -> c :: List.rev !branch_children
+            | None -> List.rev !branch_children);
+          pred;
+          pos_in_parent;
+          tree_depth;
+        }
+      in
+      b.collected <- qn :: b.collected;
+      qn
+
+let compile ?(ns_env = []) ?(value_output = false) dict path =
+  let path = Rewrite.simplify path in
+  if path.Ast.steps = [] then invalid_arg "Query.compile: empty path";
+  let steps =
+    if path.Ast.absolute then path.Ast.steps
+    else
+      (* relative paths are evaluated against a stream whose single
+         top-level node is the context node *)
+      { Ast.axis = Ast.Child; test = Ast.Node_test; preds = [] } :: path.Ast.steps
+  in
+  let b = { dict; ns_env; value_output; next_qid = 0; collected = [] } in
+  let first = build_chain b ~role:Main ~tree_depth:1 ~pos_in_parent:0 steps in
+  let nodes = Array.make b.next_qid first in
+  List.iter (fun qn -> nodes.(qn.qid) <- qn) b.collected;
+  let by_depth = Array.copy nodes in
+  Array.sort (fun a b -> compare a.tree_depth b.tree_depth) by_depth;
+  let output_qid =
+    let rec find qn = if qn.is_output then qn.qid else
+      match List.find_opt (fun c -> c.role = Main) qn.children with
+      | Some c -> find c
+      | None -> invalid_arg "Query.compile: no output node"
+    in
+    find first
+  in
+  let root =
+    {
+      qid = -1;
+      axis = Self;
+      test = Any_node;
+      role = Main;
+      is_output = false;
+      is_terminal = false;
+      needs_self_value = false;
+      children = [ first ];
+      pred = None;
+      pos_in_parent = 0;
+      tree_depth = 0;
+    }
+  in
+  { root; nodes; by_depth; output_qid }
+
+let compile_string ?ns_env ?value_output dict src =
+  compile ?ns_env ?value_output dict (Xpath_parser.parse src)
+
+let size t = Array.length t.nodes
+
+let test_to_string dict = function
+  | Any_element -> "*"
+  | Element { uri; local } ->
+      let l = if local >= 0 then Rx_xml.Name_dict.name dict local else "<unknown>" in
+      if uri = 0 then l else Printf.sprintf "{%d}%s" uri l
+  | Any_attribute -> "@*"
+  | Attribute_named { uri; local } ->
+      let l = if local >= 0 then Rx_xml.Name_dict.name dict local else "<unknown>" in
+      if uri = 0 then "@" ^ l else Printf.sprintf "@{%d}%s" uri l
+  | Text_node -> "text()"
+  | Comment_node -> "comment()"
+  | Pi_node -> "pi()"
+  | Any_node -> "node()"
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "desc"
+  | Attribute -> "attr"
+  | Self -> "self"
+  | Descendant_or_self -> "desc-or-self"
+
+let to_string dict t =
+  let buf = Buffer.create 128 in
+  let rec pp indent qn =
+    Buffer.add_string buf
+      (Printf.sprintf "%s#%d %s::%s%s%s%s\n"
+         (String.make indent ' ')
+         qn.qid (axis_to_string qn.axis)
+         (test_to_string dict qn.test)
+         (match qn.role with
+         | Main -> if qn.is_output then " [output]" else ""
+         | Branch_exists -> " [exists]"
+         | Branch_value -> " [value]")
+         (if qn.pred <> None then " [pred]" else "")
+         (if qn.needs_self_value then " [self-value]" else ""));
+    List.iter (pp (indent + 2)) qn.children
+  in
+  List.iter (pp 0) t.root.children;
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Compilation of an XPath expression into the query tree of §4.2 /
+    Figure 6: one node per step, with predicate operand paths hanging off
+    their owning step as branch chains. Name tests are resolved against the
+    database name dictionary (a name never interned cannot match any stored
+    node). *)
+
+type axis = Child | Descendant | Attribute | Self | Descendant_or_self
+
+type test =
+  | Any_element (* '*' on an element-selecting axis *)
+  | Element of { uri : int; local : int }
+  | Any_attribute
+  | Attribute_named of { uri : int; local : int }
+  | Text_node
+  | Comment_node
+  | Pi_node
+  | Any_node (* node() *)
+
+type role =
+  | Main (* on the main path: carries candidate result items *)
+  | Branch_exists (* predicate operand carrying an existence count *)
+  | Branch_value (* predicate operand carrying string values *)
+
+type operand =
+  | Self_value (* the owning step's own string value ('.') *)
+  | Branch of int (* qid of the operand chain's root child *)
+  | Lit_string of string
+  | Lit_number of float
+
+type pexpr =
+  | P_exists of int (* qid of a branch-root child *)
+  | P_compare of Rx_xpath.Ast.cmp * operand * operand
+  | P_and of pexpr * pexpr
+  | P_or of pexpr * pexpr
+  | P_not of pexpr
+
+type qnode = {
+  qid : int;
+  axis : axis;
+  test : test;
+  role : role;
+  is_output : bool;
+  is_terminal : bool; (* last step of its (main or branch) chain *)
+  needs_self_value : bool; (* its subtree text must be accumulated *)
+  children : qnode list; (* next step of the chain plus branch roots *)
+  pred : pexpr option;
+  pos_in_parent : int; (* index within the parent's [children] *)
+  tree_depth : int; (* distance from the virtual root *)
+}
+
+type t = {
+  root : qnode; (* virtual root; its children are the first step(s) *)
+  nodes : qnode array; (* all real query nodes, indexed by qid *)
+  by_depth : qnode array; (* real nodes sorted by tree_depth ascending *)
+  output_qid : int;
+}
+
+val compile :
+  ?ns_env:(string * string) list ->
+  ?value_output:bool ->
+  Rx_xml.Name_dict.t ->
+  Rx_xpath.Ast.path ->
+  t
+(** Applies {!Rx_xpath.Rewrite.simplify} first. [ns_env] binds query
+    prefixes to namespace URIs. [value_output] additionally accumulates the
+    string value of each result node (for index key extraction).
+    @raise Rx_xpath.Rewrite.Unsupported on non-rewritable parent axes
+    @raise Invalid_argument on an empty path or unbound prefix *)
+
+val compile_string :
+  ?ns_env:(string * string) list ->
+  ?value_output:bool ->
+  Rx_xml.Name_dict.t ->
+  string ->
+  t
+(** Parse and compile. @raise Rx_xpath.Xpath_parser.Error too. *)
+
+val size : t -> int
+(** |Q|: number of real query nodes. *)
+
+val to_string : Rx_xml.Name_dict.t -> t -> string

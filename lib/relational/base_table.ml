@@ -1,0 +1,98 @@
+open Rx_util
+open Rx_storage
+
+type t = {
+  heap : Heap_file.t;
+  docid_index : Rx_btree.Btree.t;
+  columns : (string * Value.col_type) array;
+}
+
+let create pool ~columns =
+  { heap = Heap_file.create pool; docid_index = Rx_btree.Btree.create pool; columns }
+
+let attach pool ~columns ~heap_header ~docid_index_meta =
+  {
+    heap = Heap_file.attach pool ~header_page:heap_header;
+    docid_index = Rx_btree.Btree.attach pool ~meta_page:docid_index_meta;
+    columns;
+  }
+
+let heap_header t = Heap_file.header_page t.heap
+let docid_index_meta t = Rx_btree.Btree.meta_page t.docid_index
+let columns t = t.columns
+
+let column_index t name =
+  let rec find i =
+    if i >= Array.length t.columns then None
+    else if fst t.columns.(i) = name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let docid_key docid =
+  let buf = Buffer.create 9 in
+  Key_codec.encode_int64 buf (Int64.of_int docid);
+  Buffer.contents buf
+
+let rid_value rid =
+  let w = Bytes_io.Writer.create ~capacity:6 () in
+  Rid.encode w rid;
+  Bytes_io.Writer.contents w
+
+let check_row t values =
+  if Array.length values <> Array.length t.columns then
+    invalid_arg "Base_table.insert: wrong number of columns";
+  Array.iteri
+    (fun i v ->
+      let name, ty = t.columns.(i) in
+      if not (Value.type_matches ty v) then
+        invalid_arg
+          (Printf.sprintf "Base_table.insert: column %s expects %s, got %s" name
+             (Value.col_type_to_string ty) (Value.to_string v)))
+    values
+
+let encode_stored ~docid values =
+  let w = Bytes_io.Writer.create () in
+  Bytes_io.Writer.varint w docid;
+  Bytes_io.Writer.bytes w (Value.encode_row values);
+  Bytes_io.Writer.contents w
+
+let decode_stored payload =
+  let r = Bytes_io.Reader.of_string payload in
+  let docid = Bytes_io.Reader.varint r in
+  let rest = Bytes_io.Reader.bytes r (Bytes_io.Reader.remaining r) in
+  (docid, Value.decode_row rest)
+
+let insert t ~docid values =
+  check_row t values;
+  let rid = Heap_file.insert t.heap (encode_stored ~docid values) in
+  Rx_btree.Btree.insert t.docid_index ~key:(docid_key docid) ~value:(rid_value rid);
+  rid
+
+let lookup_rid t docid =
+  Option.map
+    (fun v -> Rid.decode (Bytes_io.Reader.of_string v))
+    (Rx_btree.Btree.find t.docid_index (docid_key docid))
+
+let fetch_by_docid t docid =
+  Option.map
+    (fun rid -> snd (decode_stored (Heap_file.read t.heap rid)))
+    (lookup_rid t docid)
+
+let delete_by_docid t docid =
+  match lookup_rid t docid with
+  | None -> false
+  | Some rid ->
+      Heap_file.delete t.heap rid;
+      ignore (Rx_btree.Btree.delete t.docid_index (docid_key docid));
+      true
+
+let iter f t =
+  Rx_btree.Btree.iter_range t.docid_index (fun key value ->
+      let docid, _ = Key_codec.decode_int64 key 0 in
+      let rid = Rid.decode (Bytes_io.Reader.of_string value) in
+      let _, values = decode_stored (Heap_file.read t.heap rid) in
+      f (Int64.to_int docid) values;
+      `Continue)
+
+let row_count t = Heap_file.record_count t.heap

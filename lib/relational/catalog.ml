@@ -1,0 +1,158 @@
+open Rx_util
+open Rx_storage
+
+type entry =
+  | Table of {
+      name : string;
+      columns : (string * Value.col_type) list;
+      heap_header : int;
+      docid_index_meta : int;
+      next_docid : int;
+    }
+  | Xml_column of {
+      table : string;
+      column : string;
+      heap_header : int;
+      node_index_meta : int;
+    }
+  | Xml_index of {
+      table : string;
+      column : string;
+      name : string;
+      path : string;
+      key_type : string;
+      tree_meta : int;
+    }
+  | Text_index of { table : string; column : string; name : string; tree_meta : int }
+  | Schema of { name : string; binary : string }
+  | Schema_binding of { table : string; column : string; schema : string }
+  | Dictionary of (int * string) list
+
+type t = { heap : Heap_file.t }
+
+let create pool = { heap = Heap_file.create pool }
+let attach pool ~header_page = { heap = Heap_file.attach pool ~header_page }
+let header_page t = Heap_file.header_page t.heap
+
+let encode_entry entry =
+  let w = Bytes_io.Writer.create () in
+  (match entry with
+  | Table { name; columns; heap_header; docid_index_meta; next_docid } ->
+      Bytes_io.Writer.u8 w 1;
+      Bytes_io.Writer.lstring w name;
+      Bytes_io.Writer.varint w (List.length columns);
+      List.iter
+        (fun (cname, ty) ->
+          Bytes_io.Writer.lstring w cname;
+          Bytes_io.Writer.lstring w (Value.col_type_to_string ty))
+        columns;
+      Bytes_io.Writer.varint w heap_header;
+      Bytes_io.Writer.varint w docid_index_meta;
+      Bytes_io.Writer.varint w next_docid
+  | Xml_column { table; column; heap_header; node_index_meta } ->
+      Bytes_io.Writer.u8 w 2;
+      Bytes_io.Writer.lstring w table;
+      Bytes_io.Writer.lstring w column;
+      Bytes_io.Writer.varint w heap_header;
+      Bytes_io.Writer.varint w node_index_meta
+  | Xml_index { table; column; name; path; key_type; tree_meta } ->
+      Bytes_io.Writer.u8 w 3;
+      Bytes_io.Writer.lstring w table;
+      Bytes_io.Writer.lstring w column;
+      Bytes_io.Writer.lstring w name;
+      Bytes_io.Writer.lstring w path;
+      Bytes_io.Writer.lstring w key_type;
+      Bytes_io.Writer.varint w tree_meta
+  | Text_index { table; column; name; tree_meta } ->
+      Bytes_io.Writer.u8 w 7;
+      Bytes_io.Writer.lstring w table;
+      Bytes_io.Writer.lstring w column;
+      Bytes_io.Writer.lstring w name;
+      Bytes_io.Writer.varint w tree_meta
+  | Schema { name; binary } ->
+      Bytes_io.Writer.u8 w 4;
+      Bytes_io.Writer.lstring w name;
+      Bytes_io.Writer.lstring w binary
+  | Schema_binding { table; column; schema } ->
+      Bytes_io.Writer.u8 w 5;
+      Bytes_io.Writer.lstring w table;
+      Bytes_io.Writer.lstring w column;
+      Bytes_io.Writer.lstring w schema
+  | Dictionary entries ->
+      Bytes_io.Writer.u8 w 6;
+      Bytes_io.Writer.varint w (List.length entries);
+      List.iter
+        (fun (id, name) ->
+          Bytes_io.Writer.varint w id;
+          Bytes_io.Writer.lstring w name)
+        entries);
+  Bytes_io.Writer.contents w
+
+let decode_entry payload =
+  let r = Bytes_io.Reader.of_string payload in
+  match Bytes_io.Reader.u8 r with
+  | 1 ->
+      let name = Bytes_io.Reader.lstring r in
+      let n = Bytes_io.Reader.varint r in
+      let columns =
+        List.init n (fun _ ->
+            let cname = Bytes_io.Reader.lstring r in
+            let ty =
+              match Value.col_type_of_string (Bytes_io.Reader.lstring r) with
+              | Some ty -> ty
+              | None -> invalid_arg "Catalog: bad column type"
+            in
+            (cname, ty))
+      in
+      let heap_header = Bytes_io.Reader.varint r in
+      let docid_index_meta = Bytes_io.Reader.varint r in
+      let next_docid = Bytes_io.Reader.varint r in
+      Table { name; columns; heap_header; docid_index_meta; next_docid }
+  | 2 ->
+      let table = Bytes_io.Reader.lstring r in
+      let column = Bytes_io.Reader.lstring r in
+      let heap_header = Bytes_io.Reader.varint r in
+      let node_index_meta = Bytes_io.Reader.varint r in
+      Xml_column { table; column; heap_header; node_index_meta }
+  | 3 ->
+      let table = Bytes_io.Reader.lstring r in
+      let column = Bytes_io.Reader.lstring r in
+      let name = Bytes_io.Reader.lstring r in
+      let path = Bytes_io.Reader.lstring r in
+      let key_type = Bytes_io.Reader.lstring r in
+      let tree_meta = Bytes_io.Reader.varint r in
+      Xml_index { table; column; name; path; key_type; tree_meta }
+  | 4 ->
+      let name = Bytes_io.Reader.lstring r in
+      let binary = Bytes_io.Reader.lstring r in
+      Schema { name; binary }
+  | 5 ->
+      let table = Bytes_io.Reader.lstring r in
+      let column = Bytes_io.Reader.lstring r in
+      let schema = Bytes_io.Reader.lstring r in
+      Schema_binding { table; column; schema }
+  | 6 ->
+      let n = Bytes_io.Reader.varint r in
+      Dictionary
+        (List.init n (fun _ ->
+             let id = Bytes_io.Reader.varint r in
+             let name = Bytes_io.Reader.lstring r in
+             (id, name)))
+  | 7 ->
+      let table = Bytes_io.Reader.lstring r in
+      let column = Bytes_io.Reader.lstring r in
+      let name = Bytes_io.Reader.lstring r in
+      let tree_meta = Bytes_io.Reader.varint r in
+      Text_index { table; column; name; tree_meta }
+  | n -> invalid_arg (Printf.sprintf "Catalog: bad entry tag %d" n)
+
+let entries t =
+  let acc = ref [] in
+  Heap_file.iter (fun _ payload -> acc := decode_entry payload :: !acc) t.heap;
+  List.rev !acc
+
+let save t entries =
+  let rids = ref [] in
+  Heap_file.iter (fun rid _ -> rids := rid :: !rids) t.heap;
+  List.iter (Heap_file.delete t.heap) !rids;
+  List.iter (fun e -> ignore (Heap_file.insert t.heap (encode_entry e))) entries

@@ -1,0 +1,42 @@
+(** The system catalog ("catalog and directory" in Figure 1): persisted
+    descriptions of base tables, XML columns with their internal-table page
+    numbers, XPath value indexes, registered schemas in binary form, and the
+    database-wide name dictionary. Stored as records in a heap file whose
+    header page the engine places at a fixed, discoverable location. *)
+
+type entry =
+  | Table of {
+      name : string;
+      columns : (string * Value.col_type) list;
+      heap_header : int;
+      docid_index_meta : int;
+      next_docid : int;
+    }
+  | Xml_column of {
+      table : string;
+      column : string;
+      heap_header : int;
+      node_index_meta : int;
+    }
+  | Xml_index of {
+      table : string;
+      column : string;
+      name : string;
+      path : string;
+      key_type : string;
+      tree_meta : int;
+    }
+  | Text_index of { table : string; column : string; name : string; tree_meta : int }
+  | Schema of { name : string; binary : string }
+  | Schema_binding of { table : string; column : string; schema : string }
+  | Dictionary of (int * string) list
+
+type t
+
+val create : Rx_storage.Buffer_pool.t -> t
+val attach : Rx_storage.Buffer_pool.t -> header_page:int -> t
+val header_page : t -> int
+
+val entries : t -> entry list
+val save : t -> entry list -> unit
+(** Replaces the whole catalog (it is small; a checkpoint-time rewrite). *)

@@ -1,0 +1,110 @@
+open Rx_util
+
+type col_type = T_int | T_double | T_decimal | T_varchar | T_bool | T_date | T_xml
+
+type t =
+  | Null
+  | Int of int
+  | Double of float
+  | Decimal of Rx_util.Decimal.t
+  | Varchar of string
+  | Bool of bool
+  | Date of { year : int; month : int; day : int }
+  | Xml_ref of int
+
+let type_matches ty v =
+  match (ty, v) with
+  | _, Null -> true
+  | T_int, Int _
+  | T_double, Double _
+  | T_decimal, Decimal _
+  | T_varchar, Varchar _
+  | T_bool, Bool _
+  | T_date, Date _
+  | T_xml, Xml_ref _ ->
+      true
+  | (T_int | T_double | T_decimal | T_varchar | T_bool | T_date | T_xml), _ -> false
+
+let col_type_to_string = function
+  | T_int -> "int"
+  | T_double -> "double"
+  | T_decimal -> "decimal"
+  | T_varchar -> "varchar"
+  | T_bool -> "bool"
+  | T_date -> "date"
+  | T_xml -> "xml"
+
+let col_type_of_string = function
+  | "int" | "integer" -> Some T_int
+  | "double" -> Some T_double
+  | "decimal" -> Some T_decimal
+  | "varchar" | "string" -> Some T_varchar
+  | "bool" | "boolean" -> Some T_bool
+  | "date" -> Some T_date
+  | "xml" -> Some T_xml
+  | _ -> None
+
+let to_string = function
+  | Null -> "NULL"
+  | Int n -> string_of_int n
+  | Double f -> Printf.sprintf "%g" f
+  | Decimal d -> Decimal.to_string d
+  | Varchar s -> s
+  | Bool b -> if b then "true" else "false"
+  | Date { year; month; day } -> Printf.sprintf "%04d-%02d-%02d" year month day
+  | Xml_ref d -> Printf.sprintf "<xml:%d>" d
+
+let encode w = function
+  | Null -> Bytes_io.Writer.u8 w 0
+  | Int n ->
+      Bytes_io.Writer.u8 w 1;
+      Bytes_io.Writer.u64 w (Int64.of_int n)
+  | Double f ->
+      Bytes_io.Writer.u8 w 2;
+      Bytes_io.Writer.u64 w (Int64.bits_of_float f)
+  | Decimal d ->
+      Bytes_io.Writer.u8 w 3;
+      Bytes_io.Writer.lstring w (Decimal.encode_key d)
+  | Varchar s ->
+      Bytes_io.Writer.u8 w 4;
+      Bytes_io.Writer.lstring w s
+  | Bool b ->
+      Bytes_io.Writer.u8 w 5;
+      Bytes_io.Writer.u8 w (if b then 1 else 0)
+  | Date { year; month; day } ->
+      Bytes_io.Writer.u8 w 6;
+      Bytes_io.Writer.u16 w year;
+      Bytes_io.Writer.u8 w month;
+      Bytes_io.Writer.u8 w day
+  | Xml_ref d ->
+      Bytes_io.Writer.u8 w 7;
+      Bytes_io.Writer.varint w d
+
+let decode r =
+  match Bytes_io.Reader.u8 r with
+  | 0 -> Null
+  | 1 -> Int (Int64.to_int (Bytes_io.Reader.u64 r))
+  | 2 -> Double (Int64.float_of_bits (Bytes_io.Reader.u64 r))
+  | 3 -> Decimal (fst (Decimal.decode_key (Bytes_io.Reader.lstring r) 0))
+  | 4 -> Varchar (Bytes_io.Reader.lstring r)
+  | 5 -> Bool (Bytes_io.Reader.u8 r = 1)
+  | 6 ->
+      let year = Bytes_io.Reader.u16 r in
+      let month = Bytes_io.Reader.u8 r in
+      let day = Bytes_io.Reader.u8 r in
+      Date { year; month; day }
+  | 7 -> Xml_ref (Bytes_io.Reader.varint r)
+  | n -> invalid_arg (Printf.sprintf "Value.decode: bad tag %d" n)
+
+let encode_row values =
+  let w = Bytes_io.Writer.create () in
+  Bytes_io.Writer.varint w (Array.length values);
+  Array.iter (encode w) values;
+  Bytes_io.Writer.contents w
+
+let decode_row s =
+  let r = Bytes_io.Reader.of_string s in
+  let n = Bytes_io.Reader.varint r in
+  Array.init n (fun _ -> decode r)
+
+let compare a b = Stdlib.compare a b

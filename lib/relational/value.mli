@@ -1,0 +1,30 @@
+(** SQL values for base-table rows. "To SQL, XML is just a new data type"
+    (§2): an XML column value is a reference to the document in the
+    column's internal XML table, carried as the row's DocID. *)
+
+type col_type = T_int | T_double | T_decimal | T_varchar | T_bool | T_date | T_xml
+
+type t =
+  | Null
+  | Int of int
+  | Double of float
+  | Decimal of Rx_util.Decimal.t
+  | Varchar of string
+  | Bool of bool
+  | Date of { year : int; month : int; day : int }
+  | Xml_ref of int (** DocID in the column's XML table *)
+
+val type_matches : col_type -> t -> bool
+(** [Null] matches every type. *)
+
+val col_type_to_string : col_type -> string
+val col_type_of_string : string -> col_type option
+val to_string : t -> string
+
+val encode : Rx_util.Bytes_io.Writer.t -> t -> unit
+val decode : Rx_util.Bytes_io.Reader.t -> t
+
+val encode_row : t array -> string
+val decode_row : string -> t array
+
+val compare : t -> t -> int

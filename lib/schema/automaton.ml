@@ -1,0 +1,214 @@
+open Rx_util
+module IS = Set.Make (Int)
+
+type dfa = {
+  start : int;
+  accepting : bool array;
+  transitions : (int * int) array array;
+}
+
+type rx =
+  | Eps
+  | Sym of int (* position *)
+  | Cat of rx * rx
+  | Alt of rx * rx
+  | Star of rx
+  | Opt of rx
+
+let max_bounded_occurs = 64
+
+(* Convert a particle into a linearized regex; every occurrence expansion
+   allocates fresh positions. *)
+let linearize dict particle =
+  let next_pos = ref 0 in
+  let symbol_of_pos = ref [] in
+  let fresh name =
+    let p = !next_pos in
+    incr next_pos;
+    symbol_of_pos := (p, Rx_xml.Name_dict.intern dict name) :: !symbol_of_pos;
+    Sym p
+  in
+  let cat = function [] -> Eps | x :: rest -> List.fold_left (fun a b -> Cat (a, b)) x rest in
+  let alt = function
+    | [] -> raise (Schema_model.Schema_error "automaton: empty choice")
+    | x :: rest -> List.fold_left (fun a b -> Alt (a, b)) x rest
+  in
+  let rep gen (occurs : Schema_model.occurs) =
+    (match occurs.Schema_model.max with
+    | Some m when m > max_bounded_occurs ->
+        raise
+          (Schema_model.Schema_error
+             (Printf.sprintf "maxOccurs %d exceeds the supported bound %d" m
+                max_bounded_occurs))
+    | _ -> ());
+    let required = List.init occurs.Schema_model.min (fun _ -> gen ()) in
+    let tail =
+      match occurs.Schema_model.max with
+      | None -> [ Star (gen ()) ]
+      | Some m -> List.init (m - occurs.Schema_model.min) (fun _ -> Opt (gen ()))
+    in
+    cat (required @ tail)
+  in
+  let rec conv = function
+    | Schema_model.P_element { name; occurs; _ } -> rep (fun () -> fresh name) occurs
+    | Schema_model.P_seq (parts, occurs) ->
+        rep (fun () -> cat (List.map conv parts)) occurs
+    | Schema_model.P_choice (parts, occurs) ->
+        rep (fun () -> alt (List.map conv parts)) occurs
+  in
+  let r = conv particle in
+  (r, !next_pos, fun p -> List.assoc p !symbol_of_pos)
+
+let rec nullable = function
+  | Eps -> true
+  | Sym _ -> false
+  | Cat (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ | Opt _ -> true
+
+let rec first = function
+  | Eps -> IS.empty
+  | Sym p -> IS.singleton p
+  | Cat (a, b) -> if nullable a then IS.union (first a) (first b) else first a
+  | Alt (a, b) -> IS.union (first a) (first b)
+  | Star a | Opt a -> first a
+
+let rec last = function
+  | Eps -> IS.empty
+  | Sym p -> IS.singleton p
+  | Cat (a, b) -> if nullable b then IS.union (last a) (last b) else last b
+  | Alt (a, b) -> IS.union (last a) (last b)
+  | Star a | Opt a -> last a
+
+let follow_sets r n =
+  let follow = Array.make n IS.empty in
+  let add_all src dst =
+    IS.iter (fun p -> follow.(p) <- IS.union follow.(p) dst) src
+  in
+  let rec walk = function
+    | Eps | Sym _ -> ()
+    | Cat (a, b) ->
+        walk a;
+        walk b;
+        add_all (last a) (first b)
+    | Alt (a, b) ->
+        walk a;
+        walk b
+    | Star a ->
+        walk a;
+        add_all (last a) (first a)
+    | Opt a -> walk a
+  in
+  walk r;
+  follow
+
+let of_particle dict particle =
+  let r, n, sym = linearize dict particle in
+  let follow = follow_sets r n in
+  let firsts = first r and lasts = last r in
+  (* Glushkov DFA: a state is the set of positions just read (the initial
+     state q0 is the sentinel set {-1}); reading symbol a moves to the
+     positions with symbol a among the follow sets (or among [firsts] from
+     q0). *)
+  let q0_key = [ -1 ] in
+  let states = Hashtbl.create 16 in
+  let trans = Hashtbl.create 16 in
+  let accepting = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let worklist = Queue.create () in
+  let intern key set_opt =
+    match Hashtbl.find_opt states key with
+    | Some id -> id
+    | None ->
+        let id = !counter in
+        incr counter;
+        Hashtbl.replace states key id;
+        Queue.add (id, set_opt) worklist;
+        id
+  in
+  let q0 = intern q0_key None in
+  Hashtbl.replace accepting q0 (nullable r);
+  let bucket_by_symbol pset =
+    let buckets = Hashtbl.create 8 in
+    IS.iter
+      (fun p ->
+        let s = sym p in
+        Hashtbl.replace buckets s
+          (IS.add p (Option.value ~default:IS.empty (Hashtbl.find_opt buckets s))))
+      pset;
+    buckets
+  in
+  while not (Queue.is_empty worklist) do
+    let id, set_opt = Queue.pop worklist in
+    let successors =
+      match set_opt with
+      | None -> firsts
+      | Some set ->
+          IS.fold (fun p acc -> IS.union follow.(p) acc) set IS.empty
+    in
+    let outs =
+      Hashtbl.fold
+        (fun s target acc ->
+          let tid = intern (IS.elements target) (Some target) in
+          Hashtbl.replace accepting tid
+            (not (IS.is_empty (IS.inter target lasts)));
+          (s, tid) :: acc)
+        (bucket_by_symbol successors)
+        []
+    in
+    Hashtbl.replace trans id (Array.of_list (List.sort compare outs))
+  done;
+  let total = !counter in
+  {
+    start = q0;
+    accepting = Array.init total (fun i -> Hashtbl.find accepting i);
+    transitions =
+      Array.init total (fun i ->
+          Option.value ~default:[||] (Hashtbl.find_opt trans i));
+  }
+
+let empty_content =
+  { start = 0; accepting = [| true |]; transitions = [| [||] |] }
+
+let step dfa ~state ~symbol =
+  let table = dfa.transitions.(state) in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let s, next = table.(mid) in
+      if s = symbol then Some next
+      else if s < symbol then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 (Array.length table)
+
+let state_count dfa = Array.length dfa.accepting
+
+let encode w dfa =
+  Bytes_io.Writer.varint w (Array.length dfa.accepting);
+  Bytes_io.Writer.varint w dfa.start;
+  Array.iter (fun b -> Bytes_io.Writer.u8 w (if b then 1 else 0)) dfa.accepting;
+  Array.iter
+    (fun table ->
+      Bytes_io.Writer.varint w (Array.length table);
+      Array.iter
+        (fun (s, next) ->
+          Bytes_io.Writer.varint w s;
+          Bytes_io.Writer.varint w next)
+        table)
+    dfa.transitions
+
+let decode r =
+  let n = Bytes_io.Reader.varint r in
+  let start = Bytes_io.Reader.varint r in
+  let accepting = Array.init n (fun _ -> Bytes_io.Reader.u8 r = 1) in
+  let transitions =
+    Array.init n (fun _ ->
+        let k = Bytes_io.Reader.varint r in
+        Array.init k (fun _ ->
+            let s = Bytes_io.Reader.varint r in
+            let next = Bytes_io.Reader.varint r in
+            (s, next)))
+  in
+  { start; accepting; transitions }

@@ -1,0 +1,28 @@
+(** Content-model automata: each complex type's particle is linearized
+    (occurrence bounds expanded), turned into a Glushkov NFA and
+    determinized into a table-driven DFA — the "binary format like a
+    parsing table" of Figure 4 that the validation VM executes. *)
+
+type dfa = {
+  start : int;
+  accepting : bool array;
+  transitions : (int * int) array array;
+      (** per state, sorted (symbol, next-state) pairs; symbols are
+          name-dictionary ids *)
+}
+
+val empty_content : dfa
+(** Accepts only the empty child sequence. *)
+
+val of_particle :
+  Rx_xml.Name_dict.t -> Schema_model.particle -> dfa
+(** @raise Schema_model.Schema_error on occurrence bounds above 64 (guard
+    against table explosion). *)
+
+val step : dfa -> state:int -> symbol:int -> int option
+(** Binary search in the state's transition table. *)
+
+val state_count : dfa -> int
+
+val encode : Rx_util.Bytes_io.Writer.t -> dfa -> unit
+val decode : Rx_util.Bytes_io.Reader.t -> dfa

@@ -1,0 +1,220 @@
+open Rx_util
+
+type elem_kind = E_simple of Schema_model.simple_type | E_complex of int
+
+type ctype = {
+  dfa : Automaton.dfa;
+  mixed : bool;
+  attributes : (int * Schema_model.simple_type * bool) array;
+  children : (int * elem_kind) array;
+}
+
+type t = { types : ctype array; roots : (int * elem_kind) array }
+
+let schema_error fmt =
+  Printf.ksprintf (fun msg -> raise (Schema_model.Schema_error msg)) fmt
+
+(* Collect the element particles of a content model (one level). *)
+let rec particle_elements = function
+  | Schema_model.P_element { name; typ; _ } -> [ (name, typ) ]
+  | Schema_model.P_seq (parts, _) | Schema_model.P_choice (parts, _) ->
+      List.concat_map particle_elements parts
+
+let compile dict (schema : Schema_model.t) =
+  (* assign indices: named types first, anonymous types appended on
+     discovery *)
+  let types = ref [] in
+  let count = ref 0 in
+  let named = Hashtbl.create 8 in
+  let pending = Queue.create () in
+  let alloc ct =
+    let idx = !count in
+    incr count;
+    Queue.add (idx, ct) pending;
+    idx
+  in
+  List.iter
+    (fun (name, ct) ->
+      if Hashtbl.mem named name then schema_error "duplicate type %s" name;
+      Hashtbl.replace named name (alloc ct))
+    schema.Schema_model.types;
+  let rec resolve_ref = function
+    | Schema_model.Simple st -> E_simple st
+    | Schema_model.Named n -> (
+        match Hashtbl.find_opt named n with
+        | Some idx -> E_complex idx
+        | None -> (
+            match Schema_model.simple_type_of_string n with
+            | Some st -> E_simple st
+            | None -> schema_error "undefined type %s" n))
+    | Schema_model.Anon ct -> E_complex (alloc ct)
+  and compile_ctype (ct : Schema_model.complex_type) =
+    let dfa =
+      match ct.Schema_model.content with
+      | None -> Automaton.empty_content
+      | Some particle -> Automaton.of_particle dict particle
+    in
+    let children_assoc =
+      match ct.Schema_model.content with
+      | None -> []
+      | Some particle ->
+          List.fold_left
+            (fun acc (name, typ) ->
+              let id = Rx_xml.Name_dict.intern dict name in
+              let kind = resolve_ref typ in
+              match List.assoc_opt id acc with
+              | Some existing ->
+                  if existing <> kind then
+                    schema_error
+                      "element %s appears with two different types in one \
+                       content model"
+                      name;
+                  acc
+              | None -> (id, kind) :: acc)
+            []
+            (particle_elements particle)
+    in
+    let attributes =
+      List.map
+        (fun (a : Schema_model.attribute) ->
+          ( Rx_xml.Name_dict.intern dict a.Schema_model.aname,
+            a.Schema_model.atype,
+            a.Schema_model.required ))
+        ct.Schema_model.attributes
+      |> List.sort compare |> Array.of_list
+    in
+    {
+      dfa;
+      mixed = ct.Schema_model.mixed;
+      attributes;
+      children = Array.of_list (List.sort compare children_assoc);
+    }
+  in
+  let roots =
+    List.map
+      (fun (name, typ) -> (Rx_xml.Name_dict.intern dict name, resolve_ref typ))
+      schema.Schema_model.roots
+    |> List.sort compare |> Array.of_list
+  in
+  (* drain: compiling a ctype can enqueue anonymous types *)
+  let compiled = Hashtbl.create 8 in
+  let rec drain () =
+    if not (Queue.is_empty pending) then begin
+      let idx, ct = Queue.pop pending in
+      Hashtbl.replace compiled idx (compile_ctype ct);
+      drain ()
+    end
+  in
+  drain ();
+  types := List.init !count (fun i -> Hashtbl.find compiled i);
+  { types = Array.of_list !types; roots }
+
+let bsearch table key =
+  let n = Array.length table in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k, _ = table.(mid) in
+      if k = key then Some (snd table.(mid))
+      else if k < key then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 n
+
+let find_child ct id = bsearch ct.children id
+let find_root t id = bsearch t.roots id
+
+let find_attribute ct id =
+  let n = Array.length ct.attributes in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let k, st, req = ct.attributes.(mid) in
+      if k = id then Some (st, req) else if k < id then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* --- binary format --- *)
+
+let encode_kind w = function
+  | E_simple st ->
+      Bytes_io.Writer.u8 w 0;
+      Bytes_io.Writer.u8 w (Schema_model.simple_type_to_tag st)
+  | E_complex idx ->
+      Bytes_io.Writer.u8 w 1;
+      Bytes_io.Writer.varint w idx
+
+let decode_kind r =
+  match Bytes_io.Reader.u8 r with
+  | 0 -> E_simple (Schema_model.simple_type_of_tag (Bytes_io.Reader.u8 r))
+  | 1 -> E_complex (Bytes_io.Reader.varint r)
+  | n -> schema_error "binary schema: bad kind tag %d" n
+
+let encode t =
+  let w = Bytes_io.Writer.create ~capacity:512 () in
+  Bytes_io.Writer.bytes w "RXSC";
+  Bytes_io.Writer.varint w (Array.length t.types);
+  Array.iter
+    (fun ct ->
+      Automaton.encode w ct.dfa;
+      Bytes_io.Writer.u8 w (if ct.mixed then 1 else 0);
+      Bytes_io.Writer.varint w (Array.length ct.attributes);
+      Array.iter
+        (fun (id, st, req) ->
+          Bytes_io.Writer.varint w id;
+          Bytes_io.Writer.u8 w (Schema_model.simple_type_to_tag st);
+          Bytes_io.Writer.u8 w (if req then 1 else 0))
+        ct.attributes;
+      Bytes_io.Writer.varint w (Array.length ct.children);
+      Array.iter
+        (fun (id, kind) ->
+          Bytes_io.Writer.varint w id;
+          encode_kind w kind)
+        ct.children)
+    t.types;
+  Bytes_io.Writer.varint w (Array.length t.roots);
+  Array.iter
+    (fun (id, kind) ->
+      Bytes_io.Writer.varint w id;
+      encode_kind w kind)
+    t.roots;
+  Bytes_io.Writer.contents w
+
+let decode s =
+  let r = Bytes_io.Reader.of_string s in
+  if Bytes_io.Reader.bytes r 4 <> "RXSC" then schema_error "binary schema: bad magic";
+  let n_types = Bytes_io.Reader.varint r in
+  let types =
+    Array.init n_types (fun _ ->
+        let dfa = Automaton.decode r in
+        let mixed = Bytes_io.Reader.u8 r = 1 in
+        let n_attrs = Bytes_io.Reader.varint r in
+        let attributes =
+          Array.init n_attrs (fun _ ->
+              let id = Bytes_io.Reader.varint r in
+              let st = Schema_model.simple_type_of_tag (Bytes_io.Reader.u8 r) in
+              let req = Bytes_io.Reader.u8 r = 1 in
+              (id, st, req))
+        in
+        let n_children = Bytes_io.Reader.varint r in
+        let children =
+          Array.init n_children (fun _ ->
+              let id = Bytes_io.Reader.varint r in
+              let kind = decode_kind r in
+              (id, kind))
+        in
+        { dfa; mixed; attributes; children })
+  in
+  let n_roots = Bytes_io.Reader.varint r in
+  let roots =
+    Array.init n_roots (fun _ ->
+        let id = Bytes_io.Reader.varint r in
+        let kind = decode_kind r in
+        (id, kind))
+  in
+  { types; roots }
+
+let total_dfa_states t =
+  Array.fold_left (fun acc ct -> acc + Automaton.state_count ct.dfa) 0 t.types

@@ -1,0 +1,36 @@
+(** The compiled ("binary") form of a registered schema (Figure 4): content
+    models as DFA tables, attributes and child-element maps resolved to
+    name-dictionary ids. The binary encoding is what the catalog stores at
+    registration; the validation VM executes the decoded form. *)
+
+type elem_kind =
+  | E_simple of Schema_model.simple_type
+  | E_complex of int (* index into [types] *)
+
+type ctype = {
+  dfa : Automaton.dfa;
+  mixed : bool;
+  attributes : (int * Schema_model.simple_type * bool) array;
+      (** (name id, type, required), sorted by name id *)
+  children : (int * elem_kind) array; (** sorted by name id *)
+}
+
+type t = {
+  types : ctype array;
+  roots : (int * elem_kind) array; (** global elements, sorted by name id *)
+}
+
+val compile : Rx_xml.Name_dict.t -> Schema_model.t -> t
+(** @raise Schema_model.Schema_error on inconsistent schemas (same child
+    name with different types within one complex type, undefined type
+    references, occurrence bounds beyond the supported limit). *)
+
+val find_child : ctype -> int -> elem_kind option
+val find_root : t -> int -> elem_kind option
+val find_attribute : ctype -> int -> (Schema_model.simple_type * bool) option
+
+val encode : t -> string
+val decode : string -> t
+
+val total_dfa_states : t -> int
+(** Size metric for the E7 report. *)

@@ -1,0 +1,235 @@
+open Rx_xml
+
+type simple_type = St_string | St_double | St_decimal | St_integer | St_boolean | St_date
+
+type occurs = { min : int; max : int option }
+
+type particle =
+  | P_element of { name : string; typ : type_ref; occurs : occurs }
+  | P_seq of particle list * occurs
+  | P_choice of particle list * occurs
+
+and type_ref = Simple of simple_type | Named of string | Anon of complex_type
+
+and complex_type = {
+  content : particle option;
+  attributes : attribute list;
+  mixed : bool;
+}
+
+and attribute = { aname : string; atype : simple_type; required : bool }
+
+type t = {
+  roots : (string * type_ref) list;
+  types : (string * complex_type) list;
+}
+
+exception Schema_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Schema_error msg)) fmt
+
+let simple_type_of_string s =
+  let bare =
+    match String.index_opt s ':' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  match bare with
+  | "string" | "token" | "normalizedString" -> Some St_string
+  | "double" | "float" -> Some St_double
+  | "decimal" -> Some St_decimal
+  | "integer" | "int" | "long" | "short" | "nonNegativeInteger" | "positiveInteger"
+    ->
+      Some St_integer
+  | "boolean" -> Some St_boolean
+  | "date" -> Some St_date
+  | _ -> None
+
+let simple_type_to_tag = function
+  | St_string -> 0
+  | St_double -> 1
+  | St_decimal -> 2
+  | St_integer -> 3
+  | St_boolean -> 4
+  | St_date -> 5
+
+let simple_type_of_tag = function
+  | 0 -> St_string
+  | 1 -> St_double
+  | 2 -> St_decimal
+  | 3 -> St_integer
+  | 4 -> St_boolean
+  | 5 -> St_date
+  | n -> error "bad simple type tag %d" n
+
+(* --- XSD parsing over the engine's own tree --- *)
+
+let xsd_uri = "http://www.w3.org/2001/XMLSchema"
+
+let local dict (q : Qname.t) = Name_dict.name dict q.Qname.local
+
+let attr_value dict (attrs : Token.attr list) name =
+  List.find_map
+    (fun (a : Token.attr) ->
+      if Name_dict.name dict a.Token.name.Qname.local = name then Some a.Token.value
+      else None)
+    attrs
+
+let parse_occurs dict attrs =
+  let min =
+    match attr_value dict attrs "minOccurs" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> n
+        | _ -> error "bad minOccurs %S" s)
+    | None -> 1
+  in
+  let max =
+    match attr_value dict attrs "maxOccurs" with
+    | Some "unbounded" -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= min -> Some n
+        | _ -> error "bad maxOccurs %S" s)
+    | None -> Some 1
+  in
+  { min; max }
+
+let element_children dict node =
+  match node with
+  | Tree.Element { children; _ } ->
+      List.filter_map
+        (fun c ->
+          match c with
+          | Tree.Element ({ name; _ } as e) ->
+              Some (local dict { name with Qname.prefix = 0 }, c, e.attrs)
+          | _ -> None)
+        children
+  | _ -> []
+
+let rec parse_type_ref dict ~attrs node_children =
+  (* either a type="..." attribute, or an inline xs:complexType child *)
+  match attr_value dict attrs "type" with
+  | Some tyname -> (
+      match simple_type_of_string tyname with
+      | Some st -> Simple st
+      | None -> Named tyname)
+  | None -> (
+      match
+        List.find_opt (fun (n, _, _) -> n = "complexType") node_children
+      with
+      | Some (_, node, ct_attrs) -> Anon (parse_complex_type dict node ct_attrs)
+      | None -> Simple St_string)
+
+and parse_complex_type dict node attrs =
+  let mixed = attr_value dict attrs "mixed" = Some "true" in
+  let children = element_children dict node in
+  let attributes =
+    List.filter_map
+      (fun (n, _, a_attrs) ->
+        if n = "attribute" then begin
+          let aname =
+            match attr_value dict a_attrs "name" with
+            | Some n -> n
+            | None -> error "xs:attribute without name"
+          in
+          let atype =
+            match attr_value dict a_attrs "type" with
+            | Some t -> (
+                match simple_type_of_string t with
+                | Some st -> st
+                | None -> error "attribute %s: unsupported type %S" aname t)
+            | None -> St_string
+          in
+          let required = attr_value dict a_attrs "use" = Some "required" in
+          Some { aname; atype; required }
+        end
+        else None)
+      children
+  in
+  let content =
+    List.find_map
+      (fun (n, node, p_attrs) ->
+        match n with
+        | "sequence" -> Some (parse_group dict `Seq node p_attrs)
+        | "choice" -> Some (parse_group dict `Choice node p_attrs)
+        | _ -> None)
+      children
+  in
+  { content; attributes; mixed }
+
+and parse_group dict kind node attrs =
+  let occurs = parse_occurs dict attrs in
+  let parts =
+    List.filter_map
+      (fun (n, child, c_attrs) ->
+        match n with
+        | "element" -> Some (parse_element_particle dict child c_attrs)
+        | "sequence" -> Some (parse_group dict `Seq child c_attrs)
+        | "choice" -> Some (parse_group dict `Choice child c_attrs)
+        | "attribute" -> None
+        | other -> error "unsupported construct xs:%s in content model" other)
+      (element_children dict node)
+  in
+  match kind with
+  | `Seq -> P_seq (parts, occurs)
+  | `Choice ->
+      if parts = [] then error "empty xs:choice";
+      P_choice (parts, occurs)
+
+and parse_element_particle dict node attrs =
+  let name =
+    match attr_value dict attrs "name" with
+    | Some n -> n
+    | None -> error "xs:element without name"
+  in
+  let occurs = parse_occurs dict attrs in
+  let typ = parse_type_ref dict ~attrs (element_children dict node) in
+  P_element { name; typ; occurs }
+
+let parse_xsd dict src =
+  let tokens =
+    try Parser.parse dict src
+    with Parser.Parse_error { pos; msg } ->
+      error "schema document is not well-formed XML (at %d: %s)" pos msg
+  in
+  let root = Tree.of_tokens tokens in
+  (match root with
+  | Tree.Element { name; _ } ->
+      let uri = Name_dict.name dict name.Qname.uri in
+      let l = Name_dict.name dict name.Qname.local in
+      if l <> "schema" then error "root element must be xs:schema, found %s" l;
+      if uri <> xsd_uri && uri <> "" then error "unexpected schema namespace %s" uri
+  | _ -> error "no root element");
+  let top = element_children dict root in
+  let types =
+    List.filter_map
+      (fun (n, node, attrs) ->
+        if n = "complexType" then
+          match attr_value dict attrs "name" with
+          | Some name -> Some (name, parse_complex_type dict node attrs)
+          | None -> error "top-level xs:complexType must be named"
+        else None)
+      top
+  in
+  let roots =
+    List.filter_map
+      (fun (n, node, attrs) ->
+        if n = "element" then begin
+          let name =
+            match attr_value dict attrs "name" with
+            | Some n -> n
+            | None -> error "global xs:element without name"
+          in
+          Some (name, parse_type_ref dict ~attrs (element_children dict node))
+        end
+        else None)
+      top
+  in
+  if roots = [] then error "schema declares no global elements";
+  { roots; types }
+
+let lookup_type t name =
+  match List.assoc_opt name t.types with
+  | Some ct -> ct
+  | None -> error "undefined type %s" name

@@ -1,0 +1,48 @@
+(** XML Schema subset: global elements, named/anonymous complex types with
+    sequence/choice content models and occurrence bounds, attributes, and
+    the simple types the engine indexes (§3.2/§4.3). Schemas are written in
+    (a subset of) XSD and parsed with the engine's own XML parser.
+
+    Restrictions enforced at registration: within one complex type, every
+    element particle with a given name must have the same type (so the
+    validator can map child name → type with one lookup). *)
+
+type simple_type = St_string | St_double | St_decimal | St_integer | St_boolean | St_date
+
+type occurs = { min : int; max : int option (* None = unbounded *) }
+
+type particle =
+  | P_element of { name : string; typ : type_ref; occurs : occurs }
+  | P_seq of particle list * occurs
+  | P_choice of particle list * occurs
+
+and type_ref = Simple of simple_type | Named of string | Anon of complex_type
+
+and complex_type = {
+  content : particle option; (* None = empty content *)
+  attributes : attribute list;
+  mixed : bool;
+}
+
+and attribute = { aname : string; atype : simple_type; required : bool }
+
+type t = {
+  roots : (string * type_ref) list; (* global elements *)
+  types : (string * complex_type) list; (* named complex types *)
+}
+
+exception Schema_error of string
+
+val simple_type_of_string : string -> simple_type option
+(** Accepts the [xs:]-prefixed XSD names and bare names. *)
+
+val simple_type_to_tag : simple_type -> int
+val simple_type_of_tag : int -> simple_type
+
+val parse_xsd : Rx_xml.Name_dict.t -> string -> t
+(** Parses an XSD document (elements: [xs:schema], [xs:element],
+    [xs:complexType], [xs:sequence], [xs:choice], [xs:attribute]).
+    @raise Schema_error on unsupported or inconsistent constructs. *)
+
+val lookup_type : t -> string -> complex_type
+(** @raise Schema_error if undefined. *)

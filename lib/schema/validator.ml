@@ -1,0 +1,146 @@
+open Rx_xml
+
+exception Validation_error of { path : string list; msg : string }
+
+type frame =
+  | Complex of { ct : Compiled.ctype; mutable state : int; name : string }
+  | Simple of { st : Schema_model.simple_type; buffer : Buffer.t; name : string }
+
+let frame_name = function Complex { name; _ } -> name | Simple { name; _ } -> name
+
+let typed_of st s =
+  let ty =
+    match st with
+    | Schema_model.St_string -> `String
+    | Schema_model.St_double -> `Double
+    | Schema_model.St_decimal -> `Decimal
+    | Schema_model.St_integer -> `Integer
+    | Schema_model.St_boolean -> `Boolean
+    | Schema_model.St_date -> `Date
+  in
+  Typed_value.of_string ty s
+
+let st_name = function
+  | Schema_model.St_string -> "string"
+  | Schema_model.St_double -> "double"
+  | Schema_model.St_decimal -> "decimal"
+  | Schema_model.St_integer -> "integer"
+  | Schema_model.St_boolean -> "boolean"
+  | Schema_model.St_date -> "date"
+
+let validate_iter compiled dict tokens sink =
+  let stack = ref [] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Validation_error { path = List.rev_map frame_name !stack; msg }))
+      fmt
+  in
+  let local q = Name_dict.name dict q.Qname.local in
+  let annotate_attrs ct (attrs : Token.attr list) ename =
+    (* every attribute must be declared; every required one present *)
+    let seen = Hashtbl.create 4 in
+    let attrs =
+      List.map
+        (fun (a : Token.attr) ->
+          match Compiled.find_attribute ct a.Token.name.Qname.local with
+          | None -> fail "undeclared attribute %s on %s" (local a.Token.name) ename
+          | Some (st, _) -> (
+              Hashtbl.replace seen a.Token.name.Qname.local ();
+              match typed_of st a.Token.value with
+              | Some tv -> { a with Token.annot = Some tv }
+              | None ->
+                  fail "attribute %s of %s: %S is not a valid %s"
+                    (local a.Token.name) ename a.Token.value (st_name st)))
+        attrs
+    in
+    Array.iter
+      (fun (id, _, required) ->
+        if required && not (Hashtbl.mem seen id) then
+          fail "missing required attribute %s on %s" (Name_dict.name dict id) ename)
+      ct.Compiled.attributes;
+    attrs
+  in
+  let enter name ename (attrs : Token.attr list) ns_decls kind =
+    match kind with
+    | Compiled.E_simple st ->
+        if attrs <> [] then
+          fail "element %s has simple type %s and cannot carry attributes" ename
+            (st_name st);
+        stack := Simple { st; buffer = Buffer.create 16; name = ename } :: !stack;
+        sink (Token.Start_element { name; attrs = []; ns_decls })
+    | Compiled.E_complex idx ->
+        let ct = compiled.Compiled.types.(idx) in
+        let attrs = annotate_attrs ct attrs ename in
+        stack :=
+          Complex { ct; state = ct.Compiled.dfa.Automaton.start; name = ename }
+          :: !stack;
+        sink (Token.Start_element { name; attrs; ns_decls })
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> sink token
+      | Token.Start_element { name; attrs; ns_decls } -> (
+          let ename = local name in
+          match !stack with
+          | [] -> (
+              match Compiled.find_root compiled name.Qname.local with
+              | Some kind -> enter name ename attrs ns_decls kind
+              | None -> fail "element %s is not a declared root" ename)
+          | Simple { name = pname; _ } :: _ ->
+              fail "element %s not allowed inside simple-typed %s" ename pname
+          | Complex parent :: _ -> (
+              match
+                Automaton.step parent.ct.Compiled.dfa ~state:parent.state
+                  ~symbol:name.Qname.local
+              with
+              | None -> fail "element %s not allowed here (inside %s)" ename parent.name
+              | Some next -> (
+                  parent.state <- next;
+                  match Compiled.find_child parent.ct name.Qname.local with
+                  | Some kind -> enter name ename attrs ns_decls kind
+                  | None -> fail "element %s has no declared type" ename)))
+      | Token.End_element -> (
+          match !stack with
+          | [] -> fail "unbalanced end tag"
+          | Simple { st; buffer; name } :: rest ->
+              let content = Buffer.contents buffer in
+              (match typed_of st content with
+              | Some tv -> sink (Token.Text { content; annot = Some tv })
+              | None ->
+                  fail "content of %s: %S is not a valid %s" name content (st_name st));
+              sink Token.End_element;
+              stack := rest
+          | Complex { ct; state; name } :: rest ->
+              if not ct.Compiled.dfa.Automaton.accepting.(state) then
+                fail "element %s ends with incomplete content" name;
+              sink Token.End_element;
+              stack := rest)
+      | Token.Text { content; _ } -> (
+          match !stack with
+          | Simple { buffer; _ } :: _ -> Buffer.add_string buffer content
+          | Complex { ct; name; _ } :: _ ->
+              if ct.Compiled.mixed then sink (Token.text content)
+              else if String.trim content = "" then
+                (* ignorable whitespace in element-only content *)
+                ()
+              else fail "text not allowed inside element-only %s" name
+          | [] -> if String.trim content <> "" then fail "text outside the root")
+      | Token.Comment _ | Token.Pi _ -> sink token)
+    tokens;
+  if !stack <> [] then fail "document ended with open elements"
+
+let validate compiled dict tokens =
+  let acc = ref [] in
+  validate_iter compiled dict tokens (fun t -> acc := t :: !acc);
+  List.rev !acc
+
+let validate_document compiled dict src = validate compiled dict (Parser.parse dict src)
+
+let error_message = function
+  | Validation_error { path; msg } ->
+      Some
+        (Printf.sprintf "validation error at /%s: %s" (String.concat "/" path) msg)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** Validation runtime ("VM", Figure 4): executes the compiled schema over
+    a token stream, producing the same stream with type annotations on
+    attribute values and simple-typed element content — the validated,
+    typed token stream that tree construction and index key generation
+    consume (§3.2). *)
+
+exception Validation_error of { path : string list; msg : string }
+(** [path] is the element stack, outermost first. *)
+
+val validate :
+  Compiled.t -> Rx_xml.Name_dict.t -> Rx_xml.Token.t list -> Rx_xml.Token.t list
+(** @raise Validation_error *)
+
+val validate_iter :
+  Compiled.t ->
+  Rx_xml.Name_dict.t ->
+  Rx_xml.Token.t list ->
+  (Rx_xml.Token.t -> unit) ->
+  unit
+(** Streaming variant: annotated tokens are pushed to the sink; simple
+    element content is coalesced into one annotated text token at the
+    element's end. *)
+
+val validate_document :
+  Compiled.t -> Rx_xml.Name_dict.t -> string -> Rx_xml.Token.t list
+(** Parse + validate. *)
+
+val error_message : exn -> string option

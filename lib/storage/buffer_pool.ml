@@ -1,0 +1,151 @@
+open Rx_util
+
+type journal = {
+  log_update :
+    page_no:int -> off:int -> before:string -> after:string -> int64;
+  ensure_durable : int64 -> unit;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable page_flushes : int;
+}
+
+type frame = { data : bytes; mutable dirty : bool; mutable pins : int }
+
+type t = {
+  pager : Pager.t;
+  frames : (int, frame) Lru.t;
+  mutable journal : journal option;
+  mutable fallback_lsn : int64; (* when no journal is installed *)
+  stats : stats;
+}
+
+let create ?(capacity = 256) pager =
+  {
+    pager;
+    frames = Lru.create ~capacity;
+    journal = None;
+    fallback_lsn = 0L;
+    stats = { hits = 0; misses = 0; evictions = 0; page_flushes = 0 };
+  }
+
+let pager t = t.pager
+let page_size t = Pager.page_size t.pager
+let set_journal t j = t.journal <- j
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.evictions <- 0;
+  t.stats.page_flushes <- 0
+
+let flush_frame t page_no frame =
+  if frame.dirty then begin
+    (match t.journal with
+    | Some j -> j.ensure_durable (Page.get_lsn frame.data)
+    | None -> ());
+    Pager.write t.pager page_no frame.data;
+    frame.dirty <- false;
+    t.stats.page_flushes <- t.stats.page_flushes + 1
+  end
+
+(* Fetch the frame for [page_no], pinning it. *)
+let pin t page_no =
+  match Lru.find t.frames page_no with
+  | Some frame ->
+      t.stats.hits <- t.stats.hits + 1;
+      frame.pins <- frame.pins + 1;
+      frame
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      let data = Bytes.create (page_size t) in
+      Pager.read t.pager page_no data;
+      let frame = { data; dirty = false; pins = 1 } in
+      (match
+         Lru.put_evict_if t.frames
+           ~can_evict:(fun _ f -> f.pins = 0)
+           page_no frame
+       with
+      | None -> failwith "Buffer_pool: all frames pinned"
+      | Some None -> ()
+      | Some (Some (victim_no, victim)) ->
+          t.stats.evictions <- t.stats.evictions + 1;
+          flush_frame t victim_no victim);
+      frame
+
+let unpin frame = frame.pins <- frame.pins - 1
+
+let with_page t page_no f =
+  let frame = pin t page_no in
+  Fun.protect ~finally:(fun () -> unpin frame) (fun () -> f frame.data)
+
+(* Diff the page image outside the LSN field (bytes 0..7). *)
+let diff_range before after =
+  let n = Bytes.length after in
+  let lo = ref Page.lsn_size in
+  while !lo < n && Bytes.get before !lo = Bytes.get after !lo do
+    incr lo
+  done;
+  if !lo = n then None
+  else begin
+    let hi = ref (n - 1) in
+    while Bytes.get before !hi = Bytes.get after !hi do
+      decr hi
+    done;
+    Some (!lo, !hi - !lo + 1)
+  end
+
+let update t page_no f =
+  let frame = pin t page_no in
+  Fun.protect
+    ~finally:(fun () -> unpin frame)
+    (fun () ->
+      let before = Bytes.copy frame.data in
+      let result = f frame.data in
+      (match diff_range before frame.data with
+      | None -> ()
+      | Some (off, len) ->
+          let lsn =
+            match t.journal with
+            | Some j ->
+                j.log_update ~page_no ~off
+                  ~before:(Bytes.sub_string before off len)
+                  ~after:(Bytes.sub_string frame.data off len)
+            | None ->
+                t.fallback_lsn <- Int64.add t.fallback_lsn 1L;
+                t.fallback_lsn
+          in
+          Page.set_lsn frame.data lsn;
+          frame.dirty <- true);
+      result)
+
+let modify_unlogged t page_no f =
+  let frame = pin t page_no in
+  Fun.protect
+    ~finally:(fun () -> unpin frame)
+    (fun () ->
+      let result = f frame.data in
+      frame.dirty <- true;
+      result)
+
+let alloc t kind =
+  let page_no = Pager.alloc t.pager in
+  update t page_no (fun data -> Page.set_kind data kind);
+  page_no
+
+let flush_all t =
+  Lru.iter (fun page_no frame -> flush_frame t page_no frame) t.frames;
+  Pager.sync t.pager
+
+let drop_cache t =
+  Lru.iter
+    (fun page_no frame ->
+      if frame.pins > 0 then
+        failwith (Printf.sprintf "Buffer_pool.drop_cache: page %d pinned" page_no))
+    t.frames;
+  let keys = List.map fst (Lru.to_list t.frames) in
+  List.iter (Lru.remove t.frames) keys

@@ -1,0 +1,59 @@
+(** The buffer manager: a fixed set of in-memory frames over a {!Pager},
+    with LRU replacement, pin counts, and write-ahead-logging hooks.
+
+    All page modifications by higher components (heap files, B+trees) go
+    through {!update}, which diffs the page image around the callback and
+    reports the changed byte range to the journal; the returned LSN is
+    stamped into the page header. This gives every component physiological
+    redo/undo logging for free — the paper's point that packed XML records
+    "look like rows" to logging and recovery. *)
+
+type t
+
+(** Write-ahead-log hooks installed by the transaction layer. *)
+type journal = {
+  log_update :
+    page_no:int -> off:int -> before:string -> after:string -> int64;
+      (** Must append a redo/undo record and return its LSN. *)
+  ensure_durable : int64 -> unit;
+      (** Called with a page's LSN before that page is written back. *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable page_flushes : int;
+}
+
+val create : ?capacity:int -> Pager.t -> t
+(** [capacity] is the number of frames (default 256). *)
+
+val pager : t -> Pager.t
+val page_size : t -> int
+val set_journal : t -> journal option -> unit
+
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+(** Read-only access; the page is pinned for the duration of the callback.
+    The callback must not retain the bytes. *)
+
+val update : t -> int -> (bytes -> 'a) -> 'a
+(** Mutating access: diffs the image, journals the change, stamps the LSN
+    and marks the frame dirty. *)
+
+val modify_unlogged : t -> int -> (bytes -> 'a) -> 'a
+(** Mutating access that bypasses the journal — recovery redo/undo only. *)
+
+val alloc : t -> Page.kind -> int
+(** Allocates a fresh page of the given kind (the kind tag write is
+    journaled). *)
+
+val flush_all : t -> unit
+(** Writes back all dirty frames (honouring the WAL rule) and syncs. *)
+
+val drop_cache : t -> unit
+(** Discards every frame without writing anything back — simulates losing
+    volatile memory in a crash. Fails if any page is pinned. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,36 @@
+(** Heap files ("table spaces"): unordered collections of variable-length
+    records addressed by {!Rid.t}. Records larger than a page spill into
+    overflow-page chains, so packed XML records never constrain page size
+    choice. Pages are chained from a per-file header page; free space is
+    tracked in an in-memory map rebuilt on attach. *)
+
+type t
+
+val create : Buffer_pool.t -> t
+(** Allocates a fresh heap file (header page + first data page). *)
+
+val attach : Buffer_pool.t -> header_page:int -> t
+(** Re-opens an existing heap file by its header page number. *)
+
+val header_page : t -> int
+
+val insert : t -> string -> Rid.t
+val read : t -> Rid.t -> string
+
+val delete : t -> Rid.t -> unit
+(** @raise Invalid_argument if the record does not exist. *)
+
+val update : t -> Rid.t -> string -> Rid.t
+(** Updates in place when possible; otherwise deletes and re-inserts,
+    returning the (possibly new) RID. *)
+
+val iter : (Rid.t -> string -> unit) -> t -> unit
+(** Full scan in page order. *)
+
+val record_count : t -> int
+
+val data_pages : t -> int
+(** Number of data pages (excluding header and overflow), for storage
+    accounting in the E1 benchmark. *)
+
+val overflow_pages : t -> int

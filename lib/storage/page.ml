@@ -1,0 +1,26 @@
+let lsn_size = 8
+let header_size = 16
+
+type kind = Free | Meta | Heap | Heap_overflow | Btree_internal | Btree_leaf
+
+let kind_to_tag = function
+  | Free -> 0
+  | Meta -> 1
+  | Heap -> 2
+  | Heap_overflow -> 3
+  | Btree_internal -> 4
+  | Btree_leaf -> 5
+
+let kind_of_tag = function
+  | 0 -> Free
+  | 1 -> Meta
+  | 2 -> Heap
+  | 3 -> Heap_overflow
+  | 4 -> Btree_internal
+  | 5 -> Btree_leaf
+  | n -> invalid_arg (Printf.sprintf "Page.kind_of_tag: %d" n)
+
+let get_lsn page = Bytes.get_int64_be page 0
+let set_lsn page lsn = Bytes.set_int64_be page 0 lsn
+let get_kind page = kind_of_tag (Char.code (Bytes.get page 8))
+let set_kind page kind = Bytes.set page 8 (Char.chr (kind_to_tag kind))

@@ -1,0 +1,19 @@
+(** Conventions for the raw page image shared by all page types.
+
+    Layout: bytes 0..7 hold the page LSN (big-endian), byte 8 the page type,
+    bytes 9..15 are reserved; component-specific content starts at
+    {!header_size}. *)
+
+val lsn_size : int
+val header_size : int
+
+(** Page type tags, recorded for debugging and recovery sanity checks. *)
+type kind = Free | Meta | Heap | Heap_overflow | Btree_internal | Btree_leaf
+
+val kind_to_tag : kind -> int
+val kind_of_tag : int -> kind
+
+val get_lsn : bytes -> int64
+val set_lsn : bytes -> int64 -> unit
+val get_kind : bytes -> kind
+val set_kind : bytes -> kind -> unit

@@ -1,0 +1,130 @@
+let default_page_size = 4096
+let magic = "RXPAGER1"
+
+type backend =
+  | Mem of { mutable pages : bytes array; mutable count : int }
+  | File of { fd : Unix.file_descr; mutable count : int }
+
+type t = {
+  page_size : int;
+  backend : backend;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let page_size t = t.page_size
+
+let page_count t =
+  match t.backend with Mem m -> m.count | File f -> f.count
+
+let create_in_memory ?(page_size = default_page_size) () =
+  let t =
+    {
+      page_size;
+      backend = Mem { pages = Array.make 64 Bytes.empty; count = 0 };
+      reads = 0;
+      writes = 0;
+    }
+  in
+  (* reserve page 0 *)
+  (match t.backend with
+  | Mem m ->
+      m.pages.(0) <- Bytes.make page_size '\000';
+      m.count <- 1
+  | File _ -> assert false);
+  t
+
+let pwrite_full fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec loop pos =
+    if pos < len then begin
+      let n = Unix.write fd buf pos (len - pos) in
+      loop (pos + n)
+    end
+  in
+  loop 0
+
+let pread_full fd buf off =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec loop pos =
+    if pos < len then begin
+      let n = Unix.read fd buf pos (len - pos) in
+      if n = 0 then invalid_arg "Pager: short read";
+      loop (pos + n)
+    end
+  in
+  loop 0
+
+let open_file ?(page_size = default_page_size) path =
+  let existed = Sys.file_exists path in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  if existed && (Unix.fstat fd).Unix.st_size > 0 then begin
+    let hdr = Bytes.make 16 '\000' in
+    pread_full fd hdr 0;
+    if Bytes.sub_string hdr 0 8 <> magic then failwith "Pager.open_file: bad magic";
+    let stored = Int32.to_int (Bytes.get_int32_be hdr 8) in
+    if stored <> page_size then
+      failwith
+        (Printf.sprintf "Pager.open_file: page size mismatch (%d vs %d)" stored
+           page_size);
+    let size = (Unix.fstat fd).Unix.st_size in
+    {
+      page_size;
+      backend = File { fd; count = size / page_size };
+      reads = 0;
+      writes = 0;
+    }
+  end
+  else begin
+    let hdr = Bytes.make page_size '\000' in
+    Bytes.blit_string magic 0 hdr 0 8;
+    Bytes.set_int32_be hdr 8 (Int32.of_int page_size);
+    pwrite_full fd hdr 0;
+    { page_size; backend = File { fd; count = 1 }; reads = 0; writes = 0 }
+  end
+
+let alloc t =
+  match t.backend with
+  | Mem m ->
+      if m.count >= Array.length m.pages then begin
+        let bigger = Array.make (2 * Array.length m.pages) Bytes.empty in
+        Array.blit m.pages 0 bigger 0 m.count;
+        m.pages <- bigger
+      end;
+      m.pages.(m.count) <- Bytes.make t.page_size '\000';
+      let n = m.count in
+      m.count <- n + 1;
+      n
+  | File f ->
+      let n = f.count in
+      pwrite_full f.fd (Bytes.make t.page_size '\000') (n * t.page_size);
+      f.count <- n + 1;
+      n
+
+let check_page_no t page_no =
+  if page_no <= 0 || page_no >= page_count t then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range" page_no)
+
+let read t page_no buf =
+  check_page_no t page_no;
+  t.reads <- t.reads + 1;
+  match t.backend with
+  | Mem m -> Bytes.blit m.pages.(page_no) 0 buf 0 t.page_size
+  | File f -> pread_full f.fd buf (page_no * t.page_size)
+
+let write t page_no buf =
+  check_page_no t page_no;
+  t.writes <- t.writes + 1;
+  match t.backend with
+  | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 t.page_size
+  | File f -> pwrite_full f.fd buf (page_no * t.page_size)
+
+let sync t =
+  match t.backend with Mem _ -> () | File f -> Unix.fsync f.fd
+
+let close t =
+  match t.backend with Mem _ -> () | File f -> Unix.close f.fd
+
+let io_stats t = (t.reads, t.writes)

@@ -1,0 +1,32 @@
+(** The external storage manager: a flat array of fixed-size pages, backed by
+    either an in-memory store (for tests and benchmarks) or a file. Page 0 is
+    reserved for pager metadata (magic, page size); user pages start at 1. *)
+
+type t
+
+val default_page_size : int
+
+val create_in_memory : ?page_size:int -> unit -> t
+
+val open_file : ?page_size:int -> string -> t
+(** Opens (creating if absent) a file-backed pager.
+    @raise Failure if the file exists with a different page size. *)
+
+val page_size : t -> int
+
+val page_count : t -> int
+(** Number of allocated pages, including the reserved page 0. *)
+
+val alloc : t -> int
+(** Allocates a fresh zeroed page and returns its number. *)
+
+val read : t -> int -> bytes -> unit
+(** [read t page_no buf] fills [buf] (of length [page_size]) with the page
+    image. *)
+
+val write : t -> int -> bytes -> unit
+val sync : t -> unit
+val close : t -> unit
+
+val io_stats : t -> int * int
+(** (reads, writes) performed, for the benchmark harness. *)

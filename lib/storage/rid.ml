@@ -1,0 +1,24 @@
+open Rx_util
+
+type t = { page : int; slot : int }
+
+let make ~page ~slot = { page; slot }
+
+let compare a b =
+  let c = Int.compare a.page b.page in
+  if c <> 0 then c else Int.compare a.slot b.slot
+
+let equal a b = compare a b = 0
+let hash t = (t.page * 65599) + t.slot
+
+let encode w t =
+  Bytes_io.Writer.u32 w t.page;
+  Bytes_io.Writer.u16 w t.slot
+
+let decode r =
+  let page = Bytes_io.Reader.u32 r in
+  let slot = Bytes_io.Reader.u16 r in
+  { page; slot }
+
+let to_string t = Printf.sprintf "(%d,%d)" t.page t.slot
+let pp fmt t = Format.pp_print_string fmt (to_string t)

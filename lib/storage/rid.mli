@@ -1,0 +1,15 @@
+(** Physical record identifiers: (page number, slot number), the RIDs of
+    §3.1 that XPath value indexes and the NodeID index map into. *)
+
+type t = { page : int; slot : int }
+
+val make : page:int -> slot:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val encode : Rx_util.Bytes_io.Writer.t -> t -> unit
+val decode : Rx_util.Bytes_io.Reader.t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

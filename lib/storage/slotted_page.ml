@@ -1,0 +1,208 @@
+(* Layout (byte offsets within the page):
+     16  u16 slot_count
+     18  u16 cell_start   (lowest byte used by cell content)
+     20  u16 frag_bytes   (reclaimable bytes from deleted cells)
+     22  u32 next_page
+     26  u32 aux
+     30  u16 reserved
+     32  slot directory: per slot, u16 cell offset (0 = dead) and u16 length *)
+
+let header_size = 32
+let slot_entry_size = 4
+
+let u16_get page off = Char.code (Bytes.get page off) lsl 8 lor Char.code (Bytes.get page (off + 1))
+
+let u16_set page off v =
+  Bytes.set page off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set page (off + 1) (Char.chr (v land 0xff))
+
+let u32_get page off = (u16_get page off lsl 16) lor u16_get page (off + 2)
+
+let u32_set page off v =
+  u16_set page off ((v lsr 16) land 0xffff);
+  u16_set page (off + 2) (v land 0xffff)
+
+let slot_count page = u16_get page 16
+let set_slot_count page v = u16_set page 16 v
+let cell_start page = u16_get page 18
+let set_cell_start page v = u16_set page 18 v
+let frag_bytes page = u16_get page 20
+let set_frag_bytes page v = u16_set page 20 v
+let next_page page = u32_get page 22
+let set_next_page page v = u32_set page 22 v
+let aux page = u32_get page 26
+let set_aux page v = u32_set page 26 v
+
+let init page =
+  set_slot_count page 0;
+  set_cell_start page (Bytes.length page);
+  set_frag_bytes page 0;
+  set_next_page page 0;
+  set_aux page 0
+
+let slot_pos n = header_size + (n * slot_entry_size)
+let slot_offset page n = u16_get page (slot_pos n)
+let slot_len page n = u16_get page (slot_pos n + 2)
+
+let set_slot page n ~offset ~len =
+  u16_set page (slot_pos n) offset;
+  u16_set page (slot_pos n + 2) len
+
+let live_count page =
+  let n = slot_count page in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if slot_offset page i <> 0 then incr count
+  done;
+  !count
+
+let directory_end page = slot_pos (slot_count page)
+
+let free_space page =
+  cell_start page - directory_end page + frag_bytes page - slot_entry_size
+
+let max_record_size ~page_size = page_size - header_size - slot_entry_size
+
+(* Repack all live cells against the end of the page, preserving slot
+   numbers. *)
+let compact page =
+  let n = slot_count page in
+  let cells = ref [] in
+  for i = 0 to n - 1 do
+    let off = slot_offset page i in
+    if off <> 0 then
+      cells := (i, Bytes.sub page off (slot_len page i)) :: !cells
+  done;
+  let pos = ref (Bytes.length page) in
+  List.iter
+    (fun (i, cell) ->
+      let len = Bytes.length cell in
+      pos := !pos - len;
+      Bytes.blit cell 0 page !pos len;
+      set_slot page i ~offset:!pos ~len)
+    !cells;
+  set_cell_start page !pos;
+  set_frag_bytes page 0
+
+let find_dead_slot page =
+  let n = slot_count page in
+  let rec loop i =
+    if i >= n then None else if slot_offset page i = 0 then Some i else loop (i + 1)
+  in
+  loop 0
+
+let rec insert page payload =
+  let len = String.length payload in
+  let reuse = find_dead_slot page in
+  let dir_growth = match reuse with Some _ -> 0 | None -> slot_entry_size in
+  let contiguous = cell_start page - directory_end page - dir_growth in
+  if contiguous < len then begin
+    if contiguous + frag_bytes page < len then None
+    else begin
+      compact page;
+      (* compaction does not change directory size *)
+      if cell_start page - directory_end page - dir_growth < len then None
+      else insert_after_compact page payload reuse
+    end
+  end
+  else insert_after_compact page payload reuse
+
+and insert_after_compact page payload reuse =
+  let len = String.length payload in
+  let slot =
+    match reuse with
+    | Some i -> i
+    | None ->
+        let i = slot_count page in
+        set_slot_count page (i + 1);
+        i
+  in
+  let offset = cell_start page - len in
+  Bytes.blit_string payload 0 page offset len;
+  set_cell_start page offset;
+  set_slot page slot ~offset ~len;
+  Some slot
+
+let insert_at page slot payload =
+  let n = slot_count page in
+  if slot >= n then begin
+    for i = n to slot do
+      set_slot page i ~offset:0 ~len:0
+    done;
+    set_slot_count page (slot + 1)
+  end
+  else if slot_offset page slot <> 0 then begin
+    (* replace existing: free old cell first *)
+    set_frag_bytes page (frag_bytes page + slot_len page slot);
+    set_slot page slot ~offset:0 ~len:0
+  end;
+  let len = String.length payload in
+  if cell_start page - directory_end page < len then compact page;
+  let offset = cell_start page - len in
+  if offset < directory_end page then failwith "Slotted_page.insert_at: no space";
+  Bytes.blit_string payload 0 page offset len;
+  set_cell_start page offset;
+  set_slot page slot ~offset ~len
+
+let get page slot =
+  if slot < 0 || slot >= slot_count page then None
+  else
+    let off = slot_offset page slot in
+    if off = 0 then None else Some (Bytes.sub_string page off (slot_len page slot))
+
+let delete page slot =
+  if slot >= 0 && slot < slot_count page then begin
+    let off = slot_offset page slot in
+    if off <> 0 then begin
+      set_frag_bytes page (frag_bytes page + slot_len page slot);
+      set_slot page slot ~offset:0 ~len:0;
+      (* trim trailing dead slots so the directory can shrink *)
+      let n = ref (slot_count page) in
+      while !n > 0 && slot_offset page (!n - 1) = 0 do
+        decr n
+      done;
+      set_slot_count page !n
+    end
+  end
+
+let update page slot payload =
+  match get page slot with
+  | None -> invalid_arg "Slotted_page.update: dead slot"
+  | Some old ->
+      let len = String.length payload in
+      let old_len = String.length old in
+      if len <= old_len then begin
+        (* shrink in place *)
+        let off = slot_offset page slot in
+        Bytes.blit_string payload 0 page off len;
+        set_slot page slot ~offset:off ~len;
+        set_frag_bytes page (frag_bytes page + (old_len - len));
+        true
+      end
+      else begin
+        (* free old cell, then behave like insert into the same slot *)
+        set_frag_bytes page (frag_bytes page + old_len);
+        set_slot page slot ~offset:0 ~len:0;
+        let contiguous = cell_start page - directory_end page in
+        if contiguous < len && contiguous + frag_bytes page >= len then
+          compact page;
+        if cell_start page - directory_end page < len then begin
+          (* roll back: re-insert the old payload into the same slot *)
+          insert_at page slot old;
+          false
+        end
+        else begin
+          let offset = cell_start page - len in
+          Bytes.blit_string payload 0 page offset len;
+          set_cell_start page offset;
+          set_slot page slot ~offset ~len;
+          true
+        end
+      end
+
+let iter f page =
+  let n = slot_count page in
+  for i = 0 to n - 1 do
+    let off = slot_offset page i in
+    if off <> 0 then f i (Bytes.sub_string page off (slot_len page i))
+  done

@@ -1,0 +1,51 @@
+(** Slotted-page layout for variable-length records.
+
+    A slot directory grows forward from the header; cell contents grow
+    backward from the end of the page. Slot numbers are stable across
+    compaction, so RIDs remain valid for the life of a record — the property
+    §3.1 relies on ("maximum flexibility of record placement"). *)
+
+val header_size : int
+(** First byte usable by the slot directory. *)
+
+val init : bytes -> unit
+(** Formats an empty slotted page (does not touch the page header). *)
+
+val slot_count : bytes -> int
+(** Size of the slot directory, including dead slots. *)
+
+val live_count : bytes -> int
+
+val next_page : bytes -> int
+val set_next_page : bytes -> int -> unit
+
+val aux : bytes -> int
+(** A spare u32 for the owning component (e.g. B+tree right-sibling). *)
+
+val set_aux : bytes -> int -> unit
+
+val free_space : bytes -> int
+(** Bytes available for one new record (counting a fresh slot entry),
+    assuming compaction. *)
+
+val max_record_size : page_size:int -> int
+(** Largest record insertable into an empty page. *)
+
+val insert : bytes -> string -> int option
+(** [insert page payload] returns the slot number, or [None] if the payload
+    does not fit even after compaction. *)
+
+val insert_at : bytes -> int -> string -> unit
+(** Forces [payload] into the given slot number, growing the directory as
+    needed — used only by recovery redo. *)
+
+val get : bytes -> int -> string option
+(** [None] if the slot is dead or out of range. *)
+
+val delete : bytes -> int -> unit
+
+val update : bytes -> int -> string -> bool
+(** In-place update; [false] if the new payload cannot fit on this page. *)
+
+val iter : (int -> string -> unit) -> bytes -> unit
+(** Live slots in slot-number order. *)

@@ -1,0 +1,165 @@
+type entry = { txid : int; resource : Resource.t; mutable mode : Lock_modes.t }
+
+type bucket = {
+  mutable granted : entry list;
+  mutable queue : entry list; (* FIFO: head is the oldest waiter *)
+}
+
+type t = { buckets : (int * int, bucket) Hashtbl.t }
+
+type outcome = Granted | Blocked of int list
+
+let create () = { buckets = Hashtbl.create 64 }
+
+let bucket_for t resource =
+  let key = Resource.group_key resource in
+  match Hashtbl.find_opt t.buckets key with
+  | Some b -> b
+  | None ->
+      let b = { granted = []; queue = [] } in
+      Hashtbl.replace t.buckets key b;
+      b
+
+(* Conflicts of (txid, resource, mode) against granted entries. An ancestor
+   bucket never contains finer-granularity resources of other granules
+   because group keys separate them. *)
+let conflicts bucket ~txid resource mode =
+  List.filter_map
+    (fun e ->
+      if e.txid <> txid
+         && Resource.overlaps e.resource resource
+         && not (Lock_modes.compatible e.mode mode)
+      then Some e.txid
+      else None)
+    bucket.granted
+  |> List.sort_uniq compare
+
+let own_entry bucket ~txid resource =
+  List.find_opt
+    (fun e -> e.txid = txid && Resource.compare e.resource resource = 0)
+    bucket.granted
+
+let queued_entry bucket ~txid resource =
+  List.find_opt
+    (fun e -> e.txid = txid && Resource.compare e.resource resource = 0)
+    bucket.queue
+
+let request t ~txid resource mode =
+  let bucket = bucket_for t resource in
+  let target =
+    match own_entry bucket ~txid resource with
+    | Some e -> Lock_modes.supremum e.mode mode
+    | None -> mode
+  in
+  match conflicts bucket ~txid resource target with
+  | [] ->
+      (match own_entry bucket ~txid resource with
+      | Some e -> e.mode <- target
+      | None ->
+          bucket.granted <- { txid; resource; mode = target } :: bucket.granted);
+      (* a grant supersedes any previous queued request *)
+      bucket.queue <- List.filter (fun e -> not (e.txid = txid && Resource.compare e.resource resource = 0)) bucket.queue;
+      Granted
+  | blockers ->
+      (match queued_entry bucket ~txid resource with
+      | Some e -> e.mode <- Lock_modes.supremum e.mode target
+      | None -> bucket.queue <- bucket.queue @ [ { txid; resource; mode = target } ]);
+      Blocked blockers
+
+let cancel_waits t ~txid =
+  Hashtbl.iter
+    (fun _ bucket -> bucket.queue <- List.filter (fun e -> e.txid <> txid) bucket.queue)
+    t.buckets
+
+let promote_waiters t =
+  let newly = ref [] in
+  Hashtbl.iter
+    (fun _ bucket ->
+      let rec scan = function
+        | [] -> []
+        | e :: rest ->
+            if conflicts bucket ~txid:e.txid e.resource e.mode = [] then begin
+              (match own_entry bucket ~txid:e.txid e.resource with
+              | Some g -> g.mode <- Lock_modes.supremum g.mode e.mode
+              | None -> bucket.granted <- e :: bucket.granted);
+              newly := e.txid :: !newly;
+              scan rest
+            end
+            else e :: scan rest
+      in
+      bucket.queue <- scan bucket.queue)
+    t.buckets;
+  List.sort_uniq compare !newly
+
+let release_all t ~txid =
+  Hashtbl.iter
+    (fun _ bucket ->
+      bucket.granted <- List.filter (fun e -> e.txid <> txid) bucket.granted;
+      bucket.queue <- List.filter (fun e -> e.txid <> txid) bucket.queue)
+    t.buckets;
+  promote_waiters t
+
+let holds t ~txid resource =
+  let bucket = bucket_for t resource in
+  Option.map (fun e -> e.mode) (own_entry bucket ~txid resource)
+
+let locks_held t ~txid =
+  Hashtbl.fold
+    (fun _ bucket acc ->
+      List.fold_left
+        (fun acc e -> if e.txid = txid then (e.resource, e.mode) :: acc else acc)
+        acc bucket.granted)
+    t.buckets []
+
+let is_waiting t ~txid =
+  Hashtbl.fold
+    (fun _ bucket acc -> acc || List.exists (fun e -> e.txid = txid) bucket.queue)
+    t.buckets false
+
+let waits_for_edges t =
+  Hashtbl.fold
+    (fun _ bucket acc ->
+      List.fold_left
+        (fun acc e ->
+          List.fold_left
+            (fun acc blocker -> (e.txid, blocker) :: acc)
+            acc
+            (conflicts bucket ~txid:e.txid e.resource e.mode))
+        acc bucket.queue)
+    t.buckets []
+
+let find_deadlock t =
+  let edges = waits_for_edges t in
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+    edges;
+  (* DFS cycle detection; return the youngest transaction on a cycle *)
+  let color = Hashtbl.create 16 in
+  let cycle = ref None in
+  let rec dfs path v =
+    match Hashtbl.find_opt color v with
+    | Some `Done -> ()
+    | Some `Active ->
+        (* found a cycle: the suffix of the path from v *)
+        let rec suffix = function
+          | x :: rest -> if x = v then x :: rest else suffix rest
+          | [] -> []
+        in
+        let members = suffix (List.rev (v :: path)) in
+        let victim = List.fold_left max v members in
+        if !cycle = None then cycle := Some victim
+    | None ->
+        Hashtbl.replace color v `Active;
+        List.iter (dfs (v :: path)) (Option.value ~default:[] (Hashtbl.find_opt adj v));
+        Hashtbl.replace color v `Done
+  in
+  Hashtbl.iter (fun v _ -> if !cycle = None then dfs [] v) adj;
+  !cycle
+
+let stats t =
+  Hashtbl.fold
+    (fun _ bucket (g, w) ->
+      (g + List.length bucket.granted, w + List.length bucket.queue))
+    t.buckets (0, 0)

@@ -1,0 +1,40 @@
+(** Lock manager extended for XML (§5): classic hash-bucketed lock table
+    with FIFO wait queues, lock upgrades via mode suprema, and
+    prefix-encoded node-ID resources whose conflicts are subtree overlaps.
+
+    The manager is a synchronous state machine for the simulated-client
+    harness: a blocked request is queued and the caller decides whether to
+    wait (poll [is_waiting]) or abort; [release_all] reports which queued
+    transactions became grantable. Deadlocks are detected from the
+    waits-for graph. *)
+
+type t
+
+type outcome =
+  | Granted
+  | Blocked of int list (** transaction ids currently blocking this one *)
+
+val create : unit -> t
+
+val request : t -> txid:int -> Resource.t -> Lock_modes.t -> outcome
+(** Acquires or upgrades. On conflict the request stays queued (re-request
+    is idempotent). Does {e not} acquire ancestor intention locks — see
+    {!Transaction}. *)
+
+val cancel_waits : t -> txid:int -> unit
+(** Drops any queued request of the transaction (used on abort). *)
+
+val release_all : t -> txid:int -> int list
+(** Releases everything the transaction holds and promotes waiters;
+    returns the transactions whose queued request was granted. *)
+
+val holds : t -> txid:int -> Resource.t -> Lock_modes.t option
+val locks_held : t -> txid:int -> (Resource.t * Lock_modes.t) list
+val is_waiting : t -> txid:int -> bool
+
+val find_deadlock : t -> int option
+(** Some transaction on a waits-for cycle (the youngest = largest txid),
+    or [None]. *)
+
+val stats : t -> int * int
+(** (granted lock entries, waiting requests). *)

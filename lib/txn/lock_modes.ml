@@ -1,0 +1,42 @@
+type t = IS | IX | S | SIX | U | X
+
+(* Standard compatibility matrix; U is compatible with S but not with
+   another U (avoids convoy deadlocks on read-modify-write). *)
+let compatible held requested =
+  match (held, requested) with
+  | IS, (IS | IX | S | SIX | U) -> true
+  | IX, (IS | IX) -> true
+  | S, (IS | S | U) -> true
+  | SIX, IS -> true
+  | U, (IS | S) -> true
+  | X, _ | _, X -> false
+  | IX, (S | SIX | U) | S, (IX | SIX) | SIX, (IX | S | SIX | U)
+  | U, (IX | SIX | U) ->
+      false
+
+(* The supremum is characterized by compatibility: a third transaction's
+   mode is compatible with [supremum a b] iff it is compatible with both
+   [a] and [b] (verified by a property test). *)
+let supremum a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | IS, o | o, IS -> o
+    | X, _ | _, X -> X
+    | S, U | U, S -> U
+    | (IX | SIX), (S | SIX | U | IX) | (S | U), (IX | SIX) -> SIX
+    | (S | U), (S | U) -> U
+
+let stronger_or_equal a b = supremum a b = a
+
+let intention_for = function IS | S -> IS | IX | SIX | U | X -> IX
+
+let to_string = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | SIX -> "SIX"
+  | U -> "U"
+  | X -> "X"
+
+

@@ -1,0 +1,19 @@
+(** Multiple-granularity lock modes (§5.2, after Gray et al.): shared,
+    exclusive, update, and the intention modes that let a transaction lock a
+    table or document before locking nodes beneath it. *)
+
+type t = IS | IX | S | SIX | U | X
+
+val compatible : t -> t -> bool
+(** [compatible held requested]. *)
+
+val supremum : t -> t -> t
+(** Least mode at least as strong as both (lock upgrade). *)
+
+val stronger_or_equal : t -> t -> bool
+
+val intention_for : t -> t
+(** The ancestor-level intention mode required before taking this mode on a
+    finer granule: IS for reads, IX for everything else. *)
+
+val to_string : t -> string

@@ -1,0 +1,58 @@
+(** Document-level multi-versioning (§5.1): readers never lock and never
+    block — each version of a document keeps its own packed records and
+    NodeID-index entries, so "a reader's deferred access is guaranteed to
+    be successful".
+
+    As in the paper, the versioned NodeID-index keys sort a document's
+    versions newest-first: the physical key is (DocID, ver#, NodeID, RID)
+    with the version component inverted, implemented by mapping each
+    (docid, version) pair onto an internal document id of the shared
+    {!Rx_xmlstore.Doc_store}. XPath value indexes are expected to index only
+    the most recent committed version (the paper's scheme); observers fire
+    only for current versions. *)
+
+type t
+
+val create :
+  ?record_threshold:int -> Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> t
+
+val store : t -> Rx_xmlstore.Doc_store.t
+(** The underlying document store (for wiring value-index observers). *)
+
+type staged
+
+val stage_write : t -> docid:int -> Rx_xml.Token.t list -> staged
+(** Writes a new, not-yet-visible version of [docid] (a fresh insert if the
+    document does not exist). Uncommitted versions are invisible to every
+    snapshot. *)
+
+val stage_delete : t -> docid:int -> staged
+
+val commit : t -> staged list -> int
+(** Publishes the staged versions atomically and returns the commit
+    timestamp. *)
+
+val abort : t -> staged list -> unit
+(** Discards staged versions and their storage. *)
+
+val snapshot : t -> int
+(** Current timestamp; reads at this snapshot see all commits so far. *)
+
+val current_version : t -> docid:int -> int option
+(** Internal document id of the latest committed version, if the document
+    exists (used by value indexes, which track only current data). *)
+
+val version_at : t -> snapshot:int -> docid:int -> int option
+
+val events_at :
+  t -> snapshot:int -> docid:int -> (Rx_xmlstore.Doc_store.event -> unit) -> unit
+(** @raise Invalid_argument if the document does not exist at the
+    snapshot. *)
+
+val serialize_at : t -> snapshot:int -> docid:int -> string
+
+val gc : t -> oldest_snapshot:int -> int
+(** Drops versions superseded before the oldest live snapshot; returns the
+    number of versions reclaimed. *)
+
+val version_count : t -> docid:int -> int

@@ -1,0 +1,34 @@
+open Rx_xmlstore
+
+type t =
+  | Table of int
+  | Document of { table : int; docid : int }
+  | Node of { table : int; docid : int; node : Node_id.t }
+
+let parent = function
+  | Table _ -> None
+  | Document { table; _ } -> Some (Table table)
+  | Node { table; docid; _ } -> Some (Document { table; docid })
+
+let overlaps a b =
+  match (a, b) with
+  | Table x, Table y -> x = y
+  | Document x, Document y -> x.table = y.table && x.docid = y.docid
+  | Node x, Node y ->
+      x.table = y.table && x.docid = y.docid
+      && (Node_id.is_ancestor_or_self ~ancestor:x.node y.node
+         || Node_id.is_ancestor_or_self ~ancestor:y.node x.node)
+  | (Table _ | Document _ | Node _), _ -> false
+
+let group_key = function
+  | Table t -> (t, -1)
+  | Document { table; docid } -> (table, docid)
+  | Node { table; docid; _ } -> (table, docid)
+
+let to_string = function
+  | Table t -> Printf.sprintf "table:%d" t
+  | Document { table; docid } -> Printf.sprintf "doc:%d/%d" table docid
+  | Node { table; docid; node } ->
+      Printf.sprintf "node:%d/%d/%s" table docid (Node_id.to_hex node)
+
+let compare = Stdlib.compare

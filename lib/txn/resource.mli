@@ -1,0 +1,25 @@
+(** Lockable resources in the granularity hierarchy of §5: table → document
+    → node (a prefix-encoded node ID, so a lock on a node covers its whole
+    subtree: "ancestor-descendant relationship can be checked by testing if
+    one is a prefix of the other"). *)
+
+type t =
+  | Table of int
+  | Document of { table : int; docid : int }
+  | Node of { table : int; docid : int; node : Rx_xmlstore.Node_id.t }
+
+val parent : t -> t option
+(** The next-coarser granule. *)
+
+val overlaps : t -> t -> bool
+(** Two resources conflict-check against each other: equal tables,
+    equal (table, docid), or node IDs in ancestor-or-self relation within
+    the same document. Different granularity levels never overlap directly
+    (that is what intention modes are for). *)
+
+val group_key : t -> int * int
+(** Hash-table key: node resources of one document share a bucket so the
+    prefix test can scan them. *)
+
+val to_string : t -> string
+val compare : t -> t -> int

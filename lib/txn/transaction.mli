@@ -1,0 +1,43 @@
+(** Transaction manager tying together lock manager, WAL and rollback.
+
+    Designed for the simulated-concurrency harness: lock acquisition is
+    non-blocking ([`Blocked] tells the scheduler to retry or abort), and
+    [commit]/[abort] return the transactions whose queued lock requests
+    became grantable. Locking follows the multiple-granularity protocol:
+    taking a mode on a granule first takes the corresponding intention mode
+    on every ancestor granule. *)
+
+type manager
+type t
+
+val create_manager :
+  ?log:Rx_wal.Log_manager.t -> ?pool:Rx_storage.Buffer_pool.t -> unit -> manager
+(** With [log] and [pool], commits force the log and aborts roll back page
+    updates; without them, transactions are lock-only. *)
+
+val lock_manager : manager -> Lock_manager.t
+
+val install_journal : manager -> unit
+(** Wires the buffer pool's journal to the log, tagging updates with the
+    transaction currently executing under {!run_as}. *)
+
+val begin_txn : manager -> t
+val txid : t -> int
+val is_active : t -> bool
+
+val run_as : t -> (unit -> 'a) -> 'a
+(** Executes [f] with page updates attributed to this transaction. *)
+
+val lock : t -> Resource.t -> Lock_modes.t -> [ `Granted | `Blocked of int list ]
+(** Acquires intention locks on ancestors, then the requested mode.
+    @raise Invalid_argument if the transaction is no longer active. *)
+
+val commit : t -> int list
+(** Forces the log, releases locks; returns transactions whose queued lock
+    requests were granted by the release. *)
+
+val abort : t -> int list
+(** Rolls back this transaction's page updates (when WAL-backed), releases
+    locks; same return as {!commit}. *)
+
+val active_count : manager -> int

@@ -1,0 +1,76 @@
+open Rx_util
+
+type t = { tree : Rx_btree.Btree.t }
+
+let create pool = { tree = Rx_btree.Btree.create pool }
+let attach pool ~meta_page = { tree = Rx_btree.Btree.attach pool ~meta_page }
+let meta_page t = Rx_btree.Btree.meta_page t.tree
+
+let max_version = 0x3fff_ffff
+
+(* Key layout: docid | endpoint (length-prefixed so the descending version
+   component cannot bleed into it) | complemented ver#. Within one endpoint,
+   entries therefore sort newest version first — the paper's "with ver# in
+   descending order". *)
+let key ~docid ~endpoint ~version =
+  if version <= 0 || version > max_version then
+    invalid_arg "Versioned_node_index: version out of range";
+  let buf = Buffer.create 24 in
+  Key_codec.encode_int64 buf (Int64.of_int docid);
+  Key_codec.encode_string buf endpoint;
+  Key_codec.encode_int64 buf (Int64.of_int (max_version - version));
+  Buffer.contents buf
+
+let endpoint_prefix ~docid ~endpoint =
+  let buf = Buffer.create 24 in
+  Key_codec.encode_int64 buf (Int64.of_int docid);
+  Key_codec.encode_string buf endpoint;
+  Buffer.contents buf
+
+let decode_key k =
+  let docid, pos = Key_codec.decode_int64 k 0 in
+  let endpoint, pos = Key_codec.decode_string k pos in
+  let inv, _ = Key_codec.decode_int64 k pos in
+  (Int64.to_int docid, endpoint, max_version - Int64.to_int inv)
+
+let rid_value rid =
+  let w = Bytes_io.Writer.create ~capacity:6 () in
+  Rx_storage.Rid.encode w rid;
+  Bytes_io.Writer.contents w
+
+let insert t ~docid ~endpoint ~version rid =
+  Rx_btree.Btree.insert t.tree ~key:(key ~docid ~endpoint ~version)
+    ~value:(rid_value rid)
+
+let remove t ~docid ~endpoint ~version =
+  Rx_btree.Btree.delete t.tree (key ~docid ~endpoint ~version)
+
+let seek t ~docid ~node ~snapshot =
+  (* Scan from (docid, node, newest). Within one endpoint, versions arrive
+     newest-first, so the first entry with version <= snapshot is the
+     newest visible one; entries that are too new are simply skipped — if a
+     whole endpoint is invisible at this snapshot, the scan falls through
+     to the next endpoint, whose (older) interval then covers the node. *)
+  let lo = endpoint_prefix ~docid ~endpoint:node in
+  let result = ref None in
+  Rx_btree.Btree.iter_range t.tree ~lo (fun k v ->
+      let entry_docid, endpoint, version = decode_key k in
+      if entry_docid <> docid then `Stop
+      else if version <= snapshot then begin
+        result :=
+          Some (endpoint, version, Rx_storage.Rid.decode (Bytes_io.Reader.of_string v));
+        `Stop
+      end
+      else `Continue);
+  !result
+
+let versions_at t ~docid ~endpoint =
+  let acc = ref [] in
+  Rx_btree.Btree.iter_prefix t.tree ~prefix:(endpoint_prefix ~docid ~endpoint)
+    (fun k v ->
+      let _, _, version = decode_key k in
+      acc := (version, Rx_storage.Rid.decode (Bytes_io.Reader.of_string v)) :: !acc;
+      `Continue);
+  List.rev !acc
+
+let entry_count t = Rx_btree.Btree.entry_count t.tree

@@ -1,0 +1,47 @@
+(** The sub-document multi-versioning index layout of §5.2: NodeID-index
+    entries extended to [(DocID, NodeID, ver#, RID)] so that record-level
+    consistency can combine node-ID locking with versioning. A reader at
+    snapshot [s] looking up a logical position finds, among the interval
+    endpoints at or after its NodeID, the newest version [<= s] — the paper
+    stores [ver#] descending for exactly this seek, which is how it is
+    encoded here (version numbers are complemented in the key).
+
+    The paper leaves the full protocol open ("details are omitted here;
+    efficient sub-document concurrency control ... remains a research
+    area"); this module implements the data structure itself with its seek
+    semantics, property-tested against a naive model. *)
+
+type t
+
+val create : Rx_storage.Buffer_pool.t -> t
+val attach : Rx_storage.Buffer_pool.t -> meta_page:int -> t
+val meta_page : t -> int
+
+val insert :
+  t ->
+  docid:int ->
+  endpoint:Rx_xmlstore.Node_id.t ->
+  version:int ->
+  Rx_storage.Rid.t ->
+  unit
+(** Registers a record version covering the interval ending at [endpoint].
+    Versions are positive and monotonically assigned by the caller. *)
+
+val remove :
+  t -> docid:int -> endpoint:Rx_xmlstore.Node_id.t -> version:int -> bool
+(** Garbage-collects one version's entry. *)
+
+val seek :
+  t ->
+  docid:int ->
+  node:Rx_xmlstore.Node_id.t ->
+  snapshot:int ->
+  (Rx_xmlstore.Node_id.t * int * Rx_storage.Rid.t) option
+(** The first interval endpoint [>= node] that has a version [<= snapshot]:
+    [(endpoint, version, rid)] with the {e newest} qualifying version. *)
+
+val versions_at :
+  t -> docid:int -> endpoint:Rx_xmlstore.Node_id.t -> (int * Rx_storage.Rid.t) list
+(** All versions recorded for one endpoint, newest first. *)
+
+val entry_count : t -> int

@@ -1,0 +1,73 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t n = Buffer.add_char t (Char.chr (n land 0xff))
+
+  let u16 t n =
+    u8 t (n lsr 8);
+    u8 t n
+
+  let u32 t n =
+    u16 t (n lsr 16);
+    u16 t n
+
+  let u64 t n = Buffer.add_int64_be t n
+  let varint = Varint.write
+  let bytes = Buffer.add_string
+
+  let lstring t s =
+    varint t (String.length s);
+    bytes t s
+
+  let contents = Buffer.contents
+  let clear = Buffer.clear
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string ?(pos = 0) src = { src; pos }
+  let pos t = t.pos
+  let seek t p = t.pos <- p
+  let remaining t = String.length t.src - t.pos
+  let at_end t = t.pos >= String.length t.src
+
+  let u8 t =
+    if t.pos >= String.length t.src then invalid_arg "Reader.u8: eof";
+    let c = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    (hi lsl 16) lor lo
+
+  let u64 t =
+    if t.pos + 8 > String.length t.src then invalid_arg "Reader.u64: eof";
+    let v = String.get_int64_be t.src t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let varint t =
+    let v, next = Varint.read t.src t.pos in
+    t.pos <- next;
+    v
+
+  let bytes t n =
+    if t.pos + n > String.length t.src then invalid_arg "Reader.bytes: eof";
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let lstring t =
+    let n = varint t in
+    bytes t n
+end

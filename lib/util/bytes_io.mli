@@ -1,0 +1,41 @@
+(** Binary readers and writers over strings, shared by the record format,
+    the B+tree page layout and the log manager. All multi-byte integers are
+    big-endian so that encoded keys compare correctly as byte strings. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val varint : t -> int -> unit
+  val bytes : t -> string -> unit
+
+  val lstring : t -> string -> unit
+  (** Varint length prefix followed by the raw bytes. *)
+
+  val contents : t -> string
+  val clear : t -> unit
+end
+
+module Reader : sig
+  type t
+
+  val of_string : ?pos:int -> string -> t
+  val pos : t -> int
+  val seek : t -> int -> unit
+  val remaining : t -> int
+  val at_end : t -> bool
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int64
+  val varint : t -> int
+  val bytes : t -> int -> string
+
+  val lstring : t -> string
+  (** Inverse of {!Writer.lstring}. *)
+end

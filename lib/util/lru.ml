@@ -1,0 +1,122 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  unlink t node;
+  push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      touch t node;
+      Some node.value
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node -> Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      Some (node.key, node.value)
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      touch t node;
+      None
+  | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      push_front t node;
+      if Hashtbl.length t.table > t.capacity then evict_lru t else None
+
+let put_evict_if t ~can_evict k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      touch t node;
+      Some None
+  | None ->
+      if Hashtbl.length t.table < t.capacity then begin
+        let node = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.table k node;
+        push_front t node;
+        Some None
+      end
+      else begin
+        (* walk from LRU end to find an evictable victim *)
+        let rec find_victim = function
+          | None -> None
+          | Some node ->
+              if can_evict node.key node.value then Some node
+              else find_victim node.prev
+        in
+        match find_victim t.tail with
+        | None -> None
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key;
+            let node = { key = k; value = v; prev = None; next = None } in
+            Hashtbl.replace t.table k node;
+            push_front t node;
+            Some (Some (victim.key, victim.value))
+      end
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table k
+
+let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.table
+
+let to_list t =
+  let rec loop acc = function
+    | None -> List.rev acc
+    | Some node -> loop ((node.key, node.value) :: acc) node.next
+  in
+  loop [] t.head

@@ -1,0 +1,24 @@
+(** Deterministic splitmix64 PRNG for workload generators: benchmarks must be
+    reproducible run-to-run, so nothing in the repo uses [Random] global
+    state. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+val choose : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+
+val word : t -> ?min_len:int -> ?max_len:int -> unit -> string
+(** Random lowercase ASCII word, handy for generating element text. *)

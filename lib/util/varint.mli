@@ -1,0 +1,12 @@
+(** Variable-length integer encoding (LEB128, unsigned) used throughout the
+    packed XML record format and the write-ahead log. *)
+
+val write : Buffer.t -> int -> unit
+(** [write buf n] appends the LEB128 encoding of [n] (must be [>= 0]). *)
+
+val read : string -> int -> int * int
+(** [read s pos] decodes a varint at [pos] and returns [(value, next_pos)].
+    @raise Invalid_argument on truncated input. *)
+
+val size : int -> int
+(** [size n] is the number of bytes [write] produces for [n]. *)

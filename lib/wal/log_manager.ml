@@ -1,0 +1,102 @@
+(* Record framing on the wire: u32 length then payload. The in-memory image
+   [contents] always mirrors everything appended; for the file backend,
+   [durable] tracks how much of it has been written + fsynced. *)
+
+type backend = Memory | File of Unix.file_descr
+
+type t = {
+  backend : backend;
+  mutable contents : Buffer.t;
+  mutable durable : int64;
+  mutable appended : int;
+}
+
+let create_in_memory () =
+  { backend = Memory; contents = Buffer.create 4096; durable = 0L; appended = 0 }
+
+let open_file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let contents = Buffer.create (max 4096 size) in
+  if size > 0 then begin
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let buf = Bytes.create size in
+    let rec fill pos =
+      if pos < size then begin
+        let n = Unix.read fd buf pos (size - pos) in
+        if n = 0 then failwith "Log_manager.open_file: short read";
+        fill (pos + n)
+      end
+    in
+    fill 0;
+    Buffer.add_bytes contents buf
+  end;
+  { backend = File fd; contents; durable = Int64.of_int size; appended = size }
+
+let frame record =
+  let payload = Log_record.encode record in
+  let w = Rx_util.Bytes_io.Writer.create ~capacity:(String.length payload + 4) () in
+  Rx_util.Bytes_io.Writer.u32 w (String.length payload);
+  Rx_util.Bytes_io.Writer.bytes w payload;
+  Rx_util.Bytes_io.Writer.contents w
+
+let append t record =
+  let lsn = Int64.of_int (Buffer.length t.contents) in
+  let framed = frame record in
+  Buffer.add_string t.contents framed;
+  t.appended <- t.appended + String.length framed;
+  lsn
+
+let tail_lsn t = Int64.of_int (Buffer.length t.contents)
+let durable_lsn t = t.durable
+
+let flush t =
+  match t.backend with
+  | Memory -> t.durable <- tail_lsn t
+  | File fd ->
+      let total = Buffer.length t.contents in
+      let from = Int64.to_int t.durable in
+      if total > from then begin
+        ignore (Unix.lseek fd from Unix.SEEK_SET);
+        let chunk = Buffer.sub t.contents from (total - from) in
+        let bytes = Bytes.of_string chunk in
+        let rec write pos =
+          if pos < Bytes.length bytes then
+            write (pos + Unix.write fd bytes pos (Bytes.length bytes - pos))
+        in
+        write 0;
+        Unix.fsync fd;
+        t.durable <- Int64.of_int total
+      end
+
+let flush_to t lsn = if Int64.compare t.durable lsn < 0 then flush t
+
+let iter t ?(from = 0L) f =
+  let s = Buffer.contents t.contents in
+  let len = String.length s in
+  let rec loop pos =
+    if pos + 4 <= len then begin
+      let r = Rx_util.Bytes_io.Reader.of_string ~pos s in
+      let rec_len = Rx_util.Bytes_io.Reader.u32 r in
+      if pos + 4 + rec_len <= len then begin
+        let payload = String.sub s (pos + 4) rec_len in
+        f (Int64.of_int pos) (Log_record.decode payload);
+        loop (pos + 4 + rec_len)
+      end
+    end
+  in
+  loop (Int64.to_int from)
+
+let records_rev t =
+  let acc = ref [] in
+  iter t (fun lsn record -> acc := (lsn, record) :: !acc);
+  !acc
+
+let truncate t =
+  Buffer.clear t.contents;
+  t.durable <- 0L;
+  match t.backend with
+  | Memory -> ()
+  | File fd -> Unix.ftruncate fd 0
+
+let appended_bytes t = t.appended

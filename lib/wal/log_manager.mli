@@ -1,0 +1,31 @@
+(** Append-only write-ahead log. LSNs are byte offsets of record starts
+    (strictly increasing), so "durable up to LSN" is a single comparison. *)
+
+type t
+
+val create_in_memory : unit -> t
+val open_file : string -> t
+
+val append : t -> Log_record.t -> int64
+(** Appends and returns the record's LSN; does not force to disk. *)
+
+val flush : t -> unit
+val flush_to : t -> int64 -> unit
+(** No-op if the LSN is already durable. *)
+
+val durable_lsn : t -> int64
+val tail_lsn : t -> int64
+(** LSN one past the last record. *)
+
+val iter : t -> ?from:int64 -> (int64 -> Log_record.t -> unit) -> unit
+(** Iterates durable-and-buffered records in order. *)
+
+val records_rev : t -> (int64 * Log_record.t) list
+(** All records, newest first (for the undo pass). *)
+
+val truncate : t -> unit
+(** Discards the log contents (only valid right after a checkpoint with no
+    active transactions). *)
+
+val appended_bytes : t -> int
+(** Total bytes ever appended — log-volume accounting for benchmarks. *)

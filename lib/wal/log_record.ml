@@ -1,0 +1,76 @@
+open Rx_util
+
+type t =
+  | Update of {
+      txid : int;
+      page_no : int;
+      off : int;
+      before : string;
+      after : string;
+    }
+  | Clr of { txid : int; page_no : int; off : int; after : string }
+  | Commit of { txid : int }
+  | Abort of { txid : int }
+  | Checkpoint
+
+let txid = function
+  | Update { txid; _ } | Clr { txid; _ } | Commit { txid } | Abort { txid } ->
+      Some txid
+  | Checkpoint -> None
+
+let encode t =
+  let w = Bytes_io.Writer.create () in
+  (match t with
+  | Update { txid; page_no; off; before; after } ->
+      Bytes_io.Writer.u8 w 1;
+      Bytes_io.Writer.varint w txid;
+      Bytes_io.Writer.varint w page_no;
+      Bytes_io.Writer.varint w off;
+      Bytes_io.Writer.lstring w before;
+      Bytes_io.Writer.lstring w after
+  | Clr { txid; page_no; off; after } ->
+      Bytes_io.Writer.u8 w 2;
+      Bytes_io.Writer.varint w txid;
+      Bytes_io.Writer.varint w page_no;
+      Bytes_io.Writer.varint w off;
+      Bytes_io.Writer.lstring w after
+  | Commit { txid } ->
+      Bytes_io.Writer.u8 w 3;
+      Bytes_io.Writer.varint w txid
+  | Abort { txid } ->
+      Bytes_io.Writer.u8 w 4;
+      Bytes_io.Writer.varint w txid
+  | Checkpoint -> Bytes_io.Writer.u8 w 5);
+  Bytes_io.Writer.contents w
+
+let decode s =
+  let r = Bytes_io.Reader.of_string s in
+  match Bytes_io.Reader.u8 r with
+  | 1 ->
+      let txid = Bytes_io.Reader.varint r in
+      let page_no = Bytes_io.Reader.varint r in
+      let off = Bytes_io.Reader.varint r in
+      let before = Bytes_io.Reader.lstring r in
+      let after = Bytes_io.Reader.lstring r in
+      Update { txid; page_no; off; before; after }
+  | 2 ->
+      let txid = Bytes_io.Reader.varint r in
+      let page_no = Bytes_io.Reader.varint r in
+      let off = Bytes_io.Reader.varint r in
+      let after = Bytes_io.Reader.lstring r in
+      Clr { txid; page_no; off; after }
+  | 3 -> Commit { txid = Bytes_io.Reader.varint r }
+  | 4 -> Abort { txid = Bytes_io.Reader.varint r }
+  | 5 -> Checkpoint
+  | n -> invalid_arg (Printf.sprintf "Log_record.decode: tag %d" n)
+
+let pp fmt = function
+  | Update { txid; page_no; off; before; after } ->
+      Format.fprintf fmt "Update{tx=%d page=%d off=%d len=%d/%d}" txid page_no
+        off (String.length before) (String.length after)
+  | Clr { txid; page_no; off; after } ->
+      Format.fprintf fmt "Clr{tx=%d page=%d off=%d len=%d}" txid page_no off
+        (String.length after)
+  | Commit { txid } -> Format.fprintf fmt "Commit{tx=%d}" txid
+  | Abort { txid } -> Format.fprintf fmt "Abort{tx=%d}" txid
+  | Checkpoint -> Format.fprintf fmt "Checkpoint"

@@ -1,0 +1,21 @@
+(** Physiological log records. [Update] carries before/after images of the
+    changed byte range of one page (redo + undo); [Clr] is a redo-only
+    compensation record written while rolling back. *)
+
+type t =
+  | Update of {
+      txid : int;
+      page_no : int;
+      off : int;
+      before : string;
+      after : string;
+    }
+  | Clr of { txid : int; page_no : int; off : int; after : string }
+  | Commit of { txid : int }
+  | Abort of { txid : int }
+  | Checkpoint
+
+val txid : t -> int option
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit

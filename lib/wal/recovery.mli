@@ -1,0 +1,22 @@
+(** ARIES-style crash recovery over the physiological log: a redo pass that
+    repeats history (idempotent via page LSNs), then an undo pass that rolls
+    back loser transactions, writing compensation records. *)
+
+type report = {
+  redone : int; (** records whose after-image was applied *)
+  undone : int; (** updates rolled back for loser transactions *)
+  losers : int list; (** transaction ids rolled back *)
+}
+
+val run : Log_manager.t -> Rx_storage.Buffer_pool.t -> report
+(** Recovers the database in [pool] from [log], then flushes and
+    checkpoints. *)
+
+val checkpoint : Log_manager.t -> Rx_storage.Buffer_pool.t -> unit
+(** Flushes all dirty pages, forces the log, appends a checkpoint record and
+    truncates the log. Must be called with no transaction in flight. *)
+
+val rollback : Log_manager.t -> Rx_storage.Buffer_pool.t -> txid:int -> int
+(** Online rollback of one live transaction: applies before-images of its
+    updates newest-first, writing CLRs; returns the number of updates
+    undone. The caller appends the [Abort] record. *)

@@ -1,0 +1,90 @@
+open Rx_util
+
+type t = { rng : Prng.t }
+
+let create ~seed = { rng = Prng.create ~seed }
+
+let random_price t = 5.0 +. Prng.float t.rng 495.0
+let word t = Prng.word t.rng ()
+
+let catalog_document t ~categories ~products_per_category =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<Catalog>";
+  for c = 1 to categories do
+    Buffer.add_string buf (Printf.sprintf "<Categories category=\"cat-%02d\">" c);
+    for _ = 1 to products_per_category do
+      let price = random_price t in
+      let discount = Prng.float t.rng 0.5 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<Product><RegPrice>%.2f</RegPrice><Discount>%.2f</Discount><ProductName>%s-%s</ProductName><Stock>%d</Stock></Product>"
+           price discount (word t) (word t)
+           (Prng.int t.rng 1000))
+    done;
+    Buffer.add_string buf "</Categories>"
+  done;
+  Buffer.add_string buf "</Catalog>";
+  Buffer.contents buf
+
+let catalog_product_count ~categories ~products_per_category =
+  categories * products_per_category
+
+let balanced_document t ~depth ~fanout ?(payload = 16) () =
+  let buf = Buffer.create 4096 in
+  let rec emit level =
+    if level = depth then begin
+      Buffer.add_string buf "<leaf>";
+      Buffer.add_string buf (String.make payload (Char.chr (97 + Prng.int t.rng 26)));
+      Buffer.add_string buf "</leaf>"
+    end
+    else begin
+      Buffer.add_string buf (Printf.sprintf "<n%d>" level);
+      for _ = 1 to fanout do
+        emit (level + 1)
+      done;
+      Buffer.add_string buf (Printf.sprintf "</n%d>" level)
+    end
+  in
+  Buffer.add_string buf "<root>";
+  emit 0;
+  Buffer.add_string buf "</root>";
+  Buffer.contents buf
+
+let balanced_node_count ~depth ~fanout =
+  (* root + internal <nL> elements at levels 0..depth-1 + <leaf> elements
+     and their text nodes at the bottom *)
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  let internals = ref 0 in
+  for l = 0 to depth - 1 do
+    internals := !internals + pow fanout l
+  done;
+  1 + !internals + (2 * pow fanout depth)
+
+let recursive_document t ~nesting ?(siblings = 1) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to nesting do
+    Buffer.add_string buf "<a>";
+    for _ = 1 to siblings do
+      Buffer.add_string buf (Printf.sprintf "<b>%d</b>" (Prng.int t.rng 100))
+    done
+  done;
+  for _ = 1 to nesting do
+    Buffer.add_string buf "</a>"
+  done;
+  Buffer.add_string buf "</r>";
+  Buffer.contents buf
+
+let text_heavy_document t ~paragraphs ~words =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<article>";
+  for _ = 1 to paragraphs do
+    Buffer.add_string buf "<para>";
+    for i = 1 to words do
+      if i > 1 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (word t)
+    done;
+    Buffer.add_string buf "</para>"
+  done;
+  Buffer.add_string buf "</article>";
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Synthetic XML workload generators for the benchmarks and examples.
+
+    The paper evaluates on an (unpublished) product testbed; these
+    generators produce the document shapes its examples imply — a product
+    catalog with prices/discounts (§4.3's queries), plus parameterized
+    trees for the storage and streaming experiments: wide/deep documents
+    with controllable node counts and the recursive [a/a/a...] nesting that
+    drives the Figure 7 state-count comparison. All generation is seeded
+    and deterministic. *)
+
+type t
+
+val create : seed:int -> t
+
+val catalog_document :
+  t -> categories:int -> products_per_category:int -> string
+(** [/Catalog/Categories(@category)/Product/(RegPrice|Discount|ProductName|
+    Stock)] — RegPrice uniform in [5, 500), Discount in [0, 0.5). *)
+
+val catalog_product_count : categories:int -> products_per_category:int -> int
+
+val balanced_document :
+  t -> depth:int -> fanout:int -> ?payload:int -> unit -> string
+(** A complete [fanout]-ary element tree of the given depth with [payload]
+    bytes of text at the leaves (default 16). *)
+
+val balanced_node_count : depth:int -> fanout:int -> int
+(** Element + text nodes of {!balanced_document}. *)
+
+val recursive_document : t -> nesting:int -> ?siblings:int -> unit -> string
+(** [<r><a><a>...<b/>...</a></a></r>]: [nesting] levels of self-nested [a]
+    elements, each also carrying [siblings] leaf [b] children — the worst
+    case for instance-tracking streaming matchers. *)
+
+val text_heavy_document : t -> paragraphs:int -> words:int -> string
+(** Document-ish content for parser/serializer benchmarks. *)
+
+val random_price : t -> float
+val word : t -> string

@@ -1,0 +1,64 @@
+open Rx_xpath
+open Rx_xmlstore
+
+type range = { min : Value_index.bound option; max : Value_index.bound option }
+
+let range_of_compare (op : Ast.cmp) v =
+  match op with
+  | Ast.Eq -> Some { min = Some (v, true); max = Some (v, true) }
+  | Ast.Lt -> Some { min = None; max = Some (v, false) }
+  | Ast.Le -> Some { min = None; max = Some (v, true) }
+  | Ast.Gt -> Some { min = Some (v, false); max = None }
+  | Ast.Ge -> Some { min = Some (v, true); max = None }
+  | Ast.Neq -> None
+
+let scan_entries index range f =
+  Value_index.scan index ?min:range.min ?max:range.max f
+
+let docid_list index range =
+  let acc = ref [] in
+  scan_entries index range (fun e ->
+      (match !acc with
+      | d :: _ when d = e.Value_index.docid -> ()
+      | _ -> acc := e.Value_index.docid :: !acc);
+      `Continue);
+  List.sort_uniq compare !acc
+
+let nodeid_list index range =
+  let acc = ref [] in
+  scan_entries index range (fun e ->
+      acc := (e.Value_index.docid, e.Value_index.node) :: !acc;
+      `Continue);
+  List.sort_uniq compare !acc
+
+let anchored_nodeid_list index range ~level =
+  let acc = ref [] in
+  scan_entries index range (fun e ->
+      if Node_id.level e.Value_index.node >= level then
+        acc :=
+          (e.Value_index.docid, Node_id.prefix_at_level e.Value_index.node level)
+          :: !acc;
+      `Continue);
+  List.sort_uniq compare !acc
+
+let rec merge_sorted op a b =
+  match (a, b, op) with
+  | [], rest, `Or | rest, [], `Or -> rest
+  | [], _, `And | _, [], `And -> []
+  | x :: xs, y :: ys, _ ->
+      let c = compare x y in
+      if c = 0 then
+        x :: merge_sorted op xs ys
+      else if c < 0 then
+        match op with
+        | `And -> merge_sorted op xs (y :: ys)
+        | `Or -> x :: merge_sorted op xs (y :: ys)
+      else
+        match op with
+        | `And -> merge_sorted op (x :: xs) ys
+        | `Or -> y :: merge_sorted op (x :: xs) ys
+
+let and_docids a b = merge_sorted `And a b
+let or_docids a b = merge_sorted `Or a b
+let and_nodeids a b = merge_sorted `And a b
+let or_nodeids a b = merge_sorted `Or a b

@@ -1,0 +1,53 @@
+open Rx_xpath
+
+type key_type = K_string | K_double | K_decimal | K_integer | K_date
+
+type t = { name : string; path : Ast.path; key_type : key_type }
+
+let make ~name ~path ~key_type =
+  let path = Xpath_parser.parse path in
+  if not (Ast.is_linear path) then
+    invalid_arg "Index_def.make: index paths must have no predicates";
+  if not path.Ast.absolute then
+    invalid_arg "Index_def.make: index paths must be absolute";
+  if path.Ast.steps = [] then invalid_arg "Index_def.make: empty path";
+  { name; path; key_type }
+
+let key_type_of_string = function
+  | "string" | "varchar" -> Some K_string
+  | "double" -> Some K_double
+  | "decimal" -> Some K_decimal
+  | "integer" -> Some K_integer
+  | "date" -> Some K_date
+  | _ -> None
+
+let key_type_to_string = function
+  | K_string -> "string"
+  | K_double -> "double"
+  | K_decimal -> "decimal"
+  | K_integer -> "integer"
+  | K_date -> "date"
+
+let typed_of_string kt s =
+  let ty =
+    match kt with
+    | K_string -> `String
+    | K_double -> `Double
+    | K_decimal -> `Decimal
+    | K_integer -> `Integer
+    | K_date -> `Date
+  in
+  Rx_xml.Typed_value.of_string ty s
+
+let anchor_level t =
+  let rec walk level = function
+    | [] -> Some (level - 1) (* parent of the element value node *)
+    | [ { Ast.axis = Ast.Attribute; _ } ] -> Some level
+    | { Ast.axis = Ast.Child; _ } :: rest -> walk (level + 1) rest
+    | _ -> None
+  in
+  walk 0 t.path.Ast.steps
+
+let to_string t =
+  Printf.sprintf "%s ON %s AS %s" t.name (Ast.to_string t.path)
+    (key_type_to_string t.key_type)

@@ -1,0 +1,28 @@
+(** XPath value index definitions (§3.3): a simple XPath expression without
+    predicates plus a key type — "users can create XPath value indexes on
+    frequently searched elements or attributes by specifying a simple XPath
+    expression ... and a data type for the key values". *)
+
+type key_type = K_string | K_double | K_decimal | K_integer | K_date
+
+type t = { name : string; path : Rx_xpath.Ast.path; key_type : key_type }
+
+val make : name:string -> path:string -> key_type:key_type -> t
+(** Parses and validates the path.
+    @raise Invalid_argument if the path is not linear and absolute. *)
+
+val key_type_of_string : string -> key_type option
+val key_type_to_string : key_type -> string
+
+val typed_of_string : key_type -> string -> Rx_xml.Typed_value.t option
+(** Conversion from a node's string value to the index key type; [None]
+    (unconvertible) values produce no index entry. *)
+
+val anchor_level : t -> int option
+(** When every step is on the child axis, the level of the {e predicate
+    anchor element} (the value node's parent level for attribute paths, the
+    value node's own parent for element paths) is fixed; this enables exact
+    NodeID-level ANDing (§4.3). [None] when descendant steps make the level
+    variable. *)
+
+val to_string : t -> string

@@ -1,0 +1,52 @@
+(** One XPath value index (§3.3): a B+tree whose entries are
+    [(keyval, DocID, NodeID) → RID], mapping typed node values to both the
+    logical position (DocID, NodeID) and the physical record (RID).
+
+    Maintenance is driven by the document store's record observers: "index
+    keys ... are generated per record" (§3.2) by running a simplified
+    QuickXScan over each packed record, using the record header's context
+    path to pre-match the ancestor steps — so records are processed
+    self-contained. An element whose subtree is split across records (a
+    proxy under the matched node) gets its value completed through a store
+    traversal; text and attribute values are always record-local.
+
+    Nodes whose string value does not convert to the key type produce no
+    entry, so containment-matched indexes are only ever used as filters. *)
+
+type t
+
+type entry = {
+  key : Rx_xml.Typed_value.t;
+  docid : int;
+  node : Rx_xmlstore.Node_id.t;
+  rid : Rx_storage.Rid.t;
+}
+
+val create :
+  Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> Index_def.t -> t
+
+val attach :
+  Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> Index_def.t -> meta_page:int -> t
+
+val def : t -> Index_def.t
+val meta_page : t -> int
+
+val hook : t -> Rx_xmlstore.Doc_store.t -> unit
+(** Registers insert and delete observers on the store. Only call once per
+    store; documents inserted before hooking are not indexed. *)
+
+val index_record :
+  t -> docid:int -> rid:Rx_storage.Rid.t -> record:string ->
+  store:Rx_xmlstore.Doc_store.t option -> unit
+(** Direct per-record maintenance (what the observer does); [store] enables
+    the split-subtree value fallback. *)
+
+type bound = Rx_xml.Typed_value.t * bool (** value, inclusive? *)
+
+val scan :
+  t -> ?min:bound -> ?max:bound -> (entry -> [ `Continue | `Stop ]) -> unit
+(** Entries in (key, docid, node) order. *)
+
+val entries : t -> ?min:bound -> ?max:bound -> unit -> entry list
+val entry_count : t -> int
+val page_count : t -> int

@@ -1,0 +1,50 @@
+type t = {
+  by_name : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable next : int;
+}
+
+let create () =
+  let t = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 } in
+  Hashtbl.replace t.by_name "" 0;
+  t.by_id.(0) <- "";
+  t.next <- 1;
+  t
+
+let intern t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      if id >= Array.length t.by_id then begin
+        let bigger = Array.make (2 * Array.length t.by_id) "" in
+        Array.blit t.by_id 0 bigger 0 t.next;
+        t.by_id <- bigger
+      end;
+      Hashtbl.replace t.by_name s id;
+      t.by_id.(id) <- s;
+      t.next <- id + 1;
+      id
+
+let lookup t s = Hashtbl.find_opt t.by_name s
+
+let name t id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Name_dict.name: unknown id %d" id)
+  else t.by_id.(id)
+
+let size t = t.next
+
+let to_list t = List.init t.next (fun id -> (id, t.by_id.(id)))
+
+let restore entries =
+  let t = create () in
+  List.iter
+    (fun (id, s) ->
+      if id <> 0 then begin
+        let assigned = intern t s in
+        if assigned <> id then
+          invalid_arg "Name_dict.restore: ids must be dense and in order"
+      end)
+    (List.sort compare entries);
+  t

@@ -1,0 +1,24 @@
+(** Database-wide name dictionary: "all the names for elements, attributes,
+    and namespaces are encoded using integers across the entire database"
+    (§3.1). Id 0 is reserved for the empty string (no namespace / no
+    prefix). *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** Returns the id for [s], assigning a fresh one on first sight. *)
+
+val lookup : t -> string -> int option
+(** Id if already interned, without assigning. *)
+
+val name : t -> int -> string
+(** Reverse lookup. @raise Invalid_argument on unknown id. *)
+
+val size : t -> int
+
+val to_list : t -> (int * string) list
+(** Stable export for catalog persistence, sorted by id. *)
+
+val restore : (int * string) list -> t

@@ -1,0 +1,427 @@
+exception Parse_error of { pos : int; msg : string }
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Parse_error { pos; msg })) fmt
+
+type state = {
+  src : string;
+  dict : Name_dict.t;
+  mutable pos : int;
+  emit : Token.t -> unit;
+  (* namespace environment: innermost scope first; bindings are
+     (prefix, uri) name-dict ids *)
+  mutable ns_env : (int * int) list list;
+}
+
+let xml_uri = "http://www.w3.org/XML/1998/namespace"
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let at_eof st = st.pos >= String.length st.src
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let advance st n = st.pos <- st.pos + n
+
+let expect st s =
+  if looking_at st s then advance st (String.length s)
+  else error st.pos "expected %S" s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (at_eof st)) && is_space st.src.[st.pos] do
+    advance st 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+(* A possibly-prefixed name, returned as (prefix, local) raw strings. *)
+let read_name st =
+  let start = st.pos in
+  if at_eof st || not (is_name_start st.src.[st.pos]) then
+    error st.pos "expected a name";
+  while (not (at_eof st)) && is_name_char st.src.[st.pos] do
+    advance st 1
+  done;
+  let first = String.sub st.src start (st.pos - start) in
+  if (not (at_eof st)) && st.src.[st.pos] = ':' then begin
+    advance st 1;
+    let lstart = st.pos in
+    if at_eof st || not (is_name_start st.src.[st.pos]) then
+      error st.pos "expected a local name after ':'";
+    while (not (at_eof st)) && is_name_char st.src.[st.pos] do
+      advance st 1
+    done;
+    (first, String.sub st.src lstart (st.pos - lstart))
+  end
+  else ("", first)
+
+let decode_char_ref st body =
+  let code =
+    if String.length body > 1 && (body.[0] = 'x' || body.[0] = 'X') then
+      int_of_string_opt ("0x" ^ String.sub body 1 (String.length body - 1))
+    else int_of_string_opt body
+  in
+  match code with
+  | Some c when c > 0 && c < 0x110000 ->
+      (* encode as UTF-8 *)
+      let buf = Buffer.create 4 in
+      if c < 0x80 then Buffer.add_char buf (Char.chr c)
+      else if c < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end
+      else if c < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (c lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
+      end;
+      Buffer.contents buf
+  | _ -> error st.pos "invalid character reference '&#%s;'" body
+
+(* Reads a reference starting just past '&'; appends the replacement. *)
+let read_reference st buf =
+  let semi =
+    match String.index_from_opt st.src st.pos ';' with
+    | Some i when i - st.pos <= 10 -> i
+    | _ -> error st.pos "unterminated entity reference"
+  in
+  let body = String.sub st.src st.pos (semi - st.pos) in
+  let replacement =
+    match body with
+    | "amp" -> "&"
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | _ when String.length body > 1 && body.[0] = '#' ->
+        decode_char_ref st (String.sub body 1 (String.length body - 1))
+    | _ -> error st.pos "unknown entity '&%s;'" body
+  in
+  Buffer.add_string buf replacement;
+  st.pos <- semi + 1
+
+let read_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+        advance st 1;
+        q
+    | _ -> error st.pos "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_eof st then error st.pos "unterminated attribute value"
+    else
+      match st.src.[st.pos] with
+      | c when c = quote -> advance st 1
+      | '&' ->
+          advance st 1;
+          read_reference st buf;
+          loop ()
+      | '<' -> error st.pos "'<' in attribute value"
+      | c ->
+          Buffer.add_char buf c;
+          advance st 1;
+          loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let resolve_prefix st ~for_attr prefix_id =
+  if prefix_id = 0 then
+    if for_attr then 0
+    else
+      (* default namespace applies to elements *)
+      let rec find = function
+        | [] -> 0
+        | scope :: rest -> (
+            match List.assoc_opt 0 scope with
+            | Some uri -> uri
+            | None -> find rest)
+      in
+      find st.ns_env
+  else
+    let rec find = function
+      | [] ->
+          error st.pos "undeclared namespace prefix '%s'"
+            (Name_dict.name st.dict prefix_id)
+      | scope :: rest -> (
+          match List.assoc_opt prefix_id scope with
+          | Some uri -> uri
+          | None -> find rest)
+    in
+    find st.ns_env
+
+let attr_compare (a : Token.attr) (b : Token.attr) = Qname.compare a.name b.name
+
+(* Parse the inside of a start tag after the element name; returns
+   (attrs, ns_decls, self_closing). *)
+let read_tag_rest st =
+  let raw_attrs = ref [] in
+  let ns_decls = ref [] in
+  let rec loop () =
+    skip_space st;
+    match peek st with
+    | Some '>' ->
+        advance st 1;
+        false
+    | Some '/' ->
+        advance st 1;
+        expect st ">";
+        true
+    | Some c when is_name_start c ->
+        let prefix, local = read_name st in
+        skip_space st;
+        expect st "=";
+        skip_space st;
+        let value = read_attr_value st in
+        (if prefix = "xmlns" then
+           ns_decls :=
+             (Name_dict.intern st.dict local, Name_dict.intern st.dict value)
+             :: !ns_decls
+         else if prefix = "" && local = "xmlns" then
+           ns_decls := (0, Name_dict.intern st.dict value) :: !ns_decls
+         else raw_attrs := (prefix, local, value) :: !raw_attrs);
+        loop ()
+    | _ -> error st.pos "malformed tag"
+  in
+  let self_closing = loop () in
+  (List.rev !raw_attrs, List.rev !ns_decls, self_closing)
+
+let flush_text st buf =
+  if Buffer.length buf > 0 then begin
+    st.emit (Token.Text { content = Buffer.contents buf; annot = None });
+    Buffer.clear buf
+  end
+
+let read_comment st =
+  (* positioned after "<!--" *)
+  let rec find i =
+    if i + 2 >= String.length st.src then error st.pos "unterminated comment"
+    else if st.src.[i] = '-' && st.src.[i + 1] = '-' then
+      if st.src.[i + 2] = '>' then i else error i "'--' inside comment"
+    else find (i + 1)
+  in
+  let close = find st.pos in
+  let content = String.sub st.src st.pos (close - st.pos) in
+  st.pos <- close + 3;
+  content
+
+let read_pi st =
+  (* positioned after "<?" *)
+  let _, target = read_name st in
+  let close =
+    let rec find i =
+      if i + 1 >= String.length st.src then error st.pos "unterminated PI"
+      else if st.src.[i] = '?' && st.src.[i + 1] = '>' then i
+      else find (i + 1)
+    in
+    find st.pos
+  in
+  let data = String.trim (String.sub st.src st.pos (close - st.pos)) in
+  st.pos <- close + 2;
+  (target, data)
+
+let skip_doctype st =
+  (* positioned after "<!DOCTYPE"; skip to the matching '>' accounting for an
+     internal subset in brackets *)
+  let depth = ref 0 in
+  let rec loop () =
+    if at_eof st then error st.pos "unterminated DOCTYPE"
+    else begin
+      let c = st.src.[st.pos] in
+      advance st 1;
+      match c with
+      | '[' ->
+          incr depth;
+          loop ()
+      | ']' ->
+          decr depth;
+          loop ()
+      | '>' when !depth = 0 -> ()
+      | _ -> loop ()
+    end
+  in
+  loop ()
+
+let read_cdata st =
+  (* positioned after "<![CDATA[" *)
+  let rec find i =
+    if i + 2 >= String.length st.src then error st.pos "unterminated CDATA"
+    else if st.src.[i] = ']' && st.src.[i + 1] = ']' && st.src.[i + 2] = '>' then i
+    else find (i + 1)
+  in
+  let close = find st.pos in
+  let content = String.sub st.src st.pos (close - st.pos) in
+  st.pos <- close + 3;
+  content
+
+let rec parse_element st =
+  (* positioned after '<' at a name *)
+  let prefix, local = read_name st in
+  let raw_attrs, ns_decls, self_closing = read_tag_rest st in
+  st.ns_env <- ns_decls :: st.ns_env;
+  let prefix_id = Name_dict.intern st.dict prefix in
+  let name =
+    let uri =
+      if prefix = "xml" then Name_dict.intern st.dict xml_uri
+      else resolve_prefix st ~for_attr:false prefix_id
+    in
+    { Qname.prefix = prefix_id; local = Name_dict.intern st.dict local; uri }
+  in
+  let attrs =
+    List.map
+      (fun (p, l, value) ->
+        let p_id = Name_dict.intern st.dict p in
+        let uri =
+          if p = "xml" then Name_dict.intern st.dict xml_uri
+          else resolve_prefix st ~for_attr:true p_id
+        in
+        {
+          Token.name = { Qname.prefix = p_id; local = Name_dict.intern st.dict l; uri };
+          value;
+          annot = None;
+        })
+      raw_attrs
+    |> List.sort attr_compare
+  in
+  (* duplicate attribute check on resolved names *)
+  let rec check_dups = function
+    | a :: (b : Token.attr) :: _ when Qname.equal a.Token.name b.name ->
+        error st.pos "duplicate attribute '%s'" (Qname.to_string st.dict a.Token.name)
+    | _ :: rest -> check_dups rest
+    | [] -> ()
+  in
+  check_dups attrs;
+  st.emit (Token.Start_element { name; attrs; ns_decls });
+  if self_closing then st.emit Token.End_element
+  else begin
+    parse_content st;
+    (* positioned after "</" *)
+    let eprefix, elocal = read_name st in
+    if eprefix <> prefix || elocal <> local then
+      error st.pos "mismatched end tag </%s%s>, expected </%s%s>"
+        (if eprefix = "" then "" else eprefix ^ ":")
+        elocal
+        (if prefix = "" then "" else prefix ^ ":")
+        local;
+    skip_space st;
+    expect st ">";
+    st.emit Token.End_element
+  end;
+  st.ns_env <- List.tl st.ns_env
+
+and parse_content st =
+  (* element content until "</"; consumes the "</" *)
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    if at_eof st then error st.pos "unexpected end of input inside element"
+    else if looking_at st "</" then begin
+      flush_text st buf;
+      advance st 2
+    end
+    else if looking_at st "<![CDATA[" then begin
+      advance st 9;
+      Buffer.add_string buf (read_cdata st);
+      loop ()
+    end
+    else if looking_at st "<!--" then begin
+      flush_text st buf;
+      advance st 4;
+      st.emit (Token.Comment (read_comment st));
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      flush_text st buf;
+      advance st 2;
+      let target, data = read_pi st in
+      st.emit (Token.Pi { target; data });
+      loop ()
+    end
+    else if looking_at st "<" then begin
+      flush_text st buf;
+      advance st 1;
+      parse_element st;
+      loop ()
+    end
+    else if looking_at st "&" then begin
+      advance st 1;
+      read_reference st buf;
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf st.src.[st.pos];
+      advance st 1;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_misc st =
+  (* comments / PIs / whitespace outside the root element *)
+  let rec loop () =
+    skip_space st;
+    if looking_at st "<!--" then begin
+      advance st 4;
+      st.emit (Token.Comment (read_comment st));
+      loop ()
+    end
+    else if looking_at st "<?xml" then error st.pos "misplaced XML declaration"
+    else if looking_at st "<?" then begin
+      advance st 2;
+      let target, data = read_pi st in
+      st.emit (Token.Pi { target; data });
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_iter dict src emit =
+  let st = { src; dict; pos = 0; emit; ns_env = [] } in
+  (* UTF-8 byte-order mark *)
+  if looking_at st "\xef\xbb\xbf" then advance st 3;
+  emit Token.Start_document;
+  if looking_at st "<?xml" then begin
+    advance st 2;
+    ignore (read_pi st)
+  end;
+  parse_misc st;
+  if looking_at st "<!DOCTYPE" then begin
+    advance st 9;
+    skip_doctype st;
+    parse_misc st
+  end;
+  if not (looking_at st "<") then error st.pos "expected root element";
+  advance st 1;
+  if at_eof st || not (is_name_start st.src.[st.pos]) then
+    error st.pos "expected root element name";
+  parse_element st;
+  parse_misc st;
+  skip_space st;
+  if not (at_eof st) then error st.pos "content after root element";
+  emit Token.End_document
+
+let parse dict src =
+  let tokens = ref [] in
+  parse_iter dict src (fun t -> tokens := t :: !tokens);
+  List.rev !tokens
+
+let error_message = function
+  | Parse_error { pos; msg } -> Some (Printf.sprintf "XML parse error at byte %d: %s" pos msg)
+  | _ -> None

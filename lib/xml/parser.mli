@@ -1,0 +1,22 @@
+(** Non-validating XML parser, custom-built as in §3.2: a single pass over
+    the input producing resolved tokens, with no DOM construction and no
+    per-character callback overhead.
+
+    Supported: elements, attributes, namespaces (with proper scoping),
+    character data, entity and character references, CDATA sections,
+    comments, processing instructions, an XML declaration and a (skipped)
+    DOCTYPE. Well-formedness is enforced: tag balance, single root element,
+    no duplicate attributes. *)
+
+exception Parse_error of { pos : int; msg : string }
+
+val parse : Name_dict.t -> string -> Token.t list
+(** Full document to token list (including [Start_document] /
+    [End_document]).
+    @raise Parse_error on malformed input. *)
+
+val parse_iter : Name_dict.t -> string -> (Token.t -> unit) -> unit
+(** Streaming variant: the callback observes the same tokens in order. *)
+
+val error_message : exn -> string option
+(** Renders a {!Parse_error} for display. *)

@@ -1,0 +1,14 @@
+type t = { uri : int; local : int; prefix : int }
+
+let make ?(uri = 0) ?(prefix = 0) local = { uri; local; prefix }
+let equal a b = a.uri = b.uri && a.local = b.local
+
+let compare a b =
+  let c = Int.compare a.uri b.uri in
+  if c <> 0 then c else Int.compare a.local b.local
+
+let hash t = (t.uri * 65599) + t.local
+
+let to_string dict t =
+  let local = Name_dict.name dict t.local in
+  if t.prefix = 0 then local else Name_dict.name dict t.prefix ^ ":" ^ local

@@ -1,0 +1,17 @@
+(** Expanded names after namespace resolution. Identity is (namespace URI,
+    local name); the prefix is carried only for faithful serialization. All
+    three components are {!Name_dict} ids. *)
+
+type t = { uri : int; local : int; prefix : int }
+
+val make : ?uri:int -> ?prefix:int -> int -> t
+(** [make local] with optional namespace and prefix ids (default 0 = none). *)
+
+val equal : t -> t -> bool
+(** Prefix-insensitive. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : Name_dict.t -> t -> string
+(** Lexical form [prefix:local], for messages and serialization. *)

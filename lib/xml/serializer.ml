@@ -1,0 +1,101 @@
+let escape_into buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:true s;
+  Buffer.contents buf
+
+let make_sink dict buf =
+  (* element-name stack so End_element can emit the matching close tag; a
+     start tag is left open ("pending") so an immediately following
+     End_element collapses to a self-closing tag *)
+  let stack = ref [] in
+  let pending = ref false in
+  let add_qname q = Buffer.add_string buf (Qname.to_string dict q) in
+  let close_pending () =
+    if !pending then begin
+      Buffer.add_char buf '>';
+      pending := false
+    end
+  in
+  fun token ->
+    match token with
+    | Token.Start_document | Token.End_document -> close_pending ()
+    | Token.Start_element { name; attrs; ns_decls } ->
+        close_pending ();
+        stack := name :: !stack;
+        Buffer.add_char buf '<';
+        add_qname name;
+        List.iter
+          (fun (prefix, uri) ->
+            Buffer.add_char buf ' ';
+            if prefix = 0 then Buffer.add_string buf "xmlns"
+            else begin
+              Buffer.add_string buf "xmlns:";
+              Buffer.add_string buf (Name_dict.name dict prefix)
+            end;
+            Buffer.add_string buf "=\"";
+            escape_into buf ~attr:true (Name_dict.name dict uri);
+            Buffer.add_char buf '"')
+          ns_decls;
+        List.iter
+          (fun (a : Token.attr) ->
+            Buffer.add_char buf ' ';
+            add_qname a.name;
+            Buffer.add_string buf "=\"";
+            escape_into buf ~attr:true a.value;
+            Buffer.add_char buf '"')
+          attrs;
+        pending := true
+    | Token.End_element -> (
+        match !stack with
+        | name :: rest ->
+            stack := rest;
+            if !pending then begin
+              Buffer.add_string buf "/>";
+              pending := false
+            end
+            else begin
+              Buffer.add_string buf "</";
+              add_qname name;
+              Buffer.add_char buf '>'
+            end
+        | [] -> invalid_arg "Serializer: unbalanced End_element")
+    | Token.Text { content; _ } ->
+        close_pending ();
+        escape_into buf ~attr:false content
+    | Token.Comment c ->
+        close_pending ();
+        Buffer.add_string buf "<!--";
+        Buffer.add_string buf c;
+        Buffer.add_string buf "-->"
+    | Token.Pi { target; data } ->
+        close_pending ();
+        Buffer.add_string buf "<?";
+        Buffer.add_string buf target;
+        if data <> "" then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf data
+        end;
+        Buffer.add_string buf "?>"
+
+let to_string ?(decl = false) dict tokens =
+  let buf = Buffer.create 256 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  let sink = make_sink dict buf in
+  List.iter sink tokens;
+  Buffer.contents buf

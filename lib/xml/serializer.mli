@@ -1,0 +1,12 @@
+(** Serialization services (§4.4): token stream back to XML text. The sink
+    form lets any virtual-SAX iterator pipe events straight to output without
+    materializing intermediate trees. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val make_sink : Name_dict.t -> Buffer.t -> Token.t -> unit
+(** Event consumer appending markup to the buffer. *)
+
+val to_string : ?decl:bool -> Name_dict.t -> Token.t list -> string
+(** [decl] prepends an XML declaration (default false). *)

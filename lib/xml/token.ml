@@ -1,0 +1,63 @@
+type attr = { name : Qname.t; value : string; annot : Typed_value.t option }
+
+type element = {
+  name : Qname.t;
+  attrs : attr list;
+  ns_decls : (int * int) list;
+}
+
+type t =
+  | Start_document
+  | End_document
+  | Start_element of element
+  | End_element
+  | Text of { content : string; annot : Typed_value.t option }
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+let text content = Text { content; annot = None }
+
+let element ?(attrs = []) ?(ns_decls = []) name =
+  Start_element { name; attrs; ns_decls }
+
+let attr ?annot name value = { name; value; annot }
+
+let attr_equal (a : attr) (b : attr) =
+  Qname.equal a.name b.name
+  && String.equal a.value b.value
+  && Option.equal Typed_value.equal a.annot b.annot
+
+let equal a b =
+  match (a, b) with
+  | Start_document, Start_document
+  | End_document, End_document
+  | End_element, End_element ->
+      true
+  | Start_element x, Start_element y ->
+      Qname.equal x.name y.name
+      && List.equal attr_equal x.attrs y.attrs
+      && List.equal ( = ) x.ns_decls y.ns_decls
+  | Text x, Text y ->
+      String.equal x.content y.content
+      && Option.equal Typed_value.equal x.annot y.annot
+  | Comment x, Comment y -> String.equal x y
+  | Pi x, Pi y -> String.equal x.target y.target && String.equal x.data y.data
+  | ( ( Start_document | End_document | Start_element _ | End_element | Text _
+      | Comment _ | Pi _ ),
+      _ ) ->
+      false
+
+let pp dict fmt = function
+  | Start_document -> Format.fprintf fmt "<doc>"
+  | End_document -> Format.fprintf fmt "</doc>"
+  | Start_element e ->
+      Format.fprintf fmt "<%s%s>" (Qname.to_string dict e.name)
+        (String.concat ""
+           (List.map
+              (fun (a : attr) ->
+                Printf.sprintf " %s=%S" (Qname.to_string dict a.name) a.value)
+              e.attrs))
+  | End_element -> Format.fprintf fmt "</>"
+  | Text { content; _ } -> Format.fprintf fmt "%S" content
+  | Comment c -> Format.fprintf fmt "<!--%s-->" c
+  | Pi { target; data } -> Format.fprintf fmt "<?%s %s?>" target data

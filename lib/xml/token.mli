@@ -1,0 +1,26 @@
+(** Parser/validator output events: the "token stream" of §3.2, with
+    namespace prefixes resolved, attributes in canonical (name-id) order and
+    optional type annotations from schema validation. *)
+
+type attr = { name : Qname.t; value : string; annot : Typed_value.t option }
+
+type element = {
+  name : Qname.t;
+  attrs : attr list; (* sorted by (uri, local) id *)
+  ns_decls : (int * int) list; (* (prefix id, uri id) declared here *)
+}
+
+type t =
+  | Start_document
+  | End_document
+  | Start_element of element
+  | End_element
+  | Text of { content : string; annot : Typed_value.t option }
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+val text : string -> t
+val element : ?attrs:attr list -> ?ns_decls:(int * int) list -> Qname.t -> t
+val attr : ?annot:Typed_value.t -> Qname.t -> string -> attr
+val equal : t -> t -> bool
+val pp : Name_dict.t -> Format.formatter -> t -> unit

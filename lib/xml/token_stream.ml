@@ -1,0 +1,164 @@
+open Rx_util
+
+let encode_annot w = function
+  | None -> Bytes_io.Writer.u8 w 0
+  | Some annot -> (
+      match annot with
+      | Typed_value.String s ->
+          Bytes_io.Writer.u8 w 1;
+          Bytes_io.Writer.lstring w s
+      | Typed_value.Double f ->
+          Bytes_io.Writer.u8 w 2;
+          Bytes_io.Writer.u64 w (Int64.bits_of_float f)
+      | Typed_value.Decimal d ->
+          Bytes_io.Writer.u8 w 3;
+          Bytes_io.Writer.lstring w (Decimal.encode_key d)
+      | Typed_value.Integer n ->
+          Bytes_io.Writer.u8 w 4;
+          Bytes_io.Writer.u64 w (Int64.of_int n)
+      | Typed_value.Boolean b ->
+          Bytes_io.Writer.u8 w 5;
+          Bytes_io.Writer.u8 w (if b then 1 else 0)
+      | Typed_value.Date { year; month; day } ->
+          Bytes_io.Writer.u8 w 6;
+          Bytes_io.Writer.u16 w year;
+          Bytes_io.Writer.u8 w month;
+          Bytes_io.Writer.u8 w day)
+
+let decode_annot r =
+  match Bytes_io.Reader.u8 r with
+  | 0 -> None
+  | 1 -> Some (Typed_value.String (Bytes_io.Reader.lstring r))
+  | 2 -> Some (Typed_value.Double (Int64.float_of_bits (Bytes_io.Reader.u64 r)))
+  | 3 ->
+      let key = Bytes_io.Reader.lstring r in
+      Some (Typed_value.Decimal (fst (Decimal.decode_key key 0)))
+  | 4 -> Some (Typed_value.Integer (Int64.to_int (Bytes_io.Reader.u64 r)))
+  | 5 -> Some (Typed_value.Boolean (Bytes_io.Reader.u8 r = 1))
+  | 6 ->
+      let year = Bytes_io.Reader.u16 r in
+      let month = Bytes_io.Reader.u8 r in
+      let day = Bytes_io.Reader.u8 r in
+      Some (Typed_value.Date { year; month; day })
+  | n -> invalid_arg (Printf.sprintf "Token_stream: bad annotation tag %d" n)
+
+let encode_qname w (q : Qname.t) =
+  Bytes_io.Writer.varint w q.Qname.uri;
+  Bytes_io.Writer.varint w q.Qname.local;
+  Bytes_io.Writer.varint w q.Qname.prefix
+
+let decode_qname r =
+  let uri = Bytes_io.Reader.varint r in
+  let local = Bytes_io.Reader.varint r in
+  let prefix = Bytes_io.Reader.varint r in
+  { Qname.uri; local; prefix }
+
+let encode w token =
+  match token with
+  | Token.Start_document -> Bytes_io.Writer.u8 w 1
+  | Token.End_document -> Bytes_io.Writer.u8 w 2
+  | Token.Start_element { name; attrs; ns_decls } ->
+      Bytes_io.Writer.u8 w 3;
+      encode_qname w name;
+      Bytes_io.Writer.varint w (List.length attrs);
+      List.iter
+        (fun (a : Token.attr) ->
+          encode_qname w a.name;
+          Bytes_io.Writer.lstring w a.value;
+          encode_annot w a.annot)
+        attrs;
+      Bytes_io.Writer.varint w (List.length ns_decls);
+      List.iter
+        (fun (p, u) ->
+          Bytes_io.Writer.varint w p;
+          Bytes_io.Writer.varint w u)
+        ns_decls
+  | Token.End_element -> Bytes_io.Writer.u8 w 4
+  | Token.Text { content; annot } ->
+      Bytes_io.Writer.u8 w 5;
+      Bytes_io.Writer.lstring w content;
+      encode_annot w annot
+  | Token.Comment c ->
+      Bytes_io.Writer.u8 w 6;
+      Bytes_io.Writer.lstring w c
+  | Token.Pi { target; data } ->
+      Bytes_io.Writer.u8 w 7;
+      Bytes_io.Writer.lstring w target;
+      Bytes_io.Writer.lstring w data
+
+let decode_one r =
+  match Bytes_io.Reader.u8 r with
+  | 1 -> Token.Start_document
+  | 2 -> Token.End_document
+  | 3 ->
+      let name = decode_qname r in
+      let n_attrs = Bytes_io.Reader.varint r in
+      let attrs =
+        List.init n_attrs (fun _ ->
+            let name = decode_qname r in
+            let value = Bytes_io.Reader.lstring r in
+            let annot = decode_annot r in
+            { Token.name; value; annot })
+      in
+      let n_ns = Bytes_io.Reader.varint r in
+      let ns_decls =
+        List.init n_ns (fun _ ->
+            let p = Bytes_io.Reader.varint r in
+            let u = Bytes_io.Reader.varint r in
+            (p, u))
+      in
+      Token.Start_element { name; attrs; ns_decls }
+  | 4 -> Token.End_element
+  | 5 ->
+      let content = Bytes_io.Reader.lstring r in
+      let annot = decode_annot r in
+      Token.Text { content; annot }
+  | 6 -> Token.Comment (Bytes_io.Reader.lstring r)
+  | 7 ->
+      let target = Bytes_io.Reader.lstring r in
+      let data = Bytes_io.Reader.lstring r in
+      Token.Pi { target; data }
+  | n -> invalid_arg (Printf.sprintf "Token_stream: bad token tag %d" n)
+
+let encode_all tokens =
+  let w = Bytes_io.Writer.create ~capacity:1024 () in
+  List.iter (encode w) tokens;
+  Bytes_io.Writer.contents w
+
+let decode_iter s f =
+  let r = Bytes_io.Reader.of_string s in
+  while not (Bytes_io.Reader.at_end r) do
+    f (decode_one r)
+  done
+
+let decode_all s =
+  let acc = ref [] in
+  decode_iter s (fun t -> acc := t :: !acc);
+  List.rev !acc
+
+let of_document dict src =
+  let w = Bytes_io.Writer.create ~capacity:(String.length src) () in
+  Parser.parse_iter dict src (encode w);
+  Bytes_io.Writer.contents w
+
+module Reader = struct
+  type t = { reader : Bytes_io.Reader.t; mutable peeked : Token.t option }
+
+  let of_string s = { reader = Bytes_io.Reader.of_string s; peeked = None }
+
+  let next t =
+    match t.peeked with
+    | Some token ->
+        t.peeked <- None;
+        Some token
+    | None ->
+        if Bytes_io.Reader.at_end t.reader then None else Some (decode_one t.reader)
+
+  let peek t =
+    match t.peeked with
+    | Some _ as p -> p
+    | None ->
+        let token = next t in
+        t.peeked <- token;
+        token
+end

@@ -1,0 +1,29 @@
+(** The buffered binary token stream of §3.2: tokens serialized into byte
+    batches so downstream consumers (tree construction, validation, index
+    key generation) pay one procedure call per batch instead of one per
+    event — the paper's answer to SAX/DOM overhead. *)
+
+val encode : Rx_util.Bytes_io.Writer.t -> Token.t -> unit
+val encode_all : Token.t list -> string
+
+val encode_annot : Rx_util.Bytes_io.Writer.t -> Typed_value.t option -> unit
+(** Binary codec for type annotations, shared with the packed record
+    format. *)
+
+val decode_annot : Rx_util.Bytes_io.Reader.t -> Typed_value.t option
+
+val decode_iter : string -> (Token.t -> unit) -> unit
+val decode_all : string -> Token.t list
+
+val of_document : Name_dict.t -> string -> string
+(** Parse an XML document straight into its binary token stream. *)
+
+(** Pull-based reader over a binary stream (the iterator attached to
+    token-stream data in the Fig. 8 runtime). *)
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val next : t -> Token.t option
+  val peek : t -> Token.t option
+end

@@ -1,0 +1,111 @@
+type t =
+  | Element of {
+      name : Qname.t;
+      attrs : Token.attr list;
+      ns_decls : (int * int) list;
+      children : t list;
+    }
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+type doc = { before_root : t list; root : t; after_root : t list }
+
+let elem ?(attrs = []) ?(children = []) name =
+  Element { name; attrs; ns_decls = []; children }
+
+let doc_of_tokens tokens =
+  (* stack of (pending element, reversed children) frames *)
+  let misc_before = ref [] in
+  let misc_after = ref [] in
+  let root = ref None in
+  let stack = ref [] in
+  let add_node node =
+    match !stack with
+    | (e, children) :: rest -> stack := (e, node :: children) :: rest
+    | [] -> (
+        match node with
+        | Element _ ->
+            if !root <> None then invalid_arg "Tree: multiple roots";
+            root := Some node
+        | _ -> if !root = None then misc_before := node :: !misc_before
+               else misc_after := node :: !misc_after)
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> ()
+      | Token.Start_element e -> stack := (e, []) :: !stack
+      | Token.End_element -> (
+          match !stack with
+          | (e, children) :: rest ->
+              stack := rest;
+              add_node
+                (Element
+                   {
+                     name = e.Token.name;
+                     attrs = e.Token.attrs;
+                     ns_decls = e.Token.ns_decls;
+                     children = List.rev children;
+                   })
+          | [] -> invalid_arg "Tree: unbalanced End_element")
+      | Token.Text { content; _ } -> add_node (Text content)
+      | Token.Comment c -> add_node (Comment c)
+      | Token.Pi { target; data } -> add_node (Pi { target; data }))
+    tokens;
+  if !stack <> [] then invalid_arg "Tree: unclosed element";
+  match !root with
+  | None -> invalid_arg "Tree: no root element"
+  | Some root ->
+      { before_root = List.rev !misc_before; root; after_root = List.rev !misc_after }
+
+let of_tokens tokens = (doc_of_tokens tokens).root
+
+let rec emit_node node acc =
+  match node with
+  | Element { name; attrs; ns_decls; children } ->
+      let acc = Token.Start_element { name; attrs; ns_decls } :: acc in
+      let acc = List.fold_left (fun acc c -> emit_node c acc) acc children in
+      Token.End_element :: acc
+  | Text content -> Token.Text { content; annot = None } :: acc
+  | Comment c -> Token.Comment c :: acc
+  | Pi { target; data } -> Token.Pi { target; data } :: acc
+
+let tokens_of_node node = List.rev (emit_node node [])
+
+let to_tokens doc =
+  let acc = [ Token.Start_document ] in
+  let acc = List.fold_left (fun acc n -> emit_node n acc) acc doc.before_root in
+  let acc = emit_node doc.root acc in
+  let acc = List.fold_left (fun acc n -> emit_node n acc) acc doc.after_root in
+  List.rev (Token.End_document :: acc)
+
+let rec node_count = function
+  | Element { attrs; children; _ } ->
+      1 + List.length attrs
+      + List.fold_left (fun acc c -> acc + node_count c) 0 children
+  | Text _ | Comment _ | Pi _ -> 1
+
+let rec equal a b =
+  match (a, b) with
+  | Element x, Element y ->
+      Qname.equal x.name y.name
+      && List.equal
+           (fun (p : Token.attr) (q : Token.attr) ->
+             Qname.equal p.name q.name && String.equal p.value q.value)
+           x.attrs y.attrs
+      && List.equal equal x.children y.children
+  | Text x, Text y -> String.equal x y
+  | Comment x, Comment y -> String.equal x y
+  | Pi x, Pi y -> String.equal x.target y.target && String.equal x.data y.data
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+let text_content node =
+  let buf = Buffer.create 32 in
+  let rec walk = function
+    | Text s -> Buffer.add_string buf s
+    | Element { children; _ } -> List.iter walk children
+    | Comment _ | Pi _ -> ()
+  in
+  walk node;
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** A simple in-memory XML tree. The engine itself never builds one (§3.2:
+    "no separate trees of in-memory format are built"); this module exists
+    for tests, workload generators, and the DOM-based baseline the paper
+    compares against. *)
+
+type t =
+  | Element of {
+      name : Qname.t;
+      attrs : Token.attr list;
+      ns_decls : (int * int) list;
+      children : t list;
+    }
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+type doc = { before_root : t list; root : t; after_root : t list }
+
+val elem : ?attrs:Token.attr list -> ?children:t list -> Qname.t -> t
+
+val doc_of_tokens : Token.t list -> doc
+(** @raise Invalid_argument on an unbalanced stream. *)
+
+val of_tokens : Token.t list -> t
+(** Root element only. *)
+
+val to_tokens : doc -> Token.t list
+val tokens_of_node : t -> Token.t list
+
+val node_count : t -> int
+(** Nodes of the XQuery data model in the subtree: elements, attributes,
+    texts, comments and PIs. *)
+
+val equal : t -> t -> bool
+val text_content : t -> string
+(** Concatenated descendant text, i.e. the typed-value string of a node. *)

@@ -1,0 +1,70 @@
+type t =
+  | String of string
+  | Double of float
+  | Decimal of Rx_util.Decimal.t
+  | Integer of int
+  | Boolean of bool
+  | Date of { year : int; month : int; day : int }
+
+let type_tag = function
+  | String _ -> 0
+  | Double _ -> 1
+  | Decimal _ -> 2
+  | Integer _ -> 3
+  | Boolean _ -> 4
+  | Date _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | String x, String y -> String.compare x y
+  | Double x, Double y -> Float.compare x y
+  | Decimal x, Decimal y -> Rx_util.Decimal.compare x y
+  | Integer x, Integer y -> Int.compare x y
+  | Boolean x, Boolean y -> Bool.compare x y
+  | Date x, Date y -> Stdlib.compare (x.year, x.month, x.day) (y.year, y.month, y.day)
+  | _ -> Int.compare (type_tag a) (type_tag b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | String s -> s
+  | Double f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+  | Decimal d -> Rx_util.Decimal.to_string d
+  | Integer n -> string_of_int n
+  | Boolean b -> if b then "true" else "false"
+  | Date { year; month; day } -> Printf.sprintf "%04d-%02d-%02d" year month day
+
+let trim = String.trim
+
+let parse_date s =
+  (* YYYY-MM-DD *)
+  if String.length s = 10 && s.[4] = '-' && s.[7] = '-' then
+    match
+      ( int_of_string_opt (String.sub s 0 4),
+        int_of_string_opt (String.sub s 5 2),
+        int_of_string_opt (String.sub s 8 2) )
+    with
+    | Some year, Some month, Some day
+      when month >= 1 && month <= 12 && day >= 1 && day <= 31 ->
+        Some (Date { year; month; day })
+    | _ -> None
+  else None
+
+let of_string ty s =
+  let s = trim s in
+  match ty with
+  | `String -> Some (String s)
+  | `Double -> Option.map (fun f -> Double f) (float_of_string_opt s)
+  | `Decimal -> Option.map (fun d -> Decimal d) (Rx_util.Decimal.of_string s)
+  | `Integer -> Option.map (fun n -> Integer n) (int_of_string_opt s)
+  | `Boolean -> (
+      match s with
+      | "true" | "1" -> Some (Boolean true)
+      | "false" | "0" -> Some (Boolean false)
+      | _ -> None)
+  | `Date -> parse_date s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

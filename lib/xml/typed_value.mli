@@ -1,0 +1,24 @@
+(** Typed values carried as annotations on schema-validated token streams and
+    used as XPath value-index keys (§3.3: "a few simple types supported, such
+    as double, string, and date"; §4.3: decimal floating point per IEEE
+    754r). *)
+
+type t =
+  | String of string
+  | Double of float
+  | Decimal of Rx_util.Decimal.t
+  | Integer of int
+  | Boolean of bool
+  | Date of { year : int; month : int; day : int }
+
+val compare : t -> t -> int
+(** Total order within a type; cross-type comparisons order by type tag. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val of_string : [ `String | `Double | `Decimal | `Integer | `Boolean | `Date ] ->
+  string -> t option
+(** Parses the lexical form (whitespace-trimmed) into the requested type. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+open Rx_util
+open Rx_xml
+
+(* One accumulated child entry: its relative id, encoded bytes, and whether
+   it is (already) a proxy. Only inline entries are moved out on a flush. *)
+type child = { rel : Node_id.rel; bytes : string; is_proxy : bool }
+
+type open_elem = {
+  rel : Node_id.rel;
+  abs : Node_id.t;
+  name : Qname.t option; (* None for the virtual document context *)
+  attrs : Token.attr list;
+  ns_decls : (int * int) list;
+  path : (int * int) list; (* root-first (uri, local) of the element itself *)
+  ns_in_scope : (int * int) list;
+  mutable next_child : int;
+  mutable children : child list; (* reversed *)
+  mutable inline_bytes : int;
+}
+
+type policy = Largest_first | Flush_all
+
+type t = {
+  threshold : int;
+  policy : policy;
+  emit : min_id:Node_id.t -> record:string -> unit;
+  mutable stack : open_elem list; (* innermost first; bottom is the doc *)
+  mutable done_ : bool;
+}
+
+let create ?(policy = Largest_first) ~threshold ~emit () =
+  if threshold < 64 then invalid_arg "Packer.create: threshold too small";
+  {
+    threshold;
+    policy;
+    emit;
+    stack = [];
+    done_ = false;
+  }
+
+let doc_frame () =
+  {
+    rel = "";
+    abs = Node_id.root;
+    name = None;
+    attrs = [];
+    ns_decls = [];
+    path = [];
+    ns_in_scope = [];
+    next_child = 0;
+    children = [];
+    inline_bytes = 0;
+  }
+
+(* Flush some inline children of [frame] as one record, replacing them with
+   proxies. When [all] is false, victims are chosen largest-first until the
+   remaining inline bytes fit the threshold — so in Figure 3 the single big
+   Node2 subtree moves out while small siblings stay inline. *)
+let flush_children ?(all = false) t frame =
+  let child_size (c : child) = String.length c.bytes in
+  let inline = List.filter (fun c -> not c.is_proxy) (List.rev frame.children) in
+  if inline <> [] then begin
+    let victims =
+      if all || t.policy = Flush_all then inline
+      else begin
+        let by_size =
+          List.sort
+            (fun a b -> compare (child_size b) (child_size a))
+            inline
+        in
+        let remaining = ref frame.inline_bytes in
+        let chosen = Hashtbl.create 4 in
+        List.iter
+          (fun (c : child) ->
+            if !remaining > t.threshold then begin
+              Hashtbl.replace chosen c.rel ();
+              remaining := !remaining - child_size c
+            end)
+          by_size;
+        List.filter (fun (c : child) -> Hashtbl.mem chosen c.rel) inline
+      end
+    in
+    if victims <> [] then begin
+      let w = Bytes_io.Writer.create ~capacity:(frame.inline_bytes + 64) () in
+      Record_format.encode_header w
+        {
+          Record_format.context = frame.abs;
+          path = frame.path;
+          ns_in_scope = frame.ns_in_scope;
+          n_subtrees = List.length victims;
+        };
+      List.iter (fun c -> Bytes_io.Writer.bytes w c.bytes) victims;
+      let record = Bytes_io.Writer.contents w in
+      t.emit ~min_id:(Record_format.min_node_id record) ~record;
+      let victim_rels = Hashtbl.create 4 in
+      List.iter (fun (c : child) -> Hashtbl.replace victim_rels c.rel ()) victims;
+      frame.children <-
+        List.rev_map
+          (fun c ->
+            if (not c.is_proxy) && Hashtbl.mem victim_rels c.rel then begin
+              let pw = Bytes_io.Writer.create ~capacity:8 () in
+              Record_format.encode_proxy pw ~rel:c.rel;
+              { rel = c.rel; bytes = Bytes_io.Writer.contents pw; is_proxy = true }
+            end
+            else c)
+          (List.rev frame.children);
+      frame.inline_bytes <-
+        List.fold_left
+          (fun acc c -> if c.is_proxy then acc else acc + String.length c.bytes)
+          0 (List.rev frame.children)
+    end
+  end
+
+let add_child t frame child =
+  frame.children <- child :: frame.children;
+  if not child.is_proxy then
+    frame.inline_bytes <- frame.inline_bytes + String.length child.bytes;
+  (* the document frame never auto-flushes, so the root record always holds
+     the root element inline and is reachable from the NodeID index *)
+  if frame.name <> None && frame.inline_bytes > t.threshold then
+    flush_children t frame
+
+let alloc_rel frame =
+  let rel = Node_id.nth_sibling_rel frame.next_child in
+  frame.next_child <- frame.next_child + 1;
+  rel
+
+let current t =
+  match t.stack with
+  | frame :: _ -> frame
+  | [] -> invalid_arg "Packer: token outside document"
+
+let feed t token =
+  if t.done_ then invalid_arg "Packer: stream after End_document";
+  match token with
+  | Token.Start_document ->
+      if t.stack <> [] then invalid_arg "Packer: nested Start_document";
+      t.stack <- [ doc_frame () ]
+  | Token.End_document -> (
+      match t.stack with
+      | [ doc ] ->
+          (* the root record: whatever remains at document level *)
+          flush_children ~all:true t doc;
+          t.stack <- [];
+          t.done_ <- true;
+          ignore doc
+      | _ -> invalid_arg "Packer: End_document with open elements")
+  | Token.Start_element { name; attrs; ns_decls } ->
+      let parent = current t in
+      let rel = alloc_rel parent in
+      let frame =
+        {
+          rel;
+          abs = Node_id.append parent.abs rel;
+          name = Some name;
+          attrs;
+          ns_decls;
+          path = parent.path @ [ (name.Qname.uri, name.Qname.local) ];
+          ns_in_scope =
+            (* inner declarations shadow outer ones *)
+            ns_decls
+            @ List.filter
+                (fun (p, _) -> not (List.mem_assoc p ns_decls))
+                parent.ns_in_scope;
+          next_child = 0;
+          children = [];
+          inline_bytes = 0;
+        }
+      in
+      t.stack <- frame :: t.stack
+  | Token.End_element -> (
+      match t.stack with
+      | frame :: (parent :: _ as rest) ->
+          let name =
+            match frame.name with
+            | Some n -> n
+            | None -> invalid_arg "Packer: End_element at document level"
+          in
+          (* encode the completed element entry *)
+          let children = List.rev frame.children in
+          let children_bytes = List.map (fun c -> c.bytes) children in
+          let children_len =
+            List.fold_left (fun acc b -> acc + String.length b) 0 children_bytes
+          in
+          let w = Bytes_io.Writer.create ~capacity:(children_len + 64) () in
+          Record_format.encode_element_prefix w ~rel:frame.rel ~name
+            ~attrs:frame.attrs ~ns_decls:frame.ns_decls
+            ~n_children:(List.length children) ~children_len;
+          List.iter (Bytes_io.Writer.bytes w) children_bytes;
+          t.stack <- rest;
+          add_child t parent
+            { rel = frame.rel; bytes = Bytes_io.Writer.contents w; is_proxy = false }
+      | _ -> invalid_arg "Packer: unbalanced End_element")
+  | Token.Text { content; annot } ->
+      let parent = current t in
+      if parent.name = None && String.trim content = "" then ()
+      else begin
+        let rel = alloc_rel parent in
+        let w = Bytes_io.Writer.create ~capacity:(String.length content + 16) () in
+        Record_format.encode_text w ~rel ~annot content;
+        add_child t parent { rel; bytes = Bytes_io.Writer.contents w; is_proxy = false }
+      end
+  | Token.Comment content ->
+      let parent = current t in
+      let rel = alloc_rel parent in
+      let w = Bytes_io.Writer.create ~capacity:(String.length content + 16) () in
+      Record_format.encode_comment w ~rel content;
+      add_child t parent { rel; bytes = Bytes_io.Writer.contents w; is_proxy = false }
+  | Token.Pi { target; data } ->
+      let parent = current t in
+      let rel = alloc_rel parent in
+      let w = Bytes_io.Writer.create ~capacity:32 () in
+      Record_format.encode_pi w ~rel ~target ~data;
+      add_child t parent { rel; bytes = Bytes_io.Writer.contents w; is_proxy = false }
+
+let finish t =
+  if not t.done_ then invalid_arg "Packer.finish: incomplete document"
+
+let pack ?policy ~threshold ~emit tokens =
+  let t = create ?policy ~threshold ~emit () in
+  List.iter (feed t) tokens;
+  finish t
+
+let records_of_tokens ?policy ~threshold tokens =
+  let records = ref [] in
+  pack ?policy ~threshold
+    ~emit:(fun ~min_id:_ ~record -> records := record :: !records)
+    tokens;
+  List.rev !records

@@ -1,0 +1,220 @@
+open Rx_util
+open Rx_xml
+
+type header = {
+  context : Node_id.t;
+  path : (int * int) list;
+  ns_in_scope : (int * int) list;
+  n_subtrees : int;
+}
+
+type entry =
+  | Element of {
+      rel : Node_id.rel;
+      name : Qname.t;
+      attrs : Token.attr list;
+      ns_decls : (int * int) list;
+      n_children : int;
+      children_len : int;
+      children_off : int;
+    }
+  | Text of { rel : Node_id.rel; content : string; annot : Typed_value.t option }
+  | Comment of { rel : Node_id.rel; content : string }
+  | Pi of { rel : Node_id.rel; target : string; data : string }
+  | Proxy of { rel : Node_id.rel }
+
+let entry_rel = function
+  | Element { rel; _ } | Text { rel; _ } | Comment { rel; _ } | Pi { rel; _ }
+  | Proxy { rel } ->
+      rel
+
+let encode_pairs w pairs =
+  Bytes_io.Writer.varint w (List.length pairs);
+  List.iter
+    (fun (a, b) ->
+      Bytes_io.Writer.varint w a;
+      Bytes_io.Writer.varint w b)
+    pairs
+
+let decode_pairs r =
+  let n = Bytes_io.Reader.varint r in
+  List.init n (fun _ ->
+      let a = Bytes_io.Reader.varint r in
+      let b = Bytes_io.Reader.varint r in
+      (a, b))
+
+let encode_header w h =
+  Bytes_io.Writer.lstring w h.context;
+  encode_pairs w h.path;
+  encode_pairs w h.ns_in_scope;
+  Bytes_io.Writer.varint w h.n_subtrees
+
+let decode_header record =
+  let r = Bytes_io.Reader.of_string record in
+  let context = Bytes_io.Reader.lstring r in
+  let path = decode_pairs r in
+  let ns_in_scope = decode_pairs r in
+  let n_subtrees = Bytes_io.Reader.varint r in
+  ({ context; path; ns_in_scope; n_subtrees }, Bytes_io.Reader.pos r)
+
+let tag_element = 1
+let tag_text = 2
+let tag_comment = 3
+let tag_pi = 4
+let tag_proxy = 5
+
+let encode_qname w (q : Qname.t) =
+  Bytes_io.Writer.varint w q.Qname.uri;
+  Bytes_io.Writer.varint w q.Qname.local;
+  Bytes_io.Writer.varint w q.Qname.prefix
+
+let decode_qname r =
+  let uri = Bytes_io.Reader.varint r in
+  let local = Bytes_io.Reader.varint r in
+  let prefix = Bytes_io.Reader.varint r in
+  { Qname.uri; local; prefix }
+
+let encode_element_prefix w ~rel ~name ~attrs ~ns_decls ~n_children ~children_len =
+  Bytes_io.Writer.u8 w tag_element;
+  Bytes_io.Writer.lstring w rel;
+  encode_qname w name;
+  Bytes_io.Writer.varint w (List.length attrs);
+  List.iter
+    (fun (a : Token.attr) ->
+      encode_qname w a.name;
+      Bytes_io.Writer.lstring w a.value;
+      Token_stream.encode_annot w a.annot)
+    attrs;
+  encode_pairs w ns_decls;
+  Bytes_io.Writer.varint w n_children;
+  Bytes_io.Writer.varint w children_len
+
+let encode_text w ~rel ~annot content =
+  Bytes_io.Writer.u8 w tag_text;
+  Bytes_io.Writer.lstring w rel;
+  Bytes_io.Writer.lstring w content;
+  Token_stream.encode_annot w annot
+
+let encode_comment w ~rel content =
+  Bytes_io.Writer.u8 w tag_comment;
+  Bytes_io.Writer.lstring w rel;
+  Bytes_io.Writer.lstring w content
+
+let encode_pi w ~rel ~target ~data =
+  Bytes_io.Writer.u8 w tag_pi;
+  Bytes_io.Writer.lstring w rel;
+  Bytes_io.Writer.lstring w target;
+  Bytes_io.Writer.lstring w data
+
+let encode_proxy w ~rel =
+  Bytes_io.Writer.u8 w tag_proxy;
+  Bytes_io.Writer.lstring w rel
+
+let decode_entry record off =
+  let r = Bytes_io.Reader.of_string ~pos:off record in
+  let tag = Bytes_io.Reader.u8 r in
+  let rel = Bytes_io.Reader.lstring r in
+  if tag = tag_element then begin
+    let name = decode_qname r in
+    let n_attrs = Bytes_io.Reader.varint r in
+    let attrs =
+      List.init n_attrs (fun _ ->
+          let name = decode_qname r in
+          let value = Bytes_io.Reader.lstring r in
+          let annot = Token_stream.decode_annot r in
+          { Token.name; value; annot })
+    in
+    let ns_decls = decode_pairs r in
+    let n_children = Bytes_io.Reader.varint r in
+    let children_len = Bytes_io.Reader.varint r in
+    let children_off = Bytes_io.Reader.pos r in
+    ( Element { rel; name; attrs; ns_decls; n_children; children_len; children_off },
+      children_off + children_len )
+  end
+  else if tag = tag_text then begin
+    let content = Bytes_io.Reader.lstring r in
+    let annot = Token_stream.decode_annot r in
+    (Text { rel; content; annot }, Bytes_io.Reader.pos r)
+  end
+  else if tag = tag_comment then begin
+    let content = Bytes_io.Reader.lstring r in
+    (Comment { rel; content }, Bytes_io.Reader.pos r)
+  end
+  else if tag = tag_pi then begin
+    let target = Bytes_io.Reader.lstring r in
+    let data = Bytes_io.Reader.lstring r in
+    (Pi { rel; target; data }, Bytes_io.Reader.pos r)
+  end
+  else if tag = tag_proxy then (Proxy { rel }, Bytes_io.Reader.pos r)
+  else invalid_arg (Printf.sprintf "Record_format: bad entry tag %d at %d" tag off)
+
+let iter_children record entry f =
+  match entry with
+  | Element { children_off; children_len; _ } ->
+      let limit = children_off + children_len in
+      let rec loop off =
+        if off < limit then begin
+          let child, next = decode_entry record off in
+          f child;
+          loop next
+        end
+      in
+      loop children_off
+  | Text _ | Comment _ | Pi _ | Proxy _ -> ()
+
+(* Depth-first walk over inline entries; [f] receives (absolute id, entry)
+   and proxies are reported but not descended (they have no inline body). *)
+let walk record f =
+  let header, first = decode_header record in
+  let rec walk_seq base off limit =
+    if off < limit then begin
+      let entry, next = decode_entry record off in
+      let abs = Node_id.append base (entry_rel entry) in
+      f abs entry;
+      (match entry with
+      | Element { children_off; children_len; _ } ->
+          walk_seq abs children_off (children_off + children_len)
+      | Text _ | Comment _ | Pi _ | Proxy _ -> ());
+      walk_seq base next limit
+    end
+  in
+  walk_seq header.context first (String.length record)
+
+let interval_endpoints record =
+  let endpoints = ref [] in
+  let last_inline = ref None in
+  walk record (fun abs entry ->
+      match entry with
+      | Proxy _ ->
+          (* a proxied subtree interrupts document-order contiguity *)
+          (match !last_inline with
+          | Some id -> endpoints := id :: !endpoints
+          | None -> ());
+          last_inline := None
+      | Element _ | Text _ | Comment _ | Pi _ -> last_inline := Some abs);
+  (match !last_inline with
+  | Some id -> endpoints := id :: !endpoints
+  | None -> ());
+  List.rev !endpoints
+
+let min_node_id record =
+  let result = ref None in
+  (try
+     walk record (fun abs entry ->
+         match entry with
+         | Proxy _ -> ()
+         | Element _ | Text _ | Comment _ | Pi _ ->
+             result := Some abs;
+             raise Exit)
+   with Exit -> ());
+  match !result with
+  | Some id -> id
+  | None -> invalid_arg "Record_format.min_node_id: record has no inline node"
+
+let node_count record =
+  let count = ref 0 in
+  walk record (fun _ entry ->
+      match entry with
+      | Proxy _ -> ()
+      | Element _ | Text _ | Comment _ | Pi _ -> incr count);
+  !count

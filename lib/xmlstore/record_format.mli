@@ -1,0 +1,84 @@
+(** Binary format of packed XML records (§3.1, Figure 3).
+
+    A record holds a sequence of subtrees that share a common parent (the
+    {e context node}). The header carries the context's absolute node ID,
+    its path from the root (name IDs) and its in-scope namespaces, making
+    every record self-contained when reached from an XPath value index.
+    Structure nesting represents parent-child relationships: each element
+    entry embeds its children; each non-leaf entry stores its child count
+    and the byte length of its children section (so traversal can skip whole
+    subtrees). A subtree packed into another record is represented by a
+    proxy entry carrying only the subtree root's relative node ID. *)
+
+type header = {
+  context : Node_id.t;
+  path : (int * int) list;
+      (** (namespace URI id, local-name id) of each ancestor, root first;
+          its length equals the context's level. *)
+  ns_in_scope : (int * int) list; (** (prefix id, URI id) *)
+  n_subtrees : int;
+}
+
+type entry =
+  | Element of {
+      rel : Node_id.rel;
+      name : Rx_xml.Qname.t;
+      attrs : Rx_xml.Token.attr list;
+      ns_decls : (int * int) list;
+      n_children : int;
+      children_len : int;
+      children_off : int; (** absolute offset of the children section *)
+    }
+  | Text of { rel : Node_id.rel; content : string; annot : Rx_xml.Typed_value.t option }
+  | Comment of { rel : Node_id.rel; content : string }
+  | Pi of { rel : Node_id.rel; target : string; data : string }
+  | Proxy of { rel : Node_id.rel }
+
+val entry_rel : entry -> Node_id.rel
+
+val encode_header : Rx_util.Bytes_io.Writer.t -> header -> unit
+val decode_header : string -> header * int
+(** Returns the header and the offset of the first entry. *)
+
+val encode_element_prefix :
+  Rx_util.Bytes_io.Writer.t ->
+  rel:Node_id.rel ->
+  name:Rx_xml.Qname.t ->
+  attrs:Rx_xml.Token.attr list ->
+  ns_decls:(int * int) list ->
+  n_children:int ->
+  children_len:int ->
+  unit
+(** The element entry up to (excluding) its children bytes, which the caller
+    appends. *)
+
+val encode_text :
+  Rx_util.Bytes_io.Writer.t ->
+  rel:Node_id.rel -> annot:Rx_xml.Typed_value.t option -> string -> unit
+
+val encode_comment : Rx_util.Bytes_io.Writer.t -> rel:Node_id.rel -> string -> unit
+
+val encode_pi :
+  Rx_util.Bytes_io.Writer.t -> rel:Node_id.rel -> target:string -> data:string -> unit
+
+val encode_proxy : Rx_util.Bytes_io.Writer.t -> rel:Node_id.rel -> unit
+
+val decode_entry : string -> int -> entry * int
+(** [(entry, next)] where [next] is the offset just past the whole entry,
+    including an element's children section — i.e. the next sibling. *)
+
+val iter_children : string -> entry -> (entry -> unit) -> unit
+(** Applies the callback to each direct child entry of an element. *)
+
+val interval_endpoints : string -> Node_id.t list
+(** Upper endpoints of the maximal document-order-contiguous node-ID
+    intervals stored inline in this record — exactly the NodeID-index
+    entries the record contributes (§3.1: three entries for the two records
+    of Figure 3). *)
+
+val min_node_id : string -> Node_id.t
+(** Absolute ID of the first inline node (the [minNodeID] column). *)
+
+val node_count : string -> int
+(** Inline nodes in this record (elements, texts, comments, PIs —
+    attributes and proxies excluded). *)

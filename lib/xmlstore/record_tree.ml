@@ -1,0 +1,186 @@
+open Rx_util
+open Rx_xml
+
+type node =
+  | Element of {
+      rel : Node_id.rel;
+      name : Qname.t;
+      attrs : Token.attr list;
+      ns_decls : (int * int) list;
+      children : node list;
+    }
+  | Text of { rel : Node_id.rel; content : string; annot : Typed_value.t option }
+  | Comment of { rel : Node_id.rel; content : string }
+  | Pi of { rel : Node_id.rel; target : string; data : string }
+  | Proxy of { rel : Node_id.rel }
+
+let node_rel = function
+  | Element { rel; _ } | Text { rel; _ } | Comment { rel; _ } | Pi { rel; _ }
+  | Proxy { rel } ->
+      rel
+
+let rec decode_entry record entry =
+  match entry with
+  | Record_format.Element { rel; name; attrs; ns_decls; _ } ->
+      let children = ref [] in
+      Record_format.iter_children record entry (fun child ->
+          children := decode_entry record child :: !children);
+      Element { rel; name; attrs; ns_decls; children = List.rev !children }
+  | Record_format.Text { rel; content; annot } -> Text { rel; content; annot }
+  | Record_format.Comment { rel; content } -> Comment { rel; content }
+  | Record_format.Pi { rel; target; data } -> Pi { rel; target; data }
+  | Record_format.Proxy { rel } -> Proxy { rel }
+
+let decode record =
+  let header, first = Record_format.decode_header record in
+  let nodes = ref [] in
+  let rec loop off =
+    if off < String.length record then begin
+      let entry, next = Record_format.decode_entry record off in
+      nodes := decode_entry record entry :: !nodes;
+      loop next
+    end
+  in
+  loop first;
+  (header, List.rev !nodes)
+
+let rec encode_node w node =
+  match node with
+  | Element { rel; name; attrs; ns_decls; children } ->
+      let cw = Bytes_io.Writer.create () in
+      List.iter (encode_node cw) children;
+      let children_bytes = Bytes_io.Writer.contents cw in
+      Record_format.encode_element_prefix w ~rel ~name ~attrs ~ns_decls
+        ~n_children:(List.length children)
+        ~children_len:(String.length children_bytes);
+      Bytes_io.Writer.bytes w children_bytes
+  | Text { rel; content; annot } -> Record_format.encode_text w ~rel ~annot content
+  | Comment { rel; content } -> Record_format.encode_comment w ~rel content
+  | Pi { rel; target; data } -> Record_format.encode_pi w ~rel ~target ~data
+  | Proxy { rel } -> Record_format.encode_proxy w ~rel
+
+let encode header nodes =
+  let w = Bytes_io.Writer.create ~capacity:512 () in
+  Record_format.encode_header w
+    { header with Record_format.n_subtrees = List.length nodes };
+  List.iter (encode_node w) nodes;
+  Bytes_io.Writer.contents w
+
+let of_tokens ~base_rel tokens =
+  (* build a forest from a balanced fragment; [base_rel] names the roots *)
+  let pending_roots = ref base_rel in
+  let next_root_rel () =
+    match !pending_roots with
+    | rel :: rest ->
+        pending_roots := rest;
+        rel
+    | [] -> invalid_arg "Record_tree.of_tokens: more top-level nodes than ids"
+  in
+  (* stack of open elements: (rel, name, attrs, ns, rev children, counter) *)
+  let stack = ref [] in
+  let result = ref [] in
+  let alloc_rel counter =
+    let rel = Node_id.nth_sibling_rel !counter in
+    incr counter;
+    rel
+  in
+  let rel_for () =
+    match !stack with
+    | [] -> next_root_rel ()
+    | (_, _, _, _, _, counter) :: _ -> alloc_rel counter
+  in
+  let add node =
+    match !stack with
+    | [] -> result := node :: !result
+    | (rel, name, attrs, ns, children, counter) :: rest ->
+        stack := (rel, name, attrs, ns, node :: children, counter) :: rest
+  in
+  List.iter
+    (fun token ->
+      match token with
+      | Token.Start_document | Token.End_document -> ()
+      | Token.Start_element { name; attrs; ns_decls } ->
+          let rel = rel_for () in
+          stack := (rel, name, attrs, ns_decls, [], ref 0) :: !stack
+      | Token.End_element -> (
+          match !stack with
+          | (rel, name, attrs, ns_decls, children, _) :: rest ->
+              stack := rest;
+              add (Element { rel; name; attrs; ns_decls; children = List.rev children })
+          | [] -> invalid_arg "Record_tree.of_tokens: unbalanced fragment")
+      | Token.Text { content; annot } ->
+          let rel = rel_for () in
+          add (Text { rel; content; annot })
+      | Token.Comment content ->
+          let rel = rel_for () in
+          add (Comment { rel; content })
+      | Token.Pi { target; data } ->
+          let rel = rel_for () in
+          add (Pi { rel; target; data }))
+    tokens;
+  if !stack <> [] then invalid_arg "Record_tree.of_tokens: unclosed element";
+  if !pending_roots <> [] then
+    invalid_arg "Record_tree.of_tokens: fewer top-level nodes than ids";
+  List.rev !result
+
+(* Insert nodes into a sibling list, keeping relative-id order. *)
+let splice_sorted siblings nodes =
+  let rel_of = node_rel in
+  let rec insert acc = function
+    | [] -> List.rev acc @ nodes
+    | s :: rest ->
+        if
+          List.for_all (fun n -> String.compare (rel_of n) (rel_of s) < 0) nodes
+        then List.rev acc @ nodes @ (s :: rest)
+        else insert (s :: acc) rest
+  in
+  insert [] siblings
+
+let map_subtree nodes rel_path edit =
+  let rec go nodes = function
+    | [] -> None
+    | [ last ] ->
+        let found = ref false in
+        let out =
+          List.concat_map
+            (fun n ->
+              if node_rel n = last then begin
+                found := true;
+                edit (Some n)
+              end
+              else [ n ])
+            nodes
+        in
+        if !found then Some out
+        else
+          (* target absent: treat as an insertion among these siblings *)
+          Some (splice_sorted nodes (edit None))
+    | comp :: rest -> (
+        let found = ref None in
+        let out =
+          List.map
+            (fun n ->
+              match n with
+              | Element ({ rel; children; _ } as e) when rel = comp -> (
+                  match go children rest with
+                  | Some children' ->
+                      found := Some ();
+                      Element { e with children = children' }
+                  | None -> n)
+              | _ -> n)
+            nodes
+        in
+        match !found with Some () -> Some out | None -> None)
+  in
+  go nodes rel_path
+
+let collect_proxies node =
+  let acc = ref [] in
+  let rec walk path n =
+    match n with
+    | Proxy { rel } -> acc := List.rev (rel :: path) :: !acc
+    | Element { rel; children; _ } -> List.iter (walk (rel :: path)) children
+    | Text _ | Comment _ | Pi _ -> ()
+  in
+  walk [] node;
+  List.rev !acc

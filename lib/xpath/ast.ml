@@ -1,0 +1,110 @@
+type axis = Child | Descendant | Attribute | Self | Descendant_or_self | Parent
+
+type node_test =
+  | Name of { prefix : string option; local : string }
+  | Wildcard
+  | Text_test
+  | Comment_test
+  | Pi_test
+  | Node_test
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type path = { absolute : bool; steps : step list }
+
+and step = { axis : axis; test : node_test; preds : pred list }
+
+and pred =
+  | Exists of path
+  | Compare of cmp * operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and operand = Op_path of path | Op_string of string | Op_number of float
+
+let step ?(preds = []) axis test = { axis; test; preds }
+let named local = Name { prefix = None; local }
+
+let is_linear { steps; _ } =
+  let rec check = function
+    | [] -> true
+    | s :: _ when s.preds <> [] -> false
+    | { axis = Child | Descendant | Attribute; _ } :: rest -> check rest
+    | { axis = Descendant_or_self; test = Node_test; _ }
+      :: ({ axis = Attribute; _ } :: _ as rest) ->
+        (* the '//@attr' shape: descendant-or-self::node()/@attr *)
+        check rest
+    | { axis = Self | Descendant_or_self | Parent; _ } :: _ -> false
+  in
+  check steps
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let flip_cmp = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let test_to_string = function
+  | Name { prefix = Some p; local } -> p ^ ":" ^ local
+  | Name { prefix = None; local } -> local
+  | Wildcard -> "*"
+  | Text_test -> "text()"
+  | Comment_test -> "comment()"
+  | Pi_test -> "processing-instruction()"
+  | Node_test -> "node()"
+
+let rec to_string { absolute; steps } =
+  match steps with
+  | [] -> if absolute then "/" else "."
+  | _ ->
+      let step_str i s =
+        let sep =
+          match s.axis with
+          | Descendant -> if i = 0 && not absolute then ".//" else "//"
+          | _ ->
+              if i = 0 then (if absolute then "/" else "")
+              else "/"
+        in
+        let body =
+          match (s.axis, s.test) with
+          | Self, Node_test -> "."
+          | Parent, Node_test -> ".."
+          | Self, t -> "self::" ^ test_to_string t
+          | Parent, t -> "parent::" ^ test_to_string t
+          | Attribute, t -> "@" ^ test_to_string t
+          | Descendant_or_self, t -> "descendant-or-self::" ^ test_to_string t
+          | (Child | Descendant), t -> test_to_string t
+        in
+        sep ^ body ^ String.concat "" (List.map pred_to_string s.preds)
+      in
+      String.concat "" (List.mapi step_str steps)
+
+and pred_to_string p = "[" ^ expr_to_string p ^ "]"
+
+and expr_to_string = function
+  | Exists path -> to_string path
+  | Compare (op, a, b) ->
+      operand_to_string a ^ " " ^ cmp_to_string op ^ " " ^ operand_to_string b
+  | And (a, b) -> expr_to_string a ^ " and " ^ expr_to_string b
+  | Or (a, b) -> "(" ^ expr_to_string a ^ " or " ^ expr_to_string b ^ ")"
+  | Not a -> "not(" ^ expr_to_string a ^ ")"
+
+and operand_to_string = function
+  | Op_path p -> to_string p
+  | Op_string s -> "\"" ^ s ^ "\""
+  | Op_number f ->
+      if Float.is_integer f then string_of_int (int_of_float f)
+      else string_of_float f
+
+let equal a b = a = b

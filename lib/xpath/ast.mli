@@ -1,0 +1,47 @@
+(** Abstract syntax for the XPath subset of §4.2: the five forward axes
+    (child, attribute, descendant, self, descendant-or-self) plus the parent
+    axis, which {!Rewrite} eliminates before evaluation. Predicates combine
+    relative-path existence tests and value comparisons with [and]/[or]/
+    [not]. *)
+
+type axis = Child | Descendant | Attribute | Self | Descendant_or_self | Parent
+
+type node_test =
+  | Name of { prefix : string option; local : string }
+  | Wildcard
+  | Text_test
+  | Comment_test
+  | Pi_test
+  | Node_test (* node() *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type path = { absolute : bool; steps : step list }
+
+and step = { axis : axis; test : node_test; preds : pred list }
+
+and pred =
+  | Exists of path (* relative path: true iff non-empty *)
+  | Compare of cmp * operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and operand =
+  | Op_path of path (* relative *)
+  | Op_string of string
+  | Op_number of float
+
+val step : ?preds:pred list -> axis -> node_test -> step
+val named : string -> node_test
+
+val is_linear : path -> bool
+(** No predicates anywhere, axes restricted to child/descendant/attribute —
+    the shape accepted for XPath value-index definitions (§3.3). *)
+
+val to_string : path -> string
+val cmp_to_string : cmp -> string
+val flip_cmp : cmp -> cmp
+(** [a op b] ≡ [b (flip_cmp op) a]. *)
+
+val equal : path -> path -> bool

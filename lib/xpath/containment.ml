@@ -1,0 +1,67 @@
+(* A linear path denotes a language of label sequences ending either at an
+   element or at an attribute: a child step is one forced label, a descendant
+   step is "any element labels, then this one". We check inclusion
+   L(query) ⊆ L(index) with a memoized simulation; the OR over "absorb within
+   a descendant gap" vs "match here" makes the test sound but not complete
+   (classic for this fragment, and sufficient for an index advisor). *)
+
+type lstep = { gap : bool; test : Ast.node_test; attr : bool }
+
+let to_linear_steps p =
+  if not (Ast.is_linear p) then invalid_arg "Containment: path is not linear";
+  if not p.Ast.absolute then invalid_arg "Containment: path is not absolute";
+  let rec conv = function
+    | [] -> []
+    | { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; _ }
+      :: { Ast.axis = Ast.Attribute; test; _ }
+      :: rest ->
+        { gap = true; test; attr = true } :: conv rest
+    | { Ast.axis = Ast.Child; test; _ } :: rest ->
+        { gap = false; test; attr = false } :: conv rest
+    | { Ast.axis = Ast.Descendant; test; _ } :: rest ->
+        { gap = true; test; attr = false } :: conv rest
+    | { Ast.axis = Ast.Attribute; test; _ } :: rest ->
+        { gap = false; test; attr = true } :: conv rest
+    | _ -> invalid_arg "Containment: path is not linear"
+  in
+  Array.of_list (conv p.Ast.steps)
+
+let test_covers (pt : Ast.node_test) (qt : Ast.node_test) =
+  match (pt, qt) with
+  | Ast.Wildcard, (Ast.Name _ | Ast.Wildcard) -> true
+  | Ast.Name { prefix = pa; local = la }, Ast.Name { prefix = pb; local = lb } ->
+      pa = pb && la = lb
+  | _ -> pt = qt
+
+let contains p q =
+  let ps = to_linear_steps p and qs = to_linear_steps q in
+  let np = Array.length ps and nq = Array.length qs in
+  let memo = Hashtbl.create 64 in
+  (* c i j: does ps.(i..) accept every label sequence of qs.(j..)? *)
+  let rec c i j =
+    match Hashtbl.find_opt memo (i, j) with
+    | Some v -> v
+    | None ->
+        let v = compute i j in
+        Hashtbl.replace memo (i, j) v;
+        v
+  and compute i j =
+    if j = nq then i = np
+    else if i = np then false
+    else begin
+      let pstep = ps.(i) and qstep = qs.(j) in
+      let match_here =
+        pstep.attr = qstep.attr
+        && test_covers pstep.test qstep.test
+        && c (i + 1) (j + 1)
+      in
+      (* a descendant gap in P can absorb one forced element label of Q;
+         attribute labels are never absorbed *)
+      let absorb = pstep.gap && (not qstep.attr) && c i (j + 1) in
+      if qstep.gap && not pstep.gap then false
+      else match_here || absorb
+    end
+  in
+  c 0 0
+
+let equal_paths (a : Ast.path) (b : Ast.path) = a = b

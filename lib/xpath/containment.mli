@@ -1,0 +1,18 @@
+(** Containment test between linear paths, used by the index advisor
+    (§4.3): when the query path is {e equal} to an index's path the index
+    gives an exact DocID/NodeID list; when the index path merely {e
+    contains} the query path (e.g. [//Discount] contains
+    [/Catalog/Categories/Product/Discount]) the index can still be used for
+    filtering, with re-evaluation on the fetched documents.
+
+    The test is sound but conservative: [contains p q = true] guarantees
+    that every node selected by [q] is selected by [p] in any document;
+    [false] may occasionally be a missed opportunity. Only linear paths
+    ({!Ast.is_linear}) are accepted. *)
+
+val contains : Ast.path -> Ast.path -> bool
+(** [contains index_path query_path].
+    @raise Invalid_argument if either path is not linear or not absolute. *)
+
+val equal_paths : Ast.path -> Ast.path -> bool
+(** Structural equality modulo nothing — exact-match test for list access. *)

@@ -1,0 +1,81 @@
+exception Unsupported of string
+
+let rec simplify_steps steps =
+  let steps = List.map simplify_step steps in
+  (* descendant-or-self::node()/child::x  ==>  descendant::x *)
+  let rec collapse = function
+    | ({ Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; preds = [] } as _dos)
+      :: ({ Ast.axis = Ast.Child; _ } as next)
+      :: rest ->
+        collapse ({ next with Ast.axis = Ast.Descendant } :: rest)
+    | s :: rest -> s :: collapse rest
+    | [] -> []
+  in
+  let steps = collapse steps in
+  (* a non-final self::node() step with no predicates is the identity:
+     ./x == x, so .//t becomes descendant::t *)
+  let rec drop_identity = function
+    | { Ast.axis = Ast.Self; test = Ast.Node_test; preds = [] } :: (_ :: _ as rest)
+      ->
+        drop_identity rest
+    | s :: rest -> s :: drop_identity rest
+    | [] -> []
+  in
+  let steps = drop_identity steps in
+  (* p / q / ..  ==>  p[q]  (q on the child or attribute axis) *)
+  let rec eliminate_parents acc = function
+    | [] -> List.rev acc
+    | { Ast.axis = Ast.Parent; test; preds } :: rest -> (
+        (match test with
+        | Ast.Node_test | Ast.Wildcard -> ()
+        | _ -> raise (Unsupported "parent axis with a name test"));
+        if preds <> [] then raise (Unsupported "predicate on a parent step");
+        match acc with
+        | q :: p :: acc' -> (
+            match q.Ast.axis with
+            | Ast.Child | Ast.Attribute ->
+                let p' =
+                  {
+                    p with
+                    Ast.preds =
+                      p.Ast.preds
+                      @ [ Ast.Exists { Ast.absolute = false; steps = [ q ] } ];
+                  }
+                in
+                eliminate_parents (p' :: acc') rest
+            | Ast.Descendant | Ast.Self | Ast.Descendant_or_self | Ast.Parent ->
+                raise (Unsupported "parent axis after a non-child step"))
+        | [ q ] -> (
+            (* the path starts p/.. relative to the context: selects the
+               context itself when it has such a child *)
+            match q.Ast.axis with
+            | Ast.Child | Ast.Attribute ->
+                eliminate_parents
+                  [
+                    {
+                      Ast.axis = Ast.Self;
+                      test = Ast.Node_test;
+                      preds = [ Ast.Exists { Ast.absolute = false; steps = [ q ] } ];
+                    };
+                  ]
+                  rest
+            | _ -> raise (Unsupported "parent axis after a non-child step"))
+        | [] -> raise (Unsupported "leading parent axis"))
+    | s :: rest -> eliminate_parents (s :: acc) rest
+  in
+  eliminate_parents [] steps
+
+and simplify_step s = { s with Ast.preds = List.map simplify_pred s.Ast.preds }
+
+and simplify_pred = function
+  | Ast.Exists p -> Ast.Exists (simplify p)
+  | Ast.Compare (op, a, b) -> Ast.Compare (op, simplify_operand a, simplify_operand b)
+  | Ast.And (a, b) -> Ast.And (simplify_pred a, simplify_pred b)
+  | Ast.Or (a, b) -> Ast.Or (simplify_pred a, simplify_pred b)
+  | Ast.Not a -> Ast.Not (simplify_pred a)
+
+and simplify_operand = function
+  | Ast.Op_path p -> Ast.Op_path (simplify p)
+  | (Ast.Op_string _ | Ast.Op_number _) as o -> o
+
+and simplify path = { path with Ast.steps = simplify_steps path.Ast.steps }

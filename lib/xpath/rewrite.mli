@@ -1,0 +1,11 @@
+(** Query rewrite (§4.2): the parent axis is supported "based on query
+    rewrite" — [p/q/..] becomes [p[q]] — and
+    [descendant-or-self::node()/child::x] collapses to [descendant::x], so
+    the streaming engine only ever sees the five forward axes. *)
+
+exception Unsupported of string
+(** Raised for parent-axis uses outside the rewritable pattern (e.g. a
+    leading [..] or [..] after a descendant step). *)
+
+val simplify : Ast.path -> Ast.path
+(** Idempotent; also rewrites paths inside predicates. *)

@@ -1,0 +1,269 @@
+exception Error of { pos : int; msg : string }
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+type state = { src : string; mutable pos : int }
+
+let at_eof st = st.pos >= String.length st.src
+let peek st = if at_eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st n = st.pos <- st.pos + n
+
+let skip_ws st =
+  while
+    (not (at_eof st))
+    && (peek st = ' ' || peek st = '\t' || peek st = '\n' || peek st = '\r')
+  do
+    advance st 1
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let eat st s =
+  if looking_at st s then begin
+    advance st (String.length s);
+    true
+  end
+  else false
+
+let expect st s = if not (eat st s) then error st.pos "expected %S" s
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 0x80
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_ncname st =
+  let start = st.pos in
+  if at_eof st || not (is_name_start (peek st)) then error st.pos "expected a name";
+  while (not (at_eof st)) && is_name_char (peek st) do
+    advance st 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* a name test, possibly prefixed or one of the kind tests *)
+let read_node_test st =
+  if eat st "*" then Ast.Wildcard
+  else begin
+    let first = read_ncname st in
+    if looking_at st "::" then error st.pos "unexpected axis specifier"
+    else if eat st "(" then begin
+      skip_ws st;
+      expect st ")";
+      match first with
+      | "text" -> Ast.Text_test
+      | "comment" -> Ast.Comment_test
+      | "node" -> Ast.Node_test
+      | "processing-instruction" -> Ast.Pi_test
+      | _ -> error st.pos "unknown kind test %s()" first
+    end
+    else if peek st = ':' && peek2 st <> ':' && is_name_start (peek2 st) then begin
+      advance st 1;
+      let local = read_ncname st in
+      Ast.Name { prefix = Some first; local }
+    end
+    else Ast.Name { prefix = None; local = first }
+  end
+
+let read_number st =
+  let start = st.pos in
+  while (not (at_eof st)) && (peek st >= '0' && peek st <= '9') do
+    advance st 1
+  done;
+  if peek st = '.' then begin
+    advance st 1;
+    while (not (at_eof st)) && (peek st >= '0' && peek st <= '9') do
+      advance st 1
+    done
+  end;
+  if st.pos = start then error st.pos "expected a number";
+  float_of_string (String.sub st.src start (st.pos - start))
+
+let read_string_literal st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st.pos "expected a string literal";
+  advance st 1;
+  let start = st.pos in
+  while (not (at_eof st)) && peek st <> quote do
+    advance st 1
+  done;
+  if at_eof st then error st.pos "unterminated string literal";
+  let s = String.sub st.src start (st.pos - start) in
+  advance st 1;
+  s
+
+(* one step after its leading axis has been determined *)
+let rec read_step st ~axis =
+  skip_ws st;
+  let axis, test =
+    if eat st ".." then (Ast.Parent, Ast.Node_test)
+    else if peek st = '.' && peek2 st <> '.' then begin
+      advance st 1;
+      (Ast.Self, Ast.Node_test)
+    end
+    else if eat st "@" then (Ast.Attribute, read_node_test st)
+    else begin
+      (* explicit axis::? *)
+      let saved = st.pos in
+      if is_name_start (peek st) then begin
+        let word = read_ncname st in
+        if eat st "::" then begin
+          let a =
+            match word with
+            | "child" -> Ast.Child
+            | "descendant" -> Ast.Descendant
+            | "attribute" -> Ast.Attribute
+            | "self" -> Ast.Self
+            | "descendant-or-self" -> Ast.Descendant_or_self
+            | "parent" -> Ast.Parent
+            | other -> error saved "unsupported axis '%s'" other
+          in
+          (* // before an explicit axis is not meaningful in our subset *)
+          let a = if axis = Ast.Descendant && a = Ast.Child then Ast.Descendant else a in
+          (a, read_node_test st)
+        end
+        else begin
+          st.pos <- saved;
+          (axis, read_node_test st)
+        end
+      end
+      else (axis, read_node_test st)
+    end
+  in
+  let preds = ref [] in
+  skip_ws st;
+  while eat st "[" do
+    let p = read_or_expr st in
+    skip_ws st;
+    expect st "]";
+    preds := p :: !preds;
+    skip_ws st
+  done;
+  { Ast.axis; test; preds = List.rev !preds }
+
+and read_relative_path st ~first_axis =
+  (* '//' before '@' or '.' needs an explicit descendant-or-self::node()
+     step, since the attribute/self axes carry no depth themselves *)
+  let steps_for ~axis =
+    let s = read_step st ~axis in
+    if axis = Ast.Descendant && s.Ast.axis = Ast.Attribute then
+      [ s; { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; preds = [] } ]
+    else if axis = Ast.Descendant && s.Ast.axis = Ast.Self then
+      [ { s with Ast.axis = Ast.Descendant_or_self } ]
+    else [ s ]
+  in
+  let steps = ref (steps_for ~axis:first_axis) in
+  let rec loop () =
+    skip_ws st;
+    if eat st "//" then begin
+      steps := steps_for ~axis:Ast.Descendant @ !steps;
+      loop ()
+    end
+    else if eat st "/" then begin
+      steps := steps_for ~axis:Ast.Child @ !steps;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !steps
+
+and read_path st =
+  skip_ws st;
+  if eat st "//" then { Ast.absolute = true; steps = read_relative_path st ~first_axis:Ast.Descendant }
+  else if looking_at st "/" then begin
+    advance st 1;
+    skip_ws st;
+    if at_eof st || peek st = ']' || peek st = ')' then { Ast.absolute = true; steps = [] }
+    else { Ast.absolute = true; steps = read_relative_path st ~first_axis:Ast.Child }
+  end
+  else { Ast.absolute = false; steps = read_relative_path st ~first_axis:Ast.Child }
+
+and read_or_expr st =
+  let left = read_and_expr st in
+  skip_ws st;
+  if looking_at st "or" && not (is_name_char (if st.pos + 2 < String.length st.src then st.src.[st.pos + 2] else ' ')) then begin
+    advance st 2;
+    Ast.Or (left, read_or_expr st)
+  end
+  else left
+
+and read_and_expr st =
+  let left = read_comparison st in
+  skip_ws st;
+  if looking_at st "and" && not (is_name_char (if st.pos + 3 < String.length st.src then st.src.[st.pos + 3] else ' ')) then begin
+    advance st 3;
+    Ast.And (left, read_and_expr st)
+  end
+  else left
+
+and read_comparison st =
+  skip_ws st;
+  if looking_at st "not" then begin
+    let saved = st.pos in
+    advance st 3;
+    skip_ws st;
+    if eat st "(" then begin
+      let inner = read_or_expr st in
+      skip_ws st;
+      expect st ")";
+      Ast.Not inner
+    end
+    else begin
+      st.pos <- saved;
+      read_comparison_tail st
+    end
+  end
+  else if eat st "(" then begin
+    let inner = read_or_expr st in
+    skip_ws st;
+    expect st ")";
+    inner
+  end
+  else read_comparison_tail st
+
+and read_comparison_tail st =
+  let left = read_operand st in
+  skip_ws st;
+  let op =
+    if eat st "!=" then Some Ast.Neq
+    else if eat st "<=" then Some Ast.Le
+    else if eat st ">=" then Some Ast.Ge
+    else if eat st "=" then Some Ast.Eq
+    else if eat st "<" then Some Ast.Lt
+    else if eat st ">" then Some Ast.Gt
+    else None
+  in
+  match op with
+  | None -> (
+      match left with
+      | Ast.Op_path p -> Ast.Exists p
+      | Ast.Op_string _ | Ast.Op_number _ ->
+          error st.pos "literal cannot stand alone as a predicate")
+  | Some op ->
+      let right = read_operand st in
+      Ast.Compare (op, left, right)
+
+and read_operand st =
+  skip_ws st;
+  if peek st = '"' || peek st = '\'' then Ast.Op_string (read_string_literal st)
+  else if (peek st >= '0' && peek st <= '9') || (peek st = '.' && peek2 st >= '0' && peek2 st <= '9')
+  then Ast.Op_number (read_number st)
+  else Ast.Op_path (read_path st)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let path = read_path st in
+  skip_ws st;
+  if not (at_eof st) then error st.pos "trailing input";
+  path
+
+let parse_opt src =
+  match parse src with
+  | path -> Ok path
+  | exception Error { pos; msg } ->
+      Result.Error (Printf.sprintf "XPath error at %d: %s" pos msg)

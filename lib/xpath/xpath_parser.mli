@@ -1,0 +1,18 @@
+(** XPath parser for the §4.2 subset. The paper generates its parser with
+    LALR(1) and a simplified mode-less lexical scanner; this is the
+    equivalent hand-written recursive-descent parser over the same grammar.
+
+    Supported syntax:
+    - absolute and relative paths, [/], [//], [.], [..], [@attr], [*],
+      [prefix:name], [text()], [comment()], [node()],
+      [processing-instruction()], explicit [axis::test] for the five
+      forward axes and [parent];
+    - predicates: relative paths (existence), comparisons between paths and
+      string/number literals, [and], [or], [not(...)], parentheses. *)
+
+exception Error of { pos : int; msg : string }
+
+val parse : string -> Ast.path
+(** @raise Error on malformed input. *)
+
+val parse_opt : string -> (Ast.path, string) result

@@ -1,0 +1,182 @@
+open Rx_xml
+
+type strexpr = [ `Lit of string | `Arg of int ] list
+
+type cexpr =
+  | Element of {
+      name : string;
+      attrs : (string * strexpr) list;
+      children : cexpr list;
+    }
+  | Forest of (string * strexpr) list
+  | Text of strexpr
+  | Concat of cexpr list
+  | Xml_arg of int
+
+type arg = A_string of string | A_xml of Token.t list | A_null
+
+(* Compiled instructions. Attribute values and text slots are strexprs with
+   names pre-interned; fully static runs are pre-merged. *)
+type instr =
+  | I_start of { name : Qname.t; attrs : (Qname.t * strexpr) list }
+  | I_end
+  | I_text of strexpr
+  | I_splice of int
+  | I_forest_member of { name : Qname.t; content : strexpr }
+      (* whole element omitted when the content is NULL (SQL semantics) *)
+
+type t = { instrs : instr array; arity : int }
+
+let strexpr_arity se =
+  List.fold_left (fun m p -> match p with `Arg i -> max m (i + 1) | `Lit _ -> m) 0 se
+
+let compile dict cexpr =
+  let instrs = ref [] in
+  let arity = ref 0 in
+  let note_arity n = if n > !arity then arity := n in
+  let emit i = instrs := i :: !instrs in
+  let qname name = Qname.make (Name_dict.intern dict name) in
+  let rec go = function
+    | Element { name; attrs; children } ->
+        List.iter (fun (_, se) -> note_arity (strexpr_arity se)) attrs;
+        emit
+          (I_start
+             { name = qname name; attrs = List.map (fun (n, se) -> (qname n, se)) attrs });
+        List.iter go children;
+        emit I_end
+    | Forest parts ->
+        List.iter
+          (fun (name, se) ->
+            note_arity (strexpr_arity se);
+            emit (I_forest_member { name = qname name; content = se }))
+          parts
+    | Text se ->
+        note_arity (strexpr_arity se);
+        emit (I_text se)
+    | Concat parts -> List.iter go parts
+    | Xml_arg i ->
+        note_arity (i + 1);
+        emit (I_splice i)
+  in
+  go cexpr;
+  { instrs = Array.of_list (List.rev !instrs); arity = !arity }
+
+let arity t = t.arity
+let instruction_count t = Array.length t.instrs
+
+(* Evaluate a strexpr; [None] when any argument piece is NULL and the
+   expression consists of that single argument (SQL null propagation for
+   simple slots); concatenations treat NULL pieces as empty. *)
+let eval_strexpr (args : arg array) (se : strexpr) =
+  match se with
+  | [ `Arg i ] -> (
+      match args.(i) with
+      | A_string s -> Some s
+      | A_null -> None
+      | A_xml _ -> invalid_arg "Template: XML argument used as a string slot")
+  | parts ->
+      let buf = Buffer.create 16 in
+      List.iter
+        (fun p ->
+          match p with
+          | `Lit s -> Buffer.add_string buf s
+          | `Arg i -> (
+              match args.(i) with
+              | A_string s -> Buffer.add_string buf s
+              | A_null -> ()
+              | A_xml _ -> invalid_arg "Template: XML argument used as a string slot"))
+        parts;
+      Some (Buffer.contents buf)
+
+let instantiate_into t ~args emit =
+  if Array.length args < t.arity then invalid_arg "Template: not enough arguments";
+  Array.iter
+    (fun instr ->
+      match instr with
+      | I_start { name; attrs } ->
+          let attrs =
+            List.filter_map
+              (fun (qn, se) ->
+                Option.map (fun v -> Token.attr qn v) (eval_strexpr args se))
+              attrs
+          in
+          emit (Token.Start_element { name; attrs; ns_decls = [] })
+      | I_end -> emit Token.End_element
+      | I_text se -> (
+          match eval_strexpr args se with
+          | Some s -> emit (Token.text s)
+          | None -> ())
+      | I_forest_member { name; content } -> (
+          match eval_strexpr args content with
+          | Some s ->
+              emit (Token.Start_element { name; attrs = []; ns_decls = [] });
+              emit (Token.text s);
+              emit Token.End_element
+          | None -> ())
+      | I_splice i -> (
+          match args.(i) with
+          | A_xml tokens ->
+              List.iter
+                (fun token ->
+                  match token with
+                  | Token.Start_document | Token.End_document -> ()
+                  | token -> emit token)
+                tokens
+          | A_null -> ()
+          | A_string s -> emit (Token.text s)))
+    t.instrs
+
+let instantiate t ~args =
+  let acc = ref [] in
+  instantiate_into t ~args (fun tok -> acc := tok :: !acc);
+  List.rev !acc
+
+let to_string t ~args dict =
+  let buf = Buffer.create 256 in
+  let sink = Serializer.make_sink dict buf in
+  instantiate_into t ~args sink;
+  Buffer.contents buf
+
+(* The unoptimized path: each nested constructor materializes its own token
+   list, which the parent then copies — "either small data items linked by
+   pointers or multiple copies of the same data items". *)
+let rec naive_eval dict cexpr ~args =
+  let qname name = Qname.make (Name_dict.intern dict name) in
+  match cexpr with
+  | Element { name; attrs; children } ->
+      let attr_tokens =
+        List.filter_map
+          (fun (n, se) ->
+            Option.map (fun v -> Token.attr (qname n) v) (eval_strexpr args se))
+          attrs
+      in
+      let child_results = List.map (fun c -> naive_eval dict c ~args) children in
+      (Token.Start_element { name = qname name; attrs = attr_tokens; ns_decls = [] }
+      :: List.concat child_results)
+      @ [ Token.End_element ]
+  | Forest parts ->
+      List.concat_map
+        (fun (n, se) ->
+          match eval_strexpr args se with
+          | Some v ->
+              [
+                Token.Start_element { name = qname n; attrs = []; ns_decls = [] };
+                Token.text v;
+                Token.End_element;
+              ]
+          | None -> [])
+        parts
+  | Text se -> (
+      match eval_strexpr args se with Some s -> [ Token.text s ] | None -> [])
+  | Concat parts -> List.concat_map (fun c -> naive_eval dict c ~args) parts
+  | Xml_arg i -> (
+      match args.(i) with
+      | A_xml tokens ->
+          List.filter
+            (fun token ->
+              match token with
+              | Token.Start_document | Token.End_document -> false
+              | _ -> true)
+            tokens
+      | A_null -> []
+      | A_string s -> [ Token.text s ])

@@ -1,0 +1,53 @@
+(** SQL/XML constructor functions with the tagging-template optimization of
+    §4.1 / Figure 5.
+
+    Nested constructor calls ([XMLELEMENT] containing [XMLATTRIBUTES],
+    [XMLFOREST], ...) are flattened at compile time into one template: a
+    flat instruction sequence in which every static tag and attribute name
+    is fixed and only argument slots remain. Evaluating the constructors
+    for a row then touches no intermediate trees and repeats no tagging
+    work — "no repetition of the tagging template occurs, which is very
+    effective for generating XML for large numbers of repeated rows".
+
+    String-valued slots support concatenation pieces, as in the paper's
+    [e.fname || ' ' || e.lname AS "name"] example; XML-valued slots splice
+    in a whole token stream. *)
+
+(** A string expression: concatenation of literals and argument slots. *)
+type strexpr = [ `Lit of string | `Arg of int ] list
+
+(** Constructor expressions (the SQL/XML functions). *)
+type cexpr =
+  | Element of {
+      name : string;
+      attrs : (string * strexpr) list; (* XMLATTRIBUTES *)
+      children : cexpr list;
+    } (* XMLELEMENT *)
+  | Forest of (string * strexpr) list (* XMLFOREST *)
+  | Text of strexpr (* XMLTEXT *)
+  | Concat of cexpr list (* XMLCONCAT *)
+  | Xml_arg of int (* an XML-typed argument (handle) *)
+
+(** A runtime argument. *)
+type arg = A_string of string | A_xml of Rx_xml.Token.t list | A_null
+
+type t
+
+val compile : Rx_xml.Name_dict.t -> cexpr -> t
+val arity : t -> int
+val instruction_count : t -> int
+
+val instantiate_into : t -> args:arg array -> (Rx_xml.Token.t -> unit) -> unit
+(** Emits the constructed XML as events (pipelining, §4.4).
+    SQL semantics for NULL: an [XMLFOREST]/attribute slot that is [A_null]
+    is omitted; a null text piece contributes nothing. *)
+
+val instantiate : t -> args:arg array -> Rx_xml.Token.t list
+
+val to_string : t -> args:arg array -> Rx_xml.Name_dict.t -> string
+(** Construct and serialize in one pass. *)
+
+val naive_eval : Rx_xml.Name_dict.t -> cexpr -> args:arg array -> Rx_xml.Token.t list
+(** The unoptimized evaluation the paper contrasts with: evaluate nested
+    constructor functions bottom-up, materializing each intermediate result
+    (the E5 baseline). *)

@@ -1,0 +1,36 @@
+open Rx_xml
+
+type source =
+  | Tokens of Token.t list
+  | Binary of string
+  | Stored of Rx_xmlstore.Doc_store.t * int
+  | Constructed of Template.t * Template.arg array
+
+type t = { source : source; mutable fetches : int }
+
+let of_tokens tokens = { source = Tokens tokens; fetches = 0 }
+let of_binary s = { source = Binary s; fetches = 0 }
+let of_stored store ~docid = { source = Stored (store, docid); fetches = 0 }
+let of_template template args = { source = Constructed (template, args); fetches = 0 }
+
+let events t f =
+  match t.source with
+  | Tokens tokens -> List.iter f tokens
+  | Binary s -> Token_stream.decode_iter s f
+  | Stored (store, docid) ->
+      t.fetches <- t.fetches + 1;
+      Rx_xmlstore.Doc_store.events store ~docid (fun e -> f e.Rx_xmlstore.Doc_store.token)
+  | Constructed (template, args) -> Template.instantiate_into template ~args f
+
+let tokens t =
+  let acc = ref [] in
+  events t (fun tok -> acc := tok :: !acc);
+  List.rev !acc
+
+let serialize dict t =
+  let buf = Buffer.create 256 in
+  let sink = Serializer.make_sink dict buf in
+  events t sink;
+  Buffer.contents buf
+
+let fetch_count t = t.fetches

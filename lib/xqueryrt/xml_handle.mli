@@ -1,0 +1,29 @@
+(** XML handles (§4.4): a reference to XML data in whatever form it
+    currently exists — parsed tokens, a binary token stream, persistently
+    stored records, or an unevaluated constructor — "fetch of persistent
+    XML data is deferred until when it's necessary".
+
+    [events] is the virtual-SAX interface: whichever form the handle wraps,
+    the consumer sees the same token events, so serialization, tree
+    construction and XPath evaluation share one code path with no format
+    conversion. *)
+
+type t
+
+val of_tokens : Rx_xml.Token.t list -> t
+val of_binary : string -> t
+(** A binary token stream ({!Rx_xml.Token_stream}). *)
+
+val of_stored : Rx_xmlstore.Doc_store.t -> docid:int -> t
+(** Deferred: nothing is fetched until the handle is consumed. *)
+
+val of_template : Template.t -> Template.arg array -> t
+(** Deferred construction. *)
+
+val events : t -> (Rx_xml.Token.t -> unit) -> unit
+val tokens : t -> Rx_xml.Token.t list
+val serialize : Rx_xml.Name_dict.t -> t -> string
+
+val fetch_count : t -> int
+(** How many times the underlying persistent data has been fetched —
+    observability for the deferred-fetch tests. *)

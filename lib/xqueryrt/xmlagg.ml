@@ -1,0 +1,17 @@
+let aggregate ?order_by ~rows ~row_xml sink =
+  let rows =
+    match order_by with
+    | None -> rows
+    | Some (key, cmp) ->
+        (* in-memory sort of the group's rows (§4.1) *)
+        let arr = Array.of_list rows in
+        let keyed = Array.map (fun r -> (key r, r)) arr in
+        Array.sort (fun (a, _) (b, _) -> cmp a b) keyed;
+        Array.to_list (Array.map snd keyed)
+  in
+  List.iter (fun row -> row_xml row sink) rows
+
+let aggregate_to_tokens ?order_by ~rows ~row_xml () =
+  let acc = ref [] in
+  aggregate ?order_by ~rows ~row_xml (fun tok -> acc := tok :: !acc);
+  List.rev !acc

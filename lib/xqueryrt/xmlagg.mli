@@ -1,0 +1,20 @@
+(** XMLAGG with ORDER BY (§4.1): aggregating the XML fragments of a group
+    of rows, sorted by a key. The paper replaces the general-purpose
+    external sort (per-group spill cost) with an in-memory quicksort over
+    the group's row list — the E6 benchmark. *)
+
+val aggregate :
+  ?order_by:('row -> 'key) * ('key -> 'key -> int) ->
+  rows:'row list ->
+  row_xml:('row -> (Rx_xml.Token.t -> unit) -> unit) ->
+  (Rx_xml.Token.t -> unit) ->
+  unit
+(** Emits each row's fragment in order (sorted in memory when [order_by]
+    is given), pipelined into the sink. *)
+
+val aggregate_to_tokens :
+  ?order_by:('row -> 'key) * ('key -> 'key -> int) ->
+  rows:'row list ->
+  row_xml:('row -> (Rx_xml.Token.t -> unit) -> unit) ->
+  unit ->
+  Rx_xml.Token.t list

@@ -1,0 +1,118 @@
+(* End-to-end test of the rx command-line shell: each command is a separate
+   process, so this also exercises durable open/close on every step. *)
+
+let check = Alcotest.check
+
+let rx_binary =
+  (* tests run in _build/default/test *)
+  let candidates = [ "../bin/rx.exe"; "_build/default/bin/rx.exe" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "rx.exe not found; build bin/ first"
+
+let run args =
+  let out = Filename.temp_file "rxcli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" rx_binary
+      (String.concat " " (List.map Filename.quote args))
+      out
+  in
+  let status = Sys.command cmd in
+  let ic = open_in_bin out in
+  let output = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (status, String.trim output)
+
+let expect_ok args =
+  let status, output = run args in
+  if status <> 0 then Alcotest.failf "command failed (%d): %s" status output;
+  output
+
+let with_temp_db f =
+  let dir = Filename.temp_file "rxclidb" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_full_session () =
+  with_temp_db (fun db ->
+      ignore (expect_ok [ "init"; "--db"; db ]);
+      ignore
+        (expect_ok
+           [ "create-table"; "--db"; db; "--table"; "books"; "--columns";
+             "isbn:varchar,info:xml" ]);
+      ignore
+        (expect_ok
+           [ "create-index"; "--db"; db; "--table"; "books"; "--column"; "info";
+             "--name"; "price"; "--path"; "/book/price"; "--type"; "double" ]);
+      ignore
+        (expect_ok
+           [ "create-text-index"; "--db"; db; "--table"; "books"; "--column";
+             "info"; "--name"; "ft" ]);
+      let out =
+        expect_ok
+          [ "insert"; "--db"; db; "--table"; "books"; "--value"; "isbn=111";
+            "--xml"; "info=<book><title>Native XML</title><price>25.5</price></book>" ]
+      in
+      check Alcotest.bool "docid reported" true (contains ~needle:"DocID 1" out);
+      ignore
+        (expect_ok
+           [ "insert"; "--db"; db; "--table"; "books"; "--value"; "isbn=222";
+             "--xml"; "info=<book><title>Pure SQL</title><price>99</price></book>" ]);
+      let out =
+        expect_ok
+          [ "query"; "--db"; db; "--table"; "books"; "--column"; "info";
+            "--xpath"; "/book[price < 50]/title"; "--explain" ]
+      in
+      check Alcotest.bool "plan shown" true (contains ~needle:"NODEID-LIST(price)" out);
+      check Alcotest.bool "match shown" true
+        (contains ~needle:"<title>Native XML</title>" out);
+      check Alcotest.bool "other title filtered" false
+        (contains ~needle:"Pure SQL" out);
+      let out =
+        expect_ok
+          [ "search"; "--db"; db; "--table"; "books"; "--column"; "info";
+            "--terms"; "native xml" ]
+      in
+      check Alcotest.bool "fulltext finds doc 1" true (contains ~needle:"DocID 1" out);
+      let out = expect_ok [ "get"; "--db"; db; "--table"; "books"; "--column"; "info"; "--docid"; "2" ] in
+      check Alcotest.string "get document"
+        "<book><title>Pure SQL</title><price>99</price></book>" out;
+      let out = expect_ok [ "stats"; "--db"; db ] in
+      check Alcotest.bool "stats" true (contains ~needle:"documents: 2" out))
+
+let test_error_reporting () =
+  with_temp_db (fun db ->
+      ignore (expect_ok [ "init"; "--db"; db ]);
+      let status, output =
+        run [ "query"; "--db"; db; "--table"; "nope"; "--column"; "c"; "--xpath"; "/x" ]
+      in
+      check Alcotest.int "nonzero exit" 1 status;
+      check Alcotest.bool "message" true (contains ~needle:"no table nope" output);
+      let status, output =
+        run
+          [ "insert"; "--db"; db; "--table"; "t"; "--xml"; "doc=<unclosed>" ]
+      in
+      check Alcotest.bool "parse/table error reported" true
+        (status = 1 && String.length output > 0))
+
+let () =
+  Alcotest.run "rx_cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "full session" `Quick test_full_session;
+          Alcotest.test_case "error reporting" `Quick test_error_reporting;
+        ] );
+    ]

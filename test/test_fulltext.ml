@@ -1,0 +1,171 @@
+open Rx_storage
+open Rx_xml
+open Rx_xmlstore
+open Rx_fulltext
+
+let check = Alcotest.check
+
+let dict = Name_dict.create ()
+
+let make_store ?(threshold = 256) () =
+  let pool = Buffer_pool.create ~capacity:512 (Pager.create_in_memory ()) in
+  (pool, Doc_store.create ~record_threshold:threshold pool dict)
+
+(* --- tokenizer --- *)
+
+let test_tokenize () =
+  check (Alcotest.list Alcotest.string) "basic"
+    [ "hello"; "world" ]
+    (Text_index.tokenize "Hello, WORLD!");
+  check (Alcotest.list Alcotest.string) "numbers and short terms"
+    [ "ab"; "42"; "x9y" ]
+    (Text_index.tokenize "ab a 42 x9y -");
+  check (Alcotest.list Alcotest.string) "empty" [] (Text_index.tokenize " . ! ");
+  check (Alcotest.list Alcotest.string) "duplicates kept"
+    [ "dup"; "dup" ]
+    (Text_index.tokenize "dup dup")
+
+(* --- indexing + search --- *)
+
+let setup () =
+  let pool, store = make_store () in
+  let ti = Text_index.create pool in
+  Text_index.hook ti store;
+  Doc_store.insert_document store ~docid:1
+    "<article><title>Native XML storage</title><body>storage engines pack trees into records</body></article>";
+  Doc_store.insert_document store ~docid:2
+    "<article><title>Streaming XPath</title><body>the QuickXScan streaming algorithm</body></article>";
+  Doc_store.insert_document store ~docid:3
+    {|<article topic="storage streaming"><body>both worlds</body></article>|};
+  (store, ti)
+
+let test_term_search () =
+  let _, ti = setup () in
+  check (Alcotest.list Alcotest.int) "storage" [ 1; 3 ]
+    (Text_index.docs_with_term ti ~term:"storage");
+  check (Alcotest.list Alcotest.int) "streaming" [ 2; 3 ]
+    (Text_index.docs_with_term ti ~term:"STREAMING");
+  check (Alcotest.list Alcotest.int) "missing" []
+    (Text_index.docs_with_term ti ~term:"absent")
+
+let test_boolean_search () =
+  let _, ti = setup () in
+  check (Alcotest.list Alcotest.int) "all" [ 3 ]
+    (Text_index.docs_with_all ti ~terms:[ "storage"; "streaming" ]);
+  check (Alcotest.list Alcotest.int) "any" [ 1; 2; 3 ]
+    (Text_index.docs_with_any ti ~terms:[ "storage"; "streaming" ]);
+  check (Alcotest.list Alcotest.int) "all empty input" []
+    (Text_index.docs_with_all ti ~terms:[])
+
+let test_counts_and_postings () =
+  let _, ti = setup () in
+  check Alcotest.int "storage twice in doc 1" 2
+    (Text_index.doc_term_count ti ~term:"storage" ~docid:1);
+  check Alcotest.int "absent term" 0
+    (Text_index.doc_term_count ti ~term:"nothing" ~docid:1);
+  let postings = Text_index.postings ti ~term:"storage" in
+  check Alcotest.int "three posting nodes" 3 (List.length postings);
+  check Alcotest.bool "ordered by (doc, node)" true
+    (postings
+    = List.sort
+        (fun a b ->
+          compare
+            (a.Text_index.docid, a.Text_index.node)
+            (b.Text_index.docid, b.Text_index.node))
+        postings)
+
+let test_delete_unindexes () =
+  let store, ti = setup () in
+  Doc_store.delete_document store ~docid:1;
+  check (Alcotest.list Alcotest.int) "doc 1 gone" [ 3 ]
+    (Text_index.docs_with_term ti ~term:"storage");
+  check Alcotest.int "no stale counts" 0
+    (Text_index.doc_term_count ti ~term:"storage" ~docid:1)
+
+let test_subdocument_update_consistency () =
+  let store, ti = setup () in
+  (* replace the title text of doc 2 via a sub-document update *)
+  let root =
+    Doc_store.Cursor.node_id (Option.get (Doc_store.Cursor.root store ~docid:2))
+  in
+  let title_text =
+    (* /article/title/text() *)
+    let title =
+      Option.get
+        (Doc_store.Cursor.first_child store
+           (Option.get (Doc_store.Cursor.find store ~docid:2 root)))
+    in
+    Doc_store.Cursor.node_id
+      (Option.get (Doc_store.Cursor.first_child store title))
+  in
+  Doc_store.update_text store ~docid:2 title_text "Optimal evaluation";
+  check (Alcotest.list Alcotest.int) "old term dropped from doc 2" []
+    (Text_index.docs_with_term ti ~term:"xpath");
+  check (Alcotest.list Alcotest.int) "new term indexed" [ 2 ]
+    (Text_index.docs_with_term ti ~term:"optimal")
+
+let test_split_records_exact () =
+  (* text spread across several packed records still indexes exactly *)
+  let pool, store = make_store ~threshold:64 () in
+  let ti = Text_index.create pool in
+  Text_index.hook ti store;
+  Doc_store.insert_document store ~docid:1
+    (Printf.sprintf "<r><p>alpha %s</p><p>beta %s</p><p>gamma</p></r>"
+       (String.make 80 'x') (String.make 80 'y'));
+  check Alcotest.bool "document split" true
+    ((Doc_store.stats store).Doc_store.records > 1);
+  List.iter
+    (fun term ->
+      check (Alcotest.list Alcotest.int) term [ 1 ]
+        (Text_index.docs_with_term ti ~term))
+    [ "alpha"; "beta"; "gamma" ]
+
+(* --- database integration --- *)
+
+let test_database_text_search () =
+  let open Systemrx in
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"articles"
+      ~columns:[ ("doc", Rx_relational.Value.T_xml) ]
+  in
+  (* insert BEFORE creating the index: backfill must cover it *)
+  let d1 =
+    Database.insert db ~table:"articles"
+      ~xml:[ ("doc", "<a><t>relational engines</t></a>") ]
+      ()
+  in
+  Database.create_text_index db ~table:"articles" ~column:"doc" ~name:"ft";
+  let d2 =
+    Database.insert db ~table:"articles"
+      ~xml:[ ("doc", "<a><t>native XML engines</t></a>") ]
+      ()
+  in
+  check (Alcotest.list Alcotest.int) "backfilled + live" [ d1; d2 ]
+    (Database.text_search db ~table:"articles" ~column:"doc" "engines");
+  check (Alcotest.list Alcotest.int) "conjunction" [ d2 ]
+    (Database.text_search db ~table:"articles" ~column:"doc" "native engines");
+  check (Alcotest.list Alcotest.int) "disjunction" [ d1; d2 ]
+    (Database.text_search db ~table:"articles" ~column:"doc" ~mode:`Any
+       "relational native");
+  check Alcotest.int "score" 1
+    (Database.text_score db ~table:"articles" ~column:"doc" ~docid:d1 "relational")
+
+let () =
+  Alcotest.run "rx_fulltext"
+    [
+      ( "tokenizer",
+        [ Alcotest.test_case "tokenize" `Quick test_tokenize ] );
+      ( "search",
+        [
+          Alcotest.test_case "term search" `Quick test_term_search;
+          Alcotest.test_case "boolean search" `Quick test_boolean_search;
+          Alcotest.test_case "counts and postings" `Quick test_counts_and_postings;
+          Alcotest.test_case "delete unindexes" `Quick test_delete_unindexes;
+          Alcotest.test_case "subdocument update consistency" `Quick
+            test_subdocument_update_consistency;
+          Alcotest.test_case "split records exact" `Quick test_split_records_exact;
+        ] );
+      ( "database",
+        [ Alcotest.test_case "text search API" `Quick test_database_text_search ] );
+    ]

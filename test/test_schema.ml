@@ -1,0 +1,247 @@
+open Rx_xml
+open Rx_schema
+
+let check = Alcotest.check
+
+let dict = Name_dict.create ()
+
+let catalog_xsd =
+  {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="catalog" type="CatalogType"/>
+  <xs:complexType name="CatalogType">
+    <xs:sequence>
+      <xs:element name="product" type="ProductType" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="ProductType">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="price" type="xs:decimal"/>
+      <xs:element name="released" type="xs:date" minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:integer" use="required"/>
+    <xs:attribute name="featured" type="xs:boolean"/>
+  </xs:complexType>
+</xs:schema>|}
+
+let compiled = Compiled.compile dict (Schema_model.parse_xsd dict catalog_xsd)
+
+let ok_doc =
+  {|<catalog><product id="1"><name>Widget</name><price>19.99</price></product><product id="2" featured="true"><name>Gadget</name><price>5.25</price><released>2005-06-16</released></product></catalog>|}
+
+(* --- model parsing --- *)
+
+let test_parse_xsd_model () =
+  let schema = Schema_model.parse_xsd dict catalog_xsd in
+  check Alcotest.int "one root" 1 (List.length schema.Schema_model.roots);
+  check Alcotest.int "two named types" 2 (List.length schema.Schema_model.types);
+  let pt = Schema_model.lookup_type schema "ProductType" in
+  check Alcotest.int "two attributes" 2 (List.length pt.Schema_model.attributes);
+  check Alcotest.bool "not mixed" false pt.Schema_model.mixed
+
+let test_parse_xsd_errors () =
+  List.iter
+    (fun src ->
+      match Compiled.compile dict (Schema_model.parse_xsd dict src) with
+      | exception Schema_model.Schema_error _ -> ()
+      | _ -> Alcotest.failf "expected schema error for %s" src)
+    [
+      "<notschema/>";
+      {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>|};
+      {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element/></xs:schema>|};
+      {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="a"><xs:complexType><xs:sequence><xs:element name="b" maxOccurs="100000"/></xs:sequence></xs:complexType></xs:element></xs:schema>|};
+    ]
+
+(* --- automaton --- *)
+
+let occurs ?(min = 1) ?max () =
+  { Schema_model.min; max = (match max with Some m -> Some m | None -> Some 1) }
+
+let elem ?(min = 1) ?max name =
+  (* an omitted max means maxOccurs=1 (or min if larger), not unbounded *)
+  let max = match max with Some m -> Some m | None -> Some (Stdlib.max min 1) in
+  Schema_model.P_element
+    { name; typ = Schema_model.Simple Schema_model.St_string;
+      occurs = { Schema_model.min; max } }
+
+let accepts dfa names =
+  let rec run state = function
+    | [] -> dfa.Automaton.accepting.(state)
+    | n :: rest -> (
+        match Automaton.step dfa ~state ~symbol:(Name_dict.intern dict n) with
+        | Some next -> run next rest
+        | None -> false)
+  in
+  run dfa.Automaton.start names
+
+let test_dfa_sequence () =
+  let particle = Schema_model.P_seq ([ elem "a"; elem "b" ], occurs ()) in
+  let dfa = Automaton.of_particle dict particle in
+  check Alcotest.bool "ab" true (accepts dfa [ "a"; "b" ]);
+  check Alcotest.bool "a" false (accepts dfa [ "a" ]);
+  check Alcotest.bool "ba" false (accepts dfa [ "b"; "a" ]);
+  check Alcotest.bool "empty" false (accepts dfa []);
+  check Alcotest.bool "abb" false (accepts dfa [ "a"; "b"; "b" ])
+
+let test_dfa_choice_star () =
+  let particle =
+    Schema_model.P_choice
+      ([ elem "x"; elem "y" ], { Schema_model.min = 0; max = None })
+  in
+  let dfa = Automaton.of_particle dict particle in
+  List.iter
+    (fun (names, expected) ->
+      check Alcotest.bool (String.concat "," names) expected (accepts dfa names))
+    [
+      ([], true);
+      ([ "x" ], true);
+      ([ "y"; "x"; "y" ], true);
+      ([ "x"; "z" ], false);
+    ]
+
+let test_dfa_bounded_occurs () =
+  let particle = Schema_model.P_seq ([ elem ~min:2 ~max:4 "a" ], occurs ()) in
+  let dfa = Automaton.of_particle dict particle in
+  List.iter
+    (fun (n, expected) ->
+      check Alcotest.bool (string_of_int n) expected
+        (accepts dfa (List.init n (fun _ -> "a"))))
+    [ (0, false); (1, false); (2, true); (3, true); (4, true); (5, false) ]
+
+let test_dfa_optional () =
+  let particle =
+    Schema_model.P_seq ([ elem "a"; elem ~min:0 "b"; elem "c" ], occurs ())
+  in
+  let dfa = Automaton.of_particle dict particle in
+  check Alcotest.bool "abc" true (accepts dfa [ "a"; "b"; "c" ]);
+  check Alcotest.bool "ac" true (accepts dfa [ "a"; "c" ]);
+  check Alcotest.bool "abbc" false (accepts dfa [ "a"; "b"; "b"; "c" ])
+
+let test_dfa_roundtrip_binary () =
+  let particle = Schema_model.P_seq ([ elem "a"; elem ~min:0 ~max:3 "b" ], occurs ()) in
+  let dfa = Automaton.of_particle dict particle in
+  let w = Rx_util.Bytes_io.Writer.create () in
+  Automaton.encode w dfa;
+  let dfa2 = Automaton.decode (Rx_util.Bytes_io.Reader.of_string (Rx_util.Bytes_io.Writer.contents w)) in
+  check Alcotest.bool "same behaviour" true
+    (List.for_all
+       (fun names -> accepts dfa names = accepts dfa2 names)
+       [ [ "a" ]; [ "a"; "b" ]; [ "b" ]; [ "a"; "b"; "b"; "b" ]; [] ])
+
+(* --- validation --- *)
+
+let test_validate_ok () =
+  let tokens = Validator.validate_document compiled dict ok_doc in
+  (* annotations: price is decimal, id integer, released date *)
+  let annots =
+    List.filter_map
+      (function
+        | Token.Text { annot = Some a; _ } -> Some a
+        | Token.Start_element { attrs; _ } ->
+            List.find_map (fun (at : Token.attr) -> at.Token.annot) attrs
+        | _ -> None)
+      tokens
+  in
+  check Alcotest.bool "has decimal annotation" true
+    (List.exists
+       (function Typed_value.Decimal _ -> true | _ -> false)
+       annots);
+  check Alcotest.bool "has integer annotation" true
+    (List.exists (function Typed_value.Integer _ -> true | _ -> false) annots);
+  check Alcotest.bool "has date annotation" true
+    (List.exists (function Typed_value.Date _ -> true | _ -> false) annots);
+  (* reserialization equals the input (modulo nothing here) *)
+  check Alcotest.string "stream preserved" ok_doc (Serializer.to_string dict tokens)
+
+let expect_invalid doc =
+  match Validator.validate_document compiled dict doc with
+  | exception Validator.Validation_error _ -> ()
+  | _ -> Alcotest.failf "expected validation error for %s" doc
+
+let test_validate_errors () =
+  List.iter expect_invalid
+    [
+      (* wrong root *)
+      "<catalogue/>";
+      (* missing required attribute id *)
+      "<catalog><product><name>x</name><price>1</price></product></catalog>";
+      (* out-of-order children *)
+      {|<catalog><product id="1"><price>1</price><name>x</name></product></catalog>|};
+      (* missing price *)
+      {|<catalog><product id="1"><name>x</name></product></catalog>|};
+      (* bad decimal *)
+      {|<catalog><product id="1"><name>x</name><price>cheap</price></product></catalog>|};
+      (* bad date *)
+      {|<catalog><product id="1"><name>x</name><price>1</price><released>june</released></product></catalog>|};
+      (* undeclared attribute *)
+      {|<catalog><product id="1" color="red"><name>x</name><price>1</price></product></catalog>|};
+      (* undeclared child *)
+      {|<catalog><product id="1"><name>x</name><price>1</price><stock>3</stock></product></catalog>|};
+      (* text in element-only content *)
+      {|<catalog>hello<product id="1"><name>x</name><price>1</price></product></catalog>|};
+      (* bad integer attribute *)
+      {|<catalog><product id="one"><name>x</name><price>1</price></product></catalog>|};
+    ]
+
+let test_validate_whitespace_ok () =
+  let doc =
+    "<catalog>\n  <product id=\"1\">\n    <name>x</name>\n    <price>1</price>\n  </product>\n</catalog>"
+  in
+  match Validator.validate_document compiled dict doc with
+  | _ -> ()
+  | exception Validator.Validation_error { msg; _ } ->
+      Alcotest.failf "whitespace should be ignorable: %s" msg
+
+let test_compiled_binary_roundtrip () =
+  let binary = Compiled.encode compiled in
+  let compiled2 = Compiled.decode binary in
+  check Alcotest.int "same dfa states" (Compiled.total_dfa_states compiled)
+    (Compiled.total_dfa_states compiled2);
+  (* the decoded schema validates the same documents *)
+  let tokens = Validator.validate_document compiled2 dict ok_doc in
+  check Alcotest.bool "validates" true (tokens <> []);
+  (match Validator.validate_document compiled2 dict "<catalogue/>" with
+  | exception Validator.Validation_error _ -> ()
+  | _ -> Alcotest.fail "decoded schema must still reject")
+
+let test_mixed_content () =
+  let xsd =
+    {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="p">
+        <xs:complexType mixed="true">
+          <xs:sequence><xs:element name="em" type="xs:string" minOccurs="0" maxOccurs="unbounded"/></xs:sequence>
+        </xs:complexType>
+      </xs:element>
+    </xs:schema>|}
+  in
+  let c = Compiled.compile dict (Schema_model.parse_xsd dict xsd) in
+  let tokens = Validator.validate_document c dict "<p>hello <em>world</em>!</p>" in
+  check Alcotest.string "mixed preserved" "<p>hello <em>world</em>!</p>"
+    (Serializer.to_string dict tokens)
+
+let () =
+  Alcotest.run "rx_schema"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "parse xsd" `Quick test_parse_xsd_model;
+          Alcotest.test_case "xsd errors" `Quick test_parse_xsd_errors;
+        ] );
+      ( "automaton",
+        [
+          Alcotest.test_case "sequence" `Quick test_dfa_sequence;
+          Alcotest.test_case "choice + star" `Quick test_dfa_choice_star;
+          Alcotest.test_case "bounded occurs" `Quick test_dfa_bounded_occurs;
+          Alcotest.test_case "optional" `Quick test_dfa_optional;
+          Alcotest.test_case "binary roundtrip" `Quick test_dfa_roundtrip_binary;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "valid document" `Quick test_validate_ok;
+          Alcotest.test_case "invalid documents" `Quick test_validate_errors;
+          Alcotest.test_case "ignorable whitespace" `Quick test_validate_whitespace_ok;
+          Alcotest.test_case "compiled binary roundtrip" `Quick
+            test_compiled_binary_roundtrip;
+          Alcotest.test_case "mixed content" `Quick test_mixed_content;
+        ] );
+    ]

@@ -1,0 +1,491 @@
+open Systemrx
+open Rx_relational
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let product_doc ~name ~price ~discount ~category =
+  Printf.sprintf
+    {|<Catalog><Categories category="%s"><Product><RegPrice>%g</RegPrice><Discount>%g</Discount><ProductName>%s</ProductName></Product></Categories></Catalog>|}
+    category price discount name
+
+let make_db ?(with_indexes = true) ?(n = 30) () =
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"products"
+      ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
+  in
+  if with_indexes then begin
+    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"regprice"
+      ~path:"/Catalog/Categories/Product/RegPrice"
+      ~key_type:Rx_xindex.Index_def.K_double;
+    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"discount"
+      ~path:"//Discount" ~key_type:Rx_xindex.Index_def.K_double
+  end;
+  for i = 1 to n do
+    let doc =
+      product_doc
+        ~name:(Printf.sprintf "item-%03d" i)
+        ~price:(float_of_int (i * 10))
+        ~discount:(float_of_int (i mod 5) /. 10.)
+        ~category:(if i mod 2 = 0 then "tools" else "toys")
+    in
+    ignore
+      (Database.insert db ~table:"products"
+         ~values:[ ("sku", Value.Varchar (Printf.sprintf "SKU%03d" i)) ]
+         ~xml:[ ("doc", doc) ]
+         ())
+  done;
+  db
+
+(* --- DDL / DML basics --- *)
+
+let test_create_insert_fetch () =
+  let db = make_db ~with_indexes:false ~n:3 () in
+  check Alcotest.int "rows" 3 (Database.row_count db ~table:"products");
+  (match Database.fetch_row db ~table:"products" ~docid:2 with
+  | Some [| Value.Varchar "SKU002"; Value.Xml_ref 2 |] -> ()
+  | Some _ -> Alcotest.fail "unexpected row shape"
+  | None -> Alcotest.fail "row 2 missing");
+  let doc = Database.document db ~table:"products" ~column:"doc" ~docid:2 in
+  check Alcotest.bool "document readable" true
+    (String.length doc > 0
+    && String.sub doc 0 9 = "<Catalog>")
+
+let test_delete_row () =
+  let db = make_db ~with_indexes:false ~n:3 () in
+  Database.delete db ~table:"products" ~docid:2;
+  check Alcotest.int "rows" 2 (Database.row_count db ~table:"products");
+  check Alcotest.bool "row gone" true
+    (Database.fetch_row db ~table:"products" ~docid:2 = None);
+  Alcotest.check_raises "document gone"
+    (Invalid_argument "Doc_store: no document 2") (fun () ->
+      ignore (Database.document db ~table:"products" ~column:"doc" ~docid:2))
+
+let test_errors () =
+  let db = make_db ~with_indexes:false ~n:1 () in
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "Database: table products already exists") (fun () ->
+      ignore (Database.create_table db ~name:"products" ~columns:[ ("x", Value.T_int) ]));
+  Alcotest.check_raises "unknown table" (Invalid_argument "Database: no table nope")
+    (fun () -> ignore (Database.insert db ~table:"nope" ()));
+  Alcotest.check_raises "type mismatch"
+    (Invalid_argument "Base_table.insert: column sku expects varchar, got 42")
+    (fun () ->
+      ignore
+        (Database.insert db ~table:"products" ~values:[ ("sku", Value.Int 42) ] ()))
+
+(* --- queries: index plans agree with full scans --- *)
+
+let queries =
+  [
+    "/Catalog/Categories/Product[RegPrice > 100]";
+    "/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.1]";
+    "/Catalog/Categories/Product[RegPrice >= 150]";
+    "/Catalog/Categories/Product[RegPrice = 110]";
+    "/Catalog/Categories/Product[Discount > 0.2]";
+    "/Catalog/Categories/Product[RegPrice < 40]";
+    "/Catalog//Product[RegPrice > 250]";
+    "/Catalog/Categories/Product[ProductName]";
+  ]
+
+let show_matches ms =
+  String.concat ";"
+    (List.map
+       (fun m ->
+         Printf.sprintf "%d:%s" m.Database.docid
+           (Rx_xmlstore.Node_id.to_hex m.Database.node))
+       ms)
+
+let test_index_matches_scan () =
+  let with_idx = make_db ~with_indexes:true () in
+  let without_idx = make_db ~with_indexes:false () in
+  List.iter
+    (fun q ->
+      let a = Database.query with_idx ~table:"products" ~column:"doc" ~xpath:q in
+      let b = Database.query without_idx ~table:"products" ~column:"doc" ~xpath:q in
+      check Alcotest.string q (show_matches b) (show_matches a))
+    queries
+
+let test_plan_selection () =
+  let db = make_db () in
+  let plan q = (Database.explain db ~table:"products" ~column:"doc" ~xpath:q).Database.description in
+  (* Table 2 row 1: exact match -> NodeID list, exact *)
+  check Alcotest.string "row 1: list access" "NODEID-LIST(regprice)"
+    (plan "/Catalog/Categories/Product[RegPrice > 100]");
+  (* Table 2 row 2: containment -> filtering *)
+  check Alcotest.string "row 2: filtering" "NODEID-LIST(discount)+FILTER"
+    (plan "/Catalog/Categories/Product[Discount > 0.1]");
+  (* Table 2 row 3: anding *)
+  check Alcotest.string "row 3: anding" "NODEID-ANDING(regprice,discount)+FILTER"
+    (plan "/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.1]");
+  (* no applicable index *)
+  check Alcotest.string "full scan" "FULL-SCAN(QuickXScan)"
+    (plan "/Catalog/Categories/Product[ProductName = \"item-001\"]");
+  (* descendant main path cannot anchor: docid granularity *)
+  check Alcotest.string "docid granularity" "DOCID-LIST(discount)+FILTER"
+    (plan "//Product[Discount > 0.1]")
+
+let test_exact_plan_skips_documents () =
+  let db = make_db () in
+  let info =
+    Database.explain db ~table:"products" ~column:"doc"
+      ~xpath:"/Catalog/Categories/Product[RegPrice > 280]"
+  in
+  check Alcotest.bool "exact" true info.Database.exact;
+  let ms =
+    Database.query db ~table:"products" ~column:"doc"
+      ~xpath:"/Catalog/Categories/Product[RegPrice > 280]"
+  in
+  check (Alcotest.list Alcotest.int) "docids" [ 29; 30 ]
+    (List.map (fun m -> m.Database.docid) ms)
+
+let test_query_serialized () =
+  let db = make_db ~n:5 () in
+  let out =
+    Database.query_serialized db ~table:"products" ~column:"doc"
+      ~xpath:"/Catalog/Categories/Product[RegPrice = 30]/ProductName"
+  in
+  check (Alcotest.list Alcotest.string) "serialized matches"
+    [ "<ProductName>item-003</ProductName>" ]
+    out
+
+let test_query_docids () =
+  let db = make_db ~n:10 () in
+  check (Alcotest.list Alcotest.int) "docids" [ 8; 9; 10 ]
+    (Database.query_docids db ~table:"products" ~column:"doc"
+       ~xpath:"/Catalog/Categories/Product[RegPrice > 70]")
+
+(* --- sub-document updates through the facade --- *)
+
+let test_facade_updates () =
+  let db = make_db ~with_indexes:true ~n:5 () in
+  (* find product 3's price via a query, then change it *)
+  let q = "/Catalog/Categories/Product[RegPrice = 30]" in
+  (match Database.query db ~table:"products" ~column:"doc" ~xpath:q with
+  | [ m ] ->
+      (* the price text node: product/RegPrice/text() — walk via the store *)
+      let store = Database.column_store db ~table:"products" ~column:"doc" in
+      let product =
+        Option.get
+          (Rx_xmlstore.Doc_store.Cursor.find store ~docid:m.Database.docid
+             m.Database.node)
+      in
+      let regprice =
+        Option.get (Rx_xmlstore.Doc_store.Cursor.first_child store product)
+      in
+      let text =
+        Rx_xmlstore.Doc_store.Cursor.node_id
+          (Option.get (Rx_xmlstore.Doc_store.Cursor.first_child store regprice))
+      in
+      Database.update_xml_text db ~table:"products" ~column:"doc"
+        ~docid:m.Database.docid text "35";
+      (* the value index follows the update *)
+      check (Alcotest.list Alcotest.int) "old value gone" []
+        (Database.query_docids db ~table:"products" ~column:"doc" ~xpath:q);
+      check (Alcotest.list Alcotest.int) "new value found" [ m.Database.docid ]
+        (Database.query_docids db ~table:"products" ~column:"doc"
+           ~xpath:"/Catalog/Categories/Product[RegPrice = 35]");
+      (* append a tag element and find it by scan *)
+      ignore
+        (Database.insert_xml_fragment db ~table:"products" ~column:"doc"
+           ~docid:m.Database.docid
+           (Rx_xmlstore.Doc_store.Last_child_of m.Database.node)
+           "<Tag>sale</Tag>");
+      check Alcotest.int "fragment visible" 1
+        (List.length
+           (Database.query db ~table:"products" ~column:"doc"
+              ~xpath:"//Product[Tag = \"sale\"]"));
+      (* delete the product subtree entirely *)
+      Database.delete_xml_node db ~table:"products" ~column:"doc"
+        ~docid:m.Database.docid m.Database.node;
+      check (Alcotest.list Alcotest.int) "deleted node unmatched" []
+        (Database.query_docids db ~table:"products" ~column:"doc"
+           ~xpath:"/Catalog/Categories/Product[RegPrice = 35]")
+  | ms -> Alcotest.failf "expected one product with price 30, got %d" (List.length ms))
+
+(* --- non-final-step predicates use indexes with a projection tail --- *)
+
+let test_projection_tail_queries () =
+  let db = make_db ~n:10 () in
+  let q = "/Catalog/Categories/Product[RegPrice > 70]/ProductName" in
+  let info = Database.explain db ~table:"products" ~column:"doc" ~xpath:q in
+  check Alcotest.bool "index used" true info.Database.uses_index;
+  check Alcotest.bool "not exact (tail)" false info.Database.exact;
+  check
+    (Alcotest.list Alcotest.string)
+    "projected names"
+    [ "<ProductName>item-008</ProductName>"; "<ProductName>item-009</ProductName>";
+      "<ProductName>item-010</ProductName>" ]
+    (Database.query_serialized db ~table:"products" ~column:"doc" ~xpath:q)
+
+(* --- schema-validated column --- *)
+
+let orders_xsd =
+  {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+    <xs:element name="order" type="OrderType"/>
+    <xs:complexType name="OrderType">
+      <xs:sequence>
+        <xs:element name="item" type="xs:string" maxOccurs="unbounded"/>
+        <xs:element name="total" type="xs:decimal"/>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:integer" use="required"/>
+    </xs:complexType>
+  </xs:schema>|}
+
+let test_schema_bound_column () =
+  let db = Database.create_in_memory () in
+  let _ = Database.create_table db ~name:"orders" ~columns:[ ("doc", Value.T_xml) ] in
+  Database.register_schema db ~name:"orders-v1" ~xsd:orders_xsd;
+  Database.bind_schema db ~table:"orders" ~column:"doc" ~schema:"orders-v1";
+  let ok = {|<order id="7"><item>widget</item><total>19.99</total></order>|} in
+  let docid = Database.insert db ~table:"orders" ~xml:[ ("doc", ok) ] () in
+  check Alcotest.string "valid document stored" ok
+    (Database.document db ~table:"orders" ~column:"doc" ~docid);
+  (match
+     Database.insert db ~table:"orders"
+       ~xml:[ ("doc", {|<order id="8"><total>5</total></order>|}) ]
+       ()
+   with
+  | exception Rx_schema.Validator.Validation_error _ -> ()
+  | _ -> Alcotest.fail "invalid document accepted");
+  (* the failed insert was rolled back *)
+  check Alcotest.int "row count" 1 (Database.row_count db ~table:"orders")
+
+(* --- multiple XML columns / NULL columns --- *)
+
+let test_multiple_xml_columns () =
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"dossiers"
+      ~columns:[ ("summary", Value.T_xml); ("detail", Value.T_xml) ]
+  in
+  (* the implicit DocID is shared by both XML columns (Figure 2) *)
+  let docid =
+    Database.insert db ~table:"dossiers"
+      ~xml:[ ("summary", "<s>short</s>"); ("detail", "<d><x>long</x></d>") ]
+      ()
+  in
+  check Alcotest.string "summary" "<s>short</s>"
+    (Database.document db ~table:"dossiers" ~column:"summary" ~docid);
+  check Alcotest.string "detail" "<d><x>long</x></d>"
+    (Database.document db ~table:"dossiers" ~column:"detail" ~docid);
+  (* queries are per column *)
+  check Alcotest.int "only in detail" 1
+    (List.length (Database.query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"));
+  check Alcotest.int "not in summary" 0
+    (List.length (Database.query db ~table:"dossiers" ~column:"summary" ~xpath:"//x"));
+  (* a row with one column NULL: queries skip it, fetch shows Null *)
+  let docid2 =
+    Database.insert db ~table:"dossiers" ~xml:[ ("summary", "<s>only</s>") ] ()
+  in
+  (match Database.fetch_row db ~table:"dossiers" ~docid:docid2 with
+  | Some [| Value.Xml_ref _; Value.Null |] -> ()
+  | _ -> Alcotest.fail "expected (xml, NULL) row");
+  check Alcotest.int "null column not scanned" 1
+    (List.length
+       (Database.query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"));
+  (* deleting the row removes both documents *)
+  Database.delete db ~table:"dossiers" ~docid;
+  check Alcotest.int "detail doc gone" 0
+    (List.length (Database.query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"))
+
+(* --- namespaces + kind tests through the facade --- *)
+
+let test_namespaced_queries () =
+  let db = Database.create_in_memory () in
+  let _ = Database.create_table db ~name:"feeds" ~columns:[ ("doc", Value.T_xml) ] in
+  ignore
+    (Database.insert db ~table:"feeds"
+       ~xml:
+         [
+           ( "doc",
+             {|<feed xmlns="urn:atom" xmlns:x="urn:ext"><entry><title>one</title><x:rank>5</x:rank></entry><entry><title>two</title><x:rank>9</x:rank></entry></feed>|}
+           );
+         ]
+       ());
+  let ns_env = [ ("a", "urn:atom"); ("x", "urn:ext") ] in
+  check Alcotest.int "namespaced path" 2
+    (List.length
+       (Database.query db ~ns_env ~table:"feeds" ~column:"doc"
+          ~xpath:"/a:feed/a:entry"));
+  (* extracted subtrees re-declare every in-scope namespace so they stay
+     self-contained *)
+  check
+    (Alcotest.list Alcotest.string)
+    "mixed-namespace predicate"
+    [ {|<title xmlns="urn:atom" xmlns:x="urn:ext">two</title>|} ]
+    (Database.query_serialized db ~ns_env ~table:"feeds" ~column:"doc"
+       ~xpath:"/a:feed/a:entry[x:rank > 7]/a:title");
+  (* unprefixed names do not match namespaced elements *)
+  check Alcotest.int "no-namespace name" 0
+    (List.length
+       (Database.query db ~table:"feeds" ~column:"doc" ~xpath:"/feed/entry"))
+
+let test_kind_test_queries () =
+  let db = Database.create_in_memory () in
+  let _ = Database.create_table db ~name:"t" ~columns:[ ("doc", Value.T_xml) ] in
+  ignore
+    (Database.insert db ~table:"t"
+       ~xml:[ ("doc", "<r><!--note--><a>alpha</a><?pi data?><a>beta</a></r>") ]
+       ());
+  check Alcotest.int "comments" 1
+    (List.length (Database.query db ~table:"t" ~column:"doc" ~xpath:"/r/comment()"));
+  check Alcotest.int "pis" 1
+    (List.length
+       (Database.query db ~table:"t" ~column:"doc"
+          ~xpath:"/r/processing-instruction()"));
+  check
+    (Alcotest.list Alcotest.string)
+    "text() predicate"
+    [ "<a>beta</a>" ]
+    (Database.query_serialized db ~table:"t" ~column:"doc"
+       ~xpath:"/r/a[text() = \"beta\"]");
+  check Alcotest.int "node() children" 4
+    (List.length (Database.query db ~table:"t" ~column:"doc" ~xpath:"/r/node()"))
+
+(* --- durability --- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "rxdb" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_durability_reopen () =
+  with_temp_dir (fun dir ->
+      let db = Database.open_dir dir in
+      let _ =
+        Database.create_table db ~name:"products"
+          ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
+      in
+      Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"regprice"
+        ~path:"/Catalog/Categories/Product/RegPrice"
+        ~key_type:Rx_xindex.Index_def.K_double;
+      for i = 1 to 10 do
+        ignore
+          (Database.insert db ~table:"products"
+             ~values:[ ("sku", Value.Varchar (Printf.sprintf "S%d" i)) ]
+             ~xml:
+               [
+                 ( "doc",
+                   product_doc ~name:(Printf.sprintf "p%d" i)
+                     ~price:(float_of_int (i * 10))
+                     ~discount:0.1 ~category:"c" );
+               ]
+             ())
+      done;
+      let expected =
+        Database.query db ~table:"products" ~column:"doc"
+          ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"
+      in
+      Database.close db;
+      (* reopen: catalog reload + recovery *)
+      let db2 = Database.open_dir dir in
+      check (Alcotest.list Alcotest.string) "tables restored" [ "products" ]
+        (Database.list_tables db2);
+      check Alcotest.int "rows restored" 10 (Database.row_count db2 ~table:"products");
+      check
+        (Alcotest.list Alcotest.string)
+        "index restored" [ "regprice" ]
+        (Database.list_xml_indexes db2 ~table:"products" ~column:"doc");
+      let actual =
+        Database.query db2 ~table:"products" ~column:"doc"
+          ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"
+      in
+      check Alcotest.string "query results survive reopen" (show_matches expected)
+        (show_matches actual);
+      (* inserts continue with fresh docids *)
+      let docid =
+        Database.insert db2 ~table:"products"
+          ~values:[ ("sku", Value.Varchar "NEW") ]
+          ~xml:[ ("doc", product_doc ~name:"new" ~price:999. ~discount:0.0 ~category:"c") ]
+          ()
+      in
+      check Alcotest.bool "fresh docid" true (docid > 10);
+      Database.close db2)
+
+let test_index_backfill () =
+  (* index created after data exists must see existing documents *)
+  let db = make_db ~with_indexes:false ~n:10 () in
+  Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"late"
+    ~path:"/Catalog/Categories/Product/RegPrice" ~key_type:Rx_xindex.Index_def.K_double;
+  let info =
+    Database.explain db ~table:"products" ~column:"doc"
+      ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"
+  in
+  check Alcotest.bool "index used" true info.Database.uses_index;
+  check (Alcotest.list Alcotest.int) "backfilled results" [ 6; 7; 8; 9; 10 ]
+    (Database.query_docids db ~table:"products" ~column:"doc"
+       ~xpath:"/Catalog/Categories/Product[RegPrice > 50]")
+
+(* --- property: random predicates, index = scan --- *)
+
+let index_scan_equiv_prop =
+  let db_idx = make_db ~with_indexes:true ~n:40 () in
+  let db_scan = make_db ~with_indexes:false ~n:40 () in
+  QCheck.Test.make ~name:"index plans agree with scans on random predicates"
+    ~count:120
+    QCheck.(pair (int_bound 420) (int_bound 4))
+    (fun (threshold, shape) ->
+      let q =
+        match shape with
+        | 0 -> Printf.sprintf "/Catalog/Categories/Product[RegPrice > %d]" threshold
+        | 1 -> Printf.sprintf "/Catalog/Categories/Product[RegPrice <= %d]" threshold
+        | 2 ->
+            Printf.sprintf
+              "/Catalog/Categories/Product[RegPrice > %d and Discount > 0.15]"
+              threshold
+        | 3 -> Printf.sprintf "/Catalog/Categories/Product[RegPrice = %d]" threshold
+        | _ ->
+            Printf.sprintf "/Catalog//Product[Discount >= %g]"
+              (float_of_int (threshold mod 5) /. 10.)
+      in
+      let a = Database.query db_idx ~table:"products" ~column:"doc" ~xpath:q in
+      let b = Database.query db_scan ~table:"products" ~column:"doc" ~xpath:q in
+      show_matches a = show_matches b)
+
+let () =
+  Alcotest.run "systemrx"
+    [
+      ( "ddl_dml",
+        [
+          Alcotest.test_case "create/insert/fetch" `Quick test_create_insert_fetch;
+          Alcotest.test_case "delete" `Quick test_delete_row;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "index = scan" `Quick test_index_matches_scan;
+          Alcotest.test_case "plan selection (Table 2)" `Quick test_plan_selection;
+          Alcotest.test_case "exact plan skips documents" `Quick
+            test_exact_plan_skips_documents;
+          Alcotest.test_case "serialized results" `Quick test_query_serialized;
+          Alcotest.test_case "docid results" `Quick test_query_docids;
+          qcheck index_scan_equiv_prop;
+        ] );
+      ( "schema",
+        [ Alcotest.test_case "validated column" `Quick test_schema_bound_column ] );
+      ( "surface",
+        [
+          Alcotest.test_case "multiple XML columns" `Quick test_multiple_xml_columns;
+          Alcotest.test_case "namespaced queries" `Quick test_namespaced_queries;
+          Alcotest.test_case "kind tests" `Quick test_kind_test_queries;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "facade sub-document updates" `Quick test_facade_updates;
+          Alcotest.test_case "projection-tail index use" `Quick
+            test_projection_tail_queries;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "reopen" `Quick test_durability_reopen;
+          Alcotest.test_case "index backfill" `Quick test_index_backfill;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Sub-document updates (§3.1): stability of node IDs, record rewriting,
+   proxy-aware deletes, and value-index consistency under edits. *)
+
+open Rx_storage
+open Rx_xml
+open Rx_xmlstore
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let dict = Name_dict.create ()
+
+let make_store ?(threshold = 256) () =
+  let pool = Buffer_pool.create ~capacity:512 (Pager.create_in_memory ()) in
+  (pool, Doc_store.create ~record_threshold:threshold pool dict)
+
+let fragment src =
+  (* parse a fragment by wrapping it, then strip the wrapper *)
+  let tokens = Parser.parse dict ("<w>" ^ src ^ "</w>") in
+  match tokens with
+  | Token.Start_document :: Token.Start_element _ :: rest ->
+      let rec strip acc = function
+        | [ Token.End_element; Token.End_document ] -> List.rev acc
+        | t :: rest -> strip (t :: acc) rest
+        | [] -> invalid_arg "fragment"
+      in
+      strip [] rest
+  | _ -> invalid_arg "fragment"
+
+(* node id of the i-th child (0-based) of a node *)
+let child_id store ~docid parent i =
+  let rec nth c n =
+    if n = 0 then c
+    else nth (Option.get (Doc_store.Cursor.next_sibling store c)) (n - 1)
+  in
+  let parent_cursor =
+    if Node_id.is_root parent then Option.get (Doc_store.Cursor.root store ~docid)
+    else Option.get (Doc_store.Cursor.find store ~docid parent)
+  in
+  if Node_id.is_root parent then Doc_store.Cursor.node_id (nth parent_cursor i)
+  else
+    Doc_store.Cursor.node_id
+      (nth (Option.get (Doc_store.Cursor.first_child store parent_cursor)) i)
+
+let test_update_text () =
+  let _, store = make_store () in
+  Doc_store.insert_document store ~docid:1 "<r><a>old</a><b>keep</b></r>";
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  let a = child_id store ~docid:1 root 0 in
+  let text = child_id store ~docid:1 a 0 in
+  Doc_store.update_text store ~docid:1 text "new";
+  check Alcotest.string "updated" "<r><a>new</a><b>keep</b></r>"
+    (Doc_store.serialize store ~docid:1)
+
+let test_insert_after () =
+  let _, store = make_store () in
+  Doc_store.insert_document store ~docid:1 "<r><a/><c/></r>";
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  let a = child_id store ~docid:1 root 0 in
+  let ids = Doc_store.insert_fragment store ~docid:1 (Doc_store.After a) (fragment "<b>x</b>") in
+  check Alcotest.int "one new node" 1 (List.length ids);
+  check Alcotest.string "inserted in the middle" "<r><a/><b>x</b><c/></r>"
+    (Doc_store.serialize store ~docid:1);
+  (* node ids stable: a and c keep their ids, b sits between *)
+  let a' = child_id store ~docid:1 root 0 in
+  let b' = child_id store ~docid:1 root 1 in
+  let c' = child_id store ~docid:1 root 2 in
+  check Alcotest.string "a id stable" (Node_id.to_hex a) (Node_id.to_hex a');
+  check Alcotest.bool "order" true
+    (Node_id.compare a' b' < 0 && Node_id.compare b' c' < 0)
+
+let test_insert_before_first () =
+  let _, store = make_store () in
+  Doc_store.insert_document store ~docid:1 "<r><z/></r>";
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  let z = child_id store ~docid:1 root 0 in
+  ignore (Doc_store.insert_fragment store ~docid:1 (Doc_store.Before z) (fragment "<a/>"));
+  check Alcotest.string "prepended" "<r><a/><z/></r>" (Doc_store.serialize store ~docid:1);
+  let z' = child_id store ~docid:1 root 1 in
+  check Alcotest.string "z id stable" (Node_id.to_hex z) (Node_id.to_hex z')
+
+let test_append_child () =
+  let _, store = make_store () in
+  Doc_store.insert_document store ~docid:1 "<r><a/></r>";
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  ignore
+    (Doc_store.insert_fragment store ~docid:1 (Doc_store.Last_child_of root)
+       (fragment "<b/><c>t</c>"));
+  check Alcotest.string "appended two" "<r><a/><b/><c>t</c></r>"
+    (Doc_store.serialize store ~docid:1);
+  (* append into an empty element *)
+  let b = child_id store ~docid:1 root 1 in
+  ignore
+    (Doc_store.insert_fragment store ~docid:1 (Doc_store.Last_child_of b)
+       (fragment "inner"));
+  check Alcotest.string "filled empty element" "<r><a/><b>inner</b><c>t</c></r>"
+    (Doc_store.serialize store ~docid:1)
+
+let test_delete_subtree () =
+  let _, store = make_store () in
+  Doc_store.insert_document store ~docid:1 "<r><a><x/><y/></a><b/><c/></r>";
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  let a = child_id store ~docid:1 root 0 in
+  Doc_store.delete_subtree store ~docid:1 a;
+  check Alcotest.string "subtree gone" "<r><b/><c/></r>"
+    (Doc_store.serialize store ~docid:1);
+  Alcotest.check_raises "deleting again fails"
+    (Invalid_argument "Doc_store.delete_subtree: node not found") (fun () ->
+      Doc_store.delete_subtree store ~docid:1 a)
+
+let test_update_across_split_records () =
+  (* a tiny threshold forces proxies; edits must work across records *)
+  let _, store = make_store ~threshold:64 () in
+  Doc_store.insert_document store ~docid:1
+    (Printf.sprintf "<r><big>%s</big><small/><big2>%s</big2></r>"
+       (String.make 100 'x') (String.make 100 'y'));
+  check Alcotest.bool "split into records" true
+    ((Doc_store.stats store).Doc_store.records > 1);
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  let big = child_id store ~docid:1 root 0 in
+  (* delete a proxied subtree *)
+  Doc_store.delete_subtree store ~docid:1 big;
+  check Alcotest.string "proxied subtree deleted"
+    (Printf.sprintf "<r><small/><big2>%s</big2></r>" (String.make 100 'y'))
+    (Doc_store.serialize store ~docid:1);
+  (* update text inside a (still) proxied subtree *)
+  let big2 = child_id store ~docid:1 root 1 in
+  let text = child_id store ~docid:1 big2 0 in
+  Doc_store.update_text store ~docid:1 text "short now";
+  check Alcotest.string "text updated through proxy"
+    "<r><small/><big2>short now</big2></r>"
+    (Doc_store.serialize store ~docid:1)
+
+let test_repeated_middle_insertion () =
+  (* §3.1: "there is always space for insertion in the middle" *)
+  let _, store = make_store () in
+  Doc_store.insert_document store ~docid:1 "<r><a/><z/></r>";
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  for i = 1 to 60 do
+    let a = child_id store ~docid:1 root 0 in
+    ignore
+      (Doc_store.insert_fragment store ~docid:1 (Doc_store.After a)
+         (fragment (Printf.sprintf "<m i=\"%d\"/>" i)))
+  done;
+  (* all there, in last-in-first-position order after <a/> *)
+  let ids = ref [] in
+  Doc_store.events store ~docid:1 (fun e ->
+      match e.Doc_store.id with Some id -> ids := id :: !ids | None -> ());
+  let ids = List.rev !ids in
+  check Alcotest.int "62 children + root" 63 (List.length ids);
+  check Alcotest.bool "document order maintained" true
+    (ids = List.sort Node_id.compare ids)
+
+let test_value_index_follows_updates () =
+  let pool, store = make_store () in
+  let def =
+    Rx_xindex.Index_def.make ~name:"v" ~path:"/r/item" ~key_type:Rx_xindex.Index_def.K_double
+  in
+  let idx = Rx_xindex.Value_index.create pool dict def in
+  Rx_xindex.Value_index.hook idx store;
+  Doc_store.insert_document store ~docid:1 "<r><item>10</item><item>20</item></r>";
+  check Alcotest.int "two entries" 2 (Rx_xindex.Value_index.entry_count idx);
+  let root = child_id store ~docid:1 Node_id.root 0 in
+  let item1 = child_id store ~docid:1 root 0 in
+  let text1 = child_id store ~docid:1 item1 0 in
+  (* update 10 -> 15 *)
+  Doc_store.update_text store ~docid:1 text1 "15";
+  let keys () =
+    List.map
+      (fun e -> Rx_xml.Typed_value.to_string e.Rx_xindex.Value_index.key)
+      (Rx_xindex.Value_index.entries idx ())
+  in
+  check (Alcotest.list Alcotest.string) "updated key" [ "15"; "20" ] (keys ());
+  (* insert a third item *)
+  ignore
+    (Doc_store.insert_fragment store ~docid:1 (Doc_store.Last_child_of root)
+       (fragment "<item>5</item>"));
+  check (Alcotest.list Alcotest.string) "inserted key" [ "5"; "15"; "20" ] (keys ());
+  (* delete the first *)
+  Doc_store.delete_subtree store ~docid:1 item1;
+  check (Alcotest.list Alcotest.string) "deleted key" [ "5"; "20" ] (keys ())
+
+(* property: random edit scripts agree with an in-memory reference *)
+let edits_match_reference_prop =
+  let open QCheck in
+  Test.make ~name:"random edit scripts match in-memory reference" ~count:150
+    (pair (QCheck.make (Gen.int_range 64 512)) (list_of_size (Gen.int_range 1 25) (pair (int_bound 5) (int_bound 1000))))
+    (fun (threshold, script) ->
+      let _, store = make_store ~threshold () in
+      Doc_store.insert_document store ~docid:1 "<r><a>1</a><b><c>2</c></b><d/></r>";
+      (* reference: re-serialize + re-build after each simulated op *)
+      let apply (op, seed) =
+        (* pick a target by walking current children of the root *)
+        let root = child_id store ~docid:1 Node_id.root 0 in
+        let kids = ref [] in
+        let rec walk c =
+          kids := Doc_store.Cursor.node_id c :: !kids;
+          match Doc_store.Cursor.next_sibling store c with
+          | Some n -> walk n
+          | None -> ()
+        in
+        (match
+           Doc_store.Cursor.first_child store
+             (Option.get (Doc_store.Cursor.find store ~docid:1 root))
+         with
+        | Some c -> walk c
+        | None -> ());
+        let kids = Array.of_list (List.rev !kids) in
+        if Array.length kids = 0 then
+          ignore
+            (Doc_store.insert_fragment store ~docid:1 (Doc_store.Last_child_of root)
+               (fragment "<n/>"))
+        else begin
+          let target = kids.(seed mod Array.length kids) in
+          match op with
+          | 0 ->
+              ignore
+                (Doc_store.insert_fragment store ~docid:1 (Doc_store.After target)
+                   (fragment (Printf.sprintf "<i v=\"%d\"/>" seed)))
+          | 1 ->
+              ignore
+                (Doc_store.insert_fragment store ~docid:1 (Doc_store.Before target)
+                   (fragment (Printf.sprintf "<j>%d</j>" seed)))
+          | 2 ->
+              if Array.length kids > 2 then
+                Doc_store.delete_subtree store ~docid:1 target
+          | 3 ->
+              ignore
+                (Doc_store.insert_fragment store ~docid:1
+                   (Doc_store.Last_child_of target)
+                   (fragment (Printf.sprintf "t%d" seed)))
+          | _ ->
+              ignore
+                (Doc_store.insert_fragment store ~docid:1 (Doc_store.Last_child_of root)
+                   (fragment (Printf.sprintf "<k/><l>%d</l>" seed)))
+        end
+      in
+      List.iter apply script;
+      (* invariants: serialization parses back identically; ids are sorted
+         in document order; reinserting the serialization into a fresh
+         store roundtrips *)
+      let out = Doc_store.serialize store ~docid:1 in
+      let _, store2 = make_store () in
+      Doc_store.insert_document store2 ~docid:9 out;
+      let ids = ref [] in
+      Doc_store.events store ~docid:1 (fun e ->
+          match e.Doc_store.id with Some id -> ids := id :: !ids | None -> ());
+      let ids = List.rev !ids in
+      Doc_store.serialize store2 ~docid:9 = out
+      && ids = List.sort Node_id.compare ids
+      && List.length (List.sort_uniq Node_id.compare ids) = List.length ids)
+
+let () =
+  Alcotest.run "rx_updates"
+    [
+      ( "subdocument updates",
+        [
+          Alcotest.test_case "update text" `Quick test_update_text;
+          Alcotest.test_case "insert after" `Quick test_insert_after;
+          Alcotest.test_case "insert before first" `Quick test_insert_before_first;
+          Alcotest.test_case "append child" `Quick test_append_child;
+          Alcotest.test_case "delete subtree" `Quick test_delete_subtree;
+          Alcotest.test_case "edits across split records" `Quick
+            test_update_across_split_records;
+          Alcotest.test_case "repeated middle insertion" `Quick
+            test_repeated_middle_insertion;
+          Alcotest.test_case "value index follows updates" `Quick
+            test_value_index_follows_updates;
+          qcheck edits_match_reference_prop;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+open Rx_storage
+open Rx_wal
+
+let check = Alcotest.check
+
+(* A tiny "database": one heap file over an in-memory pager that plays the
+   role of the disk; the buffer pool is volatile memory. *)
+type db = {
+  pool : Buffer_pool.t;
+  log : Log_manager.t;
+  mutable txid : int;
+}
+
+let make_db () =
+  let pool = Buffer_pool.create ~capacity:64 (Pager.create_in_memory ~page_size:512 ()) in
+  let log = Log_manager.create_in_memory () in
+  let db = { pool; log; txid = 0 } in
+  Journal.install pool log ~current_txid:(fun () -> db.txid);
+  db
+
+let commit db =
+  ignore (Log_manager.append db.log (Log_record.Commit { txid = db.txid }));
+  Log_manager.flush db.log
+
+let crash db = Buffer_pool.drop_cache db.pool
+let recover db = Recovery.run db.log db.pool
+
+(* --- log manager --- *)
+
+let test_log_roundtrip () =
+  let log = Log_manager.create_in_memory () in
+  let records =
+    [
+      Log_record.Update { txid = 1; page_no = 2; off = 30; before = "aa"; after = "bb" };
+      Log_record.Clr { txid = 1; page_no = 2; off = 30; after = "aa" };
+      Log_record.Commit { txid = 1 };
+      Log_record.Abort { txid = 2 };
+      Log_record.Checkpoint;
+    ]
+  in
+  let lsns = List.map (Log_manager.append log) records in
+  check Alcotest.bool "lsns increase" true
+    (List.sort compare lsns = lsns && List.sort_uniq compare lsns = lsns);
+  let seen = ref [] in
+  Log_manager.iter log (fun _ r -> seen := r :: !seen);
+  check Alcotest.int "all records read back" (List.length records) (List.length !seen);
+  check Alcotest.bool "same contents" true (List.rev !seen = records)
+
+let test_log_file_backend () =
+  let path = Filename.temp_file "rxlog" ".wal" in
+  let log = Log_manager.open_file path in
+  ignore (Log_manager.append log (Log_record.Commit { txid = 7 }));
+  Log_manager.flush log;
+  let log2 = Log_manager.open_file path in
+  let seen = ref [] in
+  Log_manager.iter log2 (fun _ r -> seen := r :: !seen);
+  check Alcotest.bool "record survived reopen" true
+    (!seen = [ Log_record.Commit { txid = 7 } ]);
+  Sys.remove path
+
+(* --- recovery --- *)
+
+let test_recover_committed () =
+  let db = make_db () in
+  db.txid <- 1;
+  let heap = Heap_file.create db.pool in
+  let rid = Heap_file.insert heap "durable" in
+  commit db;
+  crash db;
+  let report = recover db in
+  check Alcotest.bool "redo happened" true (report.Recovery.redone > 0);
+  check Alcotest.int "no losers" 0 (List.length report.Recovery.losers);
+  let heap2 = Heap_file.attach db.pool ~header_page:(Heap_file.header_page heap) in
+  check Alcotest.string "committed data recovered" "durable" (Heap_file.read heap2 rid)
+
+let test_recover_uncommitted_rolled_back () =
+  let db = make_db () in
+  db.txid <- 1;
+  let heap = Heap_file.create db.pool in
+  let rid1 = Heap_file.insert heap "keep" in
+  commit db;
+  db.txid <- 2;
+  let _rid2 = Heap_file.insert heap "lose" in
+  (* no commit for tx 2; some of its pages may even be on disk *)
+  Buffer_pool.flush_all db.pool;
+  crash db;
+  let report = recover db in
+  check (Alcotest.list Alcotest.int) "tx2 is a loser" [ 2 ] report.Recovery.losers;
+  check Alcotest.bool "undo happened" true (report.Recovery.undone > 0);
+  let heap2 = Heap_file.attach db.pool ~header_page:(Heap_file.header_page heap) in
+  check Alcotest.string "tx1 data intact" "keep" (Heap_file.read heap2 rid1);
+  check Alcotest.int "tx2 insert rolled back" 1 (Heap_file.record_count heap2)
+
+let test_recovery_idempotent () =
+  let db = make_db () in
+  db.txid <- 1;
+  let heap = Heap_file.create db.pool in
+  let rid = Heap_file.insert heap "again" in
+  commit db;
+  crash db;
+  ignore (recover db);
+  crash db;
+  ignore (recover db);
+  let heap2 = Heap_file.attach db.pool ~header_page:(Heap_file.header_page heap) in
+  check Alcotest.string "double recovery ok" "again" (Heap_file.read heap2 rid)
+
+let test_online_rollback () =
+  let db = make_db () in
+  db.txid <- 1;
+  let heap = Heap_file.create db.pool in
+  let _ = Heap_file.insert heap "committed" in
+  commit db;
+  db.txid <- 2;
+  let _ = Heap_file.insert heap "doomed-1" in
+  let _ = Heap_file.insert heap "doomed-2" in
+  let undone = Recovery.rollback db.log db.pool ~txid:2 in
+  ignore (Log_manager.append db.log (Log_record.Abort { txid = 2 }));
+  check Alcotest.bool "updates undone" true (undone > 0);
+  let heap2 = Heap_file.attach db.pool ~header_page:(Heap_file.header_page heap) in
+  check Alcotest.int "only committed row remains" 1 (Heap_file.record_count heap2);
+  (* crash + recover after the rollback must not resurrect anything *)
+  crash db;
+  ignore (recover db);
+  let heap3 = Heap_file.attach db.pool ~header_page:(Heap_file.header_page heap) in
+  check Alcotest.int "still one row after recovery" 1 (Heap_file.record_count heap3)
+
+let test_checkpoint_truncates () =
+  let db = make_db () in
+  db.txid <- 1;
+  let heap = Heap_file.create db.pool in
+  let rid = Heap_file.insert heap "checkpointed" in
+  commit db;
+  Recovery.checkpoint db.log db.pool;
+  check Alcotest.int64 "log truncated" 0L (Log_manager.tail_lsn db.log);
+  crash db;
+  let report = recover db in
+  check Alcotest.int "nothing to redo" 0 report.Recovery.redone;
+  let heap2 = Heap_file.attach db.pool ~header_page:(Heap_file.header_page heap) in
+  check Alcotest.string "data persisted by checkpoint" "checkpointed"
+    (Heap_file.read heap2 rid)
+
+let test_wal_rule_on_eviction () =
+  (* with a tiny pool, evictions force page writes, which must force the log
+     first; after a crash the log must contain enough to redo *)
+  let pool = Buffer_pool.create ~capacity:3 (Pager.create_in_memory ~page_size:512 ()) in
+  let log = Log_manager.create_in_memory () in
+  let txid = ref 1 in
+  Journal.install pool log ~current_txid:(fun () -> !txid);
+  let heap = Heap_file.create pool in
+  let rids = List.init 60 (fun i -> (i, Heap_file.insert heap (Printf.sprintf "row%03d" i))) in
+  ignore (Log_manager.append log (Log_record.Commit { txid = 1 }));
+  Log_manager.flush log;
+  Buffer_pool.drop_cache pool;
+  ignore (Recovery.run log pool);
+  let heap2 = Heap_file.attach pool ~header_page:(Heap_file.header_page heap) in
+  List.iter
+    (fun (i, rid) ->
+      check Alcotest.string "row recovered" (Printf.sprintf "row%03d" i)
+        (Heap_file.read heap2 rid))
+    rids
+
+let test_recover_btree () =
+  let db = make_db () in
+  db.txid <- 1;
+  let tree = Rx_btree.Btree.create db.pool in
+  for i = 0 to 199 do
+    Rx_btree.Btree.insert tree ~key:(Printf.sprintf "key%04d" i) ~value:(string_of_int i)
+  done;
+  commit db;
+  db.txid <- 2;
+  for i = 200 to 249 do
+    Rx_btree.Btree.insert tree ~key:(Printf.sprintf "key%04d" i) ~value:(string_of_int i)
+  done;
+  crash db;
+  ignore (recover db);
+  let tree2 = Rx_btree.Btree.attach db.pool ~meta_page:(Rx_btree.Btree.meta_page tree) in
+  Rx_btree.Btree.check_invariants tree2;
+  check Alcotest.int "only committed keys" 200 (Rx_btree.Btree.entry_count tree2);
+  check (Alcotest.option Alcotest.string) "committed key present" (Some "150")
+    (Rx_btree.Btree.find tree2 "key0150");
+  check (Alcotest.option Alcotest.string) "uncommitted key gone" None
+    (Rx_btree.Btree.find tree2 "key0220")
+
+let () =
+  Alcotest.run "rx_wal"
+    [
+      ( "log_manager",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
+          Alcotest.test_case "file backend" `Quick test_log_file_backend;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "committed survives crash" `Quick test_recover_committed;
+          Alcotest.test_case "uncommitted rolled back" `Quick test_recover_uncommitted_rolled_back;
+          Alcotest.test_case "recovery idempotent" `Quick test_recovery_idempotent;
+          Alcotest.test_case "online rollback" `Quick test_online_rollback;
+          Alcotest.test_case "checkpoint truncates log" `Quick test_checkpoint_truncates;
+          Alcotest.test_case "WAL rule on eviction" `Quick test_wal_rule_on_eviction;
+          Alcotest.test_case "btree splits recover" `Quick test_recover_btree;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+open Rx_workload
+
+let check = Alcotest.check
+
+let dict = Rx_xml.Name_dict.create ()
+
+let parses src =
+  match Rx_xml.Parser.parse dict src with
+  | tokens -> tokens
+  | exception Rx_xml.Parser.Parse_error { pos; msg } ->
+      Alcotest.failf "generated document does not parse (at %d: %s)" pos msg
+
+let node_count tokens =
+  List.fold_left
+    (fun acc t ->
+      match t with
+      | Rx_xml.Token.Start_element { attrs; _ } -> acc + 1 + List.length attrs
+      | Rx_xml.Token.Text _ | Rx_xml.Token.Comment _ | Rx_xml.Token.Pi _ -> acc + 1
+      | _ -> acc)
+    0 tokens
+
+let test_deterministic () =
+  let a = Workload.create ~seed:7 and b = Workload.create ~seed:7 in
+  check Alcotest.string "same catalog"
+    (Workload.catalog_document a ~categories:2 ~products_per_category:3)
+    (Workload.catalog_document b ~categories:2 ~products_per_category:3);
+  let c = Workload.create ~seed:8 in
+  check Alcotest.bool "different seed differs" true
+    (Workload.catalog_document a ~categories:2 ~products_per_category:3
+    <> Workload.catalog_document c ~categories:2 ~products_per_category:3)
+
+let test_catalog_shape () =
+  let gen = Workload.create ~seed:1 in
+  let doc = Workload.catalog_document gen ~categories:3 ~products_per_category:5 in
+  let tokens = parses doc in
+  let products =
+    List.length
+      (List.filter
+         (function
+           | Rx_xml.Token.Start_element { name; _ } ->
+               Rx_xml.Name_dict.name dict name.Rx_xml.Qname.local = "Product"
+           | _ -> false)
+         tokens)
+  in
+  check Alcotest.int "product count" 15 products;
+  check Alcotest.int "helper agrees" 15
+    (Workload.catalog_product_count ~categories:3 ~products_per_category:5)
+
+let test_balanced_counts () =
+  let gen = Workload.create ~seed:2 in
+  List.iter
+    (fun (depth, fanout) ->
+      let doc = Workload.balanced_document gen ~depth ~fanout () in
+      let actual = node_count (parses doc) in
+      check Alcotest.int
+        (Printf.sprintf "depth=%d fanout=%d" depth fanout)
+        (Workload.balanced_node_count ~depth ~fanout)
+        actual)
+    [ (1, 2); (2, 3); (4, 2); (3, 4) ]
+
+let test_recursive_shape () =
+  let gen = Workload.create ~seed:3 in
+  let doc = Workload.recursive_document gen ~nesting:5 ~siblings:2 () in
+  let tokens = parses doc in
+  (* max depth of nested 'a' elements is exactly [nesting] *)
+  let a = Rx_xml.Name_dict.intern dict "a" in
+  let depth = ref 0 and max_depth = ref 0 in
+  List.iter
+    (fun t ->
+      match t with
+      | Rx_xml.Token.Start_element { name; _ } when name.Rx_xml.Qname.local = a ->
+          incr depth;
+          if !depth > !max_depth then max_depth := !depth
+      | Rx_xml.Token.End_element -> ()
+      | _ -> ())
+    tokens;
+  check Alcotest.int "nesting" 5 !max_depth
+
+let test_text_heavy () =
+  let gen = Workload.create ~seed:4 in
+  let doc = Workload.text_heavy_document gen ~paragraphs:10 ~words:50 in
+  ignore (parses doc);
+  check Alcotest.bool "substantial" true (String.length doc > 1000)
+
+let () =
+  Alcotest.run "rx_workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "catalog shape" `Quick test_catalog_shape;
+          Alcotest.test_case "balanced node counts" `Quick test_balanced_counts;
+          Alcotest.test_case "recursive nesting" `Quick test_recursive_shape;
+          Alcotest.test_case "text heavy parses" `Quick test_text_heavy;
+        ] );
+    ]

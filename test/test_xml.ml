@@ -1,0 +1,400 @@
+open Rx_xml
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let parse ?(dict = Name_dict.create ()) src = (dict, Parser.parse dict src)
+
+(* --- name dictionary --- *)
+
+let test_dict_basics () =
+  let d = Name_dict.create () in
+  check Alcotest.int "empty string is 0" 0 (Name_dict.intern d "");
+  let a = Name_dict.intern d "alpha" in
+  let b = Name_dict.intern d "beta" in
+  check Alcotest.bool "distinct ids" true (a <> b && a <> 0 && b <> 0);
+  check Alcotest.int "stable" a (Name_dict.intern d "alpha");
+  check Alcotest.string "reverse" "alpha" (Name_dict.name d a);
+  check (Alcotest.option Alcotest.int) "lookup" (Some b) (Name_dict.lookup d "beta");
+  check (Alcotest.option Alcotest.int) "lookup missing" None (Name_dict.lookup d "gamma")
+
+let test_dict_restore () =
+  let d = Name_dict.create () in
+  List.iter (fun s -> ignore (Name_dict.intern d s)) [ "x"; "y"; "z" ];
+  let d2 = Name_dict.restore (Name_dict.to_list d) in
+  check Alcotest.int "same size" (Name_dict.size d) (Name_dict.size d2);
+  List.iter
+    (fun s ->
+      check (Alcotest.option Alcotest.int) s (Name_dict.lookup d s) (Name_dict.lookup d2 s))
+    [ "x"; "y"; "z" ]
+
+(* --- parser --- *)
+
+let test_parse_simple () =
+  let dict, tokens = parse "<a><b>hi</b><c/></a>" in
+  let b_id = Option.get (Name_dict.lookup dict "b") in
+  check Alcotest.int "token count" 9 (List.length tokens);
+  (match tokens with
+  | [ Token.Start_document; Token.Start_element a; Token.Start_element b;
+      Token.Text { content = "hi"; _ }; Token.End_element; Token.Start_element c;
+      Token.End_element; Token.End_element; Token.End_document ] ->
+      ignore a; ignore c;
+      check Alcotest.int "b name id" b_id b.Token.name.Qname.local
+  | _ -> Alcotest.fail "unexpected token shape")
+
+let test_parse_attributes_sorted () =
+  let dict, tokens = parse {|<e zeta="1" alpha="2" mid="3"/>|} in
+  match tokens with
+  | [ _; Token.Start_element e; _; _ ] ->
+      let names =
+        List.map (fun (a : Token.attr) -> Name_dict.name dict a.name.Qname.local) e.attrs
+      in
+      let values = List.map (fun (a : Token.attr) -> a.value) e.attrs in
+      check (Alcotest.list Alcotest.string) "attrs in canonical id order"
+        [ "zeta"; "alpha"; "mid" ] names;
+      (* canonical order is by name-dict id: first-seen order of interning *)
+      check (Alcotest.list Alcotest.string) "values follow" [ "1"; "2"; "3" ] values
+  | _ -> Alcotest.fail "unexpected token shape"
+
+let test_parse_entities () =
+  let _, tokens = parse "<a>&lt;x&gt; &amp; &quot;y&quot; &#65;&#x42;</a>" in
+  match tokens with
+  | [ _; _; Token.Text { content; _ }; _; _ ] ->
+      check Alcotest.string "entities decoded" "<x> & \"y\" AB" content
+  | _ -> Alcotest.fail "unexpected token shape"
+
+let test_parse_cdata () =
+  let _, tokens = parse "<a>pre<![CDATA[<raw> & stuff]]>post</a>" in
+  match tokens with
+  | [ _; _; Token.Text { content; _ }; _; _ ] ->
+      check Alcotest.string "cdata merged" "pre<raw> & stuffpost" content
+  | _ -> Alcotest.fail "unexpected token shape"
+
+let test_parse_comment_pi_doctype () =
+  let _, tokens =
+    parse
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><!-- hi --><a><?php \
+       echo?></a><!-- bye -->"
+  in
+  let kinds =
+    List.filter_map
+      (function
+        | Token.Comment c -> Some (`C (String.trim c))
+        | Token.Pi { target; _ } -> Some (`P target)
+        | _ -> None)
+      tokens
+  in
+  check Alcotest.bool "comments and PIs seen" true
+    (kinds = [ `C "hi"; `P "php"; `C "bye" ])
+
+let test_parse_namespaces () =
+  let dict, tokens =
+    parse
+      {|<root xmlns="urn:default" xmlns:p="urn:p"><p:child attr="1" p:attr="2"/><plain/></root>|}
+  in
+  let uri u = Option.get (Name_dict.lookup dict u) in
+  match List.filter_map (function Token.Start_element e -> Some e | _ -> None) tokens with
+  | [ root; child; plain ] ->
+      check Alcotest.int "root in default ns" (uri "urn:default") root.name.Qname.uri;
+      check Alcotest.int "child in p ns" (uri "urn:p") child.name.Qname.uri;
+      check Alcotest.int "plain inherits default ns" (uri "urn:default")
+        plain.name.Qname.uri;
+      (match child.attrs with
+      | [ a1; a2 ] ->
+          (* unprefixed attribute has no namespace; p:attr is in urn:p *)
+          let unprefixed, prefixed =
+            if a1.Token.name.Qname.uri = 0 then (a1, a2) else (a2, a1)
+          in
+          check Alcotest.int "unprefixed attr no ns" 0 unprefixed.Token.name.Qname.uri;
+          check Alcotest.int "prefixed attr ns" (uri "urn:p") prefixed.Token.name.Qname.uri
+      | _ -> Alcotest.fail "expected two attrs")
+  | _ -> Alcotest.fail "unexpected elements"
+
+let test_parse_nested_ns_scoping () =
+  let dict, tokens =
+    parse {|<a xmlns:n="urn:1"><b xmlns:n="urn:2"><n:x/></b><n:y/></a>|}
+  in
+  let uri u = Option.get (Name_dict.lookup dict u) in
+  let elems =
+    List.filter_map (function Token.Start_element e -> Some e | _ -> None) tokens
+  in
+  let find local =
+    List.find
+      (fun (e : Token.element) -> Name_dict.name dict e.name.Qname.local = local)
+      elems
+  in
+  check Alcotest.int "inner shadows" (uri "urn:2") (find "x").name.Qname.uri;
+  check Alcotest.int "outer restored" (uri "urn:1") (find "y").name.Qname.uri
+
+let expect_parse_error src =
+  let dict = Name_dict.create () in
+  match Parser.parse dict src with
+  | exception Parser.Parse_error _ -> ()
+  | _ -> Alcotest.failf "expected parse error for %s" src
+
+let test_parse_errors () =
+  List.iter expect_parse_error
+    [
+      "";
+      "no markup";
+      "<a>";
+      "<a></b>";
+      "<a><b></a></b>";
+      "<a></a><b></b>";
+      "<a x=1/>";
+      "<a x=\"1\" x=\"2\"/>";
+      "<a>&undefined;</a>";
+      "<a>&#xZZ;</a>";
+      "<p:a/>";
+      "<a><![CDATA[never closed</a>";
+      "<a><!-- -- --></a>";
+      "text<a/>";
+    ]
+
+let test_duplicate_attr_via_ns () =
+  (* same expanded name through two prefixes must be rejected *)
+  expect_parse_error
+    {|<a xmlns:p="urn:x" xmlns:q="urn:x" p:k="1" q:k="2"/>|}
+
+(* --- serializer --- *)
+
+let test_serialize_roundtrip () =
+  let src =
+    {|<catalog xmlns:x="urn:x"><item id="1">A &amp; B</item><x:item>2</x:item><empty/></catalog>|}
+  in
+  let dict, tokens = parse src in
+  let out = Serializer.to_string dict tokens in
+  (* reparse: token streams must match (text coalescing already applied) *)
+  let dict2 = Name_dict.create () in
+  let tokens2 = Parser.parse dict2 out in
+  check Alcotest.int "token count preserved" (List.length tokens) (List.length tokens2);
+  let t1 = Tree.of_tokens tokens in
+  (* compare shapes via local names and text *)
+  let rec shape dict t =
+    match t with
+    | Tree.Element { name; attrs; children; _ } ->
+        Printf.sprintf "E(%s|%s|%s)"
+          (Name_dict.name dict name.Qname.local)
+          (String.concat ","
+             (List.map
+                (fun (a : Token.attr) ->
+                  Name_dict.name dict a.name.Qname.local ^ "=" ^ a.value)
+                attrs))
+          (String.concat ";" (List.map (shape dict) children))
+    | Tree.Text s -> Printf.sprintf "T(%s)" s
+    | Tree.Comment c -> Printf.sprintf "C(%s)" c
+    | Tree.Pi { target; _ } -> Printf.sprintf "P(%s)" target
+  in
+  check Alcotest.string "same shape" (shape dict t1)
+    (shape dict2 (Tree.of_tokens tokens2))
+
+let test_escaping () =
+  check Alcotest.string "text" "a&amp;b&lt;c&gt;d" (Serializer.escape_text "a&b<c>d");
+  check Alcotest.string "attr" "&quot;x&quot;&amp;" (Serializer.escape_attr "\"x\"&")
+
+(* --- tree --- *)
+
+let test_tree_roundtrip () =
+  let src = "<a><b k=\"v\">text</b><!--c--><d/></a>" in
+  let dict, tokens = parse src in
+  ignore dict;
+  let doc = Tree.doc_of_tokens tokens in
+  check Alcotest.bool "tokens roundtrip" true
+    (List.equal Token.equal tokens (Tree.to_tokens doc))
+
+let test_tree_node_count () =
+  let _, tokens = parse "<a><b k=\"v\">text</b><c/></a>" in
+  (* a, b, @k, text, c *)
+  check Alcotest.int "node count" 5 (Tree.node_count (Tree.of_tokens tokens))
+
+let test_text_content () =
+  let _, tokens = parse "<a>one<b>two<!--x--></b><?pi d?>three</a>" in
+  check Alcotest.string "string value" "onetwothree"
+    (Tree.text_content (Tree.of_tokens tokens))
+
+(* --- token stream --- *)
+
+let test_token_stream_roundtrip () =
+  let src =
+    {|<catalog xmlns="urn:c"><product id="7" price="19.99">Widget<note/></product><!--end--></catalog>|}
+  in
+  let dict, tokens = parse src in
+  ignore dict;
+  let binary = Token_stream.encode_all tokens in
+  let decoded = Token_stream.decode_all binary in
+  check Alcotest.bool "roundtrip" true (List.equal Token.equal tokens decoded)
+
+let test_token_stream_reader () =
+  let _, tokens = parse "<a><b/></a>" in
+  let r = Token_stream.Reader.of_string (Token_stream.encode_all tokens) in
+  check Alcotest.bool "peek = next" true
+    (Token_stream.Reader.peek r = Some Token.Start_document);
+  let rec drain acc =
+    match Token_stream.Reader.next r with
+    | Some t -> drain (t :: acc)
+    | None -> List.rev acc
+  in
+  check Alcotest.bool "reader sees all tokens" true
+    (List.equal Token.equal tokens (drain []))
+
+let test_token_stream_annotations () =
+  let tokens =
+    [
+      Token.Start_document;
+      Token.element (Qname.make 1);
+      Token.Text
+        { content = "12.5"; annot = Some (Typed_value.Decimal (Rx_util.Decimal.of_string_exn "12.5")) };
+      Token.End_element;
+      Token.End_document;
+    ]
+  in
+  let decoded = Token_stream.decode_all (Token_stream.encode_all tokens) in
+  check Alcotest.bool "annotated roundtrip" true (List.equal Token.equal tokens decoded)
+
+(* --- property: generated trees roundtrip through serialize + parse --- *)
+
+let gen_tree dict =
+  let open QCheck.Gen in
+  let name_pool = [| "a"; "b"; "c"; "item"; "product"; "note" |] in
+  let qname =
+    map
+      (fun i -> Qname.make (Name_dict.intern dict name_pool.(i mod Array.length name_pool)))
+      nat
+  in
+  let text_gen =
+    map
+      (fun s ->
+        (* avoid whitespace-only strings, which parsers of adjacent text merge *)
+        "t" ^ String.concat "" (List.map (fun c -> String.make 1 c) s))
+      (list_size (int_bound 6)
+         (oneofl [ 'x'; 'y'; '&'; '<'; '>'; '"'; ' '; 'z' ]))
+  in
+  let attr_gen =
+    map2
+      (fun q v -> Token.attr q v)
+      qname text_gen
+  in
+  (* attrs must have unique names within an element *)
+  let dedup_attrs attrs =
+    let seen = Hashtbl.create 4 in
+    List.filter
+      (fun (a : Token.attr) ->
+        if Hashtbl.mem seen (a.name.Qname.uri, a.name.Qname.local) then false
+        else begin
+          Hashtbl.add seen (a.name.Qname.uri, a.name.Qname.local) ();
+          true
+        end)
+      attrs
+    |> List.sort (fun (a : Token.attr) b -> Qname.compare a.name b.name)
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun s -> Tree.Text s) text_gen
+      else
+        frequency
+          [
+            (2, map (fun s -> Tree.Text s) text_gen);
+            ( 3,
+              map3
+                (fun q attrs children ->
+                  Tree.Element
+                    { name = q; attrs = dedup_attrs attrs; ns_decls = []; children })
+                qname
+                (list_size (int_bound 3) attr_gen)
+                (list_size (int_bound 4) (self (depth - 1))) );
+          ])
+    3
+
+let tree_roundtrip_prop =
+  let dict = Name_dict.create () in
+  QCheck.Test.make ~name:"serialize/parse roundtrip on random trees" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         map3
+           (fun q attrs children ->
+             Tree.Element { name = q; attrs; ns_decls = []; children })
+           (map (fun () -> Qname.make (Name_dict.intern dict "root")) unit)
+           (return [])
+           (list_size (int_bound 5) (gen_tree dict))))
+    (fun tree ->
+      let tokens =
+        (Token.Start_document :: Tree.tokens_of_node tree) @ [ Token.End_document ]
+      in
+      let out = Serializer.to_string dict tokens in
+      let tokens2 = Parser.parse dict out in
+      (* adjacent Text children merge on reparse; normalize both sides *)
+      let rec normalize t =
+        match t with
+        | Tree.Element e ->
+            let children =
+              List.fold_right
+                (fun c acc ->
+                  match (normalize c, acc) with
+                  | Tree.Text a, Tree.Text b :: rest -> Tree.Text (a ^ b) :: rest
+                  | n, acc -> n :: acc)
+                e.children []
+            in
+            Tree.Element { e with children }
+        | t -> t
+      in
+      Tree.equal (normalize tree) (normalize (Tree.of_tokens tokens2)))
+
+let token_stream_roundtrip_prop =
+  let dict = Name_dict.create () in
+  QCheck.Test.make ~name:"binary token stream roundtrip on random trees"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_bound 4) (gen_tree dict)))
+    (fun trees ->
+      let root =
+        Tree.Element
+          {
+            name = Qname.make (Name_dict.intern dict "root");
+            attrs = [];
+            ns_decls = [];
+            children = trees;
+          }
+      in
+      let tokens = Tree.tokens_of_node root in
+      List.equal Token.equal tokens
+        (Token_stream.decode_all (Token_stream.encode_all tokens)))
+
+let () =
+  Alcotest.run "rx_xml"
+    [
+      ( "name_dict",
+        [
+          Alcotest.test_case "basics" `Quick test_dict_basics;
+          Alcotest.test_case "restore" `Quick test_dict_restore;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "attributes canonical order" `Quick test_parse_attributes_sorted;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "comment/pi/doctype" `Quick test_parse_comment_pi_doctype;
+          Alcotest.test_case "namespaces" `Quick test_parse_namespaces;
+          Alcotest.test_case "namespace scoping" `Quick test_parse_nested_ns_scoping;
+          Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+          Alcotest.test_case "duplicate attr via ns" `Quick test_duplicate_attr_via_ns;
+        ] );
+      ( "serializer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "token roundtrip" `Quick test_tree_roundtrip;
+          Alcotest.test_case "node count" `Quick test_tree_node_count;
+          Alcotest.test_case "text content" `Quick test_text_content;
+        ] );
+      ( "token_stream",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_token_stream_roundtrip;
+          Alcotest.test_case "reader" `Quick test_token_stream_reader;
+          Alcotest.test_case "annotations" `Quick test_token_stream_annotations;
+          qcheck tree_roundtrip_prop;
+          qcheck token_stream_roundtrip_prop;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+open Rx_xpath
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let parse = Xpath_parser.parse
+
+let roundtrip src = Ast.to_string (parse src)
+
+(* --- parser --- *)
+
+let test_parse_simple_paths () =
+  List.iter
+    (fun (src, expected) -> check Alcotest.string src expected (roundtrip src))
+    [
+      ("/a/b/c", "/a/b/c");
+      ("//a", "//a");
+      ("/a//b", "/a//b");
+      ("a/b", "a/b");
+      ("/a/*/b", "/a/*/b");
+      ("/a/@id", "/a/@id");
+      ("/a/text()", "/a/text()");
+      ("//comment()", "//comment()");
+      ("/a/node()", "/a/node()");
+      ("/", "/");
+      (" /a / b ", "/a/b");
+      ("/child::a/descendant::b", "/a//b");
+      ("/ns:a/b", "/ns:a/b");
+    ]
+
+let test_parse_predicates () =
+  List.iter
+    (fun (src, expected) -> check Alcotest.string src expected (roundtrip src))
+    [
+      ("/a[b]", "/a[b]");
+      ("/a[b = \"x\"]", "/a[b = \"x\"]");
+      ("/a[b='x']", "/a[b = \"x\"]");
+      ("/a[@id = 5]", "/a[@id = 5]");
+      ("/a[b > 1.5]", "/a[b > 1.5]");
+      ("/a[b != 2][c <= 3]", "/a[b != 2][c <= 3]");
+      ("/a[b and c]", "/a[b and c]");
+      ("/a[b or c]", "/a[(b or c)]");
+      ("/a[not(b)]", "/a[not(b)]");
+      ("/a[b and c or d]", "/a[(b and c or d)]");
+      ("/a[.//t = \"XML\" and f/@w > 300]", "/a[.//t = \"XML\" and f/@w > 300]");
+      ("/a[. = \"v\"]", "/a[. = \"v\"]");
+      ("/a[5 < b]", "/a[5 < b]");
+      ("/catalog//product[price >= 10]", "/catalog//product[price >= 10]");
+    ]
+
+let test_parse_structure () =
+  let p = parse "//s[.//t = \"XML\" and f/@w > 300]" in
+  check Alcotest.bool "absolute" true p.Ast.absolute;
+  match p.Ast.steps with
+  | [ { Ast.axis = Ast.Descendant; test = Ast.Name { local = "s"; _ }; preds = [ pred ] } ] -> (
+      match pred with
+      | Ast.And
+          ( Ast.Compare (Ast.Eq, Ast.Op_path t_path, Ast.Op_string "XML"),
+            Ast.Compare (Ast.Gt, Ast.Op_path w_path, Ast.Op_number 300.) ) ->
+          check Alcotest.string "t path" ".//t" (Ast.to_string t_path);
+          check Alcotest.string "w path" "f/@w" (Ast.to_string w_path)
+      | _ -> Alcotest.fail "unexpected predicate shape")
+  | _ -> Alcotest.fail "unexpected steps"
+
+let test_parse_descendant_attribute () =
+  let p = parse "//@id" in
+  match p.Ast.steps with
+  | [ { Ast.axis = Ast.Descendant_or_self; test = Ast.Node_test; _ };
+      { Ast.axis = Ast.Attribute; test = Ast.Name { local = "id"; _ }; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "expected dos-node + attribute steps"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match parse src with
+      | exception Xpath_parser.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" src)
+    [
+      "";
+      "/a[";
+      "/a]";
+      "/a[]";
+      "/a[1]"; (* positional predicates unsupported: bare literal *)
+      "/a[b =]";
+      "/a/ancestor::b";
+      "/a[\"x\"]";
+      "/a##";
+      "/a[b < ]";
+    ]
+
+(* --- rewrite --- *)
+
+let simplified src = Ast.to_string (Rewrite.simplify (parse src))
+
+let test_rewrite_parent () =
+  List.iter
+    (fun (src, expected) -> check Alcotest.string src expected (simplified src))
+    [
+      ("/a/b/..", "/a[b]");
+      ("/a/b/../c", "/a[b]/c");
+      ("/a/@id/..", "/a[@id]");
+      ("/a/b[c]/..", "/a[b[c]]");
+      ("/a/b/../..", "/.[a[b]]");
+      ("/a[b/..]", "/a[.[b]]");
+    ]
+
+let test_rewrite_dos () =
+  check Alcotest.string "explicit dos collapse" "/a//b"
+    (simplified "/a/descendant-or-self::node()/child::b")
+
+let test_rewrite_unsupported () =
+  List.iter
+    (fun src ->
+      match Rewrite.simplify (parse src) with
+      | exception Rewrite.Unsupported _ -> ()
+      | p -> Alcotest.failf "expected Unsupported for %s, got %s" src (Ast.to_string p))
+    [ "/a//b/.."; "/.."; "/a/parent::b" ]
+
+let test_rewrite_idempotent () =
+  List.iter
+    (fun src ->
+      let once = Rewrite.simplify (parse src) in
+      check Alcotest.string src (Ast.to_string once)
+        (Ast.to_string (Rewrite.simplify once)))
+    [ "/a/b/.."; "/a[b/..]"; "//s[.//t = \"x\"]"; "/a//b" ]
+
+(* --- linearity --- *)
+
+let test_is_linear () =
+  List.iter
+    (fun (src, expected) ->
+      check Alcotest.bool src expected (Ast.is_linear (parse src)))
+    [
+      ("/a/b", true);
+      ("//a/@id", true);
+      ("/a[b]", false);
+      ("/a/.", false);
+      ("/catalog//productname", true);
+    ]
+
+(* --- containment --- *)
+
+let contains a b = Containment.contains (parse a) (parse b)
+
+let test_containment_positive () =
+  List.iter
+    (fun (p, q) ->
+      check Alcotest.bool (p ^ " contains " ^ q) true (contains p q))
+    [
+      ("/a/b", "/a/b");
+      ("//b", "/a/b");
+      ("//b", "/a/x/y/b");
+      ("//b", "//a/b");
+      ("/a//b", "/a/b");
+      ("/a//b", "/a/x/b");
+      ("//Discount", "/Catalog/Categories/Product/Discount");
+      ("/a/*", "/a/b");
+      ("//*", "/a/b/c");
+      ("//@id", "/a/b/@id");
+      ("/a//@w", "/a/f/@w");
+      ("//b//c", "/a/b/x/c");
+    ]
+
+let test_containment_negative () =
+  List.iter
+    (fun (p, q) ->
+      check Alcotest.bool (p ^ " !contains " ^ q) false (contains p q))
+    [
+      ("/a/b", "/a/c");
+      ("/a/b", "//b");
+      ("/a/b", "/a/b/c");
+      ("/a/b/c", "/a/b");
+      ("/a/b", "/x/b");
+      ("//b/c", "/a/b");
+      ("//@id", "/a/id");
+      ("/a/@id", "/a/b/@id");
+      ("/a", "//a");
+    ]
+
+let test_containment_rejects_nonlinear () =
+  Alcotest.check_raises "predicate path rejected"
+    (Invalid_argument "Containment: path is not linear") (fun () ->
+      ignore (contains "/a[b]" "/a"))
+
+(* property: printing and reparsing is the identity on generated ASTs *)
+let gen_path =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "bee"; "c-d"; "item" ] in
+  let test =
+    frequency
+      [
+        (5, map (fun n -> Ast.Name { prefix = None; local = n }) name);
+        (1, return Ast.Wildcard);
+        (1, return Ast.Text_test);
+        (1, return Ast.Comment_test);
+      ]
+  in
+  let axis = oneofl [ Ast.Child; Ast.Descendant ] in
+  let leaf_pred =
+    frequency
+      [
+        ( 3,
+          map2
+            (fun n v ->
+              Ast.Compare
+                (Ast.Gt, Ast.Op_path { Ast.absolute = false; steps = [ Ast.step Ast.Child (Ast.named n) ] },
+                 Ast.Op_number (float_of_int v)))
+            name (int_bound 100) );
+        ( 2,
+          map
+            (fun n ->
+              Ast.Exists { Ast.absolute = false; steps = [ Ast.step Ast.Child (Ast.named n) ] })
+            name );
+      ]
+  in
+  let pred =
+    frequency
+      [ (4, leaf_pred); (1, map2 (fun a b -> Ast.And (a, b)) leaf_pred leaf_pred);
+        (1, map (fun a -> Ast.Not a) leaf_pred) ]
+  in
+  let step =
+    map3
+      (fun axis test preds -> { Ast.axis; test; preds })
+      axis test
+      (frequency [ (3, return []); (1, map (fun p -> [ p ]) pred) ])
+  in
+  map (fun steps -> { Ast.absolute = true; steps }) (list_size (int_range 1 4) step)
+
+let print_parse_roundtrip_prop =
+  QCheck.Test.make ~name:"to_string then parse is the identity" ~count:500
+    (QCheck.make gen_path) (fun p ->
+      let printed = Ast.to_string p in
+      match Xpath_parser.parse printed with
+      | p' -> Ast.equal p p' || (QCheck.Test.fail_reportf "%s reparsed differently" printed)
+      | exception Xpath_parser.Error { msg; _ } ->
+          QCheck.Test.fail_reportf "%s does not reparse: %s" printed msg)
+
+let containment_sound_prop =
+  (* soundness spot-check: if contains p q, then any node matched by q in a
+     random document is matched by p (via the DOM-free QuickXScan engine) *)
+  QCheck.Test.make ~name:"containment is sound on random documents" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         triple (QCheck.gen (QCheck.make gen_path)) (QCheck.gen (QCheck.make gen_path))
+           (int_bound 1000)))
+    (fun (p, q, seed) ->
+      let linear x = Ast.is_linear x in
+      QCheck.assume (linear p && linear q);
+      QCheck.assume (Containment.contains p q);
+      (* build a small random document over the same name pool *)
+      let buf = Buffer.create 256 in
+      let rng = Rx_util.Prng.create ~seed in
+      let rec build depth =
+        let name = [| "a"; "bee"; "c-d"; "item" |].(Rx_util.Prng.int rng 4) in
+        Buffer.add_string buf (Printf.sprintf "<%s>" name);
+        if depth < 4 then
+          for _ = 1 to Rx_util.Prng.int rng 3 do
+            build (depth + 1)
+          done;
+        Buffer.add_string buf (Printf.sprintf "</%s>" name)
+      in
+      Buffer.add_string buf "<root>";
+      build 0;
+      Buffer.add_string buf "</root>";
+      let dict = Rx_xml.Name_dict.create () in
+      let tokens = Rx_xml.Parser.parse dict (Buffer.contents buf) in
+      (* make both paths start under root so they can match *)
+      let prepend path =
+        { path with Ast.steps = Ast.step Ast.Child (Ast.named "root") :: path.Ast.steps }
+      in
+      let eval path =
+        Rx_quickxscan.Engine.eval_tokens
+          (Rx_quickxscan.Query.compile dict (prepend path))
+          tokens
+      in
+      let matched_q = eval q and matched_p = eval p in
+      List.for_all (fun n -> List.mem n matched_p) matched_q)
+
+let () =
+  Alcotest.run "rx_xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "simple paths" `Quick test_parse_simple_paths;
+          Alcotest.test_case "predicates" `Quick test_parse_predicates;
+          Alcotest.test_case "figure 6 structure" `Quick test_parse_structure;
+          Alcotest.test_case "descendant attribute" `Quick test_parse_descendant_attribute;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "parent elimination" `Quick test_rewrite_parent;
+          Alcotest.test_case "descendant-or-self collapse" `Quick test_rewrite_dos;
+          Alcotest.test_case "unsupported parents" `Quick test_rewrite_unsupported;
+          Alcotest.test_case "idempotent" `Quick test_rewrite_idempotent;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "is_linear" `Quick test_is_linear;
+          Alcotest.test_case "containment positive" `Quick test_containment_positive;
+          Alcotest.test_case "containment negative" `Quick test_containment_negative;
+          Alcotest.test_case "containment rejects predicates" `Quick
+            test_containment_rejects_nonlinear;
+          qcheck print_parse_roundtrip_prop;
+          qcheck containment_sound_prop;
+        ] );
+    ]

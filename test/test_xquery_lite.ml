@@ -1,0 +1,148 @@
+open Systemrx
+open Rx_relational
+
+let check = Alcotest.check
+
+let make_db () =
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"products"
+      ~columns:[ ("doc", Value.T_xml) ]
+  in
+  Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"price"
+    ~path:"/catalog/product/price" ~key_type:Rx_xindex.Index_def.K_double;
+  List.iteri
+    (fun i (name, price, cat) ->
+      ignore
+        (Database.insert db ~table:"products"
+           ~xml:
+             [
+               ( "doc",
+                 Printf.sprintf
+                   {|<catalog><product cat="%s"><name>%s</name><price>%g</price></product></catalog>|}
+                   cat name price );
+             ]
+           ());
+      ignore i)
+    [
+      ("widget", 19.5, "tools");
+      ("gadget", 120., "tools");
+      ("gizmo", 75., "toys");
+      ("doodad", 240., "toys");
+    ];
+  db
+
+let test_basic_flwor () =
+  let db = make_db () in
+  let out =
+    Xquery_lite.run db
+      {|for $p in collection("products.doc") /catalog/product
+        where $p/price > 50
+        return <pick>{$p/name}</pick>|}
+  in
+  check (Alcotest.list Alcotest.string) "results"
+    [ "<pick><name>gadget</name></pick>"; "<pick><name>gizmo</name></pick>";
+      "<pick><name>doodad</name></pick>" ]
+    out
+
+let test_where_uses_index () =
+  let db = make_db () in
+  let compiled =
+    Xquery_lite.compile db
+      {|for $p in collection("products.doc") /catalog/product
+        where $p/price > 100
+        return {$p}|}
+  in
+  check Alcotest.string "plan folds into the index" "NODEID-LIST(price)"
+    (Xquery_lite.explain compiled);
+  let out = Xquery_lite.run_compiled db compiled in
+  check Alcotest.int "two results" 2 (List.length out)
+
+let test_order_by () =
+  let db = make_db () in
+  let out =
+    Xquery_lite.run db
+      {|for $p in collection("products.doc") /catalog/product
+        order by $p/price
+        return <n>{$p/name}</n>|}
+  in
+  check (Alcotest.list Alcotest.string) "numeric ascending"
+    [ "<n><name>widget</name></n>"; "<n><name>gizmo</name></n>";
+      "<n><name>gadget</name></n>"; "<n><name>doodad</name></n>" ]
+    out;
+  let desc =
+    Xquery_lite.run db
+      {|for $p in collection("products.doc") /catalog/product
+        order by $p/price descending
+        return <n>{$p/name}</n>|}
+  in
+  check Alcotest.string "descending first" "<n><name>doodad</name></n>" (List.hd desc)
+
+let test_constructor_features () =
+  let db = make_db () in
+  let out =
+    Xquery_lite.run db
+      {|for $p in collection("products.doc") /catalog/product
+        where $p/price = 19.5
+        return <item cat="{$p/@cat}" tag="x-{$p/name}">the <b>product</b> {$p/name} costs {$p/price}</item>|}
+  in
+  match out with
+  | [ one ] ->
+      check Alcotest.string "attribute holes, text, nesting"
+        {|<item cat="tools" tag="x-widget">the <b>product</b> <name>widget</name> costs <price>19.5</price></item>|}
+        one
+  | _ -> Alcotest.fail "expected one result"
+
+let test_whole_node_hole () =
+  let db = make_db () in
+  let out =
+    Xquery_lite.run db
+      {|for $p in collection("products.doc") /catalog/product
+        where $p/name = "gizmo"
+        return <wrap>{$p}</wrap>|}
+  in
+  check (Alcotest.list Alcotest.string) "whole node spliced"
+    [ {|<wrap><product cat="toys"><name>gizmo</name><price>75</price></product></wrap>|} ]
+    out
+
+let test_and_where () =
+  let db = make_db () in
+  let out =
+    Xquery_lite.run db
+      {|for $p in collection("products.doc") /catalog/product
+        where $p/price > 50 and $p/@cat = "toys"
+        return <n>{$p/name}</n>|}
+  in
+  check Alcotest.int "both conditions" 2 (List.length out)
+
+let test_errors () =
+  let db = make_db () in
+  let expect_error q =
+    match Xquery_lite.run db q with
+    | exception Xquery_lite.Error _ -> ()
+    | _ -> Alcotest.failf "expected error for %s" q
+  in
+  List.iter expect_error
+    [
+      "for $p in collection(\"products.doc\") /c/p return {$q}";
+      "for $p in collection(\"nodot\") /c/p return {$p}";
+      "for $p in collection(\"products.doc\") /c/p";
+      "for $p in collection(\"products.doc\") relative/path return {$p}";
+      "for $p in collection(\"products.doc\") /c/p where $q/x > 1 return {$p}";
+      "for $p in collection(\"products.doc\") /c/p return <a>{$p}</b>";
+    ]
+
+let () =
+  Alcotest.run "rx_xquery_lite"
+    [
+      ( "flwor",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_flwor;
+          Alcotest.test_case "where folds into index plan" `Quick test_where_uses_index;
+          Alcotest.test_case "order by" `Quick test_order_by;
+          Alcotest.test_case "constructor features" `Quick test_constructor_features;
+          Alcotest.test_case "whole node hole" `Quick test_whole_node_hole;
+          Alcotest.test_case "conjunctive where" `Quick test_and_where;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,185 @@
+open Rx_xml
+open Rx_xqueryrt
+
+let check = Alcotest.check
+
+let dict = Name_dict.create ()
+
+(* the paper's running example:
+   XMLELEMENT(NAME "Emp",
+     XMLATTRIBUTES(e.id AS "id", e.fname || ' ' || e.lname AS "name"),
+     XMLFOREST(e.hire, e.dept AS "department")) *)
+let emp_cexpr =
+  Template.Element
+    {
+      name = "Emp";
+      attrs = [ ("id", [ `Arg 0 ]); ("name", [ `Arg 1; `Lit " "; `Arg 2 ]) ];
+      children = [ Template.Forest [ ("HIRE", [ `Arg 3 ]); ("department", [ `Arg 4 ]) ] ];
+    }
+
+let emp_args =
+  [|
+    Template.A_string "1234";
+    Template.A_string "John";
+    Template.A_string "Doe";
+    Template.A_string "1998-06-01";
+    Template.A_string "Accting";
+  |]
+
+let test_figure5_example () =
+  let template = Template.compile dict emp_cexpr in
+  check Alcotest.int "arity" 5 (Template.arity template);
+  let out = Template.to_string template ~args:emp_args dict in
+  check Alcotest.string "constructed"
+    {|<Emp id="1234" name="John Doe"><HIRE>1998-06-01</HIRE><department>Accting</department></Emp>|}
+    out
+
+let test_template_matches_naive () =
+  let template = Template.compile dict emp_cexpr in
+  let optimized = Template.instantiate template ~args:emp_args in
+  let naive = Template.naive_eval dict emp_cexpr ~args:emp_args in
+  check Alcotest.bool "same tokens" true (List.equal Token.equal optimized naive)
+
+let test_null_handling () =
+  let template = Template.compile dict emp_cexpr in
+  let args = Array.copy emp_args in
+  args.(3) <- Template.A_null;
+  (* a NULL forest member is omitted entirely *)
+  let out = Template.to_string template ~args dict in
+  check Alcotest.string "null forest member omitted"
+    {|<Emp id="1234" name="John Doe"><department>Accting</department></Emp>|}
+    out;
+  (* a NULL attribute is omitted *)
+  let args2 = Array.copy emp_args in
+  args2.(0) <- Template.A_null;
+  let out2 = Template.to_string template ~args:args2 dict in
+  check Alcotest.string "null attribute omitted"
+    {|<Emp name="John Doe"><HIRE>1998-06-01</HIRE><department>Accting</department></Emp>|}
+    out2
+
+let test_xml_argument_splicing () =
+  let inner = Parser.parse dict "<addr><city>SJ</city></addr>" in
+  let cexpr =
+    Template.Element
+      { name = "emp"; attrs = []; children = [ Template.Xml_arg 0 ] }
+  in
+  let template = Template.compile dict cexpr in
+  let out =
+    Template.to_string template ~args:[| Template.A_xml inner |] dict
+  in
+  check Alcotest.string "spliced" "<emp><addr><city>SJ</city></addr></emp>" out
+
+let test_concat_and_text () =
+  let cexpr =
+    Template.Concat
+      [
+        Template.Element { name = "a"; attrs = []; children = [] };
+        Template.Text [ `Lit "mid" ];
+        Template.Element { name = "b"; attrs = []; children = [ Template.Text [ `Arg 0 ] ] };
+      ]
+  in
+  let template = Template.compile dict cexpr in
+  check Alcotest.string "concat" "<a/>mid<b>42</b>"
+    (Template.to_string template ~args:[| Template.A_string "42" |] dict)
+
+(* --- xml handles --- *)
+
+let test_handle_forms_agree () =
+  let src = "<doc><x>1</x><y>2</y></doc>" in
+  let tokens = Parser.parse dict src in
+  let from_tokens = Xml_handle.of_tokens tokens in
+  let from_binary = Xml_handle.of_binary (Token_stream.encode_all tokens) in
+  check Alcotest.string "tokens form" src (Xml_handle.serialize dict from_tokens);
+  check Alcotest.string "binary form" src (Xml_handle.serialize dict from_binary);
+  let pool =
+    Rx_storage.Buffer_pool.create ~capacity:128 (Rx_storage.Pager.create_in_memory ())
+  in
+  let store = Rx_xmlstore.Doc_store.create pool dict in
+  Rx_xmlstore.Doc_store.insert_tokens store ~docid:3 tokens;
+  let from_store = Xml_handle.of_stored store ~docid:3 in
+  check Alcotest.int "nothing fetched yet" 0 (Xml_handle.fetch_count from_store);
+  check Alcotest.string "stored form" src (Xml_handle.serialize dict from_store);
+  check Alcotest.int "fetched exactly once" 1 (Xml_handle.fetch_count from_store)
+
+let test_handle_template () =
+  let template = Template.compile dict emp_cexpr in
+  let h = Xml_handle.of_template template emp_args in
+  check Alcotest.bool "constructs on demand" true
+    (String.length (Xml_handle.serialize dict h) > 0)
+
+(* --- xmlagg --- *)
+
+let row_template =
+  Template.compile dict
+    (Template.Element
+       { name = "row"; attrs = []; children = [ Template.Text [ `Arg 0 ] ] })
+
+let row_xml (v : string) sink =
+  Template.instantiate_into row_template ~args:[| Template.A_string v |] sink
+
+let test_xmlagg_order_by () =
+  let rows = [ "pear"; "apple"; "cherry" ] in
+  let tokens =
+    Xmlagg.aggregate_to_tokens
+      ~order_by:((fun r -> r), String.compare)
+      ~rows ~row_xml ()
+  in
+  check Alcotest.string "sorted aggregation"
+    "<row>apple</row><row>cherry</row><row>pear</row>"
+    (Serializer.to_string dict tokens)
+
+let test_xmlagg_no_order () =
+  let tokens = Xmlagg.aggregate_to_tokens ~rows:[ "b"; "a" ] ~row_xml () in
+  check Alcotest.string "input order preserved" "<row>b</row><row>a</row>"
+    (Serializer.to_string dict tokens)
+
+(* --- external sort baseline --- *)
+
+let test_external_sort () =
+  let rng = Rx_util.Prng.create ~seed:11 in
+  let rows = List.init 500 (fun _ -> Rx_util.Prng.word rng ()) in
+  let sorted = Rx_baselines.External_sort.sorted_strings ~run_size:32 rows in
+  check (Alcotest.list Alcotest.string) "matches List.sort"
+    (List.stable_sort compare rows)
+    sorted
+
+let test_external_sort_matches_xmlagg_order () =
+  let rows = [ "delta"; "alpha"; "echo"; "bravo" ] in
+  let via_agg =
+    Xmlagg.aggregate_to_tokens ~order_by:((fun r -> r), String.compare) ~rows ~row_xml ()
+  in
+  let via_ext =
+    Xmlagg.aggregate_to_tokens
+      ~rows:(Rx_baselines.External_sort.sorted_strings rows)
+      ~row_xml ()
+  in
+  check Alcotest.bool "same result" true (List.equal Token.equal via_agg via_ext)
+
+let () =
+  Alcotest.run "rx_xqueryrt"
+    [
+      ( "templates",
+        [
+          Alcotest.test_case "figure 5 example" `Quick test_figure5_example;
+          Alcotest.test_case "template = naive result" `Quick test_template_matches_naive;
+          Alcotest.test_case "null handling" `Quick test_null_handling;
+          Alcotest.test_case "xml argument splicing" `Quick test_xml_argument_splicing;
+          Alcotest.test_case "concat and text" `Quick test_concat_and_text;
+        ] );
+      ( "handles",
+        [
+          Alcotest.test_case "all forms agree" `Quick test_handle_forms_agree;
+          Alcotest.test_case "deferred construction" `Quick test_handle_template;
+        ] );
+      ( "xmlagg",
+        [
+          Alcotest.test_case "order by" `Quick test_xmlagg_order_by;
+          Alcotest.test_case "no order" `Quick test_xmlagg_no_order;
+        ] );
+      ( "external sort",
+        [
+          Alcotest.test_case "correct" `Quick test_external_sort;
+          Alcotest.test_case "agrees with xmlagg" `Quick
+            test_external_sort_matches_xmlagg_order;
+        ] );
+    ]
