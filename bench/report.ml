@@ -56,3 +56,9 @@ let fmt_bytes n =
   if n >= 10_000_000 then Printf.sprintf "%.1fMB" (float_of_int n /. 1e6)
   else if n >= 10_000 then Printf.sprintf "%.1fKB" (float_of_int n /. 1e3)
   else Printf.sprintf "%dB" n
+
+(* Per-layer counter deltas (e.g. [Database.run]'s profile) as aligned
+   "name value" lines, widest-delta first so the dominant cost leads. *)
+let print_counters ?(indent = "  ") counters =
+  List.stable_sort (fun (_, a) (_, b) -> compare b a) counters
+  |> List.iter (fun (name, v) -> Printf.printf "%s%-28s %d\n" indent name v)

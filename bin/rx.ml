@@ -6,9 +6,9 @@
      rx create-text-index --db DIR --table T --column C --name I
      rx insert          --db DIR --table T --xml "doc=<a>...</a>" [--xml-file doc=path]
      rx get             --db DIR --table T --column C --docid N
-     rx query           --db DIR --table T --column C --xpath Q [--explain]
+     rx query           --db DIR --table T --column C --xpath Q [--explain] [--profile]
      rx search          --db DIR --table T --column C --terms "native xml"
-     rx stats           --db DIR
+     rx stats           --db DIR [--json]
 *)
 
 open Cmdliner
@@ -43,6 +43,9 @@ let handle_errors f =
   | Rx_schema.Validator.Validation_error _ as e ->
       Printf.eprintf "error: %s\n" (Option.get (Rx_schema.Validator.error_message e));
       1
+  | e ->
+      Printf.eprintf "error: %s\n" (Printexc.to_string e);
+      2
 
 (* --- init --- *)
 
@@ -227,19 +230,26 @@ let query_cmd =
   let explain_arg =
     Arg.(value & flag & info [ "explain" ] ~doc:"Show the access plan too.")
   in
-  let run dir table column xpath explain =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Report the runtime counters the query moved (buffer pool, B+tree, indexes, scan engine).")
+  in
+  let run dir table column xpath explain profile =
     handle_errors (fun () ->
         with_db dir (fun db ->
-            if explain then begin
-              let plan = Database.explain db ~table ~column ~xpath in
-              Printf.printf "plan: %s\n" plan.Database.description
-            end;
-            let results = Database.query_serialized db ~table ~column ~xpath in
-            List.iter print_endline results;
-            Printf.eprintf "%d match(es)\n" (List.length results)))
+            let r = Database.run db ~table ~column ~xpath in
+            if explain then Printf.printf "plan: %s\n" r.Database.plan.Database.description;
+            List.iter (fun m -> print_endline (r.Database.serialize m)) r.Database.matches;
+            Printf.eprintf "%d match(es)\n" (List.length r.Database.matches);
+            if profile then
+              List.iter
+                (fun (name, delta) -> Printf.eprintf "profile %s %d\n" name delta)
+                r.Database.profile))
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate an XPath query over an XML column.")
-    Term.(const run $ db_arg $ table_arg $ column_arg $ xpath_arg $ explain_arg)
+    Term.(const run $ db_arg $ table_arg $ column_arg $ xpath_arg $ explain_arg $ profile_arg)
 
 let search_cmd =
   let terms_arg =
@@ -283,17 +293,39 @@ let xquery_cmd =
     Term.(const run $ db_arg $ query_arg $ explain_arg)
 
 let stats_cmd =
-  let run dir =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full metrics registry as JSON.")
+  in
+  let run dir json =
     handle_errors (fun () ->
         with_db dir (fun db ->
             let s = Database.stats db in
-            Printf.printf
-              "tables: %d\ndocuments: %d\npacked records: %d\nNodeID index entries: %d\nvalue index entries: %d\ndata pages: %d\nWAL bytes appended: %d\n"
-              s.Database.tables s.Database.documents s.Database.xml_records
-              s.Database.node_index_entries s.Database.value_index_entries
-              s.Database.data_pages s.Database.log_bytes))
+            if json then begin
+              let num n = Rx_obs.Json.Num (float_of_int n) in
+              let obj =
+                Rx_obs.Json.Obj
+                  [
+                    ("tables", num s.Database.tables);
+                    ("documents", num s.Database.documents);
+                    ("xml_records", num s.Database.xml_records);
+                    ("node_index_entries", num s.Database.node_index_entries);
+                    ("value_index_entries", num s.Database.value_index_entries);
+                    ("data_pages", num s.Database.data_pages);
+                    ("log_bytes", num s.Database.log_bytes);
+                    ("counters", Rx_obs.Metrics.to_json (Database.metrics db));
+                  ]
+              in
+              print_endline (Rx_obs.Json.to_string obj)
+            end
+            else
+              Printf.printf
+                "tables: %d\ndocuments: %d\npacked records: %d\nNodeID index entries: %d\nvalue index entries: %d\ndata pages: %d\nWAL bytes appended: %d\n"
+                s.Database.tables s.Database.documents s.Database.xml_records
+                s.Database.node_index_entries s.Database.value_index_entries
+                s.Database.data_pages s.Database.log_bytes))
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.") Term.(const run $ db_arg)
+  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics.")
+    Term.(const run $ db_arg $ json_arg)
 
 let () =
   let info =

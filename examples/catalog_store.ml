@@ -76,12 +76,13 @@ let () =
 
   (* Table 2's three access-method cases *)
   let run title xpath =
-    let plan = Database.explain db ~table:"catalogs" ~column:"doc" ~xpath in
     let t0 = Sys.time () in
-    let matches = Database.query db ~table:"catalogs" ~column:"doc" ~xpath in
+    let r = Database.run db ~table:"catalogs" ~column:"doc" ~xpath in
     let ms = (Sys.time () -. t0) *. 1000. in
     Printf.printf "%-22s %-45s\n  plan=%s  matches=%d  (%.2f ms)\n\n" title xpath
-      plan.Database.description (List.length matches) ms
+      r.Database.plan.Database.description
+      (List.length r.Database.matches)
+      ms
   in
   run "(1) list access" "/Catalog/Categories/Product[RegPrice > 400]";
   run "(2) filtering" "/Catalog/Categories/Product[Discount > 0.45]";
@@ -90,12 +91,14 @@ let () =
   run "(4) full scan" "/Catalog/Categories/Product[ProductName]";
 
   (* show one qualifying product *)
-  (match
-     Database.query_serialized db ~table:"catalogs" ~column:"doc"
+  (let r =
+     Database.run db ~table:"catalogs" ~column:"doc"
        ~xpath:"/Catalog/Categories/Product[RegPrice > 490]/ProductName"
-   with
-  | first :: _ -> Printf.printf "a very expensive product: %s\n" first
-  | [] -> Printf.printf "no product above 490 in this run\n");
+   in
+   match r.Database.matches with
+   | first :: _ ->
+       Printf.printf "a very expensive product: %s\n" (r.Database.serialize first)
+   | [] -> Printf.printf "no product above 490 in this run\n");
 
   let stats = Database.stats db in
   Printf.printf

@@ -38,13 +38,19 @@ let () =
   insert "1-55860-190-2" "Transaction Processing" 113.50 1993;
   insert "0-201-10088-6" "The Design of the UNIX Operating System" 54.00 1986;
 
-  (* an XPath query with a value predicate: the planner picks the index *)
+  (* an XPath query with a value predicate: the planner picks the index.
+     Database.run bundles the matches, the executed plan and a per-query
+     runtime-counter profile in one result *)
   let xpath = "/book[price < 100]/title" in
-  let plan = Database.explain db ~table:"books" ~column:"info" ~xpath in
-  Printf.printf "query : %s\nplan  : %s\n\n" xpath plan.Database.description;
+  let r = Database.run db ~table:"books" ~column:"info" ~xpath in
+  Printf.printf "query : %s\nplan  : %s\n\n" xpath r.Database.plan.Database.description;
 
-  List.iter print_endline
-    (Database.query_serialized db ~table:"books" ~column:"info" ~xpath);
+  List.iter (fun m -> print_endline (r.Database.serialize m)) r.Database.matches;
+
+  Printf.printf "\nwhat the engine did:\n";
+  List.iter
+    (fun (name, delta) -> Printf.printf "  %-28s %d\n" name delta)
+    r.Database.profile;
 
   (* whole documents come back through deferred-fetch XML handles (§4.4) *)
   let handle = Database.xml_handle db ~table:"books" ~column:"info" ~docid:2 in

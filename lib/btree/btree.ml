@@ -1,6 +1,19 @@
 open Rx_storage
 
-type t = { pool : Buffer_pool.t; meta : int }
+type t = {
+  pool : Buffer_pool.t;
+  meta : int;
+  c_lookups : Rx_obs.Metrics.counter;
+  c_splits : Rx_obs.Metrics.counter;
+  h_scan : Rx_obs.Metrics.histogram;
+}
+
+let instruments pool =
+  let metrics = Buffer_pool.metrics pool in
+  Rx_obs.Metrics.
+    ( counter metrics "btree.lookups",
+      counter metrics "btree.node_splits",
+      histogram metrics "btree.scan_len" )
 
 (* Meta page layout: 16 u32 root; 20 u64 entry count. *)
 let u32_get page off =
@@ -32,9 +45,12 @@ let create pool =
   Buffer_pool.update pool meta (fun page ->
       meta_set_root page root;
       meta_set_count page 0);
-  { pool; meta }
+  let c_lookups, c_splits, h_scan = instruments pool in
+  { pool; meta; c_lookups; c_splits; h_scan }
 
-let attach pool ~meta_page = { pool; meta = meta_page }
+let attach pool ~meta_page =
+  let c_lookups, c_splits, h_scan = instruments pool in
+  { pool; meta = meta_page; c_lookups; c_splits; h_scan }
 let meta_page t = t.meta
 let root t = Buffer_pool.with_page t.pool t.meta meta_root
 let entry_count t = Buffer_pool.with_page t.pool t.meta meta_count
@@ -119,6 +135,7 @@ let insert_leaf t page_no ~key ~value =
   if fast then None
   else begin
     (* split: gather cells, merge the pending entry, rebuild both halves *)
+    Rx_obs.Metrics.incr t.c_splits;
     let cells, sibling =
       Buffer_pool.with_page t.pool page_no (fun page ->
           (leaf_cells page, Node.right page))
@@ -178,6 +195,7 @@ let rec insert_rec t page_no ~key ~value =
         if fast then None
         else begin
           (* split the internal node in list-land, promoting the middle key *)
+          Rx_obs.Metrics.incr t.c_splits;
           let entries, rightmost, level =
             Buffer_pool.with_page t.pool page_no (fun page ->
                 (internal_entries page, Node.right page, Node.level page))
@@ -222,6 +240,7 @@ let insert t ~key ~value =
   match insert_rec t (root t) ~key ~value with
   | None -> ()
   | Some (sep, right_page) ->
+      Rx_obs.Metrics.incr t.c_splits;
       let old_root = root t in
       let level =
         1 + Buffer_pool.with_page t.pool old_root Node.level
@@ -247,6 +266,7 @@ let rec find_leaf t page_no key =
     find_leaf t child key
 
 let find t key =
+  Rx_obs.Metrics.incr t.c_lookups;
   let leaf = find_leaf t (root t) key in
   Buffer_pool.with_page t.pool leaf (fun page ->
       let found, i = Node.search page key in
@@ -282,6 +302,7 @@ let rec leftmost_leaf t page_no =
     leftmost_leaf t child
 
 let iter_range t ?lo ?hi f =
+  Rx_obs.Metrics.incr t.c_lookups;
   let start_leaf =
     match lo with
     | Some key -> find_leaf t (root t) key
@@ -290,6 +311,7 @@ let iter_range t ?lo ?hi f =
   let within_hi key =
     match hi with None -> true | Some h -> String.compare key h < 0
   in
+  let delivered = ref 0 in
   let rec walk page_no start_index =
     if page_no <> 0 then begin
       let cells, sibling =
@@ -302,6 +324,7 @@ let iter_range t ?lo ?hi f =
             if i < start_index then consume (i + 1) rest
             else if not (within_hi key) then `Done
             else begin
+              incr delivered;
               match f key value with
               | `Continue -> consume (i + 1) rest
               | `Stop -> `Done
@@ -319,7 +342,8 @@ let iter_range t ?lo ?hi f =
         Buffer_pool.with_page t.pool start_leaf (fun page ->
             snd (Node.search page key))
   in
-  walk start_leaf start_index
+  walk start_leaf start_index;
+  Rx_obs.Metrics.observe t.h_scan !delivered
 
 let next_prefix prefix =
   let b = Bytes.of_string prefix in

@@ -26,6 +26,8 @@ type t = {
   txn_mgr : Rx_txn.Transaction.manager;
   catalog : Catalog.t;
   record_threshold : int;
+  metrics : Rx_obs.Metrics.t;
+  tracer : Rx_obs.Trace.t;
   mutable tables : (string * table) list;
   mutable schemas : (string * Rx_schema.Compiled.t) list;
 }
@@ -33,6 +35,13 @@ type t = {
 type match_ = { docid : int; node : Node_id.t }
 
 type plan_info = { description : string; uses_index : bool; exact : bool }
+
+type result = {
+  matches : match_ list;
+  plan : plan_info;
+  serialize : match_ -> string;
+  profile : (string * int) list;
+}
 
 (* --- lifecycle --- *)
 
@@ -42,8 +51,12 @@ let install_txn pool log =
   mgr
 
 let create_in_memory ?page_size ?(record_threshold = 2048) () =
-  let pool = Buffer_pool.create ~capacity:2048 (Pager.create_in_memory ?page_size ()) in
-  let log = Rx_wal.Log_manager.create_in_memory () in
+  let metrics = Rx_obs.Metrics.create () in
+  let pool =
+    Buffer_pool.create ~metrics ~capacity:2048
+      (Pager.create_in_memory ~metrics ?page_size ())
+  in
+  let log = Rx_wal.Log_manager.create_in_memory ~metrics () in
   let txn_mgr = install_txn pool log in
   let catalog = Catalog.create pool in
   {
@@ -53,6 +66,8 @@ let create_in_memory ?page_size ?(record_threshold = 2048) () =
     txn_mgr;
     catalog;
     record_threshold;
+    metrics;
+    tracer = Rx_obs.Trace.create ();
     tables = [];
     schemas = [];
   }
@@ -69,6 +84,8 @@ let in_txn t f =
 
 let dict t = t.dict
 let buffer_pool t = t.pool
+let metrics t = t.metrics
+let tracer t = t.tracer
 
 let find_table t name = List.assoc_opt name t.tables
 
@@ -161,8 +178,12 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
   let data = Filename.concat dir "data.rxdb" in
   let wal = Filename.concat dir "wal.rxlog" in
   let fresh = not (Sys.file_exists data) in
-  let pool = Buffer_pool.create ~capacity:2048 (Pager.open_file ?page_size data) in
-  let log = Rx_wal.Log_manager.open_file wal in
+  let metrics = Rx_obs.Metrics.create () in
+  let tracer = Rx_obs.Trace.create () in
+  let pool =
+    Buffer_pool.create ~metrics ~capacity:2048 (Pager.open_file ~metrics ?page_size data)
+  in
+  let log = Rx_wal.Log_manager.open_file ~metrics wal in
   if not fresh then ignore (Rx_wal.Recovery.run log pool);
   let txn_mgr = install_txn pool log in
   if fresh then begin
@@ -174,6 +195,8 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
       txn_mgr;
       catalog;
       record_threshold;
+      metrics;
+      tracer;
       tables = [];
       schemas = [];
     }
@@ -201,7 +224,18 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
         entries
     in
     let t =
-      { pool; log; dict; txn_mgr; catalog; record_threshold; tables = []; schemas }
+      {
+        pool;
+        log;
+        dict;
+        txn_mgr;
+        catalog;
+        record_threshold;
+        metrics;
+        tracer;
+        tables = [];
+        schemas;
+      }
     in
     (* rebuild tables *)
     let tables =
@@ -484,17 +518,29 @@ let compile_query ?ns_env t xpath =
 let plan_for ?ns_env t xc xpath =
   let path, query = compile_query ?ns_env t xpath in
   let plan = Planner.plan ~indexes:xc.indexes ~query:path in
+  let kind =
+    match plan with
+    | Planner.Full_scan -> "planner.plans_fullscan"
+    | Planner.Index_access { granularity = Planner.Docid_level; _ } ->
+        "planner.plans_docid"
+    | Planner.Index_access { granularity = Planner.Nodeid_level _; _ } ->
+        "planner.plans_nodeid"
+  in
+  Rx_obs.Metrics.(incr (counter t.metrics kind));
   (path, query, plan)
 
-let explain ?ns_env t ~table ~column ~xpath =
-  let tbl = table_exn t table in
-  let xc = xml_column_exn tbl column in
-  let _, _, plan = plan_for ?ns_env t xc xpath in
+let plan_info_of plan =
   {
     description = Planner.describe plan;
     uses_index = (match plan with Planner.Full_scan -> false | _ -> true);
     exact = (match plan with Planner.Index_access { exact; _ } -> exact | _ -> false);
   }
+
+let explain ?ns_env t ~table ~column ~xpath =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let _, _, plan = plan_for ?ns_env t xc xpath in
+  plan_info_of plan
 
 let column_docids tbl column =
   let ci =
@@ -509,10 +555,19 @@ let column_docids tbl column =
     tbl.base;
   List.rev !acc
 
-let query ?ns_env t ~table ~column ~xpath =
+let serialize_match t xc m =
+  let tokens = ref [] in
+  Doc_store.subtree_events xc.store ~docid:m.docid m.node (fun e ->
+      tokens := e.Doc_store.token :: !tokens);
+  Serializer.to_string t.dict (List.rev !tokens)
+
+let run ?ns_env t ~table ~column ~xpath =
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
+  let before = Rx_obs.Metrics.snapshot t.metrics in
   let _, query, plan = plan_for ?ns_env t xc xpath in
+  let c_candidates = Rx_obs.Metrics.counter t.metrics "exec.index_candidates" in
+  let c_filtered = Rx_obs.Metrics.counter t.metrics "exec.reeval_filtered" in
   let scan_docs docids =
     List.concat_map
       (fun docid ->
@@ -521,33 +576,56 @@ let query ?ns_env t ~table ~column ~xpath =
           (Executor.eval_stored query xc.store ~docid))
       docids
   in
-  match plan with
-  | Planner.Full_scan -> scan_docs (column_docids tbl column)
-  | Planner.Index_access { exact; _ } -> (
-      match Planner.execute_candidates ~indexes:xc.indexes plan with
-      | `All -> scan_docs (column_docids tbl column)
-      | `Docids docids -> scan_docs docids
-      | `Anchors anchors ->
-          if exact then
-            List.map (fun (docid, node) -> { docid; node }) anchors
-          else
-            scan_docs
-              (List.sort_uniq compare (List.map fst anchors)))
+  let matches =
+    Rx_obs.Trace.with_span t.tracer "db.query"
+      ~attrs:[ ("table", table); ("column", column); ("xpath", xpath) ]
+      (fun () ->
+        match plan with
+        | Planner.Full_scan -> scan_docs (column_docids tbl column)
+        | Planner.Index_access { exact; _ } -> (
+            match Planner.execute_candidates ~indexes:xc.indexes plan with
+            | `All -> scan_docs (column_docids tbl column)
+            | `Docids docids ->
+                Rx_obs.Metrics.add c_candidates (List.length docids);
+                let ms = scan_docs docids in
+                let surviving =
+                  List.sort_uniq compare (List.map (fun m -> m.docid) ms)
+                in
+                Rx_obs.Metrics.add c_filtered
+                  (max 0 (List.length docids - List.length surviving));
+                ms
+            | `Anchors anchors ->
+                Rx_obs.Metrics.add c_candidates (List.length anchors);
+                if exact then
+                  List.map (fun (docid, node) -> { docid; node }) anchors
+                else begin
+                  let ms =
+                    scan_docs
+                      (List.sort_uniq compare (List.map fst anchors))
+                  in
+                  Rx_obs.Metrics.add c_filtered
+                    (max 0 (List.length anchors - List.length ms));
+                  ms
+                end))
+  in
+  let after = Rx_obs.Metrics.snapshot t.metrics in
+  {
+    matches;
+    plan = plan_info_of plan;
+    serialize = serialize_match t xc;
+    profile = Rx_obs.Metrics.diff ~before ~after;
+  }
+
+let query ?ns_env t ~table ~column ~xpath =
+  (run ?ns_env t ~table ~column ~xpath).matches
 
 let query_docids ?ns_env t ~table ~column ~xpath =
   List.sort_uniq compare
-    (List.map (fun m -> m.docid) (query ?ns_env t ~table ~column ~xpath))
+    (List.map (fun m -> m.docid) (run ?ns_env t ~table ~column ~xpath).matches)
 
 let query_serialized ?ns_env t ~table ~column ~xpath =
-  let tbl = table_exn t table in
-  let xc = xml_column_exn tbl column in
-  List.map
-    (fun m ->
-      let tokens = ref [] in
-      Doc_store.subtree_events xc.store ~docid:m.docid m.node (fun e ->
-          tokens := e.Doc_store.token :: !tokens);
-      Serializer.to_string t.dict (List.rev !tokens))
-    (query ?ns_env t ~table ~column ~xpath)
+  let r = run ?ns_env t ~table ~column ~xpath in
+  List.map r.serialize r.matches
 
 (* --- stats --- *)
 
@@ -581,15 +659,28 @@ let stats (t : t) =
             xc.indexes)
         tbl.xml_columns)
     t.tables;
-  {
-    tables = List.length t.tables;
-    documents = !documents;
-    xml_records = !xml_records;
-    node_index_entries = !node_entries;
-    value_index_entries = !value_entries;
-    data_pages = !data_pages;
-    log_bytes = Rx_wal.Log_manager.appended_bytes t.log;
-  }
+  let s =
+    {
+      tables = List.length t.tables;
+      documents = !documents;
+      xml_records = !xml_records;
+      node_index_entries = !node_entries;
+      value_index_entries = !value_entries;
+      data_pages = !data_pages;
+      log_bytes = Rx_wal.Log_manager.appended_bytes t.log;
+    }
+  in
+  (* mirror the structural numbers as registry gauges so [rx stats] and the
+     JSON renderer expose one unified surface *)
+  let g name v = Rx_obs.Metrics.(set (gauge t.metrics name) v) in
+  g "db.tables" s.tables;
+  g "db.documents" s.documents;
+  g "db.xml_records" s.xml_records;
+  g "db.node_index_entries" s.node_index_entries;
+  g "db.value_index_entries" s.value_index_entries;
+  g "db.data_pages" s.data_pages;
+  g "db.log_bytes" s.log_bytes;
+  s
 
 let column_store t ~table ~column =
   (xml_column_exn (table_exn t table) column).store

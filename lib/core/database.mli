@@ -21,6 +21,19 @@ type plan_info = {
   exact : bool;
 }
 
+type result = {
+  matches : match_ list;
+      (** matching nodes across all documents of the column, in (DocID,
+          document order) *)
+  plan : plan_info;  (** the access path that was executed *)
+  serialize : match_ -> string;
+      (** lazy per-match subtree serialization (no work until called) *)
+  profile : (string * int) list;
+      (** runtime-counter deltas attributable to this query: what the
+          buffer pool, B+trees, indexes, QuickXScan and executor did while
+          it ran, as [(counter name, delta)] pairs sorted by name *)
+}
+
 val create_in_memory : ?page_size:int -> ?record_threshold:int -> unit -> t
 
 val open_dir : ?page_size:int -> ?record_threshold:int -> string -> t
@@ -134,20 +147,27 @@ val explain :
   ?ns_env:(string * string) list ->
   t -> table:string -> column:string -> xpath:string -> plan_info
 
+val run :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> result
+(** Plans and executes an XPath query, returning matches, the executed
+    plan and a per-query runtime-counter profile in one bundle. [ns_env]
+    binds the query's namespace prefixes to URIs. *)
+
 val query :
   ?ns_env:(string * string) list ->
   t -> table:string -> column:string -> xpath:string -> match_ list
-(** Matching nodes across all documents of the column, in (DocID, document
-    order). [ns_env] binds the query's namespace prefixes to URIs. *)
+[@@deprecated "use Database.run; this is (run ...).matches"]
 
 val query_docids :
   ?ns_env:(string * string) list ->
   t -> table:string -> column:string -> xpath:string -> int list
+[@@deprecated "use Database.run and project docids from (run ...).matches"]
 
 val query_serialized :
   ?ns_env:(string * string) list ->
   t -> table:string -> column:string -> xpath:string -> string list
-(** Serializations of each matched subtree. *)
+[@@deprecated "use Database.run; serialize matches with (run ...).serialize"]
 
 (** {1 Introspection} *)
 
@@ -167,3 +187,11 @@ val column_store : t -> table:string -> column:string -> Rx_xmlstore.Doc_store.t
 (** Direct access to a column's document store (benchmarks). *)
 
 val buffer_pool : t -> Rx_storage.Buffer_pool.t
+
+val metrics : t -> Rx_obs.Metrics.t
+(** This database's private registry: every layer underneath (pager,
+    buffer pool, WAL, locks, B+trees, QuickXScan, planner, executor)
+    reports here, isolated from other database instances. *)
+
+val tracer : t -> Rx_obs.Trace.t
+(** Trace spans recorded around query execution. *)

@@ -17,7 +17,9 @@ let feed_store_events engine ~item_of store ~docid =
       | _ -> invalid_arg "Executor: malformed event stream")
 
 let eval_stored query store ~docid =
-  let engine = E.create query in
+  let metrics = Doc_store.metrics store in
+  Rx_obs.Metrics.(incr (counter metrics "exec.docs_scanned"));
+  let engine = E.create ~metrics query in
   feed_store_events engine ~item_of:(fun id -> id) store ~docid;
   E.finish engine
 

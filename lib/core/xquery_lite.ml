@@ -452,8 +452,9 @@ let explain compiled = compiled.plan.Database.description
 
 let run_compiled db { q; _ } =
   let matches =
-    Database.query db ~table:q.table ~column:q.column
-      ~xpath:(Rx_xpath.Ast.to_string q.path)
+    (Database.run db ~table:q.table ~column:q.column
+       ~xpath:(Rx_xpath.Ast.to_string q.path))
+      .Database.matches
   in
   let matches =
     match q.order with

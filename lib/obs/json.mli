@@ -1,0 +1,24 @@
+(** Minimal JSON values: just enough to render and re-read the metric and
+    stats reports without pulling in an external dependency. Numbers are
+    floats (integral values print without a fractional part); object member
+    order is preserved by the renderer and the parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (RFC 8259 escaping). *)
+
+val of_string : string -> t
+(** @raise Failure on malformed input (with a byte offset in the message). *)
+
+val member : string -> t -> t option
+(** First member of that name when the value is an [Obj]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; numbers compare with [Float.equal]. *)

@@ -1,0 +1,178 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { mutable g_value : int }
+
+let n_buckets = 32
+
+type histogram = {
+  h_counts : int array; (* raw per-bucket counts *)
+  mutable h_count : int;
+  mutable h_sum : int;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 64 }
+let default = create ()
+
+let counter t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (C c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a counter" name)
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace t.instruments name (C c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (G g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a gauge" name)
+  | None ->
+      let g = { g_value = 0 } in
+      Hashtbl.replace t.instruments name (G g);
+      g
+
+let histogram t name =
+  match Hashtbl.find_opt t.instruments name with
+  | Some (H h) -> h
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a histogram" name)
+  | None ->
+      let h = { h_counts = Array.make n_buckets 0; h_count = 0; h_sum = 0 } in
+      Hashtbl.replace t.instruments name (H h);
+      h
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg (Printf.sprintf "Metrics: counter %s is monotonic" c.c_name);
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let set g v = g.g_value <- v
+let get g = g.g_value
+
+(* bucket 0 holds 0; bucket i >= 1 holds [2^(i-1), 2^i); last is unbounded *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (n_buckets - 1) (bits v 0)
+  end
+
+let observe h v =
+  let v = max 0 v in
+  h.h_counts.(bucket_of v) <- h.h_counts.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let bucket_upper i =
+  if i = 0 then 0
+  else if i >= n_buckets - 1 then max_int
+  else (1 lsl i) - 1
+
+let histogram_buckets h =
+  (* trim trailing empty buckets but keep at least bucket 0 *)
+  let last = ref 0 in
+  Array.iteri (fun i c -> if c > 0 then last := i) h.h_counts;
+  Array.init (!last + 1) (fun i -> (bucket_upper i, h.h_counts.(i)))
+
+type sample =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { count : int; sum : int; buckets : (int * int) array }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name i acc ->
+      let sample =
+        match i with
+        | C c -> Counter c.c_value
+        | G g -> Gauge g.g_value
+        | H h ->
+            Histogram
+              { count = h.h_count; sum = h.h_sum; buckets = histogram_buckets h }
+      in
+      (name, sample) :: acc)
+    t.instruments []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff ~before ~after =
+  let prior name =
+    match List.assoc_opt name before with
+    | Some s -> Some s
+    | None -> None
+  in
+  List.concat_map
+    (fun (name, sample) ->
+      match sample with
+      | Counter v ->
+          let v0 = match prior name with Some (Counter p) -> p | _ -> 0 in
+          if v - v0 <> 0 then [ (name, v - v0) ] else []
+      | Gauge v ->
+          let v0 = match prior name with Some (Gauge p) -> p | _ -> 0 in
+          if v - v0 <> 0 then [ (name, v - v0) ] else []
+      | Histogram { count; sum; _ } ->
+          let c0, s0 =
+            match prior name with
+            | Some (Histogram { count; sum; _ }) -> (count, sum)
+            | _ -> (0, 0)
+          in
+          (if count - c0 <> 0 then [ (name ^ ".count", count - c0) ] else [])
+          @ if sum - s0 <> 0 then [ (name ^ ".sum", sum - s0) ] else [])
+    after
+
+let to_text t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, sample) ->
+      match sample with
+      | Counter v | Gauge v -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
+      | Histogram { count; sum; buckets } ->
+          Buffer.add_string buf (Printf.sprintf "%s.count %d\n%s.sum %d\n" name count name sum);
+          Array.iter
+            (fun (le, c) ->
+              let le = if le = max_int then "inf" else string_of_int le in
+              Buffer.add_string buf (Printf.sprintf "%s.bucket{le=%s} %d\n" name le c))
+            buckets)
+    (snapshot t);
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, sample) ->
+         let body =
+           match sample with
+           | Counter v ->
+               Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int v)) ]
+           | Gauge v ->
+               Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num (float_of_int v)) ]
+           | Histogram { count; sum; buckets } ->
+               Json.Obj
+                 [
+                   ("type", Json.Str "histogram");
+                   ("count", Json.Num (float_of_int count));
+                   ("sum", Json.Num (float_of_int sum));
+                   ( "buckets",
+                     Json.Arr
+                       (Array.to_list
+                          (Array.map
+                             (fun (le, c) ->
+                               Json.Obj
+                                 [
+                                   ( "le",
+                                     if le = max_int then Json.Str "inf"
+                                     else Json.Num (float_of_int le) );
+                                   ("count", Json.Num (float_of_int c));
+                                 ])
+                             buckets)) );
+                 ]
+         in
+         (name, body))
+       (snapshot t))

@@ -1,0 +1,72 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  depth : int;
+  start_s : float;
+  dur_s : float;
+}
+
+type t = {
+  capacity : int;
+  mutable open_depth : int;
+  mutable started : int;
+  mutable finished_total : int;
+  mutable spans : span list; (* most recent first *)
+  mutable retained : int;
+}
+
+let create ?(capacity = 1024) () =
+  { capacity; open_depth = 0; started = 0; finished_total = 0; spans = []; retained = 0 }
+
+let default = create ()
+
+let record t span =
+  t.finished_total <- t.finished_total + 1;
+  t.spans <- span :: t.spans;
+  t.retained <- t.retained + 1;
+  (* amortised trim: keep at most 2*capacity in the list, cut back to
+     capacity so steady-state conses stay O(1) *)
+  if t.retained > 2 * t.capacity then begin
+    t.spans <- List.filteri (fun i _ -> i < t.capacity) t.spans;
+    t.retained <- t.capacity
+  end
+
+let with_span t ?(attrs = []) name f =
+  let depth = t.open_depth in
+  t.open_depth <- depth + 1;
+  t.started <- t.started + 1;
+  let start_s = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.open_depth <- depth;
+      record t { name; attrs; depth; start_s; dur_s = Unix.gettimeofday () -. start_s })
+    f
+
+let open_spans t = t.open_depth
+let started t = t.started
+let finished_count t = t.finished_total
+
+let finished t =
+  if t.retained > t.capacity then begin
+    t.spans <- List.filteri (fun i _ -> i < t.capacity) t.spans;
+    t.retained <- t.capacity
+  end;
+  t.spans
+
+let clear t =
+  t.spans <- [];
+  t.retained <- 0
+
+let to_json t =
+  Json.Arr
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("name", Json.Str s.name);
+             ("depth", Json.Num (float_of_int s.depth));
+             ("start_s", Json.Num s.start_s);
+             ("dur_us", Json.Num (Float.round (s.dur_s *. 1e6)));
+             ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.attrs));
+           ])
+       (finished t))

@@ -38,6 +38,9 @@ type 'a t = {
   mutable active : int;
   mutable max_active : int;
   mutable events : int;
+  c_events : Rx_obs.Metrics.counter;
+  c_pred_evals : Rx_obs.Metrics.counter;
+  c_matches : Rx_obs.Metrics.counter;
   mutable value_insts : 'a instance list; (* open instances accumulating text *)
   elem_qnodes : Query.qnode array; (* ascending tree depth *)
   elem_qnodes_rev : Query.qnode array;
@@ -61,7 +64,7 @@ let make_instance qnode ~depth ~item ~seq ~anchor ~up =
     i_value = (if qnode.Query.needs_self_value then Some (Buffer.create 32) else None);
   }
 
-let create query =
+let create ?(metrics = Rx_obs.Metrics.default) query =
   let n = Array.length query.Query.nodes in
   let parent_qid = Array.make n (-1) in
   Array.iter
@@ -102,6 +105,9 @@ let create query =
     active = 0;
     max_active = 0;
     events = 0;
+    c_events = Rx_obs.Metrics.counter metrics "qxs.events";
+    c_pred_evals = Rx_obs.Metrics.counter metrics "qxs.predicate_evals";
+    c_matches = Rx_obs.Metrics.counter metrics "qxs.matches";
     value_insts = [];
     elem_qnodes;
     elem_qnodes_rev;
@@ -189,7 +195,9 @@ let rec eval_pexpr t inst = function
 let predicate_passes t inst =
   match inst.i_qnode.Query.pred with
   | None -> true
-  | Some pe -> eval_pexpr t inst pe
+  | Some pe ->
+      Rx_obs.Metrics.incr t.c_pred_evals;
+      eval_pexpr t inst pe
 
 (* --- instance lifecycle --- *)
 
@@ -324,6 +332,7 @@ let attr_test_matches (test : Query.test) (name : Qname.t) =
 
 let start_element t ~name ~attrs ~item ~attr_item =
   t.events <- t.events + 1;
+  Rx_obs.Metrics.incr t.c_events;
   t.depth <- t.depth + 1;
   t.seq <- t.seq + 1;
   let node_seq = t.seq in
@@ -379,6 +388,7 @@ let start_element t ~name ~attrs ~item ~attr_item =
 
 let leaf_event t qnodes ~content ~item =
   t.events <- t.events + 1;
+  Rx_obs.Metrics.incr t.c_events;
   t.seq <- t.seq + 1;
   let seq = t.seq in
   (* text accumulation for open value instances happens in [text] only *)
@@ -413,6 +423,7 @@ let pi t ~target ~data ~item =
 
 let end_element t =
   t.events <- t.events + 1;
+  Rx_obs.Metrics.incr t.c_events;
   Array.iter
     (fun (q : Query.qnode) ->
       let stack = t.stacks.(q.Query.qid) in
@@ -433,7 +444,9 @@ let finish_full t =
     | x :: rest -> x :: dedup rest
     | [] -> []
   in
-  dedup sorted
+  let out = dedup sorted in
+  Rx_obs.Metrics.add t.c_matches (List.length out);
+  out
 
 let finish t = List.map (fun (item, _, _) -> item) (finish_full t)
 let finish_with_values t = List.map (fun (item, _, v) -> (item, v)) (finish_full t)

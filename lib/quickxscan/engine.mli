@@ -20,7 +20,9 @@
 
 type 'a t
 
-val create : Query.t -> 'a t
+val create : ?metrics:Rx_obs.Metrics.t -> Query.t -> 'a t
+(** [metrics] receives the [qxs.events] / [qxs.predicate_evals] /
+    [qxs.matches] counters (default: the global registry). *)
 
 val start_element :
   'a t ->

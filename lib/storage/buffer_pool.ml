@@ -6,42 +6,72 @@ type journal = {
   ensure_durable : int64 -> unit;
 }
 
-type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable page_flushes : int;
+type snapshot = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  page_flushes : int;
 }
 
 type frame = { data : bytes; mutable dirty : bool; mutable pins : int }
+
+(* Per-pool tallies back the immutable [snapshot] API; the registry counters
+   mirror them so the pool shows up in the Rx_obs report (shared registries
+   merge pools, per-database registries stay isolated). *)
+type tally = {
+  mutable t_hits : int;
+  mutable t_misses : int;
+  mutable t_evictions : int;
+  mutable t_flushes : int;
+}
 
 type t = {
   pager : Pager.t;
   frames : (int, frame) Lru.t;
   mutable journal : journal option;
   mutable fallback_lsn : int64; (* when no journal is installed *)
-  stats : stats;
+  tally : tally;
+  metrics : Rx_obs.Metrics.t;
+  c_hits : Rx_obs.Metrics.counter;
+  c_misses : Rx_obs.Metrics.counter;
+  c_evictions : Rx_obs.Metrics.counter;
+  c_flushes : Rx_obs.Metrics.counter;
 }
 
-let create ?(capacity = 256) pager =
+let create ?(metrics = Rx_obs.Metrics.default) ?(capacity = 256) pager =
   {
     pager;
     frames = Lru.create ~capacity;
     journal = None;
     fallback_lsn = 0L;
-    stats = { hits = 0; misses = 0; evictions = 0; page_flushes = 0 };
+    tally = { t_hits = 0; t_misses = 0; t_evictions = 0; t_flushes = 0 };
+    metrics;
+    c_hits = Rx_obs.Metrics.counter metrics "bufpool.hits";
+    c_misses = Rx_obs.Metrics.counter metrics "bufpool.misses";
+    c_evictions = Rx_obs.Metrics.counter metrics "bufpool.evictions";
+    c_flushes = Rx_obs.Metrics.counter metrics "bufpool.page_flushes";
   }
 
 let pager t = t.pager
 let page_size t = Pager.page_size t.pager
 let set_journal t j = t.journal <- j
-let stats t = t.stats
+let metrics t = t.metrics
 
-let reset_stats t =
-  t.stats.hits <- 0;
-  t.stats.misses <- 0;
-  t.stats.evictions <- 0;
-  t.stats.page_flushes <- 0
+let snapshot t =
+  {
+    hits = t.tally.t_hits;
+    misses = t.tally.t_misses;
+    evictions = t.tally.t_evictions;
+    page_flushes = t.tally.t_flushes;
+  }
+
+let diff ~before ~after =
+  {
+    hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    page_flushes = after.page_flushes - before.page_flushes;
+  }
 
 let flush_frame t page_no frame =
   if frame.dirty then begin
@@ -50,18 +80,21 @@ let flush_frame t page_no frame =
     | None -> ());
     Pager.write t.pager page_no frame.data;
     frame.dirty <- false;
-    t.stats.page_flushes <- t.stats.page_flushes + 1
+    t.tally.t_flushes <- t.tally.t_flushes + 1;
+    Rx_obs.Metrics.incr t.c_flushes
   end
 
 (* Fetch the frame for [page_no], pinning it. *)
 let pin t page_no =
   match Lru.find t.frames page_no with
   | Some frame ->
-      t.stats.hits <- t.stats.hits + 1;
+      t.tally.t_hits <- t.tally.t_hits + 1;
+      Rx_obs.Metrics.incr t.c_hits;
       frame.pins <- frame.pins + 1;
       frame
   | None ->
-      t.stats.misses <- t.stats.misses + 1;
+      t.tally.t_misses <- t.tally.t_misses + 1;
+      Rx_obs.Metrics.incr t.c_misses;
       let data = Bytes.create (page_size t) in
       Pager.read t.pager page_no data;
       let frame = { data; dirty = false; pins = 1 } in
@@ -73,7 +106,8 @@ let pin t page_no =
       | None -> failwith "Buffer_pool: all frames pinned"
       | Some None -> ()
       | Some (Some (victim_no, victim)) ->
-          t.stats.evictions <- t.stats.evictions + 1;
+          t.tally.t_evictions <- t.tally.t_evictions + 1;
+          Rx_obs.Metrics.incr t.c_evictions;
           flush_frame t victim_no victim);
       frame
 

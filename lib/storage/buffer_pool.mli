@@ -19,15 +19,19 @@ type journal = {
       (** Called with a page's LSN before that page is written back. *)
 }
 
-type stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-  mutable page_flushes : int;
+(** Immutable point-in-time view of the pool's activity counters. *)
+type snapshot = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  page_flushes : int;
 }
 
-val create : ?capacity:int -> Pager.t -> t
-(** [capacity] is the number of frames (default 256). *)
+val create : ?metrics:Rx_obs.Metrics.t -> ?capacity:int -> Pager.t -> t
+(** [capacity] is the number of frames (default 256). [metrics] receives
+    the [bufpool.*] counters (default: the global registry); storage-side
+    components built over this pool ({!Rx_btree.Btree}, heap files, stores)
+    resolve their own instruments from {!metrics}. *)
 
 val pager : t -> Pager.t
 val page_size : t -> int
@@ -55,5 +59,14 @@ val drop_cache : t -> unit
 (** Discards every frame without writing anything back — simulates losing
     volatile memory in a crash. Fails if any page is pinned. *)
 
-val stats : t -> stats
-val reset_stats : t -> unit
+val metrics : t -> Rx_obs.Metrics.t
+(** The registry this pool reports to. *)
+
+val snapshot : t -> snapshot
+(** Cheap immutable copy of this pool's own tallies (never shared with
+    other pools, even when registries are). Take one before and one after a
+    measured section and {!diff} them — no reset, so concurrent readers
+    can't race each other's zeroing. *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Component-wise [after - before]. *)

@@ -10,20 +10,31 @@ type t = {
   backend : backend;
   mutable reads : int;
   mutable writes : int;
+  c_reads : Rx_obs.Metrics.counter;
+  c_writes : Rx_obs.Metrics.counter;
+  c_syncs : Rx_obs.Metrics.counter;
 }
+
+let counters metrics =
+  Rx_obs.Metrics.
+    (counter metrics "pager.reads", counter metrics "pager.writes", counter metrics "pager.syncs")
 
 let page_size t = t.page_size
 
 let page_count t =
   match t.backend with Mem m -> m.count | File f -> f.count
 
-let create_in_memory ?(page_size = default_page_size) () =
+let create_in_memory ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_size) () =
+  let c_reads, c_writes, c_syncs = counters metrics in
   let t =
     {
       page_size;
       backend = Mem { pages = Array.make 64 Bytes.empty; count = 0 };
       reads = 0;
       writes = 0;
+      c_reads;
+      c_writes;
+      c_syncs;
     }
   in
   (* reserve page 0 *)
@@ -57,7 +68,8 @@ let pread_full fd buf off =
   in
   loop 0
 
-let open_file ?(page_size = default_page_size) path =
+let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_size) path =
+  let c_reads, c_writes, c_syncs = counters metrics in
   let existed = Sys.file_exists path in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   if existed && (Unix.fstat fd).Unix.st_size > 0 then begin
@@ -75,6 +87,9 @@ let open_file ?(page_size = default_page_size) path =
       backend = File { fd; count = size / page_size };
       reads = 0;
       writes = 0;
+      c_reads;
+      c_writes;
+      c_syncs;
     }
   end
   else begin
@@ -82,7 +97,15 @@ let open_file ?(page_size = default_page_size) path =
     Bytes.blit_string magic 0 hdr 0 8;
     Bytes.set_int32_be hdr 8 (Int32.of_int page_size);
     pwrite_full fd hdr 0;
-    { page_size; backend = File { fd; count = 1 }; reads = 0; writes = 0 }
+    {
+      page_size;
+      backend = File { fd; count = 1 };
+      reads = 0;
+      writes = 0;
+      c_reads;
+      c_writes;
+      c_syncs;
+    }
   end
 
 let alloc t =
@@ -110,6 +133,7 @@ let check_page_no t page_no =
 let read t page_no buf =
   check_page_no t page_no;
   t.reads <- t.reads + 1;
+  Rx_obs.Metrics.incr t.c_reads;
   match t.backend with
   | Mem m -> Bytes.blit m.pages.(page_no) 0 buf 0 t.page_size
   | File f -> pread_full f.fd buf (page_no * t.page_size)
@@ -117,11 +141,13 @@ let read t page_no buf =
 let write t page_no buf =
   check_page_no t page_no;
   t.writes <- t.writes + 1;
+  Rx_obs.Metrics.incr t.c_writes;
   match t.backend with
   | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 t.page_size
   | File f -> pwrite_full f.fd buf (page_no * t.page_size)
 
 let sync t =
+  Rx_obs.Metrics.incr t.c_syncs;
   match t.backend with Mem _ -> () | File f -> Unix.fsync f.fd
 
 let close t =

@@ -6,9 +6,11 @@ type t
 
 val default_page_size : int
 
-val create_in_memory : ?page_size:int -> unit -> t
+val create_in_memory : ?metrics:Rx_obs.Metrics.t -> ?page_size:int -> unit -> t
+(** [metrics] receives the [pager.reads]/[pager.writes]/[pager.syncs]
+    counters (default: the global registry). *)
 
-val open_file : ?page_size:int -> string -> t
+val open_file : ?metrics:Rx_obs.Metrics.t -> ?page_size:int -> string -> t
 (** Opens (creating if absent) a file-backed pager.
     @raise Failure if the file exists with a different page size. *)
 

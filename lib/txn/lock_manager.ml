@@ -5,11 +5,22 @@ type bucket = {
   mutable queue : entry list; (* FIFO: head is the oldest waiter *)
 }
 
-type t = { buckets : (int * int, bucket) Hashtbl.t }
+type t = {
+  buckets : (int * int, bucket) Hashtbl.t;
+  c_acquisitions : Rx_obs.Metrics.counter;
+  c_waits : Rx_obs.Metrics.counter;
+  c_upgrades : Rx_obs.Metrics.counter;
+}
 
 type outcome = Granted | Blocked of int list
 
-let create () = { buckets = Hashtbl.create 64 }
+let create ?(metrics = Rx_obs.Metrics.default) () =
+  {
+    buckets = Hashtbl.create 64;
+    c_acquisitions = Rx_obs.Metrics.counter metrics "lock.acquisitions";
+    c_waits = Rx_obs.Metrics.counter metrics "lock.waits";
+    c_upgrades = Rx_obs.Metrics.counter metrics "lock.upgrades";
+  }
 
 let bucket_for t resource =
   let key = Resource.group_key resource in
@@ -53,14 +64,18 @@ let request t ~txid resource mode =
   in
   match conflicts bucket ~txid resource target with
   | [] ->
+      Rx_obs.Metrics.incr t.c_acquisitions;
       (match own_entry bucket ~txid resource with
-      | Some e -> e.mode <- target
+      | Some e ->
+          if e.mode <> target then Rx_obs.Metrics.incr t.c_upgrades;
+          e.mode <- target
       | None ->
           bucket.granted <- { txid; resource; mode = target } :: bucket.granted);
       (* a grant supersedes any previous queued request *)
       bucket.queue <- List.filter (fun e -> not (e.txid = txid && Resource.compare e.resource resource = 0)) bucket.queue;
       Granted
   | blockers ->
+      Rx_obs.Metrics.incr t.c_waits;
       (match queued_entry bucket ~txid resource with
       | Some e -> e.mode <- Lock_modes.supremum e.mode target
       | None -> bucket.queue <- bucket.queue @ [ { txid; resource; mode = target } ]);
@@ -79,6 +94,7 @@ let promote_waiters t =
         | [] -> []
         | e :: rest ->
             if conflicts bucket ~txid:e.txid e.resource e.mode = [] then begin
+              Rx_obs.Metrics.incr t.c_acquisitions;
               (match own_entry bucket ~txid:e.txid e.resource with
               | Some g -> g.mode <- Lock_modes.supremum g.mode e.mode
               | None -> bucket.granted <- e :: bucket.granted);

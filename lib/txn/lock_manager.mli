@@ -14,7 +14,9 @@ type outcome =
   | Granted
   | Blocked of int list (** transaction ids currently blocking this one *)
 
-val create : unit -> t
+val create : ?metrics:Rx_obs.Metrics.t -> unit -> t
+(** [metrics] receives the [lock.acquisitions] / [lock.waits] /
+    [lock.upgrades] counters (default: the global registry). *)
 
 val request : t -> txid:int -> Resource.t -> Lock_modes.t -> outcome
 (** Acquires or upgrades. On conflict the request stays queued (re-request

@@ -12,7 +12,14 @@ type manager = {
 type t = { mgr : manager; id : int; mutable state : state }
 
 let create_manager ?log ?pool () =
-  { locks = Lock_manager.create (); log; pool; next_txid = 0; current = 0; active = 0 }
+  (* lock counters land in the pool's registry so the whole database
+     instance reports to one place *)
+  let metrics =
+    match pool with
+    | Some pool -> Rx_storage.Buffer_pool.metrics pool
+    | None -> Rx_obs.Metrics.default
+  in
+  { locks = Lock_manager.create ~metrics (); log; pool; next_txid = 0; current = 0; active = 0 }
 
 let lock_manager mgr = mgr.locks
 

@@ -9,12 +9,31 @@ type t = {
   mutable contents : Buffer.t;
   mutable durable : int64;
   mutable appended : int;
+  c_records : Rx_obs.Metrics.counter;
+  c_bytes : Rx_obs.Metrics.counter;
+  c_syncs : Rx_obs.Metrics.counter;
 }
 
-let create_in_memory () =
-  { backend = Memory; contents = Buffer.create 4096; durable = 0L; appended = 0 }
+let counters metrics =
+  Rx_obs.Metrics.
+    ( counter metrics "wal.records",
+      counter metrics "wal.bytes_appended",
+      counter metrics "wal.forced_syncs" )
 
-let open_file path =
+let create_in_memory ?(metrics = Rx_obs.Metrics.default) () =
+  let c_records, c_bytes, c_syncs = counters metrics in
+  {
+    backend = Memory;
+    contents = Buffer.create 4096;
+    durable = 0L;
+    appended = 0;
+    c_records;
+    c_bytes;
+    c_syncs;
+  }
+
+let open_file ?(metrics = Rx_obs.Metrics.default) path =
+  let c_records, c_bytes, c_syncs = counters metrics in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
   let contents = Buffer.create (max 4096 size) in
@@ -31,7 +50,17 @@ let open_file path =
     fill 0;
     Buffer.add_bytes contents buf
   end;
-  { backend = File fd; contents; durable = Int64.of_int size; appended = size }
+  (* pre-existing bytes count as appended, mirroring [appended_bytes] *)
+  Rx_obs.Metrics.add c_bytes size;
+  {
+    backend = File fd;
+    contents;
+    durable = Int64.of_int size;
+    appended = size;
+    c_records;
+    c_bytes;
+    c_syncs;
+  }
 
 let frame record =
   let payload = Log_record.encode record in
@@ -45,12 +74,15 @@ let append t record =
   let framed = frame record in
   Buffer.add_string t.contents framed;
   t.appended <- t.appended + String.length framed;
+  Rx_obs.Metrics.incr t.c_records;
+  Rx_obs.Metrics.add t.c_bytes (String.length framed);
   lsn
 
 let tail_lsn t = Int64.of_int (Buffer.length t.contents)
 let durable_lsn t = t.durable
 
 let flush t =
+  if Int64.compare (tail_lsn t) t.durable > 0 then Rx_obs.Metrics.incr t.c_syncs;
   match t.backend with
   | Memory -> t.durable <- tail_lsn t
   | File fd ->

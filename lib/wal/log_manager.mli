@@ -3,8 +3,10 @@
 
 type t
 
-val create_in_memory : unit -> t
-val open_file : string -> t
+val create_in_memory : ?metrics:Rx_obs.Metrics.t -> unit -> t
+val open_file : ?metrics:Rx_obs.Metrics.t -> string -> t
+(** [metrics] receives the [wal.records] / [wal.bytes_appended] /
+    [wal.forced_syncs] counters (default: the global registry). *)
 
 val append : t -> Log_record.t -> int64
 (** Appends and returns the record's LSN; does not force to disk. *)

@@ -9,6 +9,8 @@ type t = {
   tree : Rx_btree.Btree.t;
   dict : Name_dict.t;
   query : Q.t; (* compiled index path, value-producing *)
+  metrics : Rx_obs.Metrics.t;
+  c_fetched : Rx_obs.Metrics.counter;
 }
 
 type entry = {
@@ -24,19 +26,25 @@ let compile dict (definition : Index_def.t) =
   Q.compile ~value_output:true dict definition.Index_def.path
 
 let create pool dict definition =
+  let metrics = Rx_storage.Buffer_pool.metrics pool in
   {
     definition;
     tree = Rx_btree.Btree.create pool;
     dict;
     query = compile dict definition;
+    metrics;
+    c_fetched = Rx_obs.Metrics.counter metrics "xindex.entries_fetched";
   }
 
 let attach pool dict definition ~meta_page =
+  let metrics = Rx_storage.Buffer_pool.metrics pool in
   {
     definition;
     tree = Rx_btree.Btree.attach pool ~meta_page;
     dict;
     query = compile dict definition;
+    metrics;
+    c_fetched = Rx_obs.Metrics.counter metrics "xindex.entries_fetched";
   }
 
 let def t = t.definition
@@ -103,7 +111,7 @@ type item = Ancestor | Node_item of Node_id.t
    pre-matched from the record header's context path. *)
 let extract_record t ~record =
   let header, first = Record_format.decode_header record in
-  let engine = E.create t.query in
+  let engine = E.create ~metrics:t.metrics t.query in
   (* synthetic ancestors from the context path *)
   List.iter
     (fun (uri, local) ->
@@ -240,6 +248,7 @@ let scan t ?min ?max f =
         if inclusive then prefix_successor p else Some p
   in
   Rx_btree.Btree.iter_range t.tree ?lo ?hi (fun key value ->
+      Rx_obs.Metrics.incr t.c_fetched;
       f (decode_entry t key value))
 
 let entries t ?min ?max () =

@@ -37,6 +37,8 @@ let create ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
     last_fetch = None;
   }
 
+let metrics t = Buffer_pool.metrics t.pool
+
 let attach ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
     pool dict ~heap_header ~index_meta =
   let t =

@@ -36,6 +36,10 @@ val heap_header : t -> int
 val index_meta : t -> int
 val dict : t -> Rx_xml.Name_dict.t
 
+val metrics : t -> Rx_obs.Metrics.t
+(** The registry of the underlying buffer pool — components layered on the
+    store (executor, value indexes) report there. *)
+
 val add_record_observer :
   t -> (docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit) -> unit
 (** Called for every packed record as it is stored — how XPath value

@@ -75,7 +75,7 @@ let test_buffer_pool_eviction_flushes () =
       check Alcotest.char "evicted page data survives" (Char.chr (65 + i)) c)
     pages;
   check Alcotest.bool "evictions happened" true
-    ((Buffer_pool.stats pool).Buffer_pool.evictions > 0)
+    ((Buffer_pool.snapshot pool).Buffer_pool.evictions > 0)
 
 let test_buffer_pool_drop_cache () =
   let pager = Pager.create_in_memory ~page_size:512 () in

@@ -4,6 +4,20 @@ open Rx_relational
 let check = Alcotest.check
 let qcheck = QCheck_alcotest.to_alcotest
 
+(* old query-surface shapes expressed through the unified entry point *)
+let db_query ?ns_env db ~table ~column ~xpath =
+  (Database.run ?ns_env db ~table ~column ~xpath).Database.matches
+
+let db_query_docids ?ns_env db ~table ~column ~xpath =
+  List.sort_uniq compare
+    (List.map
+       (fun m -> m.Database.docid)
+       (db_query ?ns_env db ~table ~column ~xpath))
+
+let db_query_serialized ?ns_env db ~table ~column ~xpath =
+  let r = Database.run ?ns_env db ~table ~column ~xpath in
+  List.map r.Database.serialize r.Database.matches
+
 let product_doc ~name ~price ~discount ~category =
   Printf.sprintf
     {|<Catalog><Categories category="%s"><Product><RegPrice>%g</RegPrice><Discount>%g</Discount><ProductName>%s</ProductName></Product></Categories></Catalog>|}
@@ -102,8 +116,8 @@ let test_index_matches_scan () =
   let without_idx = make_db ~with_indexes:false () in
   List.iter
     (fun q ->
-      let a = Database.query with_idx ~table:"products" ~column:"doc" ~xpath:q in
-      let b = Database.query without_idx ~table:"products" ~column:"doc" ~xpath:q in
+      let a = db_query with_idx ~table:"products" ~column:"doc" ~xpath:q in
+      let b = db_query without_idx ~table:"products" ~column:"doc" ~xpath:q in
       check Alcotest.string q (show_matches b) (show_matches a))
     queries
 
@@ -134,7 +148,7 @@ let test_exact_plan_skips_documents () =
   in
   check Alcotest.bool "exact" true info.Database.exact;
   let ms =
-    Database.query db ~table:"products" ~column:"doc"
+    db_query db ~table:"products" ~column:"doc"
       ~xpath:"/Catalog/Categories/Product[RegPrice > 280]"
   in
   check (Alcotest.list Alcotest.int) "docids" [ 29; 30 ]
@@ -143,7 +157,7 @@ let test_exact_plan_skips_documents () =
 let test_query_serialized () =
   let db = make_db ~n:5 () in
   let out =
-    Database.query_serialized db ~table:"products" ~column:"doc"
+    db_query_serialized db ~table:"products" ~column:"doc"
       ~xpath:"/Catalog/Categories/Product[RegPrice = 30]/ProductName"
   in
   check (Alcotest.list Alcotest.string) "serialized matches"
@@ -153,7 +167,7 @@ let test_query_serialized () =
 let test_query_docids () =
   let db = make_db ~n:10 () in
   check (Alcotest.list Alcotest.int) "docids" [ 8; 9; 10 ]
-    (Database.query_docids db ~table:"products" ~column:"doc"
+    (db_query_docids db ~table:"products" ~column:"doc"
        ~xpath:"/Catalog/Categories/Product[RegPrice > 70]")
 
 (* --- sub-document updates through the facade --- *)
@@ -162,7 +176,7 @@ let test_facade_updates () =
   let db = make_db ~with_indexes:true ~n:5 () in
   (* find product 3's price via a query, then change it *)
   let q = "/Catalog/Categories/Product[RegPrice = 30]" in
-  (match Database.query db ~table:"products" ~column:"doc" ~xpath:q with
+  (match db_query db ~table:"products" ~column:"doc" ~xpath:q with
   | [ m ] ->
       (* the price text node: product/RegPrice/text() — walk via the store *)
       let store = Database.column_store db ~table:"products" ~column:"doc" in
@@ -182,9 +196,9 @@ let test_facade_updates () =
         ~docid:m.Database.docid text "35";
       (* the value index follows the update *)
       check (Alcotest.list Alcotest.int) "old value gone" []
-        (Database.query_docids db ~table:"products" ~column:"doc" ~xpath:q);
+        (db_query_docids db ~table:"products" ~column:"doc" ~xpath:q);
       check (Alcotest.list Alcotest.int) "new value found" [ m.Database.docid ]
-        (Database.query_docids db ~table:"products" ~column:"doc"
+        (db_query_docids db ~table:"products" ~column:"doc"
            ~xpath:"/Catalog/Categories/Product[RegPrice = 35]");
       (* append a tag element and find it by scan *)
       ignore
@@ -194,13 +208,13 @@ let test_facade_updates () =
            "<Tag>sale</Tag>");
       check Alcotest.int "fragment visible" 1
         (List.length
-           (Database.query db ~table:"products" ~column:"doc"
+           (db_query db ~table:"products" ~column:"doc"
               ~xpath:"//Product[Tag = \"sale\"]"));
       (* delete the product subtree entirely *)
       Database.delete_xml_node db ~table:"products" ~column:"doc"
         ~docid:m.Database.docid m.Database.node;
       check (Alcotest.list Alcotest.int) "deleted node unmatched" []
-        (Database.query_docids db ~table:"products" ~column:"doc"
+        (db_query_docids db ~table:"products" ~column:"doc"
            ~xpath:"/Catalog/Categories/Product[RegPrice = 35]")
   | ms -> Alcotest.failf "expected one product with price 30, got %d" (List.length ms))
 
@@ -217,7 +231,7 @@ let test_projection_tail_queries () =
     "projected names"
     [ "<ProductName>item-008</ProductName>"; "<ProductName>item-009</ProductName>";
       "<ProductName>item-010</ProductName>" ]
-    (Database.query_serialized db ~table:"products" ~column:"doc" ~xpath:q)
+    (db_query_serialized db ~table:"products" ~column:"doc" ~xpath:q)
 
 (* --- schema-validated column --- *)
 
@@ -272,9 +286,9 @@ let test_multiple_xml_columns () =
     (Database.document db ~table:"dossiers" ~column:"detail" ~docid);
   (* queries are per column *)
   check Alcotest.int "only in detail" 1
-    (List.length (Database.query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"));
+    (List.length (db_query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"));
   check Alcotest.int "not in summary" 0
-    (List.length (Database.query db ~table:"dossiers" ~column:"summary" ~xpath:"//x"));
+    (List.length (db_query db ~table:"dossiers" ~column:"summary" ~xpath:"//x"));
   (* a row with one column NULL: queries skip it, fetch shows Null *)
   let docid2 =
     Database.insert db ~table:"dossiers" ~xml:[ ("summary", "<s>only</s>") ] ()
@@ -284,11 +298,11 @@ let test_multiple_xml_columns () =
   | _ -> Alcotest.fail "expected (xml, NULL) row");
   check Alcotest.int "null column not scanned" 1
     (List.length
-       (Database.query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"));
+       (db_query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"));
   (* deleting the row removes both documents *)
   Database.delete db ~table:"dossiers" ~docid;
   check Alcotest.int "detail doc gone" 0
-    (List.length (Database.query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"))
+    (List.length (db_query db ~table:"dossiers" ~column:"detail" ~xpath:"//x"))
 
 (* --- namespaces + kind tests through the facade --- *)
 
@@ -307,7 +321,7 @@ let test_namespaced_queries () =
   let ns_env = [ ("a", "urn:atom"); ("x", "urn:ext") ] in
   check Alcotest.int "namespaced path" 2
     (List.length
-       (Database.query db ~ns_env ~table:"feeds" ~column:"doc"
+       (db_query db ~ns_env ~table:"feeds" ~column:"doc"
           ~xpath:"/a:feed/a:entry"));
   (* extracted subtrees re-declare every in-scope namespace so they stay
      self-contained *)
@@ -315,12 +329,12 @@ let test_namespaced_queries () =
     (Alcotest.list Alcotest.string)
     "mixed-namespace predicate"
     [ {|<title xmlns="urn:atom" xmlns:x="urn:ext">two</title>|} ]
-    (Database.query_serialized db ~ns_env ~table:"feeds" ~column:"doc"
+    (db_query_serialized db ~ns_env ~table:"feeds" ~column:"doc"
        ~xpath:"/a:feed/a:entry[x:rank > 7]/a:title");
   (* unprefixed names do not match namespaced elements *)
   check Alcotest.int "no-namespace name" 0
     (List.length
-       (Database.query db ~table:"feeds" ~column:"doc" ~xpath:"/feed/entry"))
+       (db_query db ~table:"feeds" ~column:"doc" ~xpath:"/feed/entry"))
 
 let test_kind_test_queries () =
   let db = Database.create_in_memory () in
@@ -330,19 +344,19 @@ let test_kind_test_queries () =
        ~xml:[ ("doc", "<r><!--note--><a>alpha</a><?pi data?><a>beta</a></r>") ]
        ());
   check Alcotest.int "comments" 1
-    (List.length (Database.query db ~table:"t" ~column:"doc" ~xpath:"/r/comment()"));
+    (List.length (db_query db ~table:"t" ~column:"doc" ~xpath:"/r/comment()"));
   check Alcotest.int "pis" 1
     (List.length
-       (Database.query db ~table:"t" ~column:"doc"
+       (db_query db ~table:"t" ~column:"doc"
           ~xpath:"/r/processing-instruction()"));
   check
     (Alcotest.list Alcotest.string)
     "text() predicate"
     [ "<a>beta</a>" ]
-    (Database.query_serialized db ~table:"t" ~column:"doc"
+    (db_query_serialized db ~table:"t" ~column:"doc"
        ~xpath:"/r/a[text() = \"beta\"]");
   check Alcotest.int "node() children" 4
-    (List.length (Database.query db ~table:"t" ~column:"doc" ~xpath:"/r/node()"))
+    (List.length (db_query db ~table:"t" ~column:"doc" ~xpath:"/r/node()"))
 
 (* --- durability --- *)
 
@@ -381,7 +395,7 @@ let test_durability_reopen () =
              ())
       done;
       let expected =
-        Database.query db ~table:"products" ~column:"doc"
+        db_query db ~table:"products" ~column:"doc"
           ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"
       in
       Database.close db;
@@ -395,7 +409,7 @@ let test_durability_reopen () =
         "index restored" [ "regprice" ]
         (Database.list_xml_indexes db2 ~table:"products" ~column:"doc");
       let actual =
-        Database.query db2 ~table:"products" ~column:"doc"
+        db_query db2 ~table:"products" ~column:"doc"
           ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"
       in
       check Alcotest.string "query results survive reopen" (show_matches expected)
@@ -421,7 +435,7 @@ let test_index_backfill () =
   in
   check Alcotest.bool "index used" true info.Database.uses_index;
   check (Alcotest.list Alcotest.int) "backfilled results" [ 6; 7; 8; 9; 10 ]
-    (Database.query_docids db ~table:"products" ~column:"doc"
+    (db_query_docids db ~table:"products" ~column:"doc"
        ~xpath:"/Catalog/Categories/Product[RegPrice > 50]")
 
 (* --- property: random predicates, index = scan --- *)
@@ -446,8 +460,8 @@ let index_scan_equiv_prop =
             Printf.sprintf "/Catalog//Product[Discount >= %g]"
               (float_of_int (threshold mod 5) /. 10.)
       in
-      let a = Database.query db_idx ~table:"products" ~column:"doc" ~xpath:q in
-      let b = Database.query db_scan ~table:"products" ~column:"doc" ~xpath:q in
+      let a = db_query db_idx ~table:"products" ~column:"doc" ~xpath:q in
+      let b = db_query db_scan ~table:"products" ~column:"doc" ~xpath:q in
       show_matches a = show_matches b)
 
 let () =
