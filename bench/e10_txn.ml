@@ -1,0 +1,121 @@
+(* E10 — engine-level transaction smoke: interleaved reader and writer
+   sessions through the Database facade. Readers hold open transactions
+   across writer commits and must keep seeing their begin-time snapshot
+   (readers never block, §5's multiversioning claim); writers run
+   multi-statement transactions, some committed, some rolled back. Any
+   isolation violation aborts the run with a non-zero exit, so CI can use
+   this as a concurrency gate. *)
+
+open Systemrx
+open Rx_relational
+
+let n_docs = 24
+let rounds = 60
+
+let doc_body ~id ~rev =
+  Printf.sprintf "<doc><id>%d</id><rev>%d</rev><payload>%s</payload></doc>" id rev
+    (String.make 48 'x')
+
+let violation fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "E10 ISOLATION VIOLATION: %s\n" s;
+      exit 1)
+    fmt
+
+let count_rev db ?txn ~rev () =
+  let r =
+    Database.run ?txn db ~table:"docs" ~column:"body"
+      ~xpath:(Printf.sprintf "/doc[rev = %d]" rev)
+  in
+  List.length r.Database.matches
+
+let run () =
+  Report.print_header "E10 Transaction concurrency smoke (sessions + MVCC)";
+  let db = Database.create_in_memory () in
+  let _ = Database.create_table db ~name:"docs" ~columns:[ ("body", Value.T_xml) ] in
+  for i = 1 to n_docs do
+    ignore
+      (Database.insert db ~table:"docs"
+         ~xml:[ ("body", doc_body ~id:i ~rev:0) ]
+         ())
+  done;
+  let committed = ref 0 and rolled_back = ref 0 and snapshot_reads = ref 0 in
+  let (), ms =
+    Report.time_ms (fun () ->
+        for round = 1 to rounds do
+          (* a reader opens before the round's writers touch anything *)
+          let reader = Database.begin_txn db in
+          let before = count_rev db ~txn:reader ~rev:(round - 1) () in
+          (* writer 1: bump every document to this round's revision and
+             commit; statements are staged, invisible until commit *)
+          let w1 = Database.begin_txn db in
+          for i = 1 to n_docs do
+            let r =
+              Database.run ~txn:w1 db ~table:"docs" ~column:"body"
+                ~xpath:"/doc/rev"
+            in
+            ignore r;
+            let node =
+              match
+                List.filter (fun m -> m.Database.docid = i) r.Database.matches
+              with
+              | m :: _ -> m.Database.node
+              | [] -> violation "writer lost sight of DocID %d" i
+            in
+            Database.update_xml_text ~txn:w1 db ~table:"docs" ~column:"body"
+              ~docid:i node
+              (string_of_int round)
+          done;
+          (* mid-flight: the open reader and fresh auto-commit reads still
+             see the previous revision everywhere *)
+          if count_rev db ~rev:(round - 1) () <> n_docs then
+            violation "staged writes leaked into auto-commit reads (round %d)"
+              round;
+          Database.commit db w1;
+          incr committed;
+          (* writer 2: stage churn on a few documents, then roll back *)
+          let w2 = Database.begin_txn db in
+          let d =
+            Database.insert ~txn:w2 db ~table:"docs"
+              ~xml:[ ("body", doc_body ~id:999 ~rev:999) ]
+              ()
+          in
+          Database.delete ~txn:w2 db ~table:"docs" ~docid:((round mod n_docs) + 1);
+          ignore d;
+          Database.rollback db w2;
+          incr rolled_back;
+          (* the reader's snapshot: exactly what it saw at begin, despite a
+             committed writer and a rolled-back writer in between *)
+          let after = count_rev db ~txn:reader ~rev:(round - 1) () in
+          incr snapshot_reads;
+          if after <> before || after <> n_docs then
+            violation
+              "reader snapshot drifted in round %d: %d docs at begin, %d after \
+               concurrent commit"
+              round before after;
+          if count_rev db ~txn:reader ~rev:round () <> 0 then
+            violation "reader saw a commit that postdates its snapshot (round %d)"
+              round;
+          Database.commit db reader;
+          (* with no open transaction, current state is the new revision *)
+          if count_rev db ~rev:round () <> n_docs then
+            violation "committed writes missing after round %d" round
+        done)
+  in
+  let s = Database.stats db in
+  if s.Database.documents <> n_docs then
+    violation "document count drifted: %d (expected %d)" s.Database.documents
+      n_docs;
+  Report.print_table
+    ~columns:[ "metric"; "value" ]
+    [
+      [ "rounds"; string_of_int rounds ];
+      [ "committed txns"; string_of_int !committed ];
+      [ "rolled-back txns"; string_of_int !rolled_back ];
+      [ "snapshot reads checked"; string_of_int !snapshot_reads ];
+      [ "total"; Report.fmt_ms ms ];
+    ];
+  Report.print_note
+    "  snapshot isolation held across %d interleaved reader/writer rounds"
+    rounds

@@ -18,6 +18,7 @@ let experiments =
     ("e7", E7_parse.run);
     ("e8", E8_concurrency.run);
     ("e9", E9_updates.run);
+    ("e10", E10_txn.run);
   ]
 
 let () =

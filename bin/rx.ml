@@ -8,6 +8,7 @@
      rx get             --db DIR --table T --column C --docid N
      rx query           --db DIR --table T --column C --xpath Q [--explain] [--profile]
      rx search          --db DIR --table T --column C --terms "native xml"
+     rx exec            --db DIR [--file SCRIPT]   (BEGIN/COMMIT/ROLLBACK batches)
      rx stats           --db DIR [--json]
 *)
 
@@ -34,6 +35,15 @@ let handle_errors f =
     f ();
     0
   with
+  | Database.Busy { txid; blockers } ->
+      Printf.eprintf "error: transaction %d blocked by %s\n" txid
+        (String.concat "," (List.map string_of_int blockers));
+      1
+  | Rx_txn.Lock_manager.Deadlock { victim; cycle } ->
+      Printf.eprintf "error: deadlock (cycle %s), transaction %d rolled back\n"
+        (String.concat " -> " (List.map string_of_int cycle))
+        victim;
+      1
   | Invalid_argument msg | Failure msg ->
       Printf.eprintf "error: %s\n" msg;
       1
@@ -292,6 +302,149 @@ let xquery_cmd =
   Cmd.v (Cmd.info "xquery" ~doc:"Evaluate a FLWOR query over a collection.")
     Term.(const run $ db_arg $ query_arg $ explain_arg)
 
+(* --- exec: transactional batch scripts --- *)
+
+(* One statement per line; '#' starts a comment. Keywords are
+   case-insensitive:
+
+     BEGIN
+     COMMIT
+     ROLLBACK
+     INSERT <table> <column>=<xml document>     (rest of line is the document)
+     DELETE <table> <docid>
+     UPDATE-TEXT <table> <column> <docid> <xpath> <new text>
+     QUERY <table> <column> <xpath>
+     GET <table> <column> <docid>
+
+   Statements between BEGIN and COMMIT run in one transaction: queries see
+   the BEGIN-time snapshot plus the script's own writes, and ROLLBACK (or
+   end-of-script, or a failing statement) undoes everything staged. *)
+let exec_script db ic =
+  let txn = ref None in
+  let lineno = ref 0 in
+  let fail msg = invalid_arg (Printf.sprintf "line %d: %s" !lineno msg) in
+  let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then begin
+         let keyword, rest =
+           match String.index_opt line ' ' with
+           | Some i ->
+               ( String.lowercase_ascii (String.sub line 0 i),
+                 String.trim (String.sub line i (String.length line - i)) )
+           | None -> (String.lowercase_ascii line, "")
+         in
+         match keyword with
+         | "begin" ->
+             if !txn <> None then fail "transaction already open";
+             let tx = Database.begin_txn db in
+             txn := Some tx;
+             Printf.printf "BEGIN txn %d\n" (Database.txn_id tx)
+         | "commit" -> (
+             match !txn with
+             | None -> fail "no open transaction"
+             | Some tx ->
+                 Database.commit db tx;
+                 txn := None;
+                 Printf.printf "COMMIT txn %d\n" (Database.txn_id tx))
+         | "rollback" -> (
+             match !txn with
+             | None -> fail "no open transaction"
+             | Some tx ->
+                 Database.rollback db tx;
+                 txn := None;
+                 Printf.printf "ROLLBACK txn %d\n" (Database.txn_id tx))
+         | "insert" -> (
+             match String.index_opt rest ' ' with
+             | None -> fail "usage: INSERT <table> <column>=<xml>"
+             | Some i ->
+                 let table = String.sub rest 0 i in
+                 let kv = String.trim (String.sub rest i (String.length rest - i)) in
+                 let column, doc =
+                   match String.index_opt kv '=' with
+                   | Some j ->
+                       ( String.sub kv 0 j,
+                         String.sub kv (j + 1) (String.length kv - j - 1) )
+                   | None -> fail "usage: INSERT <table> <column>=<xml>"
+                 in
+                 let docid =
+                   Database.insert ?txn:!txn db ~table ~xml:[ (column, doc) ] ()
+                 in
+                 Printf.printf "inserted DocID %d\n" docid)
+         | "delete" -> (
+             match words rest with
+             | [ table; docid ] ->
+                 Database.delete ?txn:!txn db ~table ~docid:(int_of_string docid);
+                 Printf.printf "deleted DocID %s\n" docid
+             | _ -> fail "usage: DELETE <table> <docid>")
+         | "update-text" -> (
+             match words rest with
+             | table :: column :: docid :: xpath :: (_ :: _ as content) ->
+                 let docid = int_of_string docid in
+                 let content = String.concat " " content in
+                 let r = Database.run ?txn:!txn db ~table ~column ~xpath in
+                 let node =
+                   match
+                     List.filter (fun m -> m.Database.docid = docid) r.Database.matches
+                   with
+                   | m :: _ -> m.Database.node
+                   | [] -> fail (Printf.sprintf "no match for %s in DocID %d" xpath docid)
+                 in
+                 Database.update_xml_text ?txn:!txn db ~table ~column ~docid node content;
+                 Printf.printf "updated DocID %d\n" docid
+             | _ -> fail "usage: UPDATE-TEXT <table> <column> <docid> <xpath> <text>")
+         | "query" -> (
+             match words rest with
+             | table :: column :: (_ :: _ as xpath) ->
+                 let xpath = String.concat " " xpath in
+                 let r = Database.run ?txn:!txn db ~table ~column ~xpath in
+                 List.iter
+                   (fun m -> print_endline (r.Database.serialize m))
+                   r.Database.matches;
+                 Printf.printf "%d match(es)\n" (List.length r.Database.matches)
+             | _ -> fail "usage: QUERY <table> <column> <xpath>")
+         | "get" -> (
+             match words rest with
+             | [ table; column; docid ] ->
+                 print_endline
+                   (Database.document ?txn:!txn db ~table ~column
+                      ~docid:(int_of_string docid))
+             | _ -> fail "usage: GET <table> <column> <docid>")
+         | kw -> fail (Printf.sprintf "unknown statement %S" kw)
+       end
+     done
+   with End_of_file -> ());
+  match !txn with
+  | Some tx ->
+      Database.rollback db tx;
+      Printf.eprintf "warning: transaction %d open at end of script, rolled back\n"
+        (Database.txn_id tx)
+  | None -> ()
+
+let exec_cmd =
+  let file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Script file (default: stdin).")
+  in
+  let run dir file =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            match file with
+            | None -> exec_script db stdin
+            | Some path ->
+                let ic = open_in path in
+                Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                    exec_script db ic)))
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:"Run a batch script with BEGIN/COMMIT/ROLLBACK transaction control.")
+    Term.(const run $ db_arg $ file_arg)
+
 let stats_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the full metrics registry as JSON.")
@@ -338,5 +491,5 @@ let () =
           [
             init_cmd; create_table_cmd; create_index_cmd; create_text_index_cmd;
             register_schema_cmd; bind_schema_cmd; insert_cmd; get_cmd; query_cmd;
-            xquery_cmd; search_cmd; stats_cmd;
+            xquery_cmd; search_cmd; exec_cmd; stats_cmd;
           ]))

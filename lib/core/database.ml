@@ -10,14 +10,71 @@ type xml_column = {
   mutable text_indexes : (string * Rx_fulltext.Text_index.t) list;
   mutable schema : Rx_schema.Compiled.t option;
   mutable schema_name : string option;
+  (* MVCC overlay: [store] always holds the current committed version;
+     [mvcc] stages uncommitted writes and retains pre-images for active
+     snapshots; [created] maps docid -> commit timestamp at which the
+     current version in [store] became current (absent = "since forever").
+     Both are populated only while explicit transactions are active and
+     purged when the last one ends. *)
+  mutable mvcc : Rx_txn.Mvcc_store.t option;
+  created : (int, int) Hashtbl.t;
 }
 
 type table = {
   tname : string;
+  tid : int; (* lock-resource table id, stable for this process *)
   base : Base_table.t;
   xml_columns : (string * xml_column) list;
   mutable next_docid : int;
 }
+
+(* a transaction's private view of one (table, column, docid) *)
+type local_state =
+  | L_staged of {
+      m : Rx_txn.Mvcc_store.t;
+      s : Rx_txn.Mvcc_store.staged;
+      replay : bool; (* working copy of an existing doc: replay ops at commit *)
+    }
+  | L_deleted
+
+type pending =
+  | P_insert of {
+      p_table : string;
+      p_docid : int;
+      p_row : Value.t array;
+      p_xml : (string * Rx_txn.Mvcc_store.staged) list;
+    }
+  | P_delete of { p_table : string; p_docid : int }
+  | P_update_text of {
+      p_table : string;
+      p_column : string;
+      p_docid : int;
+      p_node : Node_id.t;
+      p_content : string;
+    }
+  | P_insert_fragment of {
+      p_table : string;
+      p_column : string;
+      p_docid : int;
+      p_pos : Doc_store.position;
+      p_tokens : Token.t list;
+    }
+  | P_delete_node of {
+      p_table : string;
+      p_column : string;
+      p_docid : int;
+      p_node : Node_id.t;
+    }
+
+type txn = {
+  tx : Rx_txn.Transaction.t;
+  snapshot : int; (* commit timestamp visible to this transaction's reads *)
+  mutable pending : pending list; (* newest first; replayed in order at commit *)
+  locals : (string * string * int, local_state) Hashtbl.t;
+  mutable txn_open : bool;
+}
+
+exception Busy of { txid : int; blockers : int list }
 
 type t = {
   pool : Buffer_pool.t;
@@ -30,6 +87,8 @@ type t = {
   tracer : Rx_obs.Trace.t;
   mutable tables : (string * table) list;
   mutable schemas : (string * Rx_schema.Compiled.t) list;
+  mutable commit_ts : int; (* advances on every versioned commit *)
+  mutable active_txns : txn list;
 }
 
 type match_ = { docid : int; node : Node_id.t }
@@ -48,6 +107,12 @@ type result = {
 let install_txn pool log =
   let mgr = Rx_txn.Transaction.create_manager ~log ~pool () in
   Rx_txn.Transaction.install_journal mgr;
+  (* register session counters eagerly so they are visible in [rx stats]
+     even before the first explicit transaction *)
+  let metrics = Buffer_pool.metrics pool in
+  List.iter
+    (fun n -> ignore (Rx_obs.Metrics.counter metrics n))
+    [ "txn.begin"; "txn.commit"; "txn.abort" ];
   mgr
 
 let create_in_memory ?page_size ?(record_threshold = 2048) () =
@@ -70,17 +135,21 @@ let create_in_memory ?page_size ?(record_threshold = 2048) () =
     tracer = Rx_obs.Trace.create ();
     tables = [];
     schemas = [];
+    commit_ts = 0;
+    active_txns = [];
   }
 
-let in_txn t f =
+let in_txn_as t f =
   let txn = Rx_txn.Transaction.begin_txn t.txn_mgr in
-  match Rx_txn.Transaction.run_as txn f with
+  match Rx_txn.Transaction.run_as txn (fun () -> f txn) with
   | result ->
       ignore (Rx_txn.Transaction.commit txn);
       result
   | exception e ->
       ignore (Rx_txn.Transaction.abort txn);
       raise e
+
+let in_txn t f = in_txn_as t (fun _ -> f ())
 
 let dict t = t.dict
 let buffer_pool t = t.pool
@@ -169,9 +238,8 @@ let checkpoint t =
   save_catalog t;
   Rx_wal.Recovery.checkpoint t.log t.pool
 
-let close t =
-  checkpoint t;
-  Pager.close (Buffer_pool.pager t.pool)
+(* [close] lives below the session machinery: it rolls back any
+   transaction still open *)
 
 let open_dir ?page_size ?(record_threshold = 2048) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
@@ -199,6 +267,8 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
       tracer;
       tables = [];
       schemas = [];
+      commit_ts = 0;
+      active_txns = [];
     }
   end
   else begin
@@ -235,9 +305,12 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
         tracer;
         tables = [];
         schemas;
+        commit_ts = 0;
+        active_txns = [];
       }
     in
     (* rebuild tables *)
+    let next_tid = ref 0 in
     let tables =
       List.filter_map
         (function
@@ -257,11 +330,22 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
                           Doc_store.attach ~record_threshold pool dict
                             ~heap_header ~index_meta:node_index_meta
                         in
-                        Some (column, { store; indexes = []; text_indexes = []; schema = None; schema_name = None })
+                        Some
+                          ( column,
+                            {
+                              store;
+                              indexes = [];
+                              text_indexes = [];
+                              schema = None;
+                              schema_name = None;
+                              mvcc = None;
+                              created = Hashtbl.create 16;
+                            } )
                     | _ -> None)
                   entries
               in
-              Some (name, { tname = name; base; xml_columns; next_docid })
+              incr next_tid;
+              Some (name, { tname = name; tid = !next_tid; base; xml_columns; next_docid })
           | _ -> None)
         entries
     in
@@ -325,11 +409,15 @@ let create_table t ~name ~columns =
                     text_indexes = [];
                     schema = None;
                     schema_name = None;
+                    mvcc = None;
+                    created = Hashtbl.create 16;
                   } )
             else None)
           columns
       in
-      let tbl = { tname = name; base; xml_columns; next_docid = 1 } in
+      let tbl =
+        { tname = name; tid = List.length t.tables + 1; base; xml_columns; next_docid = 1 }
+      in
       t.tables <- t.tables @ [ (name, tbl) ];
       tbl)
 
@@ -416,92 +504,599 @@ let text_score t ~table ~column ~docid query =
     0
     (List.sort_uniq compare (Rx_fulltext.Text_index.tokenize query))
 
+(* --- sessions, locking and the MVCC overlay --- *)
+
+let doc_resource tbl docid = Rx_txn.Resource.Document { table = tbl.tid; docid }
+
+let node_resource tbl docid node =
+  Rx_txn.Resource.Node { table = tbl.tid; docid; node }
+
+let ensure_mvcc t xc =
+  match xc.mvcc with
+  | Some m -> m
+  | None ->
+      (* created under its own (immediately committed) transaction so the
+         staging store's header pages never belong to an explicit
+         transaction's rollback *)
+      let m =
+        in_txn t (fun () ->
+            Rx_txn.Mvcc_store.create ~record_threshold:t.record_threshold t.pool
+              t.dict)
+      in
+      xc.mvcc <- Some m;
+      m
+
+let find_active t txid =
+  List.find_opt (fun x -> Rx_txn.Transaction.txid x.tx = txid) t.active_txns
+
+(* once the last explicit transaction ends nothing can read an old
+   version anymore: drop retained versions and creation timestamps *)
+let maybe_purge t =
+  if t.active_txns = [] then
+    List.iter
+      (fun (_, tbl) ->
+        List.iter
+          (fun (_, xc) ->
+            (match xc.mvcc with
+            | Some m -> Rx_txn.Mvcc_store.clear m
+            | None -> ());
+            Hashtbl.reset xc.created)
+          tbl.xml_columns)
+      t.tables
+
+let begin_txn t =
+  let tx = Rx_txn.Transaction.begin_txn t.txn_mgr in
+  let txn =
+    { tx; snapshot = t.commit_ts; pending = []; locals = Hashtbl.create 16; txn_open = true }
+  in
+  t.active_txns <- txn :: t.active_txns;
+  Rx_obs.Metrics.(incr (counter t.metrics "txn.begin"));
+  txn
+
+let txn_id txn = Rx_txn.Transaction.txid txn.tx
+let txn_active txn = txn.txn_open
+
+let ensure_txn_open txn =
+  if not txn.txn_open then invalid_arg "Database: transaction is not open"
+
+let rollback t txn =
+  if txn.txn_open then begin
+    txn.txn_open <- false;
+    t.active_txns <- List.filter (fun x -> x != txn) t.active_txns;
+    (* logical rollback: staged versions live only in the staging store, so
+       compensating deletes (attributed to this transaction in the WAL)
+       restore the exact pre-transaction state without desyncing any
+       store's in-memory bookkeeping *)
+    ignore
+      (Rx_txn.Transaction.abort
+         ~undo:(fun () ->
+           Hashtbl.iter
+             (fun _ st ->
+               match st with
+               | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
+               | L_deleted -> ())
+             txn.locals)
+         txn.tx);
+    Rx_obs.Metrics.(incr (counter t.metrics "txn.abort"));
+    maybe_purge t
+  end
+
+(* Acquire [mode] on [resource] for [tx]. A blocked request stays queued
+   (its waits-for edges feed deadlock detection) and surfaces as [Busy];
+   a waits-for cycle designates a victim: another session transaction is
+   wounded (rolled back) and the request retried, otherwise the requester
+   itself must abort ([on_self]) and the deadlock is re-raised. *)
+let rec acquire_resource t ~on_self tx resource mode =
+  match Rx_txn.Transaction.lock_detect tx resource mode with
+  | `Granted -> ()
+  | `Blocked blockers ->
+      raise (Busy { txid = Rx_txn.Transaction.txid tx; blockers })
+  | `Deadlock (victim, cycle) ->
+      let self = Rx_txn.Transaction.txid tx in
+      let wounded =
+        victim <> self
+        &&
+        match find_active t victim with
+        | Some v ->
+            rollback t v;
+            true
+        | None -> false
+      in
+      if wounded then acquire_resource t ~on_self tx resource mode
+      else begin
+        on_self ();
+        raise (Rx_txn.Lock_manager.Deadlock { victim = self; cycle })
+      end
+
+let acquire t txn resource mode =
+  acquire_resource t ~on_self:(fun () -> rollback t txn) txn.tx resource mode
+
+(* Before the current committed version of [docid] is overwritten or
+   deleted at timestamp [new_ts], retain a copy readable by the snapshots
+   that could still need it. Published at the timestamp the current
+   version became current, so visibility is unchanged for every older
+   snapshot. *)
+let retain_before_change t xc ~docid ~new_ts =
+  if
+    t.active_txns <> []
+    && Doc_store.mem xc.store ~docid
+    && Hashtbl.find_opt xc.created docid <> Some new_ts
+  then begin
+    let m = ensure_mvcc t xc in
+    let old_ts = Option.value ~default:0 (Hashtbl.find_opt xc.created docid) in
+    let tokens = Doc_store.tokens xc.store ~docid in
+    ignore
+      (Rx_txn.Mvcc_store.commit ~at:old_ts m
+         [ Rx_txn.Mvcc_store.stage_write m ~docid tokens ])
+  end
+
+(* after a delete: older snapshots may still read a retained version, so a
+   non-empty chain needs an explicit tombstone at the deletion timestamp *)
+let tombstone_after_delete xc ~docid ~ts =
+  match xc.mvcc with
+  | Some m when Rx_txn.Mvcc_store.tracked m ~docid ->
+      ignore
+        (Rx_txn.Mvcc_store.commit ~at:ts m [ Rx_txn.Mvcc_store.stage_delete m ~docid ])
+  | _ -> ()
+
+let parse_column_doc t xc src =
+  match xc.schema with
+  | Some compiled -> Rx_schema.Validator.validate_document compiled t.dict src
+  | None -> Parser.parse t.dict src
+
+let build_row tbl ~values ~xml docid =
+  Array.map
+    (fun (cname, ty) ->
+      if ty = Value.T_xml then
+        if List.mem_assoc cname xml then Value.Xml_ref docid else Value.Null
+      else
+        match List.assoc_opt cname values with
+        | Some v -> v
+        | None -> Value.Null)
+    (Base_table.columns tbl.base)
+
+(* delete of the committed document [d] in column [cname]: retain the
+   pre-image for live snapshots, drop the current version, tombstone the
+   chain *)
+let delete_column_doc t tbl cname ~d ~ts ~versioned =
+  let xc = xml_column_exn tbl cname in
+  if versioned then retain_before_change t xc ~docid:d ~new_ts:ts;
+  Doc_store.delete_document xc.store ~docid:d;
+  Hashtbl.remove xc.created d;
+  if versioned then tombstone_after_delete xc ~docid:d ~ts
+
+let delete_row t tbl ~docid ~ts ~versioned =
+  match Base_table.fetch_by_docid tbl.base docid with
+  | None -> invalid_arg (Printf.sprintf "Database: no row with DocID %d" docid)
+  | Some row ->
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Value.Xml_ref d ->
+              let cname, _ = (Base_table.columns tbl.base).(i) in
+              delete_column_doc t tbl cname ~d ~ts ~versioned
+          | _ -> ())
+        row;
+      ignore (Base_table.delete_by_docid tbl.base docid)
+
+(* [update_xml_text] accepts the text node itself or an element node; for
+   an element the update targets its first text-node child. Resolution
+   happens against the store actually being written (main or staged
+   working copy), where the node ids coincide. *)
+let text_target ds ~docid node =
+  match Doc_store.Cursor.find ds ~docid node with
+  | None -> node (* let Doc_store report the missing node *)
+  | Some c -> (
+      match Doc_store.Cursor.entry c with
+      | Record_format.Text _ -> node
+      | _ ->
+          let rec scan = function
+            | None -> node
+            | Some ch -> (
+                match Doc_store.Cursor.entry ch with
+                | Record_format.Text _ -> Doc_store.Cursor.node_id ch
+                | _ -> scan (Doc_store.Cursor.next_sibling ds ch))
+          in
+          scan (Doc_store.Cursor.first_child ds c))
+
+(* replay one staged statement against the current committed state; runs
+   inside the committing transaction, so index/full-text observers fire
+   here — index maintenance is deferred to commit *)
+let apply_pending t ts op =
+  let versioned = t.active_txns <> [] in
+  match op with
+  | P_insert { p_table; p_docid; p_row; p_xml } ->
+      let tbl = table_exn t p_table in
+      List.iter
+        (fun (column, s) ->
+          let xc = xml_column_exn tbl column in
+          (match (Rx_txn.Mvcc_store.staged_internal s, xc.mvcc) with
+          | Some internal, Some m ->
+              let tokens =
+                Doc_store.tokens (Rx_txn.Mvcc_store.store m) ~docid:internal
+              in
+              Doc_store.insert_tokens xc.store ~docid:p_docid tokens
+          | _ -> ());
+          if versioned then Hashtbl.replace xc.created p_docid ts)
+        p_xml;
+      ignore (Base_table.insert tbl.base ~docid:p_docid p_row)
+  | P_delete { p_table; p_docid } ->
+      let tbl = table_exn t p_table in
+      delete_row t tbl ~docid:p_docid ~ts ~versioned
+  | P_update_text { p_table; p_column; p_docid; p_node; p_content } ->
+      let tbl = table_exn t p_table in
+      let xc = xml_column_exn tbl p_column in
+      if versioned then retain_before_change t xc ~docid:p_docid ~new_ts:ts;
+      Doc_store.update_text xc.store ~docid:p_docid
+        (text_target xc.store ~docid:p_docid p_node)
+        p_content;
+      if versioned then Hashtbl.replace xc.created p_docid ts
+  | P_insert_fragment { p_table; p_column; p_docid; p_pos; p_tokens } ->
+      let tbl = table_exn t p_table in
+      let xc = xml_column_exn tbl p_column in
+      if versioned then retain_before_change t xc ~docid:p_docid ~new_ts:ts;
+      ignore (Doc_store.insert_fragment xc.store ~docid:p_docid p_pos p_tokens);
+      if versioned then Hashtbl.replace xc.created p_docid ts
+  | P_delete_node { p_table; p_column; p_docid; p_node } ->
+      let tbl = table_exn t p_table in
+      let xc = xml_column_exn tbl p_column in
+      if versioned then retain_before_change t xc ~docid:p_docid ~new_ts:ts;
+      Doc_store.delete_subtree xc.store ~docid:p_docid p_node;
+      if versioned then Hashtbl.replace xc.created p_docid ts
+
+let commit t txn =
+  ensure_txn_open txn;
+  txn.txn_open <- false;
+  t.active_txns <- List.filter (fun x -> x != txn) t.active_txns;
+  let ops = List.rev txn.pending in
+  (match
+     Rx_txn.Transaction.run_as txn.tx (fun () ->
+         let ts = t.commit_ts + 1 in
+         List.iter (apply_pending t ts) ops;
+         (* reclaim staged working storage: every staged handle in [locals]
+            is either a consumed insert image or a private working copy *)
+         Hashtbl.iter
+           (fun _ st ->
+             match st with
+             | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
+             | L_deleted -> ())
+           txn.locals;
+         t.commit_ts <- ts)
+   with
+  | () -> ignore (Rx_txn.Transaction.commit txn.tx)
+  | exception e ->
+      (* commit replay failed: physically roll back this transaction's page
+         updates; the durable state is consistent after reopen (recovery
+         treats it as a loser), but this in-memory handle may be stale *)
+      ignore (Rx_txn.Transaction.abort txn.tx);
+      Rx_obs.Metrics.(incr (counter t.metrics "txn.abort"));
+      maybe_purge t;
+      raise e);
+  Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
+  maybe_purge t
+
+let close t =
+  (* a handle abandoned mid-transaction rolls back, like a dropped session *)
+  List.iter (rollback t) t.active_txns;
+  checkpoint t;
+  Pager.close (Buffer_pool.pager t.pool)
+
+(* visibility of (table, column, docid) for an optional transaction:
+   own staged state first, then the created-timestamp / version-chain
+   rule. Returns where to read the document from. *)
+let resolve t txn_opt tbl xc ~column ~docid =
+  let local =
+    match txn_opt with
+    | Some txn -> Hashtbl.find_opt txn.locals (tbl.tname, column, docid)
+    | None -> None
+  in
+  match local with
+  | Some L_deleted -> `Absent
+  | Some (L_staged { m; s; _ }) -> (
+      match Rx_txn.Mvcc_store.staged_internal s with
+      | Some i -> `Internal (Rx_txn.Mvcc_store.store m, i)
+      | None -> `Absent)
+  | None -> (
+      let snapshot =
+        match txn_opt with Some txn -> txn.snapshot | None -> t.commit_ts
+      in
+      let current_visible =
+        Doc_store.mem xc.store ~docid
+        &&
+        match Hashtbl.find_opt xc.created docid with
+        | Some ts -> ts <= snapshot
+        | None -> true
+      in
+      if current_visible then `Main
+      else
+        match xc.mvcc with
+        | None -> `Absent
+        | Some m -> (
+            match Rx_txn.Mvcc_store.lookup_at m ~snapshot ~docid with
+            | `Version i -> `Internal (Rx_txn.Mvcc_store.store m, i)
+            | `Tombstone | `Invisible | `Untracked -> `Absent))
+
 (* --- DML --- *)
 
-let insert t ~table ?(values = []) ?(xml = []) () =
+let insert ?txn t ~table ?(values = []) ?(xml = []) () =
   let tbl = table_exn t table in
-  in_txn t (fun () ->
-      let docid = tbl.next_docid in
-      tbl.next_docid <- docid + 1;
-      (* store the XML column documents first (validated if bound) *)
-      List.iter
-        (fun (column, src) ->
-          let xc = xml_column_exn tbl column in
-          let tokens =
-            match xc.schema with
-            | Some compiled -> Rx_schema.Validator.validate_document compiled t.dict src
-            | None -> Parser.parse t.dict src
+  match txn with
+  | None ->
+      in_txn t (fun () ->
+          let docid = tbl.next_docid in
+          tbl.next_docid <- docid + 1;
+          (* store the XML column documents first (validated if bound) *)
+          List.iter
+            (fun (column, src) ->
+              let xc = xml_column_exn tbl column in
+              Doc_store.insert_tokens xc.store ~docid (parse_column_doc t xc src))
+            xml;
+          ignore (Base_table.insert tbl.base ~docid (build_row tbl ~values ~xml docid));
+          (* a fresh docid cannot conflict with any lock, but concurrent
+             snapshots must not see it *)
+          if t.active_txns <> [] then begin
+            let ts = t.commit_ts + 1 in
+            List.iter
+              (fun (column, _) ->
+                Hashtbl.replace (xml_column_exn tbl column).created docid ts)
+              xml;
+            t.commit_ts <- ts
+          end;
+          docid)
+  | Some txn ->
+      ensure_txn_open txn;
+      Rx_txn.Transaction.run_as txn.tx (fun () ->
+          let docid = tbl.next_docid in
+          tbl.next_docid <- docid + 1;
+          acquire t txn (doc_resource tbl docid) Rx_txn.Lock_modes.X;
+          let staged_cols =
+            List.map
+              (fun (column, src) ->
+                let xc = xml_column_exn tbl column in
+                let tokens = parse_column_doc t xc src in
+                let m = ensure_mvcc t xc in
+                let s = Rx_txn.Mvcc_store.stage_write m ~docid tokens in
+                Hashtbl.replace txn.locals (table, column, docid)
+                  (L_staged { m; s; replay = false });
+                (column, s))
+              xml
           in
-          Doc_store.insert_tokens xc.store ~docid tokens)
-        xml;
-      let row =
-        Array.map
-          (fun (cname, ty) ->
-            if ty = Value.T_xml then
-              if List.mem_assoc cname xml then Value.Xml_ref docid else Value.Null
-            else
-              match List.assoc_opt cname values with
-              | Some v -> v
-              | None -> Value.Null)
-          (Base_table.columns tbl.base)
-      in
-      ignore (Base_table.insert tbl.base ~docid row);
-      docid)
+          txn.pending <-
+            P_insert
+              {
+                p_table = table;
+                p_docid = docid;
+                p_row = build_row tbl ~values ~xml docid;
+                p_xml = staged_cols;
+              }
+            :: txn.pending;
+          docid)
 
-let delete t ~table ~docid =
+let delete ?txn t ~table ~docid =
   let tbl = table_exn t table in
-  in_txn t (fun () ->
-      (match Base_table.fetch_by_docid tbl.base docid with
-      | None -> invalid_arg (Printf.sprintf "Database: no row with DocID %d" docid)
-      | Some row ->
-          Array.iteri
-            (fun i v ->
-              match v with
-              | Value.Xml_ref d ->
-                  let cname, _ = (Base_table.columns tbl.base).(i) in
-                  let xc = xml_column_exn tbl cname in
-                  Doc_store.delete_document xc.store ~docid:d
-              | _ -> ())
-            row);
-      ignore (Base_table.delete_by_docid tbl.base docid))
+  match txn with
+  | None ->
+      in_txn_as t (fun atx ->
+          let versioned = t.active_txns <> [] in
+          let ts = t.commit_ts + 1 in
+          if versioned then
+            acquire_resource t ~on_self:ignore atx (doc_resource tbl docid)
+              Rx_txn.Lock_modes.X;
+          delete_row t tbl ~docid ~ts ~versioned;
+          if versioned then t.commit_ts <- ts)
+  | Some txn ->
+      ensure_txn_open txn;
+      Rx_txn.Transaction.run_as txn.tx (fun () ->
+          acquire t txn (doc_resource tbl docid) Rx_txn.Lock_modes.X;
+          (* deleting a document inserted by this same transaction just
+             cancels the staged insert *)
+          let own_insert =
+            List.exists
+              (function
+                | P_insert { p_docid; p_table; _ } ->
+                    p_docid = docid && p_table = table
+                | _ -> false)
+              txn.pending
+          in
+          if own_insert then begin
+            txn.pending <-
+              List.filter
+                (function
+                  | P_insert { p_docid; p_table; _ } ->
+                      not (p_docid = docid && p_table = table)
+                  | _ -> true)
+                txn.pending;
+            Hashtbl.iter
+              (fun (tb, _, d) st ->
+                if tb = table && d = docid then
+                  match st with
+                  | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
+                  | L_deleted -> ())
+              txn.locals;
+            List.iter
+              (fun (cname, _) ->
+                Hashtbl.replace txn.locals (table, cname, docid) L_deleted)
+              tbl.xml_columns
+          end
+          else begin
+            if Base_table.fetch_by_docid tbl.base docid = None then
+              invalid_arg (Printf.sprintf "Database: no row with DocID %d" docid);
+            (* first-updater-wins: the row's documents must not have been
+               replaced since this transaction's snapshot *)
+            List.iter
+              (fun (_, xc) ->
+                match Hashtbl.find_opt xc.created docid with
+                | Some ts when ts > txn.snapshot ->
+                    failwith
+                      (Printf.sprintf
+                         "Database: write-write conflict on DocID %d (updated \
+                          since transaction began)"
+                         docid)
+                | _ -> ())
+              tbl.xml_columns;
+            txn.pending <- P_delete { p_table = table; p_docid = docid } :: txn.pending;
+            List.iter
+              (fun (cname, _) ->
+                Hashtbl.replace txn.locals (table, cname, docid) L_deleted)
+              tbl.xml_columns
+          end)
 
 let fetch_row t ~table ~docid =
   Base_table.fetch_by_docid (table_exn t table).base docid
 
 let row_count t ~table = Base_table.row_count (table_exn t table).base
 
-let document t ~table ~column ~docid =
+let document ?txn t ~table ~column ~docid =
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
-  Doc_store.serialize xc.store ~docid
+  (match txn with Some txn -> ensure_txn_open txn | None -> ());
+  match resolve t txn tbl xc ~column ~docid with
+  | `Main -> Doc_store.serialize xc.store ~docid
+  | `Internal (ds, i) -> Doc_store.serialize ds ~docid:i
+  | `Absent ->
+      invalid_arg (Printf.sprintf "Database: no document %d in %s.%s" docid table column)
 
-let update_xml_text t ~table ~column ~docid node content =
-  let tbl = table_exn t table in
-  let xc = xml_column_exn tbl column in
-  in_txn t (fun () -> Doc_store.update_text xc.store ~docid node content)
+(* Stage a sub-document statement: lock the node's subtree (which takes IX
+   on the document and table), then apply the statement to this
+   transaction's private working copy — creating it from the current
+   committed version on first touch — and remember it for replay at
+   commit. Statements against a document inserted by this same transaction
+   edit the staged insert image directly; no replay needed. *)
+let stage_subdoc t txn tbl ~table ~column ~docid ~lock_node ~op apply =
+  ensure_txn_open txn;
+  Rx_txn.Transaction.run_as txn.tx (fun () ->
+      let xc = xml_column_exn tbl column in
+      acquire t txn (node_resource tbl docid lock_node) Rx_txn.Lock_modes.X;
+      match Hashtbl.find_opt txn.locals (table, column, docid) with
+      | Some L_deleted ->
+          invalid_arg
+            (Printf.sprintf "Database: document %d deleted in this transaction" docid)
+      | Some (L_staged { m; s; replay }) ->
+          let internal =
+            match Rx_txn.Mvcc_store.staged_internal s with
+            | Some i -> i
+            | None -> assert false
+          in
+          let result = apply (Rx_txn.Mvcc_store.store m) internal in
+          if replay then txn.pending <- op :: txn.pending;
+          result
+      | None ->
+          if not (Doc_store.mem xc.store ~docid) then
+            invalid_arg
+              (Printf.sprintf "Database: no document %d in %s.%s" docid table column);
+          (* first-updater-wins: refuse to edit a document whose current
+             version postdates this transaction's snapshot *)
+          (match Hashtbl.find_opt xc.created docid with
+          | Some ts when ts > txn.snapshot ->
+              failwith
+                (Printf.sprintf
+                   "Database: write-write conflict on DocID %d (updated since \
+                    transaction began)"
+                   docid)
+          | _ -> ());
+          let m = ensure_mvcc t xc in
+          let s =
+            Rx_txn.Mvcc_store.stage_write m ~docid (Doc_store.tokens xc.store ~docid)
+          in
+          Hashtbl.replace txn.locals (table, column, docid)
+            (L_staged { m; s; replay = true });
+          let internal =
+            match Rx_txn.Mvcc_store.staged_internal s with
+            | Some i -> i
+            | None -> assert false
+          in
+          let result = apply (Rx_txn.Mvcc_store.store m) internal in
+          txn.pending <- op :: txn.pending;
+          result)
 
-let insert_xml_fragment t ~table ~column ~docid position fragment =
+let subdoc_auto t tbl xc ~docid ~lock_node apply =
+  in_txn_as t (fun atx ->
+      let versioned = t.active_txns <> [] in
+      let ts = t.commit_ts + 1 in
+      if versioned then begin
+        acquire_resource t ~on_self:ignore atx (node_resource tbl docid lock_node)
+          Rx_txn.Lock_modes.X;
+        retain_before_change t xc ~docid ~new_ts:ts
+      end;
+      let result = apply xc.store docid in
+      if versioned then begin
+        Hashtbl.replace xc.created docid ts;
+        t.commit_ts <- ts
+      end;
+      result)
+
+let update_xml_text ?txn t ~table ~column ~docid node content =
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
+  match txn with
+  | None ->
+      subdoc_auto t tbl xc ~docid ~lock_node:node (fun ds d ->
+          Doc_store.update_text ds ~docid:d (text_target ds ~docid:d node) content)
+  | Some txn ->
+      stage_subdoc t txn tbl ~table ~column ~docid ~lock_node:node
+        ~op:
+          (P_update_text
+             {
+               p_table = table;
+               p_column = column;
+               p_docid = docid;
+               p_node = node;
+               p_content = content;
+             })
+        (fun ds d ->
+          Doc_store.update_text ds ~docid:d (text_target ds ~docid:d node) content)
+
+let parse_fragment t fragment =
   (* parse the fragment with a synthetic wrapper, then strip it *)
   let tokens = Parser.parse t.dict ("<rx-fragment>" ^ fragment ^ "</rx-fragment>") in
-  let inner =
-    match tokens with
-    | Token.Start_document :: Token.Start_element _ :: rest ->
-        let rec strip acc = function
-          | [ Token.End_element; Token.End_document ] -> List.rev acc
-          | tok :: rest -> strip (tok :: acc) rest
-          | [] -> invalid_arg "Database.insert_xml_fragment: bad fragment"
-        in
-        strip [] rest
-    | _ -> invalid_arg "Database.insert_xml_fragment: bad fragment"
-  in
-  in_txn t (fun () -> Doc_store.insert_fragment xc.store ~docid position inner)
+  match tokens with
+  | Token.Start_document :: Token.Start_element _ :: rest ->
+      let rec strip acc = function
+        | [ Token.End_element; Token.End_document ] -> List.rev acc
+        | tok :: rest -> strip (tok :: acc) rest
+        | [] -> invalid_arg "Database.insert_xml_fragment: bad fragment"
+      in
+      strip [] rest
+  | _ -> invalid_arg "Database.insert_xml_fragment: bad fragment"
 
-let delete_xml_node t ~table ~column ~docid node =
+let position_anchor = function
+  | Doc_store.Before n | Doc_store.After n | Doc_store.Last_child_of n -> n
+
+let insert_xml_fragment ?txn t ~table ~column ~docid position fragment =
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
-  in_txn t (fun () -> Doc_store.delete_subtree xc.store ~docid node)
+  let inner = parse_fragment t fragment in
+  match txn with
+  | None ->
+      subdoc_auto t tbl xc ~docid ~lock_node:(position_anchor position)
+        (fun ds d -> Doc_store.insert_fragment ds ~docid:d position inner)
+  | Some txn ->
+      stage_subdoc t txn tbl ~table ~column ~docid
+        ~lock_node:(position_anchor position)
+        ~op:
+          (P_insert_fragment
+             {
+               p_table = table;
+               p_column = column;
+               p_docid = docid;
+               p_pos = position;
+               p_tokens = inner;
+             })
+        (fun ds d -> Doc_store.insert_fragment ds ~docid:d position inner)
+
+let delete_xml_node ?txn t ~table ~column ~docid node =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  match txn with
+  | None ->
+      subdoc_auto t tbl xc ~docid ~lock_node:node (fun ds d ->
+          Doc_store.delete_subtree ds ~docid:d node)
+  | Some txn ->
+      stage_subdoc t txn tbl ~table ~column ~docid ~lock_node:node
+        ~op:
+          (P_delete_node
+             { p_table = table; p_column = column; p_docid = docid; p_node = node })
+        (fun ds d -> Doc_store.delete_subtree ds ~docid:d node)
 
 let xml_handle t ~table ~column ~docid =
   let tbl = table_exn t table in
@@ -555,13 +1150,80 @@ let column_docids tbl column =
     tbl.base;
   List.rev !acc
 
-let serialize_match t xc m =
+let serialize_from t ds ~docid node =
   let tokens = ref [] in
-  Doc_store.subtree_events xc.store ~docid:m.docid m.node (fun e ->
+  Doc_store.subtree_events ds ~docid node (fun e ->
       tokens := e.Doc_store.token :: !tokens);
   Serializer.to_string t.dict (List.rev !tokens)
 
-let run ?ns_env t ~table ~column ~xpath =
+let serialize_match t xc m = serialize_from t xc.store ~docid:m.docid m.node
+
+(* candidate docids for a snapshot read: current rows, version-tracked
+   documents (which may be deleted from the base table but still visible
+   to this snapshot), and this transaction's own staged writes *)
+let txn_candidate_docids txn tbl ~column xc =
+  let seen = Hashtbl.create 64 in
+  let add d = if not (Hashtbl.mem seen d) then Hashtbl.replace seen d () in
+  let ci = Base_table.column_index tbl.base column in
+  (match ci with
+  | None -> invalid_arg (Printf.sprintf "Database: no column %s" column)
+  | Some ci ->
+      Base_table.iter
+        (fun _ row ->
+          match row.(ci) with Value.Xml_ref d -> add d | _ -> ())
+        tbl.base);
+  (match xc.mvcc with
+  | Some m -> Rx_txn.Mvcc_store.iter_tracked m add
+  | None -> ());
+  Hashtbl.iter
+    (fun (tb, col, d) _ -> if tb = tbl.tname && col = column then add d)
+    txn.locals;
+  List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) seen [])
+
+(* a transaction's reads bypass the planner: value indexes describe the
+   current committed state, not this snapshot, so every query scans the
+   snapshot-visible document set with QuickXScan *)
+let run_in_txn ?ns_env t txn ~table ~column ~xpath =
+  ensure_txn_open txn;
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let before = Rx_obs.Metrics.snapshot t.metrics in
+  let _, query = compile_query ?ns_env t xpath in
+  let matches =
+    Rx_obs.Trace.with_span t.tracer "db.query"
+      ~attrs:[ ("table", table); ("column", column); ("xpath", xpath) ]
+      (fun () ->
+        List.concat_map
+          (fun docid ->
+            match resolve t (Some txn) tbl xc ~column ~docid with
+            | `Main ->
+                List.map
+                  (fun node -> { docid; node })
+                  (Executor.eval_stored query xc.store ~docid)
+            | `Internal (ds, i) ->
+                List.map
+                  (fun node -> { docid; node })
+                  (Executor.eval_stored query ds ~docid:i)
+            | `Absent -> [])
+          (txn_candidate_docids txn tbl ~column xc))
+  in
+  let after = Rx_obs.Metrics.snapshot t.metrics in
+  {
+    matches;
+    plan =
+      { description = "SNAPSHOT-SCAN(QuickXScan)"; uses_index = false; exact = false };
+    serialize =
+      (fun m ->
+        match resolve t (Some txn) tbl xc ~column ~docid:m.docid with
+        | `Main -> serialize_match t xc m
+        | `Internal (ds, i) -> serialize_from t ds ~docid:i m.node
+        | `Absent ->
+            invalid_arg
+              (Printf.sprintf "Database: no document %d in %s.%s" m.docid table column));
+    profile = Rx_obs.Metrics.diff ~before ~after;
+  }
+
+let run_auto ?ns_env t ~table ~column ~xpath =
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   let before = Rx_obs.Metrics.snapshot t.metrics in
@@ -616,16 +1278,10 @@ let run ?ns_env t ~table ~column ~xpath =
     profile = Rx_obs.Metrics.diff ~before ~after;
   }
 
-let query ?ns_env t ~table ~column ~xpath =
-  (run ?ns_env t ~table ~column ~xpath).matches
-
-let query_docids ?ns_env t ~table ~column ~xpath =
-  List.sort_uniq compare
-    (List.map (fun m -> m.docid) (run ?ns_env t ~table ~column ~xpath).matches)
-
-let query_serialized ?ns_env t ~table ~column ~xpath =
-  let r = run ?ns_env t ~table ~column ~xpath in
-  List.map r.serialize r.matches
+let run ?ns_env ?txn t ~table ~column ~xpath =
+  match txn with
+  | Some txn -> run_in_txn ?ns_env t txn ~table ~column ~xpath
+  | None -> run_auto ?ns_env t ~table ~column ~xpath
 
 (* --- stats --- *)
 

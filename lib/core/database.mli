@@ -5,13 +5,32 @@
     paper's "all the manipulation and querying of XML data are through SQL
     and SQL/XML" — the SQL surface itself is out of scope (§2).
 
-    Single-user auto-commit operation: every mutating call runs as its own
-    WAL-backed transaction; [checkpoint] makes state durable and
-    truncatable; a database opened on existing files recovers and reloads
-    the catalog. *)
+    Sessions: every mutating call without an explicit transaction runs as
+    its own WAL-backed auto-commit transaction, exactly as before. An
+    explicit transaction ({!begin_txn} / {!commit} / {!rollback}, passed as
+    [?txn] to DML and queries) gives multi-statement atomicity with
+    snapshot-isolated reads: reads see the database as of [begin_txn]
+    (plus the transaction's own writes) and never block; writes acquire
+    document-level — and, for sub-document updates, NodeID-subtree —
+    locks through the multiple-granularity protocol and are staged in a
+    versioned side store until commit, when they are replayed (and
+    indexed) against the current state. [checkpoint] makes state durable
+    and truncatable; a database opened on existing files recovers —
+    discarding transactions that never committed — and reloads the
+    catalog. *)
 
 type t
 type table
+
+type txn
+(** An explicit transaction (session) on one database handle. *)
+
+exception Busy of { txid : int; blockers : int list }
+(** A lock request conflicted with locks held by other live transactions
+    and no deadlock was found: the statement did not execute; the
+    transaction stays open (retry, or {!rollback}). Deadlocks raise
+    {!Rx_txn.Lock_manager.Deadlock} instead, after rolling the victim
+    back. *)
 
 type match_ = { docid : int; node : Rx_xmlstore.Node_id.t }
 
@@ -41,8 +60,37 @@ val open_dir : ?page_size:int -> ?record_threshold:int -> string -> t
     and [wal.rxlog]. Runs crash recovery and reloads the catalog. *)
 
 val checkpoint : t -> unit
+
 val close : t -> unit
+(** Rolls back any still-open transaction, checkpoints, and closes the
+    pager. *)
+
 val dict : t -> Rx_xml.Name_dict.t
+
+(** {1 Transactions}
+
+    Writers follow strict two-phase locking from the moment a statement is
+    staged; readers run against the begin-time snapshot without locking.
+    Conflicting writes by a transaction that committed after this
+    transaction began are refused (first-updater-wins,
+    [Failure "... write-write conflict ..."]). *)
+
+val begin_txn : t -> txn
+(** Starts a transaction whose reads see the database as of now. *)
+
+val commit : t -> txn -> unit
+(** Atomically applies the transaction's staged statements to the current
+    state (value/text indexes are maintained here — index maintenance is
+    deferred to commit), forces the WAL, and releases locks.
+    @raise Invalid_argument if the transaction is not open. *)
+
+val rollback : t -> txn -> unit
+(** Discards every staged statement — stats, value indexes and query
+    results are exactly as before the transaction began — and releases
+    locks. No-op on an already-finished transaction. *)
+
+val txn_id : txn -> int
+val txn_active : txn -> bool
 
 (** {1 DDL} *)
 
@@ -94,6 +142,7 @@ val text_score : t -> table:string -> column:string -> docid:int -> string -> in
 (** {1 DML} *)
 
 val insert :
+  ?txn:txn ->
   t ->
   table:string ->
   ?values:(string * Rx_relational.Value.t) list ->
@@ -101,15 +150,17 @@ val insert :
   unit ->
   int
 (** Inserts a row; returns its DocID. XML documents are parsed (validated
-    when a schema is bound), packed and indexed.
+    when a schema is bound), packed and indexed. With [?txn] the row is
+    staged (invisible to other sessions) until {!commit}.
     @raise Rx_xml.Parser.Parse_error / Rx_schema.Validator.Validation_error *)
 
-val delete : t -> table:string -> docid:int -> unit
+val delete : ?txn:txn -> t -> table:string -> docid:int -> unit
 val fetch_row : t -> table:string -> docid:int -> Rx_relational.Value.t array option
 val row_count : t -> table:string -> int
 
-val document : t -> table:string -> column:string -> docid:int -> string
-(** Serialized XML column value. *)
+val document : ?txn:txn -> t -> table:string -> column:string -> docid:int -> string
+(** Serialized XML column value (at the transaction's snapshot when [?txn]
+    is given). *)
 
 (** {2 Sub-document updates}
 
@@ -120,10 +171,15 @@ val document : t -> table:string -> column:string -> docid:int -> string
     insertion). *)
 
 val update_xml_text :
+  ?txn:txn ->
   t -> table:string -> column:string -> docid:int -> Rx_xmlstore.Node_id.t ->
   string -> unit
+(** Replaces the content of a text node. The node may also be an element
+    (e.g. straight from a query match), in which case its first text-node
+    child is updated. *)
 
 val insert_xml_fragment :
+  ?txn:txn ->
   t ->
   table:string ->
   column:string ->
@@ -135,6 +191,7 @@ val insert_xml_fragment :
     nodes). *)
 
 val delete_xml_node :
+  ?txn:txn ->
   t -> table:string -> column:string -> docid:int -> Rx_xmlstore.Node_id.t -> unit
 
 val xml_handle :
@@ -149,25 +206,15 @@ val explain :
 
 val run :
   ?ns_env:(string * string) list ->
+  ?txn:txn ->
   t -> table:string -> column:string -> xpath:string -> result
 (** Plans and executes an XPath query, returning matches, the executed
     plan and a per-query runtime-counter profile in one bundle. [ns_env]
-    binds the query's namespace prefixes to URIs. *)
-
-val query :
-  ?ns_env:(string * string) list ->
-  t -> table:string -> column:string -> xpath:string -> match_ list
-[@@deprecated "use Database.run; this is (run ...).matches"]
-
-val query_docids :
-  ?ns_env:(string * string) list ->
-  t -> table:string -> column:string -> xpath:string -> int list
-[@@deprecated "use Database.run and project docids from (run ...).matches"]
-
-val query_serialized :
-  ?ns_env:(string * string) list ->
-  t -> table:string -> column:string -> xpath:string -> string list
-[@@deprecated "use Database.run; serialize matches with (run ...).serialize"]
+    binds the query's namespace prefixes to URIs. With [?txn] the query
+    evaluates against the transaction's begin-time snapshot plus its own
+    staged writes; since value indexes describe the current committed
+    state, such reads always scan ([plan.description] =
+    ["SNAPSHOT-SCAN(QuickXScan)"]). *)
 
 (** {1 Introspection} *)
 

@@ -10,16 +10,20 @@ type t = {
   c_acquisitions : Rx_obs.Metrics.counter;
   c_waits : Rx_obs.Metrics.counter;
   c_upgrades : Rx_obs.Metrics.counter;
+  c_deadlocks : Rx_obs.Metrics.counter;
 }
 
 type outcome = Granted | Blocked of int list
+
+exception Deadlock of { victim : int; cycle : int list }
 
 let create ?(metrics = Rx_obs.Metrics.default) () =
   {
     buckets = Hashtbl.create 64;
     c_acquisitions = Rx_obs.Metrics.counter metrics "lock.acquisitions";
-    c_waits = Rx_obs.Metrics.counter metrics "lock.waits";
+    c_waits = Rx_obs.Metrics.counter metrics "lock.wait";
     c_upgrades = Rx_obs.Metrics.counter metrics "lock.upgrades";
+    c_deadlocks = Rx_obs.Metrics.counter metrics "lock.deadlock";
   }
 
 let bucket_for t resource =
@@ -113,11 +117,19 @@ let release_all t ~txid =
       bucket.granted <- List.filter (fun e -> e.txid <> txid) bucket.granted;
       bucket.queue <- List.filter (fun e -> e.txid <> txid) bucket.queue)
     t.buckets;
-  promote_waiters t
+  let granted = promote_waiters t in
+  (* drop empty buckets so the table does not grow with every granule ever
+     touched (release_all iterates all buckets) *)
+  Hashtbl.filter_map_inplace
+    (fun _ bucket ->
+      if bucket.granted = [] && bucket.queue = [] then None else Some bucket)
+    t.buckets;
+  granted
 
 let holds t ~txid resource =
-  let bucket = bucket_for t resource in
-  Option.map (fun e -> e.mode) (own_entry bucket ~txid resource)
+  match Hashtbl.find_opt t.buckets (Resource.group_key resource) with
+  | None -> None
+  | Some bucket -> Option.map (fun e -> e.mode) (own_entry bucket ~txid resource)
 
 let locks_held t ~txid =
   Hashtbl.fold
@@ -144,14 +156,14 @@ let waits_for_edges t =
         acc bucket.queue)
     t.buckets []
 
-let find_deadlock t =
+let find_deadlock_cycle t =
   let edges = waits_for_edges t in
   let adj = Hashtbl.create 16 in
   List.iter
     (fun (a, b) ->
       Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
     edges;
-  (* DFS cycle detection; return the youngest transaction on a cycle *)
+  (* DFS cycle detection; victim = the youngest transaction on the cycle *)
   let color = Hashtbl.create 16 in
   let cycle = ref None in
   let rec dfs path v =
@@ -165,14 +177,17 @@ let find_deadlock t =
         in
         let members = suffix (List.rev (v :: path)) in
         let victim = List.fold_left max v members in
-        if !cycle = None then cycle := Some victim
+        if !cycle = None then cycle := Some (victim, members)
     | None ->
         Hashtbl.replace color v `Active;
         List.iter (dfs (v :: path)) (Option.value ~default:[] (Hashtbl.find_opt adj v));
         Hashtbl.replace color v `Done
   in
   Hashtbl.iter (fun v _ -> if !cycle = None then dfs [] v) adj;
+  (match !cycle with Some _ -> Rx_obs.Metrics.incr t.c_deadlocks | None -> ());
   !cycle
+
+let find_deadlock t = Option.map fst (find_deadlock_cycle t)
 
 let stats t =
   Hashtbl.fold

@@ -14,9 +14,17 @@ type outcome =
   | Granted
   | Blocked of int list (** transaction ids currently blocking this one *)
 
+exception Deadlock of { victim : int; cycle : int list }
+(** Raised by callers (e.g. {!Rx_core.Database}) when a waits-for cycle is
+    found: [victim] is the transaction designated to abort (the youngest on
+    the cycle), [cycle] the transactions forming it. The lock manager itself
+    only {e detects} cycles ({!find_deadlock_cycle}); victim abort is the
+    session layer's job. *)
+
 val create : ?metrics:Rx_obs.Metrics.t -> unit -> t
-(** [metrics] receives the [lock.acquisitions] / [lock.waits] /
-    [lock.upgrades] counters (default: the global registry). *)
+(** [metrics] receives the [lock.acquisitions] / [lock.wait] /
+    [lock.upgrades] / [lock.deadlock] counters (default: the global
+    registry). *)
 
 val request : t -> txid:int -> Resource.t -> Lock_modes.t -> outcome
 (** Acquires or upgrades. On conflict the request stays queued (re-request
@@ -37,6 +45,11 @@ val is_waiting : t -> txid:int -> bool
 val find_deadlock : t -> int option
 (** Some transaction on a waits-for cycle (the youngest = largest txid),
     or [None]. *)
+
+val find_deadlock_cycle : t -> (int * int list) option
+(** Like {!find_deadlock} but also returns the cycle's members
+    [(victim, cycle)]. Increments the [lock.deadlock] counter when a cycle
+    is found. *)
 
 val stats : t -> int * int
 (** (granted lock entries, waiting requests). *)

@@ -1,8 +1,11 @@
 open Rx_xmlstore
 
-(* A version record: commit timestamp (0 while staged/invisible) and the
-   internal docid holding its packed records. [None] internal id encodes a
-   committed deletion (tombstone). *)
+(* A version record: commit timestamp and the internal docid holding its
+   packed records. [ts] is -1 while the version is staged (invisible to
+   every snapshot), 0 for versions that predate version tracking ("visible
+   since forever"), and >= 1 for versions published at that commit
+   timestamp. [None] internal id encodes a committed deletion
+   (tombstone). *)
 type version = { mutable ts : int; internal : int option }
 
 type t = {
@@ -36,18 +39,38 @@ let stage_write t ~docid tokens =
   let internal = t.next_internal in
   t.next_internal <- internal + 1;
   Doc_store.insert_tokens t.ds ~docid:internal tokens;
-  { docid; version = { ts = 0; internal = Some internal } }
+  { docid; version = { ts = -1; internal = Some internal } }
 
-let stage_delete _t ~docid = { docid; version = { ts = 0; internal = None } }
+let stage_delete _t ~docid = { docid; version = { ts = -1; internal = None } }
 
-let commit t staged =
-  t.next_ts <- t.next_ts + 1;
-  let ts = t.next_ts in
+let staged_docid s = s.docid
+let staged_internal s = s.version.internal
+
+(* Insert keeping the chain sorted newest-first; among equal timestamps the
+   most recently published version wins (goes first). *)
+let insert_sorted c v =
+  let rec go = function
+    | older :: _ as rest when older.ts <= v.ts -> v :: rest
+    | newer :: rest -> newer :: go rest
+    | [] -> [ v ]
+  in
+  c := go !c
+
+let commit ?at t staged =
+  let ts =
+    match at with
+    | None ->
+        t.next_ts <- t.next_ts + 1;
+        t.next_ts
+    | Some ts ->
+        if ts < 0 then invalid_arg "Mvcc_store.commit: negative timestamp";
+        if ts > t.next_ts then t.next_ts <- ts;
+        ts
+  in
   List.iter
     (fun s ->
       s.version.ts <- ts;
-      let c = chain t s.docid in
-      c := s.version :: !c)
+      insert_sorted (chain t s.docid) s.version)
     staged;
   ts
 
@@ -55,8 +78,9 @@ let abort t staged =
   List.iter
     (fun s ->
       match s.version.internal with
-      | Some internal -> Doc_store.delete_document t.ds ~docid:internal
-      | None -> ())
+      | Some internal when s.version.ts < 0 ->
+          Doc_store.delete_document t.ds ~docid:internal
+      | _ -> ())
     staged
 
 let snapshot t = t.next_ts
@@ -66,10 +90,31 @@ let version_at t ~snapshot ~docid =
   | None -> None
   | Some c -> (
       match
-        List.find_opt (fun v -> v.ts > 0 && v.ts <= snapshot) !c
+        List.find_opt (fun v -> v.ts >= 0 && v.ts <= snapshot) !c
       with
       | Some { internal; _ } -> internal
       | None -> None)
+
+let lookup_at t ~snapshot ~docid =
+  match Hashtbl.find_opt t.versions docid with
+  | None -> `Untracked
+  | Some c -> (
+      match List.find_opt (fun v -> v.ts >= 0 && v.ts <= snapshot) !c with
+      | Some { internal = Some i; _ } -> `Version i
+      | Some { internal = None; _ } -> `Tombstone
+      | None ->
+          if List.exists (fun v -> v.ts >= 0) !c then `Invisible
+          else `Untracked)
+
+let tracked t ~docid =
+  match Hashtbl.find_opt t.versions docid with
+  | None -> false
+  | Some c -> List.exists (fun v -> v.ts >= 0) !c
+
+let iter_tracked t f =
+  Hashtbl.iter
+    (fun docid c -> if List.exists (fun v -> v.ts >= 0) !c then f docid)
+    t.versions
 
 let current_version t ~docid = version_at t ~snapshot:t.next_ts ~docid
 
@@ -98,7 +143,7 @@ let gc t ~oldest_snapshot =
       let rec split kept = function
         | [] -> (List.rev kept, [])
         | v :: rest ->
-            if v.ts > 0 && v.ts <= oldest_snapshot then
+            if v.ts >= 0 && v.ts <= oldest_snapshot then
               (List.rev (v :: kept), rest)
             else split (v :: kept) rest
       in
@@ -115,7 +160,20 @@ let gc t ~oldest_snapshot =
     t.versions;
   !reclaimed
 
+let clear t =
+  Hashtbl.iter
+    (fun _ c ->
+      List.iter
+        (fun v ->
+          match v.internal with
+          | Some internal when v.ts >= 0 ->
+              Doc_store.delete_document t.ds ~docid:internal
+          | _ -> ())
+        !c)
+    t.versions;
+  Hashtbl.reset t.versions
+
 let version_count t ~docid =
   match Hashtbl.find_opt t.versions docid with
   | None -> 0
-  | Some c -> List.length (List.filter (fun v -> v.ts > 0) !c)
+  | Some c -> List.length (List.filter (fun v -> v.ts >= 0) !c)

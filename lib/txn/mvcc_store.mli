@@ -9,7 +9,12 @@
     (docid, version) pair onto an internal document id of the shared
     {!Rx_xmlstore.Doc_store}. XPath value indexes are expected to index only
     the most recent committed version (the paper's scheme); observers fire
-    only for current versions. *)
+    only for current versions.
+
+    Timestamps: a staged version carries timestamp [-1] (invisible to every
+    snapshot); committed versions carry the timestamp they were published
+    at, where [0] means "visible since forever" (the version predates
+    version tracking) and [>= 1] is a real commit timestamp. *)
 
 type t
 
@@ -28,12 +33,24 @@ val stage_write : t -> docid:int -> Rx_xml.Token.t list -> staged
 
 val stage_delete : t -> docid:int -> staged
 
-val commit : t -> staged list -> int
+val staged_docid : staged -> int
+(** The (external) document id the staged version belongs to. *)
+
+val staged_internal : staged -> int option
+(** Internal document id holding the staged content; [None] for a staged
+    deletion. Valid until the version is aborted. *)
+
+val commit : ?at:int -> t -> staged list -> int
 (** Publishes the staged versions atomically and returns the commit
-    timestamp. *)
+    timestamp. Without [?at] a fresh timestamp is allocated; [~at:ts]
+    publishes at an explicit (past or present) timestamp — used to retain
+    the pre-image of a document that existed before version tracking began
+    ([~at:0] = visible since forever). Chains stay sorted newest-first.
+
+    @raise Invalid_argument if [at] is negative. *)
 
 val abort : t -> staged list -> unit
-(** Discards staged versions and their storage. *)
+(** Discards staged (never-committed) versions and their storage. *)
 
 val snapshot : t -> int
 (** Current timestamp; reads at this snapshot see all commits so far. *)
@@ -43,6 +60,26 @@ val current_version : t -> docid:int -> int option
     exists (used by value indexes, which track only current data). *)
 
 val version_at : t -> snapshot:int -> docid:int -> int option
+
+val lookup_at :
+  t ->
+  snapshot:int ->
+  docid:int ->
+  [ `Version of int  (** internal docid of the visible version *)
+  | `Tombstone  (** deleted as of the snapshot *)
+  | `Invisible  (** tracked, but every committed version is newer *)
+  | `Untracked  (** no committed version chain for this document *) ]
+(** Distinguishes "deleted at this snapshot" from "not tracked here" —
+    callers overlaying MVCC on a current-state store fall back to that
+    store only on [`Untracked]. *)
+
+val tracked : t -> docid:int -> bool
+(** Whether any committed version (or tombstone) chain exists for
+    [docid]. *)
+
+val iter_tracked : t -> (int -> unit) -> unit
+(** Iterates the docids with a non-empty committed chain (order
+    unspecified). *)
 
 val events_at :
   t -> snapshot:int -> docid:int -> (Rx_xmlstore.Doc_store.event -> unit) -> unit
@@ -54,5 +91,10 @@ val serialize_at : t -> snapshot:int -> docid:int -> string
 val gc : t -> oldest_snapshot:int -> int
 (** Drops versions superseded before the oldest live snapshot; returns the
     number of versions reclaimed. *)
+
+val clear : t -> unit
+(** Drops every committed version chain and its storage — used when the
+    last reader that could see an old version has ended. Staged versions
+    held by callers are unaffected. *)
 
 val version_count : t -> docid:int -> int

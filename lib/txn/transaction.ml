@@ -63,6 +63,16 @@ let lock t resource mode =
   | Lock_manager.Granted -> `Granted
   | Lock_manager.Blocked blockers -> `Blocked blockers
 
+let lock_detect t resource mode =
+  match lock t resource mode with
+  | `Granted -> `Granted
+  | `Blocked blockers -> (
+      (* the blocked request stays queued, so its waits-for edges are part
+         of the graph we search *)
+      match Lock_manager.find_deadlock_cycle t.mgr.locks with
+      | Some (victim, cycle) -> `Deadlock (victim, cycle)
+      | None -> `Blocked blockers)
+
 let finish t =
   t.mgr.active <- t.mgr.active - 1;
   Lock_manager.cancel_waits t.mgr.locks ~txid:t.id;
@@ -78,13 +88,27 @@ let commit t =
   t.state <- Committed;
   finish t
 
-let abort t =
+let abort ?undo t =
   ensure_active t;
-  (match (t.mgr.log, t.mgr.pool) with
-  | Some log, Some pool ->
-      ignore (Rx_wal.Recovery.rollback log pool ~txid:t.id);
-      ignore (Rx_wal.Log_manager.append log (Rx_wal.Log_record.Abort { txid = t.id }))
-  | _ -> ());
+  (match undo with
+  | Some compensate ->
+      (* logical rollback: run compensating actions (attributed to this
+         transaction in the WAL) instead of restoring page images — used
+         when physical rollback would desync store-level in-memory state *)
+      run_as t compensate;
+      (match t.mgr.log with
+      | Some log ->
+          ignore
+            (Rx_wal.Log_manager.append log (Rx_wal.Log_record.Abort { txid = t.id }));
+          Rx_wal.Log_manager.flush log
+      | None -> ())
+  | None -> (
+      match (t.mgr.log, t.mgr.pool) with
+      | Some log, Some pool ->
+          ignore (Rx_wal.Recovery.rollback log pool ~txid:t.id);
+          ignore
+            (Rx_wal.Log_manager.append log (Rx_wal.Log_record.Abort { txid = t.id }))
+      | _ -> ()));
   t.state <- Aborted;
   finish t
 

@@ -32,12 +32,28 @@ val lock : t -> Resource.t -> Lock_modes.t -> [ `Granted | `Blocked of int list 
 (** Acquires intention locks on ancestors, then the requested mode.
     @raise Invalid_argument if the transaction is no longer active. *)
 
+val lock_detect :
+  t ->
+  Resource.t ->
+  Lock_modes.t ->
+  [ `Granted | `Blocked of int list | `Deadlock of int * int list ]
+(** Like {!lock}, but when blocked also searches the waits-for graph:
+    [`Deadlock (victim, cycle)] means this request closed a cycle and
+    [victim] (the youngest member) should abort. The blocked request stays
+    queued either way; it is cancelled when the transaction finishes. *)
+
 val commit : t -> int list
 (** Forces the log, releases locks; returns transactions whose queued lock
     requests were granted by the release. *)
 
-val abort : t -> int list
-(** Rolls back this transaction's page updates (when WAL-backed), releases
-    locks; same return as {!commit}. *)
+val abort : ?undo:(unit -> unit) -> t -> int list
+(** Rolls back, releases locks; same return as {!commit}. Without [undo],
+    page updates are rolled back physically from the WAL (when WAL-backed).
+    With [undo], the callback runs {e as this transaction} (page updates
+    attributed to it) to compensate logically — for stores whose in-memory
+    bookkeeping would desync under physical page rollback — and only an
+    Abort record is logged. Either way a crash before the Abort record makes
+    recovery undo the transaction physically, which nets to the same
+    state. *)
 
 val active_count : manager -> int

@@ -107,6 +107,74 @@ let test_error_reporting () =
       check Alcotest.bool "parse/table error reported" true
         (status = 1 && String.length output > 0))
 
+let write_script lines =
+  let path = Filename.temp_file "rxscript" ".rx" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  path
+
+let test_exec_transactions () =
+  with_temp_db (fun db ->
+      ignore (expect_ok [ "init"; "--db"; db ]);
+      ignore
+        (expect_ok
+           [ "create-table"; "--db"; db; "--table"; "books"; "--columns";
+             "info:xml" ]);
+      (* a committed batch followed by a rolled-back one *)
+      let script =
+        write_script
+          [
+            "# transactional batch";
+            "BEGIN";
+            "INSERT books info=<book><title>Kept</title></book>";
+            "INSERT books info=<book><title>Kept too</title></book>";
+            "COMMIT";
+            "BEGIN";
+            "INSERT books info=<book><title>Gone</title></book>";
+            "DELETE books 1";
+            "QUERY books info /book/title";
+            "ROLLBACK";
+          ]
+      in
+      let out =
+        Fun.protect
+          ~finally:(fun () -> Sys.remove script)
+          (fun () -> expect_ok [ "exec"; "--db"; db; "--file"; script ])
+      in
+      check Alcotest.bool "commit echoed" true (contains ~needle:"COMMIT txn" out);
+      check Alcotest.bool "rollback echoed" true
+        (contains ~needle:"ROLLBACK txn" out);
+      (* the in-transaction query saw its own staged writes *)
+      check Alcotest.bool "staged title visible inside txn" true
+        (contains ~needle:"<title>Gone</title>" out);
+      check Alcotest.bool "staged delete hid doc 1 inside txn" false
+        (contains ~needle:"<title>Kept</title>" out);
+      (* after the script only the committed batch survives *)
+      let out = expect_ok [ "stats"; "--db"; db ] in
+      check Alcotest.bool "two committed documents" true
+        (contains ~needle:"documents: 2" out);
+      let out =
+        expect_ok
+          [ "get"; "--db"; db; "--table"; "books"; "--column"; "info";
+            "--docid"; "1" ]
+      in
+      check Alcotest.string "rolled-back delete undone"
+        "<book><title>Kept</title></book>" out;
+      (* an unterminated transaction is rolled back with a warning *)
+      let script = write_script [ "BEGIN"; "INSERT books info=<b>x</b>" ] in
+      let status, out =
+        Fun.protect
+          ~finally:(fun () -> Sys.remove script)
+          (fun () -> run [ "exec"; "--db"; db; "--file"; script ])
+      in
+      check Alcotest.int "open txn at EOF still exits 0" 0 status;
+      check Alcotest.bool "warning printed" true
+        (contains ~needle:"rolled back" out);
+      let out = expect_ok [ "stats"; "--db"; db ] in
+      check Alcotest.bool "abandoned insert discarded" true
+        (contains ~needle:"documents: 2" out))
+
 let () =
   Alcotest.run "rx_cli"
     [
@@ -114,5 +182,6 @@ let () =
         [
           Alcotest.test_case "full session" `Quick test_full_session;
           Alcotest.test_case "error reporting" `Quick test_error_reporting;
+          Alcotest.test_case "exec transactions" `Quick test_exec_transactions;
         ] );
     ]

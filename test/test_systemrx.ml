@@ -73,7 +73,7 @@ let test_delete_row () =
   check Alcotest.bool "row gone" true
     (Database.fetch_row db ~table:"products" ~docid:2 = None);
   Alcotest.check_raises "document gone"
-    (Invalid_argument "Doc_store: no document 2") (fun () ->
+    (Invalid_argument "Database: no document 2 in products.doc") (fun () ->
       ignore (Database.document db ~table:"products" ~column:"doc" ~docid:2))
 
 let test_errors () =

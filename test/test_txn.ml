@@ -153,6 +153,39 @@ let test_deadlock_detection () =
   check (Alcotest.option Alcotest.int) "deadlock cleared" None
     (Lock_manager.find_deadlock lm)
 
+let test_txn_deadlock_cycle () =
+  let mgr = Transaction.create_manager () in
+  let t1 = Transaction.begin_txn mgr in
+  let t2 = Transaction.begin_txn mgr in
+  let d1 = Resource.Document { table = 1; docid = 1 }
+  and d2 = Resource.Document { table = 1; docid = 2 } in
+  check Alcotest.bool "t1 X on doc1" true
+    (Transaction.lock_detect t1 d1 Lock_modes.X = `Granted);
+  check Alcotest.bool "t2 X on doc2" true
+    (Transaction.lock_detect t2 d2 Lock_modes.X = `Granted);
+  (match Transaction.lock_detect t1 d2 Lock_modes.X with
+  | `Blocked blockers ->
+      check (Alcotest.list Alcotest.int) "t1 waits on t2"
+        [ Transaction.txid t2 ] blockers
+  | `Granted -> Alcotest.fail "t1 should block on doc2"
+  | `Deadlock _ -> Alcotest.fail "no cycle yet");
+  (match Transaction.lock_detect t2 d1 Lock_modes.X with
+  | `Deadlock (victim, cycle) ->
+      check Alcotest.int "victim is the youngest" (Transaction.txid t2) victim;
+      check (Alcotest.list Alcotest.int) "cycle members"
+        [ Transaction.txid t1; Transaction.txid t2 ]
+        (List.sort_uniq compare cycle)
+  | `Granted -> Alcotest.fail "t2 should not be granted doc1"
+  | `Blocked _ -> Alcotest.fail "cycle should be detected");
+  (* abort the victim: the survivor's queued request is promoted *)
+  ignore (Transaction.abort t2);
+  let lm = Transaction.lock_manager mgr in
+  check Alcotest.bool "t1 holds doc2 after victim abort" true
+    (Lock_manager.holds lm ~txid:(Transaction.txid t1) d2 = Some Lock_modes.X);
+  check (Alcotest.option Alcotest.int) "graph clear" None
+    (Lock_manager.find_deadlock lm);
+  ignore (Transaction.commit t1)
+
 (* --- transactions with multiple granularity --- *)
 
 let test_txn_intention_locks () =
@@ -441,6 +474,8 @@ let () =
         [
           Alcotest.test_case "intention locks" `Quick test_txn_intention_locks;
           Alcotest.test_case "rollback storage" `Quick test_txn_rollback_storage;
+          Alcotest.test_case "deadlock cycle (two txns)" `Quick
+            test_txn_deadlock_cycle;
         ] );
       ( "versioned_node_index",
         [
