@@ -19,6 +19,7 @@ let experiments =
     ("e8", E8_concurrency.run);
     ("e9", E9_updates.run);
     ("e10", E10_txn.run);
+    ("e11", E11_crash.run);
   ]
 
 let () =

@@ -9,6 +9,8 @@
      rx query           --db DIR --table T --column C --xpath Q [--explain] [--profile]
      rx search          --db DIR --table T --column C --terms "native xml"
      rx exec            --db DIR [--file SCRIPT]   (BEGIN/COMMIT/ROLLBACK batches)
+     rx checkpoint      --db DIR
+     rx verify          --db DIR
      rx stats           --db DIR [--json]
 *)
 
@@ -43,6 +45,9 @@ let handle_errors f =
       Printf.eprintf "error: deadlock (cycle %s), transaction %d rolled back\n"
         (String.concat " -> " (List.map string_of_int cycle))
         victim;
+      1
+  | Database.Read_only { reason } ->
+      Printf.eprintf "error: database is read-only (degraded): %s\n" reason;
       1
   | Invalid_argument msg | Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -445,6 +450,57 @@ let exec_cmd =
        ~doc:"Run a batch script with BEGIN/COMMIT/ROLLBACK transaction control.")
     Term.(const run $ db_arg $ file_arg)
 
+(* --- checkpoint / verify --- *)
+
+let checkpoint_cmd =
+  let run dir =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            Database.checkpoint db;
+            Printf.printf "checkpoint complete; WAL truncated\n"))
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Force a checkpoint: persist the catalog, flush all dirty pages and \
+          truncate the WAL.")
+    Term.(const run $ db_arg)
+
+let verify_cmd =
+  let run dir =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let r = Database.verify db in
+            Printf.printf "pages checked: %d\n" r.Database.pages_checked;
+            Printf.printf "corrupt pages: %s\n"
+              (match r.Database.corrupt_pages with
+              | [] -> "none"
+              | ps -> String.concat "," (List.map string_of_int ps));
+            Printf.printf "WAL records: %d\n" r.Database.wal_records;
+            Printf.printf "WAL torn-tail bytes cut at open: %d\n"
+              r.Database.wal_torn_bytes;
+            (match Database.last_recovery db with
+            | Some rep ->
+                Printf.printf "recovery: redone %d, undone %d, losers %s\n"
+                  rep.Rx_wal.Recovery.redone rep.Rx_wal.Recovery.undone
+                  (match rep.Rx_wal.Recovery.losers with
+                  | [] -> "none"
+                  | l -> String.concat "," (List.map string_of_int l))
+            | None -> ());
+            (match Database.health db with
+            | `Healthy -> print_endline "health: ok"
+            | `Degraded reason ->
+                Printf.printf "health: DEGRADED (%s)\n" reason);
+            if r.Database.corrupt_pages <> [] || Database.health db <> `Healthy
+            then failwith "integrity check failed"))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check every page checksum and report recovery/WAL state; exits \
+          non-zero if corruption is found or the database is degraded.")
+    Term.(const run $ db_arg)
+
 let stats_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the full metrics registry as JSON.")
@@ -465,6 +521,22 @@ let stats_cmd =
                     ("value_index_entries", num s.Database.value_index_entries);
                     ("data_pages", num s.Database.data_pages);
                     ("log_bytes", num s.Database.log_bytes);
+                    ( "health",
+                      Rx_obs.Json.Str
+                        (match Database.health db with
+                        | `Healthy -> "ok"
+                        | `Degraded reason -> "degraded: " ^ reason) );
+                    ( "recovery",
+                      match Database.last_recovery db with
+                      | None -> Rx_obs.Json.Null
+                      | Some rep ->
+                          Rx_obs.Json.Obj
+                            [
+                              ("redone", num rep.Rx_wal.Recovery.redone);
+                              ("undone", num rep.Rx_wal.Recovery.undone);
+                              ( "losers",
+                                num (List.length rep.Rx_wal.Recovery.losers) );
+                            ] );
                     ("counters", Rx_obs.Metrics.to_json (Database.metrics db));
                   ]
               in
@@ -491,5 +563,6 @@ let () =
           [
             init_cmd; create_table_cmd; create_index_cmd; create_text_index_cmd;
             register_schema_cmd; bind_schema_cmd; insert_cmd; get_cmd; query_cmd;
-            xquery_cmd; search_cmd; exec_cmd; stats_cmd;
+            xquery_cmd; search_cmd; exec_cmd; checkpoint_cmd; verify_cmd;
+            stats_cmd;
           ]))

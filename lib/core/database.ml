@@ -75,6 +75,26 @@ type txn = {
 }
 
 exception Busy of { txid : int; blockers : int list }
+exception Read_only of { reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Read_only { reason } ->
+        Some (Printf.sprintf "Database.Read_only(%s)" reason)
+    | _ -> None)
+
+type config = {
+  auto_checkpoint : bool;
+  checkpoint_wal_bytes : int;
+  checkpoint_wal_records : int;
+}
+
+let default_config =
+  {
+    auto_checkpoint = true;
+    checkpoint_wal_bytes = 4 * 1024 * 1024;
+    checkpoint_wal_records = 50_000;
+  }
 
 type t = {
   pool : Buffer_pool.t;
@@ -89,6 +109,11 @@ type t = {
   mutable schemas : (string * Rx_schema.Compiled.t) list;
   mutable commit_ts : int; (* advances on every versioned commit *)
   mutable active_txns : txn list;
+  mutable config : config;
+  mutable checkpointing : bool; (* re-entrancy guard: checkpoint runs in_txn *)
+  mutable ckpt_mark : int; (* appended_bytes at the last checkpoint *)
+  mutable degraded : string option; (* corruption found at open: read-only *)
+  mutable last_recovery : Rx_wal.Recovery.report option;
 }
 
 type match_ = { docid : int; node : Node_id.t }
@@ -137,19 +162,41 @@ let create_in_memory ?page_size ?(record_threshold = 2048) () =
     schemas = [];
     commit_ts = 0;
     active_txns = [];
+    config = default_config;
+    checkpointing = false;
+    ckpt_mark = 0;
+    degraded = None;
+    last_recovery = None;
   }
+
+(* forward reference: the auto-checkpoint policy lives with [checkpoint]
+   below, but fires from the auto-commit wrapper defined here *)
+let auto_checkpoint_trigger : (t -> unit) ref = ref (fun _ -> ())
 
 let in_txn_as t f =
   let txn = Rx_txn.Transaction.begin_txn t.txn_mgr in
   match Rx_txn.Transaction.run_as txn (fun () -> f txn) with
   | result ->
       ignore (Rx_txn.Transaction.commit txn);
+      !auto_checkpoint_trigger t;
       result
   | exception e ->
       ignore (Rx_txn.Transaction.abort txn);
       raise e
 
 let in_txn t f = in_txn_as t (fun _ -> f ())
+
+let ensure_writable t =
+  match t.degraded with
+  | Some reason -> raise (Read_only { reason })
+  | None -> ()
+
+let health t =
+  match t.degraded with None -> `Healthy | Some reason -> `Degraded reason
+
+let config t = t.config
+let set_config t config = t.config <- config
+let last_recovery t = t.last_recovery
 
 let dict t = t.dict
 let buffer_pool t = t.pool
@@ -234,9 +281,36 @@ let catalog_entries t =
 
 let save_catalog t = in_txn t (fun () -> Catalog.save t.catalog (catalog_entries t))
 
+let do_checkpoint t ~counter_name =
+  t.checkpointing <- true;
+  Fun.protect
+    ~finally:(fun () -> t.checkpointing <- false)
+    (fun () ->
+      Rx_obs.Trace.with_span t.tracer "db.checkpoint" (fun () ->
+          save_catalog t;
+          Rx_wal.Recovery.checkpoint t.log t.pool;
+          t.ckpt_mark <- Rx_wal.Log_manager.appended_bytes t.log;
+          Rx_obs.Metrics.(incr (counter t.metrics counter_name))))
+
 let checkpoint t =
-  save_catalog t;
-  Rx_wal.Recovery.checkpoint t.log t.pool
+  ensure_writable t;
+  do_checkpoint t ~counter_name:"ckpt.manual"
+
+(* Fires after every auto-commit operation and explicit commit: checkpoint
+   once the log has grown past the configured thresholds, provided no
+   transaction is in flight (a checkpoint truncates the log, so losers
+   must not have live records there). *)
+let maybe_auto_checkpoint t =
+  if
+    t.config.auto_checkpoint && (not t.checkpointing) && t.degraded = None
+    && t.active_txns = []
+    && (Rx_wal.Log_manager.appended_bytes t.log - t.ckpt_mark
+        >= t.config.checkpoint_wal_bytes
+       || Rx_wal.Log_manager.record_count t.log >= t.config.checkpoint_wal_records
+       )
+  then do_checkpoint t ~counter_name:"ckpt.auto"
+
+let () = auto_checkpoint_trigger := maybe_auto_checkpoint
 
 (* [close] lives below the session machinery: it rolls back any
    transaction still open *)
@@ -252,10 +326,37 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
     Buffer_pool.create ~metrics ~capacity:2048 (Pager.open_file ~metrics ?page_size data)
   in
   let log = Rx_wal.Log_manager.open_file ~metrics wal in
-  if not fresh then ignore (Rx_wal.Recovery.run log pool);
+  (* corruption found anywhere below degrades the handle to read-only
+     instead of failing the open: the data is damaged, but the surviving
+     parts stay readable and [verify] can localize the problem *)
+  let degraded = ref None in
+  let last_recovery = ref None in
+  let degrade e =
+    if !degraded = None then degraded := Some (Printexc.to_string e)
+  in
+  (if not fresh then
+     match Rx_wal.Recovery.run log pool with
+     | report -> last_recovery := Some report
+     | exception ((Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e)
+       ->
+         degrade e;
+         (* partial redo may sit in the cache; reads must see the disk
+            truth, not a half-recovered image *)
+         (try Buffer_pool.drop_cache pool with _ -> ()));
   let txn_mgr = install_txn pool log in
   if fresh then begin
-    let catalog = Catalog.create pool in
+    (* bootstrap inside a committed transaction: the catalog heap's pages
+       must not look like loser updates (txid 0) to a later recovery *)
+    let catalog =
+      let tx = Rx_txn.Transaction.begin_txn txn_mgr in
+      match Rx_txn.Transaction.run_as tx (fun () -> Catalog.create pool) with
+      | c ->
+          ignore (Rx_txn.Transaction.commit tx);
+          c
+      | exception e ->
+          ignore (Rx_txn.Transaction.abort tx);
+          raise e
+    in
     {
       pool;
       log;
@@ -269,13 +370,29 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
       schemas = [];
       commit_ts = 0;
       active_txns = [];
+      config = default_config;
+      checkpointing = false;
+      ckpt_mark = 0;
+      degraded = None;
+      last_recovery = None;
     }
   end
   else begin
     (* the catalog heap is always the first structure created: its header
        page is page 1 *)
-    let catalog = Catalog.attach pool ~header_page:1 in
-    let entries = Catalog.entries catalog in
+    let catalog, entries =
+      match
+        let c = Catalog.attach pool ~header_page:1 in
+        (c, Catalog.entries c)
+      with
+      | pair -> pair
+      | exception ((Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e)
+        ->
+          degrade e;
+          (* throwaway in-memory catalog: the real one is unreadable and a
+             degraded handle never saves, so nothing is lost *)
+          (Catalog.create (Buffer_pool.create ~capacity:4 (Pager.create_in_memory ())), [])
+    in
     let dict =
       match
         List.find_map
@@ -307,6 +424,11 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
         schemas;
         commit_ts = 0;
         active_txns = [];
+        config = default_config;
+        checkpointing = false;
+        ckpt_mark = 0;
+        degraded = None;
+        last_recovery = None;
       }
     in
     (* rebuild tables *)
@@ -315,7 +437,8 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
       List.filter_map
         (function
           | Catalog.Table { name; columns; heap_header; docid_index_meta; next_docid }
-            ->
+            -> (
+            try
               let base =
                 Base_table.attach pool ~columns:(Array.of_list columns) ~heap_header
                   ~docid_index_meta
@@ -346,13 +469,21 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
               in
               incr next_tid;
               Some (name, { tname = name; tid = !next_tid; base; xml_columns; next_docid })
+            with
+            | (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
+                (* skip the damaged table; the rest of the catalog stays
+                   readable through the degraded handle *)
+                degrade e;
+                None)
           | _ -> None)
         entries
     in
     t.tables <- tables;
     (* value indexes and schema bindings *)
     List.iter
-      (function
+      (fun entry ->
+        try
+          match entry with
         | Catalog.Xml_index { table; column; name; path; key_type; tree_meta } -> (
             match find_table t table with
             | Some tbl ->
@@ -382,14 +513,35 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
                 xc.schema <- Some compiled;
                 xc.schema_name <- Some schema
             | _ -> ())
-        | _ -> ())
+        | _ -> ()
+        with (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
+          degrade e)
       entries;
+    (* [next_docid] is only persisted at checkpoints, so after a crash the
+       catalog copy may lag behind docids already durable in base tables;
+       reissuing one would alias two documents. Re-derive the high-water
+       mark from the data itself. *)
+    (if !degraded = None then
+       try
+         List.iter
+           (fun (_, tbl) ->
+             let maxd = ref 0 in
+             Base_table.iter
+               (fun docid _ -> if docid > !maxd then maxd := docid)
+               tbl.base;
+             if !maxd + 1 > tbl.next_docid then tbl.next_docid <- !maxd + 1)
+           t.tables
+       with (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
+         degrade e);
+    t.degraded <- !degraded;
+    t.last_recovery <- !last_recovery;
     t
   end
 
 (* --- DDL --- *)
 
 let create_table t ~name ~columns =
+  ensure_writable t;
   if find_table t name <> None then
     invalid_arg (Printf.sprintf "Database: table %s already exists" name);
   if columns = [] then invalid_arg "Database: a table needs at least one column";
@@ -420,25 +572,35 @@ let create_table t ~name ~columns =
       in
       t.tables <- t.tables @ [ (name, tbl) ];
       tbl)
+  |> fun tbl ->
+  (* DDL is durable immediately: the catalog rewrite is WAL-logged, so a
+     crash before the next checkpoint still replays the new table *)
+  save_catalog t;
+  tbl
 
 let table = find_table
 let list_tables t = List.map fst t.tables
 
 let register_schema t ~name ~xsd =
+  ensure_writable t;
   let model = Rx_schema.Schema_model.parse_xsd t.dict xsd in
   let compiled = Rx_schema.Compiled.compile t.dict model in
-  t.schemas <- (name, compiled) :: List.remove_assoc name t.schemas
+  t.schemas <- (name, compiled) :: List.remove_assoc name t.schemas;
+  save_catalog t
 
 let bind_schema t ~table ~column ~schema =
+  ensure_writable t;
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   match List.assoc_opt schema t.schemas with
   | Some compiled ->
       xc.schema <- Some compiled;
-      xc.schema_name <- Some schema
+      xc.schema_name <- Some schema;
+      save_catalog t
   | None -> invalid_arg (Printf.sprintf "Database: no schema %s" schema)
 
 let create_xml_index t ~table ~column ~name ~path ~key_type =
+  ensure_writable t;
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   if
@@ -458,7 +620,8 @@ let create_xml_index t ~table ~column ~name ~path ~key_type =
                   ~store:(Some xc.store)))
         tbl.base;
       Value_index.hook idx xc.store;
-      xc.indexes <- xc.indexes @ [ idx ])
+      xc.indexes <- xc.indexes @ [ idx ]);
+  save_catalog t
 
 let list_xml_indexes t ~table ~column =
   let tbl = table_exn t table in
@@ -466,6 +629,7 @@ let list_xml_indexes t ~table ~column =
   List.map (fun idx -> (Value_index.def idx).Index_def.name) xc.indexes
 
 let create_text_index t ~table ~column ~name =
+  ensure_writable t;
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   if List.mem_assoc name xc.text_indexes then
@@ -479,7 +643,8 @@ let create_text_index t ~table ~column ~name =
                 Rx_fulltext.Text_index.index_record ti ~docid ~rid ~record))
         tbl.base;
       Rx_fulltext.Text_index.hook ti xc.store;
-      xc.text_indexes <- xc.text_indexes @ [ (name, ti) ])
+      xc.text_indexes <- xc.text_indexes @ [ (name, ti) ]);
+  save_catalog t
 
 let text_index_exn xc =
   match xc.text_indexes with
@@ -545,6 +710,7 @@ let maybe_purge t =
       t.tables
 
 let begin_txn t =
+  ensure_writable t;
   let tx = Rx_txn.Transaction.begin_txn t.txn_mgr in
   let txn =
     { tx; snapshot = t.commit_ts; pending = []; locals = Hashtbl.create 16; txn_open = true }
@@ -778,8 +944,50 @@ let commit t txn =
 let close t =
   (* a handle abandoned mid-transaction rolls back, like a dropped session *)
   List.iter (rollback t) t.active_txns;
-  checkpoint t;
-  Pager.close (Buffer_pool.pager t.pool)
+  (* a degraded handle must not checkpoint: saving the catalog would
+     overwrite durable state with a partial in-memory view *)
+  (match t.degraded with None -> do_checkpoint t ~counter_name:"ckpt.manual" | Some _ -> ());
+  Pager.close (Buffer_pool.pager t.pool);
+  Rx_wal.Log_manager.close t.log
+
+(* simulate the process dying: release the file descriptors with no
+   rollback, no checkpoint and no flush — recovery runs at the next open *)
+let crash t =
+  Pager.close (Buffer_pool.pager t.pool);
+  Rx_wal.Log_manager.close t.log
+
+let set_fault ?(scope = `All) t fault =
+  Rx_wal.Log_manager.set_fault t.log fault;
+  match scope with
+  | `All -> Pager.set_fault (Buffer_pool.pager t.pool) fault
+  | `Wal_only -> Pager.set_fault (Buffer_pool.pager t.pool) None
+
+type verify_report = {
+  pages_checked : int;
+  corrupt_pages : int list;
+  wal_records : int;
+  wal_torn_bytes : int;
+}
+
+(* Offline-style integrity sweep over the physical pages (bypassing the
+   buffer pool, so cached copies cannot mask on-disk damage) plus the WAL
+   bookkeeping gathered at open. *)
+let verify t =
+  let pager = Buffer_pool.pager t.pool in
+  let buf = Bytes.create (Pager.page_size pager) in
+  let corrupt = ref [] in
+  let count = Pager.page_count pager in
+  for page_no = 1 to count - 1 do
+    match Pager.read pager page_no buf with
+    | () -> ()
+    | exception Pager.Corrupt_page _ -> corrupt := page_no :: !corrupt
+  done;
+  {
+    pages_checked = max 0 (count - 1);
+    corrupt_pages = List.rev !corrupt;
+    wal_records = Rx_wal.Log_manager.record_count t.log;
+    wal_torn_bytes = Rx_wal.Log_manager.torn_tail_bytes t.log;
+  }
 
 (* visibility of (table, column, docid) for an optional transaction:
    own staged state first, then the created-timestamp / version-chain
@@ -819,6 +1027,7 @@ let resolve t txn_opt tbl xc ~column ~docid =
 (* --- DML --- *)
 
 let insert ?txn t ~table ?(values = []) ?(xml = []) () =
+  ensure_writable t;
   let tbl = table_exn t table in
   match txn with
   | None ->
@@ -873,6 +1082,7 @@ let insert ?txn t ~table ?(values = []) ?(xml = []) () =
           docid)
 
 let delete ?txn t ~table ~docid =
+  ensure_writable t;
   let tbl = table_exn t table in
   match txn with
   | None ->
@@ -1026,6 +1236,7 @@ let subdoc_auto t tbl xc ~docid ~lock_node apply =
       result)
 
 let update_xml_text ?txn t ~table ~column ~docid node content =
+  ensure_writable t;
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   match txn with
@@ -1063,6 +1274,7 @@ let position_anchor = function
   | Doc_store.Before n | Doc_store.After n | Doc_store.Last_child_of n -> n
 
 let insert_xml_fragment ?txn t ~table ~column ~docid position fragment =
+  ensure_writable t;
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   let inner = parse_fragment t fragment in
@@ -1085,6 +1297,7 @@ let insert_xml_fragment ?txn t ~table ~column ~docid position fragment =
         (fun ds d -> Doc_store.insert_fragment ds ~docid:d position inner)
 
 let delete_xml_node ?txn t ~table ~column ~docid node =
+  ensure_writable t;
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   match txn with

@@ -32,6 +32,11 @@ exception Busy of { txid : int; blockers : int list }
     {!Rx_txn.Lock_manager.Deadlock} instead, after rolling the victim
     back. *)
 
+exception Read_only of { reason : string }
+(** Raised by every mutating call (DDL, DML, {!begin_txn}, {!checkpoint})
+    on a handle that opened in degraded read-only mode after detecting
+    corruption — see {!health}. *)
+
 type match_ = { docid : int; node : Rx_xmlstore.Node_id.t }
 
 type plan_info = {
@@ -57,13 +62,75 @@ val create_in_memory : ?page_size:int -> ?record_threshold:int -> unit -> t
 
 val open_dir : ?page_size:int -> ?record_threshold:int -> string -> t
 (** Opens (creating if needed) a database in a directory: [data.rxdb] pages
-    and [wal.rxlog]. Runs crash recovery and reloads the catalog. *)
+    and [wal.rxlog]. Runs crash recovery — replaying committed work,
+    rolling back losers, and treating a checksum-invalid WAL tail as a torn
+    write (replay stops at the last intact record) — then reloads the
+    catalog. If mid-file corruption is detected (a page or WAL record whose
+    checksum fails), the handle opens {e degraded}: intact data stays
+    readable, every mutating call raises {!Read_only}, and {!health} /
+    {!verify} expose the damage. *)
 
 val checkpoint : t -> unit
+(** Persists the catalog, flushes all dirty pages, forces the log, and
+    truncates it. Durable state is complete as of the call; must not run
+    concurrently with an explicit transaction.
+    @raise Read_only on a degraded handle. *)
+
+type config = {
+  auto_checkpoint : bool;  (** fire checkpoints automatically (default on) *)
+  checkpoint_wal_bytes : int;
+      (** checkpoint once this many WAL bytes accumulate since the last one *)
+  checkpoint_wal_records : int;
+      (** ... or this many WAL records, whichever comes first *)
+}
+(** Policy knobs for automatic checkpointing. A trigger is evaluated after
+    every auto-commit operation and every explicit {!commit}; it fires only
+    when no transaction is in flight (checkpointing truncates the log, so
+    in-flight transactions must not have records there). Checkpoints are
+    counted in the [ckpt.auto] / [ckpt.manual] metrics and traced as
+    [db.checkpoint] spans. *)
+
+val default_config : config
+(** [auto_checkpoint = true], 4 MiB, 50k records. *)
+
+val config : t -> config
+val set_config : t -> config -> unit
+
+val health : t -> [ `Healthy | `Degraded of string ]
+(** [`Degraded reason] when corruption was detected while opening: the
+    handle serves reads from intact data but refuses all mutations. *)
+
+type verify_report = {
+  pages_checked : int;
+  corrupt_pages : int list;  (** page numbers whose checksum fails *)
+  wal_records : int;  (** records in the log since the last truncation *)
+  wal_torn_bytes : int;
+      (** bytes cut from the WAL tail as a torn write at open *)
+}
+
+val verify : t -> verify_report
+(** Reads every physical page directly from the pager (bypassing cached
+    copies) and checks its checksum; never raises on corruption — damaged
+    pages are listed in the report. *)
+
+val last_recovery : t -> Rx_wal.Recovery.report option
+(** What crash recovery did when this handle was opened; [None] for a
+    fresh database or an in-memory one. *)
 
 val close : t -> unit
-(** Rolls back any still-open transaction, checkpoints, and closes the
-    pager. *)
+(** Rolls back any still-open transaction, checkpoints (skipped on a
+    degraded handle: its partial in-memory view must not overwrite durable
+    state), and closes the pager and log. *)
+
+val crash : t -> unit
+(** Hard-stops the handle as if the process died: closes the file
+    descriptors with no rollback, no checkpoint and no flush. The next
+    {!open_dir} runs recovery. Crash-testing only. *)
+
+val set_fault : ?scope:[ `All | `Wal_only ] -> t -> Rx_storage.Fault.t option -> unit
+(** Installs a fault-injection handle on the pager and WAL ([`All]) or the
+    WAL alone ([`Wal_only] — used for torn-write faults, which only the
+    log tolerates by design). Crash-testing only. *)
 
 val dict : t -> Rx_xml.Name_dict.t
 

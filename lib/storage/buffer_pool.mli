@@ -34,8 +34,15 @@ val create : ?metrics:Rx_obs.Metrics.t -> ?capacity:int -> Pager.t -> t
     resolve their own instruments from {!metrics}. *)
 
 val pager : t -> Pager.t
+(** The underlying pager (shared; do not close it while the pool is live). *)
+
 val page_size : t -> int
+(** Page size of the underlying pager, in bytes. *)
+
 val set_journal : t -> journal option -> unit
+(** Installs (or removes, with [None]) the WAL hooks. While a journal is
+    installed, every {!update} is logged before the frame can be written
+    back, and {!flush_all} honours the WAL rule via [ensure_durable]. *)
 
 val with_page : t -> int -> (bytes -> 'a) -> 'a
 (** Read-only access; the page is pinned for the duration of the callback.

@@ -13,9 +13,17 @@ val attach : Buffer_pool.t -> header_page:int -> t
 (** Re-opens an existing heap file by its header page number. *)
 
 val header_page : t -> int
+(** Page number of the file's header page — the stable handle persisted in
+    the catalog and passed back to {!attach}. *)
 
 val insert : t -> string -> Rid.t
+(** Appends a record, spilling to overflow chains when it exceeds a page.
+    The change is journaled through the buffer pool; durability follows the
+    enclosing transaction's commit. *)
+
 val read : t -> Rid.t -> string
+(** Fetches a record by RID, reassembling overflow chains.
+    @raise Invalid_argument if the slot is dead or out of range. *)
 
 val delete : t -> Rid.t -> unit
 (** @raise Invalid_argument if the record does not exist. *)
@@ -28,9 +36,11 @@ val iter : (Rid.t -> string -> unit) -> t -> unit
 (** Full scan in page order. *)
 
 val record_count : t -> int
+(** Number of live records (maintained incrementally, O(1)). *)
 
 val data_pages : t -> int
 (** Number of data pages (excluding header and overflow), for storage
     accounting in the E1 benchmark. *)
 
 val overflow_pages : t -> int
+(** Number of overflow pages holding spilled record tails. *)

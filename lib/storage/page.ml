@@ -1,5 +1,8 @@
 let lsn_size = 8
 let header_size = 16
+let format_version = 1
+let version_off = 9
+let checksum_off = 12
 
 type kind = Free | Meta | Heap | Heap_overflow | Btree_internal | Btree_leaf
 
@@ -24,3 +27,21 @@ let get_lsn page = Bytes.get_int64_be page 0
 let set_lsn page lsn = Bytes.set_int64_be page 0 lsn
 let get_kind page = kind_of_tag (Char.code (Bytes.get page 8))
 let set_kind page kind = Bytes.set page 8 (Char.chr (kind_to_tag kind))
+let get_version page = Char.code (Bytes.get page version_off)
+
+(* The checksum covers the whole image except its own 4-byte field, so any
+   bit flip anywhere on the page (header included) is detected. *)
+let compute_checksum page =
+  let crc = Rx_util.Crc32.bytes page ~pos:0 ~len:checksum_off in
+  let crc =
+    Rx_util.Crc32.bytes ~crc page ~pos:(checksum_off + 4)
+      ~len:(Bytes.length page - checksum_off - 4)
+  in
+  Rx_util.Crc32.finish crc
+
+let stamp page =
+  Bytes.set page version_off (Char.chr format_version);
+  Bytes.set_int32_be page checksum_off (compute_checksum page)
+
+let verify page =
+  Int32.equal (Bytes.get_int32_be page checksum_off) (compute_checksum page)

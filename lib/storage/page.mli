@@ -1,19 +1,61 @@
 (** Conventions for the raw page image shared by all page types.
 
-    Layout: bytes 0..7 hold the page LSN (big-endian), byte 8 the page type,
-    bytes 9..15 are reserved; component-specific content starts at
-    {!header_size}. *)
+    Layout (format version 1): bytes 0..7 hold the page LSN (big-endian),
+    byte 8 the page type, byte 9 the page format version, bytes 10..11 are
+    reserved, bytes 12..15 a CRC-32 of the rest of the image;
+    component-specific content starts at {!header_size}.
+
+    The version byte and checksum are {e not} maintained by page editors:
+    {!stamp} is called by the {!Pager} on every physical write (and
+    {!verify} on every physical read), so in-memory images between I/Os may
+    carry a stale checksum by design. *)
 
 val lsn_size : int
+(** Width of the LSN field (bytes 0..7), which the buffer pool excludes
+    from change journaling. *)
+
 val header_size : int
+(** First byte usable by component-specific content. *)
+
+val format_version : int
+(** Version stamped into byte 9 on write; bumped when the header layout
+    changes. *)
 
 (** Page type tags, recorded for debugging and recovery sanity checks. *)
 type kind = Free | Meta | Heap | Heap_overflow | Btree_internal | Btree_leaf
 
 val kind_to_tag : kind -> int
+(** Stable on-disk encoding of {!kind}. *)
+
 val kind_of_tag : int -> kind
+(** Inverse of {!kind_to_tag}; raises [Invalid_argument] on an unknown
+    tag. *)
 
 val get_lsn : bytes -> int64
+(** LSN of the last journaled update applied to this image; pages flush
+    only after the WAL is durable up to this LSN. *)
+
 val set_lsn : bytes -> int64 -> unit
+(** Stamps the page LSN (done by the buffer pool after journaling, and by
+    recovery redo). *)
+
 val get_kind : bytes -> kind
+(** The page's type tag. *)
+
 val set_kind : bytes -> kind -> unit
+(** Sets the type tag (journaled when done through the buffer pool). *)
+
+val get_version : bytes -> int
+(** The format version stamped at the page's last physical write; [0] on an
+    image that has never been written. *)
+
+val compute_checksum : bytes -> int32
+(** CRC-32 of the image excluding the checksum field itself. *)
+
+val stamp : bytes -> unit
+(** Writes the format version and checksum into the header — called by the
+    pager immediately before every physical write. *)
+
+val verify : bytes -> bool
+(** Whether the stored checksum matches the image — checked by the pager
+    on every physical read. *)

@@ -1,5 +1,17 @@
 let default_page_size = 4096
-let magic = "RXPAGER1"
+let magic = "RXPAGER2"
+let format_version = 1
+
+exception Corrupt_page of { page_no : int; stored : int32; computed : int32 }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_page { page_no; stored; computed } ->
+        Some
+          (Printf.sprintf
+             "Pager.Corrupt_page(page %d: stored checksum %08lx, computed %08lx)"
+             page_no stored computed)
+    | _ -> None)
 
 type backend =
   | Mem of { mutable pages : bytes array; mutable count : int }
@@ -8,33 +20,42 @@ type backend =
 type t = {
   page_size : int;
   backend : backend;
+  mutable fault : Fault.t option;
   mutable reads : int;
   mutable writes : int;
   c_reads : Rx_obs.Metrics.counter;
   c_writes : Rx_obs.Metrics.counter;
   c_syncs : Rx_obs.Metrics.counter;
+  c_corrupt : Rx_obs.Metrics.counter;
 }
 
 let counters metrics =
   Rx_obs.Metrics.
-    (counter metrics "pager.reads", counter metrics "pager.writes", counter metrics "pager.syncs")
+    ( counter metrics "pager.reads",
+      counter metrics "pager.writes",
+      counter metrics "pager.syncs",
+      counter metrics "pager.corrupt_pages" )
 
 let page_size t = t.page_size
 
 let page_count t =
   match t.backend with Mem m -> m.count | File f -> f.count
 
+let set_fault t fault = t.fault <- fault
+
 let create_in_memory ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_size) () =
-  let c_reads, c_writes, c_syncs = counters metrics in
+  let c_reads, c_writes, c_syncs, c_corrupt = counters metrics in
   let t =
     {
       page_size;
       backend = Mem { pages = Array.make 64 Bytes.empty; count = 0 };
+      fault = None;
       reads = 0;
       writes = 0;
       c_reads;
       c_writes;
       c_syncs;
+      c_corrupt;
     }
   in
   (* reserve page 0 *)
@@ -45,9 +66,8 @@ let create_in_memory ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_p
   | File _ -> assert false);
   t
 
-let pwrite_full fd buf off =
+let pwrite_full fd buf off len =
   ignore (Unix.lseek fd off Unix.SEEK_SET);
-  let len = Bytes.length buf in
   let rec loop pos =
     if pos < len then begin
       let n = Unix.write fd buf pos (len - pos) in
@@ -68,8 +88,17 @@ let pread_full fd buf off =
   in
   loop 0
 
+(* Physical write of the (pre-stamped) page image, honouring the fault
+   hook: a torn write transfers only a prefix of the image. *)
+let write_page t page_no buf =
+  Fault.wrap_write t.fault ~op:"pager.write" ~len:(Bytes.length buf)
+    ~write:(fun n ->
+      match t.backend with
+      | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 n
+      | File f -> pwrite_full f.fd buf (page_no * t.page_size) n)
+
 let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_size) path =
-  let c_reads, c_writes, c_syncs = counters metrics in
+  let c_reads, c_writes, c_syncs, c_corrupt = counters metrics in
   let existed = Sys.file_exists path in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   if existed && (Unix.fstat fd).Unix.st_size > 0 then begin
@@ -81,34 +110,45 @@ let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_siz
       failwith
         (Printf.sprintf "Pager.open_file: page size mismatch (%d vs %d)" stored
            page_size);
+    let version = Char.code (Bytes.get hdr 12) in
+    if version <> format_version then
+      failwith
+        (Printf.sprintf "Pager.open_file: unsupported format version %d" version);
     let size = (Unix.fstat fd).Unix.st_size in
     {
       page_size;
       backend = File { fd; count = size / page_size };
+      fault = None;
       reads = 0;
       writes = 0;
       c_reads;
       c_writes;
       c_syncs;
+      c_corrupt;
     }
   end
   else begin
     let hdr = Bytes.make page_size '\000' in
     Bytes.blit_string magic 0 hdr 0 8;
     Bytes.set_int32_be hdr 8 (Int32.of_int page_size);
-    pwrite_full fd hdr 0;
+    Bytes.set hdr 12 (Char.chr format_version);
+    pwrite_full fd hdr 0 page_size;
     {
       page_size;
       backend = File { fd; count = 1 };
+      fault = None;
       reads = 0;
       writes = 0;
       c_reads;
       c_writes;
       c_syncs;
+      c_corrupt;
     }
   end
 
 let alloc t =
+  let zero = Bytes.make t.page_size '\000' in
+  Page.stamp zero;
   match t.backend with
   | Mem m ->
       if m.count >= Array.length m.pages then begin
@@ -116,14 +156,15 @@ let alloc t =
         Array.blit m.pages 0 bigger 0 m.count;
         m.pages <- bigger
       end;
-      m.pages.(m.count) <- Bytes.make t.page_size '\000';
       let n = m.count in
+      m.pages.(n) <- Bytes.make t.page_size '\000';
       m.count <- n + 1;
+      write_page t n zero;
       n
   | File f ->
       let n = f.count in
-      pwrite_full f.fd (Bytes.make t.page_size '\000') (n * t.page_size);
       f.count <- n + 1;
+      write_page t n zero;
       n
 
 let check_page_no t page_no =
@@ -134,21 +175,31 @@ let read t page_no buf =
   check_page_no t page_no;
   t.reads <- t.reads + 1;
   Rx_obs.Metrics.incr t.c_reads;
-  match t.backend with
+  (match t.backend with
   | Mem m -> Bytes.blit m.pages.(page_no) 0 buf 0 t.page_size
-  | File f -> pread_full f.fd buf (page_no * t.page_size)
+  | File f -> pread_full f.fd buf (page_no * t.page_size));
+  if not (Page.verify buf) then begin
+    Rx_obs.Metrics.incr t.c_corrupt;
+    raise
+      (Corrupt_page
+         {
+           page_no;
+           stored = Bytes.get_int32_be buf 12;
+           computed = Page.compute_checksum buf;
+         })
+  end
 
 let write t page_no buf =
   check_page_no t page_no;
   t.writes <- t.writes + 1;
   Rx_obs.Metrics.incr t.c_writes;
-  match t.backend with
-  | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 t.page_size
-  | File f -> pwrite_full f.fd buf (page_no * t.page_size)
+  Page.stamp buf;
+  write_page t page_no buf
 
 let sync t =
   Rx_obs.Metrics.incr t.c_syncs;
-  match t.backend with Mem _ -> () | File f -> Unix.fsync f.fd
+  Fault.wrap_fsync t.fault ~op:"pager.sync" ~sync:(fun () ->
+      match t.backend with Mem _ -> () | File f -> Unix.fsync f.fd)
 
 let close t =
   match t.backend with Mem _ -> () | File f -> Unix.close f.fd

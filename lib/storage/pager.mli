@@ -1,18 +1,37 @@
 (** The external storage manager: a flat array of fixed-size pages, backed by
     either an in-memory store (for tests and benchmarks) or a file. Page 0 is
-    reserved for pager metadata (magic, page size); user pages start at 1. *)
+    reserved for pager metadata (magic ["RXPAGER2"], page size, format
+    version); user pages start at 1.
+
+    Integrity: every page image carries a CRC-32 in its header
+    (see {!Page}); {!write} and {!alloc} stamp it immediately before the
+    physical write and {!read} verifies it, raising {!Corrupt_page} rather
+    than serving a damaged image. Torn or bit-flipped pages are therefore
+    detected at the first read, never silently propagated.
+
+    Durability: writes reach the OS immediately but are only durable after
+    {!sync}. The buffer pool enforces the WAL rule (log durable up to the
+    page LSN) before any page write reaches this layer.
+
+    Concurrency: a pager is not thread-safe; callers (the buffer pool)
+    serialize access. *)
 
 type t
+
+exception Corrupt_page of { page_no : int; stored : int32; computed : int32 }
+(** Raised by {!read} when the stored page checksum does not match the
+    image — the page was torn, bit-flipped, or never fully written. *)
 
 val default_page_size : int
 
 val create_in_memory : ?metrics:Rx_obs.Metrics.t -> ?page_size:int -> unit -> t
-(** [metrics] receives the [pager.reads]/[pager.writes]/[pager.syncs]
-    counters (default: the global registry). *)
+(** [metrics] receives the [pager.reads]/[pager.writes]/[pager.syncs]/
+    [pager.corrupt_pages] counters (default: the global registry). *)
 
 val open_file : ?metrics:Rx_obs.Metrics.t -> ?page_size:int -> string -> t
 (** Opens (creating if absent) a file-backed pager.
-    @raise Failure if the file exists with a different page size. *)
+    @raise Failure if the file exists with a different page size, a bad
+    magic, or an unsupported format version. *)
 
 val page_size : t -> int
 
@@ -20,15 +39,30 @@ val page_count : t -> int
 (** Number of allocated pages, including the reserved page 0. *)
 
 val alloc : t -> int
-(** Allocates a fresh zeroed page and returns its number. *)
+(** Allocates a fresh zeroed (and checksum-stamped) page and returns its
+    number. The new page is written through to the backend but not synced. *)
 
 val read : t -> int -> bytes -> unit
 (** [read t page_no buf] fills [buf] (of length [page_size]) with the page
-    image. *)
+    image after verifying its checksum.
+    @raise Corrupt_page if the stored checksum does not match. *)
 
 val write : t -> int -> bytes -> unit
+(** Stamps the page checksum into [buf] and writes it through to the
+    backend. Not durable until {!sync}. *)
+
 val sync : t -> unit
+(** Forces all completed writes to stable storage (fsync); a no-op for the
+    in-memory backend. *)
+
 val close : t -> unit
+(** Releases the backing file descriptor {e without} flushing dirty
+    buffer-pool state — callers flush first (or deliberately don't, to
+    simulate a crash). *)
+
+val set_fault : t -> Fault.t option -> unit
+(** Installs (or clears) a fault-injection handle consulted by every
+    physical write and sync. Testing only. *)
 
 val io_stats : t -> int * int
 (** (reads, writes) performed, for the benchmark harness. *)

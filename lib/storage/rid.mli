@@ -4,12 +4,25 @@
 type t = { page : int; slot : int }
 
 val make : page:int -> slot:int -> t
+(** Builds a RID; no range checking is performed. *)
+
 val compare : t -> t -> int
+(** Total order: page number first, then slot — i.e. physical scan order. *)
+
 val equal : t -> t -> bool
+(** Structural equality. *)
+
 val hash : t -> int
+(** Hash consistent with {!equal}, for use in hash tables. *)
 
 val encode : Rx_util.Bytes_io.Writer.t -> t -> unit
+(** Serializes as two u32s (page, slot) — the on-disk index payload form. *)
+
 val decode : Rx_util.Bytes_io.Reader.t -> t
+(** Inverse of {!encode}. *)
 
 val to_string : t -> string
+(** ["page:slot"], for messages and debugging. *)
+
 val pp : Format.formatter -> t -> unit
+(** Pretty-printer matching {!to_string}. *)

@@ -15,9 +15,14 @@ val slot_count : bytes -> int
 (** Size of the slot directory, including dead slots. *)
 
 val live_count : bytes -> int
+(** Number of live (non-dead) slots. *)
 
 val next_page : bytes -> int
+(** Forward link to the next page in the owning chain (0 = end). *)
+
 val set_next_page : bytes -> int -> unit
+(** Sets the forward link. Callers must journal the change (i.e. go through
+    {!Buffer_pool.update}) for it to be crash-safe. *)
 
 val aux : bytes -> int
 (** A spare u32 for the owning component (e.g. B+tree right-sibling). *)
@@ -43,6 +48,7 @@ val get : bytes -> int -> string option
 (** [None] if the slot is dead or out of range. *)
 
 val delete : bytes -> int -> unit
+(** Marks the slot dead; space is reclaimed lazily by compaction. *)
 
 val update : bytes -> int -> string -> bool
 (** In-place update; [false] if the new payload cannot fit on this page. *)

@@ -39,8 +39,13 @@ val release_all : t -> txid:int -> int list
     returns the transactions whose queued request was granted. *)
 
 val holds : t -> txid:int -> Resource.t -> Lock_modes.t option
+(** The mode held on exactly this resource, if any (no hierarchy walk). *)
+
 val locks_held : t -> txid:int -> (Resource.t * Lock_modes.t) list
+(** Every granted lock of the transaction, in no particular order. *)
+
 val is_waiting : t -> txid:int -> bool
+(** Whether the transaction has a queued (not yet granted) request. *)
 
 val find_deadlock : t -> int option
 (** Some transaction on a waits-for cycle (the youngest = largest txid),

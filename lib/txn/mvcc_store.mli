@@ -20,6 +20,9 @@ type t
 
 val create :
   ?record_threshold:int -> Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> t
+(** Creates a versioned store over a fresh {!Rx_xmlstore.Doc_store}.
+    [record_threshold] is passed through to the underlying store's packing
+    policy. *)
 
 val store : t -> Rx_xmlstore.Doc_store.t
 (** The underlying document store (for wiring value-index observers). *)

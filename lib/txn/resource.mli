@@ -22,4 +22,7 @@ val group_key : t -> int * int
     prefix test can scan them. *)
 
 val to_string : t -> string
+(** Human-readable form for traces and deadlock reports. *)
+
 val compare : t -> t -> int
+(** Total order (used to sort lock sets deterministically in tests). *)

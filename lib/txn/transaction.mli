@@ -22,8 +22,13 @@ val install_journal : manager -> unit
     transaction currently executing under {!run_as}. *)
 
 val begin_txn : manager -> t
+(** Starts a transaction with a fresh, monotonically increasing txid. *)
+
 val txid : t -> int
+(** The transaction's identifier (also its WAL record tag). *)
+
 val is_active : t -> bool
+(** [false] once committed or aborted; all lock/run operations then fail. *)
 
 val run_as : t -> (unit -> 'a) -> 'a
 (** Executes [f] with page updates attributed to this transaction. *)

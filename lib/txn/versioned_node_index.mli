@@ -14,8 +14,13 @@
 type t
 
 val create : Rx_storage.Buffer_pool.t -> t
+(** Allocates a fresh (empty) index in the pool. *)
+
 val attach : Rx_storage.Buffer_pool.t -> meta_page:int -> t
+(** Re-opens an existing index by its B+tree meta page. *)
+
 val meta_page : t -> int
+(** The B+tree meta page — the handle to persist and pass to {!attach}. *)
 
 val insert :
   t ->

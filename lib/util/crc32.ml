@@ -1,0 +1,40 @@
+(* IEEE 802.3 CRC-32 (polynomial 0xEDB88320, reflected), table-driven.
+   Used for page and WAL-record checksums; must stay stable forever, since
+   the values are part of the on-disk formats. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update_byte crc b =
+  let table = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
+  Int32.logxor table.(idx) (Int32.shift_right_logical crc 8)
+
+let feed_bytes crc buf pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32: range out of bounds";
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc := update_byte !crc (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !crc
+
+let start = 0xFFFFFFFFl
+let finish crc = Int32.logxor crc 0xFFFFFFFFl
+
+let bytes ?(crc = start) buf ~pos ~len = feed_bytes crc buf pos len
+
+let string ?(crc = start) s ~pos ~len =
+  bytes ~crc (Bytes.unsafe_of_string s) ~pos ~len
+
+let of_string s = finish (string s ~pos:0 ~len:(String.length s))
+let of_bytes b = finish (bytes b ~pos:0 ~len:(Bytes.length b))

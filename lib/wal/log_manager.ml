@@ -1,43 +1,113 @@
-(* Record framing on the wire: u32 length then payload. The in-memory image
-   [contents] always mirrors everything appended; for the file backend,
-   [durable] tracks how much of it has been written + fsynced. *)
+(* Record framing on the wire: u32 payload length, u32 CRC-32 of the
+   payload, then the payload. The in-memory image [contents] always mirrors
+   every frame appended since the last truncation; for the file backend,
+   [durable] tracks how much of it has been written + fsynced.
+
+   The file starts with a 16-byte header: the magic "RXWAL001" followed by
+   the 8-byte base LSN. LSNs are [base + offset-in-log]; truncation
+   advances the base to the old tail instead of resetting to zero, so LSNs
+   stay monotonic across checkpoints and page LSNs stamped before a
+   truncation can never alias a post-truncation record. *)
 
 type backend = Memory | File of Unix.file_descr
+
+let magic = "RXWAL001"
+let header_size = 16
+let frame_overhead = 8
+
+exception Corrupt_record of { lsn : int64 }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_record { lsn } ->
+        Some (Printf.sprintf "Log_manager.Corrupt_record(lsn %Ld)" lsn)
+    | _ -> None)
 
 type t = {
   backend : backend;
   mutable contents : Buffer.t;
-  mutable durable : int64;
+  mutable base : int64; (* LSN of the first byte of [contents] *)
+  mutable durable : int; (* bytes of [contents] written + fsynced *)
   mutable appended : int;
+  mutable records : int; (* frames currently in [contents] *)
+  mutable torn_tail : int; (* bytes discarded as a torn tail at open *)
+  mutable fault : Rx_storage.Fault.t option;
   c_records : Rx_obs.Metrics.counter;
   c_bytes : Rx_obs.Metrics.counter;
   c_syncs : Rx_obs.Metrics.counter;
+  c_torn : Rx_obs.Metrics.counter;
 }
 
 let counters metrics =
   Rx_obs.Metrics.
     ( counter metrics "wal.records",
       counter metrics "wal.bytes_appended",
-      counter metrics "wal.forced_syncs" )
+      counter metrics "wal.forced_syncs",
+      counter metrics "wal.torn_tail_bytes" )
 
 let create_in_memory ?(metrics = Rx_obs.Metrics.default) () =
-  let c_records, c_bytes, c_syncs = counters metrics in
+  let c_records, c_bytes, c_syncs, c_torn = counters metrics in
   {
     backend = Memory;
     contents = Buffer.create 4096;
-    durable = 0L;
+    base = 0L;
+    durable = 0;
     appended = 0;
+    records = 0;
+    torn_tail = 0;
+    fault = None;
     c_records;
     c_bytes;
     c_syncs;
+    c_torn;
   }
 
+let crc_of_payload s = Int32.to_int (Rx_util.Crc32.of_string s) land 0xFFFFFFFF
+
+(* Length of the prefix of [s] (a frame stream) that consists of complete,
+   CRC-valid frames, plus the number of frames in it. Anything past that
+   point is a torn tail: a crash interrupted the last flush mid-frame. *)
+let valid_prefix s =
+  let len = String.length s in
+  let rec loop pos nrec =
+    if pos + frame_overhead > len then (pos, nrec)
+    else begin
+      let r = Rx_util.Bytes_io.Reader.of_string ~pos s in
+      let rec_len = Rx_util.Bytes_io.Reader.u32 r in
+      let crc = Rx_util.Bytes_io.Reader.u32 r in
+      if rec_len < 0 || pos + frame_overhead + rec_len > len then (pos, nrec)
+      else
+        let payload = String.sub s (pos + frame_overhead) rec_len in
+        if crc_of_payload payload <> crc then (pos, nrec)
+        else loop (pos + frame_overhead + rec_len) (nrec + 1)
+    end
+  in
+  loop 0 0
+
+let write_header fd base =
+  let hdr = Bytes.make header_size '\000' in
+  Bytes.blit_string magic 0 hdr 0 8;
+  Bytes.set_int64_be hdr 8 base;
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec w pos =
+    if pos < header_size then w (pos + Unix.write fd hdr pos (header_size - pos))
+  in
+  w 0
+
 let open_file ?(metrics = Rx_obs.Metrics.default) path =
-  let c_records, c_bytes, c_syncs = counters metrics in
+  let c_records, c_bytes, c_syncs, c_torn = counters metrics in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
   let contents = Buffer.create (max 4096 size) in
-  if size > 0 then begin
+  let base = ref 0L in
+  let records = ref 0 in
+  let torn_tail = ref 0 in
+  if size < header_size then begin
+    (* fresh (or hopelessly short) log: lay down a clean header *)
+    Unix.ftruncate fd 0;
+    write_header fd 0L
+  end
+  else begin
     ignore (Unix.lseek fd 0 Unix.SEEK_SET);
     let buf = Bytes.create size in
     let rec fill pos =
@@ -48,76 +118,112 @@ let open_file ?(metrics = Rx_obs.Metrics.default) path =
       end
     in
     fill 0;
-    Buffer.add_bytes contents buf
+    if Bytes.sub_string buf 0 8 <> magic then
+      failwith "Log_manager.open_file: bad magic";
+    base := Bytes.get_int64_be buf 8;
+    let body = Bytes.sub_string buf header_size (size - header_size) in
+    let valid, nrec = valid_prefix body in
+    records := nrec;
+    torn_tail := String.length body - valid;
+    if !torn_tail > 0 then begin
+      (* torn tail: a crash interrupted the last append(s); the valid
+         prefix is the whole log *)
+      Unix.ftruncate fd (header_size + valid);
+      Rx_obs.Metrics.add c_torn !torn_tail
+    end;
+    Buffer.add_string contents (String.sub body 0 valid)
   end;
   (* pre-existing bytes count as appended, mirroring [appended_bytes] *)
-  Rx_obs.Metrics.add c_bytes size;
+  Rx_obs.Metrics.add c_bytes (Buffer.length contents);
   {
     backend = File fd;
     contents;
-    durable = Int64.of_int size;
-    appended = size;
+    base = !base;
+    durable = Buffer.length contents;
+    appended = Buffer.length contents;
+    records = !records;
+    torn_tail = !torn_tail;
+    fault = None;
     c_records;
     c_bytes;
     c_syncs;
+    c_torn;
   }
+
+let set_fault t fault = t.fault <- fault
 
 let frame record =
   let payload = Log_record.encode record in
-  let w = Rx_util.Bytes_io.Writer.create ~capacity:(String.length payload + 4) () in
+  let w =
+    Rx_util.Bytes_io.Writer.create ~capacity:(String.length payload + frame_overhead) ()
+  in
   Rx_util.Bytes_io.Writer.u32 w (String.length payload);
+  Rx_util.Bytes_io.Writer.u32 w (crc_of_payload payload);
   Rx_util.Bytes_io.Writer.bytes w payload;
   Rx_util.Bytes_io.Writer.contents w
 
+let tail_lsn t = Int64.add t.base (Int64.of_int (Buffer.length t.contents))
+let durable_lsn t = Int64.add t.base (Int64.of_int t.durable)
+
 let append t record =
-  let lsn = Int64.of_int (Buffer.length t.contents) in
+  let lsn = tail_lsn t in
   let framed = frame record in
   Buffer.add_string t.contents framed;
   t.appended <- t.appended + String.length framed;
+  t.records <- t.records + 1;
   Rx_obs.Metrics.incr t.c_records;
   Rx_obs.Metrics.add t.c_bytes (String.length framed);
   lsn
 
-let tail_lsn t = Int64.of_int (Buffer.length t.contents)
-let durable_lsn t = t.durable
-
 let flush t =
-  if Int64.compare (tail_lsn t) t.durable > 0 then Rx_obs.Metrics.incr t.c_syncs;
+  if Buffer.length t.contents > t.durable then Rx_obs.Metrics.incr t.c_syncs;
   match t.backend with
-  | Memory -> t.durable <- tail_lsn t
+  | Memory -> t.durable <- Buffer.length t.contents
   | File fd ->
       let total = Buffer.length t.contents in
-      let from = Int64.to_int t.durable in
-      if total > from then begin
-        ignore (Unix.lseek fd from Unix.SEEK_SET);
-        let chunk = Buffer.sub t.contents from (total - from) in
+      if total > t.durable then begin
+        let chunk = Buffer.sub t.contents t.durable (total - t.durable) in
         let bytes = Bytes.of_string chunk in
-        let rec write pos =
-          if pos < Bytes.length bytes then
-            write (pos + Unix.write fd bytes pos (Bytes.length bytes - pos))
-        in
-        write 0;
-        Unix.fsync fd;
-        t.durable <- Int64.of_int total
+        Rx_storage.Fault.wrap_write t.fault ~op:"wal.write"
+          ~len:(Bytes.length bytes) ~write:(fun n ->
+            ignore (Unix.lseek fd (header_size + t.durable) Unix.SEEK_SET);
+            let rec write pos =
+              if pos < n then write (pos + Unix.write fd bytes pos (n - pos))
+            in
+            write 0);
+        Rx_storage.Fault.wrap_fsync t.fault ~op:"wal.fsync" ~sync:(fun () ->
+            Unix.fsync fd);
+        t.durable <- total
       end
 
-let flush_to t lsn = if Int64.compare t.durable lsn < 0 then flush t
+let flush_to t lsn = if Int64.compare (durable_lsn t) lsn < 0 then flush t
 
 let iter t ?(from = 0L) f =
   let s = Buffer.contents t.contents in
   let len = String.length s in
   let rec loop pos =
-    if pos + 4 <= len then begin
+    if pos + frame_overhead <= len then begin
       let r = Rx_util.Bytes_io.Reader.of_string ~pos s in
       let rec_len = Rx_util.Bytes_io.Reader.u32 r in
-      if pos + 4 + rec_len <= len then begin
-        let payload = String.sub s (pos + 4) rec_len in
-        f (Int64.of_int pos) (Log_record.decode payload);
-        loop (pos + 4 + rec_len)
+      let crc = Rx_util.Bytes_io.Reader.u32 r in
+      if pos + frame_overhead + rec_len <= len then begin
+        let lsn = Int64.add t.base (Int64.of_int pos) in
+        let payload = String.sub s (pos + frame_overhead) rec_len in
+        if crc_of_payload payload <> crc then
+          (* cannot happen for frames loaded by [open_file] (the torn tail
+             was cut there), but protects in-process readers *)
+          raise (Corrupt_record { lsn });
+        let record =
+          try Log_record.decode payload
+          with _ -> raise (Corrupt_record { lsn })
+        in
+        f lsn record;
+        loop (pos + frame_overhead + rec_len)
       end
     end
   in
-  loop (Int64.to_int from)
+  let from_off = Int64.to_int (Int64.sub from t.base) in
+  loop (max 0 from_off)
 
 let records_rev t =
   let acc = ref [] in
@@ -125,10 +231,20 @@ let records_rev t =
   !acc
 
 let truncate t =
+  t.base <- tail_lsn t;
   Buffer.clear t.contents;
-  t.durable <- 0L;
+  t.durable <- 0;
+  t.records <- 0;
   match t.backend with
   | Memory -> ()
-  | File fd -> Unix.ftruncate fd 0
+  | File fd ->
+      Unix.ftruncate fd header_size;
+      write_header fd t.base;
+      Unix.fsync fd
 
 let appended_bytes t = t.appended
+let record_count t = t.records
+let torn_tail_bytes t = t.torn_tail
+
+let close t =
+  match t.backend with Memory -> () | File fd -> Unix.close fd

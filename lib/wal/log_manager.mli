@@ -1,33 +1,82 @@
-(** Append-only write-ahead log. LSNs are byte offsets of record starts
-    (strictly increasing), so "durable up to LSN" is a single comparison. *)
+(** Append-only write-ahead log. LSNs are strictly increasing byte
+    positions ([base + offset]), so "durable up to LSN" is a single
+    comparison. The base persists in the file header and advances at
+    {!truncate}, keeping LSNs monotonic across checkpoints — a page LSN
+    stamped before a truncation can never alias a later record.
+
+    Integrity: each record is framed as [u32 length | u32 CRC-32 | payload].
+    On {!open_file}, the longest prefix of complete, CRC-valid frames is
+    the log; anything after it is a torn tail from a crash mid-flush and is
+    silently truncated (counted in [wal.torn_tail_bytes]). A CRC-valid
+    frame that fails to decode mid-file is real corruption and raises
+    {!Corrupt_record}.
+
+    Durability: {!append} only buffers; a record is durable once {!flush}
+    (write + fsync) has covered its LSN. Transaction commit calls
+    {!flush}; the buffer pool calls {!flush_to} before writing a page.
+
+    Concurrency: not thread-safe; the engine serializes access. *)
 
 type t
 
+exception Corrupt_record of { lsn : int64 }
+(** A CRC-valid frame whose payload does not decode — mid-file corruption
+    (distinct from a torn tail, which is healed silently at open). *)
+
 val create_in_memory : ?metrics:Rx_obs.Metrics.t -> unit -> t
+
 val open_file : ?metrics:Rx_obs.Metrics.t -> string -> t
-(** [metrics] receives the [wal.records] / [wal.bytes_appended] /
-    [wal.forced_syncs] counters (default: the global registry). *)
+(** Opens (creating if absent) a file-backed log, truncating any torn
+    tail. [metrics] receives the [wal.records] / [wal.bytes_appended] /
+    [wal.forced_syncs] / [wal.torn_tail_bytes] counters (default: the
+    global registry).
+    @raise Failure on a bad magic. *)
 
 val append : t -> Log_record.t -> int64
 (** Appends and returns the record's LSN; does not force to disk. *)
 
 val flush : t -> unit
+(** Forces all appended records to stable storage (write + fsync). *)
+
 val flush_to : t -> int64 -> unit
 (** No-op if the LSN is already durable. *)
 
 val durable_lsn : t -> int64
+(** LSN up to which the log is on stable storage. *)
+
 val tail_lsn : t -> int64
 (** LSN one past the last record. *)
 
 val iter : t -> ?from:int64 -> (int64 -> Log_record.t -> unit) -> unit
-(** Iterates durable-and-buffered records in order. *)
+(** Iterates durable-and-buffered records in order.
+    @raise Corrupt_record on a frame that fails its CRC or does not
+    decode. *)
 
 val records_rev : t -> (int64 * Log_record.t) list
 (** All records, newest first (for the undo pass). *)
 
 val truncate : t -> unit
-(** Discards the log contents (only valid right after a checkpoint with no
-    active transactions). *)
+(** Discards the log contents and advances the persistent LSN base to the
+    old tail (only valid right after a checkpoint with no active
+    transactions). The emptied log + new header are fsynced before
+    returning. *)
 
 val appended_bytes : t -> int
-(** Total bytes ever appended — log-volume accounting for benchmarks. *)
+(** Total bytes ever appended — log-volume accounting for benchmarks and
+    the auto-checkpoint trigger. *)
+
+val record_count : t -> int
+(** Number of records currently in the log (since the last truncation). *)
+
+val torn_tail_bytes : t -> int
+(** Bytes discarded as a torn tail when this handle was opened; [0] for a
+    clean log or the in-memory backend. *)
+
+val set_fault : t -> Rx_storage.Fault.t option -> unit
+(** Installs (or clears) a fault-injection handle consulted by the
+    physical write and fsync inside {!flush}. Testing only. *)
+
+val close : t -> unit
+(** Releases the backing file descriptor without flushing buffered
+    records — callers flush first (or deliberately don't, to simulate a
+    crash). *)

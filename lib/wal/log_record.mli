@@ -16,6 +16,16 @@ type t =
   | Checkpoint
 
 val txid : t -> int option
+(** Owning transaction, if any ([Checkpoint] records have none). *)
+
 val encode : t -> string
+(** Serializes to the WAL frame payload. Frame-level integrity (length +
+    CRC-32) is added by {!Log_manager}, not here. *)
+
 val decode : string -> t
+(** Inverse of {!encode}.
+    @raise Failure on an unknown tag or malformed payload — {!Log_manager}
+    maps this to [Corrupt_record] during replay. *)
+
 val pp : Format.formatter -> t -> unit
+(** Debug printer (payload bytes elided). *)

@@ -1,0 +1,299 @@
+(* Crash-safety tests: page/WAL checksums, torn-tail healing, degraded
+   read-only mode, checkpoint durability, and a short seeded run of the
+   full crash-injection harness. *)
+
+open Rx_storage
+open Systemrx
+
+let check = Alcotest.check
+
+let with_temp_dir f =
+  let base = Filename.get_temp_dir_name () in
+  let rec fresh i =
+    let dir = Filename.concat base (Printf.sprintf "rx_crash_%d_%d" (Unix.getpid ()) i) in
+    if Sys.file_exists dir then fresh (i + 1) else dir
+  in
+  let dir = fresh 0 in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+(* flip one byte of [file] at [off] *)
+let flip_byte file off =
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0o644 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* --- CRC32 --- *)
+
+let test_crc32_vector () =
+  (* the standard CRC-32/IEEE check value *)
+  check Alcotest.int32 "123456789" 0xCBF43926l
+    (Rx_util.Crc32.of_string "123456789");
+  let crc = Rx_util.Crc32.string ~crc:Rx_util.Crc32.start "1234" ~pos:0 ~len:4 in
+  let crc = Rx_util.Crc32.string ~crc "56789" ~pos:0 ~len:5 in
+  check Alcotest.int32 "incremental = one-shot" 0xCBF43926l
+    (Rx_util.Crc32.finish crc)
+
+(* --- page checksums --- *)
+
+let test_corrupt_page_detected () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "p.db" in
+      Unix.mkdir dir 0o755;
+      let pager = Pager.open_file ~page_size:512 path in
+      let p = Pager.alloc pager in
+      let buf = Bytes.make 512 'a' in
+      Pager.write pager p buf;
+      Pager.sync pager;
+      Pager.close pager;
+      (* damage one byte in the page body, on disk *)
+      flip_byte path ((p * 512) + 100);
+      let pager2 = Pager.open_file ~page_size:512 path in
+      let out = Bytes.create 512 in
+      (match Pager.read pager2 p out with
+      | () -> Alcotest.fail "corrupt page served without error"
+      | exception Pager.Corrupt_page { page_no; _ } ->
+          check Alcotest.int "error names the damaged page" p page_no);
+      Pager.close pager2)
+
+(* --- torn WAL tail --- *)
+
+let test_torn_tail_replays_prefix () =
+  with_temp_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "w.rxlog" in
+      let log = Rx_wal.Log_manager.open_file path in
+      for txid = 1 to 5 do
+        ignore (Rx_wal.Log_manager.append log (Rx_wal.Log_record.Commit { txid }))
+      done;
+      Rx_wal.Log_manager.flush log;
+      Rx_wal.Log_manager.close log;
+      (* tear the file mid-way through the last record *)
+      let size = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Unix.ftruncate fd (size - 3);
+      Unix.close fd;
+      let log2 = Rx_wal.Log_manager.open_file path in
+      check Alcotest.int "intact prefix replays" 4
+        (Rx_wal.Log_manager.record_count log2);
+      check Alcotest.bool "torn bytes accounted" true
+        (Rx_wal.Log_manager.torn_tail_bytes log2 > 0);
+      let seen = ref 0 in
+      Rx_wal.Log_manager.iter log2 (fun _ _ -> incr seen);
+      check Alcotest.int "iter stops at the tear" 4 !seen;
+      (* the tear was healed on open: a fresh handle sees a clean log *)
+      Rx_wal.Log_manager.close log2;
+      let log3 = Rx_wal.Log_manager.open_file path in
+      check Alcotest.int "healed: no torn bytes on re-open" 0
+        (Rx_wal.Log_manager.torn_tail_bytes log3);
+      Rx_wal.Log_manager.close log3)
+
+(* a mid-file bit flip (CRC-valid prefix before it) raises Corrupt_record *)
+let test_midfile_corruption_raises () =
+  with_temp_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let path = Filename.concat dir "w.rxlog" in
+      let log = Rx_wal.Log_manager.open_file path in
+      for txid = 1 to 5 do
+        ignore (Rx_wal.Log_manager.append log (Rx_wal.Log_record.Commit { txid }))
+      done;
+      Rx_wal.Log_manager.flush log;
+      Rx_wal.Log_manager.close log;
+      (* flip a payload byte of the SECOND record: everything after the
+         first invalid frame is discarded as a torn tail at open *)
+      let frame = ((Unix.stat path).Unix.st_size - 16) / 5 in
+      flip_byte path (16 + frame + 8);
+      let log2 = Rx_wal.Log_manager.open_file path in
+      check Alcotest.int "only the prefix before the flip survives" 1
+        (Rx_wal.Log_manager.record_count log2);
+      Rx_wal.Log_manager.close log2)
+
+(* --- database-level crash behavior --- *)
+
+let insert_doc db i =
+  Database.insert db ~table:"t"
+    ~xml:[ ("doc", Printf.sprintf "<d><k>k%d</k></d>" i) ]
+    ()
+
+let make_table db =
+  ignore
+    (Database.create_table db ~name:"t"
+       ~columns:[ ("doc", Rx_relational.Value.T_xml) ])
+
+let test_checkpoint_then_crash () =
+  with_temp_dir (fun dir ->
+      let db = Database.open_dir ~page_size:1024 dir in
+      make_table db;
+      let docids = List.init 5 (fun i -> insert_doc db i) in
+      Database.checkpoint db;
+      Database.crash db;
+      let db2 = Database.open_dir ~page_size:1024 dir in
+      (* nothing to redo: the checkpoint made everything durable in pages *)
+      (match Database.last_recovery db2 with
+      | Some rep -> check Alcotest.int "nothing to redo" 0 rep.Rx_wal.Recovery.redone
+      | None -> Alcotest.fail "expected a recovery report");
+      check Alcotest.int "all rows survive" 5 (Database.row_count db2 ~table:"t");
+      List.iteri
+        (fun i docid ->
+          let doc = Database.document db2 ~table:"t" ~column:"doc" ~docid in
+          check Alcotest.bool
+            (Printf.sprintf "doc %d content intact" docid)
+            true
+            (String.length doc > 0
+            && doc = Printf.sprintf "<d><k>k%d</k></d>" i))
+        docids;
+      Database.close db2)
+
+let test_recovery_idempotent () =
+  with_temp_dir (fun dir ->
+      let db = Database.open_dir ~page_size:1024 dir in
+      make_table db;
+      ignore (insert_doc db 0);
+      ignore (insert_doc db 1);
+      (* crash without checkpointing: recovery must redo from the WAL *)
+      Database.crash db;
+      let db2 = Database.open_dir ~page_size:1024 dir in
+      check Alcotest.int "rows after first recovery" 2
+        (Database.row_count db2 ~table:"t");
+      (* crash again immediately: re-running recovery changes nothing *)
+      Database.crash db2;
+      let db3 = Database.open_dir ~page_size:1024 dir in
+      check Alcotest.int "rows after second recovery" 2
+        (Database.row_count db3 ~table:"t");
+      check Alcotest.bool "pages all clean" true
+        ((Database.verify db3).Database.corrupt_pages = []);
+      Database.close db3)
+
+let test_docids_not_reused_after_crash () =
+  with_temp_dir (fun dir ->
+      let db = Database.open_dir ~page_size:1024 dir in
+      make_table db;
+      let d1 = insert_doc db 1 in
+      let d2 = insert_doc db 2 in
+      (* crash with the WAL ahead of the catalog's next_docid snapshot *)
+      Database.crash db;
+      let db2 = Database.open_dir ~page_size:1024 dir in
+      let d3 = insert_doc db2 3 in
+      check Alcotest.bool "fresh docid after recovery" true
+        (d3 <> d1 && d3 <> d2 && d3 > d2);
+      Database.close db2)
+
+let test_degraded_read_only () =
+  with_temp_dir (fun dir ->
+      let db = Database.open_dir ~page_size:1024 dir in
+      make_table db;
+      let docid = insert_doc db 7 in
+      ignore docid;
+      Database.close db;
+      (* damage the catalog heap's header page (page 1) on disk: the next
+         open must detect it and degrade rather than fail or serve junk *)
+      flip_byte (Filename.concat dir "data.rxdb") ((1 * 1024) + 200);
+      let db2 = Database.open_dir ~page_size:1024 dir in
+      (match Database.health db2 with
+      | `Degraded _ -> ()
+      | `Healthy -> Alcotest.fail "corruption not detected at open");
+      let report = Database.verify db2 in
+      check Alcotest.bool "verify pinpoints page 1" true
+        (List.mem 1 report.Database.corrupt_pages);
+      (match make_table db2 with
+      | exception Database.Read_only _ -> ()
+      | exception _ -> Alcotest.fail "expected Read_only"
+      | () -> Alcotest.fail "mutation allowed on degraded handle");
+      (match Database.checkpoint db2 with
+      | exception Database.Read_only _ -> ()
+      | exception _ -> Alcotest.fail "expected Read_only from checkpoint"
+      | () -> Alcotest.fail "checkpoint allowed on degraded handle");
+      (* close must not checkpoint (it would overwrite durable state) *)
+      Database.close db2;
+      (* the damage is still there for forensics: nothing overwrote it *)
+      let db3 = Database.open_dir ~page_size:1024 dir in
+      (match Database.health db3 with
+      | `Degraded _ -> ()
+      | `Healthy -> Alcotest.fail "damage silently healed");
+      Database.close db3)
+
+(* --- fault hooks --- *)
+
+let test_fault_fires_and_latches () =
+  let fault = Fault.create () in
+  Fault.arm fault ~after:2 Fault.Fail_write;
+  let writes = ref 0 in
+  let w () =
+    Fault.wrap_write (Some fault) ~op:"test" ~len:4 ~write:(fun _ -> incr writes)
+  in
+  w ();
+  (match w () with
+  | () -> Alcotest.fail "fault did not fire"
+  | exception Fault.Injected _ -> ());
+  (* latched: every later operation fails too *)
+  (match w () with
+  | () -> Alcotest.fail "fault did not latch"
+  | exception Fault.Injected _ -> ());
+  check Alcotest.int "only the first write happened" 1 !writes;
+  check Alcotest.bool "fired" true (Fault.fired fault)
+
+let test_fsync_fault_skips_writes () =
+  let fault = Fault.create () in
+  Fault.arm fault ~after:1 Fault.Fail_fsync;
+  let writes = ref 0 in
+  (* writes pass through an armed fsync fault *)
+  Fault.wrap_write (Some fault) ~op:"test" ~len:4 ~write:(fun _ -> incr writes);
+  Fault.wrap_write (Some fault) ~op:"test" ~len:4 ~write:(fun _ -> incr writes);
+  check Alcotest.int "writes unaffected" 2 !writes;
+  match Fault.wrap_fsync (Some fault) ~op:"test" ~sync:(fun () -> ()) with
+  | () -> Alcotest.fail "fsync fault did not fire"
+  | exception Fault.Injected _ -> ()
+
+(* --- the full harness, briefly --- *)
+
+let test_crash_loop_quick () =
+  with_temp_dir (fun dir ->
+      let o = Crash_harness.run ~iters:30 ~seed:7 ~dir () in
+      check Alcotest.(list string) "no invariant violations" [] o.Crash_harness.violations;
+      check Alcotest.bool "faults actually fired" true (o.Crash_harness.crashes > 0))
+
+let () =
+  Alcotest.run "crash_injection"
+    [
+      ( "integrity",
+        [
+          Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+          Alcotest.test_case "corrupt page detected" `Quick test_corrupt_page_detected;
+          Alcotest.test_case "torn WAL tail replays prefix" `Quick
+            test_torn_tail_replays_prefix;
+          Alcotest.test_case "mid-file WAL corruption" `Quick
+            test_midfile_corruption_raises;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "checkpoint then crash loses nothing" `Quick
+            test_checkpoint_then_crash;
+          Alcotest.test_case "recovery idempotent" `Quick test_recovery_idempotent;
+          Alcotest.test_case "docids not reused after crash" `Quick
+            test_docids_not_reused_after_crash;
+          Alcotest.test_case "degraded read-only on corruption" `Quick
+            test_degraded_read_only;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fault fires and latches" `Quick
+            test_fault_fires_and_latches;
+          Alcotest.test_case "fsync fault skips writes" `Quick
+            test_fsync_fault_skips_writes;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "30-cycle crash loop" `Quick test_crash_loop_quick ] );
+    ]

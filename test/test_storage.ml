@@ -19,8 +19,12 @@ let test_pager_alloc_rw () =
   Pager.read pager p1 out;
   check Alcotest.string "roundtrip" (Bytes.to_string buf) (Bytes.to_string out);
   Pager.read pager p2 out;
-  check Alcotest.string "fresh page zeroed" (String.make 512 '\000')
-    (Bytes.to_string out)
+  (* the header now carries a version byte and checksum; the body is zero *)
+  check Alcotest.string "fresh page body zeroed"
+    (String.make (512 - Page.header_size) '\000')
+    (Bytes.sub_string out Page.header_size (512 - Page.header_size));
+  check Alcotest.int "fresh page stamped with current format"
+    Page.format_version (Page.get_version out)
 
 let test_pager_file_backend () =
   let path = Filename.temp_file "rxpager" ".db" in
