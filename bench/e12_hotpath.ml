@@ -1,0 +1,235 @@
+(* E12 — hot read path: what the prepared-query plan cache and the buffer
+   pool's sequential readahead buy on repeated / scan-heavy queries.
+
+   Part A (plan cache): the same XPath query over a small in-memory
+   database, (a) with the plan cache defeated by invalidating before every
+   run — each execution pays parse + rewrite + planning + QuickXScan
+   construction — and (b) warm, where every run after the first is a cache
+   hit. Reported as queries/sec; the acceptance gate is >= 5x.
+
+   Part B (readahead): a cold full-table scan over an on-disk database,
+   with readahead disabled vs the default window of 8 pages. Readahead
+   turns per-page demand misses into one batched pager read per run, so
+   the gate is >= 2x fewer [bufpool.misses].
+
+   Emits BENCH_E12.json in the working directory and exits non-zero if a
+   gate fails, so CI can use it as a perf-regression smoke.
+
+     RX_E12_ITERS  Part A timed iterations floor (default 400)
+     RX_E12_DOCS   Part B document count (default 2000) *)
+
+open Systemrx
+open Rx_relational
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec try_n i =
+    let dir =
+      Filename.concat base (Printf.sprintf "rx_e12_%d_%d" (Unix.getpid ()) i)
+    in
+    if Sys.file_exists dir then try_n (i + 1) else dir
+  in
+  try_n 0
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Part A uses a compile-heavy prepared statement — a deep main path whose
+   every step carries value predicates — against a document that passes the
+   root predicate but prunes at depth one. This is the common case of a
+   selective scan (most documents fail the filter early): QuickXScan does
+   its minimal per-document work, so the cached-vs-uncached delta isolates
+   what preparation costs — parse + rewrite + planning + machine
+   construction. "compilation alone" is reported so the split is visible. *)
+let deep_levels = 24
+
+let deep_doc =
+  "<book><price>25.5</price><title>Native XML</title></book>"
+
+let deep_xpath =
+  "/book[price >= 10.0 and price < 99.0]"
+  ^ String.concat ""
+      (List.init deep_levels (fun i ->
+           Printf.sprintf "/d%d[v%d >= 0.0 and v%d < 9999.0]" i i i))
+  ^ "/leaf"
+
+(* documents sized so a full-table scan touches many heap pages *)
+let scan_doc i =
+  let pad = String.make 400 (Char.chr (Char.code 'a' + (i mod 26))) in
+  Printf.sprintf
+    "<book><title>Book %d</title><price>%d.50</price><blurb>%s</blurb></book>"
+    i (i mod 100) pad
+
+let scan_xpath = "/book[price >= 10.0 and price < 40.0]/title"
+
+(* --- Part A: plan cache --- *)
+
+let bench_plan_cache iters =
+  let db = Database.create_in_memory () in
+  ignore
+    (Database.create_table db ~name:"deep" ~columns:[ ("doc", Value.T_xml) ]);
+  ignore (Database.insert db ~table:"deep" ~xml:[ ("doc", deep_doc) ] ());
+  let query () =
+    let r = Database.run db ~table:"deep" ~column:"doc" ~xpath:deep_xpath in
+    assert (r.Database.matches = [])
+  in
+  query () (* touch everything once *);
+  let per_query f =
+    Report.time_stable ~min_time_ms:200. (fun () ->
+        for _ = 1 to iters do
+          f ()
+        done)
+    /. float_of_int iters
+  in
+  let uncached_ms =
+    per_query (fun () ->
+        Database.invalidate_plans db;
+        query ())
+  in
+  let compile_ms =
+    per_query (fun () ->
+        Database.invalidate_plans db;
+        ignore (Database.prepare db ~table:"deep" ~column:"doc" ~xpath:deep_xpath))
+  in
+  let warm_ms = per_query query in
+  let metrics = Database.metrics db in
+  let c name = Rx_obs.Metrics.(value (counter metrics name)) in
+  let speedup = uncached_ms /. warm_ms in
+  Report.print_table
+    ~columns:[ "mode"; "per query"; "queries/sec" ]
+    [
+      [ "uncached (invalidate each run)"; Report.fmt_ms uncached_ms;
+        Printf.sprintf "%.0f" (1000. /. uncached_ms) ];
+      [ "  compilation alone"; Report.fmt_ms compile_ms; "" ];
+      [ "warm plan cache"; Report.fmt_ms warm_ms;
+        Printf.sprintf "%.0f" (1000. /. warm_ms) ];
+    ];
+  Report.print_note "  warm speedup %s (gate: >= 5x); hits=%d misses=%d invalidations=%d"
+    (Report.fmt_ratio speedup) (c "plancache.hits") (c "plancache.misses")
+    (c "plancache.invalidations");
+  (uncached_ms, warm_ms, speedup)
+
+(* --- Part B: readahead --- *)
+
+(* open, drop every cached frame (attach walks the heap chain, warming the
+   pool), optionally disable readahead, then run one genuinely cold
+   full-table scan and return its demand-miss count plus the readahead
+   counters *)
+let cold_scan_misses dir ~readahead =
+  let db = Database.open_dir dir in
+  Database.set_readahead db readahead;
+  Rx_storage.Buffer_pool.drop_cache (Database.buffer_pool db);
+  let result = Database.run db ~table:"books" ~column:"doc" ~xpath:scan_xpath in
+  let profile name =
+    match List.assoc_opt name result.Database.profile with
+    | Some n -> n
+    | None -> 0
+  in
+  let misses = profile "bufpool.misses" in
+  let batches = profile "bufpool.readahead.batches" in
+  let pages = profile "bufpool.readahead.pages" in
+  let wasted = profile "bufpool.readahead.wasted" in
+  let matches = List.length result.Database.matches in
+  Database.close db;
+  (misses, batches, pages, wasted, matches)
+
+let bench_readahead ndocs =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () ->
+      try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let db = Database.open_dir dir in
+  ignore
+    (Database.create_table db ~name:"books" ~columns:[ ("doc", Value.T_xml) ]);
+  for i = 1 to ndocs do
+    ignore (Database.insert db ~table:"books" ~xml:[ ("doc", scan_doc i) ] ())
+  done;
+  Database.close db;
+  let misses_off, _, _, _, matches_off = cold_scan_misses dir ~readahead:0 in
+  let misses_on, batches, pages, wasted, matches_on =
+    cold_scan_misses dir ~readahead:8
+  in
+  if matches_off <> matches_on then begin
+    Printf.eprintf "E12: readahead changed the answer (%d vs %d matches)\n"
+      matches_off matches_on;
+    exit 1
+  end;
+  let reduction =
+    if misses_on = 0 then float_of_int misses_off
+    else float_of_int misses_off /. float_of_int misses_on
+  in
+  Report.print_table
+    ~columns:[ "cold full scan"; "bufpool.misses" ]
+    [
+      [ "readahead off"; string_of_int misses_off ];
+      [ "readahead 8"; string_of_int misses_on ];
+    ];
+  Report.print_note
+    "  %s fewer demand misses (gate: >= 2x); %d batches prefetched %d pages (%d wasted), %d matches"
+    (Report.fmt_ratio reduction) batches pages wasted matches_on;
+  (misses_off, misses_on, reduction, batches, pages, wasted)
+
+let write_json path ~iters ~ndocs ~uncached_ms ~warm_ms ~speedup ~misses_off
+    ~misses_on ~reduction ~batches ~pages ~wasted ~pass =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "experiment": "e12_hotpath",
+  "plan_cache": {
+    "iters": %d,
+    "uncached_ms_per_query": %.6f,
+    "warm_ms_per_query": %.6f,
+    "uncached_qps": %.1f,
+    "warm_qps": %.1f,
+    "warm_speedup": %.2f,
+    "gate": 5.0
+  },
+  "readahead": {
+    "docs": %d,
+    "cold_scan_misses_off": %d,
+    "cold_scan_misses_on": %d,
+    "miss_reduction": %.2f,
+    "batches": %d,
+    "pages_prefetched": %d,
+    "pages_wasted": %d,
+    "gate": 2.0
+  },
+  "pass": %b
+}
+|}
+    iters uncached_ms warm_ms
+    (1000. /. uncached_ms)
+    (1000. /. warm_ms)
+    speedup ndocs misses_off misses_on reduction batches pages wasted pass;
+  close_out oc
+
+let run () =
+  Report.print_header "E12: hot read path (plan cache + readahead)";
+  let iters = getenv_int "RX_E12_ITERS" 400 in
+  let ndocs = getenv_int "RX_E12_DOCS" 2000 in
+  let uncached_ms, warm_ms, speedup = bench_plan_cache iters in
+  let misses_off, misses_on, reduction, batches, pages, wasted =
+    bench_readahead ndocs
+  in
+  let pass = speedup >= 5.0 && reduction >= 2.0 in
+  write_json "BENCH_E12.json" ~iters ~ndocs ~uncached_ms ~warm_ms ~speedup
+    ~misses_off ~misses_on ~reduction ~batches ~pages ~wasted ~pass;
+  Report.print_note "  wrote BENCH_E12.json (pass=%b)" pass;
+  if not pass then begin
+    if speedup < 5.0 then
+      Printf.eprintf "E12 GATE FAILED: warm plan-cache speedup %.2fx < 5x\n"
+        speedup;
+    if reduction < 2.0 then
+      Printf.eprintf "E12 GATE FAILED: readahead miss reduction %.2fx < 2x\n"
+        reduction;
+    exit 1
+  end

@@ -20,6 +20,7 @@ let experiments =
     ("e9", E9_updates.run);
     ("e10", E10_txn.run);
     ("e11", E11_crash.run);
+    ("e12", E12_hotpath.run);
   ]
 
 let () =

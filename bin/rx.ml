@@ -3,6 +3,7 @@
      rx init            --db DIR
      rx create-table    --db DIR --table T --columns "sku:varchar,doc:xml"
      rx create-index    --db DIR --table T --column C --name I --path P --type double
+     rx drop-index      --db DIR --table T --column C --name I
      rx create-text-index --db DIR --table T --column C --name I
      rx insert          --db DIR --table T --xml "doc=<a>...</a>" [--xml-file doc=path]
      rx get             --db DIR --table T --column C --docid N
@@ -130,6 +131,19 @@ let create_index_cmd =
   in
   Cmd.v (Cmd.info "create-index" ~doc:"Create an XPath value index on an XML column.")
     Term.(const run $ db_arg $ table_arg $ column_arg $ name_arg $ path_arg $ type_arg)
+
+let drop_index_cmd =
+  let name_arg =
+    Arg.(required & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc:"Index name.")
+  in
+  let run dir table column name =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            Database.drop_xml_index db ~table ~column ~name;
+            Printf.printf "dropped XPath value index %s\n" name))
+  in
+  Cmd.v (Cmd.info "drop-index" ~doc:"Drop an XPath value index from an XML column.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ name_arg)
 
 let create_text_index_cmd =
   let name_arg =
@@ -561,7 +575,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            init_cmd; create_table_cmd; create_index_cmd; create_text_index_cmd;
+            init_cmd; create_table_cmd; create_index_cmd; drop_index_cmd;
+            create_text_index_cmd;
             register_schema_cmd; bind_schema_cmd; insert_cmd; get_cmd; query_cmd;
             xquery_cmd; search_cmd; exec_cmd; checkpoint_cmd; verify_cmd;
             stats_cmd;

@@ -3,10 +3,24 @@ open Rx_storage
 type t = {
   pool : Buffer_pool.t;
   meta : int;
+  mutable readahead : int; (* leaf-chain readahead window; <= 1 disables *)
   c_lookups : Rx_obs.Metrics.counter;
   c_splits : Rx_obs.Metrics.counter;
   h_scan : Rx_obs.Metrics.histogram;
 }
+
+let set_readahead t n = t.readahead <- n
+let readahead t = t.readahead
+
+(* Speculative leaf-chain readahead: nodes split off consecutive allocations,
+   so the numeric window after [page_no] usually contains the next leaves.
+   [Buffer_pool.prefetch] skips cached/foreign pages cheaply; misguesses show
+   up as bufpool.readahead.wasted. *)
+let prefetch_chain t page_no =
+  if t.readahead > 1 && page_no <> 0 && not (Buffer_pool.cached t.pool page_no)
+  then
+    Buffer_pool.prefetch t.pool
+      (List.init t.readahead (fun i -> page_no + i))
 
 let instruments pool =
   let metrics = Buffer_pool.metrics pool in
@@ -46,11 +60,11 @@ let create pool =
       meta_set_root page root;
       meta_set_count page 0);
   let c_lookups, c_splits, h_scan = instruments pool in
-  { pool; meta; c_lookups; c_splits; h_scan }
+  { pool; meta; readahead = 0; c_lookups; c_splits; h_scan }
 
 let attach pool ~meta_page =
   let c_lookups, c_splits, h_scan = instruments pool in
-  { pool; meta = meta_page; c_lookups; c_splits; h_scan }
+  { pool; meta = meta_page; readahead = 0; c_lookups; c_splits; h_scan }
 let meta_page t = t.meta
 let root t = Buffer_pool.with_page t.pool t.meta meta_root
 let entry_count t = Buffer_pool.with_page t.pool t.meta meta_count
@@ -314,6 +328,7 @@ let iter_range t ?lo ?hi f =
   let delivered = ref 0 in
   let rec walk page_no start_index =
     if page_no <> 0 then begin
+      prefetch_chain t page_no;
       let cells, sibling =
         Buffer_pool.with_page t.pool page_no (fun page ->
             (leaf_cells page, Node.right page))

@@ -35,7 +35,20 @@ val iter_range :
   (string -> string -> [ `Continue | `Stop ]) ->
   unit
 (** In-order iteration over keys in [\[lo, hi)]; unbounded ends when
-    omitted. *)
+    omitted. When a readahead window is set (see {!set_readahead}), the
+    leaf-chain walk speculatively prefetches the pages numerically following
+    each cache-missing leaf in one batched read. *)
+
+val set_readahead : t -> int -> unit
+(** Sets the leaf-chain readahead window used by {!iter_range} (and the
+    range/prefix helpers built on it). Speculative: leaves split off
+    consecutive page allocations, so the numeric successors of a leaf are
+    usually the next leaves in the chain; misguesses are skipped by the pool
+    or surface as [bufpool.readahead.wasted]. [n <= 1] (the default, 0)
+    disables it. *)
+
+val readahead : t -> int
+(** Current leaf-chain readahead window. *)
 
 val iter_prefix :
   t -> prefix:string -> (string -> string -> [ `Continue | `Stop ]) -> unit

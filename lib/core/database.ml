@@ -65,6 +65,7 @@ type pending =
       p_docid : int;
       p_node : Node_id.t;
     }
+  | P_drop_index of { p_table : string; p_column : string; p_name : string }
 
 type txn = {
   tx : Rx_txn.Transaction.t;
@@ -96,6 +97,24 @@ let default_config =
     checkpoint_wal_records = 50_000;
   }
 
+type plan_info = { description : string; uses_index : bool; exact : bool }
+
+(* a compiled query bound to the catalog state that compiled it; [p_epoch]
+   must match the database's [ddl_epoch] for the plan to be servable *)
+type prepared = {
+  p_table : string;
+  p_column : string;
+  p_xpath : string;
+  p_ns_env : (string * string) list; (* canonical: deduped, sorted *)
+  p_query : Rx_quickxscan.Query.t;
+  p_plan : Planner.t;
+  p_info : plan_info;
+  p_epoch : int;
+  (* the QuickXScan machine, built once and reset between documents; lives
+     on the handle so repeated executions skip engine construction *)
+  mutable p_ev : Executor.evaluator option;
+}
+
 type t = {
   pool : Buffer_pool.t;
   log : Rx_wal.Log_manager.t;
@@ -114,11 +133,12 @@ type t = {
   mutable ckpt_mark : int; (* appended_bytes at the last checkpoint *)
   mutable degraded : string option; (* corruption found at open: read-only *)
   mutable last_recovery : Rx_wal.Recovery.report option;
+  mutable ddl_epoch : int; (* bumped on any DDL; stale plans recompile *)
+  plan_cache :
+    (string * string * string * (string * string) list, prepared) Rx_util.Lru.t;
 }
 
 type match_ = { docid : int; node : Node_id.t }
-
-type plan_info = { description : string; uses_index : bool; exact : bool }
 
 type result = {
   matches : match_ list;
@@ -137,10 +157,20 @@ let install_txn pool log =
   let metrics = Buffer_pool.metrics pool in
   List.iter
     (fun n -> ignore (Rx_obs.Metrics.counter metrics n))
-    [ "txn.begin"; "txn.commit"; "txn.abort" ];
+    [
+      "txn.begin";
+      "txn.commit";
+      "txn.abort";
+      "plancache.hits";
+      "plancache.misses";
+      "plancache.invalidations";
+    ];
   mgr
 
-let create_in_memory ?page_size ?(record_threshold = 2048) () =
+let default_plan_cache_capacity = 128
+
+let create_in_memory ?page_size ?(record_threshold = 2048)
+    ?(plan_cache_capacity = default_plan_cache_capacity) () =
   let metrics = Rx_obs.Metrics.create () in
   let pool =
     Buffer_pool.create ~metrics ~capacity:2048
@@ -167,6 +197,8 @@ let create_in_memory ?page_size ?(record_threshold = 2048) () =
     ckpt_mark = 0;
     degraded = None;
     last_recovery = None;
+    ddl_epoch = 0;
+    plan_cache = Rx_util.Lru.create ~capacity:plan_cache_capacity;
   }
 
 (* forward reference: the auto-checkpoint policy lives with [checkpoint]
@@ -281,6 +313,10 @@ let catalog_entries t =
 
 let save_catalog t = in_txn t (fun () -> Catalog.save t.catalog (catalog_entries t))
 
+(* every DDL change goes through here: cached plans compiled before the
+   bump no longer match [ddl_epoch] and recompile on next use *)
+let invalidate_plans t = t.ddl_epoch <- t.ddl_epoch + 1
+
 let do_checkpoint t ~counter_name =
   t.checkpointing <- true;
   Fun.protect
@@ -315,7 +351,8 @@ let () = auto_checkpoint_trigger := maybe_auto_checkpoint
 (* [close] lives below the session machinery: it rolls back any
    transaction still open *)
 
-let open_dir ?page_size ?(record_threshold = 2048) dir =
+let open_dir ?page_size ?(record_threshold = 2048)
+    ?(plan_cache_capacity = default_plan_cache_capacity) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let data = Filename.concat dir "data.rxdb" in
   let wal = Filename.concat dir "wal.rxlog" in
@@ -375,6 +412,8 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
       ckpt_mark = 0;
       degraded = None;
       last_recovery = None;
+      ddl_epoch = 0;
+      plan_cache = Rx_util.Lru.create ~capacity:plan_cache_capacity;
     }
   end
   else begin
@@ -429,6 +468,8 @@ let open_dir ?page_size ?(record_threshold = 2048) dir =
         ckpt_mark = 0;
         degraded = None;
         last_recovery = None;
+        ddl_epoch = 0;
+        plan_cache = Rx_util.Lru.create ~capacity:plan_cache_capacity;
       }
     in
     (* rebuild tables *)
@@ -573,6 +614,7 @@ let create_table t ~name ~columns =
       t.tables <- t.tables @ [ (name, tbl) ];
       tbl)
   |> fun tbl ->
+  invalidate_plans t;
   (* DDL is durable immediately: the catalog rewrite is WAL-logged, so a
      crash before the next checkpoint still replays the new table *)
   save_catalog t;
@@ -586,6 +628,7 @@ let register_schema t ~name ~xsd =
   let model = Rx_schema.Schema_model.parse_xsd t.dict xsd in
   let compiled = Rx_schema.Compiled.compile t.dict model in
   t.schemas <- (name, compiled) :: List.remove_assoc name t.schemas;
+  invalidate_plans t;
   save_catalog t
 
 let bind_schema t ~table ~column ~schema =
@@ -596,6 +639,7 @@ let bind_schema t ~table ~column ~schema =
   | Some compiled ->
       xc.schema <- Some compiled;
       xc.schema_name <- Some schema;
+      invalidate_plans t;
       save_catalog t
   | None -> invalid_arg (Printf.sprintf "Database: no schema %s" schema)
 
@@ -621,6 +665,7 @@ let create_xml_index t ~table ~column ~name ~path ~key_type =
         tbl.base;
       Value_index.hook idx xc.store;
       xc.indexes <- xc.indexes @ [ idx ]);
+  invalidate_plans t;
   save_catalog t
 
 let list_xml_indexes t ~table ~column =
@@ -644,6 +689,7 @@ let create_text_index t ~table ~column ~name =
         tbl.base;
       Rx_fulltext.Text_index.hook ti xc.store;
       xc.text_indexes <- xc.text_indexes @ [ (name, ti) ]);
+  invalidate_plans t;
   save_catalog t
 
 let text_index_exn xc =
@@ -724,6 +770,51 @@ let txn_active txn = txn.txn_open
 
 let ensure_txn_open txn =
   if not txn.txn_open then invalid_arg "Database: transaction is not open"
+
+(* --- DROP XML INDEX --- *)
+
+let has_index xc name =
+  List.exists (fun idx -> (Value_index.def idx).Index_def.name = name) xc.indexes
+
+let do_drop_index t xc name =
+  let dropped, kept =
+    List.partition
+      (fun idx -> (Value_index.def idx).Index_def.name = name)
+      xc.indexes
+  in
+  (* detach maintenance observers; B+tree pages are not reclaimed
+     (deletion is lazy engine-wide) *)
+  List.iter (fun idx -> Value_index.unhook idx xc.store) dropped;
+  xc.indexes <- kept;
+  invalidate_plans t
+
+let drop_xml_index ?txn t ~table ~column ~name =
+  ensure_writable t;
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  if not (has_index xc name) then
+    invalid_arg (Printf.sprintf "Database: no index %s" name);
+  match txn with
+  | Some txn ->
+      ensure_txn_open txn;
+      (* staged DDL: applied at commit; until then the index keeps
+         maintaining itself, but this transaction's own queries must not
+         plan against it (see [txn_staged_drop]) *)
+      txn.pending <-
+        P_drop_index { p_table = table; p_column = column; p_name = name }
+        :: txn.pending
+  | None ->
+      do_drop_index t xc name;
+      save_catalog t
+
+(* does [txn] hold a staged index drop for (table, column)? *)
+let txn_staged_drop txn ~table ~column =
+  List.exists
+    (function
+      | P_drop_index { p_table; p_column; _ } ->
+          p_table = table && p_column = column
+      | _ -> false)
+    txn.pending
 
 let rollback t txn =
   if txn.txn_open then begin
@@ -909,6 +1000,11 @@ let apply_pending t ts op =
       if versioned then retain_before_change t xc ~docid:p_docid ~new_ts:ts;
       Doc_store.delete_subtree xc.store ~docid:p_docid p_node;
       if versioned then Hashtbl.replace xc.created p_docid ts
+  | P_drop_index { p_table; p_column; p_name } ->
+      let tbl = table_exn t p_table in
+      let xc = xml_column_exn tbl p_column in
+      (* tolerate a concurrent immediate drop between staging and commit *)
+      if has_index xc p_name then do_drop_index t xc p_name
 
 let commit t txn =
   ensure_txn_open txn;
@@ -939,6 +1035,9 @@ let commit t txn =
       maybe_purge t;
       raise e);
   Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
+  (* staged DDL became effective above; make it durable like immediate DDL *)
+  if List.exists (function P_drop_index _ -> true | _ -> false) ops then
+    save_catalog t;
   maybe_purge t
 
 let close t =
@@ -1350,6 +1449,66 @@ let explain ?ns_env t ~table ~column ~xpath =
   let _, _, plan = plan_for ?ns_env t xc xpath in
   plan_info_of plan
 
+(* --- prepared queries and the plan cache --- *)
+
+(* cache keys must not depend on binding order or shadowed (repeated)
+   prefixes: keep the first binding of each prefix, then sort *)
+let canonical_ns ns_env =
+  let seen = Hashtbl.create 8 in
+  List.sort compare
+    (List.filter
+       (fun (prefix, _) ->
+         if Hashtbl.mem seen prefix then false
+         else begin
+           Hashtbl.add seen prefix ();
+           true
+         end)
+       ns_env)
+
+let prepare ?(ns_env = []) t ~table ~column ~xpath =
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  let ns = canonical_ns ns_env in
+  let key = (table, column, xpath, ns) in
+  match Rx_util.Lru.find t.plan_cache key with
+  | Some p when p.p_epoch = t.ddl_epoch ->
+      Rx_obs.Metrics.(incr (counter t.metrics "plancache.hits"));
+      p
+  | found ->
+      Rx_obs.Metrics.(
+        incr
+          (counter t.metrics
+             (match found with
+             | None -> "plancache.misses"
+             | Some _ -> "plancache.invalidations")));
+      Rx_obs.Trace.with_span t.tracer "db.prepare"
+        ~attrs:[ ("table", table); ("column", column); ("xpath", xpath) ]
+        (fun () ->
+          let _, query, plan = plan_for ~ns_env:ns t xc xpath in
+          let p =
+            {
+              p_table = table;
+              p_column = column;
+              p_xpath = xpath;
+              p_ns_env = ns;
+              p_query = query;
+              p_plan = plan;
+              p_info = plan_info_of plan;
+              p_epoch = t.ddl_epoch;
+              p_ev = None;
+            }
+          in
+          ignore (Rx_util.Lru.put t.plan_cache key p);
+          p)
+
+module Prepared = struct
+  let table p = p.p_table
+  let column p = p.p_column
+  let xpath p = p.p_xpath
+  let ns_env p = p.p_ns_env
+  let plan p = p.p_info
+end
+
 let column_docids tbl column =
   let ci =
     match Base_table.column_index tbl.base column with
@@ -1401,7 +1560,14 @@ let run_in_txn ?ns_env t txn ~table ~column ~xpath =
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   let before = Rx_obs.Metrics.snapshot t.metrics in
-  let _, query = compile_query ?ns_env t xpath in
+  let query =
+    (* the plan cache only holds the compiled query here (snapshot reads
+       never use indexes), but a plan compiled while a staged [DROP XML
+       INDEX] is pending in this very transaction must not be cached or
+       served: compile fresh instead *)
+    if txn_staged_drop txn ~table ~column then snd (compile_query ?ns_env t xpath)
+    else (prepare ?ns_env t ~table ~column ~xpath).p_query
+  in
   let matches =
     Rx_obs.Trace.with_span t.tracer "db.query"
       ~attrs:[ ("table", table); ("column", column); ("xpath", xpath) ]
@@ -1436,24 +1602,36 @@ let run_in_txn ?ns_env t txn ~table ~column ~xpath =
     profile = Rx_obs.Metrics.diff ~before ~after;
   }
 
-let run_auto ?ns_env t ~table ~column ~xpath =
+(* execute a prepared query's stored plan; the QuickXScan machine is built
+   once and reset between documents, so the scan loop allocates per match,
+   not per node *)
+let exec_prepared t (p : prepared) =
+  let table = p.p_table and column = p.p_column in
   let tbl = table_exn t table in
   let xc = xml_column_exn tbl column in
   let before = Rx_obs.Metrics.snapshot t.metrics in
-  let _, query, plan = plan_for ?ns_env t xc xpath in
+  let plan = p.p_plan in
   let c_candidates = Rx_obs.Metrics.counter t.metrics "exec.index_candidates" in
   let c_filtered = Rx_obs.Metrics.counter t.metrics "exec.reeval_filtered" in
+  let ev =
+    match p.p_ev with
+    | Some ev -> ev
+    | None ->
+        let ev = Executor.evaluator xc.store p.p_query in
+        p.p_ev <- Some ev;
+        ev
+  in
   let scan_docs docids =
     List.concat_map
       (fun docid ->
         List.map
           (fun node -> { docid; node })
-          (Executor.eval_stored query xc.store ~docid))
+          (Executor.eval_with ev ~docid))
       docids
   in
   let matches =
     Rx_obs.Trace.with_span t.tracer "db.query"
-      ~attrs:[ ("table", table); ("column", column); ("xpath", xpath) ]
+      ~attrs:[ ("table", table); ("column", column); ("xpath", p.p_xpath) ]
       (fun () ->
         match plan with
         | Planner.Full_scan -> scan_docs (column_docids tbl column)
@@ -1486,15 +1664,49 @@ let run_auto ?ns_env t ~table ~column ~xpath =
   let after = Rx_obs.Metrics.snapshot t.metrics in
   {
     matches;
-    plan = plan_info_of plan;
+    plan = p.p_info;
     serialize = serialize_match t xc;
     profile = Rx_obs.Metrics.diff ~before ~after;
   }
 
+(* a read that exhausts the buffer pool (every frame pinned) surfaces as
+   [Busy] — retryable backpressure, not an engine failure *)
+let pool_guard f =
+  try f ()
+  with Buffer_pool.Pool_exhausted _ -> raise (Busy { txid = 0; blockers = [] })
+
 let run ?ns_env ?txn t ~table ~column ~xpath =
-  match txn with
-  | Some txn -> run_in_txn ?ns_env t txn ~table ~column ~xpath
-  | None -> run_auto ?ns_env t ~table ~column ~xpath
+  pool_guard (fun () ->
+      match txn with
+      | Some txn -> run_in_txn ?ns_env t txn ~table ~column ~xpath
+      | None -> exec_prepared t (prepare ?ns_env t ~table ~column ~xpath))
+
+let run_prepared ?txn t p =
+  pool_guard (fun () ->
+      match txn with
+      | Some txn ->
+          run_in_txn ~ns_env:p.p_ns_env t txn ~table:p.p_table ~column:p.p_column
+            ~xpath:p.p_xpath
+      | None ->
+          (* a handle compiled before a DDL change transparently re-prepares
+             (cheap when the cache already holds the recompiled plan) *)
+          let p =
+            if p.p_epoch = t.ddl_epoch then p
+            else
+              prepare ~ns_env:p.p_ns_env t ~table:p.p_table ~column:p.p_column
+                ~xpath:p.p_xpath
+          in
+          exec_prepared t p)
+
+(* propagate a scan readahead window to every column store (heap chains
+   and node-index leaf walks); [n <= 1] disables readahead *)
+let set_readahead t n =
+  List.iter
+    (fun (_, tbl) ->
+      List.iter
+        (fun (_, xc) -> Doc_store.set_readahead xc.store n)
+        tbl.xml_columns)
+    t.tables
 
 (* --- stats --- *)
 

@@ -30,7 +30,10 @@ exception Busy of { txid : int; blockers : int list }
     and no deadlock was found: the statement did not execute; the
     transaction stays open (retry, or {!rollback}). Deadlocks raise
     {!Rx_txn.Lock_manager.Deadlock} instead, after rolling the victim
-    back. *)
+    back. Also raised — with [txid = 0] and no blockers — when a query
+    cannot pin a page because every buffer-pool frame is pinned
+    ({!Rx_storage.Buffer_pool.Pool_exhausted}): retryable backpressure,
+    not data damage. *)
 
 exception Read_only of { reason : string }
 (** Raised by every mutating call (DDL, DML, {!begin_txn}, {!checkpoint})
@@ -58,9 +61,21 @@ type result = {
           it ran, as [(counter name, delta)] pairs sorted by name *)
 }
 
-val create_in_memory : ?page_size:int -> ?record_threshold:int -> unit -> t
+val create_in_memory :
+  ?page_size:int ->
+  ?record_threshold:int ->
+  ?plan_cache_capacity:int ->
+  unit ->
+  t
+(** [plan_cache_capacity] bounds the LRU prepared-plan cache (default 128
+    entries); see {!prepare}. *)
 
-val open_dir : ?page_size:int -> ?record_threshold:int -> string -> t
+val open_dir :
+  ?page_size:int ->
+  ?record_threshold:int ->
+  ?plan_cache_capacity:int ->
+  string ->
+  t
 (** Opens (creating if needed) a database in a directory: [data.rxdb] pages
     and [wal.rxlog]. Runs crash recovery — replaying committed work,
     rolling back losers, and treating a checksum-invalid WAL tail as a torn
@@ -189,6 +204,16 @@ val create_xml_index :
 
 val list_xml_indexes : t -> table:string -> column:string -> string list
 
+val drop_xml_index :
+  ?txn:txn -> t -> table:string -> column:string -> name:string -> unit
+(** Drops an XPath value index: detaches its maintenance observers,
+    removes it from planning, and invalidates cached plans (the B+tree's
+    pages are not reclaimed — page deletion is lazy engine-wide). With
+    [?txn] the drop is staged and becomes effective (and durable) at
+    {!commit}; until then other sessions keep planning with the index,
+    while the staging transaction's own queries refuse plans that use it.
+    @raise Invalid_argument if the index does not exist. *)
+
 val create_text_index : t -> table:string -> column:string -> name:string -> unit
 (** Full-text inverted index over the column's text and attribute values
     (the §6 future-work extension); backfills existing documents. *)
@@ -270,6 +295,52 @@ val xml_handle :
 val explain :
   ?ns_env:(string * string) list ->
   t -> table:string -> column:string -> xpath:string -> plan_info
+
+type prepared
+(** A query compiled once — parsed, rewritten, planned, and its QuickXScan
+    machine built — and reusable across executions. A handle never goes
+    stale: it remembers the catalog epoch it was compiled under and
+    transparently recompiles if DDL has happened since. *)
+
+module Prepared : sig
+  val table : prepared -> string
+  val column : prepared -> string
+  val xpath : prepared -> string
+
+  val ns_env : prepared -> (string * string) list
+  (** Canonical form: first binding per prefix kept, sorted. *)
+
+  val plan : prepared -> plan_info
+  (** The access path chosen at preparation time. *)
+end
+
+val prepare :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> prepared
+(** Compiles (or fetches from the plan cache) the query. Results are
+    cached in a per-database LRU keyed by
+    [(table, column, xpath, canonical ns_env)] and invalidated by any DDL
+    — {!run} consults the same cache, so repeated ad-hoc queries skip
+    compilation too. Cache traffic shows up in the [plancache.hits] /
+    [plancache.misses] / [plancache.invalidations] counters and
+    compilations are traced as [db.prepare] spans.
+    @raise Invalid_argument on an unknown table or column. *)
+
+val run_prepared : ?txn:txn -> t -> prepared -> result
+(** Executes a prepared query: {!run} minus parsing, planning and
+    QuickXScan construction. With [?txn] it behaves exactly like {!run}
+    with [?txn] (snapshot scan; the stored plan is not used). *)
+
+val invalidate_plans : t -> unit
+(** Drops every cached plan (bumps the catalog epoch). DDL does this
+    automatically; explicit use is for benchmarks and tests. *)
+
+val set_readahead : t -> int -> unit
+(** Sets the sequential-readahead window (pages per batched read) on every
+    XML column store — heap-chain scans and node-index leaf walks prefetch
+    upcoming pages in one pager read. [n <= 1] disables readahead; the
+    default window is 8. Effectiveness shows in the
+    [bufpool.readahead.{batches,pages,wasted}] counters. *)
 
 val run :
   ?ns_env:(string * string) list ->

@@ -1,27 +1,41 @@
-open Rx_xml
 open Rx_xmlstore
 module E = Rx_quickxscan.Engine
 
-let feed_store_events engine ~item_of store ~docid =
-  Doc_store.events store ~docid (fun event ->
-      match (event.Doc_store.id, event.Doc_store.token) with
-      | _, Token.Start_document | _, Token.End_document -> ()
-      | Some id, Token.Start_element { name; attrs; _ } ->
-          E.start_element engine ~name ~attrs ~item:(item_of id)
-            ~attr_item:(fun _ -> item_of id)
-      | None, Token.End_element -> E.end_element engine
-      | Some id, Token.Text { content; _ } ->
-          E.text engine ~content ~item:(item_of id)
-      | Some id, Token.Comment content -> E.comment engine ~content ~item:(item_of id)
-      | Some id, Token.Pi { target; data } -> E.pi engine ~target ~data ~item:(item_of id)
-      | _ -> invalid_arg "Executor: malformed event stream")
+type evaluator = {
+  engine : Node_id.t E.t;
+  store : Doc_store.t;
+  c_docs : Rx_obs.Metrics.counter;
+  mutable used : bool;
+}
 
-let eval_stored query store ~docid =
+let evaluator store query =
   let metrics = Doc_store.metrics store in
-  Rx_obs.Metrics.(incr (counter metrics "exec.docs_scanned"));
-  let engine = E.create ~metrics query in
-  feed_store_events engine ~item_of:(fun id -> id) store ~docid;
+  {
+    engine = E.create ~metrics query;
+    store;
+    c_docs = Rx_obs.Metrics.counter metrics "exec.docs_scanned";
+    used = false;
+  }
+
+let eval_with ev ~docid =
+  Rx_obs.Metrics.incr ev.c_docs;
+  if ev.used then E.reset ev.engine;
+  ev.used <- true;
+  let engine = ev.engine in
+  Doc_store.scan ev.store ~docid ~make_sink:(fun ~current ->
+      (* one closure set per scan; the engine forces [current] only on
+         matches, so non-matching nodes allocate nothing here *)
+      let attr_item _ = current () in
+      {
+        Doc_store.scan_start_element =
+          (fun ~name ~attrs ->
+            E.start_element engine ~name ~attrs ~item:current ~attr_item);
+        scan_end_element = (fun () -> E.end_element engine);
+        scan_text = (fun ~content -> E.text engine ~content ~item:current);
+        scan_comment = (fun ~content -> E.comment engine ~content ~item:current);
+        scan_pi =
+          (fun ~target ~data -> E.pi engine ~target ~data ~item:current);
+      });
   E.finish engine
 
-let eval_stored_count query store ~docid =
-  List.length (eval_stored query store ~docid)
+let eval_stored query store ~docid = eval_with (evaluator store query) ~docid

@@ -1,20 +1,22 @@
 (** Query execution over stored documents: drives QuickXScan with the
-    virtual-SAX events of the document store (§4.4), yielding logical node
-    IDs as result items. *)
+    allocation-free packed-record scan of the document store (§4.4),
+    yielding logical node IDs as result items. *)
+
+type evaluator
+(** A compiled query machine bound to one document store, reusable across
+    documents — the execution half of a cached plan. Not thread-safe. *)
+
+val evaluator : Rx_xmlstore.Doc_store.t -> Rx_quickxscan.Query.t -> evaluator
+(** Compiles the QuickXScan machine once; reuse it with {!eval_with} for
+    every document the plan touches. *)
+
+val eval_with : evaluator -> docid:int -> Rx_xmlstore.Node_id.t list
+(** Result nodes in document order. Attribute results are represented by
+    their owning element's node ID. Resets the machine between documents. *)
 
 val eval_stored :
   Rx_quickxscan.Query.t ->
   Rx_xmlstore.Doc_store.t ->
   docid:int ->
   Rx_xmlstore.Node_id.t list
-(** Result nodes in document order. Attribute results are represented by
-    their owning element's node ID. *)
-
-val eval_stored_count : Rx_quickxscan.Query.t -> Rx_xmlstore.Doc_store.t -> docid:int -> int
-
-val feed_store_events :
-  'a Rx_quickxscan.Engine.t ->
-  item_of:(Rx_xmlstore.Node_id.t -> 'a) ->
-  Rx_xmlstore.Doc_store.t ->
-  docid:int ->
-  unit
+(** One-shot convenience: [eval_with (evaluator store query) ~docid]. *)

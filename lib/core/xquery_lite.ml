@@ -364,15 +364,16 @@ let eval_rel db ~table ~column ~docid ~node rel =
   Doc_store.subtree_events store ~docid node (fun e ->
       match (e.Doc_store.id, e.Doc_store.token) with
       | Some id, Token.Start_element { name; attrs; _ } ->
-          Rx_quickxscan.Engine.start_element engine ~name ~attrs ~item:id
+          Rx_quickxscan.Engine.start_element engine ~name ~attrs
+            ~item:(fun () -> id)
             ~attr_item:(fun _ -> id)
       | None, Token.End_element -> Rx_quickxscan.Engine.end_element engine
       | Some id, Token.Text { content; _ } ->
-          Rx_quickxscan.Engine.text engine ~content ~item:id
+          Rx_quickxscan.Engine.text engine ~content ~item:(fun () -> id)
       | Some id, Token.Comment content ->
-          Rx_quickxscan.Engine.comment engine ~content ~item:id
+          Rx_quickxscan.Engine.comment engine ~content ~item:(fun () -> id)
       | Some id, Token.Pi { target; data } ->
-          Rx_quickxscan.Engine.pi engine ~target ~data ~item:id
+          Rx_quickxscan.Engine.pi engine ~target ~data ~item:(fun () -> id)
       | _ -> ());
   Rx_quickxscan.Engine.finish_with_values engine
 

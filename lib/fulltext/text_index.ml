@@ -101,10 +101,12 @@ let unindex_record t ~docid ~record =
     (record_terms ~record)
 
 let hook t store =
-  Doc_store.add_record_observer store (fun ~docid ~rid ~record ->
-      index_record t ~docid ~rid ~record);
-  Doc_store.add_delete_observer store (fun ~docid ~rid:_ ~record ->
-      unindex_record t ~docid ~record)
+  ignore
+    (Doc_store.add_record_observer store (fun ~docid ~rid ~record ->
+         index_record t ~docid ~rid ~record));
+  ignore
+    (Doc_store.add_delete_observer store (fun ~docid ~rid:_ ~record ->
+         unindex_record t ~docid ~record))
 
 let term_prefix term =
   let buf = Buffer.create 16 in

@@ -102,30 +102,41 @@ let snapshot t =
     t.instruments []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* [diff] runs on every profiled query ([Database.run]'s result.profile);
+   both snapshots are name-sorted (see [snapshot]), so walk them as one
+   linear merge instead of a quadratic assoc lookup per instrument *)
 let diff ~before ~after =
-  let prior name =
-    match List.assoc_opt name before with
-    | Some s -> Some s
-    | None -> None
+  let deltas name sample prior =
+    match sample with
+    | Counter v ->
+        let v0 = match prior with Some (Counter p) -> p | _ -> 0 in
+        if v - v0 <> 0 then [ (name, v - v0) ] else []
+    | Gauge v ->
+        let v0 = match prior with Some (Gauge p) -> p | _ -> 0 in
+        if v - v0 <> 0 then [ (name, v - v0) ] else []
+    | Histogram { count; sum; _ } ->
+        let c0, s0 =
+          match prior with
+          | Some (Histogram { count; sum; _ }) -> (count, sum)
+          | _ -> (0, 0)
+        in
+        (if count - c0 <> 0 then [ (name ^ ".count", count - c0) ] else [])
+        @ if sum - s0 <> 0 then [ (name ^ ".sum", sum - s0) ] else []
   in
-  List.concat_map
-    (fun (name, sample) ->
-      match sample with
-      | Counter v ->
-          let v0 = match prior name with Some (Counter p) -> p | _ -> 0 in
-          if v - v0 <> 0 then [ (name, v - v0) ] else []
-      | Gauge v ->
-          let v0 = match prior name with Some (Gauge p) -> p | _ -> 0 in
-          if v - v0 <> 0 then [ (name, v - v0) ] else []
-      | Histogram { count; sum; _ } ->
-          let c0, s0 =
-            match prior name with
-            | Some (Histogram { count; sum; _ }) -> (count, sum)
-            | _ -> (0, 0)
-          in
-          (if count - c0 <> 0 then [ (name ^ ".count", count - c0) ] else [])
-          @ if sum - s0 <> 0 then [ (name ^ ".sum", sum - s0) ] else [])
-    after
+  let rec merge before after acc =
+    match (before, after) with
+    | _, [] -> List.rev acc
+    | [], (name, s) :: atl ->
+        merge [] atl (List.rev_append (List.rev (deltas name s None)) acc)
+    | (bn, _) :: btl, (an, _) :: _ when String.compare bn an < 0 ->
+        (* instrument vanished between snapshots: nothing to report *)
+        merge btl after acc
+    | (bn, bs) :: btl, (an, s) :: atl when String.equal bn an ->
+        merge btl atl (List.rev_append (List.rev (deltas an s (Some bs))) acc)
+    | _, (name, s) :: atl ->
+        merge before atl (List.rev_append (List.rev (deltas name s None)) acc)
+  in
+  merge before after []
 
 let to_text t =
   let buf = Buffer.create 512 in

@@ -359,7 +359,11 @@ let start_element t ~name ~attrs ~item ~attr_item =
           | Query.Attribute -> None
         in
         match anchor with
-        | Some p -> ignore (push_instance t q p ~depth:t.depth ~item ~seq:node_seq)
+        | Some p ->
+            (* [item] is forced only here, on an actual qnode match — the
+               common no-match element costs no allocation *)
+            ignore
+              (push_instance t q p ~depth:t.depth ~item:(item ()) ~seq:node_seq)
         | None -> ()
       end)
     t.elem_qnodes;
@@ -403,7 +407,7 @@ let leaf_event t qnodes ~content ~item =
             | Query.Descendant | Query.Descendant_or_self -> p.i_depth <= t.depth
             | Query.Self | Query.Attribute -> false
           in
-          if ok then instant_contribution t q p ~item ~seq ~value:content)
+          if ok then instant_contribution t q p ~item:(item ()) ~seq ~value:content)
     qnodes
 
 let text t ~content ~item =
@@ -450,6 +454,24 @@ let finish_full t =
 
 let finish t = List.map (fun (item, _, _) -> item) (finish_full t)
 let finish_with_values t = List.map (fun (item, _, v) -> (item, v)) (finish_full t)
+
+let reset_contribution c =
+  c.c_items <- [];
+  c.c_values <- [];
+  c.c_count <- 0
+
+(* Clear per-document state so the compiled machine can be reused for the
+   next document without recompiling the query. Cumulative instrumentation
+   ([events_processed], [max_active], registry counters) is preserved. *)
+let reset t =
+  Array.iter (fun stack -> stack := []) t.stacks;
+  t.depth <- 0;
+  t.seq <- 0;
+  t.active <- 0;
+  t.value_insts <- [];
+  Array.iter reset_contribution t.root_inst.i_buckets;
+  reset_contribution t.root_inst.i_pass;
+  match t.root_inst.i_value with Some buf -> Buffer.clear buf | None -> ()
 let max_active t = t.max_active
 let events_processed t = t.events
 
@@ -467,12 +489,18 @@ let feed_tokens t ~item_of tokens =
           let elem_seq = next () in
           let attr_seqs = List.map (fun _ -> next ()) attrs in
           let arr = Array.of_list attr_seqs in
-          start_element t ~name ~attrs ~item:(item_of elem_seq)
+          start_element t ~name ~attrs ~item:(fun () -> item_of elem_seq)
             ~attr_item:(fun i -> item_of arr.(i))
       | Token.End_element -> end_element t
-      | Token.Text { content; _ } -> text t ~content ~item:(item_of (next ()))
-      | Token.Comment content -> comment t ~content ~item:(item_of (next ()))
-      | Token.Pi { target; data } -> pi t ~target ~data ~item:(item_of (next ())))
+      | Token.Text { content; _ } ->
+          let seq = next () in
+          text t ~content ~item:(fun () -> item_of seq)
+      | Token.Comment content ->
+          let seq = next () in
+          comment t ~content ~item:(fun () -> item_of seq)
+      | Token.Pi { target; data } ->
+          let seq = next () in
+          pi t ~target ~data ~item:(fun () -> item_of seq))
     tokens
 
 let feed_binary t ~item_of binary =
@@ -491,12 +519,18 @@ let feed_binary t ~item_of binary =
         | Token.Start_element { name; attrs; _ } ->
             let elem_seq = next () in
             let attr_seqs = Array.of_list (List.map (fun _ -> next ()) attrs) in
-            start_element t ~name ~attrs ~item:(item_of elem_seq)
+            start_element t ~name ~attrs ~item:(fun () -> item_of elem_seq)
               ~attr_item:(fun i -> item_of attr_seqs.(i))
         | Token.End_element -> end_element t
-        | Token.Text { content; _ } -> text t ~content ~item:(item_of (next ()))
-        | Token.Comment content -> comment t ~content ~item:(item_of (next ()))
-        | Token.Pi { target; data } -> pi t ~target ~data ~item:(item_of (next ())));
+        | Token.Text { content; _ } ->
+            let seq = next () in
+            text t ~content ~item:(fun () -> item_of seq)
+        | Token.Comment content ->
+            let seq = next () in
+            comment t ~content ~item:(fun () -> item_of seq)
+        | Token.Pi { target; data } ->
+            let seq = next () in
+            pi t ~target ~data ~item:(fun () -> item_of seq));
         loop ()
   in
   loop ()

@@ -28,16 +28,29 @@ val start_element :
   'a t ->
   name:Rx_xml.Qname.t ->
   attrs:Rx_xml.Token.attr list ->
-  item:'a ->
+  item:(unit -> 'a) ->
   attr_item:(int -> 'a) ->
   unit
-(** [attr_item i] supplies the item for the [i]-th attribute (0-based,
-    in the order of [attrs]) when an attribute step selects it. *)
+(** Items are supplied lazily: [item ()] is forced only when the node
+    actually matches a query-tree node (instances are pushed or an
+    instantaneous match fires), so feeding a non-matching node allocates
+    nothing — the hot-loop property the packed-record scan relies on. The
+    thunk is forced before the call returns (never retained), so it may
+    read mutable cursor state. [attr_item i] supplies the item for the
+    [i]-th attribute (0-based, in the order of [attrs]) when an attribute
+    step selects it. *)
 
 val end_element : 'a t -> unit
-val text : 'a t -> content:string -> item:'a -> unit
-val comment : 'a t -> content:string -> item:'a -> unit
-val pi : 'a t -> target:string -> data:string -> item:'a -> unit
+val text : 'a t -> content:string -> item:(unit -> 'a) -> unit
+val comment : 'a t -> content:string -> item:(unit -> 'a) -> unit
+val pi : 'a t -> target:string -> data:string -> item:(unit -> 'a) -> unit
+
+val reset : 'a t -> unit
+(** Clears all per-document state (instance stacks, depth, sequence
+    numbers, accumulated results) so the compiled machine can be reused for
+    another document without recompiling the query — the plan-cache hot
+    path. Cumulative instrumentation ({!events_processed}, {!max_active})
+    is preserved. *)
 
 val finish : 'a t -> 'a list
 (** Result sequence in document order, duplicate-free. The stream must be

@@ -13,7 +13,25 @@ type snapshot = {
   page_flushes : int;
 }
 
-type frame = { data : bytes; mutable dirty : bool; mutable pins : int }
+exception Pool_exhausted of { page_no : int; capacity : int }
+
+let () =
+  Printexc.register_printer (function
+    | Pool_exhausted { page_no; capacity } ->
+        Some
+          (Printf.sprintf
+             "Buffer_pool.Pool_exhausted(page %d: all %d frames pinned)"
+             page_no capacity)
+    | _ -> None)
+
+type frame = {
+  data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  (* set when the frame was filled by readahead and not yet demanded; an
+     eviction while still set counts as bufpool.readahead.wasted *)
+  mutable prefetched : bool;
+}
 
 (* Per-pool tallies back the immutable [snapshot] API; the registry counters
    mirror them so the pool shows up in the Rx_obs report (shared registries
@@ -36,6 +54,9 @@ type t = {
   c_misses : Rx_obs.Metrics.counter;
   c_evictions : Rx_obs.Metrics.counter;
   c_flushes : Rx_obs.Metrics.counter;
+  c_ra_batches : Rx_obs.Metrics.counter;
+  c_ra_pages : Rx_obs.Metrics.counter;
+  c_ra_wasted : Rx_obs.Metrics.counter;
 }
 
 let create ?(metrics = Rx_obs.Metrics.default) ?(capacity = 256) pager =
@@ -50,6 +71,9 @@ let create ?(metrics = Rx_obs.Metrics.default) ?(capacity = 256) pager =
     c_misses = Rx_obs.Metrics.counter metrics "bufpool.misses";
     c_evictions = Rx_obs.Metrics.counter metrics "bufpool.evictions";
     c_flushes = Rx_obs.Metrics.counter metrics "bufpool.page_flushes";
+    c_ra_batches = Rx_obs.Metrics.counter metrics "bufpool.readahead.batches";
+    c_ra_pages = Rx_obs.Metrics.counter metrics "bufpool.readahead.pages";
+    c_ra_wasted = Rx_obs.Metrics.counter metrics "bufpool.readahead.wasted";
   }
 
 let pager t = t.pager
@@ -84,12 +108,28 @@ let flush_frame t page_no frame =
     Rx_obs.Metrics.incr t.c_flushes
   end
 
+(* Insert a freshly read frame, evicting an unpinned victim if the pool is
+   full. @raise Pool_exhausted when every frame is pinned. *)
+let insert_frame t page_no frame =
+  match
+    Lru.put_evict_if t.frames ~can_evict:(fun _ f -> f.pins = 0) page_no frame
+  with
+  | None ->
+      raise (Pool_exhausted { page_no; capacity = Lru.capacity t.frames })
+  | Some None -> ()
+  | Some (Some (victim_no, victim)) ->
+      t.tally.t_evictions <- t.tally.t_evictions + 1;
+      Rx_obs.Metrics.incr t.c_evictions;
+      if victim.prefetched then Rx_obs.Metrics.incr t.c_ra_wasted;
+      flush_frame t victim_no victim
+
 (* Fetch the frame for [page_no], pinning it. *)
 let pin t page_no =
   match Lru.find t.frames page_no with
   | Some frame ->
       t.tally.t_hits <- t.tally.t_hits + 1;
       Rx_obs.Metrics.incr t.c_hits;
+      frame.prefetched <- false;
       frame.pins <- frame.pins + 1;
       frame
   | None ->
@@ -97,19 +137,53 @@ let pin t page_no =
       Rx_obs.Metrics.incr t.c_misses;
       let data = Bytes.create (page_size t) in
       Pager.read t.pager page_no data;
-      let frame = { data; dirty = false; pins = 1 } in
-      (match
-         Lru.put_evict_if t.frames
-           ~can_evict:(fun _ f -> f.pins = 0)
-           page_no frame
-       with
-      | None -> failwith "Buffer_pool: all frames pinned"
-      | Some None -> ()
-      | Some (Some (victim_no, victim)) ->
-          t.tally.t_evictions <- t.tally.t_evictions + 1;
-          Rx_obs.Metrics.incr t.c_evictions;
-          flush_frame t victim_no victim);
+      let frame = { data; dirty = false; pins = 1; prefetched = false } in
+      insert_frame t page_no frame;
       frame
+
+let cached t page_no = Lru.mem t.frames page_no
+
+(* Group a sorted page list into maximal runs of consecutive numbers. *)
+let contiguous_runs pages =
+  let flush cur acc = match cur with [] -> acc | _ -> List.rev cur :: acc in
+  let rec go acc cur = function
+    | [] -> List.rev (flush cur acc)
+    | p :: rest -> (
+        match cur with
+        | q :: _ when p = q + 1 -> go acc (p :: cur) rest
+        | [] -> go acc [ p ] rest
+        | _ -> go (flush cur acc) [ p ] rest)
+  in
+  go [] [] pages
+
+let prefetch t pages =
+  let limit = Pager.page_count t.pager in
+  let wanted =
+    List.sort_uniq compare pages
+    |> List.filter (fun p -> p > 0 && p < limit && not (Lru.mem t.frames p))
+  in
+  let fetch_run run =
+    match run with
+    | [] -> ()
+    | first :: _ ->
+        let n = List.length run in
+        let bufs = Array.init n (fun _ -> Bytes.create (page_size t)) in
+        Pager.read_run t.pager ~first bufs;
+        Rx_obs.Metrics.incr t.c_ra_batches;
+        Rx_obs.Metrics.add t.c_ra_pages n;
+        Array.iteri
+          (fun i data ->
+            insert_frame t (first + i)
+              { data; dirty = false; pins = 0; prefetched = true })
+          bufs
+  in
+  try List.iter fetch_run (contiguous_runs wanted) with
+  | Pool_exhausted _ ->
+      (* advisory: no evictable frame left, stop prefetching *)
+      ()
+  | Pager.Corrupt_page _ ->
+      (* leave the corruption for a demand read to surface with full context *)
+      ()
 
 let unpin frame = frame.pins <- frame.pins - 1
 
@@ -179,7 +253,7 @@ let drop_cache t =
   Lru.iter
     (fun page_no frame ->
       if frame.pins > 0 then
-        failwith (Printf.sprintf "Buffer_pool.drop_cache: page %d pinned" page_no))
+        raise (Pool_exhausted { page_no; capacity = Lru.capacity t.frames }))
     t.frames;
   let keys = List.map fst (Lru.to_list t.frames) in
   List.iter (Lru.remove t.frames) keys

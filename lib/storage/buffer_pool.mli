@@ -10,6 +10,12 @@
 
 type t
 
+exception Pool_exhausted of { page_no : int; capacity : int }
+(** Raised when a frame is needed for [page_no] but every frame in the pool
+    is pinned (no eviction candidate), or by {!drop_cache} when a page is
+    still pinned. The database layer surfaces this as [Database.Busy] so a
+    pin-heavy query degrades gracefully instead of killing the process. *)
+
 (** Write-ahead-log hooks installed by the transaction layer. *)
 type journal = {
   log_update :
@@ -46,7 +52,22 @@ val set_journal : t -> journal option -> unit
 
 val with_page : t -> int -> (bytes -> 'a) -> 'a
 (** Read-only access; the page is pinned for the duration of the callback.
-    The callback must not retain the bytes. *)
+    The callback must not retain the bytes.
+    @raise Pool_exhausted if every frame is pinned. *)
+
+val cached : t -> int -> bool
+(** Whether the page is resident in a frame right now (does not touch LRU
+    recency). Scans use this to decide when to issue a readahead batch. *)
+
+val prefetch : t -> int list -> unit
+(** Readahead: load the listed pages into unpinned frames ahead of demand.
+    Pages already cached or out of range are skipped; the rest are grouped
+    into maximal runs of consecutive page numbers, each fetched from the
+    pager in one batched read ({!Pager.read_run}). Purely advisory: it stops
+    quietly when no evictable frame remains and leaves corrupt pages for the
+    demand read to report. Instrumented as [bufpool.readahead.batches] (runs
+    issued), [bufpool.readahead.pages] (pages fetched), and
+    [bufpool.readahead.wasted] (prefetched frames evicted untouched). *)
 
 val update : t -> int -> (bytes -> 'a) -> 'a
 (** Mutating access: diffs the image, journals the change, stamps the LSN
@@ -64,7 +85,8 @@ val flush_all : t -> unit
 
 val drop_cache : t -> unit
 (** Discards every frame without writing anything back — simulates losing
-    volatile memory in a crash. Fails if any page is pinned. *)
+    volatile memory in a crash.
+    @raise Pool_exhausted if any page is pinned. *)
 
 val metrics : t -> Rx_obs.Metrics.t
 (** The registry this pool reports to. *)

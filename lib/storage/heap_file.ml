@@ -11,7 +11,25 @@ type t = {
   header : int;
   free_map : (int, int) Hashtbl.t; (* data page -> cached free bytes *)
   mutable last_page : int;
+  mutable readahead : int; (* max pages per readahead batch; <= 1 disables *)
 }
+
+let default_readahead = 8
+let set_readahead t n = t.readahead <- n
+let readahead t = t.readahead
+
+(* Data pages are appended to the chain in allocation order, so the pages
+   following [page_no] numerically are (mostly) the pages a chain walk will
+   visit next. Prefetch the window ahead of [page_no], filtered to pages this
+   heap actually owns (the free map holds exactly the data pages). *)
+let prefetch_window t page_no =
+  if t.readahead > 1 && not (Buffer_pool.cached t.pool page_no) then begin
+    let pages = ref [] in
+    for p = page_no + t.readahead - 1 downto page_no do
+      if p = page_no || Hashtbl.mem t.free_map p then pages := p :: !pages
+    done;
+    Buffer_pool.prefetch t.pool !pages
+  end
 
 let u32_get page off =
   (Char.code (Bytes.get page off) lsl 24)
@@ -49,7 +67,15 @@ let create pool =
       hdr_set_last page first;
       hdr_set_count page 0;
       hdr_set_ovf page 0);
-  let t = { pool; header; free_map = Hashtbl.create 64; last_page = first } in
+  let t =
+    {
+      pool;
+      header;
+      free_map = Hashtbl.create 64;
+      last_page = first;
+      readahead = default_readahead;
+    }
+  in
   Hashtbl.replace t.free_map first
     (Buffer_pool.with_page pool first Slotted_page.free_space);
   t
@@ -60,7 +86,13 @@ let attach pool ~header_page =
         (hdr_first page, hdr_last page))
   in
   let t =
-    { pool; header = header_page; free_map = Hashtbl.create 64; last_page = last }
+    {
+      pool;
+      header = header_page;
+      free_map = Hashtbl.create 64;
+      last_page = last;
+      readahead = default_readahead;
+    }
   in
   (* Rebuild the free-space map by walking the page chain. *)
   let rec walk page_no =
@@ -195,13 +227,15 @@ let encode_cell t payload =
     Bytes_io.Writer.contents w
   end
 
-let decode_cell t cell =
-  match cell.[0] with
-  | '\x00' -> String.sub cell 1 (String.length cell - 1)
+(* Decode a cell in place from the pinned page image: one [Bytes.sub_string]
+   for inline payloads (the returned record), none beyond the reassembly
+   buffer for overflow stubs. Must be called with the page pinned. *)
+let decode_cell_view t page ~off ~len =
+  match Bytes.get page off with
+  | '\x00' -> Bytes.sub_string page (off + 1) (len - 1)
   | '\x01' ->
-      let r = Bytes_io.Reader.of_string ~pos:1 cell in
-      let first = Bytes_io.Reader.u32 r in
-      let total = Bytes_io.Reader.u32 r in
+      let first = u32_get page (off + 1) in
+      let total = u32_get page (off + 5) in
       read_overflow t first total
   | _ -> invalid_arg "Heap_file: corrupt cell tag"
 
@@ -232,13 +266,13 @@ let insert t payload =
   rid
 
 let read t (rid : Rid.t) =
-  let cell =
-    Buffer_pool.with_page t.pool rid.Rid.page (fun page ->
-        Slotted_page.get page rid.Rid.slot)
-  in
-  match cell with
-  | None -> invalid_arg (Printf.sprintf "Heap_file.read: no record at %s" (Rid.to_string rid))
-  | Some cell -> decode_cell t cell
+  prefetch_window t rid.Rid.page;
+  Buffer_pool.with_page t.pool rid.Rid.page (fun page ->
+      match Slotted_page.get_view page rid.Rid.slot with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Heap_file.read: no record at %s" (Rid.to_string rid))
+      | Some (off, len) -> decode_cell_view t page ~off ~len)
 
 let delete t (rid : Rid.t) =
   let cell =
@@ -298,16 +332,25 @@ let iter f t =
   let first = Buffer_pool.with_page t.pool t.header hdr_first in
   let rec walk page_no =
     if page_no <> 0 then begin
-      let cells = ref [] in
+      prefetch_window t page_no;
+      (* materialize payloads (one copy, straight off the pinned image)
+         before invoking [f], which may itself touch the pool *)
+      let records = ref [] in
       let next =
         Buffer_pool.with_page t.pool page_no (fun page ->
-            Slotted_page.iter (fun slot cell -> cells := (slot, cell) :: !cells) page;
+            let n = Slotted_page.slot_count page in
+            for slot = n - 1 downto 0 do
+              match Slotted_page.get_view page slot with
+              | None -> ()
+              | Some (off, len) ->
+                  records :=
+                    (slot, decode_cell_view t page ~off ~len) :: !records
+            done;
             Slotted_page.next_page page)
       in
       List.iter
-        (fun (slot, cell) ->
-          f (Rid.make ~page:page_no ~slot) (decode_cell t cell))
-        (List.rev !cells);
+        (fun (slot, record) -> f (Rid.make ~page:page_no ~slot) record)
+        !records;
       walk next
     end
   in

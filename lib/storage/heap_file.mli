@@ -33,7 +33,16 @@ val update : t -> Rid.t -> string -> Rid.t
     returning the (possibly new) RID. *)
 
 val iter : (Rid.t -> string -> unit) -> t -> unit
-(** Full scan in page order. *)
+(** Full scan in page order. Issues readahead batches ahead of the chain
+    walk (see {!set_readahead}). *)
+
+val set_readahead : t -> int -> unit
+(** Sets the readahead window: on a cache-missing page access, up to this
+    many upcoming data pages are prefetched in one batched read
+    ({!Buffer_pool.prefetch}). [n <= 1] disables readahead. Default 8. *)
+
+val readahead : t -> int
+(** Current readahead window. *)
 
 val record_count : t -> int
 (** Number of live records (maintained incrementally, O(1)). *)

@@ -189,6 +189,39 @@ let read t page_no buf =
          })
   end
 
+let read_run t ~first bufs =
+  let n = Array.length bufs in
+  if n > 0 then begin
+    check_page_no t first;
+    check_page_no t (first + n - 1);
+    t.reads <- t.reads + n;
+    Rx_obs.Metrics.add t.c_reads n;
+    (match t.backend with
+    | Mem m ->
+        Array.iteri
+          (fun i buf -> Bytes.blit m.pages.(first + i) 0 buf 0 t.page_size)
+          bufs
+    | File f ->
+        let run = Bytes.create (n * t.page_size) in
+        pread_full f.fd run (first * t.page_size);
+        Array.iteri
+          (fun i buf -> Bytes.blit run (i * t.page_size) buf 0 t.page_size)
+          bufs);
+    Array.iteri
+      (fun i buf ->
+        if not (Page.verify buf) then begin
+          Rx_obs.Metrics.incr t.c_corrupt;
+          raise
+            (Corrupt_page
+               {
+                 page_no = first + i;
+                 stored = Bytes.get_int32_be buf 12;
+                 computed = Page.compute_checksum buf;
+               })
+        end)
+      bufs
+  end
+
 let write t page_no buf =
   check_page_no t page_no;
   t.writes <- t.writes + 1;

@@ -47,6 +47,15 @@ val read : t -> int -> bytes -> unit
     image after verifying its checksum.
     @raise Corrupt_page if the stored checksum does not match. *)
 
+val read_run : t -> first:int -> bytes array -> unit
+(** [read_run t ~first bufs] fills [bufs.(i)] with the image of page
+    [first + i] in one batched backend read (a single [pread] for the file
+    backend), verifying each page's checksum. This is the readahead primitive:
+    one seek amortized over a run of consecutive pages.
+    @raise Corrupt_page on the first page whose checksum does not match;
+    earlier pages in the run are already filled, later ones undefined.
+    @raise Invalid_argument if any page of the run is out of range. *)
+
 val write : t -> int -> bytes -> unit
 (** Stamps the page checksum into [buf] and writes it through to the
     backend. Not durable until {!sync}. *)

@@ -144,11 +144,16 @@ let insert_at page slot payload =
   set_cell_start page offset;
   set_slot page slot ~offset ~len
 
-let get page slot =
+let get_view page slot =
   if slot < 0 || slot >= slot_count page then None
   else
     let off = slot_offset page slot in
-    if off = 0 then None else Some (Bytes.sub_string page off (slot_len page slot))
+    if off = 0 then None else Some (off, slot_len page slot)
+
+let get page slot =
+  match get_view page slot with
+  | None -> None
+  | Some (off, len) -> Some (Bytes.sub_string page off len)
 
 let delete page slot =
   if slot >= 0 && slot < slot_count page then begin

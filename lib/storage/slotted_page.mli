@@ -47,6 +47,12 @@ val insert_at : bytes -> int -> string -> unit
 val get : bytes -> int -> string option
 (** [None] if the slot is dead or out of range. *)
 
+val get_view : bytes -> int -> (int * int) option
+(** [get_view page slot] is the [(offset, length)] of the cell inside the page
+    image, without copying — the zero-allocation counterpart of {!get}. The
+    view is only valid while the page stays pinned and unmodified; any insert,
+    delete, or update may compact the page and move cells. *)
+
 val delete : bytes -> int -> unit
 (** Marks the slot dead; space is reclaimed lazily by compaction. *)
 

@@ -11,6 +11,7 @@ type t = {
   query : Q.t; (* compiled index path, value-producing *)
   metrics : Rx_obs.Metrics.t;
   c_fetched : Rx_obs.Metrics.counter;
+  mutable hook_ids : (int * int) option; (* (record, delete) observer handles *)
 }
 
 type entry = {
@@ -34,6 +35,7 @@ let create pool dict definition =
     query = compile dict definition;
     metrics;
     c_fetched = Rx_obs.Metrics.counter metrics "xindex.entries_fetched";
+    hook_ids = None;
   }
 
 let attach pool dict definition ~meta_page =
@@ -45,6 +47,7 @@ let attach pool dict definition ~meta_page =
     query = compile dict definition;
     metrics;
     c_fetched = Rx_obs.Metrics.counter metrics "xindex.entries_fetched";
+    hook_ids = None;
   }
 
 let def t = t.definition
@@ -117,7 +120,8 @@ let extract_record t ~record =
     (fun (uri, local) ->
       E.start_element engine
         ~name:{ Qname.uri; local; prefix = 0 }
-        ~attrs:[] ~item:Ancestor
+        ~attrs:[]
+        ~item:(fun () -> Ancestor)
         ~attr_item:(fun _ -> Ancestor))
     header.Record_format.path;
   let incomplete = Hashtbl.create 4 in
@@ -128,18 +132,19 @@ let extract_record t ~record =
       let abs = Node_id.append base (Record_format.entry_rel entry) in
       (match entry with
       | Record_format.Element { name; attrs; children_off; children_len; _ } ->
-          E.start_element engine ~name ~attrs ~item:(Node_item abs)
+          E.start_element engine ~name ~attrs
+            ~item:(fun () -> Node_item abs)
             ~attr_item:(fun _ -> Node_item abs);
           open_elems := abs :: !open_elems;
           walk abs children_off (children_off + children_len);
           open_elems := List.tl !open_elems;
           E.end_element engine
       | Record_format.Text { content; _ } ->
-          E.text engine ~content ~item:(Node_item abs)
+          E.text engine ~content ~item:(fun () -> Node_item abs)
       | Record_format.Comment { content; _ } ->
-          E.comment engine ~content ~item:(Node_item abs)
+          E.comment engine ~content ~item:(fun () -> Node_item abs)
       | Record_format.Pi { target; data; _ } ->
-          E.pi engine ~target ~data ~item:(Node_item abs)
+          E.pi engine ~target ~data ~item:(fun () -> Node_item abs)
       | Record_format.Proxy _ ->
           (* a subtree stored elsewhere: every open element's value within
              this record is incomplete *)
@@ -202,10 +207,23 @@ let unindex_record t ~docid ~record ~store =
     (keys_for_record t ~docid ~record ~store)
 
 let hook t store =
-  Doc_store.add_record_observer store (fun ~docid ~rid ~record ->
-      index_record t ~docid ~rid ~record ~store:(Some store));
-  Doc_store.add_delete_observer store (fun ~docid ~rid:_ ~record ->
-      unindex_record t ~docid ~record ~store:(Some store))
+  let record_id =
+    Doc_store.add_record_observer store (fun ~docid ~rid ~record ->
+        index_record t ~docid ~rid ~record ~store:(Some store))
+  in
+  let delete_id =
+    Doc_store.add_delete_observer store (fun ~docid ~rid:_ ~record ->
+        unindex_record t ~docid ~record ~store:(Some store))
+  in
+  t.hook_ids <- Some (record_id, delete_id)
+
+let unhook t store =
+  match t.hook_ids with
+  | None -> ()
+  | Some (record_id, delete_id) ->
+      Doc_store.remove_record_observer store record_id;
+      Doc_store.remove_delete_observer store delete_id;
+      t.hook_ids <- None
 
 (* --- scans --- *)
 

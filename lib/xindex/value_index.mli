@@ -35,6 +35,11 @@ val hook : t -> Rx_xmlstore.Doc_store.t -> unit
 (** Registers insert and delete observers on the store. Only call once per
     store; documents inserted before hooking are not indexed. *)
 
+val unhook : t -> Rx_xmlstore.Doc_store.t -> unit
+(** Detaches the observers registered by {!hook} — the maintenance side of
+    [DROP XML INDEX]. The B+tree pages are not reclaimed (deletion is lazy
+    engine-wide); no-op if not hooked. *)
+
 val index_record :
   t -> docid:int -> rid:Rx_storage.Rid.t -> record:string ->
   store:Rx_xmlstore.Doc_store.t option -> unit

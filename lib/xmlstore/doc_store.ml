@@ -12,9 +12,10 @@ type t = {
   threshold : int;
   policy : Packer.policy;
   mutable record_observers :
-    (docid:int -> rid:Rid.t -> record:string -> unit) list;
+    (int * (docid:int -> rid:Rid.t -> record:string -> unit)) list;
   mutable delete_observers :
-    (docid:int -> rid:Rid.t -> record:string -> unit) list;
+    (int * (docid:int -> rid:Rid.t -> record:string -> unit)) list;
+  mutable next_observer : int;
   mutable doc_count : int;
   mutable record_bytes : int;
   (* tiny cache: the record most recently fetched, keyed by rid *)
@@ -32,6 +33,7 @@ let create ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
     policy = packing_policy;
     record_observers = [];
     delete_observers = [];
+    next_observer = 0;
     doc_count = 0;
     record_bytes = 0;
     last_fetch = None;
@@ -51,6 +53,7 @@ let attach ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
       policy = packing_policy;
       record_observers = [];
       delete_observers = [];
+      next_observer = 0;
       doc_count = 0;
       record_bytes = 0;
       last_fetch = None;
@@ -71,8 +74,26 @@ let heap_header t = Heap_file.header_page t.heap
 let index_meta t = Rx_btree.Btree.meta_page t.index
 let dict t = t.dict
 
-let add_record_observer t f = t.record_observers <- t.record_observers @ [ f ]
-let add_delete_observer t f = t.delete_observers <- t.delete_observers @ [ f ]
+let fresh_observer_id t =
+  let id = t.next_observer in
+  t.next_observer <- id + 1;
+  id
+
+let add_record_observer t f =
+  let id = fresh_observer_id t in
+  t.record_observers <- t.record_observers @ [ (id, f) ];
+  id
+
+let add_delete_observer t f =
+  let id = fresh_observer_id t in
+  t.delete_observers <- t.delete_observers @ [ (id, f) ];
+  id
+
+let remove_record_observer t id =
+  t.record_observers <- List.filter (fun (i, _) -> i <> id) t.record_observers
+
+let remove_delete_observer t id =
+  t.delete_observers <- List.filter (fun (i, _) -> i <> id) t.delete_observers
 
 let index_key docid node_id =
   let buf = Buffer.create 16 in
@@ -96,7 +117,7 @@ let store_record t ~docid record =
         ~key:(index_key docid endpoint)
         ~value:(rid_value rid))
     (Record_format.interval_endpoints record);
-  List.iter (fun f -> f ~docid ~rid ~record) t.record_observers
+  List.iter (fun (_, f) -> f ~docid ~rid ~record) t.record_observers
 
 let insert_tokens t ~docid tokens =
   Packer.pack ~policy:t.policy ~threshold:t.threshold
@@ -145,7 +166,7 @@ let delete_document t ~docid =
   in
   List.iter
     (fun (rid, record) ->
-      List.iter (fun f -> f ~docid ~rid ~record) t.delete_observers)
+      List.iter (fun (_, f) -> f ~docid ~rid ~record) t.delete_observers)
     records;
   List.iter (fun key -> ignore (Rx_btree.Btree.delete t.index key)) !keys;
   List.iter
@@ -224,6 +245,72 @@ let events t ~docid f =
       loop first;
       f { id = None; token = Token.End_document }
 
+(* --- allocation-free scan --- *)
+
+type scan_sink = {
+  scan_start_element : name:Qname.t -> attrs:Token.attr list -> unit;
+  scan_end_element : unit -> unit;
+  scan_text : content:string -> unit;
+  scan_comment : content:string -> unit;
+  scan_pi : target:string -> data:string -> unit;
+}
+
+(* Unlike [events], no per-node event/token records or absolute node IDs are
+   built: the current node's ID is held as mutable (base, rel) cursor state
+   and materialized only when the sink forces the [current] thunk — i.e.
+   only for nodes the query actually matches. Absolute IDs are still built
+   for elements with children (the recursion base) and proxy resolution. *)
+let scan t ~docid ~make_sink =
+  match root_record t ~docid with
+  | None -> invalid_arg (Printf.sprintf "Doc_store: no document %d" docid)
+  | Some (record0, first) ->
+      let cur_base = ref Node_id.root in
+      let cur_rel = ref Node_id.first_child_rel in
+      let current () = Node_id.append !cur_base !cur_rel in
+      let sink = make_sink ~current in
+      let rec emit record base entry =
+        match entry with
+        | Record_format.Proxy { rel } ->
+            let abs = Node_id.append base rel in
+            let record', entry' = resolve t ~docid abs in
+            (match entry' with
+            | Record_format.Proxy _ -> invalid_arg "Doc_store: proxy chain"
+            | _ -> emit record' base entry')
+        | Record_format.Element { rel; name; attrs; n_children; children_off; children_len; _ }
+          ->
+            cur_base := base;
+            cur_rel := rel;
+            sink.scan_start_element ~name ~attrs;
+            if n_children > 0 then begin
+              let abs = Node_id.append base rel in
+              walk record abs children_off (children_off + children_len)
+            end;
+            sink.scan_end_element ()
+        | Record_format.Text { rel; content; _ } ->
+            cur_base := base;
+            cur_rel := rel;
+            sink.scan_text ~content
+        | Record_format.Comment { rel; content } ->
+            cur_base := base;
+            cur_rel := rel;
+            sink.scan_comment ~content
+        | Record_format.Pi { rel; target; data } ->
+            cur_base := base;
+            cur_rel := rel;
+            sink.scan_pi ~target ~data
+      and walk record base off limit =
+        if off < limit then begin
+          let entry, next = Record_format.decode_entry record off in
+          emit record base entry;
+          walk record base next limit
+        end
+      in
+      walk record0 Node_id.root first (String.length record0)
+
+let set_readahead t n =
+  Heap_file.set_readahead t.heap n;
+  Rx_btree.Btree.set_readahead t.index n
+
 (* --- sub-document updates --- *)
 
 type position = Before of Node_id.t | After of Node_id.t | Last_child_of of Node_id.t
@@ -232,7 +319,7 @@ type position = Before of Node_id.t | After of Node_id.t | Last_child_of of Node
    an empty node list reclaims the record. NodeID-index entries and value
    indexes are maintained through the usual per-record paths. *)
 let rewrite_record t ~docid ~rid ~old_record header nodes =
-  List.iter (fun f -> f ~docid ~rid ~record:old_record) t.delete_observers;
+  List.iter (fun (_, f) -> f ~docid ~rid ~record:old_record) t.delete_observers;
   List.iter
     (fun endpoint ->
       ignore (Rx_btree.Btree.delete t.index (index_key docid endpoint)))
@@ -250,7 +337,7 @@ let rewrite_record t ~docid ~rid ~old_record header nodes =
           ~key:(index_key docid endpoint)
           ~value:(rid_value rid'))
       (Record_format.interval_endpoints record);
-    List.iter (fun f -> f ~docid ~rid:rid' ~record) t.record_observers
+    List.iter (fun (_, f) -> f ~docid ~rid:rid' ~record) t.record_observers
   end
 
 (* The record where [abs] is stored inline, its decoded form, and the

@@ -41,12 +41,22 @@ val metrics : t -> Rx_obs.Metrics.t
     store (executor, value indexes) report there. *)
 
 val add_record_observer :
-  t -> (docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit) -> unit
+  t -> (docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit) -> int
 (** Called for every packed record as it is stored — how XPath value
-    indexes generate their keys "per record" (§3.2). *)
+    indexes generate their keys "per record" (§3.2). Returns a handle for
+    {!remove_record_observer}. *)
 
 val add_delete_observer :
-  t -> (docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit) -> unit
+  t -> (docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit) -> int
+(** Like {!add_record_observer}, for record deletion; returns a handle for
+    {!remove_delete_observer}. *)
+
+val remove_record_observer : t -> int -> unit
+(** Detaches a record observer by handle (no-op if already removed) — how a
+    dropped value index stops receiving maintenance callbacks. *)
+
+val remove_delete_observer : t -> int -> unit
+(** Detaches a delete observer by handle (no-op if already removed). *)
 
 val insert_tokens : t -> docid:int -> Rx_xml.Token.t list -> unit
 val insert_document : t -> docid:int -> string -> unit
@@ -57,6 +67,31 @@ val mem : t -> docid:int -> bool
 
 val events : t -> docid:int -> (event -> unit) -> unit
 (** Whole-document traversal in document order. *)
+
+(** Callbacks for the allocation-free {!scan} traversal. Strings passed to
+    the callbacks ([name], [attrs], [content]…) are decoded from the packed
+    record as usual, but no per-node event records, token values, or
+    absolute node IDs are built. *)
+type scan_sink = {
+  scan_start_element :
+    name:Rx_xml.Qname.t -> attrs:Rx_xml.Token.attr list -> unit;
+  scan_end_element : unit -> unit;
+  scan_text : content:string -> unit;
+  scan_comment : content:string -> unit;
+  scan_pi : target:string -> data:string -> unit;
+}
+
+val scan : t -> docid:int -> make_sink:(current:(unit -> Node_id.t) -> scan_sink) -> unit
+(** Whole-document traversal like {!events}, but allocation-free per node:
+    the current node's absolute ID is materialized only when the sink forces
+    the [current] thunk — QuickXScan forces it only for nodes that match, so
+    non-matching nodes cost no allocation. [current] is only valid inside
+    the sink callback it was forced from (the cursor state it reads is
+    mutated as the scan advances). *)
+
+val set_readahead : t -> int -> unit
+(** Sets the readahead window on the store's heap file and NodeID B+tree
+    (see {!Rx_storage.Heap_file.set_readahead}). *)
 
 val subtree_events : t -> docid:int -> Node_id.t -> (event -> unit) -> unit
 (** Traversal of one subtree, located via the NodeID index — the §3.4

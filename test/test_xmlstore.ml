@@ -265,12 +265,22 @@ let test_store_delete () =
 let test_store_observers () =
   let store = make_store ~threshold:64 () in
   let inserted = ref 0 and deleted = ref 0 in
-  Doc_store.add_record_observer store (fun ~docid:_ ~rid:_ ~record:_ -> incr inserted);
-  Doc_store.add_delete_observer store (fun ~docid:_ ~rid:_ ~record:_ -> incr deleted);
+  let rec_id =
+    Doc_store.add_record_observer store (fun ~docid:_ ~rid:_ ~record:_ ->
+        incr inserted)
+  in
+  ignore
+    (Doc_store.add_delete_observer store (fun ~docid:_ ~rid:_ ~record:_ ->
+         incr deleted));
   Doc_store.insert_document store ~docid:1 "<r><a>xxx</a><b>yyy</b><c>zzz</c></r>";
   check Alcotest.bool "insert observer fired per record" true (!inserted >= 1);
   Doc_store.delete_document store ~docid:1;
-  check Alcotest.int "delete observer fired same count" !inserted !deleted
+  check Alcotest.int "delete observer fired same count" !inserted !deleted;
+  (* removing the record observer stops maintenance callbacks *)
+  let before = !inserted in
+  Doc_store.remove_record_observer store rec_id;
+  Doc_store.insert_document store ~docid:2 "<r><a>qqq</a></r>";
+  check Alcotest.int "removed observer does not fire" before !inserted
 
 (* --- cursor --- *)
 
