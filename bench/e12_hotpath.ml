@@ -126,7 +126,7 @@ let bench_plan_cache iters =
    counters *)
 let cold_scan_misses dir ~readahead =
   let db = Database.open_dir dir in
-  Database.set_readahead db readahead;
+  Database.set_config db { (Database.config db) with readahead };
   Rx_storage.Buffer_pool.drop_cache (Database.buffer_pool db);
   let result = Database.run db ~table:"books" ~column:"doc" ~xpath:scan_xpath in
   let profile name =

@@ -21,6 +21,7 @@ let experiments =
     ("e10", E10_txn.run);
     ("e11", E11_crash.run);
     ("e12", E12_hotpath.run);
+    ("e13", E13_ingest.run);
   ]
 
 let () =

@@ -6,6 +6,7 @@
      rx drop-index      --db DIR --table T --column C --name I
      rx create-text-index --db DIR --table T --column C --name I
      rx insert          --db DIR --table T --xml "doc=<a>...</a>" [--xml-file doc=path]
+     rx load            --db DIR --table T --column C PATH   (bulk ingest)
      rx get             --db DIR --table T --column C --docid N
      rx query           --db DIR --table T --column C --xpath Q [--explain] [--profile]
      rx search          --db DIR --table T --column C --terms "native xml"
@@ -33,35 +34,42 @@ let table_arg =
 let column_arg =
   Arg.(required & opt (some string) None & info [ "column" ] ~docv:"COL" ~doc:"XML column name.")
 
+(* Stable exit codes (documented in README and DESIGN.md):
+     0  success
+     1  usage or application error (bad arguments, parse/validation failure)
+     2  unexpected internal error
+     3  Busy        — lock wait timed out
+     4  Deadlock    — transaction chosen as deadlock victim, rolled back
+     5  Read_only   — database is degraded, writes refused
+     6  corruption  — page checksum or WAL record CRC mismatch *)
+let exit_code = function
+  | Database.Busy _ -> 3
+  | Rx_txn.Lock_manager.Deadlock _ -> 4
+  | Database.Read_only _ -> 5
+  | Rx_storage.Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _ -> 6
+  | Invalid_argument _ | Failure _ -> 1
+  | Rx_xml.Parser.Parse_error _ | Rx_schema.Validator.Validation_error _ -> 1
+  | _ -> 2
+
 let handle_errors f =
   try
     f ();
     0
-  with
-  | Database.Busy { txid; blockers } ->
-      Printf.eprintf "error: transaction %d blocked by %s\n" txid
-        (String.concat "," (List.map string_of_int blockers));
-      1
-  | Rx_txn.Lock_manager.Deadlock { victim; cycle } ->
-      Printf.eprintf "error: deadlock (cycle %s), transaction %d rolled back\n"
-        (String.concat " -> " (List.map string_of_int cycle))
-        victim;
-      1
-  | Database.Read_only { reason } ->
-      Printf.eprintf "error: database is read-only (degraded): %s\n" reason;
-      1
-  | Invalid_argument msg | Failure msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | Rx_xml.Parser.Parse_error _ as e ->
-      Printf.eprintf "error: %s\n" (Option.get (Rx_xml.Parser.error_message e));
-      1
-  | Rx_schema.Validator.Validation_error _ as e ->
-      Printf.eprintf "error: %s\n" (Option.get (Rx_schema.Validator.error_message e));
-      1
-  | e ->
-      Printf.eprintf "error: %s\n" (Printexc.to_string e);
-      2
+  with e ->
+    let msg =
+      match Database.error_to_string e with
+      | Some msg -> msg
+      | None -> (
+          match e with
+          | Invalid_argument msg | Failure msg -> msg
+          | Rx_xml.Parser.Parse_error _ ->
+              Option.get (Rx_xml.Parser.error_message e)
+          | Rx_schema.Validator.Validation_error _ ->
+              Option.get (Rx_schema.Validator.error_message e)
+          | e -> Printexc.to_string e)
+    in
+    Printf.eprintf "error: %s\n" msg;
+    exit_code e
 
 (* --- init --- *)
 
@@ -464,6 +472,56 @@ let exec_cmd =
        ~doc:"Run a batch script with BEGIN/COMMIT/ROLLBACK transaction control.")
     Term.(const run $ db_arg $ file_arg)
 
+(* --- load: bulk ingest --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+(* a directory loads its .xml files in name order; a plain file is read as
+   one XML document per non-blank line *)
+let load_docs path =
+  if not (Sys.file_exists path) then
+    invalid_arg (Printf.sprintf "no such file or directory %S" path)
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xml")
+    |> List.sort compare
+    |> List.map (fun f -> read_file (Filename.concat path f))
+  else
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun line -> String.trim line <> "")
+
+let load_cmd =
+  let path_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Directory of .xml files (loaded in name order), or a file with \
+             one XML document per line.")
+  in
+  let run dir table column path =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let docs = load_docs path in
+            let ids = Database.insert_many db ~table ~column docs in
+            match ids with
+            | [] -> print_endline "loaded 0 documents"
+            | first :: _ ->
+                let lo = List.fold_left min first ids in
+                let hi = List.fold_left max first ids in
+                Printf.printf "loaded %d document(s) into %s.%s (DocID %d..%d)\n"
+                  (List.length ids) table column lo hi))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Bulk-load XML documents into a column in one transaction: one \
+          table-level lock, batched index maintenance, a single WAL flush.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ path_arg)
+
 (* --- checkpoint / verify --- *)
 
 let checkpoint_cmd =
@@ -577,7 +635,7 @@ let () =
           [
             init_cmd; create_table_cmd; create_index_cmd; drop_index_cmd;
             create_text_index_cmd;
-            register_schema_cmd; bind_schema_cmd; insert_cmd; get_cmd; query_cmd;
-            xquery_cmd; search_cmd; exec_cmd; checkpoint_cmd; verify_cmd;
-            stats_cmd;
+            register_schema_cmd; bind_schema_cmd; insert_cmd; load_cmd; get_cmd;
+            query_cmd; xquery_cmd; search_cmd; exec_cmd; checkpoint_cmd;
+            verify_cmd; stats_cmd;
           ]))

@@ -97,9 +97,12 @@ let open_db st =
   let db = Database.open_dir ~page_size:1024 st.dir in
   Database.set_config db
     {
-      Database.auto_checkpoint = true;
+      Database.default_config with
+      auto_checkpoint = true;
       checkpoint_wal_bytes = 2048;
       checkpoint_wal_records = 48;
+      commit_window_us = 100;
+      wal_buffer_bytes = 512;
     };
   if Database.table db table = None then begin
     ignore

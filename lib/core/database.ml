@@ -88,6 +88,10 @@ type config = {
   auto_checkpoint : bool;
   checkpoint_wal_bytes : int;
   checkpoint_wal_records : int;
+  readahead : int;
+  plan_cache_capacity : int;
+  commit_window_us : int;
+  wal_buffer_bytes : int;
 }
 
 let default_config =
@@ -95,6 +99,10 @@ let default_config =
     auto_checkpoint = true;
     checkpoint_wal_bytes = 4 * 1024 * 1024;
     checkpoint_wal_records = 50_000;
+    readahead = 8;
+    plan_cache_capacity = 128;
+    commit_window_us = 0;
+    wal_buffer_bytes = 256 * 1024;
   }
 
 type plan_info = { description : string; uses_index : bool; exact : bool }
@@ -134,8 +142,11 @@ type t = {
   mutable degraded : string option; (* corruption found at open: read-only *)
   mutable last_recovery : Rx_wal.Recovery.report option;
   mutable ddl_epoch : int; (* bumped on any DDL; stale plans recompile *)
-  plan_cache :
+  mutable plan_cache :
     (string * string * string * (string * string) list, prepared) Rx_util.Lru.t;
+  (* serializes the in-memory half of [commit] across threads; the
+     durability wait happens outside it so committers group their fsyncs *)
+  write_lock : Mutex.t;
 }
 
 type match_ = { docid : int; node : Node_id.t }
@@ -167,10 +178,32 @@ let install_txn pool log =
     ];
   mgr
 
-let default_plan_cache_capacity = 128
+(* push the config's tuning knobs down to the layers that own them: scan
+   readahead to every column store, the commit window and write-buffer
+   limit to the WAL *)
+let apply_config t =
+  List.iter
+    (fun (_, tbl) ->
+      List.iter
+        (fun (_, xc) -> Doc_store.set_readahead xc.store t.config.readahead)
+        tbl.xml_columns)
+    t.tables;
+  Rx_wal.Log_manager.set_commit_window t.log t.config.commit_window_us;
+  Rx_wal.Log_manager.set_buffer_limit t.log t.config.wal_buffer_bytes
+
+let config t = t.config
+
+let set_config t config =
+  let resize = config.plan_cache_capacity <> t.config.plan_cache_capacity in
+  t.config <- config;
+  (* the LRU has no resize: recreate it (dropping cached plans) when the
+     capacity actually changed *)
+  if resize then
+    t.plan_cache <- Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
+  apply_config t
 
 let create_in_memory ?page_size ?(record_threshold = 2048)
-    ?(plan_cache_capacity = default_plan_cache_capacity) () =
+    ?(config = default_config) () =
   let metrics = Rx_obs.Metrics.create () in
   let pool =
     Buffer_pool.create ~metrics ~capacity:2048
@@ -179,27 +212,32 @@ let create_in_memory ?page_size ?(record_threshold = 2048)
   let log = Rx_wal.Log_manager.create_in_memory ~metrics () in
   let txn_mgr = install_txn pool log in
   let catalog = Catalog.create pool in
-  {
-    pool;
-    log;
-    dict = Name_dict.create ();
-    txn_mgr;
-    catalog;
-    record_threshold;
-    metrics;
-    tracer = Rx_obs.Trace.create ();
-    tables = [];
-    schemas = [];
-    commit_ts = 0;
-    active_txns = [];
-    config = default_config;
-    checkpointing = false;
-    ckpt_mark = 0;
-    degraded = None;
-    last_recovery = None;
-    ddl_epoch = 0;
-    plan_cache = Rx_util.Lru.create ~capacity:plan_cache_capacity;
-  }
+  let t =
+    {
+      pool;
+      log;
+      dict = Name_dict.create ();
+      txn_mgr;
+      catalog;
+      record_threshold;
+      metrics;
+      tracer = Rx_obs.Trace.create ();
+      tables = [];
+      schemas = [];
+      commit_ts = 0;
+      active_txns = [];
+      config;
+      checkpointing = false;
+      ckpt_mark = 0;
+      degraded = None;
+      last_recovery = None;
+      ddl_epoch = 0;
+      plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
+      write_lock = Mutex.create ();
+    }
+  in
+  apply_config t;
+  t
 
 (* forward reference: the auto-checkpoint policy lives with [checkpoint]
    below, but fires from the auto-commit wrapper defined here *)
@@ -226,8 +264,6 @@ let ensure_writable t =
 let health t =
   match t.degraded with None -> `Healthy | Some reason -> `Degraded reason
 
-let config t = t.config
-let set_config t config = t.config <- config
 let last_recovery t = t.last_recovery
 
 let dict t = t.dict
@@ -351,8 +387,8 @@ let () = auto_checkpoint_trigger := maybe_auto_checkpoint
 (* [close] lives below the session machinery: it rolls back any
    transaction still open *)
 
-let open_dir ?page_size ?(record_threshold = 2048)
-    ?(plan_cache_capacity = default_plan_cache_capacity) dir =
+let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
+    dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let data = Filename.concat dir "data.rxdb" in
   let wal = Filename.concat dir "wal.rxlog" in
@@ -394,27 +430,32 @@ let open_dir ?page_size ?(record_threshold = 2048)
           ignore (Rx_txn.Transaction.abort tx);
           raise e
     in
-    {
-      pool;
-      log;
-      dict = Name_dict.create ();
-      txn_mgr;
-      catalog;
-      record_threshold;
-      metrics;
-      tracer;
-      tables = [];
-      schemas = [];
-      commit_ts = 0;
-      active_txns = [];
-      config = default_config;
-      checkpointing = false;
-      ckpt_mark = 0;
-      degraded = None;
-      last_recovery = None;
-      ddl_epoch = 0;
-      plan_cache = Rx_util.Lru.create ~capacity:plan_cache_capacity;
-    }
+    let t =
+      {
+        pool;
+        log;
+        dict = Name_dict.create ();
+        txn_mgr;
+        catalog;
+        record_threshold;
+        metrics;
+        tracer;
+        tables = [];
+        schemas = [];
+        commit_ts = 0;
+        active_txns = [];
+        config;
+        checkpointing = false;
+        ckpt_mark = 0;
+        degraded = None;
+        last_recovery = None;
+        ddl_epoch = 0;
+        plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
+        write_lock = Mutex.create ();
+      }
+    in
+    apply_config t;
+    t
   end
   else begin
     (* the catalog heap is always the first structure created: its header
@@ -463,13 +504,14 @@ let open_dir ?page_size ?(record_threshold = 2048)
         schemas;
         commit_ts = 0;
         active_txns = [];
-        config = default_config;
+        config;
         checkpointing = false;
         ckpt_mark = 0;
         degraded = None;
         last_recovery = None;
         ddl_epoch = 0;
-        plan_cache = Rx_util.Lru.create ~capacity:plan_cache_capacity;
+        plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
+        write_lock = Mutex.create ();
       }
     in
     (* rebuild tables *)
@@ -576,6 +618,7 @@ let open_dir ?page_size ?(record_threshold = 2048)
          degrade e);
     t.degraded <- !degraded;
     t.last_recovery <- !last_recovery;
+    apply_config t;
     t
   end
 
@@ -611,6 +654,9 @@ let create_table t ~name ~columns =
       let tbl =
         { tname = name; tid = List.length t.tables + 1; base; xml_columns; next_docid = 1 }
       in
+      List.iter
+        (fun (_, xc) -> Doc_store.set_readahead xc.store t.config.readahead)
+        xml_columns;
       t.tables <- t.tables @ [ (name, tbl) ];
       tbl)
   |> fun tbl ->
@@ -1006,39 +1052,57 @@ let apply_pending t ts op =
       (* tolerate a concurrent immediate drop between staging and commit *)
       if has_index xc p_name then do_drop_index t xc p_name
 
+(* Commit runs in two phases. Phase 1, under [write_lock]: replay the
+   staged statements, append the Commit record and release locks — the
+   only part that touches shared in-memory state, so concurrent
+   [Database.commit] calls are safe. Phase 2, outside the lock: wait for
+   the Commit record to reach stable storage via the WAL's group commit —
+   N committers in flight share ~1 fsync instead of paying one each.
+   Releasing locks before the durability wait is sound because any later
+   flush covers this record's LSN (no one can observe a state the log
+   cannot reproduce). *)
 let commit t txn =
-  ensure_txn_open txn;
-  txn.txn_open <- false;
-  t.active_txns <- List.filter (fun x -> x != txn) t.active_txns;
-  let ops = List.rev txn.pending in
-  (match
-     Rx_txn.Transaction.run_as txn.tx (fun () ->
-         let ts = t.commit_ts + 1 in
-         List.iter (apply_pending t ts) ops;
-         (* reclaim staged working storage: every staged handle in [locals]
-            is either a consumed insert image or a private working copy *)
-         Hashtbl.iter
-           (fun _ st ->
-             match st with
-             | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
-             | L_deleted -> ())
-           txn.locals;
-         t.commit_ts <- ts)
-   with
-  | () -> ignore (Rx_txn.Transaction.commit txn.tx)
-  | exception e ->
-      (* commit replay failed: physically roll back this transaction's page
-         updates; the durable state is consistent after reopen (recovery
-         treats it as a loser), but this in-memory handle may be stale *)
-      ignore (Rx_txn.Transaction.abort txn.tx);
-      Rx_obs.Metrics.(incr (counter t.metrics "txn.abort"));
-      maybe_purge t;
-      raise e);
-  Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
-  (* staged DDL became effective above; make it durable like immediate DDL *)
-  if List.exists (function P_drop_index _ -> true | _ -> false) ops then
-    save_catalog t;
-  maybe_purge t
+  let await =
+    Mutex.protect t.write_lock (fun () ->
+        ensure_txn_open txn;
+        txn.txn_open <- false;
+        t.active_txns <- List.filter (fun x -> x != txn) t.active_txns;
+        let ops = List.rev txn.pending in
+        match
+          Rx_txn.Transaction.run_as txn.tx (fun () ->
+              let ts = t.commit_ts + 1 in
+              List.iter (apply_pending t ts) ops;
+              (* reclaim staged working storage: every staged handle in
+                 [locals] is either a consumed insert image or a private
+                 working copy *)
+              Hashtbl.iter
+                (fun _ st ->
+                  match st with
+                  | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
+                  | L_deleted -> ())
+                txn.locals;
+              t.commit_ts <- ts)
+        with
+        | () ->
+            let _, await = Rx_txn.Transaction.precommit txn.tx in
+            Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
+            (* staged DDL became effective above; make it durable like
+               immediate DDL *)
+            if List.exists (function P_drop_index _ -> true | _ -> false) ops
+            then save_catalog t;
+            maybe_purge t;
+            await
+        | exception e ->
+            (* commit replay failed: physically roll back this transaction's
+               page updates; the durable state is consistent after reopen
+               (recovery treats it as a loser), but this in-memory handle may
+               be stale *)
+            ignore (Rx_txn.Transaction.abort txn.tx);
+            Rx_obs.Metrics.(incr (counter t.metrics "txn.abort"));
+            maybe_purge t;
+            raise e)
+  in
+  await ()
 
 let close t =
   (* a handle abandoned mid-transaction rolls back, like a dropped session *)
@@ -1179,6 +1243,86 @@ let insert ?txn t ~table ?(values = []) ?(xml = []) () =
               }
             :: txn.pending;
           docid)
+
+(* Bulk load: one auto-committed transaction for the whole batch. Cost
+   model vs a per-[insert] loop: one table-level X lock instead of one
+   document lock each, heap placement that probes the free-space map per
+   page instead of per record, index maintenance batched per index, and a
+   single WAL flush (one fsync) at commit. *)
+let insert_many ?docids t ~table ~column docs =
+  ensure_writable t;
+  let tbl = table_exn t table in
+  let xc = xml_column_exn tbl column in
+  match docs with
+  | [] -> []
+  | _ ->
+      let n = List.length docs in
+      (* parse (and validate, when a schema is bound) every document before
+         any write, so bad input rejects the batch with nothing staged *)
+      let parsed = List.map (fun src -> parse_column_doc t xc src) docs in
+      let ids =
+        match docids with
+        | None -> List.init n (fun i -> tbl.next_docid + i)
+        | Some ids ->
+            if List.length ids <> n then
+              invalid_arg
+                "Database.insert_many: docids/documents length mismatch";
+            let seen = Hashtbl.create n in
+            List.iter
+              (fun d ->
+                if Hashtbl.mem seen d then
+                  invalid_arg
+                    (Printf.sprintf "Database.insert_many: duplicate DocID %d"
+                       d);
+                Hashtbl.add seen d ();
+                if
+                  Base_table.fetch_by_docid tbl.base d <> None
+                  || Doc_store.mem xc.store ~docid:d
+                then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Database.insert_many: DocID %d already exists" d))
+              ids;
+            ids
+      in
+      in_txn_as t (fun atx ->
+          (* one lock escalation: table-level X instead of per-document *)
+          acquire_resource t ~on_self:ignore atx (Rx_txn.Resource.Table tbl.tid)
+            Rx_txn.Lock_modes.X;
+          let triples =
+            Doc_store.insert_tokens_bulk xc.store (List.combine ids parsed)
+          in
+          (* maintenance batched per index (observers were not fired) *)
+          List.iter
+            (fun idx ->
+              List.iter
+                (fun (docid, rid, record) ->
+                  Value_index.index_record idx ~docid ~rid ~record
+                    ~store:(Some xc.store))
+                triples)
+            xc.indexes;
+          List.iter
+            (fun (_, ti) ->
+              List.iter
+                (fun (docid, rid, record) ->
+                  Rx_fulltext.Text_index.index_record ti ~docid ~rid ~record)
+                triples)
+            xc.text_indexes;
+          ignore
+            (Base_table.insert_many tbl.base
+               (List.map
+                  (fun docid ->
+                    (docid, build_row tbl ~values:[] ~xml:[ (column, "") ] docid))
+                  ids));
+          let maxid = List.fold_left max 0 ids in
+          if maxid + 1 > tbl.next_docid then tbl.next_docid <- maxid + 1;
+          (* concurrent snapshots must not see the batch *)
+          if t.active_txns <> [] then begin
+            let ts = t.commit_ts + 1 in
+            List.iter (fun docid -> Hashtbl.replace xc.created docid ts) ids;
+            t.commit_ts <- ts
+          end;
+          ids)
 
 let delete ?txn t ~table ~docid =
   ensure_writable t;
@@ -1698,15 +1842,26 @@ let run_prepared ?txn t p =
           in
           exec_prepared t p)
 
-(* propagate a scan readahead window to every column store (heap chains
-   and node-index leaf walks); [n <= 1] disables readahead *)
-let set_readahead t n =
-  List.iter
-    (fun (_, tbl) ->
-      List.iter
-        (fun (_, xc) -> Doc_store.set_readahead xc.store n)
-        tbl.xml_columns)
-    t.tables
+(* deprecated alias for the [readahead] config field *)
+let set_readahead t n = set_config t { t.config with readahead = n }
+
+(* --- error surface --- *)
+
+let error_to_string = function
+  | Busy { txid; blockers } ->
+      Some
+        (Printf.sprintf "busy: transaction %d blocked by [%s]" txid
+           (String.concat "; " (List.map string_of_int blockers)))
+  | Read_only { reason } -> Some (Printf.sprintf "read-only: %s" reason)
+  | Rx_txn.Lock_manager.Deadlock { victim; cycle } ->
+      Some
+        (Printf.sprintf "deadlock: victim %d in cycle [%s]" victim
+           (String.concat " -> " (List.map string_of_int cycle)))
+  | Pager.Corrupt_page { page_no; _ } ->
+      Some (Printf.sprintf "corrupt page %d (checksum mismatch)" page_no)
+  | Rx_wal.Log_manager.Corrupt_record { lsn } ->
+      Some (Printf.sprintf "corrupt WAL record at LSN %Ld" lsn)
+  | _ -> None
 
 (* --- stats --- *)
 

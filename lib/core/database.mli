@@ -61,19 +61,68 @@ type result = {
           it ran, as [(counter name, delta)] pairs sorted by name *)
 }
 
+type config = {
+  auto_checkpoint : bool;  (** fire checkpoints automatically (default on) *)
+  checkpoint_wal_bytes : int;
+      (** checkpoint once this many WAL bytes accumulate since the last one *)
+  checkpoint_wal_records : int;
+      (** ... or this many WAL records, whichever comes first *)
+  readahead : int;
+      (** sequential-readahead window (pages per batched read) on every XML
+          column store — heap-chain scans and node-index leaf walks
+          prefetch upcoming pages in one pager read. [<= 1] disables;
+          default 8. Effectiveness shows in the
+          [bufpool.readahead.{batches,pages,wasted}] counters. *)
+  plan_cache_capacity : int;
+      (** entries in the LRU prepared-plan cache (default 128); see
+          {!prepare}. Changing it via {!set_config} recreates the cache,
+          dropping cached plans. *)
+  commit_window_us : int;
+      (** microseconds a group-commit leader holds its window open so
+          concurrent committers can share its fsync (default 0 = flush
+          immediately); see {!commit}. Only consulted when other
+          transactions are active. *)
+  wal_buffer_bytes : int;
+      (** staged-but-unwritten WAL bytes beyond which an append spills the
+          write buffer to the file, without fsync (default 256 KiB) —
+          bounds the size of the write a commit's flush performs. *)
+}
+(** Engine tuning in one record: automatic-checkpoint policy, the read
+    path's readahead and plan-cache knobs, and the write path's
+    group-commit and WAL-buffer knobs. The checkpoint trigger is evaluated
+    after every auto-commit operation and every explicit {!commit}; it
+    fires only when no transaction is in flight (checkpointing truncates
+    the log, so in-flight transactions must not have records there).
+    Checkpoints are counted in the [ckpt.auto] / [ckpt.manual] metrics and
+    traced as [db.checkpoint] spans. *)
+
+val default_config : config
+(** [auto_checkpoint = true], 4 MiB, 50k records; [readahead = 8],
+    [plan_cache_capacity = 128], [commit_window_us = 0],
+    [wal_buffer_bytes = 256 KiB]. *)
+
+val config : t -> config
+(** The handle's current configuration (starts as the [?config] passed at
+    open, or {!default_config}). *)
+
+val set_config : t -> config -> unit
+(** Replaces the configuration and pushes the tuning knobs down to the
+    layers that own them (column stores, WAL). Takes effect immediately;
+    not thread-safe with concurrent operations. *)
+
 val create_in_memory :
   ?page_size:int ->
   ?record_threshold:int ->
-  ?plan_cache_capacity:int ->
+  ?config:config ->
   unit ->
   t
-(** [plan_cache_capacity] bounds the LRU prepared-plan cache (default 128
-    entries); see {!prepare}. *)
+(** A database on an in-memory pager and WAL (nothing survives the
+    process); [config] defaults to {!default_config}. *)
 
 val open_dir :
   ?page_size:int ->
   ?record_threshold:int ->
-  ?plan_cache_capacity:int ->
+  ?config:config ->
   string ->
   t
 (** Opens (creating if needed) a database in a directory: [data.rxdb] pages
@@ -90,26 +139,6 @@ val checkpoint : t -> unit
     truncates it. Durable state is complete as of the call; must not run
     concurrently with an explicit transaction.
     @raise Read_only on a degraded handle. *)
-
-type config = {
-  auto_checkpoint : bool;  (** fire checkpoints automatically (default on) *)
-  checkpoint_wal_bytes : int;
-      (** checkpoint once this many WAL bytes accumulate since the last one *)
-  checkpoint_wal_records : int;
-      (** ... or this many WAL records, whichever comes first *)
-}
-(** Policy knobs for automatic checkpointing. A trigger is evaluated after
-    every auto-commit operation and every explicit {!commit}; it fires only
-    when no transaction is in flight (checkpointing truncates the log, so
-    in-flight transactions must not have records there). Checkpoints are
-    counted in the [ckpt.auto] / [ckpt.manual] metrics and traced as
-    [db.checkpoint] spans. *)
-
-val default_config : config
-(** [auto_checkpoint = true], 4 MiB, 50k records. *)
-
-val config : t -> config
-val set_config : t -> config -> unit
 
 val health : t -> [ `Healthy | `Degraded of string ]
 (** [`Degraded reason] when corruption was detected while opening: the
@@ -163,7 +192,14 @@ val begin_txn : t -> txn
 val commit : t -> txn -> unit
 (** Atomically applies the transaction's staged statements to the current
     state (value/text indexes are maintained here — index maintenance is
-    deferred to commit), forces the WAL, and releases locks.
+    deferred to commit), releases locks, and waits for the Commit record to
+    reach stable storage. The durability wait goes through the WAL's group
+    commit: concurrent [commit] calls share one fsync (a leader flushes for
+    the group, optionally holding the window open for
+    [config.commit_window_us]), so N committers cost ~1 fsync instead of N.
+    [commit] is the {e only} operation on a handle that may be called from
+    multiple threads concurrently; everything else must be externally
+    serialized.
     @raise Invalid_argument if the transaction is not open. *)
 
 val rollback : t -> txn -> unit
@@ -182,6 +218,7 @@ val create_table :
 
 val table : t -> string -> table option
 val list_tables : t -> string list
+(** Table names in creation order. *)
 
 val register_schema : t -> name:string -> xsd:string -> unit
 (** Compiles the XSD to its binary form and stores it in the catalog
@@ -246,9 +283,33 @@ val insert :
     staged (invisible to other sessions) until {!commit}.
     @raise Rx_xml.Parser.Parse_error / Rx_schema.Validator.Validation_error *)
 
+val insert_many :
+  ?docids:int list -> t -> table:string -> column:string -> string list -> int list
+(** Bulk load: inserts every document into [column] (one row each) as a
+    {e single} auto-committed transaction — all documents become visible
+    and durable together, or none do. The batch takes one table-level X
+    lock instead of a lock per document, places records through the heap
+    file's batch path (free-space map probed per page, not per record),
+    runs value/text index maintenance batched per index, and pays one WAL
+    flush (one fsync) at commit. Every document is parsed (and validated,
+    when a schema is bound) before anything is written, so a bad document
+    or a duplicate [docids] entry rejects the whole batch with the
+    database unchanged. DocIDs are allocated consecutively unless [docids]
+    provides them (same length as the batch, all unused). Returns the
+    batch's DocIDs in order. Concurrent snapshots opened before the call
+    do not see the batch.
+    @raise Invalid_argument on a docid collision or length mismatch.
+    @raise Rx_xml.Parser.Parse_error / Rx_schema.Validator.Validation_error *)
+
 val delete : ?txn:txn -> t -> table:string -> docid:int -> unit
+(** Deletes the row (and its XML documents, with pre-images retained for
+    live snapshots). With [?txn] the delete is staged until {!commit}. *)
+
 val fetch_row : t -> table:string -> docid:int -> Rx_relational.Value.t array option
+(** The base-table row for a DocID, if present. *)
+
 val row_count : t -> table:string -> int
+(** Rows currently in the table's base table. *)
 
 val document : ?txn:txn -> t -> table:string -> column:string -> docid:int -> string
 (** Serialized XML column value (at the transaction's snapshot when [?txn]
@@ -336,11 +397,9 @@ val invalidate_plans : t -> unit
     automatically; explicit use is for benchmarks and tests. *)
 
 val set_readahead : t -> int -> unit
-(** Sets the sequential-readahead window (pages per batched read) on every
-    XML column store — heap-chain scans and node-index leaf walks prefetch
-    upcoming pages in one pager read. [n <= 1] disables readahead; the
-    default window is 8. Effectiveness shows in the
-    [bufpool.readahead.{batches,pages,wasted}] counters. *)
+  [@@ocaml.deprecated "use set_config with the config.readahead field"]
+(** Deprecated alias for [set_config t { (config t) with readahead = n }];
+    kept for one release. *)
 
 val run :
   ?ns_env:(string * string) list ->
@@ -367,6 +426,16 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Structural totals across all tables (documents, records, index
+    entries, pages, log bytes); also mirrored as [db.*] registry gauges. *)
+
+val error_to_string : exn -> string option
+(** One-line rendering of the engine's public failure exceptions —
+    {!Busy}, {!Read_only}, {!Rx_txn.Lock_manager.Deadlock},
+    {!Rx_storage.Pager.Corrupt_page} and
+    {!Rx_wal.Log_manager.Corrupt_record} — or [None] for any other
+    exception. The stable surface CLIs map to exit codes; see the
+    DESIGN.md error table. *)
 
 val column_store : t -> table:string -> column:string -> Rx_xmlstore.Doc_store.t
 (** Direct access to a column's document store (benchmarks). *)

@@ -69,6 +69,19 @@ let insert t ~docid values =
   Rx_btree.Btree.insert t.docid_index ~key:(docid_key docid) ~value:(rid_value rid);
   rid
 
+let insert_many t rows =
+  List.iter (fun (_, values) -> check_row t values) rows;
+  let rids =
+    Heap_file.insert_many t.heap
+      (List.map (fun (docid, values) -> encode_stored ~docid values) rows)
+  in
+  List.iter2
+    (fun (docid, _) rid ->
+      Rx_btree.Btree.insert t.docid_index ~key:(docid_key docid)
+        ~value:(rid_value rid))
+    rows rids;
+  rids
+
 let lookup_rid t docid =
   Option.map
     (fun v -> Rid.decode (Bytes_io.Reader.of_string v))

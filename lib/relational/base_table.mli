@@ -22,6 +22,13 @@ val column_index : t -> string -> int option
 val insert : t -> docid:int -> Value.t array -> Rx_storage.Rid.t
 (** @raise Invalid_argument on arity or type mismatch. *)
 
+val insert_many : t -> (int * Value.t array) list -> Rx_storage.Rid.t list
+(** Batch {!insert}: validates every row up front, places all rows through
+    {!Rx_storage.Heap_file.insert_many} (one journaled page image per filled
+    page rather than per row), then maintains the DocID index. Returns the
+    RIDs in row order.
+    @raise Invalid_argument on any arity or type mismatch. *)
+
 val fetch_by_docid : t -> int -> Value.t array option
 val delete_by_docid : t -> int -> bool
 val iter : (int -> Value.t array -> unit) -> t -> unit

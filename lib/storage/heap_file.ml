@@ -121,6 +121,17 @@ let data_pages t = Hashtbl.length t.free_map
 
 let overflow_pages t = Buffer_pool.with_page t.pool t.header hdr_ovf
 
+(* Append a fresh data page to the chain and register it in the free map. *)
+let extend_chain t =
+  let fresh = new_data_page t.pool in
+  Buffer_pool.update t.pool t.last_page (fun page ->
+      Slotted_page.set_next_page page fresh);
+  Buffer_pool.update t.pool t.header (fun page -> hdr_set_last page fresh);
+  Hashtbl.replace t.free_map fresh
+    (Buffer_pool.with_page t.pool fresh Slotted_page.free_space);
+  t.last_page <- fresh;
+  fresh
+
 (* Choose a data page with at least [need] free bytes; extend the chain if
    none qualifies. *)
 let page_for t need =
@@ -134,17 +145,7 @@ let page_for t need =
          end)
        t.free_map
    with Exit -> ());
-  match !found with
-  | Some p -> p
-  | None ->
-      let fresh = new_data_page t.pool in
-      Buffer_pool.update t.pool t.last_page (fun page ->
-          Slotted_page.set_next_page page fresh);
-      Buffer_pool.update t.pool t.header (fun page -> hdr_set_last page fresh);
-      Hashtbl.replace t.free_map fresh
-        (Buffer_pool.with_page t.pool fresh Slotted_page.free_space);
-      t.last_page <- fresh;
-      fresh
+  match !found with Some p -> p | None -> extend_chain t
 
 let overflow_chunk_capacity t = Buffer_pool.page_size t.pool - 22
 
@@ -264,6 +265,50 @@ let insert t payload =
   let rid = try_insert 0 in
   bump_count t 1;
   rid
+
+let insert_many t payloads =
+  match payloads with
+  | [] -> []
+  | _ ->
+      (* Encode first: overflow chains are written as a side effect here,
+         before any data-page placement. *)
+      let cells = List.map (fun p -> encode_cell t p) payloads in
+      let rids = ref [] in
+      (* Fill one page at a time under a single [Buffer_pool.update]:
+         consecutive cells land on the same page until it rejects one, so
+         the free-space map is probed once per page transition instead of
+         once per record. *)
+      let rec place page_no cells =
+        match cells with
+        | [] -> ()
+        | _ :: _ ->
+            let rest =
+              Buffer_pool.update t.pool page_no (fun page ->
+                  let rec fill = function
+                    | [] -> []
+                    | cell :: tl as l -> (
+                        match Slotted_page.insert page cell with
+                        | Some slot ->
+                            rids := Rid.make ~page:page_no ~slot :: !rids;
+                            fill tl
+                        | None -> l)
+                  in
+                  let rest = fill cells in
+                  refresh_free t page_no page;
+                  rest)
+            in
+            (match rest with
+            | [] -> ()
+            | cell :: _ ->
+                let next = page_for t (String.length cell) in
+                (* a page that just rejected this cell can still win the
+                   free-map probe on stale arithmetic; force fresh space *)
+                let next = if next = page_no then extend_chain t else next in
+                place next rest)
+      in
+      place (page_for t (String.length (List.hd cells))) cells;
+      bump_count t (List.length payloads);
+      List.rev !rids
 
 let read t (rid : Rid.t) =
   prefetch_window t rid.Rid.page;

@@ -21,6 +21,13 @@ val insert : t -> string -> Rid.t
     The change is journaled through the buffer pool; durability follows the
     enclosing transaction's commit. *)
 
+val insert_many : t -> string list -> Rid.t list
+(** Batch {!insert}: places the records in order, filling each chosen page
+    to capacity under a single journaled page update before probing the
+    free-space map for the next — one probe per page transition rather than
+    per record, and one record-count bump for the whole batch. Returns the
+    RIDs in payload order. *)
+
 val read : t -> Rid.t -> string
 (** Fetches a record by RID, reassembling overflow chains.
     @raise Invalid_argument if the slot is dead or out of range. *)

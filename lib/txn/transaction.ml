@@ -78,15 +78,34 @@ let finish t =
   Lock_manager.cancel_waits t.mgr.locks ~txid:t.id;
   Lock_manager.release_all t.mgr.locks ~txid:t.id
 
-let commit t =
+let precommit t =
   ensure_active t;
-  (match t.mgr.log with
-  | Some log ->
-      ignore (Rx_wal.Log_manager.append log (Rx_wal.Log_record.Commit { txid = t.id }));
-      Rx_wal.Log_manager.flush log
-  | None -> ());
+  let durability =
+    match t.mgr.log with
+    | Some log ->
+        let lsn =
+          Rx_wal.Log_manager.append log
+            (Rx_wal.Log_record.Commit { txid = t.id })
+        in
+        Some (log, lsn)
+    | None -> None
+  in
   t.state <- Committed;
-  finish t
+  let unlocked = finish t in
+  (* the wait hint is taken *after* [finish] decremented us: a window is
+     only worth holding open when other committers may still arrive *)
+  let wait = t.mgr.active > 0 in
+  let await () =
+    match durability with
+    | Some (log, lsn) -> Rx_wal.Log_manager.group_commit log ~wait lsn
+    | None -> ()
+  in
+  (unlocked, await)
+
+let commit t =
+  let unlocked, await = precommit t in
+  await ();
+  unlocked
 
 let abort ?undo t =
   ensure_active t;

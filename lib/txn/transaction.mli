@@ -48,8 +48,19 @@ val lock_detect :
     queued either way; it is cancelled when the transaction finishes. *)
 
 val commit : t -> int list
-(** Forces the log, releases locks; returns transactions whose queued lock
-    requests were granted by the release. *)
+(** Forces the log (via group commit), releases locks; returns transactions
+    whose queued lock requests were granted by the release. Equivalent to
+    {!precommit} followed immediately by its durability wait. *)
+
+val precommit : t -> int list * (unit -> unit)
+(** First half of {!commit}: appends the Commit record, marks the
+    transaction committed and releases its locks, but does {e not} wait
+    for durability. Returns the newly grantable transactions plus an
+    [await] thunk that blocks until the Commit record is on stable storage
+    (one {!Rx_wal.Log_manager.group_commit}, shared with concurrent
+    committers). Callers must invoke [await] before reporting the commit
+    as durable; releasing locks first is safe because any later flush
+    covers this record's LSN. *)
 
 val abort : ?undo:(unit -> unit) -> t -> int list
 (** Rolls back, releases locks; same return as {!commit}. Without [undo],

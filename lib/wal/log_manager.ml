@@ -1,19 +1,27 @@
 (* Record framing on the wire: u32 payload length, u32 CRC-32 of the
    payload, then the payload. The in-memory image [contents] always mirrors
    every frame appended since the last truncation; for the file backend,
-   [durable] tracks how much of it has been written + fsynced.
+   [written] tracks how much of it has reached the fd and [durable] how
+   much of *that* has been fsynced ([durable <= written <= length]).
 
    The file starts with a 16-byte header: the magic "RXWAL001" followed by
    the 8-byte base LSN. LSNs are [base + offset-in-log]; truncation
    advances the base to the old tail instead of resetting to zero, so LSNs
    stay monotonic across checkpoints and page LSNs stamped before a
-   truncation can never alias a post-truncation record. *)
+   truncation can never alias a post-truncation record.
+
+   Concurrency: appends are serialized by the engine's write path, but
+   [flush] / [flush_to] / [group_commit] may be called from concurrent
+   committers. All state lives under [lock]; the physical write + fsync
+   happen with the lock released and [flushing] set, so exactly one leader
+   owns the fd at a time while followers wait on [flushed]. *)
 
 type backend = Memory | File of Unix.file_descr
 
 let magic = "RXWAL001"
 let header_size = 16
 let frame_overhead = 8
+let default_buffer_limit = 256 * 1024
 
 exception Corrupt_record of { lsn : int64 }
 
@@ -28,14 +36,23 @@ type t = {
   mutable contents : Buffer.t;
   mutable base : int64; (* LSN of the first byte of [contents] *)
   mutable durable : int; (* bytes of [contents] written + fsynced *)
+  mutable written : int; (* bytes of [contents] written to the fd *)
   mutable appended : int;
   mutable records : int; (* frames currently in [contents] *)
   mutable torn_tail : int; (* bytes discarded as a torn tail at open *)
+  mutable buffer_limit : int; (* staged bytes beyond which append spills *)
+  mutable commit_window_us : int; (* group-commit leader wait *)
+  mutable flushing : bool; (* a leader owns the write+fsync path *)
+  lock : Mutex.t;
+  flushed : Condition.t; (* broadcast when a leader finishes (or fails) *)
   mutable fault : Rx_storage.Fault.t option;
   c_records : Rx_obs.Metrics.counter;
   c_bytes : Rx_obs.Metrics.counter;
   c_syncs : Rx_obs.Metrics.counter;
   c_torn : Rx_obs.Metrics.counter;
+  c_gc_groups : Rx_obs.Metrics.counter;
+  c_gc_absorbed : Rx_obs.Metrics.counter;
+  c_gc_syncs : Rx_obs.Metrics.counter;
 }
 
 let counters metrics =
@@ -43,23 +60,38 @@ let counters metrics =
     ( counter metrics "wal.records",
       counter metrics "wal.bytes_appended",
       counter metrics "wal.forced_syncs",
-      counter metrics "wal.torn_tail_bytes" )
+      counter metrics "wal.torn_tail_bytes",
+      counter metrics "wal.group_commit.groups",
+      counter metrics "wal.group_commit.absorbed",
+      counter metrics "wal.group_commit.fsyncs" )
 
 let create_in_memory ?(metrics = Rx_obs.Metrics.default) () =
-  let c_records, c_bytes, c_syncs, c_torn = counters metrics in
+  let c_records, c_bytes, c_syncs, c_torn, c_gc_groups, c_gc_absorbed, c_gc_syncs
+      =
+    counters metrics
+  in
   {
     backend = Memory;
     contents = Buffer.create 4096;
     base = 0L;
     durable = 0;
+    written = 0;
     appended = 0;
     records = 0;
     torn_tail = 0;
+    buffer_limit = default_buffer_limit;
+    commit_window_us = 0;
+    flushing = false;
+    lock = Mutex.create ();
+    flushed = Condition.create ();
     fault = None;
     c_records;
     c_bytes;
     c_syncs;
     c_torn;
+    c_gc_groups;
+    c_gc_absorbed;
+    c_gc_syncs;
   }
 
 let crc_of_payload s = Int32.to_int (Rx_util.Crc32.of_string s) land 0xFFFFFFFF
@@ -95,7 +127,10 @@ let write_header fd base =
   w 0
 
 let open_file ?(metrics = Rx_obs.Metrics.default) path =
-  let c_records, c_bytes, c_syncs, c_torn = counters metrics in
+  let c_records, c_bytes, c_syncs, c_torn, c_gc_groups, c_gc_absorbed, c_gc_syncs
+      =
+    counters metrics
+  in
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
   let contents = Buffer.create (max 4096 size) in
@@ -140,17 +175,32 @@ let open_file ?(metrics = Rx_obs.Metrics.default) path =
     contents;
     base = !base;
     durable = Buffer.length contents;
+    written = Buffer.length contents;
     appended = Buffer.length contents;
     records = !records;
     torn_tail = !torn_tail;
+    buffer_limit = default_buffer_limit;
+    commit_window_us = 0;
+    flushing = false;
+    lock = Mutex.create ();
+    flushed = Condition.create ();
     fault = None;
     c_records;
     c_bytes;
     c_syncs;
     c_torn;
+    c_gc_groups;
+    c_gc_absorbed;
+    c_gc_syncs;
   }
 
 let set_fault t fault = t.fault <- fault
+
+let set_commit_window t us =
+  Mutex.protect t.lock (fun () -> t.commit_window_us <- max 0 us)
+
+let set_buffer_limit t bytes =
+  Mutex.protect t.lock (fun () -> t.buffer_limit <- max 0 bytes)
 
 let frame record =
   let payload = Log_record.encode record in
@@ -162,41 +212,130 @@ let frame record =
   Rx_util.Bytes_io.Writer.bytes w payload;
   Rx_util.Bytes_io.Writer.contents w
 
-let tail_lsn t = Int64.add t.base (Int64.of_int (Buffer.length t.contents))
-let durable_lsn t = Int64.add t.base (Int64.of_int t.durable)
+let tail_lsn_u t = Int64.add t.base (Int64.of_int (Buffer.length t.contents))
+let durable_lsn_u t = Int64.add t.base (Int64.of_int t.durable)
+let tail_lsn t = Mutex.protect t.lock (fun () -> tail_lsn_u t)
+let durable_lsn t = Mutex.protect t.lock (fun () -> durable_lsn_u t)
+
+(* Write [chunk] (which is [contents[from, from+len)]) at its file offset.
+   No locking here: the caller either holds [lock] (append spill) or owns
+   [flushing] (leader flush), so no one else touches the fd. *)
+let write_file t fd ~from chunk =
+  let bytes = Bytes.of_string chunk in
+  Rx_storage.Fault.wrap_write t.fault ~op:"wal.write" ~len:(Bytes.length bytes)
+    ~write:(fun n ->
+      ignore (Unix.lseek fd (header_size + from) Unix.SEEK_SET);
+      let rec write pos =
+        if pos < n then write (pos + Unix.write fd bytes pos (n - pos))
+      in
+      write 0)
 
 let append t record =
-  let lsn = tail_lsn t in
-  let framed = frame record in
-  Buffer.add_string t.contents framed;
-  t.appended <- t.appended + String.length framed;
-  t.records <- t.records + 1;
-  Rx_obs.Metrics.incr t.c_records;
-  Rx_obs.Metrics.add t.c_bytes (String.length framed);
-  lsn
+  Mutex.protect t.lock (fun () ->
+      let lsn = tail_lsn_u t in
+      let framed = frame record in
+      Buffer.add_string t.contents framed;
+      t.appended <- t.appended + String.length framed;
+      t.records <- t.records + 1;
+      Rx_obs.Metrics.incr t.c_records;
+      Rx_obs.Metrics.add t.c_bytes (String.length framed);
+      (match t.backend with
+       | File fd
+         when (not t.flushing)
+              && Buffer.length t.contents - t.written > t.buffer_limit ->
+           (* spill: batch-write every staged frame, no fsync. Bounds the
+              write the next flush performs without claiming durability —
+              if the process dies first the spilled frames heal as a torn
+              (or merely unreferenced) tail. Skipped while a leader owns
+              the fd. *)
+           let until = Buffer.length t.contents in
+           write_file t fd ~from:t.written
+             (Buffer.sub t.contents t.written (until - t.written));
+           t.written <- until
+       | _ -> ());
+      lsn)
 
-let flush t =
-  if Buffer.length t.contents > t.durable then Rx_obs.Metrics.incr t.c_syncs;
-  match t.backend with
-  | Memory -> t.durable <- Buffer.length t.contents
-  | File fd ->
-      let total = Buffer.length t.contents in
-      if total > t.durable then begin
-        let chunk = Buffer.sub t.contents t.durable (total - t.durable) in
-        let bytes = Bytes.of_string chunk in
-        Rx_storage.Fault.wrap_write t.fault ~op:"wal.write"
-          ~len:(Bytes.length bytes) ~write:(fun n ->
-            ignore (Unix.lseek fd (header_size + t.durable) Unix.SEEK_SET);
-            let rec write pos =
-              if pos < n then write (pos + Unix.write fd bytes pos (n - pos))
-            in
-            write 0);
-        Rx_storage.Fault.wrap_fsync t.fault ~op:"wal.fsync" ~sync:(fun () ->
-            Unix.fsync fd);
-        t.durable <- total
-      end
+(* Flush everything appended so far; caller holds [lock]. If a leader is
+   already writing, wait for it and re-check — it may have snapshotted a
+   shorter tail than we need. *)
+let rec flush_locked t =
+  let target = Buffer.length t.contents in
+  if t.durable < target then
+    if t.flushing then begin
+      Condition.wait t.flushed t.lock;
+      flush_locked t
+    end
+    else begin
+      Rx_obs.Metrics.incr t.c_syncs;
+      match t.backend with
+      | Memory ->
+          t.written <- target;
+          t.durable <- target
+      | File fd ->
+          t.flushing <- true;
+          let from = t.written in
+          let chunk =
+            if target > from then Buffer.sub t.contents from (target - from)
+            else ""
+          in
+          Mutex.unlock t.lock;
+          let outcome =
+            try
+              if chunk <> "" then write_file t fd ~from chunk;
+              Rx_storage.Fault.wrap_fsync t.fault ~op:"wal.fsync"
+                ~sync:(fun () -> Unix.fsync fd);
+              None
+            with e -> Some e
+          in
+          Mutex.lock t.lock;
+          t.flushing <- false;
+          Condition.broadcast t.flushed;
+          (match outcome with
+          | None ->
+              if target > t.written then t.written <- target;
+              if target > t.durable then t.durable <- target
+          | Some e -> raise e)
+    end
 
-let flush_to t lsn = if Int64.compare (durable_lsn t) lsn < 0 then flush t
+let flush t = Mutex.protect t.lock (fun () -> flush_locked t)
+
+let flush_to t lsn =
+  Mutex.protect t.lock (fun () ->
+      if Int64.compare (durable_lsn_u t) lsn < 0 then flush_locked t)
+
+let group_commit t ?(wait = true) lsn =
+  Mutex.protect t.lock (fun () ->
+      let pending () = Int64.compare (durable_lsn_u t) lsn < 0 in
+      let led = ref false in
+      let rec loop () =
+        if pending () then
+          if t.flushing then begin
+            (* follower: a leader's flush is in flight; wait for its
+               broadcast — it usually covers our LSN too *)
+            Condition.wait t.flushed t.lock;
+            loop ()
+          end
+          else begin
+            led := true;
+            (match t.backend with
+            | File _ when wait && t.commit_window_us > 0 ->
+                (* leader: hold the window open (reserving leadership so
+                   no one else fsyncs early) so concurrent committers can
+                   append their commit records and share this fsync *)
+                t.flushing <- true;
+                Mutex.unlock t.lock;
+                Unix.sleepf (float_of_int t.commit_window_us /. 1e6);
+                Mutex.lock t.lock;
+                t.flushing <- false
+            | _ -> ());
+            Rx_obs.Metrics.incr t.c_gc_groups;
+            Rx_obs.Metrics.incr t.c_gc_syncs;
+            flush_locked t;
+            loop ()
+          end
+      in
+      loop ();
+      if not !led then Rx_obs.Metrics.incr t.c_gc_absorbed)
 
 let iter t ?(from = 0L) f =
   let s = Buffer.contents t.contents in
@@ -231,16 +370,21 @@ let records_rev t =
   !acc
 
 let truncate t =
-  t.base <- tail_lsn t;
-  Buffer.clear t.contents;
-  t.durable <- 0;
-  t.records <- 0;
-  match t.backend with
-  | Memory -> ()
-  | File fd ->
-      Unix.ftruncate fd header_size;
-      write_header fd t.base;
-      Unix.fsync fd
+  Mutex.protect t.lock (fun () ->
+      while t.flushing do
+        Condition.wait t.flushed t.lock
+      done;
+      t.base <- tail_lsn_u t;
+      Buffer.clear t.contents;
+      t.durable <- 0;
+      t.written <- 0;
+      t.records <- 0;
+      match t.backend with
+      | Memory -> ()
+      | File fd ->
+          Unix.ftruncate fd header_size;
+          write_header fd t.base;
+          Unix.fsync fd)
 
 let appended_bytes t = t.appended
 let record_count t = t.records

@@ -11,11 +11,19 @@
     frame that fails to decode mid-file is real corruption and raises
     {!Corrupt_record}.
 
-    Durability: {!append} only buffers; a record is durable once {!flush}
-    (write + fsync) has covered its LSN. Transaction commit calls
-    {!flush}; the buffer pool calls {!flush_to} before writing a page.
+    Durability: {!append} only stages the frame in the write buffer; a
+    record is durable once {!flush} / {!flush_to} / {!group_commit} (write
+    + fsync) has covered its LSN. Once the staged-but-unwritten span
+    exceeds {!set_buffer_limit} bytes, [append] batch-writes it to the fd
+    {e without} fsyncing — that bounds the write the next flush performs
+    while claiming no durability (spilled frames a crash strands are healed
+    like any torn tail).
 
-    Concurrency: not thread-safe; the engine serializes access. *)
+    Concurrency: {!append}, {!truncate}, {!iter} and {!records_rev} must be
+    externally serialized (the engine's write path holds its own lock
+    around them). {!flush}, {!flush_to} and {!group_commit} are
+    thread-safe: concurrent callers elect one leader that performs the
+    single write + fsync while the rest wait and absorb the result. *)
 
 type t
 
@@ -24,22 +32,50 @@ exception Corrupt_record of { lsn : int64 }
     (distinct from a torn tail, which is healed silently at open). *)
 
 val create_in_memory : ?metrics:Rx_obs.Metrics.t -> unit -> t
+(** A log with no backing file: flushes mark records durable without any
+    I/O. For tests and in-memory databases. *)
 
 val open_file : ?metrics:Rx_obs.Metrics.t -> string -> t
 (** Opens (creating if absent) a file-backed log, truncating any torn
     tail. [metrics] receives the [wal.records] / [wal.bytes_appended] /
-    [wal.forced_syncs] / [wal.torn_tail_bytes] counters (default: the
+    [wal.forced_syncs] / [wal.torn_tail_bytes] and
+    [wal.group_commit.{groups,absorbed,fsyncs}] counters (default: the
     global registry).
     @raise Failure on a bad magic. *)
 
 val append : t -> Log_record.t -> int64
-(** Appends and returns the record's LSN; does not force to disk. *)
+(** Appends and returns the record's LSN; does not force to disk (but may
+    spill staged frames to the fd, unfsynced, past the buffer limit). *)
 
 val flush : t -> unit
 (** Forces all appended records to stable storage (write + fsync). *)
 
 val flush_to : t -> int64 -> unit
-(** No-op if the LSN is already durable. *)
+(** No-op if the LSN is already durable, otherwise {!flush}. *)
+
+val group_commit : t -> ?wait:bool -> int64 -> unit
+(** [group_commit t lsn] makes the log durable at least up to [lsn],
+    sharing the fsync among concurrent committers: if a leader's flush is
+    already in flight the call waits for it (and usually returns without
+    any I/O of its own — counted in [wal.group_commit.absorbed]);
+    otherwise the caller becomes the leader, optionally holds the commit
+    window open (see {!set_commit_window}) so later committers can join
+    the group, then performs one write + fsync covering every record
+    appended so far ([wal.group_commit.groups] / [.fsyncs]). [wait]
+    (default [true]) is a hint that other committers are active and the
+    window is worth holding open; pass [false] when the caller is alone so
+    an uncontended commit pays no latency. *)
+
+val set_commit_window : t -> int -> unit
+(** Microseconds a group-commit leader holds its window open before
+    flushing (clamped at 0 = flush immediately, the default). Only
+    consulted when [group_commit ~wait:true] elects a leader on a
+    file-backed log. *)
+
+val set_buffer_limit : t -> int -> unit
+(** Staged-but-unwritten bytes beyond which {!append} spills the write
+    buffer to the fd (no fsync). Default 256 KiB; 0 writes frames through
+    on every append (still without fsync). *)
 
 val durable_lsn : t -> int64
 (** LSN up to which the log is on stable storage. *)
@@ -73,8 +109,8 @@ val torn_tail_bytes : t -> int
     clean log or the in-memory backend. *)
 
 val set_fault : t -> Rx_storage.Fault.t option -> unit
-(** Installs (or clears) a fault-injection handle consulted by the
-    physical write and fsync inside {!flush}. Testing only. *)
+(** Installs (or clears) a fault-injection handle consulted by every
+    physical write (flush and append-spill) and fsync. Testing only. *)
 
 val close : t -> unit
 (** Releases the backing file descriptor without flushing buffered

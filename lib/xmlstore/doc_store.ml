@@ -125,6 +125,35 @@ let insert_tokens t ~docid tokens =
     tokens;
   t.doc_count <- t.doc_count + 1
 
+let insert_tokens_bulk t docs =
+  (* Pack every document first, collecting (docid, record) in emit order,
+     then place the whole batch in the heap in one pass so the free-space
+     map is probed per page rather than per record. *)
+  let staged = ref [] in
+  List.iter
+    (fun (docid, tokens) ->
+      Packer.pack ~policy:t.policy ~threshold:t.threshold
+        ~emit:(fun ~min_id:_ ~record -> staged := (docid, record) :: !staged)
+        tokens)
+    docs;
+  let staged = List.rev !staged in
+  let rids = Heap_file.insert_many t.heap (List.map snd staged) in
+  let triples =
+    List.map2
+      (fun (docid, record) rid ->
+        t.record_bytes <- t.record_bytes + String.length record;
+        List.iter
+          (fun endpoint ->
+            Rx_btree.Btree.insert t.index
+              ~key:(index_key docid endpoint)
+              ~value:(rid_value rid))
+          (Record_format.interval_endpoints record);
+        (docid, rid, record))
+      staged rids
+  in
+  t.doc_count <- t.doc_count + List.length docs;
+  triples
+
 let insert_document t ~docid src = insert_tokens t ~docid (Parser.parse t.dict src)
 
 let fetch t rid =

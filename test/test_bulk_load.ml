@@ -1,0 +1,188 @@
+(* Bulk load ([Database.insert_many]): empty batches, atomic rejection of
+   bad batches, crash consistency mid-load, MVCC snapshot visibility, and
+   batched index maintenance. *)
+
+open Rx_storage
+open Systemrx
+open Rx_relational
+
+let check = Alcotest.check
+
+let with_temp_dir f =
+  let base = Filename.get_temp_dir_name () in
+  let rec fresh i =
+    let dir =
+      Filename.concat base (Printf.sprintf "rx_bulk_%d_%d" (Unix.getpid ()) i)
+    in
+    if Sys.file_exists dir then fresh (i + 1) else dir
+  in
+  let dir = fresh 0 in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun x -> rm_rf (Filename.concat path x)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let doc i =
+  Printf.sprintf "<book><title>Book %d</title><price>%d.5</price></book>" i
+    (i mod 100)
+
+let make_table db =
+  ignore
+    (Database.create_table db ~name:"books" ~columns:[ ("doc", Value.T_xml) ])
+
+(* --- empty batch --- *)
+
+let test_empty_batch () =
+  let db = Database.create_in_memory () in
+  make_table db;
+  let ids = Database.insert_many db ~table:"books" ~column:"doc" [] in
+  check Alcotest.(list int) "no ids" [] ids;
+  check Alcotest.int "no rows" 0 (Database.row_count db ~table:"books")
+
+(* --- atomic rejection: nothing staged when any document is bad --- *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_bad_batches_atomic () =
+  let db = Database.create_in_memory () in
+  make_table db;
+  let d0 = Database.insert db ~table:"books" ~xml:[ ("doc", doc 0) ] () in
+  (* duplicate docids within the batch *)
+  expect_invalid "intra-batch dup" (fun () ->
+      Database.insert_many db ~docids:[ 7; 7 ] ~table:"books" ~column:"doc"
+        [ doc 1; doc 2 ]);
+  (* collision with an existing docid, listed second: the valid first
+     document must not survive the rejection *)
+  expect_invalid "collision" (fun () ->
+      Database.insert_many db ~docids:[ 8; d0 ] ~table:"books" ~column:"doc"
+        [ doc 1; doc 2 ]);
+  (* arity mismatch *)
+  expect_invalid "length mismatch" (fun () ->
+      Database.insert_many db ~docids:[ 9 ] ~table:"books" ~column:"doc"
+        [ doc 1; doc 2 ]);
+  (* a parse error anywhere rejects the whole batch before any write *)
+  (match
+     Database.insert_many db ~table:"books" ~column:"doc"
+       [ doc 1; "<unclosed>" ]
+   with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Rx_xml.Parser.Parse_error _ -> ());
+  check Alcotest.int "only the pre-existing row remains" 1
+    (Database.row_count db ~table:"books");
+  check Alcotest.string "pre-existing doc intact" (doc 0)
+    (Database.document db ~table:"books" ~column:"doc" ~docid:d0)
+
+(* --- crash mid-load: recovery leaves no partial documents --- *)
+
+let test_mid_load_crash () =
+  with_temp_dir (fun dir ->
+      let db = Database.open_dir ~page_size:1024 dir in
+      make_table db;
+      let pre = List.init 3 (fun i ->
+          Database.insert db ~table:"books" ~xml:[ ("doc", doc i) ] ())
+      in
+      Database.checkpoint db;
+      (* every WAL write fails from here on: the batch's single commit
+         flush cannot reach the file, so nothing of the batch is durable *)
+      let fault = Fault.create () in
+      Fault.arm fault ~after:1 Fault.Fail_write;
+      Database.set_fault ~scope:`Wal_only db (Some fault);
+      (match
+         Database.insert_many db ~table:"books" ~column:"doc"
+           (List.init 50 (fun i -> doc (100 + i)))
+       with
+      | _ -> Alcotest.fail "expected injected write fault"
+      | exception Fault.Injected _ -> ());
+      Database.crash db;
+      let db2 = Database.open_dir ~page_size:1024 dir in
+      check Alcotest.int "only pre-batch rows survive" (List.length pre)
+        (Database.row_count db2 ~table:"books");
+      List.iteri
+        (fun i docid ->
+          check Alcotest.string
+            (Printf.sprintf "pre-batch doc %d intact" docid)
+            (doc i)
+            (Database.document db2 ~table:"books" ~column:"doc" ~docid))
+        pre;
+      let r = Database.verify db2 in
+      check Alcotest.(list int) "no corrupt pages" [] r.Database.corrupt_pages;
+      check Alcotest.bool "healthy after recovery" true
+        (Database.health db2 = `Healthy);
+      Database.close db2)
+
+(* --- snapshot visibility --- *)
+
+let test_snapshot_visibility () =
+  let db = Database.create_in_memory () in
+  make_table db;
+  let d0 = Database.insert db ~table:"books" ~xml:[ ("doc", doc 0) ] () in
+  let before = Database.begin_txn db in
+  let ids =
+    Database.insert_many db ~table:"books" ~column:"doc" [ doc 1; doc 2 ]
+  in
+  (* a snapshot taken before the load must not see the batch... *)
+  let r = Database.run ~txn:before db ~table:"books" ~column:"doc" ~xpath:"/book" in
+  check Alcotest.(list int) "pre-load snapshot sees only the old doc" [ d0 ]
+    (List.map (fun m -> m.Database.docid) r.Database.matches);
+  Database.rollback db before;
+  (* ...while a snapshot taken after it sees everything *)
+  let after = Database.begin_txn db in
+  let r = Database.run ~txn:after db ~table:"books" ~column:"doc" ~xpath:"/book" in
+  check Alcotest.int "post-load snapshot sees the batch"
+    (1 + List.length ids)
+    (List.length r.Database.matches);
+  Database.commit db after
+
+(* --- index maintenance is batched but complete --- *)
+
+let test_indexes_maintained () =
+  let db = Database.create_in_memory () in
+  make_table db;
+  Database.create_xml_index db ~table:"books" ~column:"doc" ~name:"by_price"
+    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double;
+  Database.create_text_index db ~table:"books" ~column:"doc" ~name:"ft";
+  let ids =
+    Database.insert_many db ~table:"books" ~column:"doc"
+      [
+        "<book><title>native xml storage</title><price>10.5</price></book>";
+        "<book><title>pure relational</title><price>99.0</price></book>";
+      ]
+  in
+  check Alcotest.int "two ids" 2 (List.length ids);
+  let r =
+    Database.run db ~table:"books" ~column:"doc"
+      ~xpath:"/book[price < 50.0]/title"
+  in
+  check Alcotest.int "value-index query finds the cheap book" 1
+    (List.length r.Database.matches);
+  let hits =
+    Database.text_search db ~table:"books" ~column:"doc" ~mode:`All "native xml"
+  in
+  check Alcotest.(list int) "text search finds the loaded doc"
+    [ List.nth ids 0 ] hits
+
+let () =
+  Alcotest.run "bulk_load"
+    [
+      ( "bulk",
+        [
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "bad batches reject atomically" `Quick
+            test_bad_batches_atomic;
+          Alcotest.test_case "mid-load crash leaves no partial documents"
+            `Quick test_mid_load_crash;
+          Alcotest.test_case "snapshot visibility" `Quick
+            test_snapshot_visibility;
+          Alcotest.test_case "indexes maintained" `Quick
+            test_indexes_maintained;
+        ] );
+    ]

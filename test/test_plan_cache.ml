@@ -13,7 +13,13 @@ let doc i =
   Printf.sprintf "<book><title>Book %d</title><price>%d.5</price></book>" i i
 
 let setup ?plan_cache_capacity ndocs =
-  let db = Database.create_in_memory ?plan_cache_capacity () in
+  let config =
+    match plan_cache_capacity with
+    | None -> Database.default_config
+    | Some plan_cache_capacity ->
+        { Database.default_config with plan_cache_capacity }
+  in
+  let db = Database.create_in_memory ~config () in
   ignore
     (Database.create_table db ~name:"books"
        ~columns:[ ("isbn", Value.T_varchar); ("doc", Value.T_xml) ]);

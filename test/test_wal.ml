@@ -183,6 +183,85 @@ let test_recover_btree () =
   check (Alcotest.option Alcotest.string) "uncommitted key gone" None
     (Rx_btree.Btree.find tree2 "key0220")
 
+(* --- group commit and write batching --- *)
+
+let cval metrics name = Rx_obs.Metrics.(value (counter metrics name))
+
+let test_group_commit_single () =
+  let path = Filename.temp_file "rx_wal_gc" ".log" in
+  let metrics = Rx_obs.Metrics.create () in
+  let log = Log_manager.open_file ~metrics path in
+  let lsns =
+    List.init 5 (fun i -> Log_manager.append log (Log_record.Commit { txid = i }))
+  in
+  let last = List.nth lsns 4 in
+  Log_manager.group_commit log ~wait:false last;
+  check Alcotest.bool "all records durable" true
+    (Int64.compare (Log_manager.durable_lsn log) last >= 0);
+  check Alcotest.int "one group, one fsync" 1
+    (cval metrics "wal.group_commit.fsyncs");
+  (* an already-durable target neither leads a group nor fsyncs again *)
+  Log_manager.group_commit log ~wait:false last;
+  check Alcotest.int "no extra fsync for durable lsn" 1
+    (cval metrics "wal.group_commit.fsyncs");
+  let log2 = Log_manager.open_file path in
+  check Alcotest.int "records survive reopen" 5 (Log_manager.record_count log2);
+  Sys.remove path
+
+let test_group_commit_absorbs () =
+  let path = Filename.temp_file "rx_wal_gc" ".log" in
+  let metrics = Rx_obs.Metrics.create () in
+  let log = Log_manager.open_file ~metrics path in
+  Log_manager.set_commit_window log 5000;
+  let committers = 8 in
+  let threads =
+    List.init committers (fun i ->
+        Thread.create
+          (fun () ->
+            let lsn = Log_manager.append log (Log_record.Commit { txid = i }) in
+            Log_manager.group_commit log lsn)
+          ())
+  in
+  List.iter Thread.join threads;
+  check Alcotest.int "every record durable" committers
+    (Log_manager.record_count log);
+  let groups = cval metrics "wal.group_commit.groups" in
+  let absorbed = cval metrics "wal.group_commit.absorbed" in
+  check Alcotest.bool "followers absorbed into a leader's flush" true
+    (absorbed >= 1 && groups + absorbed = committers);
+  let log2 = Log_manager.open_file path in
+  check Alcotest.int "records survive reopen" committers
+    (Log_manager.record_count log2);
+  Sys.remove path
+
+let test_write_buffer_spills_without_fsync () =
+  let path = Filename.temp_file "rx_wal_spill" ".log" in
+  let metrics = Rx_obs.Metrics.create () in
+  let log = Log_manager.open_file ~metrics path in
+  Log_manager.set_buffer_limit log 64;
+  let big = String.make 200 'x' in
+  let lsns =
+    List.init 4 (fun i ->
+        Log_manager.append log
+          (Log_record.Update
+             { txid = i; page_no = i; off = 0; before = big; after = big }))
+  in
+  (* staged bytes exceeded the limit, so appends wrote to the file... *)
+  check Alcotest.bool "spill wrote to the file" true
+    ((Unix.stat path).Unix.st_size > 200);
+  (* ...but without forcing durability: no fsync yet *)
+  check Alcotest.int "no fsync before flush" 0 (cval metrics "wal.forced_syncs");
+  check Alcotest.bool "spilled records not yet durable" true
+    (Int64.compare (Log_manager.durable_lsn log) (List.nth lsns 3) < 0);
+  Log_manager.flush log;
+  check Alcotest.int "flush forces one fsync" 1
+    (cval metrics "wal.forced_syncs");
+  check Alcotest.bool "everything durable after flush" true
+    (Int64.compare (Log_manager.durable_lsn log) (List.nth lsns 3) >= 0);
+  let log2 = Log_manager.open_file path in
+  check Alcotest.int "records survive reopen" 4 (Log_manager.record_count log2);
+  Sys.remove path
+
 let () =
   Alcotest.run "rx_wal"
     [
@@ -190,6 +269,14 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
           Alcotest.test_case "file backend" `Quick test_log_file_backend;
+        ] );
+      ( "group_commit",
+        [
+          Alcotest.test_case "single committer" `Quick test_group_commit_single;
+          Alcotest.test_case "concurrent committers absorb" `Quick
+            test_group_commit_absorbs;
+          Alcotest.test_case "write buffer spills without fsync" `Quick
+            test_write_buffer_spills_without_fsync;
         ] );
       ( "recovery",
         [

@@ -1,19 +1,20 @@
 #!/bin/sh
-# Lint: every exported value in the storage and WAL interfaces must carry a
-# documentation comment.  These are the crash-safety-critical layers; their
-# contracts (durability, concurrency, failure behaviour) live in the .mli
-# docs, so an undocumented export is treated as a CI failure.
+# Lint: every exported value in the storage, WAL and core-facade interfaces
+# must carry a documentation comment.  These are the layers whose contracts
+# (durability, concurrency, failure behaviour, the public API surface) live
+# in the .mli docs, so an undocumented export is treated as a CI failure.
 #
 # A `val` (or `exception`) is considered documented when either
 #   - the nearest preceding non-blank line closes a comment (ends with `*)`), or
 #   - a `(**` doc comment opens after the declaration but before the next
 #     top-level item (the "postfix doc" odoc style).
 #
-# Usage: tools/check_mli_docs.sh [dir ...]   (defaults to lib/storage lib/wal)
+# Usage: tools/check_mli_docs.sh [dir ...]
+#        (defaults to lib/storage lib/wal lib/core)
 set -eu
 cd "$(dirname "$0")/.."
 
-dirs="${*:-lib/storage lib/wal}"
+dirs="${*:-lib/storage lib/wal lib/core}"
 status=0
 
 for dir in $dirs; do
