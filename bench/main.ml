@@ -22,6 +22,7 @@ let experiments =
     ("e11", E11_crash.run);
     ("e12", E12_hotpath.run);
     ("e13", E13_ingest.run);
+    ("e14", E14_server.run);
   ]
 
 let () =

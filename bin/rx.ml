@@ -34,7 +34,8 @@ let table_arg =
 let column_arg =
   Arg.(required & opt (some string) None & info [ "column" ] ~docv:"COL" ~doc:"XML column name.")
 
-(* Stable exit codes (documented in README and DESIGN.md):
+(* Stable exit codes (documented in README and DESIGN.md), shared with the
+   rxd wire-protocol status codes via Database.error_code:
      0  success
      1  usage or application error (bad arguments, parse/validation failure)
      2  unexpected internal error
@@ -42,34 +43,13 @@ let column_arg =
      4  Deadlock    — transaction chosen as deadlock victim, rolled back
      5  Read_only   — database is degraded, writes refused
      6  corruption  — page checksum or WAL record CRC mismatch *)
-let exit_code = function
-  | Database.Busy _ -> 3
-  | Rx_txn.Lock_manager.Deadlock _ -> 4
-  | Database.Read_only _ -> 5
-  | Rx_storage.Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _ -> 6
-  | Invalid_argument _ | Failure _ -> 1
-  | Rx_xml.Parser.Parse_error _ | Rx_schema.Validator.Validation_error _ -> 1
-  | _ -> 2
-
 let handle_errors f =
   try
     f ();
     0
   with e ->
-    let msg =
-      match Database.error_to_string e with
-      | Some msg -> msg
-      | None -> (
-          match e with
-          | Invalid_argument msg | Failure msg -> msg
-          | Rx_xml.Parser.Parse_error _ ->
-              Option.get (Rx_xml.Parser.error_message e)
-          | Rx_schema.Validator.Validation_error _ ->
-              Option.get (Rx_schema.Validator.error_message e)
-          | e -> Printexc.to_string e)
-    in
-    Printf.eprintf "error: %s\n" msg;
-    exit_code e
+    Printf.eprintf "error: %s\n" (Database.error_message e);
+    Database.error_code e
 
 (* --- init --- *)
 
@@ -581,39 +561,10 @@ let stats_cmd =
     handle_errors (fun () ->
         with_db dir (fun db ->
             let s = Database.stats db in
-            if json then begin
-              let num n = Rx_obs.Json.Num (float_of_int n) in
-              let obj =
-                Rx_obs.Json.Obj
-                  [
-                    ("tables", num s.Database.tables);
-                    ("documents", num s.Database.documents);
-                    ("xml_records", num s.Database.xml_records);
-                    ("node_index_entries", num s.Database.node_index_entries);
-                    ("value_index_entries", num s.Database.value_index_entries);
-                    ("data_pages", num s.Database.data_pages);
-                    ("log_bytes", num s.Database.log_bytes);
-                    ( "health",
-                      Rx_obs.Json.Str
-                        (match Database.health db with
-                        | `Healthy -> "ok"
-                        | `Degraded reason -> "degraded: " ^ reason) );
-                    ( "recovery",
-                      match Database.last_recovery db with
-                      | None -> Rx_obs.Json.Null
-                      | Some rep ->
-                          Rx_obs.Json.Obj
-                            [
-                              ("redone", num rep.Rx_wal.Recovery.redone);
-                              ("undone", num rep.Rx_wal.Recovery.undone);
-                              ( "losers",
-                                num (List.length rep.Rx_wal.Recovery.losers) );
-                            ] );
-                    ("counters", Rx_obs.Metrics.to_json (Database.metrics db));
-                  ]
-              in
-              print_endline (Rx_obs.Json.to_string obj)
-            end
+            if json then
+              (* the canonical stats document, identical to what rxd's
+                 Stats operation serves (net.* instruments included) *)
+              print_endline (Rx_obs.Json.to_string (Stats_report.json db))
             else
               Printf.printf
                 "tables: %d\ndocuments: %d\npacked records: %d\nNodeID index entries: %d\nvalue index entries: %d\ndata pages: %d\nWAL bytes appended: %d\n"

@@ -1,0 +1,109 @@
+(* rxd — the System R/X network server: one embedded engine, many client
+   sessions over the length-prefixed binary wire protocol (see Rx_wire).
+
+     rxd serve --db DIR [--host H] [--port P] [--max-connections N]
+               [--max-queue-depth N] [--auth-token SECRET]
+               [--commit-window-us USEC]
+
+   Runs until SIGINT/SIGTERM or a client's Shutdown request, then drains
+   in-flight sessions, checkpoints and exits. Exit codes follow the same
+   stable error table as rx (Database.error_code). *)
+
+open Cmdliner
+open Systemrx
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with e ->
+    Printf.eprintf "error: %s\n" (Database.error_message e);
+    Database.error_code e
+
+let db_arg =
+  let doc = "Database directory (created if absent)." in
+  Arg.(required & opt (some string) None & info [ "db" ] ~docv:"DIR" ~doc)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7644
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks an ephemeral one).")
+
+let max_conns_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-connections" ] ~docv:"N"
+        ~doc:"Concurrent sessions; further connects are refused Busy.")
+
+let max_queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue-depth" ] ~docv:"N"
+        ~doc:
+          "Requests in service concurrently; excess requests are answered \
+           with the Busy status instead of queueing.")
+
+let token_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "auth-token" ] ~docv:"SECRET"
+        ~doc:"Require this token in the Hello handshake.")
+
+let window_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "commit-window-us" ] ~docv:"USEC"
+        ~doc:
+          "Group-commit gathering window (microseconds); under concurrent \
+           committers a few thousand lets one fsync absorb many commits. \
+           Default: leave the database's configuration unchanged.")
+
+let serve_cmd =
+  let run dir host port max_connections max_queue_depth auth_token window =
+    handle_errors (fun () ->
+        let db = Database.open_dir dir in
+        Fun.protect ~finally:(fun () -> Database.close db) @@ fun () ->
+        (match window with
+        | Some commit_window_us ->
+            Database.set_config db { (Database.config db) with commit_window_us }
+        | None -> ());
+        let config =
+          {
+            Rx_server.host;
+            port;
+            max_connections;
+            max_queue_depth;
+            auth_token;
+          }
+        in
+        let srv = Rx_server.start ~config db in
+        Printf.printf "rxd: serving %s on %s:%d\n%!" dir host (Rx_server.port srv);
+        let on_signal _ = Rx_server.request_stop srv in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        Rx_server.wait srv;
+        Rx_server.stop srv;
+        Printf.printf "rxd: shut down\n%!")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a database directory to network clients until a Shutdown \
+          request or SIGINT/SIGTERM.")
+    Term.(
+      const run $ db_arg $ host_arg $ port_arg $ max_conns_arg $ max_queue_arg
+      $ token_arg $ window_arg)
+
+let () =
+  let info =
+    Cmd.info "rxd" ~version:"1.0.0"
+      ~doc:
+        "System R/X network server: a session-oriented wire protocol over \
+         one native XML database engine."
+  in
+  exit (Cmd.eval' (Cmd.group info [ serve_cmd ]))

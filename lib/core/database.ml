@@ -1052,57 +1052,75 @@ let apply_pending t ts op =
       (* tolerate a concurrent immediate drop between staging and commit *)
       if has_index xc p_name then do_drop_index t xc p_name
 
-(* Commit runs in two phases. Phase 1, under [write_lock]: replay the
-   staged statements, append the Commit record and release locks — the
-   only part that touches shared in-memory state, so concurrent
-   [Database.commit] calls are safe. Phase 2, outside the lock: wait for
-   the Commit record to reach stable storage via the WAL's group commit —
-   N committers in flight share ~1 fsync instead of paying one each.
-   Releasing locks before the durability wait is sound because any later
-   flush covers this record's LSN (no one can observe a state the log
-   cannot reproduce). *)
-let commit t txn =
-  let await =
-    Mutex.protect t.write_lock (fun () ->
-        ensure_txn_open txn;
-        txn.txn_open <- false;
-        t.active_txns <- List.filter (fun x -> x != txn) t.active_txns;
-        let ops = List.rev txn.pending in
-        match
-          Rx_txn.Transaction.run_as txn.tx (fun () ->
-              let ts = t.commit_ts + 1 in
-              List.iter (apply_pending t ts) ops;
-              (* reclaim staged working storage: every staged handle in
-                 [locals] is either a consumed insert image or a private
-                 working copy *)
-              Hashtbl.iter
-                (fun _ st ->
-                  match st with
-                  | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
-                  | L_deleted -> ())
-                txn.locals;
-              t.commit_ts <- ts)
-        with
-        | () ->
-            let _, await = Rx_txn.Transaction.precommit txn.tx in
-            Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
-            (* staged DDL became effective above; make it durable like
-               immediate DDL *)
-            if List.exists (function P_drop_index _ -> true | _ -> false) ops
-            then save_catalog t;
-            maybe_purge t;
-            await
+(* Commit runs in two phases. Phase 1, under the engine lock
+   [write_lock]: replay the staged statements, append the Commit record
+   and release locks — the only part that touches shared in-memory
+   state, so concurrent [Database.commit] calls are safe. Phase 2,
+   outside the lock: wait for the Commit record to reach stable storage
+   via the WAL's group commit — N committers in flight share ~1 fsync
+   instead of paying one each. Releasing locks before the durability
+   wait is sound because any later flush covers this record's LSN (no
+   one can observe a state the log cannot reproduce).
+
+   [commit_async] is phase 1 alone: it assumes the caller already holds
+   the engine lock (see [exclusively]) and returns the phase-2 await
+   thunk, so a multi-threaded host can serialize the apply under its own
+   critical section and still let concurrent committers share fsyncs. *)
+let commit_async t txn =
+  ensure_txn_open txn;
+  txn.txn_open <- false;
+  t.active_txns <- List.filter (fun x -> x != txn) t.active_txns;
+  let ops = List.rev txn.pending in
+  match
+    Rx_txn.Transaction.run_as txn.tx (fun () ->
+        let ts = t.commit_ts + 1 in
+        List.iter (apply_pending t ts) ops;
+        (* reclaim staged working storage: every staged handle in
+           [locals] is either a consumed insert image or a private
+           working copy *)
+        Hashtbl.iter
+          (fun _ st ->
+            match st with
+            | L_staged { m; s; _ } -> Rx_txn.Mvcc_store.abort m [ s ]
+            | L_deleted -> ())
+          txn.locals;
+        t.commit_ts <- ts)
+  with
+  | () ->
+      let _, await = Rx_txn.Transaction.precommit txn.tx in
+      Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
+      (* staged DDL became effective above; make it durable like
+         immediate DDL *)
+      if List.exists (function P_drop_index _ -> true | _ -> false) ops
+      then save_catalog t;
+      maybe_purge t;
+      await
+  | exception e ->
+      (* commit replay failed: physically roll back this transaction's
+         page updates; the durable state is consistent after reopen
+         (recovery treats it as a loser), but this in-memory handle may
+         be stale *)
+      ignore (Rx_txn.Transaction.abort txn.tx);
+      Rx_obs.Metrics.(incr (counter t.metrics "txn.abort"));
+      maybe_purge t;
+      raise e
+
+let exclusively t f = Mutex.protect t.write_lock f
+
+let commit t txn = (exclusively t (fun () -> commit_async t txn)) ()
+
+let with_txn t f =
+  let v, await =
+    exclusively t (fun () ->
+        let txn = begin_txn t in
+        match f txn with
+        | v -> (v, commit_async t txn)
         | exception e ->
-            (* commit replay failed: physically roll back this transaction's
-               page updates; the durable state is consistent after reopen
-               (recovery treats it as a loser), but this in-memory handle may
-               be stale *)
-            ignore (Rx_txn.Transaction.abort txn.tx);
-            Rx_obs.Metrics.(incr (counter t.metrics "txn.abort"));
-            maybe_purge t;
+            rollback t txn;
             raise e)
   in
-  await ()
+  await ();
+  v
 
 let close t =
   (* a handle abandoned mid-transaction rolls back, like a dropped session *)
@@ -1842,9 +1860,6 @@ let run_prepared ?txn t p =
           in
           exec_prepared t p)
 
-(* deprecated alias for the [readahead] config field *)
-let set_readahead t n = set_config t { t.config with readahead = n }
-
 (* --- error surface --- *)
 
 let error_to_string = function
@@ -1862,6 +1877,31 @@ let error_to_string = function
   | Rx_wal.Log_manager.Corrupt_record { lsn } ->
       Some (Printf.sprintf "corrupt WAL record at LSN %Ld" lsn)
   | _ -> None
+
+(* One classification shared by the [rx] exit codes and the rxd wire
+   status codes (the stable error table in DESIGN.md):
+     1 application error  2 unexpected  3 busy  4 deadlock
+     5 read-only          6 corruption *)
+let error_code = function
+  | Busy _ -> 3
+  | Rx_txn.Lock_manager.Deadlock _ -> 4
+  | Read_only _ -> 5
+  | Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _ -> 6
+  | Invalid_argument _ | Failure _ -> 1
+  | Rx_xml.Parser.Parse_error _ | Rx_schema.Validator.Validation_error _ -> 1
+  | _ -> 2
+
+let error_message e =
+  match error_to_string e with
+  | Some msg -> msg
+  | None -> (
+      match e with
+      | Invalid_argument msg | Failure msg -> msg
+      | Rx_xml.Parser.Parse_error _ ->
+          Option.get (Rx_xml.Parser.error_message e)
+      | Rx_schema.Validator.Validation_error _ ->
+          Option.get (Rx_schema.Validator.error_message e)
+      | e -> Printexc.to_string e)
 
 (* --- stats --- *)
 

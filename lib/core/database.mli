@@ -197,10 +197,40 @@ val commit : t -> txn -> unit
     commit: concurrent [commit] calls share one fsync (a leader flushes for
     the group, optionally holding the window open for
     [config.commit_window_us]), so N committers cost ~1 fsync instead of N.
-    [commit] is the {e only} operation on a handle that may be called from
-    multiple threads concurrently; everything else must be externally
-    serialized.
+    [commit] is the {e only} operation on a handle that may be called bare
+    from multiple threads concurrently; everything else must be externally
+    serialized — {!exclusively} is that serialization, and the rxd server
+    wraps every session request in it.
     @raise Invalid_argument if the transaction is not open. *)
+
+val exclusively : t -> (unit -> 'a) -> 'a
+(** Runs [f] holding the handle's engine lock — the same lock {!commit}
+    takes for its apply phase. A multi-threaded host (one thread per
+    client session, say) that wraps every handle operation in
+    [exclusively] may issue them from any thread: sessions serialize
+    against each other {e and} against concurrent commits. Not reentrant:
+    [f] must not call [exclusively], {!commit} or {!with_txn} on the same
+    handle (use {!commit_async} inside the critical section instead). *)
+
+val commit_async : t -> txn -> unit -> unit
+(** The apply phase of {!commit} — staged statements replayed, Commit
+    record appended, locks released — returning the durability wait as a
+    thunk instead of performing it. Must be called under {!exclusively}
+    (or on the only thread using the handle); call the thunk {e after}
+    leaving the critical section, from any thread, so concurrent
+    committers overlap their waits and share group-commit fsyncs.
+    [commit t txn] is [exclusively t (fun () -> commit_async t txn) ()].
+    @raise Invalid_argument if the transaction is not open. *)
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** [with_txn t f] begins a transaction, runs [f], commits on normal
+    return and rolls back (then re-raises) if [f] raises. Thread-safe
+    like {!commit}: the begin/stage/apply runs under the engine lock with
+    the commit's durability wait outside it, so concurrent [with_txn]
+    callers — the rxd server wraps every auto-commit client request in
+    one — serialize their statements but share commit fsyncs. [f] runs
+    inside the critical section: keep it engine work only, and never call
+    {!exclusively}, {!commit} or a nested [with_txn] from it. *)
 
 val rollback : t -> txn -> unit
 (** Discards every staged statement — stats, value indexes and query
@@ -396,11 +426,6 @@ val invalidate_plans : t -> unit
 (** Drops every cached plan (bumps the catalog epoch). DDL does this
     automatically; explicit use is for benchmarks and tests. *)
 
-val set_readahead : t -> int -> unit
-  [@@ocaml.deprecated "use set_config with the config.readahead field"]
-(** Deprecated alias for [set_config t { (config t) with readahead = n }];
-    kept for one release. *)
-
 val run :
   ?ns_env:(string * string) list ->
   ?txn:txn ->
@@ -436,6 +461,18 @@ val error_to_string : exn -> string option
     {!Rx_wal.Log_manager.Corrupt_record} — or [None] for any other
     exception. The stable surface CLIs map to exit codes; see the
     DESIGN.md error table. *)
+
+val error_code : exn -> int
+(** The stable error table (DESIGN.md) in one place, shared by the [rx]
+    exit codes and the rxd wire-protocol status codes: 3 {!Busy},
+    4 deadlock, 5 {!Read_only}, 6 corruption (page checksum or WAL CRC),
+    1 application error ([Invalid_argument], [Failure], XML parse or
+    schema validation), 2 anything else. *)
+
+val error_message : exn -> string
+(** Total one-line rendering: {!error_to_string} when it applies, the
+    parser/validator message for XML errors, the payload of
+    [Invalid_argument]/[Failure], [Printexc.to_string] otherwise. *)
 
 val column_store : t -> table:string -> column:string -> Rx_xmlstore.Doc_store.t
 (** Direct access to a column's document store (benchmarks). *)

@@ -1,0 +1,45 @@
+let net_ops =
+  [
+    "hello"; "query"; "prepare"; "run_prepared"; "begin"; "commit";
+    "rollback"; "insert"; "insert_many"; "delete"; "get"; "stats";
+    "shutdown";
+  ]
+
+let ensure_net_instruments m =
+  let open Rx_obs.Metrics in
+  ignore (gauge m "net.conns");
+  List.iter
+    (fun n -> ignore (counter m n))
+    [ "net.conns.accepted"; "net.requests"; "net.errors"; "net.rejected" ];
+  List.iter (fun op -> ignore (histogram m ("net.latency." ^ op))) net_ops
+
+let json db =
+  let s = Database.stats db in
+  ensure_net_instruments (Database.metrics db);
+  let num n = Rx_obs.Json.Num (float_of_int n) in
+  Rx_obs.Json.Obj
+    [
+      ("tables", num s.Database.tables);
+      ("documents", num s.Database.documents);
+      ("xml_records", num s.Database.xml_records);
+      ("node_index_entries", num s.Database.node_index_entries);
+      ("value_index_entries", num s.Database.value_index_entries);
+      ("data_pages", num s.Database.data_pages);
+      ("log_bytes", num s.Database.log_bytes);
+      ( "health",
+        Rx_obs.Json.Str
+          (match Database.health db with
+          | `Healthy -> "ok"
+          | `Degraded reason -> "degraded: " ^ reason) );
+      ( "recovery",
+        match Database.last_recovery db with
+        | None -> Rx_obs.Json.Null
+        | Some rep ->
+            Rx_obs.Json.Obj
+              [
+                ("redone", num rep.Rx_wal.Recovery.redone);
+                ("undone", num rep.Rx_wal.Recovery.undone);
+                ("losers", num (List.length rep.Rx_wal.Recovery.losers));
+              ] );
+      ("counters", Rx_obs.Metrics.to_json (Database.metrics db));
+    ]

@@ -1,0 +1,102 @@
+exception Error of { status : int; message : string }
+
+type t = { fd : Unix.file_descr; mutable session : int; mutable closed : bool }
+type txn = { tx : int }
+type result = { plan : string; matches : (int * string) list }
+type prepared = { stmt : int; stmt_plan : string }
+
+let bad_shape () = raise (Rx_wire.Protocol_error "unexpected response shape")
+
+let rpc c req =
+  if c.closed then invalid_arg "Rx_client: connection is closed";
+  Rx_wire.send_request c.fd req;
+  match Rx_wire.recv_response c.fd with
+  | Rx_wire.Ok ok -> ok
+  | Rx_wire.Err { status = 3; _ } ->
+      raise (Systemrx.Database.Busy { txid = 0; blockers = [] })
+  | Rx_wire.Err { status = 5; message } ->
+      raise (Systemrx.Database.Read_only { reason = message })
+  | Rx_wire.Err { status; message } -> raise (Error { status; message })
+
+let connect ?(host = "127.0.0.1") ?(token = "") ?(client = "rx_client") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let c = { fd; session = 0; closed = false } in
+  match
+    try rpc c (Rx_wire.Hello { token; client })
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | Rx_wire.R_hello { session; _ } ->
+      c.session <- session;
+      c
+  | _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      bad_shape ()
+
+let close c =
+  if not c.closed then begin
+    (try ignore (rpc c Rx_wire.Bye) with _ -> ());
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let session_id c = c.session
+
+let unit_rpc c req =
+  match rpc c req with Rx_wire.R_unit -> () | _ -> bad_shape ()
+
+let begin_txn c =
+  match rpc c Rx_wire.Begin with
+  | Rx_wire.R_txn { txid } -> { tx = txid }
+  | _ -> bad_shape ()
+
+let commit c txn = unit_rpc c (Rx_wire.Commit { txid = txn.tx })
+let rollback c txn = unit_rpc c (Rx_wire.Rollback { txid = txn.tx })
+let txn_id txn = txn.tx
+
+let result_rpc c req =
+  match rpc c req with
+  | Rx_wire.R_matches { plan; matches } -> { plan; matches }
+  | _ -> bad_shape ()
+
+let query ?(ns_env = []) c ~table ~column ~xpath =
+  result_rpc c (Rx_wire.Query { table; column; xpath; ns_env })
+
+let prepare ?(ns_env = []) c ~table ~column ~xpath =
+  match rpc c (Rx_wire.Prepare { table; column; xpath; ns_env }) with
+  | Rx_wire.R_prepared { stmt; plan } -> { stmt; stmt_plan = plan }
+  | _ -> bad_shape ()
+
+let run_prepared c p = result_rpc c (Rx_wire.Run_prepared { stmt = p.stmt })
+let plan p = p.stmt_plan
+
+let insert c ~table ?(values = []) ?(xml = []) () =
+  match rpc c (Rx_wire.Insert { table; values; xml }) with
+  | Rx_wire.R_docid { docid } -> docid
+  | _ -> bad_shape ()
+
+let insert_many c ~table ~column docs =
+  match rpc c (Rx_wire.Insert_many { table; column; docs }) with
+  | Rx_wire.R_docids { docids } -> docids
+  | _ -> bad_shape ()
+
+let delete c ~table ~docid = unit_rpc c (Rx_wire.Delete { table; docid })
+
+let document c ~table ~column ~docid =
+  match rpc c (Rx_wire.Get { table; column; docid }) with
+  | Rx_wire.R_doc { doc } -> doc
+  | _ -> bad_shape ()
+
+let stats_json c =
+  match rpc c Rx_wire.Stats with
+  | Rx_wire.R_stats { json } -> json
+  | _ -> bad_shape ()
+
+let shutdown c = unit_rpc c Rx_wire.Shutdown

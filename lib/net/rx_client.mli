@@ -1,0 +1,123 @@
+(** Blocking client for the rxd wire protocol, mirroring the
+    {!Systemrx.Database} API shape over a socket: connect/handshake, ad-hoc
+    and prepared queries, explicit transactions, single-row and bulk
+    inserts, document fetch, stats, and graceful server shutdown.
+
+    One connection is one server session: at most one open transaction,
+    which the session's queries and DML join implicitly until {!commit} or
+    {!rollback}. A connection must not be shared between threads without
+    external serialization — the protocol is strictly one request, one
+    response.
+
+    Error surface: the server ships the engine's stable error table
+    (status = {!Systemrx.Database.error_code}) and the client re-raises
+    the engine's own exceptions where they reconstruct faithfully —
+    status 3 as {!Systemrx.Database.Busy} (with [txid = 0], no blockers:
+    retryable backpressure, whether from lock conflict, pool exhaustion
+    or the server's admission control) and status 5 as
+    {!Systemrx.Database.Read_only}. Everything else (application errors,
+    deadlock victims, corruption, protocol violations) raises {!Error}
+    with the wire status and the server's message, so embedded and
+    networked callers share one error vocabulary. *)
+
+type t
+
+exception Error of { status : int; message : string }
+(** A non-OK response that does not reconstruct as an engine exception:
+    the wire status (1 application error, 2 unexpected, 4 deadlock,
+    6 corruption, 7 protocol violation) plus the server's one-line
+    message. *)
+
+type txn
+(** An explicit transaction open on this connection's server session. *)
+
+type result = { plan : string; matches : (int * string) list }
+(** A query's outcome: the executed access-plan description and one
+    [(docid, serialized subtree)] pair per match, in (DocID, document
+    order) — the wire rendering of {!Systemrx.Database.result}. *)
+
+type prepared
+(** A statement prepared (compiled and cached) in the server session. *)
+
+val connect :
+  ?host:string -> ?token:string -> ?client:string -> port:int -> unit -> t
+(** Connects over TCP and performs the [Hello] handshake. [host] defaults
+    to 127.0.0.1, [token] to the empty string (checked against the
+    server's [auth_token] when it has one), [client] is a free-form name
+    for diagnostics.
+    @raise Error when the server refuses the handshake. *)
+
+val close : t -> unit
+(** Sends [Bye] (best effort) and closes the socket. The server rolls
+    back any transaction the session still holds. Idempotent. *)
+
+val session_id : t -> int
+(** The server-assigned session id from the handshake. *)
+
+val begin_txn : t -> txn
+(** Opens the session's explicit transaction; until {!commit} or
+    {!rollback}, queries and DML on this connection run inside it. *)
+
+val commit : t -> txn -> unit
+(** Commits; returns once the server reports the commit durable (the
+    server overlaps concurrent sessions' durability waits through WAL
+    group commit). *)
+
+val rollback : t -> txn -> unit
+(** Discards the transaction's staged statements. *)
+
+val txn_id : txn -> int
+(** The engine transaction id, as {!Systemrx.Database.txn_id}. *)
+
+val query :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> result
+(** Plans and executes an XPath query, as {!Systemrx.Database.run}. *)
+
+val prepare :
+  ?ns_env:(string * string) list ->
+  t -> table:string -> column:string -> xpath:string -> prepared
+(** Compiles the query once in the server session, as
+    {!Systemrx.Database.prepare}; the handle is valid for this
+    connection's lifetime. *)
+
+val run_prepared : t -> prepared -> result
+(** Executes a prepared query, as {!Systemrx.Database.run_prepared}. *)
+
+val plan : prepared -> string
+(** The access-plan description chosen at preparation time. *)
+
+val insert :
+  t ->
+  table:string ->
+  ?values:(string * string) list ->
+  ?xml:(string * string) list ->
+  unit ->
+  int
+(** Inserts a row ([values] are varchar columns, [xml] are XML column
+    documents); returns its DocID. Joins the session transaction when one
+    is open, otherwise the server wraps it in its own transaction
+    ({!Systemrx.Database.with_txn}). *)
+
+val insert_many : t -> table:string -> column:string -> string list -> int list
+(** Bulk load, as {!Systemrx.Database.insert_many}: one server-side
+    transaction, all documents visible and durable together or not at
+    all. Refused inside an explicit transaction. *)
+
+val delete : t -> table:string -> docid:int -> unit
+(** Deletes a row, as {!Systemrx.Database.delete}. *)
+
+val document : t -> table:string -> column:string -> docid:int -> string
+(** Fetches a serialized XML column value, as
+    {!Systemrx.Database.document}. *)
+
+val stats_json : t -> string
+(** The server's {!Systemrx.Stats_report.json} document as a JSON string
+    — the same schema [rx stats --json] prints embedded, [net.*]
+    counters included. *)
+
+val shutdown : t -> unit
+(** Asks the server to shut down gracefully; returns once the server has
+    acknowledged (in-flight sessions drain, then the process's
+    {!Rx_server.wait} returns). The connection is unusable afterwards
+    except for {!close}. *)

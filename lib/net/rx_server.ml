@@ -1,0 +1,430 @@
+open Systemrx
+
+let server_banner = "rxd/1.0"
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  max_queue_depth : int;
+  auth_token : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_connections = 64;
+    max_queue_depth = 64;
+    auth_token = None;
+  }
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  mutable txn : Database.txn option;
+  prepared : (int, Database.prepared) Hashtbl.t;
+  mutable next_stmt : int;
+}
+
+type t = {
+  db : Database.t;
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  lock : Mutex.t;
+  cv : Condition.t;
+  mutable stopping : bool;
+  mutable live : (int * Unix.file_descr) list;
+  mutable threads : Thread.t list;  (* accept loop + session threads *)
+  mutable next_sid : int;
+  mutable queued : int;  (* requests currently in service *)
+  m_conns : Rx_obs.Metrics.gauge;
+  m_accepted : Rx_obs.Metrics.counter;
+  m_requests : Rx_obs.Metrics.counter;
+  m_errors : Rx_obs.Metrics.counter;
+  m_rejected : Rx_obs.Metrics.counter;
+  op_hists : (string * Rx_obs.Metrics.histogram) list;
+}
+
+let port t = t.bound_port
+
+(* --- admission control + engine serialization --- *)
+
+(* queue-depth admission: refuse (as Busy, the engine's own backpressure
+   type) rather than queue unboundedly behind the engine lock *)
+let admitted t f =
+  let ok =
+    Mutex.protect t.lock (fun () ->
+        if t.queued >= t.cfg.max_queue_depth then false
+        else begin
+          t.queued <- t.queued + 1;
+          true
+        end)
+  in
+  if not ok then begin
+    Rx_obs.Metrics.incr t.m_rejected;
+    raise (Database.Busy { txid = 0; blockers = [] })
+  end;
+  Fun.protect
+    ~finally:(fun () -> Mutex.protect t.lock (fun () -> t.queued <- t.queued - 1))
+    f
+
+(* the trace ring is not thread-safe, so spans are recorded only inside
+   the engine lock, where everything else that traces already runs *)
+let span t op f =
+  Rx_obs.Trace.with_span (Database.tracer t.db) "net.request"
+    ~attrs:[ ("op", op) ]
+    f
+
+let engine t op f = admitted t (fun () -> Database.exclusively t.db (fun () -> span t op f))
+
+(* --- request dispatch --- *)
+
+let op_name : Rx_wire.request -> string = function
+  | Rx_wire.Hello _ -> "hello"
+  | Rx_wire.Query _ -> "query"
+  | Rx_wire.Prepare _ -> "prepare"
+  | Rx_wire.Run_prepared _ -> "run_prepared"
+  | Rx_wire.Begin -> "begin"
+  | Rx_wire.Commit _ -> "commit"
+  | Rx_wire.Rollback _ -> "rollback"
+  | Rx_wire.Insert _ -> "insert"
+  | Rx_wire.Insert_many _ -> "insert_many"
+  | Rx_wire.Delete _ -> "delete"
+  | Rx_wire.Get _ -> "get"
+  | Rx_wire.Stats -> "stats"
+  | Rx_wire.Shutdown -> "shutdown"
+  | Rx_wire.Bye -> "bye"
+
+let matches_of_result (r : Database.result) =
+  Rx_wire.R_matches
+    {
+      plan = r.Database.plan.Database.description;
+      matches =
+        List.map
+          (fun m -> (m.Database.docid, r.Database.serialize m))
+          r.Database.matches;
+    }
+
+let session_txn sess =
+  match sess.txn with
+  | Some txn when Database.txn_active txn -> Some txn
+  | _ ->
+      (* wounded as a deadlock victim (or otherwise finished) since the
+         last request: the session just no longer has a transaction *)
+      sess.txn <- None;
+      None
+
+let dispatch t sess : Rx_wire.request -> Rx_wire.ok = function
+  | Rx_wire.Hello _ -> invalid_arg "session already established"
+  | Rx_wire.Query { table; column; xpath; ns_env } ->
+      engine t "query" (fun () ->
+          matches_of_result
+            (Database.run ~ns_env ?txn:(session_txn sess) t.db ~table ~column
+               ~xpath))
+  | Rx_wire.Prepare { table; column; xpath; ns_env } ->
+      engine t "prepare" (fun () ->
+          let p = Database.prepare ~ns_env t.db ~table ~column ~xpath in
+          sess.next_stmt <- sess.next_stmt + 1;
+          Hashtbl.replace sess.prepared sess.next_stmt p;
+          Rx_wire.R_prepared
+            {
+              stmt = sess.next_stmt;
+              plan = (Database.Prepared.plan p).Database.description;
+            })
+  | Rx_wire.Run_prepared { stmt } -> (
+      match Hashtbl.find_opt sess.prepared stmt with
+      | None -> invalid_arg (Printf.sprintf "unknown prepared statement %d" stmt)
+      | Some p ->
+          engine t "run_prepared" (fun () ->
+              matches_of_result
+                (Database.run_prepared ?txn:(session_txn sess) t.db p)))
+  | Rx_wire.Begin ->
+      if session_txn sess <> None then
+        invalid_arg "session already has an open transaction";
+      engine t "begin" (fun () ->
+          let txn = Database.begin_txn t.db in
+          sess.txn <- Some txn;
+          Rx_wire.R_txn { txid = Database.txn_id txn })
+  | Rx_wire.Commit { txid } -> (
+      match session_txn sess with
+      | None -> invalid_arg "no open transaction"
+      | Some txn ->
+          if Database.txn_id txn <> txid then
+            invalid_arg
+              (Printf.sprintf "transaction %d is not this session's" txid);
+          sess.txn <- None;
+          (* apply under the engine lock, await durability outside it:
+             concurrent session commits share group-commit fsyncs *)
+          let await =
+            engine t "commit" (fun () -> Database.commit_async t.db txn)
+          in
+          await ();
+          Rx_wire.R_unit)
+  | Rx_wire.Rollback { txid } -> (
+      match session_txn sess with
+      | None -> invalid_arg "no open transaction"
+      | Some txn ->
+          if Database.txn_id txn <> txid then
+            invalid_arg
+              (Printf.sprintf "transaction %d is not this session's" txid);
+          sess.txn <- None;
+          engine t "rollback" (fun () ->
+              Database.rollback t.db txn;
+              Rx_wire.R_unit))
+  | Rx_wire.Insert { table; values; xml } ->
+      let values =
+        List.map (fun (k, v) -> (k, Rx_relational.Value.Varchar v)) values
+      in
+      let do_insert txn = Database.insert ~txn t.db ~table ~values ~xml () in
+      let docid =
+        match session_txn sess with
+        | Some txn -> engine t "insert" (fun () -> do_insert txn)
+        | None ->
+            (* the per-request transaction wrapper: same idiom embedded
+               callers use, durability wait outside the engine lock *)
+            admitted t (fun () ->
+                Database.with_txn t.db (fun txn ->
+                    span t "insert" (fun () -> do_insert txn)))
+      in
+      Rx_wire.R_docid { docid }
+  | Rx_wire.Insert_many { table; column; docs } ->
+      if session_txn sess <> None then
+        invalid_arg "bulk load cannot run inside an explicit transaction";
+      engine t "insert_many" (fun () ->
+          Rx_wire.R_docids
+            { docids = Database.insert_many t.db ~table ~column docs })
+  | Rx_wire.Delete { table; docid } ->
+      let do_delete txn = Database.delete ~txn t.db ~table ~docid in
+      (match session_txn sess with
+      | Some txn -> engine t "delete" (fun () -> do_delete txn)
+      | None ->
+          admitted t (fun () ->
+              Database.with_txn t.db (fun txn ->
+                  span t "delete" (fun () -> do_delete txn))));
+      Rx_wire.R_unit
+  | Rx_wire.Get { table; column; docid } ->
+      engine t "get" (fun () ->
+          Rx_wire.R_doc
+            { doc = Database.document ?txn:(session_txn sess) t.db ~table ~column ~docid })
+  | Rx_wire.Stats ->
+      engine t "stats" (fun () ->
+          Rx_wire.R_stats
+            { json = Rx_obs.Json.to_string (Stats_report.json t.db) })
+  | Rx_wire.Shutdown -> Rx_wire.R_unit
+  | Rx_wire.Bye -> Rx_wire.R_unit
+
+(* --- graceful shutdown --- *)
+
+let request_stop t =
+  let fds =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.cv;
+          List.map snd t.live
+        end)
+  in
+  (* wake sessions blocked between frames: their reads return EOF, their
+     in-flight request (if any) still completes and responds *)
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    fds
+
+let wait t =
+  Mutex.protect t.lock (fun () ->
+      while not (t.stopping && t.live = []) do
+        Condition.wait t.cv t.lock
+      done)
+
+let stop t =
+  request_stop t;
+  wait t;
+  let threads = Mutex.protect t.lock (fun () -> t.threads) in
+  List.iter Thread.join threads;
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+(* --- per-session request loop --- *)
+
+let observe_latency t op t0 =
+  match List.assoc_opt op t.op_hists with
+  | Some h ->
+      Rx_obs.Metrics.observe h
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.))
+  | None -> ()
+
+(* handle one request end-to-end; [false] ends the session *)
+let handle t sess req =
+  Rx_obs.Metrics.incr t.m_requests;
+  let op = op_name req in
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    match dispatch t sess req with
+    | ok -> Rx_wire.Ok ok
+    | exception e ->
+        Rx_obs.Metrics.incr t.m_errors;
+        Rx_wire.Err
+          { status = Database.error_code e; message = Database.error_message e }
+  in
+  observe_latency t op t0;
+  Rx_wire.send_response sess.fd resp;
+  match req with
+  | Rx_wire.Shutdown ->
+      request_stop t;
+      false
+  | Rx_wire.Bye -> false
+  | _ -> true
+
+let handshake t sess =
+  let t0 = Unix.gettimeofday () in
+  match Rx_wire.recv_request sess.fd with
+  | None -> false
+  | Some (Rx_wire.Hello { token; client = _ }) ->
+      let authorized =
+        match t.cfg.auth_token with None -> true | Some secret -> token = secret
+      in
+      Rx_obs.Metrics.incr t.m_requests;
+      observe_latency t "hello" t0;
+      if authorized then begin
+        Rx_wire.send_response sess.fd
+          (Rx_wire.Ok (Rx_wire.R_hello { server = server_banner; session = sess.sid }));
+        true
+      end
+      else begin
+        Rx_obs.Metrics.incr t.m_errors;
+        Rx_wire.send_response sess.fd
+          (Rx_wire.Err { status = 1; message = "authentication failed" });
+        false
+      end
+  | Some _ ->
+      Rx_wire.send_response sess.fd
+        (Rx_wire.Err { status = 1; message = "expected hello" });
+      false
+
+let rec serve_loop t sess =
+  match Rx_wire.recv_request sess.fd with
+  | None -> ()
+  | Some req -> if handle t sess req then serve_loop t sess
+
+let session_main t (sid, fd) =
+  let sess = { sid; fd; txn = None; prepared = Hashtbl.create 8; next_stmt = 0 } in
+  let cleanup () =
+    (* a dropped connection rolls its open transaction back, like a
+       dropped embedded session *)
+    (match session_txn sess with
+    | Some txn -> (
+        try Database.exclusively t.db (fun () -> Database.rollback t.db txn)
+        with _ -> ())
+    | None -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Mutex.protect t.lock (fun () ->
+        t.live <- List.filter (fun (s, _) -> s <> sid) t.live;
+        Rx_obs.Metrics.set t.m_conns (List.length t.live);
+        Condition.broadcast t.cv)
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      try
+        if handshake t sess then serve_loop t sess
+      with
+      | Rx_wire.Protocol_error msg ->
+          Rx_obs.Metrics.incr t.m_errors;
+          (try
+             Rx_wire.send_response fd
+               (Rx_wire.Err { status = Rx_wire.status_protocol; message = msg })
+           with _ -> ())
+      | Unix.Unix_error _ -> () (* peer vanished mid-write *))
+
+(* --- accept loop --- *)
+
+let accept_one t =
+  let fd, _addr = Unix.accept t.listen_fd in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let admitted_sid =
+    Mutex.protect t.lock (fun () ->
+        if t.stopping || List.length t.live >= t.cfg.max_connections then None
+        else begin
+          t.next_sid <- t.next_sid + 1;
+          t.live <- (t.next_sid, fd) :: t.live;
+          Rx_obs.Metrics.set t.m_conns (List.length t.live);
+          Some t.next_sid
+        end)
+  in
+  match admitted_sid with
+  | None ->
+      Rx_obs.Metrics.incr t.m_rejected;
+      (try
+         Rx_wire.send_response fd
+           (Rx_wire.Err { status = 3; message = "server at max connections" })
+       with _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some sid ->
+      Rx_obs.Metrics.incr t.m_accepted;
+      let th = Thread.create (session_main t) (sid, fd) in
+      Mutex.protect t.lock (fun () -> t.threads <- th :: t.threads)
+
+let accept_loop t =
+  (* poll the stopping flag so shutdown never depends on waking a
+     blocked accept(2) portably *)
+  let rec loop () =
+    if not t.stopping then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          try accept_one t
+          with Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(config = default_config) db =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let m = Database.metrics db in
+  (* register every net instrument up front: session threads only ever
+     resolve existing entries, and the stats schema is complete from the
+     first request *)
+  Stats_report.ensure_net_instruments m;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen listen_fd 128;
+      let bound_port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.port
+      in
+      {
+        db;
+        cfg = config;
+        listen_fd;
+        bound_port;
+        lock = Mutex.create ();
+        cv = Condition.create ();
+        stopping = false;
+        live = [];
+        threads = [];
+        next_sid = 0;
+        queued = 0;
+        m_conns = Rx_obs.Metrics.gauge m "net.conns";
+        m_accepted = Rx_obs.Metrics.counter m "net.conns.accepted";
+        m_requests = Rx_obs.Metrics.counter m "net.requests";
+        m_errors = Rx_obs.Metrics.counter m "net.errors";
+        m_rejected = Rx_obs.Metrics.counter m "net.rejected";
+        op_hists =
+          List.map
+            (fun op -> (op, Rx_obs.Metrics.histogram m ("net.latency." ^ op)))
+            Stats_report.net_ops;
+      }
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let th = Thread.create accept_loop t in
+  Mutex.protect t.lock (fun () -> t.threads <- th :: t.threads);
+  t

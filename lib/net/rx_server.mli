@@ -1,0 +1,72 @@
+(** The rxd network server: many client sessions, one embedded engine.
+
+    One thread per accepted connection runs that connection's session —
+    handshake first, then a request/response loop over the {!Rx_wire}
+    protocol. Every session request executes against the shared
+    {!Systemrx.Database.t} under {!Systemrx.Database.exclusively} (the
+    engine lock), except that a commit's durability wait happens
+    {e outside} the lock — concurrent committers overlap their waits and
+    share group-commit fsyncs, which is the whole point of putting a
+    server in front of the engine. Requests that arrive without an open
+    session transaction and need one ([Insert]/[Delete]) are wrapped in
+    {!Systemrx.Database.with_txn}, the same idiom embedded callers use.
+
+    Admission control maps overload onto the engine's typed backpressure:
+    a connection beyond [max_connections] is answered with one Busy
+    response and closed, and a request that would push the number of
+    requests in service past [max_queue_depth] is refused with the Busy
+    status (3) — clients retry; nothing hangs or queues unboundedly.
+
+    Observability threads through the database's own registry:
+    [net.conns] (live sessions), [net.conns.accepted], [net.requests],
+    [net.errors], [net.rejected], a [net.latency.<op>] histogram
+    (microseconds) per operation, and a [net.request] trace span around
+    each engine-locked section. *)
+
+type config = {
+  host : string;  (** bind address (default 127.0.0.1) *)
+  port : int;  (** TCP port; 0 picks an ephemeral one (see {!port}) *)
+  max_connections : int;
+      (** sessions allowed concurrently; further connects are answered
+          Busy and closed (default 64) *)
+  max_queue_depth : int;
+      (** requests allowed in service concurrently — admission control's
+          queue-depth bound; excess requests are answered Busy without
+          touching the engine (default 64) *)
+  auth_token : string option;
+      (** handshake stub: when set, a [Hello] whose token differs is
+          refused (default [None] = any token accepted) *)
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral port, 64 connections, queue depth 64, no
+    token. *)
+
+type t
+
+val start : ?config:config -> Systemrx.Database.t -> t
+(** Binds, listens and spawns the accept loop; returns immediately. The
+    caller keeps ownership of the database handle but must stop issuing
+    its own operations on it (or wrap them in
+    {!Systemrx.Database.exclusively}) while the server runs. SIGPIPE is
+    set to ignore — an abruptly closed peer surfaces as [EPIPE] on the
+    session's writes, not process death. *)
+
+val port : t -> int
+(** The bound TCP port (the actual one when [config.port] was 0). *)
+
+val request_stop : t -> unit
+(** Initiates graceful shutdown without blocking (safe from a signal
+    handler or a session thread): stop accepting, let every in-flight
+    request finish and respond, then end each session at its next frame
+    boundary. Idempotent. The wire [Shutdown] operation calls this after
+    its OK response is sent. *)
+
+val wait : t -> unit
+(** Blocks until shutdown has been requested and every session has
+    drained. *)
+
+val stop : t -> unit
+(** {!request_stop}, then {!wait}, then joins the server's threads and
+    closes the listener. Idempotent; the database handle stays open —
+    closing it remains the caller's job. *)

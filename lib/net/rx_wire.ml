@@ -1,0 +1,360 @@
+exception Protocol_error of string
+
+let max_frame = 16 * 1024 * 1024
+let status_protocol = 7
+
+type request =
+  | Hello of { token : string; client : string }
+  | Query of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+    }
+  | Prepare of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+    }
+  | Run_prepared of { stmt : int }
+  | Begin
+  | Commit of { txid : int }
+  | Rollback of { txid : int }
+  | Insert of {
+      table : string;
+      values : (string * string) list;
+      xml : (string * string) list;
+    }
+  | Insert_many of { table : string; column : string; docs : string list }
+  | Delete of { table : string; docid : int }
+  | Get of { table : string; column : string; docid : int }
+  | Stats
+  | Shutdown
+  | Bye
+
+type ok =
+  | R_hello of { server : string; session : int }
+  | R_matches of { plan : string; matches : (int * string) list }
+  | R_prepared of { stmt : int; plan : string }
+  | R_txn of { txid : int }
+  | R_unit
+  | R_docid of { docid : int }
+  | R_docids of { docids : int list }
+  | R_doc of { doc : string }
+  | R_stats of { json : string }
+
+type response = Ok of ok | Err of { status : int; message : string }
+
+(* --- payload encoding --- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_int b v =
+  let s = Bytes.create 8 in
+  Bytes.set_int64_be s 0 (Int64.of_int v);
+  Buffer.add_bytes b s
+
+let put_u32 b v =
+  let s = Bytes.create 4 in
+  Bytes.set_int32_be s 0 (Int32.of_int v);
+  Buffer.add_bytes b s
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_list b f xs =
+  put_u32 b (List.length xs);
+  List.iter (f b) xs
+
+let put_pair b (k, v) =
+  put_str b k;
+  put_str b v
+
+(* --- payload decoding --- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if n < 0 || c.pos + n > String.length c.s then
+    raise (Protocol_error "truncated payload")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_int c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_be c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.s c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Protocol_error "negative length");
+  v
+
+let get_str c =
+  let len = get_u32 c in
+  need c len;
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_list c f =
+  let n = get_u32 c in
+  (* every element costs at least one byte on the wire, so a count larger
+     than the remaining payload is malformed, not merely large *)
+  need c n;
+  List.init n (fun _ -> f c)
+
+let get_pair c =
+  let k = get_str c in
+  let v = get_str c in
+  (k, v)
+
+(* --- requests --- *)
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Hello { token; client } ->
+      put_u8 b 1;
+      put_str b token;
+      put_str b client
+  | Query { table; column; xpath; ns_env } ->
+      put_u8 b 2;
+      put_str b table;
+      put_str b column;
+      put_str b xpath;
+      put_list b put_pair ns_env
+  | Prepare { table; column; xpath; ns_env } ->
+      put_u8 b 3;
+      put_str b table;
+      put_str b column;
+      put_str b xpath;
+      put_list b put_pair ns_env
+  | Run_prepared { stmt } ->
+      put_u8 b 4;
+      put_int b stmt
+  | Begin -> put_u8 b 5
+  | Commit { txid } ->
+      put_u8 b 6;
+      put_int b txid
+  | Rollback { txid } ->
+      put_u8 b 7;
+      put_int b txid
+  | Insert { table; values; xml } ->
+      put_u8 b 8;
+      put_str b table;
+      put_list b put_pair values;
+      put_list b put_pair xml
+  | Insert_many { table; column; docs } ->
+      put_u8 b 9;
+      put_str b table;
+      put_str b column;
+      put_list b put_str docs
+  | Delete { table; docid } ->
+      put_u8 b 10;
+      put_str b table;
+      put_int b docid
+  | Get { table; column; docid } ->
+      put_u8 b 11;
+      put_str b table;
+      put_str b column;
+      put_int b docid
+  | Stats -> put_u8 b 12
+  | Shutdown -> put_u8 b 13
+  | Bye -> put_u8 b 14);
+  Buffer.contents b
+
+let finish c v =
+  if c.pos <> String.length c.s then raise (Protocol_error "trailing bytes");
+  v
+
+let decode_request s =
+  let c = { s; pos = 0 } in
+  let r =
+    match get_u8 c with
+    | 1 ->
+        let token = get_str c in
+        let client = get_str c in
+        Hello { token; client }
+    | 2 ->
+        let table = get_str c in
+        let column = get_str c in
+        let xpath = get_str c in
+        let ns_env = get_list c get_pair in
+        Query { table; column; xpath; ns_env }
+    | 3 ->
+        let table = get_str c in
+        let column = get_str c in
+        let xpath = get_str c in
+        let ns_env = get_list c get_pair in
+        Prepare { table; column; xpath; ns_env }
+    | 4 -> Run_prepared { stmt = get_int c }
+    | 5 -> Begin
+    | 6 -> Commit { txid = get_int c }
+    | 7 -> Rollback { txid = get_int c }
+    | 8 ->
+        let table = get_str c in
+        let values = get_list c get_pair in
+        let xml = get_list c get_pair in
+        Insert { table; values; xml }
+    | 9 ->
+        let table = get_str c in
+        let column = get_str c in
+        let docs = get_list c get_str in
+        Insert_many { table; column; docs }
+    | 10 ->
+        let table = get_str c in
+        let docid = get_int c in
+        Delete { table; docid }
+    | 11 ->
+        let table = get_str c in
+        let column = get_str c in
+        let docid = get_int c in
+        Get { table; column; docid }
+    | 12 -> Stats
+    | 13 -> Shutdown
+    | 14 -> Bye
+    | op -> raise (Protocol_error (Printf.sprintf "unknown opcode %d" op))
+  in
+  finish c r
+
+(* --- responses --- *)
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Ok ok -> (
+      put_u8 b 0;
+      match ok with
+      | R_hello { server; session } ->
+          put_u8 b 1;
+          put_str b server;
+          put_int b session
+      | R_matches { plan; matches } ->
+          put_u8 b 2;
+          put_str b plan;
+          put_list b
+            (fun b (docid, doc) ->
+              put_int b docid;
+              put_str b doc)
+            matches
+      | R_prepared { stmt; plan } ->
+          put_u8 b 3;
+          put_int b stmt;
+          put_str b plan
+      | R_txn { txid } ->
+          put_u8 b 4;
+          put_int b txid
+      | R_unit -> put_u8 b 5
+      | R_docid { docid } ->
+          put_u8 b 6;
+          put_int b docid
+      | R_docids { docids } ->
+          put_u8 b 7;
+          put_list b put_int docids
+      | R_doc { doc } ->
+          put_u8 b 8;
+          put_str b doc
+      | R_stats { json } ->
+          put_u8 b 9;
+          put_str b json)
+  | Err { status; message } ->
+      if status <= 0 || status > 255 then
+        invalid_arg "Rx_wire: error status out of range";
+      put_u8 b status;
+      put_str b message);
+  Buffer.contents b
+
+let decode_response s =
+  let c = { s; pos = 0 } in
+  let r =
+    match get_u8 c with
+    | 0 -> (
+        match get_u8 c with
+        | 1 ->
+            let server = get_str c in
+            let session = get_int c in
+            Ok (R_hello { server; session })
+        | 2 ->
+            let plan = get_str c in
+            let matches =
+              get_list c (fun c ->
+                  let docid = get_int c in
+                  let doc = get_str c in
+                  (docid, doc))
+            in
+            Ok (R_matches { plan; matches })
+        | 3 ->
+            let stmt = get_int c in
+            let plan = get_str c in
+            Ok (R_prepared { stmt; plan })
+        | 4 -> Ok (R_txn { txid = get_int c })
+        | 5 -> Ok R_unit
+        | 6 -> Ok (R_docid { docid = get_int c })
+        | 7 -> Ok (R_docids { docids = get_list c get_int })
+        | 8 -> Ok (R_doc { doc = get_str c })
+        | 9 -> Ok (R_stats { json = get_str c })
+        | tag -> raise (Protocol_error (Printf.sprintf "unknown result tag %d" tag)))
+    | status -> Err { status; message = get_str c }
+  in
+  finish c r
+
+(* --- framing over a file descriptor --- *)
+
+let rec really_write fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    really_write fd s (off + n) (len - n)
+  end
+
+(* [`Eof] only when not a single byte arrives; a partial read followed by
+   EOF is a torn frame *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then `Eof else raise (Protocol_error "truncated frame")
+      | k -> go (off + k)
+  in
+  go 0
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then invalid_arg "Rx_wire: frame exceeds max_frame";
+  let b = Buffer.create (4 + len) in
+  put_u32 b len;
+  Buffer.add_string b payload;
+  really_write fd (Buffer.contents b) 0 (4 + len)
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | `Eof -> None
+  | `Ok header ->
+      let len = Int32.to_int (String.get_int32_be header 0) in
+      if len < 0 || len > max_frame then
+        raise (Protocol_error (Printf.sprintf "oversized frame (%d bytes)" len));
+      (match read_exact fd len with
+      | `Eof -> if len = 0 then Some "" else raise (Protocol_error "truncated frame")
+      | `Ok payload -> Some payload)
+
+let send_request fd r = write_frame fd (encode_request r)
+
+let recv_request fd = Option.map decode_request (read_frame fd)
+
+let send_response fd r = write_frame fd (encode_response r)
+
+let recv_response fd =
+  match read_frame fd with
+  | None -> raise (Protocol_error "connection closed before response")
+  | Some payload -> decode_response payload

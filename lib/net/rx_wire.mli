@@ -1,0 +1,112 @@
+(** rxd wire protocol: length-prefixed binary frames over a byte stream.
+
+    Every message is one frame: a 4-byte big-endian payload length
+    followed by the payload. A request payload is an opcode byte plus
+    that operation's fields; a response payload is a status byte —
+    [0 = OK] followed by the result, or an error status followed by a
+    one-line message. Integers travel as 8-byte big-endian two's
+    complement; strings and lists are length-prefixed with an unsigned
+    32-bit count. Frames larger than {!max_frame} are rejected before
+    their payload is read, and a stream that ends mid-frame raises
+    {!Protocol_error} (a stream that ends cleanly {e between} frames is a
+    normal disconnect, surfaced as [None] by {!recv_request}).
+
+    Error statuses 1–6 reuse the engine's stable error table
+    ({!Systemrx.Database.error_code}, identical to the [rx] exit codes);
+    status {!status_protocol} (7) marks a malformed or oversized frame,
+    after which the connection is unusable and both ends close it. *)
+
+exception Protocol_error of string
+(** A malformed frame: truncated stream, oversized or negative length,
+    unknown opcode/status/tag, or trailing bytes after a complete
+    payload. The connection cannot be resynchronized and must be
+    closed. *)
+
+val max_frame : int
+(** Largest accepted payload, 16 MiB — bounds a session's memory and
+    rejects garbage (e.g. a TLS hello) before allocating for it. *)
+
+val status_protocol : int
+(** Status code 7: the peer sent a frame that does not parse. *)
+
+(** One client request. Operations act on the connection's session: a
+    session holds at most one open transaction (DML and queries join it
+    implicitly while it is open) and a table of prepared statements. *)
+type request =
+  | Hello of { token : string; client : string }
+      (** Mandatory first request (auth stub: [token] must match the
+          server's configured secret, empty when the server has none). *)
+  | Query of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+    }
+  | Prepare of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+    }
+  | Run_prepared of { stmt : int }
+  | Begin
+  | Commit of { txid : int }
+  | Rollback of { txid : int }
+  | Insert of {
+      table : string;
+      values : (string * string) list;  (** varchar column values *)
+      xml : (string * string) list;  (** XML column documents *)
+    }
+  | Insert_many of { table : string; column : string; docs : string list }
+      (** Bulk load; refused inside an explicit transaction. *)
+  | Delete of { table : string; docid : int }
+  | Get of { table : string; column : string; docid : int }
+  | Stats  (** The {!Systemrx.Stats_report.json} document. *)
+  | Shutdown  (** Graceful server shutdown (reply comes first). *)
+  | Bye  (** Orderly session close. *)
+
+(** An OK response's payload, one constructor per result shape. *)
+type ok =
+  | R_hello of { server : string; session : int }
+  | R_matches of { plan : string; matches : (int * string) list }
+      (** Query results: the executed plan description plus
+          [(docid, serialized subtree)] per match, in document order. *)
+  | R_prepared of { stmt : int; plan : string }
+  | R_txn of { txid : int }
+  | R_unit
+  | R_docid of { docid : int }
+  | R_docids of { docids : int list }
+  | R_doc of { doc : string }
+  | R_stats of { json : string }
+
+type response = Ok of ok | Err of { status : int; message : string }
+
+val encode_request : request -> string
+(** The request's frame payload (no length prefix). *)
+
+val decode_request : string -> request
+(** @raise Protocol_error on an unknown opcode, truncation or trailing
+    bytes. *)
+
+val encode_response : response -> string
+(** The response's frame payload (no length prefix). *)
+
+val decode_response : string -> response
+(** @raise Protocol_error like {!decode_request}. *)
+
+val send_request : Unix.file_descr -> request -> unit
+(** Writes one framed request (single [write] loop — header and payload
+    leave together). *)
+
+val recv_request : Unix.file_descr -> request option
+(** Reads one framed request; [None] on a clean disconnect (EOF before
+    any header byte).
+    @raise Protocol_error on a torn or malformed frame. *)
+
+val send_response : Unix.file_descr -> response -> unit
+(** Writes one framed response. *)
+
+val recv_response : Unix.file_descr -> response
+(** Reads one framed response — a server never half-closes between a
+    request and its reply, so EOF here is an error.
+    @raise Protocol_error on EOF or a malformed frame. *)

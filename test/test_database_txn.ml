@@ -173,6 +173,84 @@ let test_rollback_no_trace () =
   check Alcotest.bool "value index still drives the plan" true
     r.Database.plan.Database.uses_index
 
+(* with_txn: commits on normal return, rolls back and re-raises on
+   exception; safe to call from many threads at once *)
+let test_with_txn () =
+  let db = make_db () in
+  let before = (Database.stats db).Database.documents in
+  let d =
+    Database.with_txn db (fun txn ->
+        Database.insert ~txn db ~table:"products"
+          ~xml:[ ("doc", product ~name:"combinator" ~price:123.) ]
+          ())
+  in
+  check Alcotest.int "insert committed" (before + 1)
+    (Database.stats db).Database.documents;
+  check Alcotest.bool "document readable" true
+    (contains ~needle:"combinator"
+       (Database.document db ~table:"products" ~column:"doc" ~docid:d));
+  (* exception inside the body rolls everything back and re-raises *)
+  (match
+     Database.with_txn db (fun txn ->
+         ignore
+           (Database.insert ~txn db ~table:"products"
+              ~xml:[ ("doc", product ~name:"doomed" ~price:1.) ]
+              ());
+         failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the body's exception"
+  | exception Failure msg -> check Alcotest.string "exception re-raised" "boom" msg);
+  check Alcotest.int "failed body left no trace" (before + 1)
+    (Database.stats db).Database.documents;
+  (* concurrent with_txn callers: the combinator serializes the bodies
+     internally, so plain threads need no external locking *)
+  let workers = 8 and per = 5 in
+  let errors = Atomic.make 0 in
+  let threads =
+    List.init workers (fun w ->
+        Thread.create
+          (fun () ->
+            try
+              for i = 1 to per do
+                ignore
+                  (Database.with_txn db (fun txn ->
+                       Database.insert ~txn db ~table:"products"
+                         ~xml:
+                           [
+                             ( "doc",
+                               product
+                                 ~name:(Printf.sprintf "w%d-%d" w i)
+                                 ~price:(float_of_int (w + i)) );
+                           ]
+                         ()))
+              done
+            with _ -> Atomic.incr errors)
+          ())
+  in
+  List.iter Thread.join threads;
+  check Alcotest.int "no worker failed" 0 (Atomic.get errors);
+  check Alcotest.int "all concurrent commits applied"
+    (before + 1 + (workers * per))
+    (Database.stats db).Database.documents
+
+(* exclusively + commit_async: phase-1 apply under the engine lock,
+   durability await outside it — the building block the network server
+   uses to overlap fsyncs across sessions *)
+let test_commit_async () =
+  let db = make_db ~with_index:false ~n:1 () in
+  let await =
+    Database.exclusively db (fun () ->
+        let txn = Database.begin_txn db in
+        ignore
+          (Database.insert ~txn db ~table:"products"
+             ~xml:[ ("doc", product ~name:"async" ~price:5.) ]
+             ());
+        Database.commit_async db txn)
+  in
+  await ();
+  check Alcotest.int "applied and durable" 2
+    (Database.stats db).Database.documents
+
 (* first-updater-wins: a document updated by a transaction that committed
    after this transaction began cannot be written again by it *)
 let test_write_write_conflict () =
@@ -324,6 +402,13 @@ let () =
             test_rollback_no_trace;
           Alcotest.test_case "write-write conflict (first updater wins)" `Quick
             test_write_write_conflict;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "with_txn commit / rollback / concurrency" `Quick
+            test_with_txn;
+          Alcotest.test_case "exclusively + commit_async" `Quick
+            test_commit_async;
         ] );
       ( "locking",
         [

@@ -1,0 +1,390 @@
+(* The rxd network layer: wire-protocol codec round-trips, malformed-frame
+   rejection, and end-to-end client/server sessions over loopback TCP —
+   queries, explicit transactions, busy admission control, auth, error
+   mapping and graceful shutdown. *)
+
+open Systemrx
+open Rx_relational
+
+let check = Alcotest.check
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* --- codec round-trips --- *)
+
+let all_requests : Rx_wire.request list =
+  [
+    Rx_wire.Hello { token = "s3cret"; client = "test \xc3\xa9" };
+    Rx_wire.Query
+      {
+        table = "t";
+        column = "doc";
+        xpath = "/a/b[c > 1]";
+        ns_env = [ ("p", "urn:x"); ("q", "urn:y") ];
+      };
+    Rx_wire.Prepare { table = "t"; column = "c"; xpath = "//x"; ns_env = [] };
+    Rx_wire.Run_prepared { stmt = 42 };
+    Rx_wire.Begin;
+    Rx_wire.Commit { txid = 7 };
+    Rx_wire.Rollback { txid = max_int };
+    Rx_wire.Insert
+      {
+        table = "t";
+        values = [ ("sku", "S1") ];
+        xml = [ ("doc", "<a><b>x</b></a>"); ("doc2", "<c/>") ];
+      };
+    Rx_wire.Insert_many
+      { table = "t"; column = "doc"; docs = [ "<a/>"; "<b/>"; "" ] };
+    Rx_wire.Delete { table = "t"; docid = 0 };
+    Rx_wire.Get { table = "t"; column = "doc"; docid = -1 };
+    Rx_wire.Stats;
+    Rx_wire.Shutdown;
+    Rx_wire.Bye;
+  ]
+
+let all_responses : Rx_wire.response list =
+  [
+    Rx_wire.Ok (Rx_wire.R_hello { server = "rxd/1.0"; session = 3 });
+    Rx_wire.Ok
+      (Rx_wire.R_matches
+         { plan = "VALUE-INDEX(price)"; matches = [ (1, "<a/>"); (9, "<b>t</b>") ] });
+    Rx_wire.Ok (Rx_wire.R_matches { plan = ""; matches = [] });
+    Rx_wire.Ok (Rx_wire.R_prepared { stmt = 5; plan = "QUICKXSCAN" });
+    Rx_wire.Ok (Rx_wire.R_txn { txid = 12 });
+    Rx_wire.Ok Rx_wire.R_unit;
+    Rx_wire.Ok (Rx_wire.R_docid { docid = 123456789012345 });
+    Rx_wire.Ok (Rx_wire.R_docids { docids = [ 1; 2; 3 ] });
+    Rx_wire.Ok (Rx_wire.R_doc { doc = String.make 70_000 'x' });
+    Rx_wire.Ok (Rx_wire.R_stats { json = "{\"documents\": 1}" });
+    Rx_wire.Err { status = 3; message = "busy: queue full" };
+    Rx_wire.Err { status = 7; message = "" };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      if Rx_wire.decode_request (Rx_wire.encode_request r) <> r then
+        Alcotest.failf "request did not round-trip")
+    all_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      if Rx_wire.decode_response (Rx_wire.encode_response r) <> r then
+        Alcotest.failf "response did not round-trip")
+    all_responses
+
+let expect_protocol_error f =
+  match f () with
+  | exception Rx_wire.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "expected Protocol_error"
+
+let test_malformed_payloads () =
+  (* truncation at every prefix length must reject, never crash or hang *)
+  List.iter
+    (fun r ->
+      let full = Rx_wire.encode_request r in
+      for len = 0 to String.length full - 1 do
+        expect_protocol_error (fun () ->
+            Rx_wire.decode_request (String.sub full 0 len))
+      done;
+      (* trailing garbage after a complete payload *)
+      expect_protocol_error (fun () -> Rx_wire.decode_request (full ^ "\x00")))
+    all_requests;
+  expect_protocol_error (fun () -> Rx_wire.decode_request "\xff");
+  expect_protocol_error (fun () -> Rx_wire.decode_response "\x00\xfe");
+  (* a list count that exceeds the remaining payload *)
+  let b = Buffer.create 16 in
+  Buffer.add_char b '\x09';
+  (* Insert_many: table "t", column "c", then a huge doc count *)
+  List.iter
+    (fun s ->
+      Buffer.add_string b "\x00\x00\x00\x01";
+      Buffer.add_string b s)
+    [ "t"; "c" ];
+  Buffer.add_string b "\x7f\xff\xff\xff";
+  expect_protocol_error (fun () -> Rx_wire.decode_request (Buffer.contents b))
+
+let test_framed_io () =
+  (* clean EOF before any header byte is a normal disconnect *)
+  let r, w = Unix.pipe () in
+  Unix.close w;
+  check (Alcotest.option Alcotest.reject) "clean EOF" None
+    (Option.map (fun _ -> ()) (Rx_wire.recv_request r));
+  Unix.close r;
+  (* torn frame: header promises more than ever arrives *)
+  let r, w = Unix.pipe () in
+  let payload = Rx_wire.encode_request Rx_wire.Begin in
+  let frame = Bytes.create 4 in
+  Bytes.set_int32_be frame 0 (Int32.of_int (String.length payload + 50));
+  ignore (Unix.write w frame 0 4);
+  ignore (Unix.write_substring w payload 0 (String.length payload));
+  Unix.close w;
+  expect_protocol_error (fun () -> Rx_wire.recv_request r);
+  Unix.close r;
+  (* oversized frame is rejected from the header alone, payload unread *)
+  let r, w = Unix.pipe () in
+  Bytes.set_int32_be frame 0 (Int32.of_int (Rx_wire.max_frame + 1));
+  ignore (Unix.write w frame 0 4);
+  Unix.close w;
+  expect_protocol_error (fun () -> Rx_wire.recv_request r);
+  Unix.close r;
+  (* a full frame round-trips through a byte stream *)
+  let r, w = Unix.pipe () in
+  let req =
+    Rx_wire.Query { table = "t"; column = "c"; xpath = "//x"; ns_env = [] }
+  in
+  Rx_wire.send_request w req;
+  Unix.close w;
+  (match Rx_wire.recv_request r with
+  | Some got when got = req -> ()
+  | _ -> Alcotest.fail "framed request did not round-trip");
+  Unix.close r
+
+(* --- end-to-end sessions --- *)
+
+let product ~name ~price =
+  Printf.sprintf "<Product><Name>%s</Name><Price>%g</Price></Product>" name price
+
+let make_db () =
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"products"
+      ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
+  in
+  Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"price"
+    ~path:"/Product/Price" ~key_type:Rx_xindex.Index_def.K_double;
+  for i = 1 to 5 do
+    ignore
+      (Database.insert db ~table:"products"
+         ~xml:[ ("doc", product ~name:(Printf.sprintf "item-%d" i) ~price:(float_of_int (i * 10))) ]
+         ())
+  done;
+  db
+
+let with_server ?config f =
+  let db = make_db () in
+  let srv = Rx_server.start ?config db in
+  Fun.protect
+    ~finally:(fun () ->
+      Rx_server.stop srv;
+      Database.close db)
+    (fun () -> f db srv)
+
+let connect srv = Rx_client.connect ~port:(Rx_server.port srv) ()
+
+let test_session_query_dml () =
+  with_server @@ fun db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  (* indexed query over the wire reports the engine's plan *)
+  let r =
+    Rx_client.query c ~table:"products" ~column:"doc"
+      ~xpath:"/Product[Price > 25]"
+  in
+  check Alcotest.int "matches over 25" 3 (List.length r.Rx_client.matches);
+  if not (contains ~needle:"price" r.Rx_client.plan) then
+    Alcotest.failf "expected the price index in the plan, got %s" r.Rx_client.plan;
+  (* auto-commit insert through the server's with_txn wrapper *)
+  let docid =
+    Rx_client.insert c ~table:"products"
+      ~values:[ ("sku", "S900") ]
+      ~xml:[ ("doc", product ~name:"net" ~price:900.) ]
+      ()
+  in
+  let doc = Rx_client.document c ~table:"products" ~column:"doc" ~docid in
+  if not (contains ~needle:"net" doc) then Alcotest.fail "fetched wrong document";
+  check Alcotest.int "row visible embedded" 6 (Database.row_count db ~table:"products");
+  (* prepared statements live in the session *)
+  let p =
+    Rx_client.prepare c ~table:"products" ~column:"doc" ~xpath:"/Product/Name"
+  in
+  let r2 = Rx_client.run_prepared c p in
+  check Alcotest.int "prepared matches" 6 (List.length r2.Rx_client.matches);
+  (* bulk load *)
+  let ids =
+    Rx_client.insert_many c ~table:"products" ~column:"doc"
+      [ product ~name:"b1" ~price:1.; product ~name:"b2" ~price:2. ]
+  in
+  check Alcotest.int "bulk ids" 2 (List.length ids);
+  Rx_client.delete c ~table:"products" ~docid;
+  check Alcotest.int "row count after delete" 7 (Database.row_count db ~table:"products");
+  (* stats carries the same schema as rx stats --json, net.* included *)
+  let js = Rx_client.stats_json c in
+  List.iter
+    (fun needle ->
+      if not (contains ~needle js) then
+        Alcotest.failf "stats JSON lacks %s" needle)
+    [ "net.requests"; "net.conns"; "net.latency.query"; "documents" ]
+
+let test_session_txn () =
+  with_server @@ fun db srv ->
+  let c = connect srv in
+  let c2 = connect srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Rx_client.close c;
+      Rx_client.close c2)
+  @@ fun () ->
+  (* staged writes are invisible to other sessions until commit *)
+  let txn = Rx_client.begin_txn c in
+  let docid =
+    Rx_client.insert c ~table:"products"
+      ~xml:[ ("doc", product ~name:"staged" ~price:77.) ]
+      ()
+  in
+  let r2 =
+    Rx_client.query c2 ~table:"products" ~column:"doc" ~xpath:"/Product"
+  in
+  check Alcotest.int "other session sees 5" 5 (List.length r2.Rx_client.matches);
+  let r1 = Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" in
+  check Alcotest.int "staging session sees 6" 6 (List.length r1.Rx_client.matches);
+  Rx_client.commit c txn;
+  let r2' =
+    Rx_client.query c2 ~table:"products" ~column:"doc" ~xpath:"/Product"
+  in
+  check Alcotest.int "committed visible" 6 (List.length r2'.Rx_client.matches);
+  (* rollback undoes staged work *)
+  let txn = Rx_client.begin_txn c in
+  Rx_client.delete c ~table:"products" ~docid;
+  Rx_client.rollback c txn;
+  check Alcotest.int "rollback kept the row" 6 (Database.row_count db ~table:"products");
+  (* double begin is an application error on the session *)
+  let txn = Rx_client.begin_txn c in
+  (match Rx_client.begin_txn c with
+  | exception Rx_client.Error { status = 1; _ } -> ()
+  | _ -> Alcotest.fail "second begin should fail");
+  Rx_client.rollback c txn;
+  (* a dropped connection rolls its transaction back server-side *)
+  let c3 = connect srv in
+  let _txn3 = Rx_client.begin_txn c3 in
+  ignore
+    (Rx_client.insert c3 ~table:"products"
+       ~xml:[ ("doc", product ~name:"orphan" ~price:1.) ]
+       ());
+  Rx_client.close c3;
+  (* the close is asynchronous from the server's point of view: poll
+     briefly until the session cleanup has run *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec settled () =
+    let r = Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" in
+    if List.length r.Rx_client.matches = 6 then true
+    else if Unix.gettimeofday () > deadline then false
+    else (Thread.delay 0.02; settled ())
+  in
+  if not (settled ()) then Alcotest.fail "orphaned transaction not rolled back"
+
+let test_error_mapping () =
+  with_server @@ fun _db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  (* unknown table is an application error (status 1) with the engine's
+     message *)
+  (match Rx_client.query c ~table:"nope" ~column:"doc" ~xpath:"/a" with
+  | exception Rx_client.Error { status = 1; message } ->
+      if not (contains ~needle:"nope" message) then
+        Alcotest.failf "unexpected message %s" message
+  | _ -> Alcotest.fail "expected status-1 error");
+  (* a malformed document is rejected without poisoning the session *)
+  (match
+     Rx_client.insert c ~table:"products" ~xml:[ ("doc", "<open>") ] ()
+   with
+  | exception Rx_client.Error { status = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected parse rejection");
+  let r = Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" in
+  check Alcotest.int "session still works" 5 (List.length r.Rx_client.matches)
+
+let test_busy_admission () =
+  (* queue depth 0: every engine-touching request is refused as Busy
+     before it queues *)
+  with_server
+    ~config:{ Rx_server.default_config with max_queue_depth = 0 }
+  @@ fun _db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  match Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" with
+  | exception Database.Busy _ -> ()
+  | _ -> Alcotest.fail "expected Busy from admission control"
+
+let test_connection_cap () =
+  with_server
+    ~config:{ Rx_server.default_config with max_connections = 1 }
+  @@ fun _db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  match connect srv with
+  | exception Database.Busy _ -> ()
+  | c2 ->
+      Rx_client.close c2;
+      Alcotest.fail "expected Busy beyond max_connections"
+
+let test_auth_token () =
+  with_server
+    ~config:{ Rx_server.default_config with auth_token = Some "s3cret" }
+  @@ fun _db srv ->
+  (* wrong token refused *)
+  (match Rx_client.connect ~port:(Rx_server.port srv) ~token:"wrong" () with
+  | exception Rx_client.Error { status = 1; _ } -> ()
+  | c ->
+      Rx_client.close c;
+      Alcotest.fail "expected auth failure");
+  (* right token accepted *)
+  let c = Rx_client.connect ~port:(Rx_server.port srv) ~token:"s3cret" () in
+  let r = Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" in
+  check Alcotest.int "authorized query" 5 (List.length r.Rx_client.matches);
+  Rx_client.close c
+
+let test_graceful_shutdown () =
+  let db = make_db () in
+  let srv = Rx_server.start db in
+  let port = Rx_server.port srv in
+  let c = connect srv in
+  Rx_client.shutdown c;
+  (* wait returns once every session drained; stop joins the threads *)
+  Rx_server.wait srv;
+  Rx_server.stop srv;
+  Rx_client.close c;
+  (match Rx_client.connect ~port () with
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+  | exception _ -> () (* any connection failure is acceptable post-stop *)
+  | c2 ->
+      Rx_client.close c2;
+      Alcotest.fail "listener still accepting after shutdown");
+  (* the engine survives the server: still usable embedded *)
+  check Alcotest.int "engine alive" 5 (Database.row_count db ~table:"products");
+  Database.close db
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "request round-trips" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trips" `Quick test_response_roundtrip;
+          Alcotest.test_case "malformed payloads rejected" `Quick
+            test_malformed_payloads;
+          Alcotest.test_case "framing: EOF, torn and oversized frames" `Quick
+            test_framed_io;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "query, DML, prepared, bulk, stats" `Quick
+            test_session_query_dml;
+          Alcotest.test_case "explicit transactions and disconnect rollback"
+            `Quick test_session_txn;
+          Alcotest.test_case "error mapping" `Quick test_error_mapping;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "queue-depth busy" `Quick test_busy_admission;
+          Alcotest.test_case "connection cap busy" `Quick test_connection_cap;
+          Alcotest.test_case "auth token stub" `Quick test_auth_token;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
+        ] );
+    ]
