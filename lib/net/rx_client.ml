@@ -14,6 +14,8 @@ let rpc c req =
   | Rx_wire.Ok ok -> ok
   | Rx_wire.Err { status = 3; _ } ->
       raise (Systemrx.Database.Busy { txid = 0; blockers = [] })
+  | Rx_wire.Err { status = 4; _ } ->
+      raise (Rx_txn.Lock_manager.Deadlock { victim = 0; cycle = [] })
   | Rx_wire.Err { status = 5; message } ->
       raise (Systemrx.Database.Read_only { reason = message })
   | Rx_wire.Err { status; message } -> raise (Error { status; message })

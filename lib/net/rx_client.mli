@@ -14,19 +14,21 @@
     the engine's own exceptions where they reconstruct faithfully —
     status 3 as {!Systemrx.Database.Busy} (with [txid = 0], no blockers:
     retryable backpressure, whether from lock conflict, pool exhaustion
-    or the server's admission control) and status 5 as
+    or the server's admission control), status 4 as
+    {!Rx_txn.Lock_manager.Deadlock} (with [victim = 0], empty cycle —
+    the ids stay server-side; retry logic can treat Busy and Deadlock
+    uniformly, as embedded callers do) and status 5 as
     {!Systemrx.Database.Read_only}. Everything else (application errors,
-    deadlock victims, corruption, protocol violations) raises {!Error}
-    with the wire status and the server's message, so embedded and
-    networked callers share one error vocabulary. *)
+    corruption, protocol violations) raises {!Error} with the wire
+    status and the server's message, so embedded and networked callers
+    share one error vocabulary. *)
 
 type t
 
 exception Error of { status : int; message : string }
 (** A non-OK response that does not reconstruct as an engine exception:
-    the wire status (1 application error, 2 unexpected, 4 deadlock,
-    6 corruption, 7 protocol violation) plus the server's one-line
-    message. *)
+    the wire status (1 application error, 2 unexpected, 6 corruption,
+    7 protocol violation) plus the server's one-line message. *)
 
 type txn
 (** An explicit transaction open on this connection's server session. *)

@@ -32,11 +32,17 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  (* self-pipe: [request_stop] only writes a byte here (async-signal-safe
+     — no lock), and the accept loop's select turns it into the actual
+     shutdown under the lock *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
   lock : Mutex.t;
   cv : Condition.t;
   mutable stopping : bool;
   mutable live : (int * Unix.file_descr) list;
-  mutable threads : Thread.t list;  (* accept loop + session threads *)
+  mutable threads : Thread.t list;  (* accept loop + running sessions *)
+  mutable dead : Thread.t list;  (* finished sessions awaiting join *)
   mutable next_sid : int;
   mutable queued : int;  (* requests currently in service *)
   m_conns : Rx_obs.Metrics.gauge;
@@ -154,12 +160,15 @@ let dispatch t sess : Rx_wire.request -> Rx_wire.ok = function
           if Database.txn_id txn <> txid then
             invalid_arg
               (Printf.sprintf "transaction %d is not this session's" txid);
-          sess.txn <- None;
           (* apply under the engine lock, await durability outside it:
-             concurrent session commits share group-commit fsyncs *)
+             concurrent session commits share group-commit fsyncs. The
+             session keeps its transaction until the engine accepts the
+             commit: admission control's Busy must leave it open and
+             retryable, not orphaned with its locks held *)
           let await =
             engine t "commit" (fun () -> Database.commit_async t.db txn)
           in
+          sess.txn <- None;
           await ();
           Rx_wire.R_unit)
   | Rx_wire.Rollback { txid } -> (
@@ -169,10 +178,15 @@ let dispatch t sess : Rx_wire.request -> Rx_wire.ok = function
           if Database.txn_id txn <> txid then
             invalid_arg
               (Printf.sprintf "transaction %d is not this session's" txid);
+          (* as with commit: only forget the transaction once the engine
+             actually rolled it back, so a Busy refusal stays retryable *)
+          let r =
+            engine t "rollback" (fun () ->
+                Database.rollback t.db txn;
+                Rx_wire.R_unit)
+          in
           sess.txn <- None;
-          engine t "rollback" (fun () ->
-              Database.rollback t.db txn;
-              Rx_wire.R_unit))
+          r)
   | Rx_wire.Insert { table; values; xml } ->
       let values =
         List.map (fun (k, v) -> (k, Rx_relational.Value.Varchar v)) values
@@ -217,7 +231,9 @@ let dispatch t sess : Rx_wire.request -> Rx_wire.ok = function
 
 (* --- graceful shutdown --- *)
 
-let request_stop t =
+(* the shutdown proper; runs on the accept-loop (or a stop-calling)
+   thread, never inside a signal handler *)
+let initiate_stop t =
   let fds =
     Mutex.protect t.lock (fun () ->
         if t.stopping then []
@@ -233,6 +249,14 @@ let request_stop t =
     (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     fds
 
+(* only touches the nonblocking pipe — no mutex, so a signal handler
+   running on a thread that already holds [t.lock] (e.g. the main thread
+   parked in [wait]) cannot self-deadlock *)
+let request_stop t =
+  if not t.stopping then
+    try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
 let wait t =
   Mutex.protect t.lock (fun () ->
       while not (t.stopping && t.live = []) do
@@ -242,9 +266,17 @@ let wait t =
 let stop t =
   request_stop t;
   wait t;
-  let threads = Mutex.protect t.lock (fun () -> t.threads) in
+  let threads =
+    Mutex.protect t.lock (fun () ->
+        let ths = t.threads @ t.dead in
+        t.threads <- [];
+        t.dead <- [];
+        ths)
+  in
   List.iter Thread.join threads;
-  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.listen_fd; t.stop_r; t.stop_w ]
 
 (* --- per-session request loop --- *)
 
@@ -319,8 +351,15 @@ let session_main t (sid, fd) =
         with _ -> ())
     | None -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ());
+    (* hand our handle to the reaper: [t.threads] would otherwise grow
+       one entry per connection ever accepted. Registration in
+       [accept_one] holds [t.lock] across create+insert, so the handle
+       is always present here *)
+    let self_id = Thread.id (Thread.self ()) in
     Mutex.protect t.lock (fun () ->
         t.live <- List.filter (fun (s, _) -> s <> sid) t.live;
+        t.threads <- List.filter (fun th -> Thread.id th <> self_id) t.threads;
+        t.dead <- Thread.self () :: t.dead;
         Rx_obs.Metrics.set t.m_conns (List.length t.live);
         Condition.broadcast t.cv)
   in
@@ -361,20 +400,41 @@ let accept_one t =
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | Some sid ->
       Rx_obs.Metrics.incr t.m_accepted;
-      let th = Thread.create (session_main t) (sid, fd) in
-      Mutex.protect t.lock (fun () -> t.threads <- th :: t.threads)
+      (* create + register under one lock section: the session's cleanup
+         also takes the lock to deregister, so it cannot run before the
+         handle is in [t.threads] *)
+      Mutex.protect t.lock (fun () ->
+          let th = Thread.create (session_main t) (sid, fd) in
+          t.threads <- th :: t.threads)
+
+(* join session threads that finished since the last pass; they are past
+   their cleanup, so each join returns ~immediately *)
+let reap_finished t =
+  let dead =
+    Mutex.protect t.lock (fun () ->
+        let d = t.dead in
+        t.dead <- [];
+        d)
+  in
+  List.iter Thread.join dead
 
 let accept_loop t =
-  (* poll the stopping flag so shutdown never depends on waking a
-     blocked accept(2) portably *)
+  (* select doubles as the shutdown wakeup (the self-pipe) and, with its
+     timeout, as the reaper's cadence *)
   let rec loop () =
     if not t.stopping then begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
-      | [], _, _ -> ()
-      | _ -> (
-          try accept_one t
-          with Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ())
+      (match Unix.select [ t.listen_fd; t.stop_r ] [] [] 0.2 with
+      | ready, _, _ ->
+          if List.mem t.stop_r ready then begin
+            (try ignore (Unix.read t.stop_r (Bytes.create 8) 0 8)
+             with Unix.Unix_error _ -> ());
+            initiate_stop t
+          end
+          else if List.mem t.listen_fd ready then (
+            try accept_one t
+            with Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      reap_finished t;
       loop ()
     end
   in
@@ -388,8 +448,12 @@ let start ?(config = default_config) db =
      first request *)
   Stats_report.ensure_net_instruments m;
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let stop_r, stop_w = Unix.pipe () in
   let t =
     try
+      (* a full pipe must never block (or EINTR-loop) a signal handler;
+         one byte is enough and extras are harmless *)
+      Unix.set_nonblock stop_w;
       Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
       Unix.bind listen_fd
         (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
@@ -404,11 +468,14 @@ let start ?(config = default_config) db =
         cfg = config;
         listen_fd;
         bound_port;
+        stop_r;
+        stop_w;
         lock = Mutex.create ();
         cv = Condition.create ();
         stopping = false;
         live = [];
         threads = [];
+        dead = [];
         next_sid = 0;
         queued = 0;
         m_conns = Rx_obs.Metrics.gauge m "net.conns";
@@ -422,7 +489,9 @@ let start ?(config = default_config) db =
             Stats_report.net_ops;
       }
     with e ->
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ listen_fd; stop_r; stop_w ];
       raise e
   in
   let th = Thread.create accept_loop t in

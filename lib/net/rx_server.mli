@@ -56,11 +56,14 @@ val port : t -> int
 (** The bound TCP port (the actual one when [config.port] was 0). *)
 
 val request_stop : t -> unit
-(** Initiates graceful shutdown without blocking (safe from a signal
-    handler or a session thread): stop accepting, let every in-flight
-    request finish and respond, then end each session at its next frame
-    boundary. Idempotent. The wire [Shutdown] operation calls this after
-    its OK response is sent. *)
+(** Initiates graceful shutdown without blocking: stop accepting, let
+    every in-flight request finish and respond, then end each session at
+    its next frame boundary. Async-signal-safe — it only writes a byte
+    to a nonblocking self-pipe (no locks), which the accept loop turns
+    into the actual shutdown — so [rxd] installs it directly as the
+    SIGINT/SIGTERM handler even though the main thread sits in {!wait}
+    holding the server lock. Idempotent. The wire [Shutdown] operation
+    calls this after its OK response is sent. *)
 
 val wait : t -> unit
 (** Blocks until shutdown has been requested and every session has

@@ -297,6 +297,95 @@ let test_error_mapping () =
   let r = Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" in
   check Alcotest.int "session still works" 5 (List.length r.Rx_client.matches)
 
+let test_deadlock_mapping () =
+  (* a scripted server answers the first post-handshake request with the
+     deadlock status: the victim/cycle ids stay server-side, but the
+     client must still re-raise it as the lock manager's Deadlock so
+     remote retry logic can treat Busy and Deadlock uniformly *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen 1;
+  let port =
+    match Unix.getsockname listen with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen in
+        (match Rx_wire.recv_request fd with
+        | Some (Rx_wire.Hello _) -> (
+            Rx_wire.send_response fd
+              (Rx_wire.Ok (Rx_wire.R_hello { server = "scripted"; session = 1 }));
+            match Rx_wire.recv_request fd with
+            | Some _ ->
+                Rx_wire.send_response fd
+                  (Rx_wire.Err { status = 4; message = "deadlock victim 9" })
+            | None -> ())
+        | _ -> ());
+        Unix.close fd)
+      ()
+  in
+  let c = Rx_client.connect ~port () in
+  (match Rx_client.query c ~table:"t" ~column:"doc" ~xpath:"/a" with
+  | exception Rx_txn.Lock_manager.Deadlock _ -> ()
+  | exception e ->
+      Alcotest.failf "expected Deadlock from status 4, got %s"
+        (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Deadlock from status 4");
+  Thread.join server;
+  Rx_client.close c;
+  Unix.close listen
+
+let test_busy_commit_retryable () =
+  (* a commit refused by admission control must leave the session's
+     transaction open (not orphaned with its locks held): retrying the
+     same commit once the queue drains has to succeed *)
+  with_server ~config:{ Rx_server.default_config with max_queue_depth = 1 }
+  @@ fun db srv ->
+  let a = connect srv in
+  let b = connect srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Rx_client.close a;
+      Rx_client.close b)
+  @@ fun () ->
+  let txn = Rx_client.begin_txn a in
+  ignore
+    (Rx_client.insert a ~table:"products"
+       ~xml:[ ("doc", product ~name:"retry" ~price:5.) ]
+       ());
+  (* occupy the single queue slot with a long bulk load on session b,
+     so a's commit has a wide window in which admission refuses it *)
+  let n_bulk = 1500 in
+  let docs =
+    List.init n_bulk (fun i ->
+        product ~name:(Printf.sprintf "bulk-%d" i) ~price:(float_of_int i))
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec busy_retry f =
+    match f () with
+    | v -> v
+    | exception Database.Busy _ when Unix.gettimeofday () < deadline ->
+        Thread.delay 0.01;
+        busy_retry f
+  in
+  let loader =
+    Thread.create
+      (fun () ->
+        ignore
+          (busy_retry (fun () ->
+               Rx_client.insert_many b ~table:"products" ~column:"doc" docs)))
+      ()
+  in
+  Thread.delay 0.05;
+  busy_retry (fun () -> Rx_client.commit a txn);
+  Thread.join loader;
+  check Alcotest.int "both sessions' rows committed" (5 + 1 + n_bulk)
+    (Database.row_count db ~table:"products")
+
 let test_busy_admission () =
   (* queue depth 0: every engine-touching request is refused as Busy
      before it queues *)
@@ -376,10 +465,14 @@ let () =
           Alcotest.test_case "explicit transactions and disconnect rollback"
             `Quick test_session_txn;
           Alcotest.test_case "error mapping" `Quick test_error_mapping;
+          Alcotest.test_case "deadlock status reconstructs client-side" `Quick
+            test_deadlock_mapping;
         ] );
       ( "admission",
         [
           Alcotest.test_case "queue-depth busy" `Quick test_busy_admission;
+          Alcotest.test_case "busy commit leaves the txn retryable" `Quick
+            test_busy_commit_retryable;
           Alcotest.test_case "connection cap busy" `Quick test_connection_cap;
           Alcotest.test_case "auth token stub" `Quick test_auth_token;
         ] );
