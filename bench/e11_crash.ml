@@ -7,8 +7,11 @@
    with the heap, every page checksums clean. Any violation exits
    non-zero, so CI can use this as a crash-safety gate.
 
-     RX_E11_ITERS  crash/reopen cycles (default 200)
-     RX_E11_SEED   PRNG seed (default 42) *)
+     RX_E11_ITERS        crash/reopen cycles (default 200)
+     RX_E11_SEED         PRNG seed (default 42)
+     RX_E11_PARALLELISM  worker domains per reopened database (default 1);
+                         > 1 drives the fault-injected workload through the
+                         partitioned scan path over the sharded pool *)
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -34,15 +37,17 @@ let run () =
   Report.print_header "E11: crash injection (seeded faults + recovery invariants)";
   let iters = getenv_int "RX_E11_ITERS" 200 in
   let seed = getenv_int "RX_E11_SEED" 42 in
+  let parallelism = getenv_int "RX_E11_PARALLELISM" 1 in
   let dir = fresh_dir () in
   let t0 = Unix.gettimeofday () in
-  let o = Systemrx.Crash_harness.run ~iters ~seed ~dir () in
+  let o = Systemrx.Crash_harness.run ~iters ~seed ~parallelism ~dir () in
   let ms = (Unix.gettimeofday () -. t0) *. 1000. in
   (try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ());
   Report.print_table
     ~columns:[ "metric"; "value" ]
     ([
        [ "seed"; string_of_int seed ];
+       [ "parallelism"; string_of_int parallelism ];
        [ "crash/reopen cycles"; string_of_int o.Systemrx.Crash_harness.iterations ];
        [ "faults fired"; string_of_int o.Systemrx.Crash_harness.crashes ];
      ]

@@ -184,6 +184,7 @@ let write_json path ~iters ~ndocs ~uncached_ms ~warm_ms ~speedup ~misses_off
   Printf.fprintf oc
     {|{
   "experiment": "e12_hotpath",
+  %s,
   "plan_cache": {
     "iters": %d,
     "uncached_ms_per_query": %.6f,
@@ -206,7 +207,7 @@ let write_json path ~iters ~ndocs ~uncached_ms ~warm_ms ~speedup ~misses_off
   "pass": %b
 }
 |}
-    iters uncached_ms warm_ms
+    (Report.json_meta ()) iters uncached_ms warm_ms
     (1000. /. uncached_ms)
     (1000. /. warm_ms)
     speedup ndocs misses_off misses_on reduction batches pages wasted pass;

@@ -187,6 +187,7 @@ let write_json path ~ndocs ~rounds ~loop_ms ~bulk_ms ~speedup ~loop_syncs
   Printf.fprintf oc
     {|{
   "experiment": "e13_ingest",
+  %s,
   "bulk_load": {
     "docs": %d,
     "loop_ms": %.3f,
@@ -210,7 +211,7 @@ let write_json path ~ndocs ~rounds ~loop_ms ~bulk_ms ~speedup ~loop_syncs
   "pass": %b
 }
 |}
-    ndocs loop_ms bulk_ms
+    (Report.json_meta ()) ndocs loop_ms bulk_ms
     (float_of_int ndocs /. (loop_ms /. 1000.))
     (float_of_int ndocs /. (bulk_ms /. 1000.))
     speedup loop_syncs bulk_syncs rounds committers commits fsyncs absorbed

@@ -211,6 +211,7 @@ let write_json path ~single ~multi ~overload_busy ~overload_proto ~pass =
   Printf.fprintf oc
     {|{
   "experiment": "e14_server",
+  %s,
   "single": %s,
   "multi": %s,
   "scaling": %.2f,
@@ -219,7 +220,7 @@ let write_json path ~single ~multi ~overload_busy ~overload_proto ~pass =
   "pass": %b
 }
 |}
-    (phase_json single) (phase_json multi)
+    (Report.json_meta ()) (phase_json single) (phase_json multi)
     (multi.rps /. single.rps)
     (multi.per_fsync /. single.per_fsync)
     overload_busy overload_proto pass;

@@ -1,0 +1,164 @@
+(* E15 — parallel scan scaling: what the partitioned QuickXScan driver buys
+   when one query fans out across worker domains over the shared
+   (latch-striped) buffer pool.
+
+   One corpus, one selective scan query, two configurations of the same
+   database handle: parallelism = 1 (sequential baseline) and
+   parallelism = N (default 4). Both runs must return byte-identical
+   results in document order — that equivalence is always gated. The
+   >= 2.5x speedup gate only applies when the host actually has >= N
+   cores; on smaller machines (CI runners vary) the bench still verifies
+   correctness and that the parallel path really ran (the
+   [exec.parallel_scans] counter moved), and records why the scaling gate
+   was skipped in BENCH_E15.json.
+
+   Emits BENCH_E15.json in the working directory and exits non-zero if a
+   gate fails, so CI can use it as a perf-regression smoke.
+
+     RX_E15_DOCS     corpus size (default 4000)
+     RX_E15_DOMAINS  parallel worker-domain count (default 4)
+     RX_E15_REPS     timed repetitions per configuration (default 3) *)
+
+open Systemrx
+open Rx_relational
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+(* documents sized so the scan touches many heap pages and the per-document
+   evaluation does real predicate work *)
+let doc i =
+  let pad = String.make 400 (Char.chr (Char.code 'a' + (i mod 26))) in
+  Printf.sprintf
+    "<book><title>Book %d</title><price>%d.50</price><blurb>%s</blurb></book>"
+    i (i mod 100) pad
+
+let xpath = "/book[price >= 10.0 and price < 40.0]/title"
+
+let set_parallelism db n =
+  Database.set_config db
+    { (Database.config db) with parallelism = n; parallel_scan_min_pages = 1 }
+
+(* One timed configuration: warm once, then time [reps] full runs. Returns
+   (ms per run, serialized matches, exec.parallel_scans delta summed over
+   the timed runs). *)
+let bench_mode db reps =
+  let r = Database.run db ~table:"books" ~column:"doc" ~xpath in
+  ignore r.Database.matches;
+  let results = ref [] in
+  let par_scans = ref 0 in
+  let _, total_ms =
+    Report.time_ms (fun () ->
+        for _ = 1 to reps do
+          let r = Database.run db ~table:"books" ~column:"doc" ~xpath in
+          (match List.assoc_opt "exec.parallel_scans" r.Database.profile with
+          | Some d -> par_scans := !par_scans + d
+          | None -> ());
+          results := List.map (fun m -> r.Database.serialize m) r.Database.matches
+        done)
+  in
+  (total_ms /. float_of_int reps, !results, !par_scans)
+
+let write_json path ~ndocs ~domains ~host_cores ~seq_ms ~par_ms ~speedup
+    ~results_equal ~matches ~parallel_path_used ~gated ~skip_reason ~pass =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "experiment": "e15_parallel",
+  %s,
+  "scan_scaling": {
+    "docs": %d,
+    "matches": %d,
+    "domains": %d,
+    "host_cores": %d,
+    "sequential_ms": %.3f,
+    "parallel_ms": %.3f,
+    "speedup": %.2f,
+    "results_equal": %b,
+    "parallel_path_used": %b,
+    "gate": 2.5,
+    "gated": %b,
+    "skip_reason": %s
+  },
+  "pass": %b
+}
+|}
+    (Report.json_meta ()) ndocs matches domains host_cores seq_ms par_ms
+    speedup results_equal parallel_path_used gated
+    (match skip_reason with
+    | None -> "null"
+    | Some r -> Printf.sprintf "%S" r)
+    pass;
+  close_out oc
+
+let run () =
+  Report.print_header "E15: parallel scan scaling (partitioned QuickXScan)";
+  let ndocs = getenv_int "RX_E15_DOCS" 4000 in
+  let domains = getenv_int "RX_E15_DOMAINS" 4 in
+  let reps = getenv_int "RX_E15_REPS" 3 in
+  let host_cores = Report.host_cores () in
+  let db = Database.create_in_memory () in
+  ignore
+    (Database.create_table db ~name:"books" ~columns:[ ("doc", Value.T_xml) ]);
+  ignore
+    (Database.insert_many db ~table:"books" ~column:"doc"
+       (List.init ndocs doc));
+  set_parallelism db 1;
+  let seq_ms, seq_results, _ = bench_mode db reps in
+  set_parallelism db domains;
+  let par_ms, par_results, par_scans = bench_mode db reps in
+  let speedup = seq_ms /. par_ms in
+  let results_equal = seq_results = par_results in
+  let parallel_path_used = par_scans >= reps in
+  (* the >= 2.5x gate is only meaningful when the host can actually run
+     [domains] workers at once; below that the bench is a correctness
+     check and the scaling number is informational *)
+  let gated = host_cores >= domains in
+  let skip_reason =
+    if gated then None
+    else
+      Some
+        (Printf.sprintf "host has %d core(s) < %d domains; scaling not gated"
+           host_cores domains)
+  in
+  let pass =
+    results_equal && parallel_path_used && ((not gated) || speedup >= 2.5)
+  in
+  Report.print_table
+    ~columns:[ "mode"; "ms/run"; "speedup" ]
+    [
+      [ "sequential"; Report.fmt_ms seq_ms; "1.00x" ];
+      [
+        Printf.sprintf "parallel(%d)" domains;
+        Report.fmt_ms par_ms;
+        Report.fmt_ratio speedup;
+      ];
+    ];
+  Report.print_note
+    "  %d docs, %d matches; results equal: %b; parallel path used: %b (%d \
+     parallel scans over %d runs)"
+    ndocs (List.length seq_results) results_equal parallel_path_used par_scans
+    reps;
+  (match skip_reason with
+  | Some r -> Report.print_note "  scaling gate skipped: %s" r
+  | None -> Report.print_note "  scaling gate: >= 2.5x at %d domains" domains);
+  Database.close db;
+  write_json "BENCH_E15.json" ~ndocs ~domains ~host_cores ~seq_ms ~par_ms
+    ~speedup ~results_equal ~matches:(List.length seq_results)
+    ~parallel_path_used ~gated ~skip_reason ~pass;
+  Report.print_note "  wrote BENCH_E15.json (pass=%b)" pass;
+  if not pass then begin
+    if not results_equal then
+      Printf.eprintf "E15 GATE FAILED: parallel results differ from sequential\n";
+    if not parallel_path_used then
+      Printf.eprintf
+        "E15 GATE FAILED: partitioned scan path never ran (exec.parallel_scans \
+         moved %d times over %d runs)\n"
+        par_scans reps;
+    if gated && speedup < 2.5 then
+      Printf.eprintf "E15 GATE FAILED: scan speedup %.2fx < 2.5x at %d domains\n"
+        speedup domains;
+    exit 1
+  end

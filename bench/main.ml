@@ -23,6 +23,7 @@ let experiments =
     ("e12", E12_hotpath.run);
     ("e13", E13_ingest.run);
     ("e14", E14_server.run);
+    ("e15", E15_parallel.run);
   ]
 
 let () =

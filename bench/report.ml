@@ -57,6 +57,25 @@ let fmt_bytes n =
   else if n >= 10_000 then Printf.sprintf "%.1fKB" (float_of_int n /. 1e3)
   else Printf.sprintf "%dB" n
 
+(* Host/runtime metadata embedded in every BENCH_*.json so scaling numbers
+   are interpretable later: how many cores the host had, and what
+   parallelism the engine ran with (mirrors Database.default_config's
+   RX_PARALLELISM handling — 0/absent means one domain per core). *)
+let host_cores () = Domain.recommended_domain_count ()
+
+let effective_parallelism () =
+  match Sys.getenv_opt "RX_PARALLELISM" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> host_cores ())
+  | None -> host_cores ()
+
+(* One JSON object member (no trailing comma): [ "meta": {...} ]. *)
+let json_meta () =
+  Printf.sprintf {|"meta": { "host_cores": %d, "parallelism": %d }|}
+    (host_cores ()) (effective_parallelism ())
+
 (* Per-layer counter deltas (e.g. [Database.run]'s profile) as aligned
    "name value" lines, widest-delta first so the dominant cost leads. *)
 let print_counters ?(indent = "  ") counters =

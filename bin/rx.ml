@@ -20,9 +20,22 @@ open Cmdliner
 open Systemrx
 open Rx_relational
 
-let with_db dir f =
-  let db = Database.open_dir dir in
+let with_db ?parallelism dir f =
+  let config =
+    match parallelism with
+    | None -> Database.default_config
+    | Some p -> { Database.default_config with parallelism = p }
+  in
+  let db = Database.open_dir ~config dir in
   Fun.protect ~finally:(fun () -> Database.close db) (fun () -> f db)
+
+let parallelism_arg =
+  let doc =
+    "Worker domains for parallel scans and bulk loads: 0 picks one per \
+     core, 1 forces sequential execution. Defaults to the RX_PARALLELISM \
+     environment variable, or 0."
+  in
+  Arg.(value & opt (some int) None & info [ "parallelism" ] ~docv:"N" ~doc)
 
 let db_arg =
   let doc = "Database directory (created if absent)." in
@@ -253,9 +266,9 @@ let query_cmd =
       & info [ "profile" ]
           ~doc:"Report the runtime counters the query moved (buffer pool, B+tree, indexes, scan engine).")
   in
-  let run dir table column xpath explain profile =
+  let run dir table column xpath explain profile parallelism =
     handle_errors (fun () ->
-        with_db dir (fun db ->
+        with_db ?parallelism dir (fun db ->
             let r = Database.run db ~table ~column ~xpath in
             if explain then Printf.printf "plan: %s\n" r.Database.plan.Database.description;
             List.iter (fun m -> print_endline (r.Database.serialize m)) r.Database.matches;
@@ -266,7 +279,9 @@ let query_cmd =
                 r.Database.profile))
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate an XPath query over an XML column.")
-    Term.(const run $ db_arg $ table_arg $ column_arg $ xpath_arg $ explain_arg $ profile_arg)
+    Term.(
+      const run $ db_arg $ table_arg $ column_arg $ xpath_arg $ explain_arg
+      $ profile_arg $ parallelism_arg)
 
 let search_cmd =
   let terms_arg =
@@ -294,9 +309,9 @@ let xquery_cmd =
   let explain_arg =
     Arg.(value & flag & info [ "explain" ] ~doc:"Show the access plan too.")
   in
-  let run dir query explain =
+  let run dir query explain parallelism =
     handle_errors (fun () ->
-        with_db dir (fun db ->
+        with_db ?parallelism dir (fun db ->
             let compiled =
               try Xquery_lite.compile db query
               with Xquery_lite.Error msg -> invalid_arg msg
@@ -307,7 +322,7 @@ let xquery_cmd =
             Printf.eprintf "%d item(s)\n" (List.length results)))
   in
   Cmd.v (Cmd.info "xquery" ~doc:"Evaluate a FLWOR query over a collection.")
-    Term.(const run $ db_arg $ query_arg $ explain_arg)
+    Term.(const run $ db_arg $ query_arg $ explain_arg $ parallelism_arg)
 
 (* --- exec: transactional batch scripts --- *)
 
@@ -482,9 +497,9 @@ let load_cmd =
             "Directory of .xml files (loaded in name order), or a file with \
              one XML document per line.")
   in
-  let run dir table column path =
+  let run dir table column path parallelism =
     handle_errors (fun () ->
-        with_db dir (fun db ->
+        with_db ?parallelism dir (fun db ->
             let docs = load_docs path in
             let ids = Database.insert_many db ~table ~column docs in
             match ids with
@@ -500,7 +515,7 @@ let load_cmd =
        ~doc:
          "Bulk-load XML documents into a column in one transaction: one \
           table-level lock, batched index maintenance, a single WAL flush.")
-    Term.(const run $ db_arg $ table_arg $ column_arg $ path_arg)
+    Term.(const run $ db_arg $ table_arg $ column_arg $ path_arg $ parallelism_arg)
 
 (* --- checkpoint / verify --- *)
 

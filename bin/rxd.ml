@@ -3,7 +3,7 @@
 
      rxd serve --db DIR [--host H] [--port P] [--max-connections N]
                [--max-queue-depth N] [--auth-token SECRET]
-               [--commit-window-us USEC]
+               [--commit-window-us USEC] [--parallelism N]
 
    Runs until SIGINT/SIGTERM or a client's Shutdown request, then drains
    in-flight sessions, checkpoints and exits. Exit codes follow the same
@@ -63,14 +63,28 @@ let window_arg =
            committers a few thousand lets one fsync absorb many commits. \
            Default: leave the database's configuration unchanged.")
 
+let parallelism_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "parallelism" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel scans and bulk loads: 0 picks one \
+           per core, 1 forces sequential execution. Default: the \
+           RX_PARALLELISM environment variable, or 0.")
+
 let serve_cmd =
-  let run dir host port max_connections max_queue_depth auth_token window =
+  let run dir host port max_connections max_queue_depth auth_token window
+      parallelism =
     handle_errors (fun () ->
         let db = Database.open_dir dir in
         Fun.protect ~finally:(fun () -> Database.close db) @@ fun () ->
         (match window with
         | Some commit_window_us ->
             Database.set_config db { (Database.config db) with commit_window_us }
+        | None -> ());
+        (match parallelism with
+        | Some parallelism ->
+            Database.set_config db { (Database.config db) with parallelism }
         | None -> ());
         let config =
           {
@@ -97,7 +111,7 @@ let serve_cmd =
           request or SIGINT/SIGTERM.")
     Term.(
       const run $ db_arg $ host_arg $ port_arg $ max_conns_arg $ max_queue_arg
-      $ token_arg $ window_arg)
+      $ token_arg $ window_arg $ parallelism_arg)
 
 let () =
   let info =

@@ -39,6 +39,7 @@ type pending =
 type state = {
   rng : Rx_util.Prng.t;
   dir : string;
+  parallelism : int; (* worker domains for the reopened database *)
   model : (int, string) Hashtbl.t; (* docid -> exact serialized document *)
   mutable pending : pending;
   mutable next_key : int; (* unique content marker for inserts *)
@@ -103,6 +104,10 @@ let open_db st =
       checkpoint_wal_records = 48;
       commit_window_us = 100;
       wal_buffer_bytes = 512;
+      parallelism = st.parallelism;
+      (* the workload's documents are tiny, so force the partitioned scan
+         path on when the harness runs with extra domains *)
+      parallel_scan_min_pages = (if st.parallelism > 1 then 1 else 64);
     };
   if Database.table db table = None then begin
     ignore
@@ -249,11 +254,13 @@ let run_op db st =
     false
   with Fault.Injected _ -> true
 
-let run ?(iters = 200) ?(seed = 42) ?(ops_per_iter = 14) ~dir () =
+let run ?(iters = 200) ?(seed = 42) ?(ops_per_iter = 14) ?(parallelism = 1)
+    ~dir () =
   let st =
     {
       rng = Rx_util.Prng.create ~seed;
       dir;
+      parallelism;
       model = Hashtbl.create 64;
       pending = P_none;
       next_key = 0;

@@ -23,9 +23,19 @@ type outcome = {
   violations : string list;  (** empty = every invariant held *)
 }
 
-val run : ?iters:int -> ?seed:int -> ?ops_per_iter:int -> dir:string -> unit -> outcome
+val run :
+  ?iters:int ->
+  ?seed:int ->
+  ?ops_per_iter:int ->
+  ?parallelism:int ->
+  dir:string ->
+  unit ->
+  outcome
 (** [run ~dir ()] executes [iters] (default 200) crash/reopen cycles in
     [dir] (which must be fresh) with the given [seed] (default 42).
     Auto-checkpointing runs with tiny thresholds so checkpoints land mid-
     workload; a quarter of crash-free iterations end with an explicit
-    checkpoint immediately followed by a hard crash. *)
+    checkpoint immediately followed by a hard crash. [parallelism]
+    (default 1) opens every reopened database with that many worker
+    domains and forces the partitioned scan path on, so fault injection
+    exercises the sharded buffer pool's concurrent read paths. *)

@@ -92,6 +92,8 @@ type config = {
   plan_cache_capacity : int;
   commit_window_us : int;
   wal_buffer_bytes : int;
+  parallelism : int;
+  parallel_scan_min_pages : int;
 }
 
 let default_config =
@@ -103,6 +105,16 @@ let default_config =
     plan_cache_capacity = 128;
     commit_window_us = 0;
     wal_buffer_bytes = 256 * 1024;
+    (* 0 = auto (one worker per core); RX_PARALLELISM seeds the default so
+       test/CI runs can force multi-domain execution engine-wide *)
+    parallelism =
+      (match Sys.getenv_opt "RX_PARALLELISM" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 0 -> n
+          | _ -> 0)
+      | None -> 0);
+    parallel_scan_min_pages = 64;
   }
 
 type plan_info = { description : string; uses_index : bool; exact : bool }
@@ -175,6 +187,9 @@ let install_txn pool log =
       "plancache.hits";
       "plancache.misses";
       "plancache.invalidations";
+      "exec.parallel_scans";
+      "exec.parallel_chunks";
+      "exec.parallel_parses";
     ];
   mgr
 
@@ -192,6 +207,13 @@ let apply_config t =
   Rx_wal.Log_manager.set_buffer_limit t.log t.config.wal_buffer_bytes
 
 let config t = t.config
+
+(* resolved worker count for parallel operators: the explicit knob, or one
+   per core when the knob is 0 (auto) *)
+let effective_parallelism t =
+  match t.config.parallelism with
+  | 0 -> Domain.recommended_domain_count ()
+  | n -> max 1 n
 
 let set_config t config =
   let resize = config.plan_cache_capacity <> t.config.plan_cache_capacity in
@@ -702,13 +724,62 @@ let create_xml_index t ~table ~column ~name ~path ~key_type =
   in_txn t (fun () ->
       let idx = Value_index.create t.pool t.dict def in
       (* backfill over existing documents, record by record (§3.2) *)
-      Base_table.iter
-        (fun docid _ ->
-          if Doc_store.mem xc.store ~docid then
+      let par = effective_parallelism t in
+      if par <= 1 then
+        Base_table.iter
+          (fun docid _ ->
+            if Doc_store.mem xc.store ~docid then
+              Doc_store.iter_records xc.store ~docid (fun ~rid ~record ->
+                  Value_index.index_record idx ~docid ~rid ~record
+                    ~store:(Some xc.store)))
+          tbl.base
+      else begin
+        (* split each backfill batch into its read-only half (per-record
+           key extraction, fanned out across domains) and its mutating
+           half (B+tree inserts, applied serially in record order); batches
+           bound how many raw records sit in memory at once *)
+        let docids = ref [] in
+        Base_table.iter
+          (fun docid _ ->
+            if Doc_store.mem xc.store ~docid then docids := docid :: !docids)
+          tbl.base;
+        let pool = Rx_util.Domain_pool.shared () in
+        let process_batch triples =
+          let arr = Array.of_list (List.rev triples) in
+          let nb = Array.length arr in
+          if nb > 0 then begin
+            let keys = Array.make nb [] in
+            let k = min par nb in
+            ignore
+              (Rx_util.Domain_pool.run pool ~parallelism:par
+                 (Array.init k (fun c () ->
+                      let lo = c * nb / k and hi = (c + 1) * nb / k in
+                      for i = lo to hi - 1 do
+                        let docid, _, record = arr.(i) in
+                        keys.(i) <-
+                          Value_index.extract_keys idx ~docid ~record
+                            ~store:(Some xc.store)
+                      done)));
+            Array.iteri
+              (fun i (docid, rid, _) ->
+                Value_index.insert_keys idx ~docid ~rid keys.(i))
+              arr
+          end
+        in
+        let batch = ref [] and batched = ref 0 in
+        List.iter
+          (fun docid ->
             Doc_store.iter_records xc.store ~docid (fun ~rid ~record ->
-                Value_index.index_record idx ~docid ~rid ~record
-                  ~store:(Some xc.store)))
-        tbl.base;
+                batch := (docid, rid, record) :: !batch;
+                incr batched);
+            if !batched >= 256 then begin
+              process_batch !batch;
+              batch := [];
+              batched := 0
+            end)
+          (List.rev !docids);
+        process_batch !batch
+      end;
       Value_index.hook idx xc.store;
       xc.indexes <- xc.indexes @ [ idx ]);
   invalidate_plans t;
@@ -1276,8 +1347,32 @@ let insert_many ?docids t ~table ~column docs =
   | _ ->
       let n = List.length docs in
       (* parse (and validate, when a schema is bound) every document before
-         any write, so bad input rejects the batch with nothing staged *)
-      let parsed = List.map (fun src -> parse_column_doc t xc src) docs in
+         any write, so bad input rejects the batch with nothing staged; the
+         phase is embarrassingly parallel — each document parses
+         independently against the (mutex-interning) shared dictionary —
+         and the domain pool raises the lowest-index failure, matching the
+         error a sequential pass would report *)
+      let parsed =
+        let par = effective_parallelism t in
+        if par > 1 && n >= 4 then begin
+          let arr = Array.of_list docs in
+          let out = Array.make n [] in
+          let k = min par n in
+          Rx_obs.Metrics.add
+            (Rx_obs.Metrics.counter t.metrics "exec.parallel_parses") n;
+          ignore
+            (Rx_util.Domain_pool.run
+               (Rx_util.Domain_pool.shared ())
+               ~parallelism:par
+               (Array.init k (fun c () ->
+                    let lo = c * n / k and hi = (c + 1) * n / k in
+                    for i = lo to hi - 1 do
+                      out.(i) <- parse_column_doc t xc arr.(i)
+                    done)));
+          Array.to_list out
+        end
+        else List.map (fun src -> parse_column_doc t xc src) docs
+      in
       let ids =
         match docids with
         | None -> List.init n (fun i -> tbl.next_docid + i)
@@ -1734,19 +1829,52 @@ let run_in_txn ?ns_env t txn ~table ~column ~xpath =
     Rx_obs.Trace.with_span t.tracer "db.query"
       ~attrs:[ ("table", table); ("column", column); ("xpath", xpath) ]
       (fun () ->
-        List.concat_map
-          (fun docid ->
-            match resolve t (Some txn) tbl xc ~column ~docid with
-            | `Main ->
-                List.map
-                  (fun node -> { docid; node })
-                  (Executor.eval_stored query xc.store ~docid)
-            | `Internal (ds, i) ->
-                List.map
-                  (fun node -> { docid; node })
-                  (Executor.eval_stored query ds ~docid:i)
-            | `Absent -> [])
-          (txn_candidate_docids txn tbl ~column xc))
+        (* snapshot resolution touches txn-local state (staged writes, MVCC
+           chains), so it happens here on the caller; only the pure
+           QuickXScan evaluation fans out to domains *)
+        let resolved =
+          List.filter_map
+            (fun docid ->
+              match resolve t (Some txn) tbl xc ~column ~docid with
+              | `Main -> Some (docid, xc.store, docid)
+              | `Internal (ds, i) -> Some (docid, ds, i)
+              | `Absent -> None)
+            (txn_candidate_docids txn tbl ~column xc)
+        in
+        let par = effective_parallelism t in
+        if
+          par > 1
+          && List.length resolved > 1
+          && Doc_store.data_page_count xc.store
+             >= t.config.parallel_scan_min_pages
+        then begin
+          let arr = Array.of_list resolved in
+          let k = min par (Array.length arr) in
+          Rx_obs.Metrics.incr
+            (Rx_obs.Metrics.counter t.metrics "exec.parallel_scans");
+          Rx_obs.Metrics.add
+            (Rx_obs.Metrics.counter t.metrics "exec.parallel_chunks") k;
+          let per_doc =
+            Executor.eval_partitioned
+              ~pool:(Rx_util.Domain_pool.shared ())
+              ~parallelism:par query
+              (Array.map (fun (_, store, d) -> (store, d)) arr)
+          in
+          List.concat
+            (Array.to_list
+               (Array.mapi
+                  (fun i nodes ->
+                    let docid, _, _ = arr.(i) in
+                    List.map (fun node -> { docid; node }) nodes)
+                  per_doc))
+        end
+        else
+          List.concat_map
+            (fun (docid, store, scan_docid) ->
+              List.map
+                (fun node -> { docid; node })
+                (Executor.eval_stored query store ~docid:scan_docid))
+            resolved)
   in
   let after = Rx_obs.Metrics.snapshot t.metrics in
   {
@@ -1783,13 +1911,42 @@ let exec_prepared t (p : prepared) =
         p.p_ev <- Some ev;
         ev
   in
+  let par = effective_parallelism t in
   let scan_docs docids =
-    List.concat_map
-      (fun docid ->
-        List.map
-          (fun node -> { docid; node })
-          (Executor.eval_with ev ~docid))
-      docids
+    match docids with
+    | [] -> []
+    | [ docid ] ->
+        List.map (fun node -> { docid; node }) (Executor.eval_with ev ~docid)
+    | _
+      when par > 1
+           && Doc_store.data_page_count xc.store
+              >= t.config.parallel_scan_min_pages ->
+        (* table is big enough to pay for domains: partition the docid list
+           into contiguous chunks and splice the per-document results back
+           in order (chunks are contiguous, so this IS document order) *)
+        let arr = Array.of_list docids in
+        let k = min par (Array.length arr) in
+        Rx_obs.Metrics.incr
+          (Rx_obs.Metrics.counter t.metrics "exec.parallel_scans");
+        Rx_obs.Metrics.add
+          (Rx_obs.Metrics.counter t.metrics "exec.parallel_chunks") k;
+        let per_doc =
+          Executor.eval_partitioned
+            ~pool:(Rx_util.Domain_pool.shared ())
+            ~parallelism:par p.p_query
+            (Array.map (fun d -> (xc.store, d)) arr)
+        in
+        List.concat
+          (Array.to_list
+             (Array.mapi
+                (fun i nodes ->
+                  List.map (fun node -> { docid = arr.(i); node }) nodes)
+                per_doc))
+    | _ ->
+        List.concat_map
+          (fun docid ->
+            List.map (fun node -> { docid; node }) (Executor.eval_with ev ~docid))
+          docids
   in
   let matches =
     Rx_obs.Trace.with_span t.tracer "db.query"

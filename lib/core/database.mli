@@ -86,10 +86,21 @@ type config = {
       (** staged-but-unwritten WAL bytes beyond which an append spills the
           write buffer to the file, without fsync (default 256 KiB) —
           bounds the size of the write a commit's flush performs. *)
+  parallelism : int;
+      (** worker domains for parallel operators — partitioned QuickXScan,
+          bulk-load parse+validate, index-build key extraction. [0] (the
+          default) means auto: one per core
+          ([Domain.recommended_domain_count]); [1] forces sequential
+          execution. The [RX_PARALLELISM] environment variable seeds
+          {!default_config}'s value. *)
+  parallel_scan_min_pages : int;
+      (** a query fans out across domains only when its column store holds
+          at least this many heap data pages (default 64) — below that the
+          per-domain setup costs more than the scan. *)
 }
 (** Engine tuning in one record: automatic-checkpoint policy, the read
-    path's readahead and plan-cache knobs, and the write path's
-    group-commit and WAL-buffer knobs. The checkpoint trigger is evaluated
+    path's readahead and plan-cache knobs, the write path's
+    group-commit and WAL-buffer knobs, and the parallel-execution knobs. The checkpoint trigger is evaluated
     after every auto-commit operation and every explicit {!commit}; it
     fires only when no transaction is in flight (checkpointing truncates
     the log, so in-flight transactions must not have records there).
@@ -99,7 +110,8 @@ type config = {
 val default_config : config
 (** [auto_checkpoint = true], 4 MiB, 50k records; [readahead = 8],
     [plan_cache_capacity = 128], [commit_window_us = 0],
-    [wal_buffer_bytes = 256 KiB]. *)
+    [wal_buffer_bytes = 256 KiB]; [parallelism] from [RX_PARALLELISM] or 0
+    (auto), [parallel_scan_min_pages = 64]. *)
 
 val config : t -> config
 (** The handle's current configuration (starts as the [?config] passed at

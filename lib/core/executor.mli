@@ -20,3 +20,18 @@ val eval_stored :
   docid:int ->
   Rx_xmlstore.Node_id.t list
 (** One-shot convenience: [eval_with (evaluator store query) ~docid]. *)
+
+val eval_partitioned :
+  pool:Rx_util.Domain_pool.t ->
+  parallelism:int ->
+  Rx_quickxscan.Query.t ->
+  (Rx_xmlstore.Doc_store.t * int) array ->
+  Rx_xmlstore.Node_id.t list array
+(** [eval_partitioned ~pool ~parallelism query docs] evaluates [query]
+    over every [(store, docid)] pair, splitting the array into at most
+    [parallelism] contiguous chunks that run concurrently on the domain
+    pool. Each chunk builds its own evaluator(s), so the shared buffer
+    pool is the only cross-domain state. [results.(i)] are the document-
+    order result nodes of [docs.(i)] — callers get global document order
+    by concatenating slots front to back. Exceptions from any chunk
+    (e.g. [Buffer_pool.Pool_exhausted]) are re-raised on the caller. *)

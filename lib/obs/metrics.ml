@@ -1,58 +1,74 @@
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { mutable g_value : int }
+(* All instruments are updated with Atomic operations so that concurrent
+   domains (parallel scan workers, the WAL thread, server sessions) never
+   lose increments; the registry table itself is guarded by a mutex, taken
+   only at registration and snapshot time — never on the increment path. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_value : int Atomic.t }
 
 let n_buckets = 32
 
 type histogram = {
-  h_counts : int array; (* raw per-bucket counts *)
-  mutable h_count : int;
-  mutable h_sum : int;
+  h_counts : int Atomic.t array; (* raw per-bucket counts *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
 }
 
 type instrument = C of counter | G of gauge | H of histogram
 
-type t = { instruments : (string, instrument) Hashtbl.t }
+type t = { instruments : (string, instrument) Hashtbl.t; reg_lock : Mutex.t }
 
-let create () = { instruments = Hashtbl.create 64 }
+let create () = { instruments = Hashtbl.create 64; reg_lock = Mutex.create () }
 let default = create ()
 
+let locked t f =
+  Mutex.lock t.reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_lock) f
+
+let register t name ~kind ~make ~cast =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.instruments name with
+      | Some i -> (
+          match cast i with
+          | Some v -> v
+          | None ->
+              invalid_arg (Printf.sprintf "Metrics: %s is not a %s" name kind))
+      | None ->
+          let v = make () in
+          Hashtbl.replace t.instruments name v;
+          match cast v with Some v -> v | None -> assert false)
+
 let counter t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (C c) -> c
-  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a counter" name)
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace t.instruments name (C c);
-      c
+  register t name ~kind:"counter"
+    ~make:(fun () -> C { c_name = name; c_value = Atomic.make 0 })
+    ~cast:(function C c -> Some c | _ -> None)
 
 let gauge t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (G g) -> g
-  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a gauge" name)
-  | None ->
-      let g = { g_value = 0 } in
-      Hashtbl.replace t.instruments name (G g);
-      g
+  register t name ~kind:"gauge"
+    ~make:(fun () -> G { g_value = Atomic.make 0 })
+    ~cast:(function G g -> Some g | _ -> None)
 
 let histogram t name =
-  match Hashtbl.find_opt t.instruments name with
-  | Some (H h) -> h
-  | Some _ -> invalid_arg (Printf.sprintf "Metrics: %s is not a histogram" name)
-  | None ->
-      let h = { h_counts = Array.make n_buckets 0; h_count = 0; h_sum = 0 } in
-      Hashtbl.replace t.instruments name (H h);
-      h
+  register t name ~kind:"histogram"
+    ~make:(fun () ->
+      H
+        {
+          h_counts = Array.init n_buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+        })
+    ~cast:(function H h -> Some h | _ -> None)
 
-let incr c = c.c_value <- c.c_value + 1
+let incr c = Atomic.incr c.c_value
 
 let add c n =
   if n < 0 then invalid_arg (Printf.sprintf "Metrics: counter %s is monotonic" c.c_name);
-  c.c_value <- c.c_value + n
+  ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
-let set g v = g.g_value <- v
-let get g = g.g_value
+let set g v = Atomic.set g.g_value v
+let get g = Atomic.get g.g_value
 
 (* bucket 0 holds 0; bucket i >= 1 holds [2^(i-1), 2^i); last is unbounded *)
 let bucket_of v =
@@ -64,12 +80,12 @@ let bucket_of v =
 
 let observe h v =
   let v = max 0 v in
-  h.h_counts.(bucket_of v) <- h.h_counts.(bucket_of v) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v
+  Atomic.incr h.h_counts.(bucket_of v);
+  Atomic.incr h.h_count;
+  ignore (Atomic.fetch_and_add h.h_sum v)
 
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let histogram_count h = Atomic.get h.h_count
+let histogram_sum h = Atomic.get h.h_sum
 
 let bucket_upper i =
   if i = 0 then 0
@@ -78,9 +94,10 @@ let bucket_upper i =
 
 let histogram_buckets h =
   (* trim trailing empty buckets but keep at least bucket 0 *)
+  let counts = Array.map Atomic.get h.h_counts in
   let last = ref 0 in
-  Array.iteri (fun i c -> if c > 0 then last := i) h.h_counts;
-  Array.init (!last + 1) (fun i -> (bucket_upper i, h.h_counts.(i)))
+  Array.iteri (fun i c -> if c > 0 then last := i) counts;
+  Array.init (!last + 1) (fun i -> (bucket_upper i, counts.(i)))
 
 type sample =
   | Counter of int
@@ -88,18 +105,23 @@ type sample =
   | Histogram of { count : int; sum : int; buckets : (int * int) array }
 
 let snapshot t =
-  Hashtbl.fold
-    (fun name i acc ->
-      let sample =
-        match i with
-        | C c -> Counter c.c_value
-        | G g -> Gauge g.g_value
-        | H h ->
-            Histogram
-              { count = h.h_count; sum = h.h_sum; buckets = histogram_buckets h }
-      in
-      (name, sample) :: acc)
-    t.instruments []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name i acc ->
+          let sample =
+            match i with
+            | C c -> Counter (Atomic.get c.c_value)
+            | G g -> Gauge (Atomic.get g.g_value)
+            | H h ->
+                Histogram
+                  {
+                    count = Atomic.get h.h_count;
+                    sum = Atomic.get h.h_sum;
+                    buckets = histogram_buckets h;
+                  }
+          in
+          (name, sample) :: acc)
+        t.instruments [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* [diff] runs on every profiled query ([Database.run]'s result.profile);

@@ -5,7 +5,12 @@
     Registration is idempotent — asking for an existing name returns the
     same instrument, so independent layers can share one registry without
     coordination. Handles are resolved once (at component construction) and
-    incremented on hot paths with a single mutable-field store.
+    incremented on hot paths with a single atomic read-modify-write.
+
+    Every operation is domain-safe: instruments are {!Atomic.t}-backed so
+    concurrent increments from parallel scan domains are never lost, and
+    the registry table is mutex-guarded at registration/snapshot time (the
+    increment path takes no lock).
 
     There is one process-global {!default} registry; components accept an
     [?metrics] argument so that a database instance can route its layers to

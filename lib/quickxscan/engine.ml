@@ -38,6 +38,12 @@ type 'a t = {
   mutable active : int;
   mutable max_active : int;
   mutable events : int;
+  (* registry counters are atomic, but one fetch-and-add per SAX event from
+     every scan domain would serialize the hot loop on shared cache lines;
+     events/predicate evals batch into these engine-local pending tallies
+     and flush once per document (finish/reset) *)
+  mutable pend_events : int;
+  mutable pend_preds : int;
   c_events : Rx_obs.Metrics.counter;
   c_pred_evals : Rx_obs.Metrics.counter;
   c_matches : Rx_obs.Metrics.counter;
@@ -105,6 +111,8 @@ let create ?(metrics = Rx_obs.Metrics.default) query =
     active = 0;
     max_active = 0;
     events = 0;
+    pend_events = 0;
+    pend_preds = 0;
     c_events = Rx_obs.Metrics.counter metrics "qxs.events";
     c_pred_evals = Rx_obs.Metrics.counter metrics "qxs.predicate_evals";
     c_matches = Rx_obs.Metrics.counter metrics "qxs.matches";
@@ -196,7 +204,7 @@ let predicate_passes t inst =
   match inst.i_qnode.Query.pred with
   | None -> true
   | Some pe ->
-      Rx_obs.Metrics.incr t.c_pred_evals;
+      t.pend_preds <- t.pend_preds + 1;
       eval_pexpr t inst pe
 
 (* --- instance lifecycle --- *)
@@ -332,7 +340,7 @@ let attr_test_matches (test : Query.test) (name : Qname.t) =
 
 let start_element t ~name ~attrs ~item ~attr_item =
   t.events <- t.events + 1;
-  Rx_obs.Metrics.incr t.c_events;
+  t.pend_events <- t.pend_events + 1;
   t.depth <- t.depth + 1;
   t.seq <- t.seq + 1;
   let node_seq = t.seq in
@@ -392,7 +400,7 @@ let start_element t ~name ~attrs ~item ~attr_item =
 
 let leaf_event t qnodes ~content ~item =
   t.events <- t.events + 1;
-  Rx_obs.Metrics.incr t.c_events;
+  t.pend_events <- t.pend_events + 1;
   t.seq <- t.seq + 1;
   let seq = t.seq in
   (* text accumulation for open value instances happens in [text] only *)
@@ -427,7 +435,7 @@ let pi t ~target ~data ~item =
 
 let end_element t =
   t.events <- t.events + 1;
-  Rx_obs.Metrics.incr t.c_events;
+  t.pend_events <- t.pend_events + 1;
   Array.iter
     (fun (q : Query.qnode) ->
       let stack = t.stacks.(q.Query.qid) in
@@ -439,8 +447,19 @@ let end_element t =
     t.elem_qnodes_rev;
   t.depth <- t.depth - 1
 
+let flush_counters t =
+  if t.pend_events > 0 then begin
+    Rx_obs.Metrics.add t.c_events t.pend_events;
+    t.pend_events <- 0
+  end;
+  if t.pend_preds > 0 then begin
+    Rx_obs.Metrics.add t.c_pred_evals t.pend_preds;
+    t.pend_preds <- 0
+  end
+
 let finish_full t =
   if t.depth <> 0 then invalid_arg "Engine.finish: unbalanced stream";
+  flush_counters t;
   let results = t.root_inst.i_buckets.(0).c_items in
   let sorted = List.sort (fun (_, a, _) (_, b, _) -> compare a b) results in
   let rec dedup = function
@@ -464,6 +483,7 @@ let reset_contribution c =
    next document without recompiling the query. Cumulative instrumentation
    ([events_processed], [max_active], registry counters) is preserved. *)
 let reset t =
+  flush_counters t;
   Array.iter (fun stack -> stack := []) t.stacks;
   t.depth <- 0;
   t.seq <- 0;

@@ -22,7 +22,10 @@ type 'a t
 
 val create : ?metrics:Rx_obs.Metrics.t -> Query.t -> 'a t
 (** [metrics] receives the [qxs.events] / [qxs.predicate_evals] /
-    [qxs.matches] counters (default: the global registry). *)
+    [qxs.matches] counters (default: the global registry). Event and
+    predicate tallies batch engine-locally and flush to the registry at
+    [finish]/[reset] time, so parallel scan domains do not contend on the
+    shared counters inside the per-event hot loop. *)
 
 val start_element :
   'a t ->

@@ -6,15 +6,29 @@
     reports the changed byte range to the journal; the returned LSN is
     stamped into the page header. This gives every component physiological
     redo/undo logging for free — the paper's point that packed XML records
-    "look like rows" to logging and recovery. *)
+    "look like rows" to logging and recovery.
+
+    Concurrency: the pool is latch-striped into power-of-two {!shards},
+    pages assigned by [page_no land (shards - 1)]. Each shard owns a mutex,
+    an LRU of its frames and its activity tallies, so reader domains
+    scanning different page ranges contend on different latches; a shard's
+    lock is held across a miss's physical read, making a cold demand read
+    single-flight per page. Read access ({!with_page}, {!prefetch},
+    {!cached}, {!snapshot}) is safe from any number of domains. Mutating
+    entry points ({!update}, {!modify_unlogged}, {!alloc}, {!flush_all},
+    {!drop_cache}, {!set_journal}) keep the engine's single-writer rule:
+    callers serialize them behind the database write lock. Lock order is
+    shard latch, then WAL/pager locks; lower layers never call back into
+    the pool. *)
 
 type t
 
 exception Pool_exhausted of { page_no : int; capacity : int }
-(** Raised when a frame is needed for [page_no] but every frame in the pool
-    is pinned (no eviction candidate), or by {!drop_cache} when a page is
-    still pinned. The database layer surfaces this as [Database.Busy] so a
-    pin-heavy query degrades gracefully instead of killing the process. *)
+(** Raised when a frame is needed for [page_no] but every frame in its
+    shard is pinned (no eviction candidate), or by {!drop_cache} when a
+    page is still pinned; [capacity] is the shard's frame count. The
+    database layer surfaces this as [Database.Busy] so a pin-heavy query
+    degrades gracefully instead of killing the process. *)
 
 (** Write-ahead-log hooks installed by the transaction layer. *)
 type journal = {
@@ -33,11 +47,20 @@ type snapshot = {
   page_flushes : int;
 }
 
-val create : ?metrics:Rx_obs.Metrics.t -> ?capacity:int -> Pager.t -> t
-(** [capacity] is the number of frames (default 256). [metrics] receives
-    the [bufpool.*] counters (default: the global registry); storage-side
-    components built over this pool ({!Rx_btree.Btree}, heap files, stores)
-    resolve their own instruments from {!metrics}. *)
+val create :
+  ?metrics:Rx_obs.Metrics.t -> ?capacity:int -> ?shards:int -> Pager.t -> t
+(** [capacity] is the total number of frames (default 256), divided evenly
+    among [shards] latch-striped partitions. [shards] must be a power of
+    two no larger than [capacity]; the default is 16 for engine-sized
+    pools ([capacity >= 1024]) and 1 otherwise, so small test pools keep
+    exact single-LRU semantics. [metrics] receives the [bufpool.*]
+    counters and the [bufpool.shards] gauge (default: the global
+    registry); storage-side components built over this pool
+    ({!Rx_btree.Btree}, heap files, stores) resolve their own instruments
+    from {!metrics}. *)
+
+val shards : t -> int
+(** Number of latch-striped partitions. *)
 
 val pager : t -> Pager.t
 (** The underlying pager (shared; do not close it while the pool is live). *)

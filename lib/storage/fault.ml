@@ -25,20 +25,32 @@ let () =
         Some (Printf.sprintf "Fault.Injected(%s during %s)" (kind_to_string kind) op)
     | _ -> None)
 
+(* sync: all mutable fields are guarded by [lock] — operations arrive
+   concurrently from the WAL group-commit leader and from reader domains
+   evicting dirty frames, and [next_op]'s count-and-decide is a
+   read-modify-write that must be atomic for crash points to stay
+   deterministic *)
 type t = {
+  lock : Mutex.t;
   mutable armed : kind option;
   mutable countdown : int; (* operations to let through before firing *)
   mutable fired : bool;
   mutable ops_seen : int;
 }
 
-let create () = { armed = None; countdown = 0; fired = false; ops_seen = 0 }
+let create () =
+  { lock = Mutex.create (); armed = None; countdown = 0; fired = false; ops_seen = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let arm t ~after kind =
   if after < 1 then invalid_arg "Fault.arm: after must be >= 1";
-  t.armed <- Some kind;
-  t.countdown <- after;
-  t.fired <- false
+  locked t (fun () ->
+      t.armed <- Some kind;
+      t.countdown <- after;
+      t.fired <- false)
 
 let arm_random t rng ~max_ops =
   let kind =
@@ -51,39 +63,41 @@ let arm_random t rng ~max_ops =
   kind
 
 let disarm t =
-  t.armed <- None;
-  t.fired <- false
+  locked t (fun () ->
+      t.armed <- None;
+      t.fired <- false)
 
-let fired t = t.fired
-let ops_seen t = t.ops_seen
+let fired t = locked t (fun () -> t.fired)
+let ops_seen t = locked t (fun () -> t.ops_seen)
 
 (* Decide the fate of the next operation. [`Proceed] lets it through;
    [`Torn k] instructs the caller to perform a partial write of [k] bytes
    and then call {!crashed}; [`Crash kind] means perform nothing and call
    {!crashed}. *)
 let next_op t ~is_sync =
-  t.ops_seen <- t.ops_seen + 1;
-  if t.fired then `Crash (match t.armed with Some k -> k | None -> Fail_write)
-  else
-    match t.armed with
-    | None -> `Proceed
-    | Some kind ->
-        t.countdown <- t.countdown - 1;
-        if t.countdown > 0 then `Proceed
-        else begin
-          (* an armed write fault lets fsyncs through and vice versa, so the
-             Nth *matching* operation is the one that fails *)
-          match (kind, is_sync) with
-          | Fail_fsync, false | (Fail_write | Torn_write _), true ->
-              t.countdown <- 1;
-              `Proceed
-          | Fail_fsync, true -> `Crash Fail_fsync
-          | Fail_write, false -> `Crash Fail_write
-          | Torn_write k, false -> `Torn k
-        end
+  locked t (fun () ->
+      t.ops_seen <- t.ops_seen + 1;
+      if t.fired then `Crash (match t.armed with Some k -> k | None -> Fail_write)
+      else
+        match t.armed with
+        | None -> `Proceed
+        | Some kind ->
+            t.countdown <- t.countdown - 1;
+            if t.countdown > 0 then `Proceed
+            else begin
+              (* an armed write fault lets fsyncs through and vice versa, so the
+                 Nth *matching* operation is the one that fails *)
+              match (kind, is_sync) with
+              | Fail_fsync, false | (Fail_write | Torn_write _), true ->
+                  t.countdown <- 1;
+                  `Proceed
+              | Fail_fsync, true -> `Crash Fail_fsync
+              | Fail_write, false -> `Crash Fail_write
+              | Torn_write k, false -> `Torn k
+            end)
 
 let crashed t ~op kind =
-  t.fired <- true;
+  locked t (fun () -> t.fired <- true);
   raise (Injected { op; kind })
 
 let wrap_write fault ~op ~len ~write =

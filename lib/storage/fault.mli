@@ -12,7 +12,13 @@
     Determinism: the crash point is chosen by explicit counts ({!arm}) or
     by a caller-seeded {!Rx_util.Prng} ({!arm_random}); nothing here reads
     wall-clock time or global randomness, so a failing seed replays
-    exactly. *)
+    exactly.
+
+    Domain-safe: a handle's count-and-decide step is serialized on an
+    internal mutex, so operations arriving concurrently from the WAL
+    group-commit leader and from reader domains evicting dirty frames are
+    counted exactly once each and the crash point stays deterministic for
+    a given operation interleaving. *)
 
 (** What happens to the sabotaged operation. *)
 type kind =

@@ -6,6 +6,11 @@ open Rx_util
    (u32 first overflow page, u32 total length).
    Overflow pages: 16 u32 next; 20 u16 chunk length; data from 22. *)
 
+(* sync: all mutation happens on the writer path, serialized by the table
+   X lock / database write lock. Reader domains only probe [free_map] with
+   [Hashtbl.mem] (prefetch filtering), and the lock manager keeps S-locked
+   scans from overlapping an X-locked writer on the same table, so the
+   table is never resized under a reader. *)
 type t = {
   pool : Buffer_pool.t;
   header : int;

@@ -13,6 +13,10 @@ let () =
              page_no stored computed)
     | _ -> None)
 
+(* sync: [pages]/[count] are mutated only by [alloc] (writer path, under
+   [Database.write_lock]); concurrent reader domains take [io_lock] around
+   every physical transfer, which also covers the seek+read pair on the
+   shared file descriptor *)
 type backend =
   | Mem of { mutable pages : bytes array; mutable count : int }
   | File of { fd : Unix.file_descr; mutable count : int }
@@ -20,14 +24,20 @@ type backend =
 type t = {
   page_size : int;
   backend : backend;
+  io_lock : Mutex.t; (* serializes lseek+read/write on the shared fd *)
   mutable fault : Fault.t option;
-  mutable reads : int;
-  mutable writes : int;
+      (* sync: installed before concurrent use (harness setup); plain field *)
+  reads : int Atomic.t;
+  writes : int Atomic.t;
   c_reads : Rx_obs.Metrics.counter;
   c_writes : Rx_obs.Metrics.counter;
   c_syncs : Rx_obs.Metrics.counter;
   c_corrupt : Rx_obs.Metrics.counter;
 }
+
+let with_io t f =
+  Mutex.lock t.io_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.io_lock) f
 
 let counters metrics =
   Rx_obs.Metrics.
@@ -49,9 +59,10 @@ let create_in_memory ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_p
     {
       page_size;
       backend = Mem { pages = Array.make 64 Bytes.empty; count = 0 };
+      io_lock = Mutex.create ();
       fault = None;
-      reads = 0;
-      writes = 0;
+      reads = Atomic.make 0;
+      writes = Atomic.make 0;
       c_reads;
       c_writes;
       c_syncs;
@@ -93,9 +104,10 @@ let pread_full fd buf off =
 let write_page t page_no buf =
   Fault.wrap_write t.fault ~op:"pager.write" ~len:(Bytes.length buf)
     ~write:(fun n ->
-      match t.backend with
-      | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 n
-      | File f -> pwrite_full f.fd buf (page_no * t.page_size) n)
+      with_io t (fun () ->
+          match t.backend with
+          | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 n
+          | File f -> pwrite_full f.fd buf (page_no * t.page_size) n))
 
 let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_size) path =
   let c_reads, c_writes, c_syncs, c_corrupt = counters metrics in
@@ -118,9 +130,10 @@ let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_siz
     {
       page_size;
       backend = File { fd; count = size / page_size };
+      io_lock = Mutex.create ();
       fault = None;
-      reads = 0;
-      writes = 0;
+      reads = Atomic.make 0;
+      writes = Atomic.make 0;
       c_reads;
       c_writes;
       c_syncs;
@@ -136,9 +149,10 @@ let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_siz
     {
       page_size;
       backend = File { fd; count = 1 };
+      io_lock = Mutex.create ();
       fault = None;
-      reads = 0;
-      writes = 0;
+      reads = Atomic.make 0;
+      writes = Atomic.make 0;
       c_reads;
       c_writes;
       c_syncs;
@@ -149,23 +163,28 @@ let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_siz
 let alloc t =
   let zero = Bytes.make t.page_size '\000' in
   Page.stamp zero;
-  match t.backend with
-  | Mem m ->
-      if m.count >= Array.length m.pages then begin
-        let bigger = Array.make (2 * Array.length m.pages) Bytes.empty in
-        Array.blit m.pages 0 bigger 0 m.count;
-        m.pages <- bigger
-      end;
-      let n = m.count in
-      m.pages.(n) <- Bytes.make t.page_size '\000';
-      m.count <- n + 1;
-      write_page t n zero;
-      n
-  | File f ->
-      let n = f.count in
-      f.count <- n + 1;
-      write_page t n zero;
-      n
+  let n =
+    (* sync: backend growth under io_lock so reader domains never observe a
+       half-swapped pages array or a count past the initialized prefix *)
+    with_io t (fun () ->
+        match t.backend with
+        | Mem m ->
+            if m.count >= Array.length m.pages then begin
+              let bigger = Array.make (2 * Array.length m.pages) Bytes.empty in
+              Array.blit m.pages 0 bigger 0 m.count;
+              m.pages <- bigger
+            end;
+            let n = m.count in
+            m.pages.(n) <- Bytes.make t.page_size '\000';
+            m.count <- n + 1;
+            n
+        | File f ->
+            let n = f.count in
+            f.count <- n + 1;
+            n)
+  in
+  write_page t n zero;
+  n
 
 let check_page_no t page_no =
   if page_no <= 0 || page_no >= page_count t then
@@ -173,11 +192,12 @@ let check_page_no t page_no =
 
 let read t page_no buf =
   check_page_no t page_no;
-  t.reads <- t.reads + 1;
+  Atomic.incr t.reads;
   Rx_obs.Metrics.incr t.c_reads;
-  (match t.backend with
-  | Mem m -> Bytes.blit m.pages.(page_no) 0 buf 0 t.page_size
-  | File f -> pread_full f.fd buf (page_no * t.page_size));
+  with_io t (fun () ->
+      match t.backend with
+      | Mem m -> Bytes.blit m.pages.(page_no) 0 buf 0 t.page_size
+      | File f -> pread_full f.fd buf (page_no * t.page_size));
   if not (Page.verify buf) then begin
     Rx_obs.Metrics.incr t.c_corrupt;
     raise
@@ -194,19 +214,20 @@ let read_run t ~first bufs =
   if n > 0 then begin
     check_page_no t first;
     check_page_no t (first + n - 1);
-    t.reads <- t.reads + n;
+    Atomic.fetch_and_add t.reads n |> ignore;
     Rx_obs.Metrics.add t.c_reads n;
-    (match t.backend with
-    | Mem m ->
-        Array.iteri
-          (fun i buf -> Bytes.blit m.pages.(first + i) 0 buf 0 t.page_size)
-          bufs
-    | File f ->
-        let run = Bytes.create (n * t.page_size) in
-        pread_full f.fd run (first * t.page_size);
-        Array.iteri
-          (fun i buf -> Bytes.blit run (i * t.page_size) buf 0 t.page_size)
-          bufs);
+    with_io t (fun () ->
+        match t.backend with
+        | Mem m ->
+            Array.iteri
+              (fun i buf -> Bytes.blit m.pages.(first + i) 0 buf 0 t.page_size)
+              bufs
+        | File f ->
+            let run = Bytes.create (n * t.page_size) in
+            pread_full f.fd run (first * t.page_size);
+            Array.iteri
+              (fun i buf -> Bytes.blit run (i * t.page_size) buf 0 t.page_size)
+              bufs);
     Array.iteri
       (fun i buf ->
         if not (Page.verify buf) then begin
@@ -224,7 +245,7 @@ let read_run t ~first bufs =
 
 let write t page_no buf =
   check_page_no t page_no;
-  t.writes <- t.writes + 1;
+  Atomic.incr t.writes;
   Rx_obs.Metrics.incr t.c_writes;
   Page.stamp buf;
   write_page t page_no buf
@@ -237,4 +258,4 @@ let sync t =
 let close t =
   match t.backend with Mem _ -> () | File f -> Unix.close f.fd
 
-let io_stats t = (t.reads, t.writes)
+let io_stats t = (Atomic.get t.reads, Atomic.get t.writes)

@@ -13,8 +13,12 @@
     {!sync}. The buffer pool enforces the WAL rule (log durable up to the
     page LSN) before any page write reaches this layer.
 
-    Concurrency: a pager is not thread-safe; callers (the buffer pool)
-    serialize access. *)
+    Concurrency: {!read} and {!read_run} are reentrant — concurrent reader
+    domains are serialized on an internal I/O mutex around each physical
+    transfer (the seek+read pair on the shared descriptor is atomic), and
+    the I/O tallies are {!Atomic.t}.  Mutating operations ({!write},
+    {!alloc}, {!sync}) remain single-writer: callers serialize them via
+    the engine write lock, exactly as before. *)
 
 type t
 

@@ -192,13 +192,18 @@ let rid_value rid =
   Rx_storage.Rid.encode w rid;
   Bytes_io.Writer.contents w
 
-let index_record t ~docid ~rid ~record ~store =
+let extract_keys t ~docid ~record ~store = keys_for_record t ~docid ~record ~store
+
+let insert_keys t ~docid ~rid keys =
   List.iter
     (fun (typed, id) ->
       Rx_btree.Btree.insert t.tree
         ~key:(full_key t typed ~docid ~node:id)
         ~value:(rid_value rid))
-    (keys_for_record t ~docid ~record ~store)
+    keys
+
+let index_record t ~docid ~rid ~record ~store =
+  insert_keys t ~docid ~rid (keys_for_record t ~docid ~record ~store)
 
 let unindex_record t ~docid ~record ~store =
   List.iter

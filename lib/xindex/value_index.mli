@@ -44,7 +44,23 @@ val index_record :
   t -> docid:int -> rid:Rx_storage.Rid.t -> record:string ->
   store:Rx_xmlstore.Doc_store.t option -> unit
 (** Direct per-record maintenance (what the observer does); [store] enables
-    the split-subtree value fallback. *)
+    the split-subtree value fallback. Equivalent to {!extract_keys} piped
+    into {!insert_keys}. *)
+
+val extract_keys :
+  t -> docid:int -> record:string ->
+  store:Rx_xmlstore.Doc_store.t option ->
+  (Rx_xml.Typed_value.t * Rx_xmlstore.Node_id.t) list
+(** The read-only half of {!index_record}: runs the per-record key
+    extraction scan without touching the B+tree. Safe to call from
+    concurrent domains — index builds extract in parallel, then apply the
+    resulting keys serially with {!insert_keys}. *)
+
+val insert_keys :
+  t -> docid:int -> rid:Rx_storage.Rid.t ->
+  (Rx_xml.Typed_value.t * Rx_xmlstore.Node_id.t) list -> unit
+(** The mutating half of {!index_record}: inserts previously extracted
+    keys. Single-writer, like all B+tree mutation. *)
 
 type bound = Rx_xml.Typed_value.t * bool (** value, inclusive? *)
 

@@ -1,41 +1,69 @@
+(* Interning takes a mutex (parse-time only); reverse lookups are
+   lock-free.  [by_id]/[next] follow a publication protocol: [intern]
+   writes the array slot (and swaps in a grown array) *before* the
+   release-store of [next], and readers load [next] first — acquiring it
+   guarantees they observe the slot and any replacement array. *)
 type t = {
+  lock : Mutex.t; (* guards by_name and writers of by_id/next *)
   by_name : (string, int) Hashtbl.t;
-  mutable by_id : string array;
-  mutable next : int;
+  by_id : string array Atomic.t;
+  next : int Atomic.t;
 }
 
 let create () =
-  let t = { by_name = Hashtbl.create 64; by_id = Array.make 64 ""; next = 0 } in
+  let arr = Array.make 64 "" in
+  let t =
+    {
+      lock = Mutex.create ();
+      by_name = Hashtbl.create 64;
+      by_id = Atomic.make arr;
+      next = Atomic.make 0;
+    }
+  in
   Hashtbl.replace t.by_name "" 0;
-  t.by_id.(0) <- "";
-  t.next <- 1;
+  arr.(0) <- "";
+  Atomic.set t.next 1;
   t
 
-let intern t s =
-  match Hashtbl.find_opt t.by_name s with
-  | Some id -> id
-  | None ->
-      let id = t.next in
-      if id >= Array.length t.by_id then begin
-        let bigger = Array.make (2 * Array.length t.by_id) "" in
-        Array.blit t.by_id 0 bigger 0 t.next;
-        t.by_id <- bigger
-      end;
-      Hashtbl.replace t.by_name s id;
-      t.by_id.(id) <- s;
-      t.next <- id + 1;
-      id
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let lookup t s = Hashtbl.find_opt t.by_name s
+let intern t s =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_name s with
+      | Some id -> id
+      | None ->
+          let id = Atomic.get t.next in
+          let arr = Atomic.get t.by_id in
+          let arr =
+            if id >= Array.length arr then begin
+              let bigger = Array.make (2 * Array.length arr) "" in
+              Array.blit arr 0 bigger 0 id;
+              Atomic.set t.by_id bigger;
+              bigger
+            end
+            else arr
+          in
+          Hashtbl.replace t.by_name s id;
+          arr.(id) <- s;
+          Atomic.set t.next (id + 1);
+          id)
+
+let lookup t s = locked t (fun () -> Hashtbl.find_opt t.by_name s)
 
 let name t id =
-  if id < 0 || id >= t.next then
+  let n = Atomic.get t.next in
+  if id < 0 || id >= n then
     invalid_arg (Printf.sprintf "Name_dict.name: unknown id %d" id)
-  else t.by_id.(id)
+  else (Atomic.get t.by_id).(id)
 
-let size t = t.next
+let size t = Atomic.get t.next
 
-let to_list t = List.init t.next (fun id -> (id, t.by_id.(id)))
+let to_list t =
+  let n = Atomic.get t.next in
+  let arr = Atomic.get t.by_id in
+  List.init n (fun id -> (id, arr.(id)))
 
 let restore entries =
   let t = create () in

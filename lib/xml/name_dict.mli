@@ -1,7 +1,12 @@
 (** Database-wide name dictionary: "all the names for elements, attributes,
     and namespaces are encoded using integers across the entire database"
     (§3.1). Id 0 is reserved for the empty string (no namespace / no
-    prefix). *)
+    prefix).
+
+    Domain-safe: {!intern}/{!lookup} serialize on an internal mutex
+    (parse-time paths), while {!name}/{!size}/{!to_list} are lock-free
+    reads against atomically published state — safe from parallel scan
+    domains. *)
 
 type t
 

@@ -18,8 +18,11 @@ type t = {
   mutable next_observer : int;
   mutable doc_count : int;
   mutable record_bytes : int;
-  (* tiny cache: the record most recently fetched, keyed by rid *)
-  mutable last_fetch : (Rid.t * string) option;
+  (* tiny cache: the record most recently fetched, keyed by rid; atomic so
+     concurrent scan domains can share it — entries are self-validating
+     (checked against the requested rid), so a lost update only costs a
+     re-read *)
+  last_fetch : (Rid.t * string) option Atomic.t;
 }
 
 let create ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
@@ -36,7 +39,7 @@ let create ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
     next_observer = 0;
     doc_count = 0;
     record_bytes = 0;
-    last_fetch = None;
+    last_fetch = Atomic.make None;
   }
 
 let metrics t = Buffer_pool.metrics t.pool
@@ -56,7 +59,7 @@ let attach ?(record_threshold = 2048) ?(packing_policy = Packer.Largest_first)
       next_observer = 0;
       doc_count = 0;
       record_bytes = 0;
-      last_fetch = None;
+      last_fetch = Atomic.make None;
     }
   in
   (* recount documents from distinct docids in the index *)
@@ -157,11 +160,11 @@ let insert_tokens_bulk t docs =
 let insert_document t ~docid src = insert_tokens t ~docid (Parser.parse t.dict src)
 
 let fetch t rid =
-  match t.last_fetch with
+  match Atomic.get t.last_fetch with
   | Some (r, data) when Rid.equal r rid -> data
   | _ ->
       let data = Heap_file.read t.heap rid in
-      t.last_fetch <- Some (rid, data);
+      Atomic.set t.last_fetch (Some (rid, data));
       data
 
 (* First index entry at or after (docid, node_id); None if the next entry
@@ -203,7 +206,7 @@ let delete_document t ~docid =
       t.record_bytes <- t.record_bytes - String.length record;
       Heap_file.delete t.heap rid)
     records;
-  t.last_fetch <- None;
+  Atomic.set t.last_fetch None;
   t.doc_count <- t.doc_count - 1
 
 (* Resolve a proxy: the record containing node [abs], and its top-level
@@ -354,7 +357,7 @@ let rewrite_record t ~docid ~rid ~old_record header nodes =
       ignore (Rx_btree.Btree.delete t.index (index_key docid endpoint)))
     (Record_format.interval_endpoints old_record);
   t.record_bytes <- t.record_bytes - String.length old_record;
-  t.last_fetch <- None;
+  Atomic.set t.last_fetch None;
   if nodes = [] then Heap_file.delete t.heap rid
   else begin
     let record = Record_tree.encode header nodes in
@@ -777,6 +780,8 @@ type stats = {
   index_pages : int;
   record_bytes : int;
 }
+
+let data_page_count t = Heap_file.data_pages t.heap
 
 let stats t =
   {

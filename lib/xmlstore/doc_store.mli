@@ -164,6 +164,11 @@ module Cursor : sig
   val parent : t -> docid:int -> cursor -> cursor option
 end
 
+val data_page_count : t -> int
+(** Number of heap data pages, O(1). The executor compares this against
+    the [parallel_scan_min_pages] threshold to decide whether a partitioned
+    multi-domain scan is worth spinning up. *)
+
 type stats = {
   documents : int;
   records : int;

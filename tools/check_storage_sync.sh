@@ -1,0 +1,113 @@
+#!/bin/sh
+# Lint: the storage layer is read from concurrent domains, so every piece
+# of mutable state there must declare its synchronization discipline with
+# a `sync:` comment.  A mutation — a record/array assignment (` <- `) or a
+# `Hashtbl.replace`/`Hashtbl.remove` — passes when any of these holds:
+#
+#   - a `sync:` comment sits on the mutation's line or the two lines above;
+#   - the assigned field's declaration is annotated: `sync:` on the
+#     declaration line, the two lines above it, or the line below (postfix
+#     doc style);
+#   - the field's whole record is annotated: `sync:` in the three lines
+#     preceding its `type` keyword covers every mutable/Hashtbl field.
+#
+# Usage: tools/check_storage_sync.sh [dir ...]   (default: lib/storage)
+set -eu
+cd "$(dirname "$0")/.."
+
+dirs="${*:-lib/storage}"
+status=0
+
+for dir in $dirs; do
+  for f in "$dir"/*.ml; do
+    [ -e "$f" ] || continue
+    awk -v file="$f" '
+      { lines[NR] = $0 }
+      function near_sync(i, lo, hi,   j) {
+        for (j = i + lo; j <= i + hi; j++)
+          if (j >= 1 && j <= NR && lines[j] ~ /sync:/) return 1
+        return 0
+      }
+      # sync: anywhere in the comment block that ends just above line i
+      function comment_above_sync(i,   j, depth) {
+        j = i - 1
+        while (j >= 1 && lines[j] ~ /^[ \t]*$/) j--
+        if (j < 1 || lines[j] !~ /\*\)[ \t]*$/) return 0
+        depth = 0
+        while (j >= 1 && depth < 40) {
+          if (lines[j] ~ /sync:/) return 1
+          if (lines[j] ~ /\(\*/) return 0
+          j--
+          depth++
+        }
+        return 0
+      }
+      function last_ident(s) {
+        sub(/\.\([^)]*\)[ \t]*$/, "", s)   # drop array-element suffix .(i)
+        sub(/.*[^A-Za-z0-9_]/, "", s)      # keep the trailing identifier
+        return s
+      }
+      END {
+        # --- pass 1: fields whose declaration carries a sync: discipline ---
+        in_rec = 0
+        for (i = 1; i <= NR; i++) {
+          line = lines[i]
+          if (line ~ /^(let|open|module|exception)/) in_rec = 0
+          if (line ~ /^(type|and)[ \t]/) {
+            in_rec = 1
+            rec_ok = near_sync(i, -3, 0) || comment_above_sync(i)
+          }
+          if (in_rec) {
+            s = line
+            while (match(s, /mutable[ \t]+[A-Za-z_][A-Za-z0-9_]*/)) {
+              name = substr(s, RSTART, RLENGTH)
+              sub(/mutable[ \t]+/, "", name)
+              if (rec_ok || near_sync(i, -2, 1)) annotated[name] = 1
+              s = substr(s, RSTART + RLENGTH)
+            }
+            if (line ~ /:[^=]*Hashtbl\.t/) {
+              name = line
+              sub(/[ \t]*:.*/, "", name)
+              sub(/.*[^A-Za-z0-9_]/, "", name)
+              if (name != "" && (rec_ok || near_sync(i, -2, 1)))
+                annotated[name] = 1
+            }
+            if (line ~ /^}/) in_rec = 0
+          }
+        }
+        # --- pass 2: every mutation must map to a declared discipline ---
+        bad = 0
+        for (i = 1; i <= NR; i++) {
+          line = lines[i]
+          if (line !~ /<-|Hashtbl\.replace|Hashtbl\.remove/) continue
+          if (line ~ /<-/ && line !~ /[ \t)]<-[ \t]/ && line !~ /Hashtbl\./)
+            continue                       # "<-" inside a string/comment
+          ok = near_sync(i, -2, 0)
+          if (!ok && line ~ /[ \t)]<-[ \t]/) {
+            s = line
+            sub(/[ \t]*<-[ \t].*/, "", s)
+            fld = last_ident(s)
+            if (fld != "" && fld in annotated) ok = 1
+          }
+          if (!ok && line ~ /Hashtbl\.(replace|remove)/) {
+            s = line
+            sub(/.*Hashtbl\.(replace|remove)[ \t]+/, "", s)
+            sub(/[ \t(].*/, "", s)
+            fld = last_ident("." s)
+            if (fld != "" && fld in annotated) ok = 1
+          }
+          if (!ok) {
+            printf "%s:%d: unsynchronized mutable state (add a sync: comment): %s\n", file, i, line
+            bad = 1
+          }
+        }
+        exit bad
+      }
+    ' "$f" || status=1
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_storage_sync: mutable state without a sync: discipline found (see above)" >&2
+fi
+exit $status
