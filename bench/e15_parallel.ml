@@ -141,9 +141,15 @@ let run () =
      parallel scans over %d runs)"
     ndocs (List.length seq_results) results_equal parallel_path_used par_scans
     reps;
-  (match skip_reason with
-  | Some r -> Report.print_note "  scaling gate skipped: %s" r
-  | None -> Report.print_note "  scaling gate: >= 2.5x at %d domains" domains);
+  Report.print_gate ~name:"results equal sequential"
+    (if results_equal then `Passed else `Failed);
+  Report.print_gate ~name:"parallel path used"
+    (if parallel_path_used then `Passed else `Failed);
+  Report.print_gate
+    ~name:(Printf.sprintf "scan speedup >= 2.5x @%d domains" domains)
+    (match skip_reason with
+    | Some r -> `Skipped r
+    | None -> if speedup >= 2.5 then `Passed else `Failed);
   Database.close db;
   write_json "BENCH_E15.json" ~ndocs ~domains ~host_cores ~seq_ms ~par_ms
     ~speedup ~results_equal ~matches:(List.length seq_results)

@@ -24,6 +24,7 @@ let experiments =
     ("e13", E13_ingest.run);
     ("e14", E14_server.run);
     ("e15", E15_parallel.run);
+    ("e16", E16_repl.run);
   ]
 
 let () =

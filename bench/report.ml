@@ -57,6 +57,17 @@ let fmt_bytes n =
   else if n >= 10_000 then Printf.sprintf "%.1fKB" (float_of_int n /. 1e3)
   else Printf.sprintf "%dB" n
 
+(* Uniform gate verdict line. A skipped gate must read as "not checked",
+   never as a pass — e.g. E15's informational 0.17x speedup on a 1-core
+   host is a measurement, not a regression, and must not render like
+   either a PASS or a FAIL. *)
+let print_gate ~name verdict =
+  match verdict with
+  | `Passed -> Printf.printf "  gate %-28s PASSED\n" name
+  | `Failed -> Printf.printf "  gate %-28s FAILED\n" name
+  | `Skipped reason ->
+      Printf.printf "  gate %-28s SKIPPED (informational only): %s\n" name reason
+
 (* Host/runtime metadata embedded in every BENCH_*.json so scaling numbers
    are interpretable later: how many cores the host had, and what
    parallelism the engine ran with (mirrors Database.default_config's

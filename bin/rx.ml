@@ -1,6 +1,6 @@
 (* rx — command-line shell over a persistent System R/X database directory.
 
-     rx init            --db DIR
+     rx init            --db DIR [--archive]
      rx create-table    --db DIR --table T --columns "sku:varchar,doc:xml"
      rx create-index    --db DIR --table T --column C --name I --path P --type double
      rx drop-index      --db DIR --table T --column C --name I
@@ -13,6 +13,7 @@
      rx exec            --db DIR [--file SCRIPT]   (BEGIN/COMMIT/ROLLBACK batches)
      rx checkpoint      --db DIR
      rx verify          --db DIR
+     rx restore         --db SRC --target DST [--to-lsn L]
      rx stats           --db DIR [--json]
 *)
 
@@ -67,12 +68,32 @@ let handle_errors f =
 (* --- init --- *)
 
 let init_cmd =
-  let run dir =
+  let archive_arg =
+    Arg.(
+      value & flag
+      & info [ "archive" ]
+          ~doc:
+            "Enable WAL archiving: each checkpoint captures the log span it \
+             truncates into $(i,DIR)/archive, preserving the full history \
+             from LSN 0 for replication catch-up and $(b,rx restore). \
+             Enable it before the first checkpoint or the early history is \
+             lost.")
+  in
+  let run dir archive =
     handle_errors (fun () ->
-        with_db dir (fun _db -> Printf.printf "initialized database in %s\n" dir))
+        (* the archive directory must exist before the engine's first
+           checkpoint (the close below), or the bootstrap span is lost *)
+        if archive then begin
+          if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+          let adir = Database.archive_path dir in
+          if not (Sys.file_exists adir) then Unix.mkdir adir 0o755
+        end;
+        with_db dir (fun _db -> Printf.printf "initialized database in %s\n" dir);
+        if archive then
+          Printf.printf "WAL archiving enabled (%s)\n" (Database.archive_path dir))
   in
   Cmd.v (Cmd.info "init" ~doc:"Create (or open) a database directory.")
-    Term.(const run $ db_arg)
+    Term.(const run $ db_arg $ archive_arg)
 
 (* --- create-table --- *)
 
@@ -568,6 +589,49 @@ let verify_cmd =
           non-zero if corruption is found or the database is degraded.")
     Term.(const run $ db_arg)
 
+let restore_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "target" ] ~docv:"DIR"
+          ~doc:"Fresh directory to restore into (must not hold a database).")
+  in
+  let to_lsn_arg =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "to-lsn" ] ~docv:"LSN"
+          ~doc:
+            "Restore the state as of this LSN (exclusive) — a durable LSN \
+             observed earlier, e.g. $(b,durable_lsn) from $(b,rx stats \
+             --json). Default: the end of the source's history.")
+  in
+  let run dir target to_lsn =
+    handle_errors (fun () ->
+        (* offline: replays the source's archive + live WAL, never writes
+           to the source *)
+        let r = Database.restore ?to_lsn ~source:dir ~target () in
+        Printf.printf "restored %s at LSN %Ld into %s\n" dir
+          r.Database.rst_stop_lsn target;
+        Printf.printf "records replayed: %d\n" r.Database.rst_records;
+        Printf.printf "open transactions rolled back at the cut: %s (%d updates)\n"
+          (match r.Database.rst_losers with
+          | [] -> "none"
+          | l -> String.concat "," (List.map string_of_int l))
+          r.Database.rst_undone;
+        Printf.printf "new WAL base: %Ld\n" r.Database.rst_new_base)
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Point-in-time restore: rebuild into a fresh directory the exact \
+          state the source database had at a given LSN, from its WAL \
+          archive plus live WAL. Requires archiving enabled from the first \
+          checkpoint ($(b,rx init --archive)); run against a stopped \
+          database or a file-level copy.")
+    Term.(const run $ db_arg $ target_arg $ to_lsn_arg)
+
 let stats_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the full metrics registry as JSON.")
@@ -603,5 +667,5 @@ let () =
             create_text_index_cmd;
             register_schema_cmd; bind_schema_cmd; insert_cmd; load_cmd; get_cmd;
             query_cmd; xquery_cmd; search_cmd; exec_cmd; checkpoint_cmd;
-            verify_cmd; stats_cmd;
+            verify_cmd; restore_cmd; stats_cmd;
           ]))

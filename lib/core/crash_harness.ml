@@ -255,7 +255,7 @@ let run_op db st =
   with Fault.Injected _ -> true
 
 let run ?(iters = 200) ?(seed = 42) ?(ops_per_iter = 14) ?(parallelism = 1)
-    ~dir () =
+    ?on_cycle ~dir () =
   let st =
     {
       rng = Rx_util.Prng.create ~seed;
@@ -286,6 +286,13 @@ let run ?(iters = 200) ?(seed = 42) ?(ops_per_iter = 14) ?(parallelism = 1)
         undone := !undone + rep.Rx_wal.Recovery.undone
     | None -> ());
     check_invariants db st;
+    (* observer hook: the database is open, recovered and fault-free here *)
+    (match on_cycle with
+    | Some f ->
+        f ~db
+          ~committed:(Hashtbl.fold (fun d x acc -> (d, x) :: acc) st.model [])
+          ~violation:(fun msg -> violation st "%s" msg)
+    | None -> ());
     (* arm a fresh fault for this iteration, seeded from the run PRNG *)
     let fault = Fault.create () in
     let kind = Fault.arm_random fault st.rng ~max_ops:!max_ops in
@@ -336,6 +343,12 @@ let run ?(iters = 200) ?(seed = 42) ?(ops_per_iter = 14) ?(parallelism = 1)
       undone := !undone + rep.Rx_wal.Recovery.undone
   | None -> ());
   check_invariants db st;
+  (match on_cycle with
+  | Some f ->
+      f ~db
+        ~committed:(Hashtbl.fold (fun d x acc -> (d, x) :: acc) st.model [])
+        ~violation:(fun msg -> violation st "%s" msg)
+  | None -> ());
   let survivors = Hashtbl.length st.model in
   Database.close db;
   {

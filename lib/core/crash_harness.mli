@@ -28,6 +28,11 @@ val run :
   ?seed:int ->
   ?ops_per_iter:int ->
   ?parallelism:int ->
+  ?on_cycle:
+    (db:Database.t ->
+    committed:(int * string) list ->
+    violation:(string -> unit) ->
+    unit) ->
   dir:string ->
   unit ->
   outcome
@@ -38,4 +43,12 @@ val run :
     checkpoint immediately followed by a hard crash. [parallelism]
     (default 1) opens every reopened database with that many worker
     domains and forces the partitioned scan path on, so fault injection
-    exercises the sharded buffer pool's concurrent read paths. *)
+    exercises the sharded buffer pool's concurrent read paths.
+
+    [on_cycle] is called once per iteration (and once after the final
+    clean reopen), immediately after the invariant check: [db] is the
+    freshly recovered, fault-free handle, [committed] the exact
+    committed documents [(docid, serialized)], and [violation] records a
+    failure into the outcome. The replication bench drives a replica's
+    pull/verify cycle from it — the leader crashes between calls, never
+    during one. *)

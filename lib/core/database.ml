@@ -138,9 +138,11 @@ type prepared = {
 type t = {
   pool : Buffer_pool.t;
   log : Rx_wal.Log_manager.t;
-  dict : Name_dict.t;
+  mutable dict : Name_dict.t; (* swapped on replica refresh *)
   txn_mgr : Rx_txn.Transaction.manager;
-  catalog : Catalog.t;
+  mutable catalog : Catalog.t; (* re-attached on replica refresh *)
+  dir : string option; (* on-disk home; None for in-memory *)
+  mutable replica : bool; (* applying a leader's WAL: reads only *)
   record_threshold : int;
   metrics : Rx_obs.Metrics.t;
   tracer : Rx_obs.Trace.t;
@@ -154,6 +156,7 @@ type t = {
   mutable degraded : string option; (* corruption found at open: read-only *)
   mutable last_recovery : Rx_wal.Recovery.report option;
   mutable ddl_epoch : int; (* bumped on any DDL; stale plans recompile *)
+  mutable dict_persisted : int; (* dict size at the last catalog save *)
   mutable plan_cache :
     (string * string * string * (string * string) list, prepared) Rx_util.Lru.t;
   (* serializes the in-memory half of [commit] across threads; the
@@ -190,6 +193,8 @@ let install_txn pool log =
       "exec.parallel_scans";
       "exec.parallel_chunks";
       "exec.parallel_parses";
+      "repl.fetches";
+      "repl.bytes_shipped";
     ];
   mgr
 
@@ -241,6 +246,8 @@ let create_in_memory ?page_size ?(record_threshold = 2048)
       dict = Name_dict.create ();
       txn_mgr;
       catalog;
+      dir = None;
+      replica = false;
       record_threshold;
       metrics;
       tracer = Rx_obs.Trace.create ();
@@ -254,6 +261,7 @@ let create_in_memory ?page_size ?(record_threshold = 2048)
       degraded = None;
       last_recovery = None;
       ddl_epoch = 0;
+      dict_persisted = 0;
       plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
       write_lock = Mutex.create ();
     }
@@ -265,11 +273,17 @@ let create_in_memory ?page_size ?(record_threshold = 2048)
    below, but fires from the auto-commit wrapper defined here *)
 let auto_checkpoint_trigger : (t -> unit) ref = ref (fun _ -> ())
 
+(* forward reference too: persists the name dictionary when an
+   auto-committed operation grew it (the implementation needs
+   [save_catalog], defined below) *)
+let dict_persist_trigger : (t -> unit) ref = ref (fun _ -> ())
+
 let in_txn_as t f =
   let txn = Rx_txn.Transaction.begin_txn t.txn_mgr in
   match Rx_txn.Transaction.run_as txn (fun () -> f txn) with
   | result ->
       ignore (Rx_txn.Transaction.commit txn);
+      !dict_persist_trigger t;
       !auto_checkpoint_trigger t;
       result
   | exception e ->
@@ -279,6 +293,10 @@ let in_txn_as t f =
 let in_txn t f = in_txn_as t (fun _ -> f ())
 
 let ensure_writable t =
+  if t.replica then
+    raise
+      (Read_only
+         { reason = "replica: serving snapshots (promote to enable writes)" });
   match t.degraded with
   | Some reason -> raise (Read_only { reason })
   | None -> ()
@@ -287,6 +305,20 @@ let health t =
   match t.degraded with None -> `Healthy | Some reason -> `Degraded reason
 
 let last_recovery t = t.last_recovery
+let is_replica t = t.replica
+let replica_cursor_path dir = Filename.concat dir "replica.lsn"
+
+(* WAL archiving is switched on by the presence of the archive directory
+   next to the data files ([rx init --archive], or a mkdir at any time);
+   consulted at every checkpoint, so enabling it needs no reopen. *)
+let archive_path dir = Filename.concat dir "archive"
+
+let archive_dir t =
+  match t.dir with
+  | Some dir ->
+      let a = archive_path dir in
+      if Rx_wal.Archive.enabled a then Some a else None
+  | None -> None
 
 let dict t = t.dict
 let buffer_pool t = t.pool
@@ -369,7 +401,22 @@ let catalog_entries t =
   in
   (dict_entry :: schema_entries) @ table_entries
 
-let save_catalog t = in_txn t (fun () -> Catalog.save t.catalog (catalog_entries t))
+let save_catalog t =
+  (* set the mark first: the save itself runs [in_txn], whose post-commit
+     dictionary check must not re-enter here *)
+  t.dict_persisted <- Name_dict.size t.dict;
+  in_txn t (fun () -> Catalog.save t.catalog (catalog_entries t))
+
+(* A transaction that interned new element/attribute names leaves
+   documents on disk whose qname ids only the in-memory dictionary can
+   resolve; persist the catalog right after such a commit, or a crash —
+   or a replica applying that very commit — holds unreadable documents.
+   Interning happens once per distinct name over the database's
+   lifetime, so steady-state commits skip this. *)
+let () =
+  dict_persist_trigger :=
+    fun t ->
+      if Name_dict.size t.dict > t.dict_persisted then save_catalog t
 
 (* every DDL change goes through here: cached plans compiled before the
    bump no longer match [ddl_epoch] and recompile on next use *)
@@ -382,7 +429,7 @@ let do_checkpoint t ~counter_name =
     (fun () ->
       Rx_obs.Trace.with_span t.tracer "db.checkpoint" (fun () ->
           save_catalog t;
-          Rx_wal.Recovery.checkpoint t.log t.pool;
+          Rx_wal.Recovery.checkpoint ?archive:(archive_dir t) t.log t.pool;
           t.ckpt_mark <- Rx_wal.Log_manager.appended_bytes t.log;
           Rx_obs.Metrics.(incr (counter t.metrics counter_name))))
 
@@ -397,6 +444,7 @@ let checkpoint t =
 let maybe_auto_checkpoint t =
   if
     t.config.auto_checkpoint && (not t.checkpointing) && t.degraded = None
+    && (not t.replica)
     && t.active_txns = []
     && (Rx_wal.Log_manager.appended_bytes t.log - t.ckpt_mark
         >= t.config.checkpoint_wal_bytes
@@ -409,12 +457,153 @@ let () = auto_checkpoint_trigger := maybe_auto_checkpoint
 (* [close] lives below the session machinery: it rolls back any
    transaction still open *)
 
-let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
-    dir =
+(* (Re)build the in-memory logical state — dictionary, schemas, tables,
+   value/text indexes, schema bindings and the next_docid high-water —
+   from the persistent catalog entries. Shared by the non-fresh open path
+   and by replica refresh after applied WAL batches. Corruption goes to
+   [degrade]; a damaged table is skipped so the rest stays readable. *)
+let attach_logical t ~degrade ~healthy entries =
+  let record_threshold = t.record_threshold in
+  t.dict <-
+    (match
+       List.find_map
+         (function Catalog.Dictionary d -> Some d | _ -> None)
+         entries
+     with
+    | Some d -> Name_dict.restore d
+    | None -> Name_dict.create ());
+  t.dict_persisted <- Name_dict.size t.dict;
+  t.schemas <-
+    List.filter_map
+      (function
+        | Catalog.Schema { name; binary } ->
+            Some (name, Rx_schema.Compiled.decode binary)
+        | _ -> None)
+      entries;
+  let dict = t.dict in
+  let pool = t.pool in
+  (* rebuild tables *)
+  let next_tid = ref 0 in
+  let tables =
+    List.filter_map
+      (function
+        | Catalog.Table { name; columns; heap_header; docid_index_meta; next_docid }
+          -> (
+          try
+            let base =
+              Base_table.attach pool ~columns:(Array.of_list columns) ~heap_header
+                ~docid_index_meta
+            in
+            let xml_columns =
+              List.filter_map
+                (function
+                  | Catalog.Xml_column
+                      { table; column; heap_header; node_index_meta }
+                    when table = name ->
+                      let store =
+                        Doc_store.attach ~record_threshold pool dict
+                          ~heap_header ~index_meta:node_index_meta
+                      in
+                      Some
+                        ( column,
+                          {
+                            store;
+                            indexes = [];
+                            text_indexes = [];
+                            schema = None;
+                            schema_name = None;
+                            mvcc = None;
+                            created = Hashtbl.create 16;
+                          } )
+                  | _ -> None)
+                entries
+            in
+            incr next_tid;
+            Some (name, { tname = name; tid = !next_tid; base; xml_columns; next_docid })
+          with
+          | (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
+              (* skip the damaged table; the rest of the catalog stays
+                 readable through the degraded handle *)
+              degrade e;
+              None)
+        | _ -> None)
+      entries
+  in
+  t.tables <- tables;
+  (* value indexes and schema bindings *)
+  List.iter
+    (fun entry ->
+      try
+        match entry with
+      | Catalog.Xml_index { table; column; name; path; key_type; tree_meta } -> (
+          match find_table t table with
+          | Some tbl ->
+              let xc = xml_column_exn tbl column in
+              let key_type =
+                match Index_def.key_type_of_string key_type with
+                | Some kt -> kt
+                | None -> invalid_arg "Database: bad key type in catalog"
+              in
+              let def = Index_def.make ~name ~path ~key_type in
+              let idx = Value_index.attach pool dict def ~meta_page:tree_meta in
+              Value_index.hook idx xc.store;
+              xc.indexes <- xc.indexes @ [ idx ]
+          | None -> ())
+      | Catalog.Text_index { table; column; name; tree_meta } -> (
+          match find_table t table with
+          | Some tbl ->
+              let xc = xml_column_exn tbl column in
+              let ti = Rx_fulltext.Text_index.attach pool ~meta_page:tree_meta in
+              Rx_fulltext.Text_index.hook ti xc.store;
+              xc.text_indexes <- xc.text_indexes @ [ (name, ti) ]
+          | None -> ())
+      | Catalog.Schema_binding { table; column; schema } -> (
+          match (find_table t table, List.assoc_opt schema t.schemas) with
+          | Some tbl, Some compiled ->
+              let xc = xml_column_exn tbl column in
+              xc.schema <- Some compiled;
+              xc.schema_name <- Some schema
+          | _ -> ())
+      | _ -> ()
+      with (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
+        degrade e)
+    entries;
+  (* [next_docid] is only persisted at checkpoints, so after a crash the
+     catalog copy may lag behind docids already durable in base tables;
+     reissuing one would alias two documents. Re-derive the high-water
+     mark from the data itself. *)
+  if healthy () then
+    try
+      List.iter
+        (fun (_, tbl) ->
+          let maxd = ref 0 in
+          Base_table.iter
+            (fun docid _ -> if docid > !maxd then maxd := docid)
+            tbl.base;
+          if !maxd + 1 > tbl.next_docid then tbl.next_docid <- !maxd + 1)
+        t.tables
+    with (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
+      degrade e
+
+(* throwaway in-memory catalog for handles whose real catalog is
+   unreadable (corrupt) or does not exist yet (fresh replica) *)
+let placeholder_catalog () =
+  Catalog.create (Buffer_pool.create ~capacity:4 (Pager.create_in_memory ()))
+
+let open_dir_impl ~replica ?page_size ?(record_threshold = 2048)
+    ?(config = default_config) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let data = Filename.concat dir "data.rxdb" in
   let wal = Filename.concat dir "wal.rxlog" in
   let fresh = not (Sys.file_exists data) in
+  (* an unspecified page size adopts an existing file's geometry rather
+     than failing on a mismatch with the default — a database created at
+     1024 (or restored/replicated at the source's size) reopens plainly *)
+  let page_size =
+    match page_size with
+    | Some _ -> page_size
+    | None -> if fresh then None else Some (Pager.stored_page_size data)
+  in
   let metrics = Rx_obs.Metrics.create () in
   let tracer = Rx_obs.Trace.create () in
   let pool =
@@ -439,7 +628,46 @@ let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
             truth, not a half-recovered image *)
          (try Buffer_pool.drop_cache pool with _ -> ()));
   let txn_mgr = install_txn pool log in
-  if fresh then begin
+  (* the surviving WAL span may already contain transactions (recovery
+     keys loser detection on txids) — new ids must not collide with them *)
+  (match !last_recovery with
+  | Some r -> Rx_txn.Transaction.seed_txids txn_mgr r.Rx_wal.Recovery.max_txid
+  | None -> ());
+  if fresh && replica then begin
+    (* a fresh replica starts truly empty: the catalog (page 1) and every
+       other page arrive through the leader's WAL stream; a local bootstrap
+       would stamp pages with home-grown LSNs that alias the leader's *)
+    let t =
+      {
+        pool;
+        log;
+        dict = Name_dict.create ();
+        txn_mgr;
+        catalog = placeholder_catalog ();
+        dir = Some dir;
+        replica = true;
+        record_threshold;
+        metrics;
+        tracer;
+        tables = [];
+        schemas = [];
+        commit_ts = 0;
+        active_txns = [];
+        config;
+        checkpointing = false;
+        ckpt_mark = 0;
+        degraded = None;
+        last_recovery = None;
+        ddl_epoch = 0;
+        dict_persisted = 0;
+        plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
+        write_lock = Mutex.create ();
+      }
+    in
+    apply_config t;
+    t
+  end
+  else if fresh then begin
     (* bootstrap inside a committed transaction: the catalog heap's pages
        must not look like loser updates (txid 0) to a later recovery *)
     let catalog =
@@ -459,6 +687,8 @@ let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
         dict = Name_dict.create ();
         txn_mgr;
         catalog;
+        dir = Some dir;
+        replica = false;
         record_threshold;
         metrics;
         tracer;
@@ -472,6 +702,7 @@ let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
         degraded = None;
         last_recovery = None;
         ddl_epoch = 0;
+        dict_persisted = 0;
         plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
         write_lock = Mutex.create ();
       }
@@ -481,11 +712,18 @@ let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
   end
   else begin
     (* the catalog heap is always the first structure created: its header
-       page is page 1 *)
+       page is page 1. A replica reopened before its first applied batch
+       ever flushed may not have a page 1 yet — its catalog arrives from
+       the leader later, via [refresh_replica]. *)
+    let have_catalog =
+      (not replica) || Pager.page_count (Buffer_pool.pager pool) > 1
+    in
     let catalog, entries =
       match
-        let c = Catalog.attach pool ~header_page:1 in
-        (c, Catalog.entries c)
+        if have_catalog then
+          let c = Catalog.attach pool ~header_page:1 in
+          (c, Catalog.entries c)
+        else (placeholder_catalog (), [])
       with
       | pair -> pair
       | exception ((Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e)
@@ -493,37 +731,22 @@ let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
           degrade e;
           (* throwaway in-memory catalog: the real one is unreadable and a
              degraded handle never saves, so nothing is lost *)
-          (Catalog.create (Buffer_pool.create ~capacity:4 (Pager.create_in_memory ())), [])
-    in
-    let dict =
-      match
-        List.find_map
-          (function Catalog.Dictionary d -> Some d | _ -> None)
-          entries
-      with
-      | Some d -> Name_dict.restore d
-      | None -> Name_dict.create ()
-    in
-    let schemas =
-      List.filter_map
-        (function
-          | Catalog.Schema { name; binary } ->
-              Some (name, Rx_schema.Compiled.decode binary)
-          | _ -> None)
-        entries
+          (placeholder_catalog (), [])
     in
     let t =
       {
         pool;
         log;
-        dict;
+        dict = Name_dict.create ();
         txn_mgr;
         catalog;
+        dir = Some dir;
+        replica;
         record_threshold;
         metrics;
         tracer;
         tables = [];
-        schemas;
+        schemas = [];
         commit_ts = 0;
         active_txns = [];
         config;
@@ -532,116 +755,53 @@ let open_dir ?page_size ?(record_threshold = 2048) ?(config = default_config)
         degraded = None;
         last_recovery = None;
         ddl_epoch = 0;
+        dict_persisted = 0;
         plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
         write_lock = Mutex.create ();
       }
     in
-    (* rebuild tables *)
-    let next_tid = ref 0 in
-    let tables =
-      List.filter_map
-        (function
-          | Catalog.Table { name; columns; heap_header; docid_index_meta; next_docid }
-            -> (
-            try
-              let base =
-                Base_table.attach pool ~columns:(Array.of_list columns) ~heap_header
-                  ~docid_index_meta
-              in
-              let xml_columns =
-                List.filter_map
-                  (function
-                    | Catalog.Xml_column
-                        { table; column; heap_header; node_index_meta }
-                      when table = name ->
-                        let store =
-                          Doc_store.attach ~record_threshold pool dict
-                            ~heap_header ~index_meta:node_index_meta
-                        in
-                        Some
-                          ( column,
-                            {
-                              store;
-                              indexes = [];
-                              text_indexes = [];
-                              schema = None;
-                              schema_name = None;
-                              mvcc = None;
-                              created = Hashtbl.create 16;
-                            } )
-                    | _ -> None)
-                  entries
-              in
-              incr next_tid;
-              Some (name, { tname = name; tid = !next_tid; base; xml_columns; next_docid })
-            with
-            | (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
-                (* skip the damaged table; the rest of the catalog stays
-                   readable through the degraded handle *)
-                degrade e;
-                None)
-          | _ -> None)
-        entries
-    in
-    t.tables <- tables;
-    (* value indexes and schema bindings *)
-    List.iter
-      (fun entry ->
-        try
-          match entry with
-        | Catalog.Xml_index { table; column; name; path; key_type; tree_meta } -> (
-            match find_table t table with
-            | Some tbl ->
-                let xc = xml_column_exn tbl column in
-                let key_type =
-                  match Index_def.key_type_of_string key_type with
-                  | Some kt -> kt
-                  | None -> invalid_arg "Database: bad key type in catalog"
-                in
-                let def = Index_def.make ~name ~path ~key_type in
-                let idx = Value_index.attach pool dict def ~meta_page:tree_meta in
-                Value_index.hook idx xc.store;
-                xc.indexes <- xc.indexes @ [ idx ]
-            | None -> ())
-        | Catalog.Text_index { table; column; name; tree_meta } -> (
-            match find_table t table with
-            | Some tbl ->
-                let xc = xml_column_exn tbl column in
-                let ti = Rx_fulltext.Text_index.attach pool ~meta_page:tree_meta in
-                Rx_fulltext.Text_index.hook ti xc.store;
-                xc.text_indexes <- xc.text_indexes @ [ (name, ti) ]
-            | None -> ())
-        | Catalog.Schema_binding { table; column; schema } -> (
-            match (find_table t table, List.assoc_opt schema t.schemas) with
-            | Some tbl, Some compiled ->
-                let xc = xml_column_exn tbl column in
-                xc.schema <- Some compiled;
-                xc.schema_name <- Some schema
-            | _ -> ())
-        | _ -> ()
-        with (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
-          degrade e)
-      entries;
-    (* [next_docid] is only persisted at checkpoints, so after a crash the
-       catalog copy may lag behind docids already durable in base tables;
-       reissuing one would alias two documents. Re-derive the high-water
-       mark from the data itself. *)
-    (if !degraded = None then
-       try
-         List.iter
-           (fun (_, tbl) ->
-             let maxd = ref 0 in
-             Base_table.iter
-               (fun docid _ -> if docid > !maxd then maxd := docid)
-               tbl.base;
-             if !maxd + 1 > tbl.next_docid then tbl.next_docid <- !maxd + 1)
-           t.tables
-       with (Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e ->
-         degrade e);
+    attach_logical t ~degrade ~healthy:(fun () -> !degraded = None) entries;
     t.degraded <- !degraded;
     t.last_recovery <- !last_recovery;
     apply_config t;
     t
+  end
+
+let open_dir ?page_size ?record_threshold ?config dir =
+  let t = open_dir_impl ~replica:false ?page_size ?record_threshold ?config dir in
+  (* a directory with a replication cursor belongs to a replica: writing to
+     it would fork the timeline the cursor points into. [rxd promote]
+     removes the cursor and makes the directory a normal database. *)
+  if Sys.file_exists (replica_cursor_path dir) && t.degraded = None then
+    t.degraded <-
+      Some "replica directory (run [rxd promote] to make it writable)";
+  t
+
+let open_replica ?page_size ?record_threshold ?config dir =
+  open_dir_impl ~replica:true ?page_size ?record_threshold ?config dir
+
+(* Re-read the physically-replicated catalog and swap the in-memory
+   logical state under it. Called (with the engine lock held) after a
+   replica applies a batch: any DDL or checkpoint the leader performed
+   lives in the replicated catalog pages. *)
+let refresh_replica t =
+  if not t.replica then invalid_arg "Database.refresh_replica: not a replica";
+  let degrade e =
+    if t.degraded = None then t.degraded <- Some (Printexc.to_string e)
+  in
+  if Pager.page_count (Buffer_pool.pager t.pool) > 1 then begin
+    match
+      let c = Catalog.attach t.pool ~header_page:1 in
+      (c, Catalog.entries c)
+    with
+    | c, entries ->
+        t.catalog <- c;
+        attach_logical t ~degrade ~healthy:(fun () -> t.degraded = None) entries;
+        invalidate_plans t;
+        apply_config t
+    | exception ((Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _) as e)
+      ->
+        degrade e
   end
 
 (* --- DDL --- *)
@@ -1161,8 +1321,15 @@ let commit_async t txn =
       let _, await = Rx_txn.Transaction.precommit txn.tx in
       Rx_obs.Metrics.(incr (counter t.metrics "txn.commit"));
       (* staged DDL became effective above; make it durable like
-         immediate DDL *)
-      if List.exists (function P_drop_index _ -> true | _ -> false) ops
+         immediate DDL. Likewise a dictionary that grew while this
+         transaction's documents were parsed: names live only in the
+         catalog, so without a save here a crash — or a replica applying
+         this very commit — would hold documents whose qname ids nothing
+         can resolve. Interning is once-per-distinct-name over the
+         database's lifetime, so steady-state commits skip this. *)
+      if
+        List.exists (function P_drop_index _ -> true | _ -> false) ops
+        || Name_dict.size t.dict > t.dict_persisted
       then save_catalog t;
       maybe_purge t;
       await
@@ -1197,8 +1364,12 @@ let close t =
   (* a handle abandoned mid-transaction rolls back, like a dropped session *)
   List.iter (rollback t) t.active_txns;
   (* a degraded handle must not checkpoint: saving the catalog would
-     overwrite durable state with a partial in-memory view *)
-  (match t.degraded with None -> do_checkpoint t ~counter_name:"ckpt.manual" | Some _ -> ());
+     overwrite durable state with a partial in-memory view. A replica must
+     not either — its durable state is exactly the leader's pages, and its
+     restart point is persisted by [Replica.close] instead. *)
+  (match t.degraded with
+  | None when not t.replica -> do_checkpoint t ~counter_name:"ckpt.manual"
+  | _ -> ());
   Pager.close (Buffer_pool.pager t.pool);
   Rx_wal.Log_manager.close t.log
 
@@ -1239,6 +1410,247 @@ let verify t =
     corrupt_pages = List.rev !corrupt;
     wal_records = Rx_wal.Log_manager.record_count t.log;
     wal_torn_bytes = Rx_wal.Log_manager.torn_tail_bytes t.log;
+  }
+
+(* --- replication (leader side) --- *)
+
+let durable_lsn t = Rx_wal.Log_manager.durable_lsn t.log
+let wal_base_lsn t = Rx_wal.Log_manager.base_lsn t.log
+
+type repl_state = {
+  r_base_lsn : int64;
+  r_durable_lsn : int64;
+  r_generations : int;
+  r_page_size : int;
+}
+
+let repl_state t =
+  {
+    r_base_lsn = wal_base_lsn t;
+    r_durable_lsn = durable_lsn t;
+    r_generations =
+      (match archive_dir t with
+      | Some dir -> List.length (Rx_wal.Archive.generations dir)
+      | None -> 0);
+    r_page_size = Pager.page_size (Buffer_pool.pager t.pool);
+  }
+
+(* One replication pull: durable frames from [from_lsn], served from the
+   live log when the position is still inside it, from the archive when a
+   checkpoint has truncated past it. Returns (start, frames, durable) —
+   [start] always equals [from_lsn] unless the history below it is gone
+   (no archive), which is unrecoverable without rebuilding the replica. *)
+let repl_fetch t ~from_lsn ~max_bytes =
+  let missing () =
+    failwith
+      (Printf.sprintf
+         "replication: WAL history before LSN %Ld is gone — enable \
+          archiving (create %s) before the first checkpoint, or rebuild \
+          the replica from scratch"
+         from_lsn
+         (match t.dir with
+         | Some dir -> archive_path dir
+         | None -> "<dir>/archive"))
+  in
+  let start, frames = Rx_wal.Log_manager.raw_since t.log ~max_bytes from_lsn in
+  let start, frames =
+    if Int64.compare start from_lsn <= 0 then (from_lsn, frames)
+    else
+      (* the position fell below the live base: a checkpoint truncated it
+         away. Serve the span from the archive instead. *)
+      match archive_dir t with
+      | None -> missing ()
+      | Some dir -> (
+          match Rx_wal.Archive.read_from ~dir ~lsn:from_lsn with
+          | Rx_wal.Archive.Frames frames -> (from_lsn, frames)
+          | Rx_wal.Archive.Not_archived | Rx_wal.Archive.Missing_history ->
+              missing ())
+  in
+  Rx_obs.Metrics.(incr (counter t.metrics "repl.fetches"));
+  Rx_obs.Metrics.(add (counter t.metrics "repl.bytes_shipped") (String.length frames));
+  (start, frames, durable_lsn t)
+
+(* --- replication (replica side): physical redo + promotion --- *)
+
+(* Replicated updates may touch pages this replica has never materialized
+   (the leader allocated them after the replica's last page); extend the
+   data file with stamped zero pages so redo can pin them. *)
+let grow_pages t page_no =
+  let pager = Buffer_pool.pager t.pool in
+  while Pager.page_count pager <= page_no do
+    ignore (Pager.alloc pager)
+  done
+
+(* Apply one replicated after-image through the shared redo primitive,
+   honouring page-LSN idempotence (a page flushed past the restart cursor
+   skips records it already carries — exactly ARIES repeat-history). *)
+let apply_redo t ~page_no ~lsn ~off ~image =
+  grow_pages t page_no;
+  let page_lsn = Buffer_pool.with_page t.pool page_no Page.get_lsn in
+  if Int64.compare lsn page_lsn >= 0 then begin
+    Rx_wal.Recovery.apply_image t.pool ~page_no ~lsn ~off ~image;
+    true
+  end
+  else false
+
+(* Promotion: the replica stops applying and becomes a writable primary.
+   All applied state is flushed, then the (empty, never-appended-to) local
+   WAL restarts at [lsn] — the applied horizon — so new records continue
+   the leader's LSN timeline above every replicated page LSN. *)
+let promote_replica t ~lsn =
+  if not t.replica then invalid_arg "Database.promote_replica: not a replica";
+  Buffer_pool.flush_all t.pool;
+  (* belt and braces for promotion after a replica crash: the disk may
+     hold pages flushed past the persisted cursor, so start the new
+     timeline above every page LSN actually present, not just [lsn] —
+     otherwise a future record could be skipped by a stale page LSN *)
+  let pager = Buffer_pool.pager t.pool in
+  let base = ref lsn in
+  for p = 1 to Pager.page_count pager - 1 do
+    let plsn = Buffer_pool.with_page t.pool p Page.get_lsn in
+    if Int64.compare plsn !base > 0 then base := plsn
+  done;
+  Rx_wal.Log_manager.truncate t.log;
+  Rx_wal.Log_manager.reset_base t.log !base;
+  t.replica <- false;
+  (match t.dir with
+  | Some dir ->
+      let cursor = replica_cursor_path dir in
+      if Sys.file_exists cursor then Sys.remove cursor
+  | None -> ());
+  Rx_obs.Metrics.(incr (counter t.metrics "repl.promotions"));
+  !base
+
+(* --- point-in-time restore --- *)
+
+type restore_report = {
+  rst_records : int; (* records replayed (LSN below the cut) *)
+  rst_undone : int; (* loser updates rolled back at the cut *)
+  rst_losers : int list; (* transactions still open at the cut *)
+  rst_stop_lsn : int64; (* the requested cut *)
+  rst_new_base : int64; (* the restored database's WAL base *)
+}
+
+(* Rebuild the database state as of [to_lsn] (exclusive — pass a durable
+   LSN observed earlier; the full history end is the default) into a fresh
+   [target] directory, from [source]'s archive generations plus its live
+   WAL. The stream is replayed through the normal recovery path, so
+   transactions still open at the cut are rolled back exactly as a crash
+   at that moment would have. Offline: run against a stopped database (or
+   a file-level copy of one). *)
+let restore ?page_size ?to_lsn ~source ~target () =
+  let source_wal = Filename.concat source "wal.rxlog" in
+  if not (Sys.file_exists source_wal) then
+    failwith (Printf.sprintf "restore: %s has no WAL" source);
+  let metrics = Rx_obs.Metrics.create () in
+  let log = Rx_wal.Log_manager.open_file ~metrics source_wal in
+  let live_base = Rx_wal.Log_manager.base_lsn log in
+  let live_tail = Rx_wal.Log_manager.tail_lsn log in
+  let live_records = List.rev (Rx_wal.Log_manager.records_rev log) in
+  Rx_wal.Log_manager.close log;
+  let to_lsn = Option.value to_lsn ~default:live_tail in
+  if Int64.compare to_lsn 0L < 0 || Int64.compare to_lsn live_tail > 0 then
+    failwith
+      (Printf.sprintf "restore: --to-lsn %Ld is outside the history [0, %Ld]"
+         to_lsn live_tail);
+  (* stitch the archived generations: they must chain contiguously from
+     LSN 0 up to the live WAL's base, or part of the history is gone *)
+  let gens = Rx_wal.Archive.generations (archive_path source) in
+  let chain =
+    List.map (fun (start, path) -> (start, Rx_wal.Archive.load (start, path))) gens
+  in
+  let archive_end =
+    List.fold_left
+      (fun at (start, frames) ->
+        if Int64.compare start at <> 0 then
+          failwith
+            (Printf.sprintf
+               "restore: archive gap — history ends at LSN %Ld but the next \
+                generation starts at %Ld"
+               at start);
+        Int64.add at (Int64.of_int (String.length frames)))
+      0L chain
+  in
+  if Int64.compare archive_end live_base <> 0 then
+    failwith
+      (Printf.sprintf
+         "restore: incomplete history — the archive ends at LSN %Ld but the \
+          live WAL starts at %Ld (was archiving enabled before the first \
+          checkpoint?)"
+         archive_end live_base);
+  let records =
+    List.concat_map
+      (fun (start, frames) -> Rx_wal.Log_manager.decode_frames ~base:start frames)
+      chain
+    @ live_records
+  in
+  let cut = List.filter (fun (lsn, _) -> Int64.compare lsn to_lsn < 0) records in
+  (* fresh target: pages materialize from the replayed history alone *)
+  let page_size =
+    match page_size with
+    | Some ps -> ps
+    | None ->
+        let src_data = Filename.concat source "data.rxdb" in
+        if Sys.file_exists src_data then Pager.stored_page_size src_data
+        else Pager.default_page_size
+  in
+  if not (Sys.file_exists target) then Unix.mkdir target 0o755;
+  let tgt_data = Filename.concat target "data.rxdb" in
+  if Sys.file_exists tgt_data then
+    failwith (Printf.sprintf "restore: %s already holds a database" target);
+  let tmetrics = Rx_obs.Metrics.create () in
+  let pool =
+    Buffer_pool.create ~metrics:tmetrics ~capacity:2048
+      (Pager.open_file ~metrics:tmetrics ~page_size tgt_data)
+  in
+  let pager = Buffer_pool.pager pool in
+  let max_page =
+    List.fold_left
+      (fun acc (_, r) ->
+        match r with
+        | Rx_wal.Log_record.Update { page_no; _ }
+        | Rx_wal.Log_record.Clr { page_no; _ } ->
+            max acc page_no
+        | _ -> acc)
+      0 cut
+  in
+  while Pager.page_count pager <= max_page do
+    ignore (Pager.alloc pager)
+  done;
+  (* Rebuild the history in an in-memory log: the genesis base is 0 and
+     LSNs are byte offsets, so re-appending the same records reproduces the
+     original LSNs exactly; [Recovery.run] then redoes committed history
+     and undoes the transactions the cut left open, exactly as if the
+     process had crashed at [to_lsn]. *)
+  let mem = Rx_wal.Log_manager.create_in_memory ~metrics:tmetrics () in
+  List.iter
+    (fun (lsn, r) ->
+      let rebuilt = Rx_wal.Log_manager.append mem r in
+      if Int64.compare rebuilt lsn <> 0 then
+        failwith
+          (Printf.sprintf
+             "restore: LSN drift at %Ld (rebuilt as %Ld) — frame stream is \
+              not the original history"
+             lsn rebuilt))
+    cut;
+  let report = Rx_wal.Recovery.run mem pool in
+  Buffer_pool.flush_all pool;
+  (* the undo pass appended CLRs/Aborts past the cut, stamping pages with
+     LSNs above [to_lsn]; the restored timeline must start above them all
+     so future records can never be skipped by a stale page LSN *)
+  let new_base = Rx_wal.Log_manager.tail_lsn mem in
+  let tgt_log =
+    Rx_wal.Log_manager.open_file ~metrics:tmetrics (Filename.concat target "wal.rxlog")
+  in
+  Rx_wal.Log_manager.reset_base tgt_log new_base;
+  Rx_wal.Log_manager.close tgt_log;
+  Pager.close pager;
+  {
+    rst_records = List.length cut;
+    rst_undone = report.Rx_wal.Recovery.undone;
+    rst_losers = report.Rx_wal.Recovery.losers;
+    rst_stop_lsn = to_lsn;
+    rst_new_base = new_base;
   }
 
 (* visibility of (table, column, docid) for an optional transaction:

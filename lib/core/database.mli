@@ -190,6 +190,119 @@ val set_fault : ?scope:[ `All | `Wal_only ] -> t -> Rx_storage.Fault.t option ->
 
 val dict : t -> Rx_xml.Name_dict.t
 
+(** {1 Replication & point-in-time restore}
+
+    A leader ships durable WAL frames ({!repl_fetch}); a replica opened
+    with {!open_replica} applies them through the redo path
+    ({!apply_redo}) while serving read-only snapshot queries, and can be
+    promoted to a writable leader ({!promote_replica}). The higher-level
+    pull/apply/cursor machinery lives in {!Replica}; these are the
+    engine primitives it builds on. {!restore} rebuilds a past state
+    from the WAL archive. *)
+
+val open_replica :
+  ?page_size:int ->
+  ?record_threshold:int ->
+  ?config:config ->
+  string ->
+  t
+(** Opens a directory as a {e replica}: no bootstrap is performed on a
+    fresh directory (the catalog and every page arrive by replication,
+    preserving the leader's LSNs exactly), recovery replays any pages
+    flushed before the last cursor write, auto-checkpointing is off, and
+    every mutating call raises {!Read_only} until {!promote_replica}.
+    Use {!Replica.attach} rather than calling this directly. *)
+
+val is_replica : t -> bool
+
+val replica_cursor_path : string -> string
+(** [dir/replica.lsn] — where a replica persists its resume position.
+    Its presence marks the directory as a replica: a plain {!open_dir}
+    of such a directory opens degraded (the pages may be mid-apply;
+    only [rxd promote] makes it a writable database again). *)
+
+val archive_path : string -> string
+(** [dir/archive] — the WAL archive directory. Creating it (e.g.
+    [rx init --archive]) turns on archiving: every checkpoint captures
+    the WAL span it is about to truncate as a generation file, so the
+    archive plus the live WAL cover the full history from LSN 0 —
+    what replication catch-up from any LSN and {!restore} require. *)
+
+val refresh_replica : t -> unit
+(** Re-reads the catalog heap from the replicated pages and rebuilds the
+    logical layer (tables, indexes, schemas, name dictionary) from it.
+    Call after applying a batch that may have included DDL or a
+    checkpoint; cheap when nothing changed structurally. *)
+
+val durable_lsn : t -> int64
+(** The LSN up to which this handle's WAL is known fsynced — the ship
+    horizon: a leader never sends bytes that could vanish in its own
+    crash. *)
+
+val wal_base_lsn : t -> int64
+(** Where the live WAL starts; frames below it are only in the archive. *)
+
+type repl_state = {
+  r_base_lsn : int64;
+  r_durable_lsn : int64;
+  r_generations : int;  (** archived WAL generations available *)
+  r_page_size : int;
+      (** physical page images only make sense at the leader's geometry:
+          a fresh replica must be created with this page size *)
+}
+
+val repl_state : t -> repl_state
+(** Where this leader's history starts and ends right now — what a
+    replica (or [rxd serve --replicate-from]) needs to decide where to
+    fetch from and whether it can catch up at all. *)
+
+val repl_fetch : t -> from_lsn:int64 -> max_bytes:int -> int64 * string * int64
+(** [(start_lsn, frames, durable_lsn)]: raw CRC-framed WAL bytes from
+    [from_lsn] (a frame-boundary LSN), cut at a frame boundary within
+    [max_bytes] (the first frame always ships whole). Positions below
+    the live base are served from the archive.
+    @raise Failure if the history at [from_lsn] is gone (no archive):
+    the replica must be rebuilt from scratch. *)
+
+val apply_redo :
+  t -> page_no:int -> lsn:int64 -> off:int -> image:string -> bool
+(** Applies one logged after-image on a replica, allocating pages as
+    needed and honouring the page-LSN idempotence rule ([false] when the
+    page is already at or past [lsn]). Caller must hold {!exclusively}. *)
+
+val promote_replica : t -> lsn:int64 -> int64
+(** Makes a replica writable: flushes everything it applied, resets the
+    (empty) local WAL's base to the maximum of [lsn] — the apply horizon
+    — and every page LSN on disk (pages may have been flushed past the
+    cursor before a replica crash), and removes the cursor file. Returns
+    the base chosen, where the new timeline begins. Irreversible; the
+    old leader must never ship to this directory again. *)
+
+type restore_report = {
+  rst_records : int;  (** records replayed (LSN below the cut) *)
+  rst_undone : int;  (** loser updates rolled back at the cut *)
+  rst_losers : int list;  (** transactions still open at the cut *)
+  rst_stop_lsn : int64;  (** the requested cut *)
+  rst_new_base : int64;  (** the restored database's WAL base *)
+}
+
+val restore :
+  ?page_size:int ->
+  ?to_lsn:int64 ->
+  source:string ->
+  target:string ->
+  unit ->
+  restore_report
+(** Point-in-time restore: rebuilds into fresh directory [target] the
+    exact state [source] had at [to_lsn] (exclusive; default: the end of
+    its history) by replaying archived WAL generations plus the live WAL
+    through normal recovery — transactions still open at the cut are
+    rolled back, exactly as a crash there would have. Requires an
+    unbroken archive chain from LSN 0 ([rx init --archive]). Offline
+    operation: [source] must be a stopped database or a file-level copy.
+    @raise Failure on incomplete history, a bad [to_lsn], or a non-empty
+    [target]. *)
+
 (** {1 Transactions}
 
     Writers follow strict two-phase locking from the moment a statement is

@@ -1,0 +1,86 @@
+(** Pull-based WAL-shipping replica.
+
+    A replica periodically {!pull}s durable WAL frames from its leader
+    (through any {!type-fetch} transport — an in-process
+    {!Database.repl_fetch} closure, or the rxd wire protocol), applies
+    them through the engine's redo path, and serves read-only snapshot
+    queries from the result. Applies stop at {e transaction-consistent
+    horizons}: a batch's records are held back until every transaction
+    seen in them has committed or aborted, so reads between pulls always
+    see a state the leader actually committed.
+
+    The replica never writes its own WAL. Its restart point is a cursor
+    file ([replica.lsn], written by {!checkpoint} only after flushing all
+    applied pages); on {!attach} the replica resumes fetching from the
+    cursor, and page LSNs make any overlap reapply idempotent. *)
+
+type t
+
+type fetch = from_lsn:int64 -> max_bytes:int -> int64 * string * int64
+(** How to reach the leader: returns [(start_lsn, frames, durable_lsn)]
+    exactly like {!Database.repl_fetch}. Must raise on failure (the
+    exception propagates out of {!pull}). *)
+
+val no_fetch : fetch
+(** Raises [Failure] — for offline attachment (inspection, {!promote})
+    where no {!pull} will ever run. *)
+
+type pull_report = {
+  pulled_bytes : int;
+  applied_records : int;
+  caught_up : bool;
+      (** the horizon has reached the leader's durable LSN and the last
+          fetch returned nothing *)
+}
+
+val attach :
+  ?page_size:int ->
+  ?record_threshold:int ->
+  ?config:Database.config ->
+  fetch:fetch ->
+  string ->
+  t
+(** Opens [dir] as a replica ({!Database.open_replica}) and resumes from
+    its cursor (LSN 0 for a fresh directory — the whole database then
+    arrives by replication). After a replica crash, reads served before
+    the first successful {!pull} may reflect a torn page set; pull to the
+    leader's durable LSN before trusting them. *)
+
+val db : t -> Database.t
+(** The underlying read-only handle — run queries against it (bare reads
+    and explicit snapshot transactions work; mutations raise
+    {!Database.Read_only}). *)
+
+val pull : ?max_bytes:int -> t -> pull_report
+(** One fetch/apply round: asks the leader for up to [max_bytes]
+    (default 1 MiB) of frames past what it already holds, applies every
+    record below the new transaction-consistent horizon, and refreshes
+    the logical layer so replicated DDL becomes visible. The fetch runs
+    outside the engine lock; the apply inside it.
+    @raise Failure if the leader no longer has the history this replica
+    needs (rebuild from scratch). *)
+
+val checkpoint : t -> unit
+(** Persists the restart point: flushes all applied pages, then writes
+    the cursor. Call periodically; the interval bounds re-fetch work
+    after a replica restart, not correctness. *)
+
+val horizon : t -> int64
+(** The transaction-consistent LSN this replica has applied up to. *)
+
+val leader_durable : t -> int64
+(** The leader's durable LSN as of the last {!pull} (0 before one). *)
+
+val lag : t -> int
+(** Bytes of durable leader WAL not yet applied here. *)
+
+val promote : t -> int64
+(** Promotes this replica to a writable leader at its current horizon:
+    flushes, resets the WAL base so the new timeline continues above
+    every replicated LSN (returns the base chosen), and removes the
+    cursor file. Buffered records past the horizon are discarded — the
+    same loss a leader crash at that LSN would cause. The handle from
+    {!db} is writable afterwards; this [t] must not be pulled again. *)
+
+val close : t -> unit
+(** {!checkpoint}, then closes the database handle. *)

@@ -2,7 +2,7 @@ let net_ops =
   [
     "hello"; "query"; "prepare"; "run_prepared"; "begin"; "commit";
     "rollback"; "insert"; "insert_many"; "delete"; "get"; "stats";
-    "shutdown";
+    "shutdown"; "repl_state"; "repl_fetch";
   ]
 
 let ensure_net_instruments m =
@@ -26,6 +26,18 @@ let json db =
       ("value_index_entries", num s.Database.value_index_entries);
       ("data_pages", num s.Database.data_pages);
       ("log_bytes", num s.Database.log_bytes);
+      ( "role",
+        Rx_obs.Json.Str (if Database.is_replica db then "replica" else "leader")
+      );
+      ( "wal",
+        let st = Database.repl_state db in
+        Rx_obs.Json.Obj
+          [
+            ("base_lsn", Rx_obs.Json.Num (Int64.to_float st.Database.r_base_lsn));
+            ( "durable_lsn",
+              Rx_obs.Json.Num (Int64.to_float st.Database.r_durable_lsn) );
+            ("archive_generations", num st.Database.r_generations);
+          ] );
       ( "health",
         Rx_obs.Json.Str
           (match Database.health db with

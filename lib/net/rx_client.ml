@@ -101,4 +101,23 @@ let stats_json c =
   | Rx_wire.R_stats { json } -> json
   | _ -> bad_shape ()
 
+type repl_state = {
+  base_lsn : int64;
+  durable_lsn : int64;
+  generations : int;
+  page_size : int;
+}
+
+let repl_state c =
+  match rpc c Rx_wire.Repl_state with
+  | Rx_wire.R_repl_state { base_lsn; durable_lsn; generations; page_size } ->
+      { base_lsn; durable_lsn; generations; page_size }
+  | _ -> bad_shape ()
+
+let repl_fetch c ~from_lsn ~max_bytes =
+  match rpc c (Rx_wire.Repl_fetch { from_lsn; max_bytes }) with
+  | Rx_wire.R_repl_batch { start_lsn; durable_lsn; frames } ->
+      (start_lsn, frames, durable_lsn)
+  | _ -> bad_shape ()
+
 let shutdown c = unit_rpc c Rx_wire.Shutdown

@@ -118,6 +118,24 @@ val stats_json : t -> string
     — the same schema [rx stats --json] prints embedded, [net.*]
     counters included. *)
 
+type repl_state = {
+  base_lsn : int64;
+  durable_lsn : int64;
+  generations : int;
+  page_size : int;
+}
+(** The leader's replication position — live WAL base, durable LSN, how
+    many archived generations it holds — and its page size, which a
+    fresh replica must adopt. *)
+
+val repl_state : t -> repl_state
+
+val repl_fetch : t -> from_lsn:int64 -> max_bytes:int -> int64 * string * int64
+(** [(start_lsn, frames, durable_lsn)] — ships durable WAL frames from
+    [from_lsn], exactly {!Systemrx.Database.repl_fetch} over the wire;
+    this is the {!Systemrx.Replica.fetch} shape, so a partially applied
+    [repl_fetch c] plugs straight into {!Systemrx.Replica.attach}. *)
+
 val shutdown : t -> unit
 (** Asks the server to shut down gracefully; returns once the server has
     acknowledged (in-flight sessions drain, then the process's

@@ -102,6 +102,8 @@ let op_name : Rx_wire.request -> string = function
   | Rx_wire.Stats -> "stats"
   | Rx_wire.Shutdown -> "shutdown"
   | Rx_wire.Bye -> "bye"
+  | Rx_wire.Repl_state -> "repl_state"
+  | Rx_wire.Repl_fetch _ -> "repl_fetch"
 
 let matches_of_result (r : Database.result) =
   Rx_wire.R_matches
@@ -226,6 +228,24 @@ let dispatch t sess : Rx_wire.request -> Rx_wire.ok = function
       engine t "stats" (fun () ->
           Rx_wire.R_stats
             { json = Rx_obs.Json.to_string (Stats_report.json t.db) })
+  | Rx_wire.Repl_state ->
+      engine t "repl_state" (fun () ->
+          let st = Database.repl_state t.db in
+          Rx_wire.R_repl_state
+            {
+              base_lsn = st.Database.r_base_lsn;
+              durable_lsn = st.Database.r_durable_lsn;
+              generations = st.Database.r_generations;
+              page_size = st.Database.r_page_size;
+            })
+  | Rx_wire.Repl_fetch { from_lsn; max_bytes } ->
+      engine t "repl_fetch" (fun () ->
+          (* cap at what one response frame can carry (minus envelope) *)
+          let max_bytes = min max_bytes (Rx_wire.max_frame - 64) in
+          let start_lsn, frames, durable_lsn =
+            Database.repl_fetch t.db ~from_lsn ~max_bytes
+          in
+          Rx_wire.R_repl_batch { start_lsn; durable_lsn; frames })
   | Rx_wire.Shutdown -> Rx_wire.R_unit
   | Rx_wire.Bye -> Rx_wire.R_unit
 

@@ -32,6 +32,8 @@ type request =
   | Stats
   | Shutdown
   | Bye
+  | Repl_state
+  | Repl_fetch of { from_lsn : int64; max_bytes : int }
 
 type ok =
   | R_hello of { server : string; session : int }
@@ -43,6 +45,13 @@ type ok =
   | R_docids of { docids : int list }
   | R_doc of { doc : string }
   | R_stats of { json : string }
+  | R_repl_state of {
+      base_lsn : int64;
+      durable_lsn : int64;
+      generations : int;
+      page_size : int;
+    }
+  | R_repl_batch of { start_lsn : int64; durable_lsn : int64; frames : string }
 
 type response = Ok of ok | Err of { status : int; message : string }
 
@@ -58,6 +67,14 @@ let put_int b v =
 let put_u32 b v =
   let s = Bytes.create 4 in
   Bytes.set_int32_be s 0 (Int32.of_int v);
+  Buffer.add_bytes b s
+
+(* LSNs travel as true 8-byte big-endian int64s (put_int narrows through
+   the host int, which is fine for counts but not for a durable on-disk
+   position) *)
+let put_i64 b v =
+  let s = Bytes.create 8 in
+  Bytes.set_int64_be s 0 v;
   Buffer.add_bytes b s
 
 let put_str b s =
@@ -89,6 +106,12 @@ let get_u8 c =
 let get_int c =
   need c 8;
   let v = Int64.to_int (String.get_int64_be c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = String.get_int64_be c.s c.pos in
   c.pos <- c.pos + 8;
   v
 
@@ -170,7 +193,12 @@ let encode_request r =
       put_int b docid
   | Stats -> put_u8 b 12
   | Shutdown -> put_u8 b 13
-  | Bye -> put_u8 b 14);
+  | Bye -> put_u8 b 14
+  | Repl_state -> put_u8 b 15
+  | Repl_fetch { from_lsn; max_bytes } ->
+      put_u8 b 16;
+      put_i64 b from_lsn;
+      put_int b max_bytes);
   Buffer.contents b
 
 let finish c v =
@@ -223,6 +251,11 @@ let decode_request s =
     | 12 -> Stats
     | 13 -> Shutdown
     | 14 -> Bye
+    | 15 -> Repl_state
+    | 16 ->
+        let from_lsn = get_i64 c in
+        let max_bytes = get_int c in
+        Repl_fetch { from_lsn; max_bytes }
     | op -> raise (Protocol_error (Printf.sprintf "unknown opcode %d" op))
   in
   finish c r
@@ -266,7 +299,18 @@ let encode_response r =
           put_str b doc
       | R_stats { json } ->
           put_u8 b 9;
-          put_str b json)
+          put_str b json
+      | R_repl_state { base_lsn; durable_lsn; generations; page_size } ->
+          put_u8 b 10;
+          put_i64 b base_lsn;
+          put_i64 b durable_lsn;
+          put_int b generations;
+          put_int b page_size
+      | R_repl_batch { start_lsn; durable_lsn; frames } ->
+          put_u8 b 11;
+          put_i64 b start_lsn;
+          put_i64 b durable_lsn;
+          put_str b frames)
   | Err { status; message } ->
       if status <= 0 || status > 255 then
         invalid_arg "Rx_wire: error status out of range";
@@ -303,6 +347,17 @@ let decode_response s =
         | 7 -> Ok (R_docids { docids = get_list c get_int })
         | 8 -> Ok (R_doc { doc = get_str c })
         | 9 -> Ok (R_stats { json = get_str c })
+        | 10 ->
+            let base_lsn = get_i64 c in
+            let durable_lsn = get_i64 c in
+            let generations = get_int c in
+            let page_size = get_int c in
+            Ok (R_repl_state { base_lsn; durable_lsn; generations; page_size })
+        | 11 ->
+            let start_lsn = get_i64 c in
+            let durable_lsn = get_i64 c in
+            let frames = get_str c in
+            Ok (R_repl_batch { start_lsn; durable_lsn; frames })
         | tag -> raise (Protocol_error (Printf.sprintf "unknown result tag %d" tag)))
     | status -> Err { status; message = get_str c }
   in

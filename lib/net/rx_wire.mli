@@ -64,6 +64,15 @@ type request =
   | Stats  (** The {!Systemrx.Stats_report.json} document. *)
   | Shutdown  (** Graceful server shutdown (reply comes first). *)
   | Bye  (** Orderly session close. *)
+  | Repl_state
+      (** The leader's replication position ({!ok.R_repl_state}): WAL base
+          and durable LSNs plus the archived generation count. *)
+  | Repl_fetch of { from_lsn : int64; max_bytes : int }
+      (** Ship durable WAL frames from [from_lsn] (a frame-boundary LSN:
+          [0], or [start_lsn + length of frames] from a previous batch),
+          cut at a frame boundary within [max_bytes] (the first frame
+          always ships whole). Positions below the live WAL base are
+          served from the leader's archive. *)
 
 (** An OK response's payload, one constructor per result shape. *)
 type ok =
@@ -78,6 +87,18 @@ type ok =
   | R_docids of { docids : int list }
   | R_doc of { doc : string }
   | R_stats of { json : string }
+  | R_repl_state of {
+      base_lsn : int64;
+      durable_lsn : int64;
+      generations : int;
+      page_size : int;  (** a fresh replica must adopt this geometry *)
+    }
+  | R_repl_batch of { start_lsn : int64; durable_lsn : int64; frames : string }
+      (** A span of raw CRC-framed WAL bytes starting at [start_lsn]
+          (which exceeds the asked [from_lsn] only when the leader's
+          history below it is gone — unrecoverable without a rebuild).
+          [frames] is empty when the replica is caught up to
+          [durable_lsn]. LSNs travel as true 8-byte big-endian [int64]s. *)
 
 type response = Ok of ok | Err of { status : int; message : string }
 

@@ -109,6 +109,17 @@ let write_page t page_no buf =
           | Mem m -> Bytes.blit buf 0 m.pages.(page_no) 0 n
           | File f -> pwrite_full f.fd buf (page_no * t.page_size) n))
 
+let stored_page_size path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let hdr = Bytes.make 16 '\000' in
+      pread_full fd hdr 0;
+      if Bytes.sub_string hdr 0 8 <> magic then
+        failwith "Pager.stored_page_size: bad magic";
+      Int32.to_int (Bytes.get_int32_be hdr 8))
+
 let open_file ?(metrics = Rx_obs.Metrics.default) ?(page_size = default_page_size) path =
   let c_reads, c_writes, c_syncs, c_corrupt = counters metrics in
   let existed = Sys.file_exists path in

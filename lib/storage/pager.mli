@@ -37,6 +37,12 @@ val open_file : ?metrics:Rx_obs.Metrics.t -> ?page_size:int -> string -> t
     @raise Failure if the file exists with a different page size, a bad
     magic, or an unsupported format version. *)
 
+val stored_page_size : string -> int
+(** The page size recorded in an existing pager file's header, without
+    opening it as a pager — lets offline tools (point-in-time restore)
+    match a source database's geometry.
+    @raise Failure on a bad magic. *)
+
 val page_size : t -> int
 
 val page_count : t -> int

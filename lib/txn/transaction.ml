@@ -34,6 +34,8 @@ let begin_txn mgr =
   mgr.active <- mgr.active + 1;
   { mgr; id = mgr.next_txid; state = Active }
 
+let seed_txids mgr txid = if txid > mgr.next_txid then mgr.next_txid <- txid
+
 let txid t = t.id
 let is_active t = t.state = Active
 

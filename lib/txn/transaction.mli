@@ -24,6 +24,13 @@ val install_journal : manager -> unit
 val begin_txn : manager -> t
 (** Starts a transaction with a fresh, monotonically increasing txid. *)
 
+val seed_txids : manager -> int -> unit
+(** Raises the id floor: subsequent {!begin_txn} calls issue ids strictly
+    above [txid] (no-op when already past it). Call after crash recovery
+    with the recovered log's highest txid — ids repeating within one WAL
+    span would alias distinct transactions and break loser detection at
+    the next recovery. *)
+
 val txid : t -> int
 (** The transaction's identifier (also its WAL record tag). *)
 

@@ -1,0 +1,133 @@
+(* WAL archive: one generation file per checkpoint truncation, capturing
+   the log span the truncation is about to destroy. Together the
+   generations plus the live log hold every frame since LSN 0, which is
+   what both a lagging replica (fetching below the live base) and
+   point-in-time restore need.
+
+   Generation file layout mirrors the WAL itself: a 16-byte header (magic
+   "RXARC001" + 8-byte big-endian start LSN) followed by raw CRC-framed
+   records exactly as they appeared in the log. The file name encodes the
+   start LSN too ([gen-<16 hex digits>.rxarc]) so the directory can be
+   scanned and ordered without opening anything.
+
+   Generations are written to a temp name, fsynced, then renamed into
+   place, so a crash mid-capture leaves either no generation or a complete
+   one — never a torn file (readers still CRC-check every frame). *)
+
+let magic = "RXARC001"
+let header_size = 16
+
+exception Corrupt_generation of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_generation path ->
+        Some (Printf.sprintf "Archive.Corrupt_generation(%s)" path)
+    | _ -> None)
+
+let generation_name start_lsn = Printf.sprintf "gen-%016Lx.rxarc" start_lsn
+
+let parse_name name =
+  if
+    String.length name = 26
+    && String.sub name 0 4 = "gen-"
+    && Filename.check_suffix name ".rxarc"
+  then Int64.of_string_opt ("0x" ^ String.sub name 4 16)
+  else None
+
+let enabled dir = Sys.file_exists dir && Sys.is_directory dir
+
+let generations dir =
+  if not (enabled dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match parse_name name with
+           | Some lsn -> Some (lsn, Filename.concat dir name)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+(* Read a generation's frame bytes, validating header magic and that the
+   header LSN agrees with the file name. *)
+let load (start_lsn, path) =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      if size < header_size then raise (Corrupt_generation path);
+      let hdr = really_input_string ic header_size in
+      if String.sub hdr 0 8 <> magic then raise (Corrupt_generation path);
+      let hdr_lsn = String.get_int64_be hdr 8 in
+      if hdr_lsn <> start_lsn then raise (Corrupt_generation path);
+      really_input_string ic (size - header_size))
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let append ~dir ~start_lsn data =
+  if data <> "" then begin
+    let name = generation_name start_lsn in
+    let final = Filename.concat dir name in
+    let tmp = final ^ ".tmp" in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let hdr = Bytes.make header_size '\000' in
+        Bytes.blit_string magic 0 hdr 0 8;
+        Bytes.set_int64_be hdr 8 start_lsn;
+        let payload = Bytes.cat hdr (Bytes.of_string data) in
+        let len = Bytes.length payload in
+        let rec w pos =
+          if pos < len then w (pos + Unix.write fd payload pos (len - pos))
+        in
+        w 0;
+        Unix.fsync fd);
+    Sys.rename tmp final;
+    fsync_dir dir
+  end
+
+type lookup =
+  | Frames of string  (** raw frames starting exactly at the asked LSN *)
+  | Not_archived  (** the LSN is past the archive's end: use the live log *)
+  | Missing_history
+      (** the LSN predates the archive (or falls in a gap between
+          generations): the history was never captured *)
+
+(* End LSN from the file size alone, so scans don't read contents. *)
+let gen_end (start, path) =
+  let size = (Unix.stat path).Unix.st_size in
+  Int64.add start (Int64.of_int (max 0 (size - header_size)))
+
+let read_from ~dir ~lsn =
+  let gens = generations dir in
+  let rec find = function
+    | [] -> if gens = [] then Not_archived else Missing_history
+    | ((start, _path) as gen) :: rest ->
+        if Int64.compare lsn start < 0 then Missing_history
+        else if Int64.compare lsn (gen_end gen) < 0 then
+          let frames = load gen in
+          let off = Int64.to_int (Int64.sub lsn start) in
+          Frames (String.sub frames off (String.length frames - off))
+        else if rest = [] then Not_archived
+        else find rest
+  in
+  find gens
+
+let end_lsn dir =
+  match List.rev (generations dir) with
+  | [] -> None
+  | gen :: _ -> Some (gen_end gen)
+
+let capture ~dir log =
+  let base = Log_manager.base_lsn log in
+  let _start, data = Log_manager.raw_since log base in
+  append ~dir ~start_lsn:base data

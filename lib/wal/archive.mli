@@ -1,0 +1,64 @@
+(** WAL archive: generational retention of truncated log spans.
+
+    Checkpoint truncation destroys log history; when an archive directory
+    exists, {!capture} copies the about-to-be-truncated span into a
+    {e generation} file first, so the generations plus the live log hold
+    every CRC-framed record since LSN 0. That complete history is what a
+    lagging replica (fetching below the live base) and point-in-time
+    restore ([rx restore --to-lsn]) replay.
+
+    A generation file is [gen-<16 hex digits>.rxarc] (the digits are the
+    start LSN), laid out as a 16-byte header (magic ["RXARC001"] + 8-byte
+    big-endian start LSN) followed by raw frames exactly as they appeared
+    in the log. Files are written to a temp name, fsynced and renamed, so a
+    crash mid-capture never leaves a torn generation. *)
+
+exception Corrupt_generation of string
+(** A generation file with a bad magic, a header LSN that disagrees with
+    its name, or a truncated header. The payload carries the file path;
+    frame-level corruption inside a generation surfaces later as
+    {!Log_manager.Corrupt_record} when the frames are decoded. *)
+
+val enabled : string -> bool
+(** Whether [dir] exists as a directory — archiving is switched on simply
+    by creating the archive directory ([<db>/archive]; see
+    [rx init --archive]). *)
+
+val generations : string -> (int64 * string) list
+(** The archive's generation files as [(start_lsn, path)] pairs in LSN
+    order. Empty if the directory does not exist or holds none. *)
+
+val load : int64 * string -> string
+(** [load (start_lsn, path)] returns a generation's raw frame bytes,
+    validating the header against [start_lsn].
+    @raise Corrupt_generation on a damaged header. *)
+
+val append : dir:string -> start_lsn:int64 -> string -> unit
+(** Writes raw frame bytes as a new generation starting at [start_lsn]
+    (no-op on empty data). Write + fsync + rename, then the directory is
+    fsynced, so the generation is durable before the caller truncates the
+    live log. *)
+
+val capture : dir:string -> Log_manager.t -> unit
+(** Archives the live log's entire current contents (base to durable tail)
+    as one generation. Called by {!Recovery.checkpoint} immediately after
+    the checkpoint flush — at that point the whole log is durable — and
+    immediately before truncation destroys it. *)
+
+(** Result of {!read_from}. *)
+type lookup =
+  | Frames of string  (** raw frames starting exactly at the asked LSN *)
+  | Not_archived  (** the LSN is past the archive's end: use the live log *)
+  | Missing_history
+      (** the LSN predates the archive (or falls in a gap between
+          generations): the history was never captured *)
+
+val read_from : dir:string -> lsn:int64 -> lookup
+(** Locates [lsn] in the archive and returns every archived frame from it
+    to the end of its generation (callers fetch generation-at-a-time and
+    come back for more). [lsn] must be a frame boundary, as with
+    {!Log_manager.raw_since}. *)
+
+val end_lsn : string -> int64 option
+(** One past the last archived frame, or [None] for an empty archive. In a
+    healthy archive this equals the live log's base LSN. *)

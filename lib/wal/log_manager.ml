@@ -216,6 +216,51 @@ let tail_lsn_u t = Int64.add t.base (Int64.of_int (Buffer.length t.contents))
 let durable_lsn_u t = Int64.add t.base (Int64.of_int t.durable)
 let tail_lsn t = Mutex.protect t.lock (fun () -> tail_lsn_u t)
 let durable_lsn t = Mutex.protect t.lock (fun () -> durable_lsn_u t)
+let base_lsn t = Mutex.protect t.lock (fun () -> t.base)
+
+(* Raw durable frames from [from] onward, cut at a frame boundary no more
+   than [max_bytes] past the start (the first frame is always included, so a
+   caller polling with a small budget still makes progress). Only fsynced
+   bytes ship: [durable] never regresses across a crash (an fsynced frame is
+   by definition inside the CRC-valid prefix that reopen keeps), so a frame
+   returned here can never later disappear from the log. [from] must be a
+   frame boundary previously handed out by this module (an append LSN, the
+   base, or a batch end); values below [base] clamp to the base — the caller
+   detects the gap via the returned start LSN and consults the archive. *)
+let raw_since t ?(max_bytes = max_int) from =
+  Mutex.protect t.lock (fun () ->
+      let from_off = max 0 (Int64.to_int (Int64.sub from t.base)) in
+      let from_off = min from_off t.durable in
+      let start = Int64.add t.base (Int64.of_int from_off) in
+      let s = Buffer.contents t.contents in
+      let rec until pos =
+        if pos + frame_overhead > t.durable then pos
+        else begin
+          let r = Rx_util.Bytes_io.Reader.of_string ~pos s in
+          let rec_len = Rx_util.Bytes_io.Reader.u32 r in
+          let next = pos + frame_overhead + rec_len in
+          if next > t.durable then pos
+          else if pos > from_off && next - from_off > max_bytes then pos
+          else until next
+        end
+      in
+      let stop = until from_off in
+      (start, String.sub s from_off (stop - from_off)))
+
+(* Move the base LSN of an *empty* log. Used at replica promotion, where
+   the local log (never appended to while replicating) must restart at the
+   replication cursor so new records continue the leader's LSN timeline and
+   stay above every replicated page LSN. *)
+let reset_base t base =
+  Mutex.protect t.lock (fun () ->
+      if Buffer.length t.contents > 0 then
+        invalid_arg "Log_manager.reset_base: log not empty";
+      t.base <- base;
+      match t.backend with
+      | Memory -> ()
+      | File fd ->
+          write_header fd base;
+          Unix.fsync fd)
 
 (* Write [chunk] (which is [contents[from, from+len)]) at its file offset.
    No locking here: the caller either holds [lock] (append spill) or owns
@@ -363,6 +408,34 @@ let iter t ?(from = 0L) f =
   in
   let from_off = Int64.to_int (Int64.sub from t.base) in
   loop (max 0 from_off)
+
+(* Strict decode of a raw frame stream (as produced by [raw_since] or
+   stored in an archive generation): every byte must belong to a complete,
+   CRC-valid frame. Unlike [open_file]'s torn-tail healing, any defect
+   raises — these streams are never legitimately torn (network frames are
+   length-checked by the wire layer; archive generations are written
+   whole). *)
+let decode_frames ~base s =
+  let len = String.length s in
+  let rec loop pos acc =
+    let lsn = Int64.add base (Int64.of_int pos) in
+    if pos = len then List.rev acc
+    else if pos + frame_overhead > len then raise (Corrupt_record { lsn })
+    else begin
+      let r = Rx_util.Bytes_io.Reader.of_string ~pos s in
+      let rec_len = Rx_util.Bytes_io.Reader.u32 r in
+      let crc = Rx_util.Bytes_io.Reader.u32 r in
+      if rec_len < 0 || pos + frame_overhead + rec_len > len then
+        raise (Corrupt_record { lsn });
+      let payload = String.sub s (pos + frame_overhead) rec_len in
+      if crc_of_payload payload <> crc then raise (Corrupt_record { lsn });
+      let record =
+        try Log_record.decode payload with _ -> raise (Corrupt_record { lsn })
+      in
+      loop (pos + frame_overhead + rec_len) ((lsn, record) :: acc)
+    end
+  in
+  loop 0 []
 
 let records_rev t =
   let acc = ref [] in

@@ -83,6 +83,40 @@ val durable_lsn : t -> int64
 val tail_lsn : t -> int64
 (** LSN one past the last record. *)
 
+val base_lsn : t -> int64
+(** LSN of the first byte of the current log contents (the persistent base
+    written in the file header; advances at every {!truncate}). *)
+
+val raw_since : t -> ?max_bytes:int -> int64 -> int64 * string
+(** [raw_since t ~max_bytes from] returns [(start, frames)]: the raw frame
+    bytes of the {e durable} log from LSN [from] onward, cut at a frame
+    boundary no more than [max_bytes] past the start (the first frame is
+    always included so a caller with a small budget still makes progress;
+    default unlimited). Only fsynced bytes are returned — the durable
+    prefix never regresses across a crash, so a frame shipped from here can
+    never later disappear. [from] must be a frame-boundary LSN previously
+    produced by this log (an {!append} result, {!base_lsn}, or
+    [start + String.length frames] of a prior call); a [from] below the
+    base clamps to the base, which the caller detects as [start > from] and
+    resolves from the {!Archive}. A [from] at or past the durable tail
+    returns empty [frames]. *)
+
+val reset_base : t -> int64 -> unit
+(** Moves the base LSN of an {e empty} log (contents fully truncated),
+    rewriting and fsyncing the file header. Used at replica promotion: the
+    replica's local log was never appended to, and must restart at the
+    replication cursor so post-promotion records continue the leader's LSN
+    timeline above every replicated page LSN.
+    @raise Invalid_argument if the log is not empty. *)
+
+val decode_frames : base:int64 -> string -> (int64 * Log_record.t) list
+(** Strictly decodes a raw frame stream as produced by {!raw_since} (or
+    stored in an archive generation) into [(lsn, record)] pairs, where
+    [base] is the LSN of the stream's first byte. Every byte must belong to
+    a complete, CRC-valid, decodable frame — unlike {!open_file}, nothing
+    is healed, because these streams are never legitimately torn.
+    @raise Corrupt_record on any defect, carrying the offending LSN. *)
+
 val iter : t -> ?from:int64 -> (int64 -> Log_record.t -> unit) -> unit
 (** Iterates durable-and-buffered records in order.
     @raise Corrupt_record on a frame that fails its CRC or does not

@@ -1,6 +1,6 @@
 open Rx_storage
 
-type report = { redone : int; undone : int; losers : int list }
+type report = { redone : int; undone : int; losers : int list; max_txid : int }
 
 let apply_image pool ~page_no ~lsn ~off ~image =
   Buffer_pool.modify_unlogged pool page_no (fun page ->
@@ -95,13 +95,20 @@ let run log pool =
     losers;
   Log_manager.flush log;
   Buffer_pool.flush_all pool;
-  { redone = !redone; undone = !undone; losers }
+  let max_txid = Hashtbl.fold (fun t () m -> max t m) seen 0 in
+  { redone = !redone; undone = !undone; losers; max_txid }
 
-let checkpoint log pool =
+let checkpoint ?archive log pool =
   Log_manager.flush log;
   Buffer_pool.flush_all pool;
   ignore (Log_manager.append log Log_record.Checkpoint);
   Log_manager.flush log;
+  (* Capture the whole durable span (including the Checkpoint record just
+     flushed) before truncation destroys it: archive generations + the live
+     log then cover every frame since LSN 0. *)
+  (match archive with
+  | Some dir -> Archive.capture ~dir log
+  | None -> ());
   Log_manager.truncate log
 
 let rollback log pool ~txid =

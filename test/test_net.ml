@@ -43,6 +43,10 @@ let all_requests : Rx_wire.request list =
     Rx_wire.Stats;
     Rx_wire.Shutdown;
     Rx_wire.Bye;
+    Rx_wire.Repl_state;
+    (* an LSN above 2^32 exercises true-int64 wire travel *)
+    Rx_wire.Repl_fetch { from_lsn = 0x1_2345_6789_abcdL; max_bytes = 65536 };
+    Rx_wire.Repl_fetch { from_lsn = 0L; max_bytes = 0 };
   ]
 
 let all_responses : Rx_wire.response list =
@@ -59,6 +63,23 @@ let all_responses : Rx_wire.response list =
     Rx_wire.Ok (Rx_wire.R_docids { docids = [ 1; 2; 3 ] });
     Rx_wire.Ok (Rx_wire.R_doc { doc = String.make 70_000 'x' });
     Rx_wire.Ok (Rx_wire.R_stats { json = "{\"documents\": 1}" });
+    Rx_wire.Ok
+      (Rx_wire.R_repl_state
+         {
+           base_lsn = 0x1_0000_0000L;
+           durable_lsn = 0x7fff_ffff_ffff_ffffL;
+           generations = 12;
+           page_size = 1024;
+         });
+    Rx_wire.Ok
+      (Rx_wire.R_repl_batch
+         {
+           start_lsn = 0x2_0000_0001L;
+           durable_lsn = 0x2_0000_ffffL;
+           frames = String.make 4096 '\x00' ^ "\xff frame bytes";
+         });
+    Rx_wire.Ok
+      (Rx_wire.R_repl_batch { start_lsn = 0L; durable_lsn = 0L; frames = "" });
     Rx_wire.Err { status = 3; message = "busy: queue full" };
     Rx_wire.Err { status = 7; message = "" };
   ]

@@ -1,8 +1,8 @@
 #!/bin/sh
-# Lint: every exported value in the storage, WAL and core-facade interfaces
-# must carry a documentation comment.  These are the layers whose contracts
-# (durability, concurrency, failure behaviour, the public API surface) live
-# in the .mli docs, so an undocumented export is treated as a CI failure.
+# Lint: every exported value in the storage, WAL, core-facade and network
+# interfaces must carry a documentation comment.  These are the layers whose
+# contracts (durability, concurrency, failure behaviour, the public API
+# surface) live in the .mli docs, so an undocumented export is a CI failure.
 #
 # A `val` (or `exception`) is considered documented when either
 #   - the nearest preceding non-blank line closes a comment (ends with `*)`), or
@@ -10,11 +10,11 @@
 #     top-level item (the "postfix doc" odoc style).
 #
 # Usage: tools/check_mli_docs.sh [dir ...]
-#        (defaults to lib/storage lib/wal lib/core)
+#        (defaults to lib/storage lib/wal lib/core lib/net)
 set -eu
 cd "$(dirname "$0")/.."
 
-dirs="${*:-lib/storage lib/wal lib/core}"
+dirs="${*:-lib/storage lib/wal lib/core lib/net}"
 status=0
 
 for dir in $dirs; do
