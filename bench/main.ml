@@ -25,6 +25,7 @@ let experiments =
     ("e14", E14_server.run);
     ("e15", E15_parallel.run);
     ("e16", E16_repl.run);
+    ("e17", E17_reactor.run);
   ]
 
 let () =

@@ -2,7 +2,8 @@
    sessions over the length-prefixed binary wire protocol (see Rx_wire).
 
      rxd serve --db DIR [--host H] [--port P] [--max-connections N]
-               [--max-queue-depth N] [--auth-token SECRET]
+               [--max-queue-depth N] [--max-pipeline N] [--io-threads N]
+               [--idle-timeout S] [--auth-token SECRET]
                [--commit-window-us USEC] [--parallelism N]
                [--replicate-from HOST:PORT [--leader-token SECRET]]
      rxd promote --db DIR
@@ -55,6 +56,31 @@ let max_queue_arg =
         ~doc:
           "Requests in service concurrently; excess requests are answered \
            with the Busy status instead of queueing.")
+
+let max_pipeline_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "max-pipeline" ] ~docv:"N"
+        ~doc:
+          "Requests one connection may pipeline (queued + in service) \
+           before the server stops reading it and TCP flow control paces \
+           the client.")
+
+let io_threads_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "io-threads" ] ~docv:"N"
+        ~doc:
+          "Worker threads servicing parsed requests; 0 auto-sizes to the \
+           host.")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Close a session idle longer than this, rolling back its open \
+           transaction and freeing its cursors; 0 disables (the default).")
 
 let token_arg =
   Arg.(
@@ -168,8 +194,8 @@ let puller repl stop =
   loop 0.1
 
 let serve_cmd =
-  let run dir host port max_connections max_queue_depth auth_token window
-      parallelism replicate_from leader_token =
+  let run dir host port max_connections max_queue_depth max_pipeline io_threads
+      idle_timeout auth_token window parallelism replicate_from leader_token =
     handle_errors (fun () ->
         let leader = Option.map parse_addr replicate_from in
         let repl =
@@ -223,6 +249,9 @@ let serve_cmd =
             max_connections;
             max_queue_depth;
             auth_token;
+            max_pipeline;
+            io_threads;
+            idle_timeout;
           }
         in
         let srv = Rx_server.start ~config db in
@@ -256,8 +285,8 @@ let serve_cmd =
           as a continuously catching-up read-only replica.")
     Term.(
       const run $ db_arg $ host_arg $ port_arg $ max_conns_arg $ max_queue_arg
-      $ token_arg $ window_arg $ parallelism_arg $ replicate_arg
-      $ leader_token_arg)
+      $ max_pipeline_arg $ io_threads_arg $ idle_timeout_arg $ token_arg
+      $ window_arg $ parallelism_arg $ replicate_arg $ leader_token_arg)
 
 let promote_cmd =
   let run dir =

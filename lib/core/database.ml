@@ -2429,6 +2429,88 @@ let run_prepared ?txn t p =
           in
           exec_prepared t p)
 
+(* --- streamed result cursors --- *)
+
+(* A cursor is the lazy half of a [result] kept alive across calls: the
+   match list (docid + node id per match — small) is computed eagerly by
+   the underlying query, but serialization — the part that turns a match
+   into an arbitrarily large XML string — is deferred and paid chunk by
+   chunk in [cursor_next]. A result set whose serialized form is hundreds
+   of megabytes therefore crosses any consumer (the rxd wire protocol in
+   particular) in bounded-memory chunks. *)
+type cursor = {
+  cur_plan : plan_info;
+  cur_serialize : match_ -> string;
+  mutable cur_rest : match_ list;
+  mutable cur_peek : (int * string) option;
+      (* a serialized row that did not fit its chunk's budget, carried
+         over so it is not serialized twice *)
+  mutable cur_served : int;
+  mutable cur_open : bool;
+}
+
+let cursor_of_result (r : result) =
+  {
+    cur_plan = r.plan;
+    cur_serialize = r.serialize;
+    cur_rest = r.matches;
+    cur_peek = None;
+    cur_served = 0;
+    cur_open = true;
+  }
+
+let open_cursor ?ns_env ?txn t ~table ~column ~xpath =
+  cursor_of_result (run ?ns_env ?txn t ~table ~column ~xpath)
+
+let cursor_plan c = c.cur_plan
+
+let cursor_remaining c =
+  List.length c.cur_rest + match c.cur_peek with Some _ -> 1 | None -> 0
+
+let cursor_served c = c.cur_served
+
+let cursor_next ?(max_bytes = 256 * 1024) c =
+  if not c.cur_open then invalid_arg "Database: cursor is closed";
+  if max_bytes <= 0 then invalid_arg "Database: cursor max_bytes must be positive";
+  pool_guard (fun () ->
+      let next_row () =
+        match c.cur_peek with
+        | Some row ->
+            c.cur_peek <- None;
+            Some row
+        | None -> (
+            match c.cur_rest with
+            | [] -> None
+            | m :: rest ->
+                c.cur_rest <- rest;
+                Some (m.docid, c.cur_serialize m))
+      in
+      (* at least one row per chunk — a single oversized document still
+         streams, as one chunk of its own size — but a later row that
+         would overshoot the budget is carried to the next chunk, so a
+         chunk never exceeds [max_bytes] by more than its last in-budget
+         row's slack *)
+      let rec take acc bytes =
+        match next_row () with
+        | None -> List.rev acc
+        | Some ((_, s) as row) ->
+            let bytes = bytes + String.length s + 16 in
+            if acc <> [] && bytes > max_bytes then begin
+              c.cur_peek <- Some row;
+              List.rev acc
+            end
+            else if bytes >= max_bytes then List.rev (row :: acc)
+            else take (row :: acc) bytes
+      in
+      let chunk = take [] 0 in
+      c.cur_served <- c.cur_served + List.length chunk;
+      chunk)
+
+let cursor_close c =
+  c.cur_open <- false;
+  c.cur_peek <- None;
+  c.cur_rest <- []
+
 (* --- error surface --- *)
 
 let error_to_string = function

@@ -563,6 +563,61 @@ val run :
     state, such reads always scan ([plan.description] =
     ["SNAPSHOT-SCAN(QuickXScan)"]). *)
 
+(** {2 Streamed result cursors}
+
+    A cursor is the lazy half of a {!result} kept alive across calls: the
+    match list (docid + node id per match — small) is computed eagerly by
+    the underlying query, but serialization — the part that turns a match
+    into an arbitrarily large XML string — is deferred and paid chunk by
+    chunk. A result set whose serialized form is hundreds of megabytes
+    therefore crosses any consumer (the rxd wire protocol's
+    [Open_cursor]/[Fetch] opcodes in particular) in bounded-memory chunks
+    instead of materializing at once. A cursor is as thread-safe as the
+    handle operations it wraps: callers serialize {!cursor_next} under
+    {!exclusively}, as the rxd server does. *)
+
+type cursor
+(** An open streamed-result handle; see {!open_cursor}. *)
+
+val open_cursor :
+  ?ns_env:(string * string) list ->
+  ?txn:txn ->
+  t -> table:string -> column:string -> xpath:string -> cursor
+(** Plans and executes the query exactly like {!run} (same plan choice,
+    same [?txn] snapshot semantics) but returns a cursor over the result
+    instead of the result itself. With [?txn], the cursor is only valid
+    while that transaction stays open. *)
+
+val cursor_of_result : result -> cursor
+(** Wraps an already-executed {!result} as a cursor — {!run} callers can
+    stream a result they already hold without re-executing. *)
+
+val cursor_plan : cursor -> plan_info
+(** The access path the cursor's query executed. *)
+
+val cursor_next : ?max_bytes:int -> cursor -> (int * string) list
+(** The next chunk of [(docid, serialized subtree)] rows in (DocID,
+    document order): matches are serialized until the chunk reaches
+    [max_bytes] (default 256 KiB) — always at least one row, so a single
+    oversized document still streams as a chunk of its own size, but a
+    {e later} row that would overshoot the budget is carried (already
+    serialized) to the next chunk, so only a chunk's {e first} row can
+    ever exceed [max_bytes]. An empty list means the cursor is exhausted.
+    Serialization reads pages, so the usual {!Busy} backpressure applies.
+    @raise Invalid_argument on a closed cursor or [max_bytes <= 0]. *)
+
+val cursor_remaining : cursor -> int
+(** Matches not yet served by {!cursor_next}. *)
+
+val cursor_served : cursor -> int
+(** Rows already handed out — with {!cursor_remaining}, progress
+    reporting for long streams. *)
+
+val cursor_close : cursor -> unit
+(** Releases the cursor's remaining matches; further {!cursor_next} calls
+    raise. Idempotent — closing an exhausted or never-read cursor is
+    fine. *)
+
 (** {1 Introspection} *)
 
 type stats = {

@@ -2,15 +2,20 @@ let net_ops =
   [
     "hello"; "query"; "prepare"; "run_prepared"; "begin"; "commit";
     "rollback"; "insert"; "insert_many"; "delete"; "get"; "stats";
-    "shutdown"; "repl_state"; "repl_fetch";
+    "shutdown"; "repl_state"; "repl_fetch"; "open_cursor"; "fetch";
+    "close_cursor";
   ]
 
 let ensure_net_instruments m =
   let open Rx_obs.Metrics in
-  ignore (gauge m "net.conns");
+  List.iter (fun n -> ignore (gauge m n)) [ "net.conns"; "net.cursors" ];
   List.iter
     (fun n -> ignore (counter m n))
-    [ "net.conns.accepted"; "net.requests"; "net.errors"; "net.rejected" ];
+    [
+      "net.conns.accepted"; "net.requests"; "net.errors"; "net.rejected";
+      "net.bytes_in"; "net.bytes_out"; "net.idle_timeouts";
+      "net.pipeline.batches"; "net.pipeline.requests";
+    ];
   List.iter (fun op -> ignore (histogram m ("net.latency." ^ op))) net_ops
 
 let json db =

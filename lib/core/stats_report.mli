@@ -11,11 +11,14 @@ val net_ops : string list
 
 val ensure_net_instruments : Rx_obs.Metrics.t -> unit
 (** Idempotently registers the network server's instruments — the
-    [net.conns] gauge, the [net.conns.accepted] / [net.requests] /
-    [net.errors] / [net.rejected] counters and a [net.latency.<op>]
-    histogram per {!net_ops} entry — so a registry dump carries the same
-    [net.*] keys whether or not a server is attached. The rxd server
-    resolves its handles through this same function. *)
+    [net.conns] / [net.cursors] gauges (live sessions, open server-side
+    cursors), the [net.conns.accepted] / [net.requests] / [net.errors] /
+    [net.rejected] / [net.bytes_in] / [net.bytes_out] /
+    [net.idle_timeouts] / [net.pipeline.batches] /
+    [net.pipeline.requests] counters and a [net.latency.<op>] histogram
+    per {!net_ops} entry — so a registry dump carries the same [net.*]
+    keys whether or not a server is attached. The rxd server resolves its
+    handles through this same function. *)
 
 val json : Database.t -> Rx_obs.Json.t
 (** The stats document for one database handle. Not thread-safe with

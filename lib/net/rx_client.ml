@@ -1,24 +1,31 @@
 exception Error of { status : int; message : string }
 
-type t = { fd : Unix.file_descr; mutable session : int; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  fr : Rx_wire.framer;
+  mutable session : int;
+  mutable closed : bool;
+}
+
 type txn = { tx : int }
 type result = { plan : string; matches : (int * string) list }
 type prepared = { stmt : int; stmt_plan : string }
 
 let bad_shape () = raise (Rx_wire.Protocol_error "unexpected response shape")
 
+let exn_of_status status message =
+  match status with
+  | 3 -> Systemrx.Database.Busy { txid = 0; blockers = [] }
+  | 4 -> Rx_txn.Lock_manager.Deadlock { victim = 0; cycle = [] }
+  | 5 -> Systemrx.Database.Read_only { reason = message }
+  | _ -> Error { status; message }
+
 let rpc c req =
   if c.closed then invalid_arg "Rx_client: connection is closed";
-  Rx_wire.send_request c.fd req;
-  match Rx_wire.recv_response c.fd with
+  Rx_wire.framed_send_request c.fr c.fd req;
+  match Rx_wire.framed_recv_response c.fr c.fd with
   | Rx_wire.Ok ok -> ok
-  | Rx_wire.Err { status = 3; _ } ->
-      raise (Systemrx.Database.Busy { txid = 0; blockers = [] })
-  | Rx_wire.Err { status = 4; _ } ->
-      raise (Rx_txn.Lock_manager.Deadlock { victim = 0; cycle = [] })
-  | Rx_wire.Err { status = 5; message } ->
-      raise (Systemrx.Database.Read_only { reason = message })
-  | Rx_wire.Err { status; message } -> raise (Error { status; message })
+  | Rx_wire.Err { status; message } -> raise (exn_of_status status message)
 
 let connect ?(host = "127.0.0.1") ?(token = "") ?(client = "rx_client") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -28,7 +35,7 @@ let connect ?(host = "127.0.0.1") ?(token = "") ?(client = "rx_client") ~port ()
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  let c = { fd; session = 0; closed = false } in
+  let c = { fd; fr = Rx_wire.framer (); session = 0; closed = false } in
   match
     try rpc c (Rx_wire.Hello { token; client })
     with e ->
@@ -121,3 +128,127 @@ let repl_fetch c ~from_lsn ~max_bytes =
   | _ -> bad_shape ()
 
 let shutdown c = unit_rpc c Rx_wire.Shutdown
+
+(* --- pipelined batches --- *)
+
+type op =
+  | P_query of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+    }
+  | P_insert of {
+      table : string;
+      values : (string * string) list;
+      xml : (string * string) list;
+    }
+  | P_delete of { table : string; docid : int }
+  | P_get of { table : string; column : string; docid : int }
+  | P_begin
+  | P_commit
+  | P_rollback
+
+type reply =
+  | Rp_result of result
+  | Rp_docid of int
+  | Rp_txn of int
+  | Rp_doc of string
+  | Rp_unit
+
+let request_of_op = function
+  | P_query { table; column; xpath; ns_env } ->
+      Rx_wire.Query { table; column; xpath; ns_env }
+  | P_insert { table; values; xml } -> Rx_wire.Insert { table; values; xml }
+  | P_delete { table; docid } -> Rx_wire.Delete { table; docid }
+  | P_get { table; column; docid } -> Rx_wire.Get { table; column; docid }
+  | P_begin -> Rx_wire.Begin
+  (* txid 0: the session's current transaction, whichever the earlier
+     P_begin in this flight opened *)
+  | P_commit -> Rx_wire.Commit { txid = 0 }
+  | P_rollback -> Rx_wire.Rollback { txid = 0 }
+
+let reply_of_ok = function
+  | Rx_wire.R_matches { plan; matches } -> Rp_result { plan; matches }
+  | Rx_wire.R_docid { docid } -> Rp_docid docid
+  | Rx_wire.R_txn { txid } -> Rp_txn txid
+  | Rx_wire.R_doc { doc } -> Rp_doc doc
+  | Rx_wire.R_unit -> Rp_unit
+  | _ -> bad_shape ()
+
+(* flights stay comfortably under the server's default max_pipeline (32):
+   past the bound the server stops reading, and a client that kept
+   writing while never reading would deadlock against it once both
+   directions' socket buffers filled *)
+let flight_size = 16
+
+let pipeline c ops =
+  if c.closed then invalid_arg "Rx_client: connection is closed";
+  let rec flights acc = function
+    | [] -> List.concat (List.rev acc)
+    | ops ->
+        let rec split n fwd rest =
+          match rest with
+          | r :: tl when n > 0 -> split (n - 1) (r :: fwd) tl
+          | _ -> (List.rev fwd, rest)
+        in
+        let flight, rest = split flight_size [] ops in
+        (* write the whole flight, then read the whole flight: responses
+           come back strictly in request order *)
+        List.iter (fun op -> Rx_wire.framed_send_request c.fr c.fd (request_of_op op)) flight;
+        let replies =
+          List.map
+            (fun _ ->
+              match Rx_wire.framed_recv_response c.fr c.fd with
+              | Rx_wire.Ok ok -> Stdlib.Ok (reply_of_ok ok)
+              | Rx_wire.Err { status; message } ->
+                  Stdlib.Error (exn_of_status status message))
+            flight
+        in
+        flights (replies :: acc) rest
+  in
+  flights [] ops
+
+(* --- streamed result cursors --- *)
+
+type cursor = { cur_id : int; cur_plan : string; mutable cur_done : bool }
+
+let open_cursor ?(ns_env = []) ?(chunk_bytes = 0) c ~table ~column ~xpath =
+  match rpc c (Rx_wire.Open_cursor { table; column; xpath; ns_env; chunk_bytes })
+  with
+  | Rx_wire.R_cursor { cursor; plan } ->
+      { cur_id = cursor; cur_plan = plan; cur_done = false }
+  | _ -> bad_shape ()
+
+let cursor_plan cur = cur.cur_plan
+
+let fetch c cur =
+  if cur.cur_done then []
+  else
+    match rpc c (Rx_wire.Fetch { cursor = cur.cur_id }) with
+    | Rx_wire.R_rows_chunk { matches } -> matches
+    | Rx_wire.R_rows_end ->
+        cur.cur_done <- true;
+        []
+    | _ -> bad_shape ()
+
+let close_cursor c cur =
+  if not cur.cur_done then begin
+    cur.cur_done <- true;
+    unit_rpc c (Rx_wire.Close_cursor { cursor = cur.cur_id })
+  end
+
+let fold_query ?ns_env ?chunk_bytes c ~table ~column ~xpath ~init ~f =
+  let cur = open_cursor ?ns_env ?chunk_bytes c ~table ~column ~xpath in
+  let rec go acc =
+    match fetch c cur with
+    | [] -> acc
+    | rows -> go (List.fold_left (fun a (docid, s) -> f a docid s) acc rows)
+  in
+  match go init with
+  | v -> v
+  | exception e ->
+      (* the consumer failed mid-stream: free the server-side cursor
+         before re-raising, so the session does not leak it *)
+      (try close_cursor c cur with _ -> ());
+      raise e

@@ -6,8 +6,11 @@
     One connection is one server session: at most one open transaction,
     which the session's queries and DML join implicitly until {!commit} or
     {!rollback}. A connection must not be shared between threads without
-    external serialization — the protocol is strictly one request, one
-    response.
+    external serialization. The plain calls are strictly one request, one
+    response; {!pipeline} batches several requests in flight (the server
+    answers in request order and absorbs the batch's commits into shared
+    group-commit fsyncs), and {!fold_query} streams a result of any size
+    through a server-side cursor in bounded-memory chunks.
 
     Error surface: the server ships the engine's stable error table
     (status = {!Systemrx.Database.error_code}) and the client re-raises
@@ -141,3 +144,106 @@ val shutdown : t -> unit
     acknowledged (in-flight sessions drain, then the process's
     {!Rx_server.wait} returns). The connection is unusable afterwards
     except for {!close}. *)
+
+(** {1 Pipelined batches}
+
+    {!pipeline} writes a batch of requests before reading any response:
+    one round of socket writes replaces a round trip per request, and
+    the server executes the batch as one unit — responses in request
+    order, independent commits from the batch absorbed into the same
+    group-commit fsync. Internally the batch is split into flights
+    sized under the server's per-connection pipeline bound, so a batch
+    of any length is safe. *)
+
+(** One request in a pipelined batch. [P_commit]/[P_rollback] act on the
+    session's {e current} transaction (wire [txid = 0]) — so a flight
+    can carry [P_begin; ...; P_commit] even though the transaction id is
+    unknown when the flight is written. *)
+type op =
+  | P_query of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+    }
+  | P_insert of {
+      table : string;
+      values : (string * string) list;
+      xml : (string * string) list;
+    }
+  | P_delete of { table : string; docid : int }
+  | P_get of { table : string; column : string; docid : int }
+  | P_begin
+  | P_commit
+  | P_rollback
+
+(** A pipelined request's successful outcome, mirroring the plain calls'
+    return types. *)
+type reply =
+  | Rp_result of result  (** [P_query] *)
+  | Rp_docid of int  (** [P_insert] *)
+  | Rp_txn of int  (** [P_begin] *)
+  | Rp_doc of string  (** [P_get] *)
+  | Rp_unit  (** [P_delete] / [P_commit] / [P_rollback] *)
+
+val pipeline : t -> op list -> (reply, exn) Stdlib.result list
+(** Executes the batch pipelined; one outcome per op, in op order. A
+    failed op yields [Error] with the same exception the plain call
+    would have raised ({!Systemrx.Database.Busy}, {!Error}, ...) without
+    aborting the rest of the batch — server-side, a failed statement
+    inside an open transaction has the usual statement-level-rollback
+    semantics. *)
+
+(** {1 Streamed result cursors}
+
+    A query whose serialized result exceeds the wire's one-frame cap (16
+    MiB) — or that the client simply does not want materialized at once
+    — streams through a server-side cursor: {!open_cursor} plans and
+    executes it, each {!fetch} returns one bounded chunk of rows, and
+    the whole result crosses the wire in [chunk_bytes]-sized pieces of
+    memory at both ends. *)
+
+type cursor
+(** A server-side cursor open on this connection's session. *)
+
+val open_cursor :
+  ?ns_env:(string * string) list ->
+  ?chunk_bytes:int ->
+  t ->
+  table:string ->
+  column:string ->
+  xpath:string ->
+  cursor
+(** Plans and executes the query like {!query} but leaves the rows
+    server-side. [chunk_bytes] is the serialized-row budget per {!fetch}
+    (default: the server's, 256 KiB; the server clamps it so a chunk
+    always fits one frame). Joins the session transaction when one is
+    open — the cursor is then only valid until that transaction ends. *)
+
+val cursor_plan : cursor -> string
+(** The access-plan description chosen when the cursor was opened. *)
+
+val fetch : t -> cursor -> (int * string) list
+(** The next chunk of [(docid, serialized subtree)] rows, in (DocID,
+    document order) continuing across chunks; [[]] once the cursor is
+    exhausted (the server frees it — no {!close_cursor} needed). *)
+
+val close_cursor : t -> cursor -> unit
+(** Frees a cursor before exhausting it. Idempotent client-side; a no-op
+    on an already-exhausted cursor. *)
+
+val fold_query :
+  ?ns_env:(string * string) list ->
+  ?chunk_bytes:int ->
+  t ->
+  table:string ->
+  column:string ->
+  xpath:string ->
+  init:'a ->
+  f:('a -> int -> string -> 'a) ->
+  'a
+(** [fold_query c ~table ~column ~xpath ~init ~f] opens a cursor, folds
+    [f acc docid serialized] over every match in order, and frees the
+    cursor (also on exception) — the streaming counterpart of {!query}
+    for results too large to hold, with at most one chunk in client
+    memory at a time. *)

@@ -1,6 +1,6 @@
 open Systemrx
 
-let server_banner = "rxd/1.0"
+let server_banner = "rxd/1.1"
 
 type config = {
   host : string;
@@ -8,6 +8,9 @@ type config = {
   max_connections : int;
   max_queue_depth : int;
   auth_token : string option;
+  max_pipeline : int;
+  io_threads : int;
+  idle_timeout : float;
 }
 
 let default_config =
@@ -17,64 +20,134 @@ let default_config =
     max_connections = 64;
     max_queue_depth = 64;
     auth_token = None;
+    max_pipeline = 32;
+    io_threads = 0;
+    idle_timeout = 0.;
   }
 
-type session = {
+(* --- growable byte window ---
+
+   Per-connection I/O staging: appended at the tail, consumed from the
+   head, contents always contiguous. The buffer is retained for the
+   connection's lifetime (grown to the largest backlog seen), so steady
+   traffic reassembles and writes frames with no per-frame allocation. *)
+module Nb = struct
+  type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+  let create n = { buf = Bytes.create n; off = 0; len = 0 }
+  let length b = b.len
+
+  let reserve b n =
+    let cap = Bytes.length b.buf in
+    if b.off + b.len + n > cap then
+      if b.len + n <= cap then begin
+        (* enough total room: slide the window back to the start *)
+        Bytes.blit b.buf b.off b.buf 0 b.len;
+        b.off <- 0
+      end
+      else begin
+        let ncap = ref (max 4096 cap) in
+        while b.len + n > !ncap do
+          ncap := !ncap * 2
+        done;
+        let nb = Bytes.create !ncap in
+        Bytes.blit b.buf b.off nb 0 b.len;
+        b.buf <- nb;
+        b.off <- 0
+      end
+
+  let add_subbytes b src off len =
+    reserve b len;
+    Bytes.blit src off b.buf (b.off + b.len) len;
+    b.len <- b.len + len
+
+  let add_buffer b (src : Buffer.t) =
+    let len = Buffer.length src in
+    reserve b len;
+    Buffer.blit src 0 b.buf (b.off + b.len) len;
+    b.len <- b.len + len
+
+  let peek_i32 b pos = Int32.to_int (Bytes.get_int32_be b.buf (b.off + pos))
+  let sub_string b pos len = Bytes.sub_string b.buf (b.off + pos) len
+
+  let consume b n =
+    b.off <- b.off + n;
+    b.len <- b.len - n;
+    if b.len = 0 then b.off <- 0
+end
+
+(* a queued request: [Exec] entries own an admission slot; [Refuse]
+   entries were turned away by queue-depth admission at parse time but
+   still flow through the ordered response path, so a pipelined client
+   sees its Busy exactly where the refused request was *)
+type work = Exec of Rx_wire.request | Refuse of Rx_wire.request
+
+type conn = {
   sid : int;
   fd : Unix.file_descr;
+  mutable established : bool;
+  inbuf : Nb.t;  (* raw inbound bytes, frames not yet parsed (reactor only) *)
+  inq : work Queue.t;  (* parsed requests awaiting service (under lock) *)
+  out : Nb.t;  (* encoded response bytes awaiting writeback (under lock) *)
+  mutable busy : bool;  (* a worker is draining [inq] (under lock) *)
   mutable txn : Database.txn option;
   prepared : (int, Database.prepared) Hashtbl.t;
   mutable next_stmt : int;
+  cursors : (int, Database.cursor * int) Hashtbl.t;  (* id -> cursor, chunk *)
+  mutable next_cursor : int;
+  mutable last_activity : float;
+  mutable eof : bool;  (* peer half-closed: drain [inq]/[out], then close *)
+  mutable dead : bool;  (* write error: peer is gone, discard everything *)
+  mutable close_after_flush : bool;  (* Bye/auth failure/idle timeout *)
+  mutable fatal : Rx_wire.response option;
+      (* a protocol error to deliver once all earlier responses are out *)
 }
+
+type job = Serve of conn | Cleanup of conn
 
 type t = {
   db : Database.t;
   cfg : config;
+  workers_n : int;
   listen_fd : Unix.file_descr;
   bound_port : int;
   (* self-pipe: [request_stop] only writes a byte here (async-signal-safe
-     — no lock), and the accept loop's select turns it into the actual
+     — no lock), and the reactor's select turns it into the actual
      shutdown under the lock *)
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
+  (* worker -> reactor doorbell: response bytes are ready to flush *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
   lock : Mutex.t;
-  cv : Condition.t;
+  cv : Condition.t;  (* lifecycle: [wait]ers *)
+  work_cv : Condition.t;  (* job queue *)
+  workq : job Queue.t;
   mutable stopping : bool;
-  mutable live : (int * Unix.file_descr) list;
-  mutable threads : Thread.t list;  (* accept loop + running sessions *)
-  mutable dead : Thread.t list;  (* finished sessions awaiting join *)
+  mutable workers_stop : bool;
+  mutable conns : conn list;  (* reactor-owned; field access under lock *)
+  mutable live : int;  (* conns not yet fully cleaned up *)
+  mutable pending : int;  (* Exec entries queued or in service *)
+  mutable threads : Thread.t list;  (* reactor + workers *)
   mutable next_sid : int;
-  mutable queued : int;  (* requests currently in service *)
+  open_cursors : int Atomic.t;
   m_conns : Rx_obs.Metrics.gauge;
+  m_cursors : Rx_obs.Metrics.gauge;
   m_accepted : Rx_obs.Metrics.counter;
   m_requests : Rx_obs.Metrics.counter;
   m_errors : Rx_obs.Metrics.counter;
   m_rejected : Rx_obs.Metrics.counter;
+  m_bytes_in : Rx_obs.Metrics.counter;
+  m_bytes_out : Rx_obs.Metrics.counter;
+  m_idle_timeouts : Rx_obs.Metrics.counter;
+  m_pl_batches : Rx_obs.Metrics.counter;
+  m_pl_requests : Rx_obs.Metrics.counter;
   op_hists : (string * Rx_obs.Metrics.histogram) list;
 }
 
 let port t = t.bound_port
 
-(* --- admission control + engine serialization --- *)
-
-(* queue-depth admission: refuse (as Busy, the engine's own backpressure
-   type) rather than queue unboundedly behind the engine lock *)
-let admitted t f =
-  let ok =
-    Mutex.protect t.lock (fun () ->
-        if t.queued >= t.cfg.max_queue_depth then false
-        else begin
-          t.queued <- t.queued + 1;
-          true
-        end)
-  in
-  if not ok then begin
-    Rx_obs.Metrics.incr t.m_rejected;
-    raise (Database.Busy { txid = 0; blockers = [] })
-  end;
-  Fun.protect
-    ~finally:(fun () -> Mutex.protect t.lock (fun () -> t.queued <- t.queued - 1))
-    f
+(* --- engine serialization --- *)
 
 (* the trace ring is not thread-safe, so spans are recorded only inside
    the engine lock, where everything else that traces already runs *)
@@ -83,7 +156,22 @@ let span t op f =
     ~attrs:[ ("op", op) ]
     f
 
-let engine t op f = admitted t (fun () -> Database.exclusively t.db (fun () -> span t op f))
+let engine t op f = Database.exclusively t.db (fun () -> span t op f)
+
+(* begin + body + commit phase 1 under the engine lock, durability
+   returned as a thunk — [Database.with_txn] with the fsync wait split
+   out, so a worker can batch several auto-commit requests' waits into
+   one group-commit window *)
+let with_txn_async t f =
+  Database.exclusively t.db (fun () ->
+      let txn = Database.begin_txn t.db in
+      match f txn with
+      | v ->
+          let await = Database.commit_async t.db txn in
+          (v, await)
+      | exception e ->
+          (try Database.rollback t.db txn with _ -> ());
+          raise e)
 
 (* --- request dispatch --- *)
 
@@ -104,6 +192,9 @@ let op_name : Rx_wire.request -> string = function
   | Rx_wire.Bye -> "bye"
   | Rx_wire.Repl_state -> "repl_state"
   | Rx_wire.Repl_fetch _ -> "repl_fetch"
+  | Rx_wire.Open_cursor _ -> "open_cursor"
+  | Rx_wire.Fetch _ -> "fetch"
+  | Rx_wire.Close_cursor _ -> "close_cursor"
 
 let matches_of_result (r : Database.result) =
   Rx_wire.R_matches
@@ -124,181 +215,242 @@ let session_txn sess =
       sess.txn <- None;
       None
 
-let dispatch t sess : Rx_wire.request -> Rx_wire.ok = function
+(* chunks must fit a response frame with room for the envelope and the
+   per-row headers; half the cap leaves slack for one row's overshoot *)
+let clamp_chunk chunk =
+  let chunk = if chunk <= 0 then Rx_wire.default_chunk_bytes else chunk in
+  min chunk (Rx_wire.max_frame / 2)
+
+let set_cursor_gauge t = Rx_obs.Metrics.set t.m_cursors (Atomic.get t.open_cursors)
+
+let drop_cursor t sess id cur =
+  Database.cursor_close cur;
+  Hashtbl.remove sess.cursors id;
+  Atomic.decr t.open_cursors;
+  set_cursor_gauge t
+
+(* executes one request; returns the OK payload plus, for commits, the
+   durability wait to perform before the response may be flushed *)
+let dispatch t sess :
+    Rx_wire.request -> Rx_wire.ok * (unit -> unit) option = function
   | Rx_wire.Hello _ -> invalid_arg "session already established"
   | Rx_wire.Query { table; column; xpath; ns_env } ->
-      engine t "query" (fun () ->
-          matches_of_result
-            (Database.run ~ns_env ?txn:(session_txn sess) t.db ~table ~column
-               ~xpath))
+      ( engine t "query" (fun () ->
+            matches_of_result
+              (Database.run ~ns_env ?txn:(session_txn sess) t.db ~table ~column
+                 ~xpath)),
+        None )
   | Rx_wire.Prepare { table; column; xpath; ns_env } ->
-      engine t "prepare" (fun () ->
-          let p = Database.prepare ~ns_env t.db ~table ~column ~xpath in
-          sess.next_stmt <- sess.next_stmt + 1;
-          Hashtbl.replace sess.prepared sess.next_stmt p;
-          Rx_wire.R_prepared
-            {
-              stmt = sess.next_stmt;
-              plan = (Database.Prepared.plan p).Database.description;
-            })
+      ( engine t "prepare" (fun () ->
+            let p = Database.prepare ~ns_env t.db ~table ~column ~xpath in
+            sess.next_stmt <- sess.next_stmt + 1;
+            Hashtbl.replace sess.prepared sess.next_stmt p;
+            Rx_wire.R_prepared
+              {
+                stmt = sess.next_stmt;
+                plan = (Database.Prepared.plan p).Database.description;
+              }),
+        None )
   | Rx_wire.Run_prepared { stmt } -> (
       match Hashtbl.find_opt sess.prepared stmt with
       | None -> invalid_arg (Printf.sprintf "unknown prepared statement %d" stmt)
       | Some p ->
-          engine t "run_prepared" (fun () ->
-              matches_of_result
-                (Database.run_prepared ?txn:(session_txn sess) t.db p)))
+          ( engine t "run_prepared" (fun () ->
+                matches_of_result
+                  (Database.run_prepared ?txn:(session_txn sess) t.db p)),
+            None ))
   | Rx_wire.Begin ->
       if session_txn sess <> None then
         invalid_arg "session already has an open transaction";
-      engine t "begin" (fun () ->
-          let txn = Database.begin_txn t.db in
-          sess.txn <- Some txn;
-          Rx_wire.R_txn { txid = Database.txn_id txn })
+      ( engine t "begin" (fun () ->
+            let txn = Database.begin_txn t.db in
+            sess.txn <- Some txn;
+            Rx_wire.R_txn { txid = Database.txn_id txn }),
+        None )
   | Rx_wire.Commit { txid } -> (
       match session_txn sess with
       | None -> invalid_arg "no open transaction"
       | Some txn ->
-          if Database.txn_id txn <> txid then
+          (* txid 0 targets the session's current transaction — pipelined
+             flights commit a Begin they have not read the reply of *)
+          if txid <> 0 && Database.txn_id txn <> txid then
             invalid_arg
               (Printf.sprintf "transaction %d is not this session's" txid);
-          (* apply under the engine lock, await durability outside it:
-             concurrent session commits share group-commit fsyncs. The
-             session keeps its transaction until the engine accepts the
-             commit: admission control's Busy must leave it open and
+          (* apply under the engine lock, await durability before the
+             response is flushed: concurrent sessions' commits — and a
+             pipelined batch of this session's own commits — share
+             group-commit fsyncs. The session keeps its transaction until
+             the engine accepts the commit, so a refusal stays open and
              retryable, not orphaned with its locks held *)
           let await =
             engine t "commit" (fun () -> Database.commit_async t.db txn)
           in
           sess.txn <- None;
-          await ();
-          Rx_wire.R_unit)
+          (Rx_wire.R_unit, Some await))
   | Rx_wire.Rollback { txid } -> (
       match session_txn sess with
       | None -> invalid_arg "no open transaction"
       | Some txn ->
-          if Database.txn_id txn <> txid then
+          if txid <> 0 && Database.txn_id txn <> txid then
             invalid_arg
               (Printf.sprintf "transaction %d is not this session's" txid);
           (* as with commit: only forget the transaction once the engine
-             actually rolled it back, so a Busy refusal stays retryable *)
+             actually rolled it back *)
           let r =
             engine t "rollback" (fun () ->
                 Database.rollback t.db txn;
                 Rx_wire.R_unit)
           in
           sess.txn <- None;
-          r)
+          (r, None))
   | Rx_wire.Insert { table; values; xml } ->
       let values =
         List.map (fun (k, v) -> (k, Rx_relational.Value.Varchar v)) values
       in
       let do_insert txn = Database.insert ~txn t.db ~table ~values ~xml () in
-      let docid =
-        match session_txn sess with
-        | Some txn -> engine t "insert" (fun () -> do_insert txn)
-        | None ->
-            (* the per-request transaction wrapper: same idiom embedded
-               callers use, durability wait outside the engine lock *)
-            admitted t (fun () ->
-                Database.with_txn t.db (fun txn ->
-                    span t "insert" (fun () -> do_insert txn)))
-      in
-      Rx_wire.R_docid { docid }
+      (match session_txn sess with
+      | Some txn ->
+          (Rx_wire.R_docid { docid = engine t "insert" (fun () -> do_insert txn) }, None)
+      | None ->
+          (* the per-request transaction wrapper, durability deferred so a
+             pipelined run of auto-commit inserts shares fsyncs *)
+          let docid, await =
+            with_txn_async t (fun txn -> span t "insert" (fun () -> do_insert txn))
+          in
+          (Rx_wire.R_docid { docid }, Some await))
   | Rx_wire.Insert_many { table; column; docs } ->
       if session_txn sess <> None then
         invalid_arg "bulk load cannot run inside an explicit transaction";
-      engine t "insert_many" (fun () ->
-          Rx_wire.R_docids
-            { docids = Database.insert_many t.db ~table ~column docs })
+      ( engine t "insert_many" (fun () ->
+            Rx_wire.R_docids
+              { docids = Database.insert_many t.db ~table ~column docs }),
+        None )
   | Rx_wire.Delete { table; docid } ->
       let do_delete txn = Database.delete ~txn t.db ~table ~docid in
       (match session_txn sess with
-      | Some txn -> engine t "delete" (fun () -> do_delete txn)
+      | Some txn ->
+          engine t "delete" (fun () -> do_delete txn);
+          (Rx_wire.R_unit, None)
       | None ->
-          admitted t (fun () ->
-              Database.with_txn t.db (fun txn ->
-                  span t "delete" (fun () -> do_delete txn))));
-      Rx_wire.R_unit
-  | Rx_wire.Get { table; column; docid } ->
-      engine t "get" (fun () ->
-          Rx_wire.R_doc
-            { doc = Database.document ?txn:(session_txn sess) t.db ~table ~column ~docid })
-  | Rx_wire.Stats ->
-      engine t "stats" (fun () ->
-          Rx_wire.R_stats
-            { json = Rx_obs.Json.to_string (Stats_report.json t.db) })
-  | Rx_wire.Repl_state ->
-      engine t "repl_state" (fun () ->
-          let st = Database.repl_state t.db in
-          Rx_wire.R_repl_state
-            {
-              base_lsn = st.Database.r_base_lsn;
-              durable_lsn = st.Database.r_durable_lsn;
-              generations = st.Database.r_generations;
-              page_size = st.Database.r_page_size;
-            })
-  | Rx_wire.Repl_fetch { from_lsn; max_bytes } ->
-      engine t "repl_fetch" (fun () ->
-          (* cap at what one response frame can carry (minus envelope) *)
-          let max_bytes = min max_bytes (Rx_wire.max_frame - 64) in
-          let start_lsn, frames, durable_lsn =
-            Database.repl_fetch t.db ~from_lsn ~max_bytes
+          let (), await =
+            with_txn_async t (fun txn -> span t "delete" (fun () -> do_delete txn))
           in
-          Rx_wire.R_repl_batch { start_lsn; durable_lsn; frames })
-  | Rx_wire.Shutdown -> Rx_wire.R_unit
-  | Rx_wire.Bye -> Rx_wire.R_unit
+          (Rx_wire.R_unit, Some await))
+  | Rx_wire.Get { table; column; docid } ->
+      ( engine t "get" (fun () ->
+            Rx_wire.R_doc
+              {
+                doc =
+                  Database.document ?txn:(session_txn sess) t.db ~table ~column
+                    ~docid;
+              }),
+        None )
+  | Rx_wire.Stats ->
+      ( engine t "stats" (fun () ->
+            Rx_wire.R_stats
+              { json = Rx_obs.Json.to_string (Stats_report.json t.db) }),
+        None )
+  | Rx_wire.Repl_state ->
+      ( engine t "repl_state" (fun () ->
+            let st = Database.repl_state t.db in
+            Rx_wire.R_repl_state
+              {
+                base_lsn = st.Database.r_base_lsn;
+                durable_lsn = st.Database.r_durable_lsn;
+                generations = st.Database.r_generations;
+                page_size = st.Database.r_page_size;
+              }),
+        None )
+  | Rx_wire.Repl_fetch { from_lsn; max_bytes } ->
+      ( engine t "repl_fetch" (fun () ->
+            (* cap at what one response frame can carry (minus envelope) *)
+            let max_bytes = min max_bytes (Rx_wire.max_frame - 64) in
+            let start_lsn, frames, durable_lsn =
+              Database.repl_fetch t.db ~from_lsn ~max_bytes
+            in
+            Rx_wire.R_repl_batch { start_lsn; durable_lsn; frames }),
+        None )
+  | Rx_wire.Open_cursor { table; column; xpath; ns_env; chunk_bytes } ->
+      ( engine t "open_cursor" (fun () ->
+            let cur =
+              Database.open_cursor ~ns_env ?txn:(session_txn sess) t.db ~table
+                ~column ~xpath
+            in
+            sess.next_cursor <- sess.next_cursor + 1;
+            Hashtbl.replace sess.cursors sess.next_cursor
+              (cur, clamp_chunk chunk_bytes);
+            Atomic.incr t.open_cursors;
+            set_cursor_gauge t;
+            Rx_wire.R_cursor
+              {
+                cursor = sess.next_cursor;
+                plan = (Database.cursor_plan cur).Database.description;
+              }),
+        None )
+  | Rx_wire.Fetch { cursor } -> (
+      match Hashtbl.find_opt sess.cursors cursor with
+      | None -> invalid_arg (Printf.sprintf "unknown cursor %d" cursor)
+      | Some (cur, chunk) ->
+          ( engine t "fetch" (fun () ->
+                match Database.cursor_next ~max_bytes:chunk cur with
+                | [] ->
+                    drop_cursor t sess cursor cur;
+                    Rx_wire.R_rows_end
+                | rows -> Rx_wire.R_rows_chunk { matches = rows }),
+            None ))
+  | Rx_wire.Close_cursor { cursor } -> (
+      match Hashtbl.find_opt sess.cursors cursor with
+      | None -> invalid_arg (Printf.sprintf "unknown cursor %d" cursor)
+      | Some (cur, _) ->
+          drop_cursor t sess cursor cur;
+          (Rx_wire.R_unit, None))
+  | Rx_wire.Shutdown -> (Rx_wire.R_unit, None)
+  | Rx_wire.Bye -> (Rx_wire.R_unit, None)
 
-(* --- graceful shutdown --- *)
+(* --- response framing ---
 
-(* the shutdown proper; runs on the accept-loop (or a stop-calling)
-   thread, never inside a signal handler *)
-let initiate_stop t =
-  let fds =
-    Mutex.protect t.lock (fun () ->
-        if t.stopping then []
-        else begin
-          t.stopping <- true;
-          Condition.broadcast t.cv;
-          List.map snd t.live
-        end)
-  in
-  (* wake sessions blocked between frames: their reads return EOF, their
-     in-flight request (if any) still completes and responds *)
-  List.iter
-    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-    fds
+   [acc] accumulates ready-to-write framed bytes, [enc] is the payload
+   scratch; both are retained by their owner (one pair per worker, one
+   pair in the reactor), so framing allocates nothing per response. A
+   response that would exceed the frame cap is replaced by an error
+   pointing at cursor streaming — the old core killed the whole
+   connection with no response. *)
+let append_frame ~acc ~enc resp =
+  Buffer.clear enc;
+  Rx_wire.encode_response_into enc resp;
+  if Buffer.length enc > Rx_wire.max_frame then begin
+    Buffer.clear enc;
+    Rx_wire.encode_response_into enc
+      (Rx_wire.Err
+         {
+           status = 1;
+           message =
+             "result exceeds the 16 MiB frame cap: stream it with a cursor \
+              (Open_cursor/Fetch)";
+         })
+  end;
+  Buffer.add_int32_be acc (Int32.of_int (Buffer.length enc));
+  Buffer.add_buffer acc enc
+
+(* --- lifecycle --- *)
 
 (* only touches the nonblocking pipe — no mutex, so a signal handler
-   running on a thread that already holds [t.lock] (e.g. the main thread
-   parked in [wait]) cannot self-deadlock *)
+   running on a thread that already holds [t.lock] cannot self-deadlock *)
 let request_stop t =
   if not t.stopping then
-    try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+    try ignore (Unix.write_substring t.stop_w "!" 0 1)
     with Unix.Unix_error _ -> ()
+
+let wake_reactor t =
+  try ignore (Unix.write_substring t.wake_w "!" 0 1) with Unix.Unix_error _ -> ()
 
 let wait t =
   Mutex.protect t.lock (fun () ->
-      while not (t.stopping && t.live = []) do
+      while not (t.stopping && t.live = 0) do
         Condition.wait t.cv t.lock
       done)
 
-let stop t =
-  request_stop t;
-  wait t;
-  let threads =
-    Mutex.protect t.lock (fun () ->
-        let ths = t.threads @ t.dead in
-        t.threads <- [];
-        t.dead <- [];
-        ths)
-  in
-  List.iter Thread.join threads;
-  List.iter
-    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-    [ t.listen_fd; t.stop_r; t.stop_w ]
-
-(* --- per-session request loop --- *)
+(* --- worker pool --- *)
 
 let observe_latency t op t0 =
   match List.assoc_opt op t.op_hists with
@@ -307,173 +459,514 @@ let observe_latency t op t0 =
         (int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.))
   | None -> ()
 
-(* handle one request end-to-end; [false] ends the session *)
-let handle t sess req =
-  Rx_obs.Metrics.incr t.m_requests;
-  let op = op_name req in
-  let t0 = Unix.gettimeofday () in
-  let resp =
-    match dispatch t sess req with
-    | ok -> Rx_wire.Ok ok
-    | exception e ->
+(* drain one connection's request queue: execute in arrival order,
+   accumulate framed responses locally, run the collected durability
+   waits (one group-commit window for the whole batch), then publish the
+   response bytes to the connection in one append — responses therefore
+   leave in request order, with commits never flushed before they are
+   durable *)
+let serve_batch t conn ~acc ~enc =
+  Buffer.clear acc;
+  let awaits = ref [] in
+  let shutdown_after = ref false in
+  let served = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !served < t.cfg.max_pipeline do
+    let job = Mutex.protect t.lock (fun () -> Queue.take_opt conn.inq) in
+    match job with
+    | None -> continue_ := false
+    | Some (Refuse req) ->
+        incr served;
+        Rx_obs.Metrics.incr t.m_requests;
+        Rx_obs.Metrics.incr t.m_rejected;
         Rx_obs.Metrics.incr t.m_errors;
-        Rx_wire.Err
-          { status = Database.error_code e; message = Database.error_message e }
-  in
-  observe_latency t op t0;
-  Rx_wire.send_response sess.fd resp;
-  match req with
-  | Rx_wire.Shutdown ->
-      request_stop t;
-      false
-  | Rx_wire.Bye -> false
-  | _ -> true
-
-let handshake t sess =
-  let t0 = Unix.gettimeofday () in
-  match Rx_wire.recv_request sess.fd with
-  | None -> false
-  | Some (Rx_wire.Hello { token; client = _ }) ->
-      let authorized =
-        match t.cfg.auth_token with None -> true | Some secret -> token = secret
-      in
-      Rx_obs.Metrics.incr t.m_requests;
-      observe_latency t "hello" t0;
-      if authorized then begin
-        Rx_wire.send_response sess.fd
-          (Rx_wire.Ok (Rx_wire.R_hello { server = server_banner; session = sess.sid }));
-        true
+        let t0 = Unix.gettimeofday () in
+        append_frame ~acc ~enc
+          (Rx_wire.Err
+             { status = 3; message = "busy: server queue depth exceeded" });
+        observe_latency t (op_name req) t0
+    | Some (Exec req) ->
+        incr served;
+        Rx_obs.Metrics.incr t.m_requests;
+        let op = op_name req in
+        let t0 = Unix.gettimeofday () in
+        let resp =
+          match dispatch t conn req with
+          | ok, await ->
+              (match await with Some a -> awaits := a :: !awaits | None -> ());
+              Rx_wire.Ok ok
+          | exception e ->
+              Rx_obs.Metrics.incr t.m_errors;
+              Rx_wire.Err
+                {
+                  status = Database.error_code e;
+                  message = Database.error_message e;
+                }
+        in
+        observe_latency t op t0;
+        append_frame ~acc ~enc resp;
+        Mutex.protect t.lock (fun () -> t.pending <- t.pending - 1);
+        (match req with
+        | Rx_wire.Shutdown ->
+            shutdown_after := true;
+            continue_ := false
+        | Rx_wire.Bye ->
+            conn.close_after_flush <- true;
+            continue_ := false
+        | _ -> ())
+  done;
+  if !served > 1 then begin
+    Rx_obs.Metrics.incr t.m_pl_batches;
+    Rx_obs.Metrics.add t.m_pl_requests !served
+  end;
+  (* durability point for every commit in the batch: the first wait's
+     fsync covers the later commits' records, so they return without
+     their own (group commit absorbs the batch) *)
+  List.iter (fun a -> a ()) (List.rev !awaits);
+  Mutex.protect t.lock (fun () ->
+      Nb.add_buffer conn.out acc;
+      conn.last_activity <- Unix.gettimeofday ();
+      if
+        (not (Queue.is_empty conn.inq))
+        && (not conn.dead)
+        && not conn.close_after_flush
+      then begin
+        (* new requests arrived while serving: stay busy, go again *)
+        Queue.add (Serve conn) t.workq;
+        Condition.signal t.work_cv
       end
+      else conn.busy <- false);
+  wake_reactor t;
+  if !shutdown_after then request_stop t
+
+(* a closed session's teardown runs on the pool too: rolling back an
+   abandoned transaction takes the engine lock, which must never stall
+   the reactor's I/O *)
+let cleanup_conn t conn =
+  (match session_txn conn with
+  | Some txn -> (
+      try Database.exclusively t.db (fun () -> Database.rollback t.db txn)
+      with _ -> ())
+  | None -> ());
+  conn.txn <- None;
+  Hashtbl.iter
+    (fun _ (cur, _) ->
+      Database.cursor_close cur;
+      Atomic.decr t.open_cursors)
+    conn.cursors;
+  Hashtbl.reset conn.cursors;
+  Hashtbl.reset conn.prepared;
+  set_cursor_gauge t;
+  Mutex.protect t.lock (fun () ->
+      t.live <- t.live - 1;
+      Condition.broadcast t.cv)
+
+let worker_main t =
+  let acc = Buffer.create 4096 and enc = Buffer.create 4096 in
+  let rec loop () =
+    let job =
+      Mutex.protect t.lock (fun () ->
+          let rec take () =
+            match Queue.take_opt t.workq with
+            | Some j -> Some j
+            | None ->
+                if t.workers_stop then None
+                else begin
+                  Condition.wait t.work_cv t.lock;
+                  take ()
+                end
+          in
+          take ())
+    in
+    match job with
+    | None -> ()
+    | Some (Serve conn) ->
+        serve_batch t conn ~acc ~enc;
+        loop ()
+    | Some (Cleanup conn) ->
+        cleanup_conn t conn;
+        loop ()
+  in
+  loop ()
+
+(* --- reactor --- *)
+
+let read_chunk = 65536
+
+(* parse complete frames out of [conn.inbuf]; stops at the pipeline
+   bound, on a fatal protocol error, or when bytes run short (a partial
+   frame just stays buffered across ticks — slow writers cost memory for
+   one frame, not a thread) *)
+let parse_frames t conn ~acc ~enc =
+  let progressed = ref false in
+  let stop = ref false in
+  while not !stop do
+    let depth =
+      Mutex.protect t.lock (fun () ->
+          Queue.length conn.inq + if conn.busy then 1 else 0)
+    in
+    if
+      conn.fatal <> None || conn.close_after_flush || conn.dead
+      || depth >= t.cfg.max_pipeline
+      || Nb.length conn.inbuf < 4
+    then stop := true
+    else begin
+      let len = Nb.peek_i32 conn.inbuf 0 in
+      if len < 0 || len > Rx_wire.max_frame then begin
+        conn.fatal <-
+          Some
+            (Rx_wire.Err
+               {
+                 status = Rx_wire.status_protocol;
+                 message = Printf.sprintf "oversized frame (%d bytes)" len;
+               });
+        stop := true
+      end
+      else if Nb.length conn.inbuf < 4 + len then stop := true
       else begin
-        Rx_obs.Metrics.incr t.m_errors;
-        Rx_wire.send_response sess.fd
-          (Rx_wire.Err { status = 1; message = "authentication failed" });
-        false
+        let payload = Nb.sub_string conn.inbuf 4 len in
+        Nb.consume conn.inbuf (4 + len);
+        match Rx_wire.decode_request payload with
+        | exception Rx_wire.Protocol_error msg ->
+            Rx_obs.Metrics.incr t.m_errors;
+            conn.fatal <-
+              Some (Rx_wire.Err { status = Rx_wire.status_protocol; message = msg });
+            stop := true
+        | req ->
+            progressed := true;
+            if not conn.established then begin
+              (* handshake runs on the reactor: no engine work involved *)
+              let t0 = Unix.gettimeofday () in
+              Rx_obs.Metrics.incr t.m_requests;
+              (match req with
+              | Rx_wire.Hello { token; _ } ->
+                  let authorized =
+                    match t.cfg.auth_token with
+                    | None -> true
+                    | Some secret -> token = secret
+                  in
+                  if authorized then begin
+                    conn.established <- true;
+                    Mutex.protect t.lock (fun () ->
+                        Buffer.clear acc;
+                        append_frame ~acc ~enc
+                          (Rx_wire.Ok
+                             (Rx_wire.R_hello
+                                { server = server_banner; session = conn.sid }));
+                        Nb.add_buffer conn.out acc)
+                  end
+                  else begin
+                    Rx_obs.Metrics.incr t.m_errors;
+                    conn.close_after_flush <- true;
+                    Mutex.protect t.lock (fun () ->
+                        Buffer.clear acc;
+                        append_frame ~acc ~enc
+                          (Rx_wire.Err
+                             { status = 1; message = "authentication failed" });
+                        Nb.add_buffer conn.out acc)
+                  end
+              | _ ->
+                  Rx_obs.Metrics.incr t.m_errors;
+                  conn.close_after_flush <- true;
+                  Mutex.protect t.lock (fun () ->
+                      Buffer.clear acc;
+                      append_frame ~acc ~enc
+                        (Rx_wire.Err { status = 1; message = "expected hello" });
+                      Nb.add_buffer conn.out acc));
+              observe_latency t "hello" t0
+            end
+            else
+              Mutex.protect t.lock (fun () ->
+                  (* queue-depth admission: refuse (as Busy, the engine's
+                     own backpressure type) rather than queue unboundedly;
+                     the refusal rides the ordered response path *)
+                  if t.pending >= t.cfg.max_queue_depth then
+                    Queue.add (Refuse req) conn.inq
+                  else begin
+                    t.pending <- t.pending + 1;
+                    Queue.add (Exec req) conn.inq
+                  end)
       end
-  | Some _ ->
-      Rx_wire.send_response sess.fd
-        (Rx_wire.Err { status = 1; message = "expected hello" });
-      false
+    end
+  done;
+  !progressed
 
-let rec serve_loop t sess =
-  match Rx_wire.recv_request sess.fd with
-  | None -> ()
-  | Some req -> if handle t sess req then serve_loop t sess
+let schedule t conn =
+  Mutex.protect t.lock (fun () ->
+      if
+        conn.established && (not conn.busy) && (not conn.dead)
+        && (not conn.close_after_flush)
+        && not (Queue.is_empty conn.inq)
+      then begin
+        conn.busy <- true;
+        Queue.add (Serve conn) t.workq;
+        Condition.signal t.work_cv
+      end)
 
-let session_main t (sid, fd) =
-  let sess = { sid; fd; txn = None; prepared = Hashtbl.create 8; next_stmt = 0 } in
-  let cleanup () =
-    (* a dropped connection rolls its open transaction back, like a
-       dropped embedded session *)
-    (match session_txn sess with
-    | Some txn -> (
-        try Database.exclusively t.db (fun () -> Database.rollback t.db txn)
-        with _ -> ())
-    | None -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    (* hand our handle to the reaper: [t.threads] would otherwise grow
-       one entry per connection ever accepted. Registration in
-       [accept_one] holds [t.lock] across create+insert, so the handle
-       is always present here *)
-    let self_id = Thread.id (Thread.self ()) in
-    Mutex.protect t.lock (fun () ->
-        t.live <- List.filter (fun (s, _) -> s <> sid) t.live;
-        t.threads <- List.filter (fun th -> Thread.id th <> self_id) t.threads;
-        t.dead <- Thread.self () :: t.dead;
-        Rx_obs.Metrics.set t.m_conns (List.length t.live);
-        Condition.broadcast t.cv)
-  in
-  Fun.protect ~finally:cleanup (fun () ->
-      try
-        if handshake t sess then serve_loop t sess
-      with
-      | Rx_wire.Protocol_error msg ->
-          Rx_obs.Metrics.incr t.m_errors;
-          (try
-             Rx_wire.send_response fd
-               (Rx_wire.Err { status = Rx_wire.status_protocol; message = msg })
-           with _ -> ())
-      | Unix.Unix_error _ -> () (* peer vanished mid-write *))
-
-(* --- accept loop --- *)
+let reject_overflow t fd =
+  Rx_obs.Metrics.incr t.m_rejected;
+  (* over-cap connections get one Busy frame before the close, so a
+     client can tell backpressure from a crash *)
+  (try
+     Rx_wire.send_response fd
+       (Rx_wire.Err { status = 3; message = "server at max connections" })
+   with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_one t =
   let fd, _addr = Unix.accept t.listen_fd in
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let admitted_sid =
+  let admitted =
     Mutex.protect t.lock (fun () ->
-        if t.stopping || List.length t.live >= t.cfg.max_connections then None
+        if t.stopping || List.length t.conns >= t.cfg.max_connections then None
         else begin
           t.next_sid <- t.next_sid + 1;
-          t.live <- (t.next_sid, fd) :: t.live;
-          Rx_obs.Metrics.set t.m_conns (List.length t.live);
+          t.live <- t.live + 1;
           Some t.next_sid
         end)
   in
-  match admitted_sid with
-  | None ->
-      Rx_obs.Metrics.incr t.m_rejected;
-      (try
-         Rx_wire.send_response fd
-           (Rx_wire.Err { status = 3; message = "server at max connections" })
-       with _ -> ());
-      (try Unix.close fd with Unix.Unix_error _ -> ())
+  match admitted with
+  | None -> reject_overflow t fd
   | Some sid ->
       Rx_obs.Metrics.incr t.m_accepted;
-      (* create + register under one lock section: the session's cleanup
-         also takes the lock to deregister, so it cannot run before the
-         handle is in [t.threads] *)
-      Mutex.protect t.lock (fun () ->
-          let th = Thread.create (session_main t) (sid, fd) in
-          t.threads <- th :: t.threads)
+      Unix.set_nonblock fd;
+      let conn =
+        {
+          sid;
+          fd;
+          established = false;
+          inbuf = Nb.create 4096;
+          inq = Queue.create ();
+          out = Nb.create 4096;
+          busy = false;
+          txn = None;
+          prepared = Hashtbl.create 8;
+          next_stmt = 0;
+          cursors = Hashtbl.create 4;
+          next_cursor = 0;
+          last_activity = Unix.gettimeofday ();
+          eof = false;
+          dead = false;
+          close_after_flush = false;
+          fatal = None;
+        }
+      in
+      Mutex.protect t.lock (fun () -> t.conns <- conn :: t.conns);
+      Rx_obs.Metrics.set t.m_conns (List.length t.conns)
 
-(* join session threads that finished since the last pass; they are past
-   their cleanup, so each join returns ~immediately *)
-let reap_finished t =
-  let dead =
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun c -> c.sid <> conn.sid) t.conns;
+      (* unserviced admitted entries hand their slots back *)
+      Queue.iter
+        (function Exec _ -> t.pending <- t.pending - 1 | Refuse _ -> ())
+        conn.inq;
+      Queue.clear conn.inq;
+      Queue.add (Cleanup conn) t.workq;
+      Condition.signal t.work_cv);
+  Rx_obs.Metrics.set t.m_conns (List.length t.conns)
+
+let initiate_stop t =
+  let conns =
     Mutex.protect t.lock (fun () ->
-        let d = t.dead in
-        t.dead <- [];
-        d)
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.cv;
+          t.conns
+        end)
   in
-  List.iter Thread.join dead
+  (* wake idle sessions: their reads return EOF, in-flight requests still
+     finish and respond before the close *)
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns
 
-let accept_loop t =
-  (* select doubles as the shutdown wakeup (the self-pipe) and, with its
-     timeout, as the reaper's cadence *)
+let reactor t =
+  let rbuf = Bytes.create read_chunk in
+  (* the self-pipe drain buffer is allocated once, not per wakeup *)
+  let drain = Bytes.create 64 in
+  let r_acc = Buffer.create 256 and r_enc = Buffer.create 256 in
+  let do_read conn =
+    match Unix.read conn.fd rbuf 0 read_chunk with
+    | 0 -> conn.eof <- true
+    | n ->
+        Rx_obs.Metrics.add t.m_bytes_in n;
+        conn.last_activity <- Unix.gettimeofday ();
+        Nb.add_subbytes conn.inbuf rbuf 0 n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> conn.eof <- true
+  in
+  let do_write conn =
+    Mutex.protect t.lock (fun () ->
+        if Nb.length conn.out > 0 then
+          let len = min (Nb.length conn.out) (256 * 1024) in
+          match Unix.write conn.fd conn.out.Nb.buf conn.out.Nb.off len with
+          | n ->
+              Rx_obs.Metrics.add t.m_bytes_out n;
+              Nb.consume conn.out n
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error _ -> conn.dead <- true)
+  in
   let rec loop () =
-    if not t.stopping then begin
-      (match Unix.select [ t.listen_fd; t.stop_r ] [] [] 0.2 with
-      | ready, _, _ ->
-          if List.mem t.stop_r ready then begin
-            (try ignore (Unix.read t.stop_r (Bytes.create 8) 0 8)
+    let stopping, conns =
+      Mutex.protect t.lock (fun () -> (t.stopping, t.conns))
+    in
+    if stopping && conns = [] then ()
+    else begin
+      let read_ok c =
+        (not c.eof) && (not c.dead) && (not c.close_after_flush)
+        && c.fatal = None
+        && Nb.length c.inbuf < 4 + Rx_wire.max_frame
+        && Mutex.protect t.lock (fun () ->
+               Queue.length c.inq + (if c.busy then 1 else 0)
+               < t.cfg.max_pipeline)
+      in
+      let rset =
+        t.stop_r :: t.wake_r
+        :: (if stopping then [] else [ t.listen_fd ])
+        @ List.filter_map
+            (fun c -> if read_ok c then Some c.fd else None)
+            conns
+      and wset =
+        List.filter_map
+          (fun c ->
+            if
+              (not c.dead)
+              && Mutex.protect t.lock (fun () -> Nb.length c.out > 0)
+            then Some c.fd
+            else None)
+          conns
+      in
+      (match Unix.select rset wset [] 0.2 with
+      | ready_r, ready_w, _ ->
+          if List.mem t.stop_r ready_r then begin
+            (try ignore (Unix.read t.stop_r drain 0 (Bytes.length drain))
              with Unix.Unix_error _ -> ());
             initiate_stop t
-          end
-          else if List.mem t.listen_fd ready then (
+          end;
+          if List.mem t.wake_r ready_r then (
+            try ignore (Unix.read t.wake_r drain 0 (Bytes.length drain))
+            with Unix.Unix_error _ -> ());
+          List.iter
+            (fun c -> if List.mem c.fd ready_r then do_read c)
+            conns;
+          if (not stopping) && List.mem t.listen_fd ready_r then (
             try accept_one t
-            with Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ())
+            with Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) -> ());
+          List.iter
+            (fun c -> if List.mem c.fd ready_w then do_write c)
+            conns
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      reap_finished t;
+      (* pump every connection: parse buffered frames, schedule service,
+         surface deferred protocol errors, time out idle sessions *)
+      let now = Unix.gettimeofday () in
+      let conns = Mutex.protect t.lock (fun () -> t.conns) in
+      List.iter
+        (fun c ->
+          if Nb.length c.inbuf >= 4 && not c.dead then
+            ignore (parse_frames t c ~acc:r_acc ~enc:r_enc);
+          schedule t c;
+          (* a protocol error is delivered only once every earlier
+             response has been produced, preserving response order *)
+          (match c.fatal with
+          | Some resp
+            when Mutex.protect t.lock (fun () ->
+                     (not c.busy) && Queue.is_empty c.inq) ->
+              c.fatal <- None;
+              c.close_after_flush <- true;
+              Mutex.protect t.lock (fun () ->
+                  Buffer.clear r_acc;
+                  append_frame ~acc:r_acc ~enc:r_enc resp;
+                  Nb.add_buffer c.out r_acc)
+          | _ -> ());
+          if
+            t.cfg.idle_timeout > 0. && c.established
+            && (not c.close_after_flush)
+            && now -. c.last_activity > t.cfg.idle_timeout
+            && Mutex.protect t.lock (fun () ->
+                   (not c.busy) && Queue.is_empty c.inq)
+          then begin
+            (* an abandoned session must not park its locks forever: roll
+               it back (via cleanup) and close, telling the client why *)
+            Rx_obs.Metrics.incr t.m_idle_timeouts;
+            c.close_after_flush <- true;
+            (try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+             with Unix.Unix_error _ -> ());
+            Mutex.protect t.lock (fun () ->
+                Buffer.clear r_acc;
+                append_frame ~acc:r_acc ~enc:r_enc
+                  (Rx_wire.Err
+                     {
+                       status = 1;
+                       message =
+                         "session idle timeout: transaction rolled back, \
+                          connection closed";
+                     });
+                Nb.add_buffer c.out r_acc)
+          end)
+        conns;
+      (* close what is ready to close *)
+      List.iter
+        (fun c ->
+          let closable =
+            Mutex.protect t.lock (fun () ->
+                (not c.busy)
+                && (c.dead
+                   || (c.close_after_flush && Nb.length c.out = 0)
+                   || (c.eof && Queue.is_empty c.inq && Nb.length c.out = 0)))
+          in
+          if closable then close_conn t c)
+        conns;
       loop ()
     end
   in
-  loop ()
+  loop ();
+  (* all sessions are closed: release the workers once the remaining
+     cleanup jobs drain *)
+  Mutex.protect t.lock (fun () ->
+      t.workers_stop <- true;
+      Condition.broadcast t.work_cv)
+
+(* --- startup --- *)
+
+let worker_count cfg =
+  if cfg.io_threads > 0 then cfg.io_threads
+  else
+    (* 0 = auto-size. Workers are blocking threads, not CPU domains: most
+       of their life is spent parked in the group-commit durability wait,
+       during which they hold no core — so the pool must be sized to the
+       number of commits worth overlapping into one fsync (the old
+       thread-per-connection core effectively had [max_connections]
+       such threads), not to the host's core count. Floor of 8 keeps
+       group-commit absorption alive on small hosts; cap of 32 bounds
+       the engine-lock convoy on big ones. *)
+    max 8 (min 32 (2 * Domain.recommended_domain_count ()))
 
 let start ?(config = default_config) db =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let m = Database.metrics db in
-  (* register every net instrument up front: session threads only ever
-     resolve existing entries, and the stats schema is complete from the
-     first request *)
+  (* register every net instrument up front: reactor and workers only
+     ever resolve existing entries, and the stats schema is complete from
+     the first request *)
   Stats_report.ensure_net_instruments m;
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let stop_r, stop_w = Unix.pipe () in
+  let wake_r, wake_w = Unix.pipe () in
   let t =
     try
       (* a full pipe must never block (or EINTR-loop) a signal handler;
          one byte is enough and extras are harmless *)
       Unix.set_nonblock stop_w;
+      Unix.set_nonblock wake_w;
+      Unix.set_nonblock wake_r;
       Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
       Unix.bind listen_fd
         (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
@@ -486,23 +979,36 @@ let start ?(config = default_config) db =
       {
         db;
         cfg = config;
+        workers_n = worker_count config;
         listen_fd;
         bound_port;
         stop_r;
         stop_w;
+        wake_r;
+        wake_w;
         lock = Mutex.create ();
         cv = Condition.create ();
+        work_cv = Condition.create ();
+        workq = Queue.create ();
         stopping = false;
-        live = [];
+        workers_stop = false;
+        conns = [];
+        live = 0;
+        pending = 0;
         threads = [];
-        dead = [];
         next_sid = 0;
-        queued = 0;
+        open_cursors = Atomic.make 0;
         m_conns = Rx_obs.Metrics.gauge m "net.conns";
+        m_cursors = Rx_obs.Metrics.gauge m "net.cursors";
         m_accepted = Rx_obs.Metrics.counter m "net.conns.accepted";
         m_requests = Rx_obs.Metrics.counter m "net.requests";
         m_errors = Rx_obs.Metrics.counter m "net.errors";
         m_rejected = Rx_obs.Metrics.counter m "net.rejected";
+        m_bytes_in = Rx_obs.Metrics.counter m "net.bytes_in";
+        m_bytes_out = Rx_obs.Metrics.counter m "net.bytes_out";
+        m_idle_timeouts = Rx_obs.Metrics.counter m "net.idle_timeouts";
+        m_pl_batches = Rx_obs.Metrics.counter m "net.pipeline.batches";
+        m_pl_requests = Rx_obs.Metrics.counter m "net.pipeline.requests";
         op_hists =
           List.map
             (fun op -> (op, Rx_obs.Metrics.histogram m ("net.latency." ^ op)))
@@ -511,9 +1017,26 @@ let start ?(config = default_config) db =
     with e ->
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        [ listen_fd; stop_r; stop_w ];
+        [ listen_fd; stop_r; stop_w; wake_r; wake_w ];
       raise e
   in
-  let th = Thread.create accept_loop t in
-  Mutex.protect t.lock (fun () -> t.threads <- th :: t.threads);
+  let ths =
+    Thread.create reactor t
+    :: List.init t.workers_n (fun _ -> Thread.create worker_main t)
+  in
+  Mutex.protect t.lock (fun () -> t.threads <- ths);
   t
+
+let stop t =
+  request_stop t;
+  wait t;
+  let threads =
+    Mutex.protect t.lock (fun () ->
+        let ths = t.threads in
+        t.threads <- [];
+        ths)
+  in
+  List.iter Thread.join threads;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.listen_fd; t.stop_r; t.stop_w; t.wake_r; t.wake_w ]

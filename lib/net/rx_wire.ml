@@ -2,6 +2,7 @@ exception Protocol_error of string
 
 let max_frame = 16 * 1024 * 1024
 let status_protocol = 7
+let default_chunk_bytes = 256 * 1024
 
 type request =
   | Hello of { token : string; client : string }
@@ -34,6 +35,15 @@ type request =
   | Bye
   | Repl_state
   | Repl_fetch of { from_lsn : int64; max_bytes : int }
+  | Open_cursor of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+      chunk_bytes : int;
+    }
+  | Fetch of { cursor : int }
+  | Close_cursor of { cursor : int }
 
 type ok =
   | R_hello of { server : string; session : int }
@@ -52,30 +62,28 @@ type ok =
       page_size : int;
     }
   | R_repl_batch of { start_lsn : int64; durable_lsn : int64; frames : string }
+  | R_cursor of { cursor : int; plan : string }
+  | R_rows_chunk of { matches : (int * string) list }
+  | R_rows_end
 
 type response = Ok of ok | Err of { status : int; message : string }
 
-(* --- payload encoding --- *)
+(* --- payload encoding ---
+
+   Encoders append to a caller-supplied [Buffer.t] and every primitive
+   writes through [Buffer.add_int*_be] — no intermediate [Bytes.create]
+   per field, so a connection that reuses one scratch buffer encodes
+   frames without fresh allocation (beyond buffer growth to the largest
+   frame seen). *)
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
-
-let put_int b v =
-  let s = Bytes.create 8 in
-  Bytes.set_int64_be s 0 (Int64.of_int v);
-  Buffer.add_bytes b s
-
-let put_u32 b v =
-  let s = Bytes.create 4 in
-  Bytes.set_int32_be s 0 (Int32.of_int v);
-  Buffer.add_bytes b s
+let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
 
 (* LSNs travel as true 8-byte big-endian int64s (put_int narrows through
    the host int, which is fine for counts but not for a durable on-disk
    position) *)
-let put_i64 b v =
-  let s = Bytes.create 8 in
-  Bytes.set_int64_be s 0 v;
-  Buffer.add_bytes b s
+let put_i64 b v = Buffer.add_int64_be b v
 
 let put_str b s =
   put_u32 b (String.length s);
@@ -143,9 +151,8 @@ let get_pair c =
 
 (* --- requests --- *)
 
-let encode_request r =
-  let b = Buffer.create 64 in
-  (match r with
+let encode_request_into b r =
+  match r with
   | Hello { token; client } ->
       put_u8 b 1;
       put_str b token;
@@ -198,7 +205,24 @@ let encode_request r =
   | Repl_fetch { from_lsn; max_bytes } ->
       put_u8 b 16;
       put_i64 b from_lsn;
-      put_int b max_bytes);
+      put_int b max_bytes
+  | Open_cursor { table; column; xpath; ns_env; chunk_bytes } ->
+      put_u8 b 17;
+      put_str b table;
+      put_str b column;
+      put_str b xpath;
+      put_list b put_pair ns_env;
+      put_int b chunk_bytes
+  | Fetch { cursor } ->
+      put_u8 b 18;
+      put_int b cursor
+  | Close_cursor { cursor } ->
+      put_u8 b 19;
+      put_int b cursor
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  encode_request_into b r;
   Buffer.contents b
 
 let finish c v =
@@ -256,15 +280,23 @@ let decode_request s =
         let from_lsn = get_i64 c in
         let max_bytes = get_int c in
         Repl_fetch { from_lsn; max_bytes }
+    | 17 ->
+        let table = get_str c in
+        let column = get_str c in
+        let xpath = get_str c in
+        let ns_env = get_list c get_pair in
+        let chunk_bytes = get_int c in
+        Open_cursor { table; column; xpath; ns_env; chunk_bytes }
+    | 18 -> Fetch { cursor = get_int c }
+    | 19 -> Close_cursor { cursor = get_int c }
     | op -> raise (Protocol_error (Printf.sprintf "unknown opcode %d" op))
   in
   finish c r
 
 (* --- responses --- *)
 
-let encode_response r =
-  let b = Buffer.create 64 in
-  (match r with
+let encode_response_into b r =
+  match r with
   | Ok ok -> (
       put_u8 b 0;
       match ok with
@@ -310,12 +342,28 @@ let encode_response r =
           put_u8 b 11;
           put_i64 b start_lsn;
           put_i64 b durable_lsn;
-          put_str b frames)
+          put_str b frames
+      | R_cursor { cursor; plan } ->
+          put_u8 b 12;
+          put_int b cursor;
+          put_str b plan
+      | R_rows_chunk { matches } ->
+          put_u8 b 13;
+          put_list b
+            (fun b (docid, doc) ->
+              put_int b docid;
+              put_str b doc)
+            matches
+      | R_rows_end -> put_u8 b 14)
   | Err { status; message } ->
       if status <= 0 || status > 255 then
         invalid_arg "Rx_wire: error status out of range";
       put_u8 b status;
-      put_str b message);
+      put_str b message
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  encode_response_into b r;
   Buffer.contents b
 
 let decode_response s =
@@ -358,6 +406,19 @@ let decode_response s =
             let durable_lsn = get_i64 c in
             let frames = get_str c in
             Ok (R_repl_batch { start_lsn; durable_lsn; frames })
+        | 12 ->
+            let cursor = get_int c in
+            let plan = get_str c in
+            Ok (R_cursor { cursor; plan })
+        | 13 ->
+            let matches =
+              get_list c (fun c ->
+                  let docid = get_int c in
+                  let doc = get_str c in
+                  (docid, doc))
+            in
+            Ok (R_rows_chunk { matches })
+        | 14 -> Ok R_rows_end
         | tag -> raise (Protocol_error (Printf.sprintf "unknown result tag %d" tag)))
     | status -> Err { status; message = get_str c }
   in
@@ -369,6 +430,12 @@ let rec really_write fd s off len =
   if len > 0 then begin
     let n = Unix.write_substring fd s off len in
     really_write fd s (off + n) (len - n)
+  end
+
+let rec really_write_bytes fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    really_write_bytes fd b (off + n) (len - n)
   end
 
 (* [`Eof] only when not a single byte arrives; a partial read followed by
@@ -411,5 +478,71 @@ let send_response fd r = write_frame fd (encode_response r)
 
 let recv_response fd =
   match read_frame fd with
+  | None -> raise (Protocol_error "connection closed before response")
+  | Some payload -> decode_response payload
+
+(* --- per-connection scratch framer ---
+
+   One framer per connection replaces the fresh header/payload [Bytes]
+   the plain [send_*]/[recv_*] helpers allocate per frame: the payload is
+   encoded into a retained [Buffer.t], blitted after a 4-byte header into
+   a retained wire buffer, and written with one [Unix.write] loop; reads
+   land in a retained receive buffer sized to the largest frame seen.
+   Not thread-safe — a framer belongs to exactly one connection. *)
+
+type framer = {
+  payload : Buffer.t;  (* encode scratch, cleared per frame *)
+  mutable wire : Bytes.t;  (* header + payload, grown to the largest frame *)
+  hdr : Bytes.t;  (* 4-byte receive header *)
+  mutable rbuf : Bytes.t;  (* receive payload scratch *)
+}
+
+let framer () =
+  {
+    payload = Buffer.create 512;
+    wire = Bytes.create 4096;
+    hdr = Bytes.create 4;
+    rbuf = Bytes.create 4096;
+  }
+
+let framed_send fr fd encode v =
+  Buffer.clear fr.payload;
+  encode fr.payload v;
+  let len = Buffer.length fr.payload in
+  if len > max_frame then invalid_arg "Rx_wire: frame exceeds max_frame";
+  if Bytes.length fr.wire < 4 + len then
+    fr.wire <- Bytes.create (max (4 + len) (2 * Bytes.length fr.wire));
+  Bytes.set_int32_be fr.wire 0 (Int32.of_int len);
+  Buffer.blit fr.payload 0 fr.wire 4 len;
+  really_write_bytes fd fr.wire 0 (4 + len)
+
+let framed_send_request fr fd r = framed_send fr fd encode_request_into r
+let framed_send_response fr fd r = framed_send fr fd encode_response_into r
+
+let read_exact_into fd buf n =
+  let rec go off =
+    if off = n then `Ok
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then `Eof else raise (Protocol_error "truncated frame")
+      | k -> go (off + k)
+  in
+  go 0
+
+let framed_read_frame fr fd =
+  match read_exact_into fd fr.hdr 4 with
+  | `Eof -> None
+  | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_be fr.hdr 0) in
+      if len < 0 || len > max_frame then
+        raise (Protocol_error (Printf.sprintf "oversized frame (%d bytes)" len));
+      if Bytes.length fr.rbuf < len then
+        fr.rbuf <- Bytes.create (max len (2 * Bytes.length fr.rbuf));
+      (match read_exact_into fd fr.rbuf len with
+      | `Eof -> if len = 0 then Some "" else raise (Protocol_error "truncated frame")
+      | `Ok -> Some (Bytes.sub_string fr.rbuf 0 len))
+
+let framed_recv_response fr fd =
+  match framed_read_frame fr fd with
   | None -> raise (Protocol_error "connection closed before response")
   | Some payload -> decode_response payload

@@ -11,6 +11,17 @@
     {!Protocol_error} (a stream that ends cleanly {e between} frames is a
     normal disconnect, surfaced as [None] by {!recv_request}).
 
+    Clients may {e pipeline}: several requests can be written before the
+    first response is read, and the server answers strictly in request
+    order (up to its [max_pipeline] per-connection bound — beyond it the
+    server simply stops reading, so TCP flow control paces the client).
+
+    Result sets larger than one frame stream through cursors:
+    [Open_cursor] executes the query and answers [R_cursor]; each
+    [Fetch] answers one bounded [R_rows_chunk] (or [R_rows_end] once the
+    result is exhausted), so a response of any total size crosses the
+    wire without ever exceeding {!max_frame}.
+
     Error statuses 1–6 reuse the engine's stable error table
     ({!Systemrx.Database.error_code}, identical to the [rx] exit codes);
     status {!status_protocol} (7) marks a malformed or oversized frame,
@@ -24,14 +35,20 @@ exception Protocol_error of string
 
 val max_frame : int
 (** Largest accepted payload, 16 MiB — bounds a session's memory and
-    rejects garbage (e.g. a TLS hello) before allocating for it. *)
+    rejects garbage (e.g. a TLS hello) before allocating for it. Results
+    bigger than this stream through [Open_cursor]/[Fetch] chunks. *)
 
 val status_protocol : int
 (** Status code 7: the peer sent a frame that does not parse. *)
 
+val default_chunk_bytes : int
+(** Default [Open_cursor.chunk_bytes] (256 KiB): the serialized-row
+    budget of one [R_rows_chunk]. *)
+
 (** One client request. Operations act on the connection's session: a
     session holds at most one open transaction (DML and queries join it
-    implicitly while it is open) and a table of prepared statements. *)
+    implicitly while it is open), a table of prepared statements, and a
+    table of open cursors. *)
 type request =
   | Hello of { token : string; client : string }
       (** Mandatory first request (auth stub: [token] must match the
@@ -51,7 +68,10 @@ type request =
   | Run_prepared of { stmt : int }
   | Begin
   | Commit of { txid : int }
-  | Rollback of { txid : int }
+      (** [txid = 0] commits the session's current transaction whatever
+          its id — what a pipelined [Begin; ...; Commit] flight uses,
+          since the id is not known when the flight is written. *)
+  | Rollback of { txid : int }  (** [txid = 0] as in [Commit]. *)
   | Insert of {
       table : string;
       values : (string * string) list;  (** varchar column values *)
@@ -73,6 +93,27 @@ type request =
           cut at a frame boundary within [max_bytes] (the first frame
           always ships whole). Positions below the live WAL base are
           served from the leader's archive. *)
+  | Open_cursor of {
+      table : string;
+      column : string;
+      xpath : string;
+      ns_env : (string * string) list;
+      chunk_bytes : int;
+          (** serialized-row budget per [R_rows_chunk]; [<= 0] means
+              {!default_chunk_bytes}, and the server clamps it so a chunk
+              frame never exceeds {!max_frame} *)
+    }
+      (** Plans and executes the query like [Query], but answers
+          [R_cursor] instead of materializing the rows: the result
+          streams through subsequent [Fetch] requests in bounded-memory
+          chunks. Joins the session transaction when one is open. *)
+  | Fetch of { cursor : int }
+      (** The next chunk of an open cursor: [R_rows_chunk] with at least
+          one row, or [R_rows_end] when the cursor is exhausted (which
+          also closes it server-side). *)
+  | Close_cursor of { cursor : int }
+      (** Frees a cursor early; idempotent on an already-ended cursor id
+          is an application error (the id is gone). *)
 
 (** An OK response's payload, one constructor per result shape. *)
 type ok =
@@ -99,11 +140,24 @@ type ok =
           history below it is gone — unrecoverable without a rebuild).
           [frames] is empty when the replica is caught up to
           [durable_lsn]. LSNs travel as true 8-byte big-endian [int64]s. *)
+  | R_cursor of { cursor : int; plan : string }
+      (** An opened cursor: its session-local id and the executed
+          access-plan description. *)
+  | R_rows_chunk of { matches : (int * string) list }
+      (** One bounded chunk of cursor rows, never empty: document order
+          continues across chunks. *)
+  | R_rows_end  (** The cursor is exhausted and has been freed. *)
 
 type response = Ok of ok | Err of { status : int; message : string }
 
 val encode_request : request -> string
 (** The request's frame payload (no length prefix). *)
+
+val encode_request_into : Buffer.t -> request -> unit
+(** Appends the request's payload to [b] — the allocation-free form
+    {!encode_request} wraps; every integer field goes through
+    [Buffer.add_int*_be], so encoding into a retained buffer performs no
+    per-frame allocation. *)
 
 val decode_request : string -> request
 (** @raise Protocol_error on an unknown opcode, truncation or trailing
@@ -112,12 +166,16 @@ val decode_request : string -> request
 val encode_response : response -> string
 (** The response's frame payload (no length prefix). *)
 
+val encode_response_into : Buffer.t -> response -> unit
+(** Appends the response's payload to [b], like {!encode_request_into}. *)
+
 val decode_response : string -> response
 (** @raise Protocol_error like {!decode_request}. *)
 
 val send_request : Unix.file_descr -> request -> unit
 (** Writes one framed request (single [write] loop — header and payload
-    leave together). *)
+    leave together). Allocates per call; connections that care hold a
+    {!framer}. *)
 
 val recv_request : Unix.file_descr -> request option
 (** Reads one framed request; [None] on a clean disconnect (EOF before
@@ -130,4 +188,32 @@ val send_response : Unix.file_descr -> response -> unit
 val recv_response : Unix.file_descr -> response
 (** Reads one framed response — a server never half-closes between a
     request and its reply, so EOF here is an error.
+    @raise Protocol_error on EOF or a malformed frame. *)
+
+(** {1 Per-connection scratch framer}
+
+    The plain [send_*]/[recv_*] helpers allocate a header and payload
+    buffer per frame. A {!framer} retains those buffers across frames —
+    encode scratch, wire buffer, receive scratch, each grown to the
+    largest frame seen — so a long-lived connection frames without
+    per-frame allocation. A framer belongs to exactly one connection and
+    is not thread-safe. *)
+
+type framer
+(** Retained encode/decode scratch for one connection. *)
+
+val framer : unit -> framer
+(** A fresh framer (a few KiB until frames grow it). *)
+
+val framed_send_request : framer -> Unix.file_descr -> request -> unit
+(** {!send_request} through the framer's retained buffers: one [write]
+    loop, no per-frame allocation. *)
+
+val framed_send_response : framer -> Unix.file_descr -> response -> unit
+(** {!send_response} through the framer's retained buffers. *)
+
+val framed_recv_response : framer -> Unix.file_descr -> response
+(** {!recv_response} reading into the framer's retained receive buffer
+    (the decoded payload string is the one remaining per-frame
+    allocation).
     @raise Protocol_error on EOF or a malformed frame. *)

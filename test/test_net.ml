@@ -47,6 +47,18 @@ let all_requests : Rx_wire.request list =
     (* an LSN above 2^32 exercises true-int64 wire travel *)
     Rx_wire.Repl_fetch { from_lsn = 0x1_2345_6789_abcdL; max_bytes = 65536 };
     Rx_wire.Repl_fetch { from_lsn = 0L; max_bytes = 0 };
+    Rx_wire.Open_cursor
+      {
+        table = "t";
+        column = "doc";
+        xpath = "/a//b";
+        ns_env = [ ("p", "urn:x") ];
+        chunk_bytes = 65536;
+      };
+    Rx_wire.Open_cursor
+      { table = ""; column = ""; xpath = ""; ns_env = []; chunk_bytes = 0 };
+    Rx_wire.Fetch { cursor = 3 };
+    Rx_wire.Close_cursor { cursor = max_int };
   ]
 
 let all_responses : Rx_wire.response list =
@@ -80,6 +92,10 @@ let all_responses : Rx_wire.response list =
          });
     Rx_wire.Ok
       (Rx_wire.R_repl_batch { start_lsn = 0L; durable_lsn = 0L; frames = "" });
+    Rx_wire.Ok (Rx_wire.R_cursor { cursor = 1; plan = "QUICKXSCAN" });
+    Rx_wire.Ok
+      (Rx_wire.R_rows_chunk { matches = [ (4, "<a/>"); (5, String.make 300 'y') ] });
+    Rx_wire.Ok Rx_wire.R_rows_end;
     Rx_wire.Err { status = 3; message = "busy: queue full" };
     Rx_wire.Err { status = 7; message = "" };
   ]
@@ -467,6 +483,250 @@ let test_graceful_shutdown () =
   check Alcotest.int "engine alive" 5 (Database.row_count db ~table:"products");
   Database.close db
 
+(* --- reactor: frame reassembly across ticks --- *)
+
+let test_slow_loris () =
+  (* a client that dribbles its frames one byte per write must still be
+     served correctly (the reactor reassembles partial frames across
+     ticks) — and must not block any other session while it dribbles *)
+  with_server @@ fun _db srv ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Rx_server.port srv));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  let frame_of req =
+    let p = Rx_wire.encode_request req in
+    let hdr = Bytes.create 4 in
+    Bytes.set_int32_be hdr 0 (Int32.of_int (String.length p));
+    Bytes.to_string hdr ^ p
+  in
+  let dribble s =
+    String.iter
+      (fun ch ->
+        ignore (Unix.write_substring fd (String.make 1 ch) 0 1);
+        Thread.delay 0.001)
+      s
+  in
+  (* another session's whole round-trip completes while ours dribbles *)
+  let other = Thread.create (fun () ->
+      let c = connect srv in
+      let r = Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" in
+      Rx_client.close c;
+      List.length r.Rx_client.matches) ()
+  in
+  dribble (frame_of (Rx_wire.Hello { token = ""; client = "loris" }));
+  (match Rx_wire.recv_response fd with
+  | Rx_wire.Ok (Rx_wire.R_hello _) -> ()
+  | _ -> Alcotest.fail "expected hello response");
+  dribble
+    (frame_of
+       (Rx_wire.Query
+          { table = "products"; column = "doc"; xpath = "/Product"; ns_env = [] }));
+  (match Rx_wire.recv_response fd with
+  | Rx_wire.Ok (Rx_wire.R_matches { matches; _ }) ->
+      check Alcotest.int "dribbled query answered" 5 (List.length matches)
+  | _ -> Alcotest.fail "expected matches for the dribbled query");
+  Thread.join other
+
+(* --- pipelining --- *)
+
+let test_pipelined_order () =
+  with_server @@ fun db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  let q = Rx_client.P_query
+      { table = "products"; column = "doc"; xpath = "/Product"; ns_env = [] }
+  in
+  let ins name =
+    Rx_client.P_insert
+      { table = "products"; values = []; xml = [ ("doc", product ~name ~price:9.) ] }
+  in
+  (* one batch spanning several flights: an explicit transaction opened,
+     written and committed without reading a single reply in between,
+     then a run of queries — replies must come back in op order *)
+  let ops =
+    (Rx_client.P_begin :: ins "p1" :: ins "p2" :: q :: Rx_client.P_commit :: [])
+    @ List.init 40 (fun _ -> q)
+  in
+  let replies = Rx_client.pipeline c ops in
+  check Alcotest.int "one reply per op" (List.length ops) (List.length replies);
+  (match replies with
+  | Ok (Rx_client.Rp_txn _) :: Ok (Rx_client.Rp_docid d1)
+    :: Ok (Rx_client.Rp_docid d2) :: Ok (Rx_client.Rp_result r)
+    :: Ok Rx_client.Rp_unit :: rest ->
+      if d1 = d2 then Alcotest.fail "distinct docids expected";
+      (* the in-transaction query already sees both staged rows *)
+      check Alcotest.int "staged rows visible in order" 7
+        (List.length r.Rx_client.matches);
+      List.iter
+        (function
+          | Ok (Rx_client.Rp_result r) ->
+              check Alcotest.int "post-commit query" 7
+                (List.length r.Rx_client.matches)
+          | _ -> Alcotest.fail "expected a query result")
+        rest
+  | _ -> Alcotest.fail "replies out of order or wrong shapes");
+  check Alcotest.int "batch committed" 7 (Database.row_count db ~table:"products");
+  (* the server saw the work as pipelined batches *)
+  let batches =
+    Rx_obs.Metrics.value
+      (Rx_obs.Metrics.counter (Database.metrics db) "net.pipeline.batches")
+  in
+  if batches < 1 then Alcotest.failf "expected pipelined batches, saw %d" batches
+
+(* --- streamed result cursors --- *)
+
+let big_product ~name ~bytes =
+  Printf.sprintf "<Product><Name>%s</Name><Blob>%s</Blob></Product>" name
+    (String.make bytes 'x')
+
+let with_big_server ~docs ~doc_bytes f =
+  let db = Database.create_in_memory () in
+  let _ =
+    Database.create_table db ~name:"products"
+      ~columns:[ ("doc", Value.T_xml) ]
+  in
+  ignore
+    (Database.insert_many db ~table:"products" ~column:"doc"
+       (List.init docs (fun i ->
+            big_product ~name:(Printf.sprintf "big-%d" i) ~bytes:doc_bytes)));
+  let srv = Rx_server.start db in
+  Fun.protect
+    ~finally:(fun () ->
+      Rx_server.stop srv;
+      Database.close db)
+    (fun () -> f db srv)
+
+let test_oversized_result_streams () =
+  (* 18 x 1 MiB: the materialized response exceeds the 16 MiB frame cap *)
+  let docs = 18 and doc_bytes = 1_048_576 in
+  with_big_server ~docs ~doc_bytes @@ fun _db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  (* the one-frame Query path reports a clear error (the old core tore
+     the connection down without a response) ... *)
+  (match Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" with
+  | exception Rx_client.Error { status = 1; message } ->
+      if not (contains ~needle:"cursor" message) then
+        Alcotest.failf "expected a pointer at cursors, got: %s" message
+  | _ -> Alcotest.fail "expected the frame-cap error");
+  (* ... and the session survives to stream the same result chunked *)
+  let chunk_budget = 3_000_000 in
+  let cur =
+    Rx_client.open_cursor ~chunk_bytes:chunk_budget c ~table:"products"
+      ~column:"doc" ~xpath:"/Product"
+  in
+  let rows = ref 0 and bytes = ref 0 and max_chunk = ref 0 in
+  let rec drain () =
+    match Rx_client.fetch c cur with
+    | [] -> ()
+    | chunk ->
+        let sz =
+          List.fold_left (fun a (_, s) -> a + String.length s) 0 chunk
+        in
+        (* bounded memory: no chunk materializes more than the budget
+           plus one row's slack *)
+        max_chunk := max !max_chunk sz;
+        rows := !rows + List.length chunk;
+        bytes := !bytes + sz;
+        drain ()
+  in
+  drain ();
+  check Alcotest.int "all rows streamed" docs !rows;
+  if !bytes <= Rx_wire.max_frame then
+    Alcotest.failf "result should exceed one frame, got %d bytes" !bytes;
+  if !max_chunk > chunk_budget + doc_bytes + 4096 then
+    Alcotest.failf "chunk of %d bytes exceeds the budget" !max_chunk;
+  (* fold_query streams the same result without client-side assembly *)
+  let n =
+    Rx_client.fold_query c ~table:"products" ~column:"doc" ~xpath:"/Product"
+      ~init:0
+      ~f:(fun acc _docid s -> if String.length s > 0 then acc + 1 else acc)
+  in
+  check Alcotest.int "fold_query streams all rows" docs n
+
+let test_cursor_abandonment () =
+  with_server @@ fun db srv ->
+  let gauge name = Rx_obs.Metrics.get (Rx_obs.Metrics.gauge (Database.metrics db) name) in
+  (* a raw client opens a cursor, fetches once, then vanishes without
+     Close_cursor or Bye — the server must free the cursor with the
+     session *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Rx_server.port srv));
+  Rx_wire.send_request fd (Rx_wire.Hello { token = ""; client = "abandoner" });
+  (match Rx_wire.recv_response fd with
+  | Rx_wire.Ok (Rx_wire.R_hello _) -> ()
+  | _ -> Alcotest.fail "handshake failed");
+  Rx_wire.send_request fd
+    (Rx_wire.Open_cursor
+       {
+         table = "products";
+         column = "doc";
+         xpath = "/Product";
+         ns_env = [];
+         (* a 1-byte budget forces one row per chunk, so the cursor is
+            mid-stream when we abandon it *)
+         chunk_bytes = 1;
+       });
+  let cursor =
+    match Rx_wire.recv_response fd with
+    | Rx_wire.Ok (Rx_wire.R_cursor { cursor; _ }) -> cursor
+    | _ -> Alcotest.fail "expected a cursor"
+  in
+  Rx_wire.send_request fd (Rx_wire.Fetch { cursor });
+  (match Rx_wire.recv_response fd with
+  | Rx_wire.Ok (Rx_wire.R_rows_chunk { matches = [ _ ] }) -> ()
+  | _ -> Alcotest.fail "expected a one-row chunk");
+  check Alcotest.int "cursor open server-side" 1 (gauge "net.cursors");
+  Unix.close fd;
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec settled () =
+    if gauge "net.cursors" = 0 && gauge "net.conns" = 0 then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      settled ()
+    end
+  in
+  if not (settled ()) then
+    Alcotest.failf "abandoned cursor not freed (cursors=%d conns=%d)"
+      (gauge "net.cursors") (gauge "net.conns")
+
+(* --- idle-session timeout --- *)
+
+let test_idle_timeout () =
+  with_server
+    ~config:{ Rx_server.default_config with idle_timeout = 0.3 }
+  @@ fun db srv ->
+  let c = connect srv in
+  let _txn = Rx_client.begin_txn c in
+  ignore
+    (Rx_client.insert c ~table:"products"
+       ~xml:[ ("doc", product ~name:"timed-out" ~price:1.) ]
+       ());
+  (* go idle past the timeout: the server rolls the transaction back and
+     closes the session *)
+  Thread.delay 1.0;
+  (match Rx_client.query c ~table:"products" ~column:"doc" ~xpath:"/Product" with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "expected the timed-out session to be closed");
+  (try Rx_client.close c with _ -> ());
+  let timeouts =
+    Rx_obs.Metrics.value
+      (Rx_obs.Metrics.counter (Database.metrics db) "net.idle_timeouts")
+  in
+  if timeouts < 1 then Alcotest.fail "net.idle_timeouts not incremented";
+  (* the staged row is gone and the engine serves new sessions *)
+  check Alcotest.int "staged row rolled back" 5
+    (Database.row_count db ~table:"products");
+  let c2 = connect srv in
+  let r = Rx_client.query c2 ~table:"products" ~column:"doc" ~xpath:"/Product" in
+  check Alcotest.int "fresh session works" 5 (List.length r.Rx_client.matches);
+  Rx_client.close c2
+
 let () =
   Alcotest.run "net"
     [
@@ -496,6 +756,19 @@ let () =
             test_busy_commit_retryable;
           Alcotest.test_case "connection cap busy" `Quick test_connection_cap;
           Alcotest.test_case "auth token stub" `Quick test_auth_token;
+        ] );
+      ( "reactor",
+        [
+          Alcotest.test_case "slow-loris frames reassemble across ticks" `Quick
+            test_slow_loris;
+          Alcotest.test_case "pipelined batch answers in order" `Quick
+            test_pipelined_order;
+          Alcotest.test_case "oversized result streams through a cursor" `Quick
+            test_oversized_result_streams;
+          Alcotest.test_case "abandoned cursor freed with the session" `Quick
+            test_cursor_abandonment;
+          Alcotest.test_case "idle session timed out and rolled back" `Quick
+            test_idle_timeout;
         ] );
       ( "lifecycle",
         [
