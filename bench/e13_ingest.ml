@@ -66,8 +66,10 @@ let cval db name =
 let setup_schema db =
   ignore
     (Database.create_table db ~name:"books" ~columns:[ ("doc", Value.T_xml) ]);
-  Database.create_xml_index db ~table:"books" ~column:"doc" ~name:"by_price"
-    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"books" ~column:"doc" ~name:"by_price"
+          ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double))
 
 let bench_load ndocs =
   let docs = List.init ndocs (fun i -> doc (i + 1)) in

@@ -72,8 +72,10 @@ let with_served_db ?(max_queue_depth = 4096) f =
   Fun.protect ~finally:(fun () -> Database.close db) @@ fun () ->
   ignore
     (Database.create_table db ~name:"books" ~columns:[ ("doc", Value.T_xml) ]);
-  Database.create_xml_index db ~table:"books" ~column:"doc" ~name:"by_price"
-    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"books" ~column:"doc" ~name:"by_price"
+    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double));
   for i = 1 to seed do
     ignore (Database.insert db ~table:"books" ~xml:[ ("doc", doc i) ] ())
   done;

@@ -91,9 +91,11 @@ let with_served_db f =
     (fun name ->
       ignore
         (Database.create_table db ~name ~columns:[ ("doc", Value.T_xml) ]);
-      Database.create_xml_index db ~table:name ~column:"doc"
+      ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:name ~column:"doc"
         ~name:("by_price_" ^ name) ~path:"/book/price"
-        ~key_type:Rx_xindex.Index_def.K_double;
+        ~key_type:Rx_xindex.Index_def.K_double));
       for i = 1 to seed do
         ignore (Database.insert db ~table:name ~xml:[ ("doc", doc i) ] ())
       done)

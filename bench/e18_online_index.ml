@@ -1,0 +1,349 @@
+(* E18 — online generational index builds under live traffic.
+
+   A served table (default 100k documents) gets its value index rebuilt
+   *online* through the wire protocol while concurrent writer clients
+   keep inserting/deleting and querier clients keep running indexed
+   queries. The build scans in slices, absorbing the writers' DML
+   through the side log, and swaps the new generation in at a short
+   quiesce — so the storm never sees an unindexed table, a blocked
+   write window longer than a slice, or a failed query.
+
+   Phases:
+   - offline baseline: generation 1 is built before the server starts
+     (no concurrent DML) — the time an offline build of the same table
+     costs;
+   - online rebuild: generation 2 is built through [Index_build] over
+     the wire while the writer/querier storm runs;
+   - rollback: generation 1 is swapped back (and forward again) over
+     the wire, also under no-downtime rules;
+   - audit: with the storm stopped, the indexed probe answer must agree
+     with a full QuickXScan of the final table state.
+
+   Gates: zero failed queries and zero writer errors during the online
+   build; every single write completed within RX_E18_MAX_STALL_MS (the
+   bounded-stall guarantee: a write may wait out one scan slice or the
+   quiesce, never the whole build); the rebuild really went online
+   (queries and writes were served mid-build); rollback restored the
+   prior generation; the index agrees with the scan ground truth.
+
+   Emits BENCH_E18.json and exits non-zero if a gate fails.
+
+     RX_E18_DOCS          documents bulk-loaded        (default 20000)
+     RX_E18_WRITERS       concurrent writer clients    (default 4)
+     RX_E18_QUERIERS      concurrent querier clients   (default 4)
+     RX_E18_MAX_STALL_MS  per-write latency ceiling    (default 1000) *)
+
+open Systemrx
+open Rx_relational
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec try_n i =
+    let dir =
+      Filename.concat base (Printf.sprintf "rx_e18_%d_%d" (Unix.getpid ()) i)
+    in
+    if Sys.file_exists dir then try_n (i + 1) else dir
+  in
+  try_n 0
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_fresh_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () ->
+      try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+  @@ fun () -> f dir
+
+(* prices cycle over 0.5 .. 999.5; the probe predicate hits 0.1% of
+   docs — selective enough that serializing the answer doesn't dominate
+   the queriers' share of the engine *)
+let doc i =
+  Printf.sprintf "<book><title>Book %d</title><price>%d.5</price></book>" i
+    (i mod 1000)
+
+let probe_xpath = "/book[price > 998.6]"
+
+type storm = {
+  writes : int;
+  write_errors : int;
+  max_write_ms : float;
+  total_write_ms : float;
+  queries : int;
+  query_errors : int;
+  rows_served : int;
+}
+
+let zero_storm =
+  {
+    writes = 0;
+    write_errors = 0;
+    max_write_ms = 0.;
+    total_write_ms = 0.;
+    queries = 0;
+    query_errors = 0;
+    rows_served = 0;
+  }
+
+let merge a b =
+  {
+    writes = a.writes + b.writes;
+    write_errors = a.write_errors + b.write_errors;
+    max_write_ms = Float.max a.max_write_ms b.max_write_ms;
+    total_write_ms = a.total_write_ms +. b.total_write_ms;
+    queries = a.queries + b.queries;
+    query_errors = a.query_errors + b.query_errors;
+    rows_served = a.rows_served + b.rows_served;
+  }
+
+(* a writer: auto-commit inserts, every 8th op deleting a row it owns;
+   each op individually timed — the max is the observed write stall *)
+let writer ~port ~stop ~docs id =
+  let acc = ref zero_storm in
+  (try
+     let c = Rx_client.connect ~port ~client:(Printf.sprintf "e18-w-%d" id) () in
+     Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+     let mine = ref [] in
+     let i = ref 0 in
+     while not (Atomic.get stop) do
+       incr i;
+       let t0 = Unix.gettimeofday () in
+       (try
+          if !i mod 8 = 0 && !mine <> [] then begin
+            match !mine with
+            | docid :: rest ->
+                Rx_client.delete c ~table:"books" ~docid;
+                mine := rest
+            | [] -> ()
+          end
+          else
+            mine :=
+              Rx_client.insert c ~table:"books"
+                ~xml:[ ("doc", doc (docs + (id * 1_000_000) + !i)) ]
+                ()
+              :: !mine
+        with _ -> acc := { !acc with write_errors = !acc.write_errors + 1 });
+       let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+       acc :=
+         {
+           !acc with
+           writes = !acc.writes + 1;
+           max_write_ms = Float.max !acc.max_write_ms ms;
+           total_write_ms = !acc.total_write_ms +. ms;
+         }
+     done
+   with _ -> acc := { !acc with write_errors = !acc.write_errors + 1 });
+  !acc
+
+(* a querier: the indexed probe, continuously; any exception is a
+   failed query — the zero-downtime gate *)
+let querier ~port ~stop id =
+  let acc = ref zero_storm in
+  (try
+     let c = Rx_client.connect ~port ~client:(Printf.sprintf "e18-q-%d" id) () in
+     Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+     while not (Atomic.get stop) do
+       match Rx_client.query c ~table:"books" ~column:"doc" ~xpath:probe_xpath with
+       | r ->
+           acc :=
+             {
+               !acc with
+               queries = !acc.queries + 1;
+               rows_served = !acc.rows_served + List.length r.Rx_client.matches;
+             }
+       | exception _ ->
+           acc :=
+             {
+               !acc with
+               queries = !acc.queries + 1;
+               query_errors = !acc.query_errors + 1;
+             }
+     done
+   with _ -> acc := { !acc with query_errors = !acc.query_errors + 1 });
+  !acc
+
+let write_json path ~docs ~writers ~queriers ~offline_ms ~online_ms ~storm
+    ~stall_ceiling_ms ~rollback_ok ~audit_indexed ~audit_scan ~pass =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "experiment": "e18_online_index",
+  %s,
+  "documents": %d,
+  "writer_clients": %d,
+  "querier_clients": %d,
+  "offline_build_ms": %d,
+  "online_build_ms": %d,
+  "writes_during_build": %d,
+  "write_errors": %d,
+  "max_write_stall_ms": %.1f,
+  "avg_write_ms": %.2f,
+  "stall_ceiling_ms": %d,
+  "queries_during_build": %d,
+  "query_failures": %d,
+  "rows_served": %d,
+  "rollback_restored_prior": %b,
+  "audit_indexed_matches": %d,
+  "audit_scan_matches": %d,
+  "pass": %b
+}
+|}
+    (Report.json_meta ()) docs writers queriers offline_ms online_ms
+    storm.writes storm.write_errors storm.max_write_ms
+    (if storm.writes = 0 then 0.
+     else storm.total_write_ms /. float_of_int storm.writes)
+    stall_ceiling_ms storm.queries storm.query_errors storm.rows_served
+    rollback_ok audit_indexed audit_scan pass;
+  close_out oc
+
+let run () =
+  Report.print_header "E18: online index build under live traffic";
+  let docs = getenv_int "RX_E18_DOCS" 20_000 in
+  let writers = getenv_int "RX_E18_WRITERS" 4 in
+  let queriers = getenv_int "RX_E18_QUERIERS" 4 in
+  let stall_ceiling_ms = getenv_int "RX_E18_MAX_STALL_MS" 1000 in
+  with_fresh_dir @@ fun dir ->
+  let db = Database.open_dir dir in
+  Fun.protect ~finally:(fun () -> Database.close db) @@ fun () ->
+  ignore (Database.create_table db ~name:"books" ~columns:[ ("doc", Value.T_xml) ]);
+  ignore
+    (Database.insert_many db ~table:"books" ~column:"doc"
+       (List.init docs (fun i -> doc i)));
+  (* group commit for the storm's auto-commits; the same extraction
+     parallelism for both the offline baseline and the online rebuild *)
+  Database.set_config db
+    { (Database.config db) with commit_window_us = 2500; parallelism = 4 };
+  (* offline baseline: generation 1, no concurrent traffic *)
+  let g1 =
+    Database.Index.await
+      (Database.Index.build db ~table:"books" ~column:"doc" ~name:"by_price"
+         ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double)
+  in
+  let offline_ms = g1.Database.Index.ix_build_ms in
+  let config =
+    {
+      Rx_server.default_config with
+      max_connections = 256;
+      max_queue_depth = 256;
+      io_threads = 8;
+    }
+  in
+  let srv = Rx_server.start ~config db in
+  Fun.protect ~finally:(fun () -> Rx_server.stop srv) @@ fun () ->
+  let port = Rx_server.port srv in
+  (* the storm: writers + queriers, running for the whole online build *)
+  let stop = Atomic.make false in
+  let results = Array.make (writers + queriers) zero_storm in
+  let threads =
+    List.init writers (fun id ->
+        Thread.create (fun () -> results.(id) <- writer ~port ~stop ~docs id) ())
+    @ List.init queriers (fun id ->
+          Thread.create
+            (fun () -> results.(writers + id) <- querier ~port ~stop id)
+            ())
+  in
+  (* the online rebuild, driven over the wire like any other client *)
+  let bc = Rx_client.connect ~port ~client:"e18-builder" () in
+  let g2 =
+    Fun.protect ~finally:(fun () -> Rx_client.close bc) @@ fun () ->
+    Rx_client.build_index bc ~table:"books" ~column:"doc" ~name:"by_price"
+      ~path:"/book/price" ~key_type:"double"
+  in
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  let storm = Array.fold_left merge zero_storm results in
+  let online_ms = g2.Rx_client.ix_build_ms in
+  (* rollback (and roll forward again), over the wire, post-storm *)
+  let c = Rx_client.connect ~port ~client:"e18-ctl" () in
+  let rollback_ok =
+    Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+    let rb = Rx_client.rollback_index c ~table:"books" ~column:"doc" ~name:"by_price" in
+    let q_ok =
+      match Rx_client.query c ~table:"books" ~column:"doc" ~xpath:probe_xpath with
+      | _ -> true
+      | exception _ -> false
+    in
+    let fwd = Rx_client.rollback_index c ~table:"books" ~column:"doc" ~name:"by_price" in
+    rb.Rx_client.ix_generation = 1
+    && rb.Rx_client.ix_prior_generation = 2
+    && fwd.Rx_client.ix_generation = 2
+    && q_ok
+  in
+  (* audit: the online-maintained index agrees with scan ground truth *)
+  let audit_indexed =
+    List.length
+      (Database.run db ~table:"books" ~column:"doc" ~xpath:probe_xpath)
+        .Database.matches
+  in
+  Database.Index.drop db ~table:"books" ~column:"doc" ~name:"by_price";
+  let audit_scan =
+    List.length
+      (Database.run db ~table:"books" ~column:"doc" ~xpath:probe_xpath)
+        .Database.matches
+  in
+  Report.print_table
+    ~columns:[ "metric"; "value" ]
+    [
+      [ "documents"; string_of_int docs ];
+      [ "offline build (ms)"; string_of_int offline_ms ];
+      [ "online build (ms)"; string_of_int online_ms ];
+      [ "writes during build"; string_of_int storm.writes ];
+      [ "max write stall (ms)"; Printf.sprintf "%.1f" storm.max_write_ms ];
+      [
+        "avg write (ms)";
+        Printf.sprintf "%.2f"
+          (if storm.writes = 0 then 0.
+           else storm.total_write_ms /. float_of_int storm.writes);
+      ];
+      [ "queries during build"; string_of_int storm.queries ];
+      [ "query failures"; string_of_int storm.query_errors ];
+      [ "generation"; string_of_int g2.Rx_client.ix_generation ];
+    ];
+  Report.print_note
+    "  rollback restored prior: %b; audit indexed %d vs scan %d" rollback_ok
+    audit_indexed audit_scan;
+  let went_online = storm.queries > 0 && storm.writes > 0 in
+  let pass =
+    storm.query_errors = 0 && storm.write_errors = 0
+    && storm.max_write_ms <= float_of_int stall_ceiling_ms
+    && went_online
+    && g2.Rx_client.ix_generation = 2
+    && g2.Rx_client.ix_prior_generation = 1
+    && rollback_ok
+    && audit_indexed = audit_scan
+  in
+  write_json "BENCH_E18.json" ~docs ~writers ~queriers ~offline_ms ~online_ms
+    ~storm ~stall_ceiling_ms ~rollback_ok ~audit_indexed ~audit_scan ~pass;
+  Report.print_note "  wrote BENCH_E18.json (pass=%b)" pass;
+  if not pass then begin
+    if storm.query_errors > 0 then
+      Printf.eprintf "E18 GATE FAILED: %d failed queries during the build\n"
+        storm.query_errors;
+    if storm.write_errors > 0 then
+      Printf.eprintf "E18 GATE FAILED: %d writer errors during the build\n"
+        storm.write_errors;
+    if storm.max_write_ms > float_of_int stall_ceiling_ms then
+      Printf.eprintf "E18 GATE FAILED: write stalled %.1f ms (ceiling %d)\n"
+        storm.max_write_ms stall_ceiling_ms;
+    if not went_online then
+      Printf.eprintf
+        "E18 GATE FAILED: no traffic observed mid-build (build too fast for \
+         the storm; raise RX_E18_DOCS)\n";
+    if g2.Rx_client.ix_generation <> 2 || g2.Rx_client.ix_prior_generation <> 1
+    then Printf.eprintf "E18 GATE FAILED: rebuild did not retire generation 1\n";
+    if not rollback_ok then
+      Printf.eprintf "E18 GATE FAILED: rollback did not restore the prior\n";
+    if audit_indexed <> audit_scan then
+      Printf.eprintf "E18 GATE FAILED: index answers %d, scan answers %d\n"
+        audit_indexed audit_scan;
+    exit 1
+  end

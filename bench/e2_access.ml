@@ -15,11 +15,16 @@ let build ~with_indexes =
       ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
   in
   if with_indexes then begin
-    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"regprice"
+    ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"regprice"
       ~path:"/Catalog/Categories/Product/RegPrice"
-      ~key_type:Rx_xindex.Index_def.K_double;
-    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"discount"
-      ~path:"//Discount" ~key_type:Rx_xindex.Index_def.K_double
+      ~key_type:Rx_xindex.Index_def.K_double));
+    ignore
+      (Database.Index.await
+         (Database.Index.build db ~table:"products" ~column:"doc"
+            ~name:"discount" ~path:"//Discount"
+            ~key_type:Rx_xindex.Index_def.K_double))
   end;
   let gen = Rx_workload.Workload.create ~seed:42 in
   for i = 1 to n_docs do

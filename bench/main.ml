@@ -26,6 +26,7 @@ let experiments =
     ("e15", E15_parallel.run);
     ("e16", E16_repl.run);
     ("e17", E17_reactor.run);
+    ("e18", E18_online_index.run);
   ]
 
 let () =

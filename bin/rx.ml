@@ -2,8 +2,12 @@
 
      rx init            --db DIR [--archive]
      rx create-table    --db DIR --table T --columns "sku:varchar,doc:xml"
-     rx create-index    --db DIR --table T --column C --name I --path P --type double
-     rx drop-index      --db DIR --table T --column C --name I
+     rx index build     --db DIR --table T --column C --name I --path P --type double
+     rx index status    --db DIR --table T --column C --name I
+     rx index rollback  --db DIR --table T --column C --name I
+     rx index drop      --db DIR --table T --column C --name I
+     rx index list      --db DIR --table T --column C
+     rx create-index / rx drop-index      (deprecated aliases)
      rx create-text-index --db DIR --table T --column C --name I
      rx insert          --db DIR --table T --xml "doc=<a>...</a>" [--xml-file doc=path]
      rx load            --db DIR --table T --column C PATH   (bulk ingest)
@@ -151,7 +155,11 @@ let create_index_cmd =
             Database.create_xml_index db ~table ~column ~name ~path ~key_type;
             Printf.printf "created XPath value index %s ON %s AS %s\n" name path ty))
   in
-  Cmd.v (Cmd.info "create-index" ~doc:"Create an XPath value index on an XML column.")
+  Cmd.v
+    (Cmd.info "create-index"
+       ~doc:
+         "Create an XPath value index on an XML column (deprecated alias of \
+          $(b,rx index build); unlike it, refuses an existing name).")
     Term.(const run $ db_arg $ table_arg $ column_arg $ name_arg $ path_arg $ type_arg)
 
 let drop_index_cmd =
@@ -164,8 +172,129 @@ let drop_index_cmd =
             Database.drop_xml_index db ~table ~column ~name;
             Printf.printf "dropped XPath value index %s\n" name))
   in
-  Cmd.v (Cmd.info "drop-index" ~doc:"Drop an XPath value index from an XML column.")
+  Cmd.v
+    (Cmd.info "drop-index"
+       ~doc:
+         "Drop an XPath value index from an XML column (deprecated alias of \
+          $(b,rx index drop)).")
     Term.(const run $ db_arg $ table_arg $ column_arg $ name_arg)
+
+(* --- index lifecycle: rx index build/status/rollback/drop/list --- *)
+
+let index_name_arg =
+  Arg.(required & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc:"Index name.")
+
+let print_index_info (i : Database.Index.info) =
+  let state =
+    match i.Database.Index.ix_state with
+    | Database.Index.Live -> "live"
+    | Database.Index.Building { scanned; total; side_log } ->
+        Printf.sprintf "building %d/%d docs (side log %d)" scanned total side_log
+    | Database.Index.Failed msg -> "failed: " ^ msg
+  in
+  Printf.printf "%s ON %s AS %s  gen %d  %s  entries %d  build %d ms%s\n"
+    i.ix_name i.ix_path
+    (Rx_xindex.Index_def.key_type_to_string i.ix_key_type)
+    i.ix_generation state i.ix_entries i.ix_build_ms
+    (match i.ix_prior_generation with
+    | Some g -> Printf.sprintf "  (prior gen %d retained)" g
+    | None -> "")
+
+let index_build_cmd =
+  let path_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "path" ] ~docv:"XPATH" ~doc:"Simple XPath expression without predicates.")
+  in
+  let type_arg =
+    Arg.(
+      value & opt string "string"
+      & info [ "type" ] ~docv:"TYPE" ~doc:"Key type: string|double|decimal|integer|date.")
+  in
+  let run dir parallelism table column name path ty =
+    handle_errors (fun () ->
+        with_db ?parallelism dir (fun db ->
+            let key_type =
+              match Rx_xindex.Index_def.key_type_of_string ty with
+              | Some kt -> kt
+              | None -> invalid_arg (Printf.sprintf "unknown key type %S" ty)
+            in
+            let h = Database.Index.build db ~table ~column ~name ~path ~key_type in
+            print_index_info (Database.Index.await h)))
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Build an XPath value index online — or, when the name is already \
+          live, rebuild it as a new generation (the old one is retained for \
+          $(b,rx index rollback)). Against a running server the build keeps \
+          serving queries and DML from the previous generation.")
+    Term.(
+      const run $ db_arg $ parallelism_arg $ table_arg $ column_arg
+      $ index_name_arg $ path_arg $ type_arg)
+
+let index_status_cmd =
+  let run dir table column name =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            print_index_info (Database.Index.status db ~table ~column ~name)))
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Show one index's state: generation, entry count, build progress.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ index_name_arg)
+
+let index_rollback_cmd =
+  let run dir table column name =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            let i = Database.Index.rollback db ~table ~column ~name in
+            Printf.printf "rolled back to generation %d\n"
+              i.Database.Index.ix_generation;
+            print_index_info i))
+  in
+  Cmd.v
+    (Cmd.info "rollback"
+       ~doc:
+         "Swap the retained prior generation back live, without downtime. A \
+          rollback retains the displaced generation in turn, so it can be \
+          undone by another rollback.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ index_name_arg)
+
+let index_drop_cmd =
+  let run dir table column name =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            Database.Index.drop db ~table ~column ~name;
+            Printf.printf "dropped XPath value index %s\n" name))
+  in
+  Cmd.v
+    (Cmd.info "drop"
+       ~doc:"Drop an XPath value index and any retained prior generation.")
+    Term.(const run $ db_arg $ table_arg $ column_arg $ index_name_arg)
+
+let index_list_cmd =
+  let run dir table column =
+    handle_errors (fun () ->
+        with_db dir (fun db ->
+            match Database.Index.list db ~table ~column with
+            | [] -> print_endline "no indexes"
+            | infos -> List.iter print_index_info infos))
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every XPath value index on an XML column.")
+    Term.(const run $ db_arg $ table_arg $ column_arg)
+
+let index_cmd =
+  Cmd.group
+    (Cmd.info "index"
+       ~doc:
+         "Online index lifecycle: build (generationally), inspect, roll back, \
+          drop.")
+    [
+      index_build_cmd; index_status_cmd; index_rollback_cmd; index_drop_cmd;
+      index_list_cmd;
+    ]
 
 let create_text_index_cmd =
   let name_arg =
@@ -663,8 +792,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            init_cmd; create_table_cmd; create_index_cmd; drop_index_cmd;
-            create_text_index_cmd;
+            init_cmd; create_table_cmd; index_cmd; create_index_cmd;
+            drop_index_cmd; create_text_index_cmd;
             register_schema_cmd; bind_schema_cmd; insert_cmd; load_cmd; get_cmd;
             query_cmd; xquery_cmd; search_cmd; exec_cmd; checkpoint_cmd;
             verify_cmd; restore_cmd; stats_cmd;

@@ -44,11 +44,15 @@ let () =
   Database.bind_schema db ~table:"catalogs" ~column:"doc" ~schema:"catalog-v1";
 
   (* the two indexes from Table 2 *)
-  Database.create_xml_index db ~table:"catalogs" ~column:"doc" ~name:"regprice"
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"catalogs" ~column:"doc" ~name:"regprice"
     ~path:"/Catalog/Categories/Product/RegPrice"
-    ~key_type:Rx_xindex.Index_def.K_decimal;
-  Database.create_xml_index db ~table:"catalogs" ~column:"doc" ~name:"discount"
-    ~path:"//Discount" ~key_type:Rx_xindex.Index_def.K_decimal;
+    ~key_type:Rx_xindex.Index_def.K_decimal));
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"catalogs" ~column:"doc" ~name:"discount"
+    ~path:"//Discount" ~key_type:Rx_xindex.Index_def.K_decimal));
 
   (* load vendor catalogs; all documents are validated on the way in *)
   let gen = Rx_workload.Workload.create ~seed:2005 in

@@ -13,8 +13,10 @@ let () =
     Database.create_table db ~name:"orders"
       ~columns:[ ("region", Value.T_varchar); ("doc", Value.T_xml) ]
   in
-  Database.create_xml_index db ~table:"orders" ~column:"doc" ~name:"total"
-    ~path:"/order/total" ~key_type:Rx_xindex.Index_def.K_decimal;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"orders" ~column:"doc" ~name:"total"
+    ~path:"/order/total" ~key_type:Rx_xindex.Index_def.K_decimal));
 
   let insert region id customer total items =
     ignore

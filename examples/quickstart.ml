@@ -17,8 +17,10 @@ let () =
   in
 
   (* an XPath value index on the price element, typed double (§3.3) *)
-  Database.create_xml_index db ~table:"books" ~column:"info" ~name:"price_idx"
-    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"books" ~column:"info" ~name:"price_idx"
+    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double));
 
   (* insert a few documents *)
   let insert isbn title price year =

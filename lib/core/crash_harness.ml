@@ -115,8 +115,10 @@ let open_db st =
          ~columns:[ ("doc", Rx_relational.Value.T_xml) ]);
     match Rx_xindex.Index_def.key_type_of_string "string" with
     | Some kt ->
-        Database.create_xml_index db ~table ~column ~name:"idx_k" ~path:"/d/k"
-          ~key_type:kt
+        ignore
+          (Database.Index.await
+             (Database.Index.build db ~table ~column ~name:"idx_k"
+                ~path:"/d/k" ~key_type:kt))
     | None -> ()
   end;
   db

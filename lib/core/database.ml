@@ -4,9 +4,22 @@ open Rx_xmlstore
 open Rx_relational
 open Rx_xindex
 
+(* Generational metadata for one named value index. The prior generation
+   is retained after an online rebuild: it stays hooked to the store's
+   observers (so it keeps absorbing DML and a later [Index.rollback]
+   restores a *correct* index) but leaves [indexes], so the planner never
+   sees it. Dropped priors leak their pages — reclamation is lazy
+   engine-wide, same as [drop]. *)
+type gen_state = {
+  mutable g_build_ms : int; (* wall-clock of the last completed build *)
+  mutable g_prior : Value_index.t option;
+}
+
 type xml_column = {
   store : Doc_store.t;
   mutable indexes : Value_index.t list;
+  mutable gens : (string * gen_state) list; (* per index name *)
+  mutable side_logs : (string * Index_build.t) list; (* in-flight builds *)
   mutable text_indexes : (string * Rx_fulltext.Text_index.t) list;
   mutable schema : Rx_schema.Compiled.t option;
   mutable schema_name : string option;
@@ -78,11 +91,37 @@ type txn = {
 exception Busy of { txid : int; blockers : int list }
 exception Read_only of { reason : string }
 
+exception
+  Unknown_index of { kind : [ `Table | `Column | `Index ]; name : string }
+
 let () =
   Printexc.register_printer (function
     | Read_only { reason } ->
         Some (Printf.sprintf "Database.Read_only(%s)" reason)
+    | Unknown_index { kind; name } ->
+        let k =
+          match kind with
+          | `Table -> "table"
+          | `Column -> "column"
+          | `Index -> "index"
+        in
+        Some (Printf.sprintf "Database.Unknown_index(%s %s)" k name)
     | _ -> None)
+
+(* progress of one in-flight online index build (see [Index]); successful
+   builds remove their entry, failed ones leave it for [Index.status] *)
+type build_progress = {
+  b_table : string;
+  b_column : string;
+  b_name : string;
+  b_path : string;
+  b_key_type : Index_def.key_type;
+  mutable b_generation : int; (* the generation under construction *)
+  mutable b_total : int;
+  mutable b_scanned : int;
+  mutable b_pending : int; (* side-log backlog at the last slice *)
+  mutable b_state : [ `Scanning | `Live | `Failed of string ];
+}
 
 type config = {
   auto_checkpoint : bool;
@@ -159,6 +198,7 @@ type t = {
   mutable dict_persisted : int; (* dict size at the last catalog save *)
   mutable plan_cache :
     (string * string * string * (string * string) list, prepared) Rx_util.Lru.t;
+  mutable builds : build_progress list; (* in-flight/failed online builds *)
   (* serializes the in-memory half of [commit] across threads; the
      durability wait happens outside it so committers group their fsyncs *)
   write_lock : Mutex.t;
@@ -263,6 +303,7 @@ let create_in_memory ?page_size ?(record_threshold = 2048)
       ddl_epoch = 0;
       dict_persisted = 0;
       plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
+      builds = [];
       write_lock = Mutex.create ();
     }
   in
@@ -389,7 +430,31 @@ let catalog_entries t =
                          name = iname;
                          tree_meta = Rx_fulltext.Text_index.meta_page ti;
                        })
-                   xc.text_indexes)
+                   xc.text_indexes
+               (* generation metadata rides after the [Xml_index] entries
+                  it annotates ([attach_logical] is one ordered pass) *)
+               @ List.filter_map
+                   (fun idx ->
+                     let iname = (Value_index.def idx).Index_def.name in
+                     match List.assoc_opt iname xc.gens with
+                     | None -> None
+                     | Some gs ->
+                         Some
+                           (Catalog.Index_generation
+                              {
+                                table = name;
+                                column = cname;
+                                name = iname;
+                                generation = Value_index.generation idx;
+                                build_ms = gs.g_build_ms;
+                                prior =
+                                  Option.map
+                                    (fun p ->
+                                      ( Value_index.generation p,
+                                        Value_index.meta_page p ))
+                                    gs.g_prior;
+                              }))
+                   xc.indexes)
              tbl.xml_columns)
       t.tables
   in
@@ -509,6 +574,8 @@ let attach_logical t ~degrade ~healthy entries =
                           {
                             store;
                             indexes = [];
+                            gens = [];
+                            side_logs = [];
                             text_indexes = [];
                             schema = None;
                             schema_name = None;
@@ -548,6 +615,37 @@ let attach_logical t ~degrade ~healthy entries =
               let idx = Value_index.attach pool dict def ~meta_page:tree_meta in
               Value_index.hook idx xc.store;
               xc.indexes <- xc.indexes @ [ idx ]
+          | None -> ())
+      | Catalog.Index_generation { table; column; name; generation; build_ms; prior }
+        -> (
+          match find_table t table with
+          | Some tbl -> (
+              let xc = xml_column_exn tbl column in
+              match
+                List.find_opt
+                  (fun idx -> (Value_index.def idx).Index_def.name = name)
+                  xc.indexes
+              with
+              | Some idx ->
+                  Value_index.set_generation idx generation;
+                  let g_prior =
+                    match prior with
+                    | None -> None
+                    | Some (pg, meta) ->
+                        (* the retained prior stays hooked so it keeps
+                           absorbing DML while rollback is possible *)
+                        let p =
+                          Value_index.attach pool dict (Value_index.def idx)
+                            ~meta_page:meta
+                        in
+                        Value_index.set_generation p pg;
+                        Value_index.hook p xc.store;
+                        Some p
+                  in
+                  xc.gens <-
+                    (name, { g_build_ms = build_ms; g_prior })
+                    :: List.remove_assoc name xc.gens
+              | None -> ())
           | None -> ())
       | Catalog.Text_index { table; column; name; tree_meta } -> (
           match find_table t table with
@@ -661,7 +759,8 @@ let open_dir_impl ~replica ?page_size ?(record_threshold = 2048)
         ddl_epoch = 0;
         dict_persisted = 0;
         plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
-        write_lock = Mutex.create ();
+        builds = [];
+      write_lock = Mutex.create ();
       }
     in
     apply_config t;
@@ -704,7 +803,8 @@ let open_dir_impl ~replica ?page_size ?(record_threshold = 2048)
         ddl_epoch = 0;
         dict_persisted = 0;
         plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
-        write_lock = Mutex.create ();
+        builds = [];
+      write_lock = Mutex.create ();
       }
     in
     apply_config t;
@@ -757,7 +857,8 @@ let open_dir_impl ~replica ?page_size ?(record_threshold = 2048)
         ddl_epoch = 0;
         dict_persisted = 0;
         plan_cache = Rx_util.Lru.create ~capacity:config.plan_cache_capacity;
-        write_lock = Mutex.create ();
+        builds = [];
+      write_lock = Mutex.create ();
       }
     in
     attach_logical t ~degrade ~healthy:(fun () -> !degraded = None) entries;
@@ -824,6 +925,8 @@ let create_table t ~name ~columns =
                       Doc_store.create ~record_threshold:t.record_threshold t.pool
                         t.dict;
                     indexes = [];
+                    gens = [];
+                    side_logs = [];
                     text_indexes = [];
                     schema = None;
                     schema_name = None;
@@ -871,84 +974,11 @@ let bind_schema t ~table ~column ~schema =
       save_catalog t
   | None -> invalid_arg (Printf.sprintf "Database: no schema %s" schema)
 
-let create_xml_index t ~table ~column ~name ~path ~key_type =
-  ensure_writable t;
-  let tbl = table_exn t table in
-  let xc = xml_column_exn tbl column in
-  if
-    List.exists
-      (fun idx -> (Value_index.def idx).Index_def.name = name)
-      xc.indexes
-  then invalid_arg (Printf.sprintf "Database: index %s already exists" name);
-  let def = Index_def.make ~name ~path ~key_type in
-  in_txn t (fun () ->
-      let idx = Value_index.create t.pool t.dict def in
-      (* backfill over existing documents, record by record (§3.2) *)
-      let par = effective_parallelism t in
-      if par <= 1 then
-        Base_table.iter
-          (fun docid _ ->
-            if Doc_store.mem xc.store ~docid then
-              Doc_store.iter_records xc.store ~docid (fun ~rid ~record ->
-                  Value_index.index_record idx ~docid ~rid ~record
-                    ~store:(Some xc.store)))
-          tbl.base
-      else begin
-        (* split each backfill batch into its read-only half (per-record
-           key extraction, fanned out across domains) and its mutating
-           half (B+tree inserts, applied serially in record order); batches
-           bound how many raw records sit in memory at once *)
-        let docids = ref [] in
-        Base_table.iter
-          (fun docid _ ->
-            if Doc_store.mem xc.store ~docid then docids := docid :: !docids)
-          tbl.base;
-        let pool = Rx_util.Domain_pool.shared () in
-        let process_batch triples =
-          let arr = Array.of_list (List.rev triples) in
-          let nb = Array.length arr in
-          if nb > 0 then begin
-            let keys = Array.make nb [] in
-            let k = min par nb in
-            ignore
-              (Rx_util.Domain_pool.run pool ~parallelism:par
-                 (Array.init k (fun c () ->
-                      let lo = c * nb / k and hi = (c + 1) * nb / k in
-                      for i = lo to hi - 1 do
-                        let docid, _, record = arr.(i) in
-                        keys.(i) <-
-                          Value_index.extract_keys idx ~docid ~record
-                            ~store:(Some xc.store)
-                      done)));
-            Array.iteri
-              (fun i (docid, rid, _) ->
-                Value_index.insert_keys idx ~docid ~rid keys.(i))
-              arr
-          end
-        in
-        let batch = ref [] and batched = ref 0 in
-        List.iter
-          (fun docid ->
-            Doc_store.iter_records xc.store ~docid (fun ~rid ~record ->
-                batch := (docid, rid, record) :: !batch;
-                incr batched);
-            if !batched >= 256 then begin
-              process_batch !batch;
-              batch := [];
-              batched := 0
-            end)
-          (List.rev !docids);
-        process_batch !batch
-      end;
-      Value_index.hook idx xc.store;
-      xc.indexes <- xc.indexes @ [ idx ]);
-  invalidate_plans t;
-  save_catalog t
-
-let list_xml_indexes t ~table ~column =
-  let tbl = table_exn t table in
-  let xc = xml_column_exn tbl column in
-  List.map (fun idx -> (Value_index.def idx).Index_def.name) xc.indexes
+(* XPath value-index DDL lives in the [Index] lifecycle module below the
+   session machinery: every build is online (side-log absorbed, swapped in
+   at a quiesce point) and generational. [create_xml_index] /
+   [list_xml_indexes] / [drop_xml_index] survive as thin deprecated
+   aliases next to it. *)
 
 let create_text_index t ~table ~column ~name =
   ensure_writable t;
@@ -1062,27 +1092,16 @@ let do_drop_index t xc name =
   (* detach maintenance observers; B+tree pages are not reclaimed
      (deletion is lazy engine-wide) *)
   List.iter (fun idx -> Value_index.unhook idx xc.store) dropped;
+  (* a retained prior generation goes with its name *)
+  (match List.assoc_opt name xc.gens with
+  | Some { g_prior = Some p; _ } -> Value_index.unhook p xc.store
+  | _ -> ());
+  xc.gens <- List.remove_assoc name xc.gens;
   xc.indexes <- kept;
   invalidate_plans t
 
-let drop_xml_index ?txn t ~table ~column ~name =
-  ensure_writable t;
-  let tbl = table_exn t table in
-  let xc = xml_column_exn tbl column in
-  if not (has_index xc name) then
-    invalid_arg (Printf.sprintf "Database: no index %s" name);
-  match txn with
-  | Some txn ->
-      ensure_txn_open txn;
-      (* staged DDL: applied at commit; until then the index keeps
-         maintaining itself, but this transaction's own queries must not
-         plan against it (see [txn_staged_drop]) *)
-      txn.pending <-
-        P_drop_index { p_table = table; p_column = column; p_name = name }
-        :: txn.pending
-  | None ->
-      do_drop_index t xc name;
-      save_catalog t
+(* [drop_xml_index] is an alias of [Index.drop], defined with the
+   lifecycle module below *)
 
 (* does [txn] hold a staged index drop for (table, column)? *)
 let txn_staged_drop txn ~table ~column =
@@ -1359,6 +1378,404 @@ let with_txn t f =
   in
   await ();
   v
+
+(* --- online, generational index lifecycle --- *)
+
+(* index DDL resolves names through typed errors (the "small fix" of the
+   stable error table: unknown targets are application errors with a
+   recognizable shape, not generic failures) *)
+let index_table_exn t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> raise (Unknown_index { kind = `Table; name })
+
+let index_column_exn tbl column =
+  match List.assoc_opt column tbl.xml_columns with
+  | Some xc -> xc
+  | None -> raise (Unknown_index { kind = `Column; name = column })
+
+let find_value_index xc name =
+  List.find_opt
+    (fun idx -> (Value_index.def idx).Index_def.name = name)
+    xc.indexes
+
+let gen_state_of xc name =
+  match List.assoc_opt name xc.gens with
+  | Some gs -> gs
+  | None ->
+      let gs = { g_build_ms = 0; g_prior = None } in
+      xc.gens <- xc.gens @ [ (name, gs) ];
+      gs
+
+let find_build t ~table ~column ~name =
+  List.find_opt
+    (fun b -> b.b_table = table && b.b_column = column && b.b_name = name)
+    t.builds
+
+let build_in_flight t ~table ~column ~name =
+  match find_build t ~table ~column ~name with
+  | Some { b_state = `Scanning; _ } -> true
+  | _ -> false
+
+module Index = struct
+  type state =
+    | Building of { scanned : int; total : int; side_log : int }
+    | Live
+    | Failed of string
+
+  type info = {
+    ix_name : string;
+    ix_path : string;
+    ix_key_type : Index_def.key_type;
+    ix_generation : int;
+    ix_state : state;
+    ix_entries : int;
+    ix_build_ms : int;
+    ix_prior_generation : int option;
+  }
+
+  type handle = {
+    h_progress : build_progress;
+    h_result : (info, exn) Stdlib.result option ref;
+        (* parked by the build thread *)
+    h_thread : Thread.t;
+  }
+
+  let live_info xc idx =
+    let def = Value_index.def idx in
+    let iname = def.Index_def.name in
+    let gs = List.assoc_opt iname xc.gens in
+    {
+      ix_name = iname;
+      ix_path = Rx_xpath.Ast.to_string def.Index_def.path;
+      ix_key_type = def.Index_def.key_type;
+      ix_generation = Value_index.generation idx;
+      ix_state = Live;
+      ix_entries = Value_index.entry_count idx;
+      ix_build_ms = (match gs with Some g -> g.g_build_ms | None -> 0);
+      ix_prior_generation =
+        (match gs with
+        | Some { g_prior = Some p; _ } -> Some (Value_index.generation p)
+        | _ -> None);
+    }
+
+  let progress_info xc bp =
+    {
+      ix_name = bp.b_name;
+      ix_path = bp.b_path;
+      ix_key_type = bp.b_key_type;
+      ix_generation = bp.b_generation;
+      ix_state =
+        (match bp.b_state with
+        | `Scanning ->
+            Building
+              {
+                scanned = bp.b_scanned;
+                total = bp.b_total;
+                side_log = bp.b_pending;
+              }
+        | `Failed msg -> Failed msg
+        | `Live -> Live);
+      ix_entries = 0;
+      ix_build_ms = 0;
+      (* for a rebuild, the generation that will become prior at swap *)
+      ix_prior_generation =
+        Option.map Value_index.generation (find_value_index xc bp.b_name);
+    }
+
+  (* The build proper; runs on its own thread. Three phases:
+     1. registration (one short critical section): create the new
+        generation's empty tree, hook the side log, capture the docid
+        snapshot — the side log is live *before* the snapshot is taken, so
+        no DML can fall between them;
+     2. scan: slices of up to 256 records, each its own critical section
+        and micro-transaction — extract keys in parallel on the domain
+        pool, insert serially, drain whatever DML the side log absorbed
+        meanwhile. Between slices the engine is free: concurrent queries
+        and writers proceed against the old generation;
+     3. quiesce (one short critical section): final drain, stop the log,
+        swap the new generation into the planner's view, retire the old
+        one for rollback, bump the DDL epoch and save the catalog — the
+        WAL-logged save is the swap's durability point, so a crash at any
+        earlier moment recovers to the old generation and the new tree's
+        pages are mere orphans (reclamation is lazy engine-wide). *)
+  let run_build ?on_slice t tbl xc ~name ~def bp started =
+    let idx, side_log, docids =
+      exclusively t (fun () ->
+          in_txn t (fun () ->
+              let idx = Value_index.create t.pool t.dict def in
+              Value_index.set_generation idx bp.b_generation;
+              let sl = Index_build.start idx xc.store in
+              xc.side_logs <- xc.side_logs @ [ (name, sl) ];
+              let docids = ref [] in
+              Base_table.iter
+                (fun docid _ ->
+                  if Doc_store.mem xc.store ~docid then
+                    docids := docid :: !docids)
+                tbl.base;
+              (idx, sl, List.rev !docids)))
+    in
+    bp.b_total <- List.length docids;
+    let par = effective_parallelism t in
+    let dpool = Rx_util.Domain_pool.shared () in
+    let slice_no = ref 0 in
+    let process_slice ids =
+      exclusively t (fun () ->
+          in_txn t (fun () ->
+              let triples = ref [] in
+              List.iter
+                (fun docid ->
+                  (* deleted since the snapshot: the side log recorded it *)
+                  if Doc_store.mem xc.store ~docid then
+                    Doc_store.iter_records xc.store ~docid
+                      (fun ~rid ~record ->
+                        triples := (docid, rid, record) :: !triples))
+                ids;
+              let arr = Array.of_list (List.rev !triples) in
+              let nb = Array.length arr in
+              if nb > 0 then begin
+                let keys = Array.make nb [] in
+                let k = min par nb in
+                if k <= 1 then
+                  Array.iteri
+                    (fun i (docid, _, record) ->
+                      keys.(i) <-
+                        Value_index.extract_keys idx ~docid ~record
+                          ~store:(Some xc.store))
+                    arr
+                else
+                  ignore
+                    (Rx_util.Domain_pool.run dpool ~parallelism:par
+                       (Array.init k (fun c () ->
+                            let lo = c * nb / k and hi = (c + 1) * nb / k in
+                            for i = lo to hi - 1 do
+                              let docid, _, record = arr.(i) in
+                              keys.(i) <-
+                                Value_index.extract_keys idx ~docid ~record
+                                  ~store:(Some xc.store)
+                            done)));
+                Array.iteri
+                  (fun i (docid, rid, _) ->
+                    Value_index.insert_keys idx ~docid ~rid keys.(i))
+                  arr
+              end;
+              (* absorb DML that landed since the previous slice; replays
+                 are idempotent, so overlap with the scan is harmless *)
+              ignore (Index_build.drain side_log);
+              bp.b_scanned <- bp.b_scanned + List.length ids;
+              bp.b_pending <- Index_build.pending side_log));
+      (match on_slice with Some f -> f !slice_no | None -> ());
+      incr slice_no
+    in
+    let rec slices = function
+      | [] -> ()
+      | ids ->
+          let rec take n acc = function
+            | rest when n = 0 -> (List.rev acc, rest)
+            | [] -> (List.rev acc, [])
+            | d :: rest -> take (n - 1) (d :: acc) rest
+          in
+          let slice, rest = take 256 [] ids in
+          process_slice slice;
+          slices rest
+    in
+    slices docids;
+    (* quiesce: the swap itself *)
+    exclusively t (fun () ->
+        in_txn t (fun () -> ignore (Index_build.drain side_log));
+        Index_build.stop side_log;
+        xc.side_logs <- List.filter (fun (n, _) -> n <> name) xc.side_logs;
+        bp.b_pending <- 0;
+        let gs = gen_state_of xc name in
+        (match find_value_index xc name with
+        | Some old ->
+            (* retire the old generation: it stays hooked (so DML keeps it
+               correct for rollback) but leaves the planner's view; the
+               generation it displaces leaks its pages, like a drop *)
+            (match gs.g_prior with
+            | Some dead -> Value_index.unhook dead xc.store
+            | None -> ());
+            gs.g_prior <- Some old;
+            xc.indexes <-
+              List.map (fun i -> if i == old then idx else i) xc.indexes
+        | None -> xc.indexes <- xc.indexes @ [ idx ]);
+        Value_index.hook idx xc.store;
+        gs.g_build_ms <-
+          int_of_float ((Unix.gettimeofday () -. started) *. 1000.);
+        bp.b_state <- `Live;
+        t.builds <- List.filter (fun b -> b != bp) t.builds;
+        invalidate_plans t;
+        (* the WAL-logged catalog save is the durability point of the swap *)
+        save_catalog t;
+        live_info xc idx)
+
+  let build ?on_slice t ~table ~column ~name ~path ~key_type =
+    ensure_writable t;
+    let tbl = index_table_exn t table in
+    let xc = index_column_exn tbl column in
+    let def = Index_def.make ~name ~path ~key_type in
+    let bp =
+      {
+        b_table = table;
+        b_column = column;
+        b_name = name;
+        b_path = Rx_xpath.Ast.to_string def.Index_def.path;
+        b_key_type = key_type;
+        b_generation = 1;
+        b_total = 0;
+        b_scanned = 0;
+        b_pending = 0;
+        b_state = `Scanning;
+      }
+    in
+    exclusively t (fun () ->
+        if build_in_flight t ~table ~column ~name then
+          invalid_arg
+            (Printf.sprintf "Database: index %s is already being built" name);
+        bp.b_generation <-
+          (match find_value_index xc name with
+          | Some live -> Value_index.generation live + 1
+          | None -> 1);
+        (* replace a stale failed entry for the same name *)
+        t.builds <-
+          bp
+          :: List.filter
+               (fun b ->
+                 not
+                   (b.b_table = table && b.b_column = column
+                  && b.b_name = name))
+               t.builds);
+    let started = Unix.gettimeofday () in
+    let result = ref None in
+    let thread =
+      Thread.create
+        (fun () ->
+          match run_build ?on_slice t tbl xc ~name ~def bp started with
+          | info -> result := Some (Ok info)
+          | exception e ->
+              bp.b_state <- `Failed (Printexc.to_string e);
+              (* detach the orphan generation's side log; its tree pages
+                 are unreferenced and reclaim lazily *)
+              (try
+                 exclusively t (fun () ->
+                     match List.assoc_opt name xc.side_logs with
+                     | Some sl ->
+                         Index_build.stop sl;
+                         xc.side_logs <-
+                           List.filter (fun (n, _) -> n <> name) xc.side_logs
+                     | None -> ())
+               with _ -> ());
+              result := Some (Error e))
+        ()
+    in
+    { h_progress = bp; h_result = result; h_thread = thread }
+
+  let await h =
+    Thread.join h.h_thread;
+    match !(h.h_result) with
+    | Some (Ok info) -> info
+    | Some (Error e) -> raise e
+    | None -> failwith "Database.Index.await: build thread left no result"
+
+  let status t ~table ~column ~name =
+    let tbl = index_table_exn t table in
+    let xc = index_column_exn tbl column in
+    match find_build t ~table ~column ~name with
+    | Some ({ b_state = `Scanning | `Failed _; _ } as bp) ->
+        progress_info xc bp
+    | _ -> (
+        match find_value_index xc name with
+        | Some idx -> live_info xc idx
+        | None -> raise (Unknown_index { kind = `Index; name }))
+
+  let list t ~table ~column =
+    let tbl = index_table_exn t table in
+    let xc = index_column_exn tbl column in
+    let live = List.map (live_info xc) xc.indexes in
+    let pending =
+      List.filter_map
+        (fun bp ->
+          if
+            bp.b_table = table && bp.b_column = column
+            && not (List.exists (fun i -> i.ix_name = bp.b_name) live)
+          then Some (progress_info xc bp)
+          else None)
+        t.builds
+    in
+    live @ pending
+
+  let rollback t ~table ~column ~name =
+    ensure_writable t;
+    let tbl = index_table_exn t table in
+    let xc = index_column_exn tbl column in
+    if build_in_flight t ~table ~column ~name then
+      invalid_arg
+        (Printf.sprintf "Database: index %s is being built (rollback later)"
+           name);
+    exclusively t (fun () ->
+        match find_value_index xc name with
+        | None -> raise (Unknown_index { kind = `Index; name })
+        | Some live -> (
+            match List.assoc_opt name xc.gens with
+            | Some ({ g_prior = Some prior; _ } as gs) ->
+                (* symmetric swap — the rolled-back generation is retained
+                   in turn, so a rollback can itself be rolled back; both
+                   trees are hooked throughout, so neither goes stale *)
+                gs.g_prior <- Some live;
+                xc.indexes <-
+                  List.map (fun i -> if i == live then prior else i) xc.indexes;
+                invalidate_plans t;
+                save_catalog t;
+                live_info xc prior
+            | _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Database: index %s has no prior generation to roll back \
+                      to"
+                     name)))
+
+  let drop ?txn t ~table ~column ~name =
+    ensure_writable t;
+    let tbl = index_table_exn t table in
+    let xc = index_column_exn tbl column in
+    if build_in_flight t ~table ~column ~name then
+      invalid_arg
+        (Printf.sprintf "Database: index %s is being built (drop later)" name);
+    if not (has_index xc name) then
+      raise (Unknown_index { kind = `Index; name });
+    match txn with
+    | Some txn ->
+        ensure_txn_open txn;
+        (* staged DDL: applied at commit; until then the index keeps
+           maintaining itself, but this transaction's own queries must not
+           plan against it (see [txn_staged_drop]) *)
+        txn.pending <-
+          P_drop_index { p_table = table; p_column = column; p_name = name }
+          :: txn.pending
+    | None ->
+        (* immediate drop: self-locking, like [rollback] — callers must
+           not already hold the engine lock *)
+        exclusively t (fun () ->
+            do_drop_index t xc name;
+            save_catalog t)
+end
+
+(* --- deprecated aliases (one release): the pre-lifecycle index DDL --- *)
+
+let create_xml_index t ~table ~column ~name ~path ~key_type =
+  let tbl = index_table_exn t table in
+  let xc = index_column_exn tbl column in
+  if has_index xc name then
+    invalid_arg (Printf.sprintf "Database: index %s already exists" name);
+  ignore (Index.await (Index.build t ~table ~column ~name ~path ~key_type))
+
+let list_xml_indexes t ~table ~column =
+  List.map
+    (fun i -> i.Index.ix_name)
+    (List.filter (fun i -> i.Index.ix_state = Index.Live)
+       (Index.list t ~table ~column))
+
+let drop_xml_index = Index.drop
 
 let close t =
   (* a handle abandoned mid-transaction rolls back, like a dropped session *)
@@ -1826,6 +2243,27 @@ let insert_many ?docids t ~table ~column docs =
                     ~store:(Some xc.store))
                 triples)
             xc.indexes;
+          (* retained prior generations stay maintained while a rollback
+             to them is possible *)
+          List.iter
+            (fun (_, gs) ->
+              match gs.g_prior with
+              | None -> ()
+              | Some p ->
+                  List.iter
+                    (fun (docid, rid, record) ->
+                      Value_index.index_record p ~docid ~rid ~record
+                        ~store:(Some xc.store))
+                    triples)
+            xc.gens;
+          (* in-flight online builds absorb the batch via their side logs *)
+          List.iter
+            (fun (_, sl) ->
+              List.iter
+                (fun (docid, rid, record) ->
+                  Index_build.absorb sl ~docid ~rid ~record)
+                triples)
+            xc.side_logs;
           List.iter
             (fun (_, ti) ->
               List.iter
@@ -2519,6 +2957,14 @@ let error_to_string = function
         (Printf.sprintf "busy: transaction %d blocked by [%s]" txid
            (String.concat "; " (List.map string_of_int blockers)))
   | Read_only { reason } -> Some (Printf.sprintf "read-only: %s" reason)
+  | Unknown_index { kind; name } ->
+      Some
+        (Printf.sprintf "unknown %s: %s"
+           (match kind with
+           | `Table -> "table"
+           | `Column -> "column"
+           | `Index -> "index")
+           name)
   | Rx_txn.Lock_manager.Deadlock { victim; cycle } ->
       Some
         (Printf.sprintf "deadlock: victim %d in cycle [%s]" victim
@@ -2538,7 +2984,7 @@ let error_code = function
   | Rx_txn.Lock_manager.Deadlock _ -> 4
   | Read_only _ -> 5
   | Pager.Corrupt_page _ | Rx_wal.Log_manager.Corrupt_record _ -> 6
-  | Invalid_argument _ | Failure _ -> 1
+  | Invalid_argument _ | Failure _ | Unknown_index _ -> 1
   | Rx_xml.Parser.Parse_error _ | Rx_schema.Validator.Validation_error _ -> 1
   | _ -> 2
 

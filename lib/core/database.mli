@@ -383,6 +383,111 @@ val bind_schema : t -> table:string -> column:string -> schema:string -> unit
 (** Documents inserted into the column are validated (and type-annotated)
     from then on. *)
 
+exception
+  Unknown_index of { kind : [ `Table | `Column | `Index ]; name : string }
+(** An index-lifecycle operation named a table, XML column or index that
+    does not exist. Maps to the stable application-error code (1) in the
+    exit-code/wire table, but with a recognizable shape so callers can
+    distinguish "no such index" from arbitrary argument errors. *)
+
+(** Online, generational XPath value-index lifecycle.
+
+    {!Index.build} constructs an index {e without} stopping the world: a
+    side log (registered before the snapshot is taken) absorbs concurrent
+    DML while the table is scanned in short slices, each slice its own
+    critical section and micro-transaction, so queries and writers keep
+    running against the current generation throughout. At a short quiesce
+    point the side log is drained and the new generation is atomically
+    swapped into planning (cached plans recompile via the DDL epoch); the
+    WAL-logged catalog save makes the swap durable — a crash mid-build
+    recovers to the old generation and the half-built tree's pages are
+    unreferenced orphans (page reclamation is lazy engine-wide).
+
+    Rebuilding an existing name bumps the generation and {e retains} the
+    displaced generation, still observer-maintained, so {!Index.rollback}
+    can swap it back in without downtime — and without serving stale
+    entries. *)
+module Index : sig
+  (** Where an index (or an in-flight build) stands. *)
+  type state =
+    | Building of { scanned : int; total : int; side_log : int }
+        (** scan progress in documents, plus the side-log backlog *)
+    | Live  (** serving queries *)
+    | Failed of string  (** the build died; the target is untouched *)
+
+  type info = {
+    ix_name : string;
+    ix_path : string;  (** the indexed XPath, normalized *)
+    ix_key_type : Rx_xindex.Index_def.key_type;
+    ix_generation : int;  (** 1 for a first build; rebuilds increment *)
+    ix_state : state;
+    ix_entries : int;  (** key count (0 while building) *)
+    ix_build_ms : int;  (** duration of the last completed build *)
+    ix_prior_generation : int option;
+        (** retained generation a {!rollback} would restore *)
+  }
+  (** Typed description of one index — what {!list} and {!status} return
+      instead of bare names. *)
+
+  type handle
+  (** A running build, returned by {!build}; join it with {!await}. *)
+
+  val build :
+    ?on_slice:(int -> unit) ->
+    t ->
+    table:string ->
+    column:string ->
+    name:string ->
+    path:string ->
+    key_type:Rx_xindex.Index_def.key_type ->
+    handle
+  (** Starts an online build (or, if [name] is already live, an online
+      generational rebuild) on a background thread and returns
+      immediately. Progress is visible through {!status}; the engine stays
+      fully available while it runs. [?on_slice] is called after each scan
+      slice, outside the engine lock — a test/throttling hook.
+      @raise Unknown_index on an unknown table or column.
+      @raise Invalid_argument on an invalid path or if the same name is
+      already being built.
+      @raise Read_only on replicas and degraded handles. *)
+
+  val await : handle -> info
+  (** Blocks until the build finishes and returns the live generation's
+      info; re-raises the build's failure if it died. *)
+
+  val status : t -> table:string -> column:string -> name:string -> info
+  (** The index's current state: an in-flight build reports
+      [Building {scanned; total; side_log}], a dead one reports [Failed]
+      until the next successful rebuild, otherwise the live generation.
+      @raise Unknown_index if nothing by that name exists. *)
+
+  val rollback : t -> table:string -> column:string -> name:string -> info
+  (** Swaps the retained prior generation back into planning, atomically
+      and without downtime, and retains the displaced generation in turn
+      (so a rollback can be undone by another rollback). Both generations
+      were observer-maintained while retained, so the restored index is
+      current, not stale.
+      @raise Unknown_index if no index by that name is live.
+      @raise Invalid_argument if there is no prior generation, or the name
+      is mid-build. *)
+
+  val drop : ?txn:txn -> t -> table:string -> column:string -> name:string -> unit
+  (** Drops an index and its retained prior generation: detaches their
+      maintenance observers, removes the name from planning, invalidates
+      cached plans (B+tree pages are not reclaimed — deletion is lazy
+      engine-wide). With [?txn] the drop is staged and becomes effective
+      (and durable) at {!commit}; until then other sessions keep planning
+      with the index, while the staging transaction's own queries refuse
+      plans that use it.
+      @raise Unknown_index if the index does not exist. *)
+
+  val list : t -> table:string -> column:string -> info list
+  (** Every live index on the column, plus in-flight first builds (a
+      rebuild is listed as its live generation; see {!status} for its
+      progress).
+      @raise Unknown_index on an unknown table or column. *)
+end
+
 val create_xml_index :
   t ->
   table:string ->
@@ -391,20 +496,18 @@ val create_xml_index :
   path:string ->
   key_type:Rx_xindex.Index_def.key_type ->
   unit
-(** Creates an XPath value index and backfills it over existing
-    documents. *)
+(** @deprecated Alias for {!Index.build} + {!Index.await} (the build is
+    online now, but this call still blocks until it completes). Unlike
+    {!Index.build} it refuses a [name] that already exists, preserving the
+    old contract. *)
 
 val list_xml_indexes : t -> table:string -> column:string -> string list
+(** @deprecated Live index names — {!Index.list} without the typed
+    {!Index.info}. *)
 
 val drop_xml_index :
   ?txn:txn -> t -> table:string -> column:string -> name:string -> unit
-(** Drops an XPath value index: detaches its maintenance observers,
-    removes it from planning, and invalidates cached plans (the B+tree's
-    pages are not reclaimed — page deletion is lazy engine-wide). With
-    [?txn] the drop is staged and becomes effective (and durable) at
-    {!commit}; until then other sessions keep planning with the index,
-    while the staging transaction's own queries refuse plans that use it.
-    @raise Invalid_argument if the index does not exist. *)
+(** @deprecated Alias for {!Index.drop}. *)
 
 val create_text_index : t -> table:string -> column:string -> name:string -> unit
 (** Full-text inverted index over the column's text and attribute values

@@ -218,15 +218,28 @@ let describe = function
       let m = if List.length uses > 1 then "-ANDING" else "-LIST" in
       Printf.sprintf "%s%s(%s)%s" g m names (if exact then "" else "+FILTER")
 
+(* Plans bind indexes by *name*, resolved against the live index list at
+   execution time: an online rebuild that swapped a new generation in under
+   the same name is picked up transparently. A plan whose index was dropped
+   (or rolled past) between compilation and execution degrades to a full
+   scan — the plan-cache epoch will recompile it on the next fetch, but the
+   in-flight execution must not fail. *)
+exception Stale_index
+
 let execute_candidates ~indexes plan =
   match plan with
   | Full_scan -> `All
   | Index_access { granularity; uses; _ } -> (
       let find_index name =
-        List.find
-          (fun idx -> (Value_index.def idx).Index_def.name = name)
-          indexes
+        match
+          List.find_opt
+            (fun idx -> (Value_index.def idx).Index_def.name = name)
+            indexes
+        with
+        | Some idx -> idx
+        | None -> raise Stale_index
       in
+      try
       match granularity with
       | Docid_level ->
           let lists =
@@ -246,4 +259,5 @@ let execute_candidates ~indexes plan =
           `Anchors
             (match lists with
             | [] -> []
-            | first :: rest -> List.fold_left Access.and_nodeids first rest))
+            | first :: rest -> List.fold_left Access.and_nodeids first rest)
+      with Stale_index -> `All)

@@ -129,6 +129,43 @@ let repl_fetch c ~from_lsn ~max_bytes =
 
 let shutdown c = unit_rpc c Rx_wire.Shutdown
 
+(* --- index lifecycle --- *)
+
+type index_info = Rx_wire.index_info = {
+  ix_name : string;
+  ix_path : string;
+  ix_key_type : string;
+  ix_state : string;
+  ix_generation : int;
+  ix_entries : int;
+  ix_build_ms : int;
+  ix_prior_generation : int;
+  ix_docs_scanned : int;
+  ix_docs_total : int;
+}
+
+let info_rpc c req =
+  match rpc c req with
+  | Rx_wire.R_index_info { info } -> info
+  | _ -> bad_shape ()
+
+let build_index c ~table ~column ~name ~path ~key_type =
+  info_rpc c (Rx_wire.Index_build { table; column; name; path; key_type })
+
+let index_status c ~table ~column ~name =
+  info_rpc c (Rx_wire.Index_status { table; column; name })
+
+let rollback_index c ~table ~column ~name =
+  info_rpc c (Rx_wire.Index_rollback { table; column; name })
+
+let drop_index c ~table ~column ~name =
+  unit_rpc c (Rx_wire.Index_drop { table; column; name })
+
+let list_indexes c ~table ~column =
+  match rpc c (Rx_wire.Index_list { table; column }) with
+  | Rx_wire.R_index_list { infos } -> infos
+  | _ -> bad_shape ()
+
 (* --- pipelined batches --- *)
 
 type op =

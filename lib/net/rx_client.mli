@@ -145,6 +145,61 @@ val shutdown : t -> unit
     {!Rx_server.wait} returns). The connection is unusable afterwards
     except for {!close}. *)
 
+(** {1 Index lifecycle}
+
+    The wire face of {!Systemrx.Database.Index}: build an index online,
+    watch its progress from another connection, roll a rebuild back, or
+    drop it. Unknown table/column/index names raise {!Error} with
+    status 1 and an ["unknown ..."] message — the engine's
+    [Unknown_index] over the wire. *)
+
+type index_info = Rx_wire.index_info = {
+  ix_name : string;
+  ix_path : string;  (** the indexed XPath, normalized *)
+  ix_key_type : string;  (** ["string"], ["double"], ... *)
+  ix_state : string;  (** ["live"], ["building"], ["failed: <reason>"] *)
+  ix_generation : int;
+  ix_entries : int;
+  ix_build_ms : int;
+  ix_prior_generation : int;  (** [0] when nothing is retained *)
+  ix_docs_scanned : int;  (** build scan progress, in documents *)
+  ix_docs_total : int;
+}
+(** One index generation as the server reports it — the flat rendering
+    of {!Systemrx.Database.Index.info}. *)
+
+val build_index :
+  t ->
+  table:string ->
+  column:string ->
+  name:string ->
+  path:string ->
+  key_type:string ->
+  index_info
+(** Builds (or generationally rebuilds) a value index {e online} and
+    returns once it is live — the engine keeps serving this and other
+    sessions' queries and DML from the previous generation while the
+    build scans. Progress is visible meanwhile through {!index_status}
+    on another connection. *)
+
+val index_status : t -> table:string -> column:string -> name:string -> index_info
+(** The index's current state, including an in-flight build's scan
+    progress. *)
+
+val rollback_index :
+  t -> table:string -> column:string -> name:string -> index_info
+(** Restores the retained prior generation without downtime, as
+    {!Systemrx.Database.Index.rollback}; returns the restored
+    generation's info. *)
+
+val drop_index : t -> table:string -> column:string -> name:string -> unit
+(** Drops the index and any retained generation. Inside the session's
+    open transaction the drop is staged and applies at {!commit}. *)
+
+val list_indexes : t -> table:string -> column:string -> index_info list
+(** Every index on the column, live and building, as
+    {!Systemrx.Database.Index.list}. *)
+
 (** {1 Pipelined batches}
 
     {!pipeline} writes a batch of requests before reading any response:

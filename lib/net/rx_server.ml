@@ -195,6 +195,11 @@ let op_name : Rx_wire.request -> string = function
   | Rx_wire.Open_cursor _ -> "open_cursor"
   | Rx_wire.Fetch _ -> "fetch"
   | Rx_wire.Close_cursor _ -> "close_cursor"
+  | Rx_wire.Index_build _ -> "index_build"
+  | Rx_wire.Index_status _ -> "index_status"
+  | Rx_wire.Index_rollback _ -> "index_rollback"
+  | Rx_wire.Index_drop _ -> "index_drop"
+  | Rx_wire.Index_list _ -> "index_list"
 
 let matches_of_result (r : Database.result) =
   Rx_wire.R_matches
@@ -205,6 +210,29 @@ let matches_of_result (r : Database.result) =
           (fun m -> (m.Database.docid, r.Database.serialize m))
           r.Database.matches;
     }
+
+let wire_index_info (i : Database.Index.info) =
+  let state, scanned, total =
+    match i.Database.Index.ix_state with
+    | Database.Index.Live -> ("live", i.Database.Index.ix_entries, i.Database.Index.ix_entries)
+    | Database.Index.Building { scanned; total; side_log = _ } ->
+        ("building", scanned, total)
+    | Database.Index.Failed msg -> ("failed: " ^ msg, 0, 0)
+  in
+  {
+    Rx_wire.ix_name = i.Database.Index.ix_name;
+    ix_path = i.Database.Index.ix_path;
+    ix_key_type =
+      Rx_xindex.Index_def.key_type_to_string i.Database.Index.ix_key_type;
+    ix_state = state;
+    ix_generation = i.Database.Index.ix_generation;
+    ix_entries = i.Database.Index.ix_entries;
+    ix_build_ms = i.Database.Index.ix_build_ms;
+    ix_prior_generation =
+      (match i.Database.Index.ix_prior_generation with None -> 0 | Some g -> g);
+    ix_docs_scanned = scanned;
+    ix_docs_total = total;
+  }
 
 let session_txn sess =
   match sess.txn with
@@ -404,6 +432,54 @@ let dispatch t sess :
       | Some (cur, _) ->
           drop_cursor t sess cursor cur;
           (Rx_wire.R_unit, None))
+  | Rx_wire.Index_build { table; column; name; path; key_type } ->
+      let key_type =
+        match Rx_xindex.Index_def.key_type_of_string key_type with
+        | Some k -> k
+        | None -> invalid_arg (Printf.sprintf "unknown key type %S" key_type)
+      in
+      (* deliberately NOT under [engine] (and untraced — the trace ring
+         needs the lock): the build serializes itself per slice, which is
+         exactly what keeps the engine online while this worker waits for
+         it — wrapping it here would hold the lock for the whole scan and
+         stall every other session *)
+      let info =
+        Database.Index.await
+          (Database.Index.build t.db ~table ~column ~name ~path ~key_type)
+      in
+      (Rx_wire.R_index_info { info = wire_index_info info }, None)
+  | Rx_wire.Index_status { table; column; name } ->
+      ( engine t "index_status" (fun () ->
+            Rx_wire.R_index_info
+              {
+                info =
+                  wire_index_info
+                    (Database.Index.status t.db ~table ~column ~name);
+              }),
+        None )
+  | Rx_wire.Index_rollback { table; column; name } ->
+      (* self-locking (and hence not under [engine], whose mutex is not
+         reentrant) *)
+      ( Rx_wire.R_index_info
+          {
+            info =
+              wire_index_info (Database.Index.rollback t.db ~table ~column ~name);
+          },
+        None )
+  | Rx_wire.Index_drop { table; column; name } ->
+      (* immediate drops self-lock; staged drops only touch the session's
+         own transaction *)
+      Database.Index.drop ?txn:(session_txn sess) t.db ~table ~column ~name;
+      (Rx_wire.R_unit, None)
+  | Rx_wire.Index_list { table; column } ->
+      ( engine t "index_list" (fun () ->
+            Rx_wire.R_index_list
+              {
+                infos =
+                  List.map wire_index_info
+                    (Database.Index.list t.db ~table ~column);
+              }),
+        None )
   | Rx_wire.Shutdown -> (Rx_wire.R_unit, None)
   | Rx_wire.Bye -> (Rx_wire.R_unit, None)
 

@@ -44,6 +44,32 @@ type request =
     }
   | Fetch of { cursor : int }
   | Close_cursor of { cursor : int }
+  | Index_build of {
+      table : string;
+      column : string;
+      name : string;
+      path : string;
+      key_type : string;
+    }
+  | Index_status of { table : string; column : string; name : string }
+  | Index_rollback of { table : string; column : string; name : string }
+  | Index_drop of { table : string; column : string; name : string }
+  | Index_list of { table : string; column : string }
+
+(* one index described on the wire; [ix_state] is "building" / "live" /
+   "failed: <msg>", [ix_prior_generation] 0 when none *)
+type index_info = {
+  ix_name : string;
+  ix_path : string;
+  ix_key_type : string;
+  ix_state : string;
+  ix_generation : int;
+  ix_entries : int;
+  ix_build_ms : int;
+  ix_prior_generation : int;
+  ix_docs_scanned : int;
+  ix_docs_total : int;
+}
 
 type ok =
   | R_hello of { server : string; session : int }
@@ -65,6 +91,8 @@ type ok =
   | R_cursor of { cursor : int; plan : string }
   | R_rows_chunk of { matches : (int * string) list }
   | R_rows_end
+  | R_index_info of { info : index_info }
+  | R_index_list of { infos : index_info list }
 
 type response = Ok of ok | Err of { status : int; message : string }
 
@@ -219,6 +247,32 @@ let encode_request_into b r =
   | Close_cursor { cursor } ->
       put_u8 b 19;
       put_int b cursor
+  | Index_build { table; column; name; path; key_type } ->
+      put_u8 b 20;
+      put_str b table;
+      put_str b column;
+      put_str b name;
+      put_str b path;
+      put_str b key_type
+  | Index_status { table; column; name } ->
+      put_u8 b 21;
+      put_str b table;
+      put_str b column;
+      put_str b name
+  | Index_rollback { table; column; name } ->
+      put_u8 b 22;
+      put_str b table;
+      put_str b column;
+      put_str b name
+  | Index_drop { table; column; name } ->
+      put_u8 b 23;
+      put_str b table;
+      put_str b column;
+      put_str b name
+  | Index_list { table; column } ->
+      put_u8 b 24;
+      put_str b table;
+      put_str b column
 
 let encode_request r =
   let b = Buffer.create 64 in
@@ -289,11 +343,73 @@ let decode_request s =
         Open_cursor { table; column; xpath; ns_env; chunk_bytes }
     | 18 -> Fetch { cursor = get_int c }
     | 19 -> Close_cursor { cursor = get_int c }
+    | 20 ->
+        let table = get_str c in
+        let column = get_str c in
+        let name = get_str c in
+        let path = get_str c in
+        let key_type = get_str c in
+        Index_build { table; column; name; path; key_type }
+    | 21 ->
+        let table = get_str c in
+        let column = get_str c in
+        let name = get_str c in
+        Index_status { table; column; name }
+    | 22 ->
+        let table = get_str c in
+        let column = get_str c in
+        let name = get_str c in
+        Index_rollback { table; column; name }
+    | 23 ->
+        let table = get_str c in
+        let column = get_str c in
+        let name = get_str c in
+        Index_drop { table; column; name }
+    | 24 ->
+        let table = get_str c in
+        let column = get_str c in
+        Index_list { table; column }
     | op -> raise (Protocol_error (Printf.sprintf "unknown opcode %d" op))
   in
   finish c r
 
 (* --- responses --- *)
+
+let put_index_info b i =
+  put_str b i.ix_name;
+  put_str b i.ix_path;
+  put_str b i.ix_key_type;
+  put_str b i.ix_state;
+  put_int b i.ix_generation;
+  put_int b i.ix_entries;
+  put_int b i.ix_build_ms;
+  put_int b i.ix_prior_generation;
+  put_int b i.ix_docs_scanned;
+  put_int b i.ix_docs_total
+
+let get_index_info c =
+  let ix_name = get_str c in
+  let ix_path = get_str c in
+  let ix_key_type = get_str c in
+  let ix_state = get_str c in
+  let ix_generation = get_int c in
+  let ix_entries = get_int c in
+  let ix_build_ms = get_int c in
+  let ix_prior_generation = get_int c in
+  let ix_docs_scanned = get_int c in
+  let ix_docs_total = get_int c in
+  {
+    ix_name;
+    ix_path;
+    ix_key_type;
+    ix_state;
+    ix_generation;
+    ix_entries;
+    ix_build_ms;
+    ix_prior_generation;
+    ix_docs_scanned;
+    ix_docs_total;
+  }
 
 let encode_response_into b r =
   match r with
@@ -354,7 +470,13 @@ let encode_response_into b r =
               put_int b docid;
               put_str b doc)
             matches
-      | R_rows_end -> put_u8 b 14)
+      | R_rows_end -> put_u8 b 14
+      | R_index_info { info } ->
+          put_u8 b 15;
+          put_index_info b info
+      | R_index_list { infos } ->
+          put_u8 b 16;
+          put_list b put_index_info infos)
   | Err { status; message } ->
       if status <= 0 || status > 255 then
         invalid_arg "Rx_wire: error status out of range";
@@ -419,6 +541,8 @@ let decode_response s =
             in
             Ok (R_rows_chunk { matches })
         | 14 -> Ok R_rows_end
+        | 15 -> Ok (R_index_info { info = get_index_info c })
+        | 16 -> Ok (R_index_list { infos = get_list c get_index_info })
         | tag -> raise (Protocol_error (Printf.sprintf "unknown result tag %d" tag)))
     | status -> Err { status; message = get_str c }
   in

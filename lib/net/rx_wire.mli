@@ -114,6 +114,45 @@ type request =
   | Close_cursor of { cursor : int }
       (** Frees a cursor early; idempotent on an already-ended cursor id
           is an application error (the id is gone). *)
+  | Index_build of {
+      table : string;
+      column : string;
+      name : string;
+      path : string;
+      key_type : string;  (** ["string"] or ["double"] *)
+    }
+      (** Builds a value index online ({!Systemrx.Database.Index.build})
+          and waits for it to go live; concurrent requests on {e other}
+          connections keep running while the build scans. Answers
+          [R_index_info] for the live generation. *)
+  | Index_status of { table : string; column : string; name : string }
+      (** One index's current state, including mid-build progress. *)
+  | Index_rollback of { table : string; column : string; name : string }
+      (** Swaps the retained prior generation back live
+          ({!Systemrx.Database.Index.rollback}); answers [R_index_info]
+          for the restored generation. *)
+  | Index_drop of { table : string; column : string; name : string }
+      (** Drops the index and every retained generation. *)
+  | Index_list of { table : string; column : string }
+      (** All indexes on the column, live and building. *)
+
+(** One index generation as reported over the wire — the flat mirror of
+    {!Systemrx.Database.Index.info}. [ix_state] is ["live"],
+    ["building"], or ["failed: <reason>"]; [ix_prior_generation] is [0]
+    when no prior generation is retained; the [ix_docs_*] pair is the
+    scan progress of an in-flight build ([scanned = total] once live). *)
+type index_info = {
+  ix_name : string;
+  ix_path : string;
+  ix_key_type : string;
+  ix_state : string;
+  ix_generation : int;
+  ix_entries : int;
+  ix_build_ms : int;
+  ix_prior_generation : int;
+  ix_docs_scanned : int;
+  ix_docs_total : int;
+}
 
 (** An OK response's payload, one constructor per result shape. *)
 type ok =
@@ -147,6 +186,11 @@ type ok =
       (** One bounded chunk of cursor rows, never empty: document order
           continues across chunks. *)
   | R_rows_end  (** The cursor is exhausted and has been freed. *)
+  | R_index_info of { info : index_info }
+      (** One index's state, answering the [Index_build] /
+          [Index_status] / [Index_rollback] requests. *)
+  | R_index_list of { infos : index_info list }
+      (** Every index on the asked column, answering [Index_list]. *)
 
 type response = Ok of ok | Err of { status : int; message : string }
 

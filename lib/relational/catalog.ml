@@ -27,6 +27,14 @@ type entry =
   | Schema of { name : string; binary : string }
   | Schema_binding of { table : string; column : string; schema : string }
   | Dictionary of (int * string) list
+  | Index_generation of {
+      table : string;
+      column : string;
+      name : string;
+      generation : int;
+      build_ms : int;
+      prior : (int * int) option; (* (generation, tree_meta) *)
+    }
 
 type t = { heap : Heap_file.t }
 
@@ -85,7 +93,20 @@ let encode_entry entry =
         (fun (id, name) ->
           Bytes_io.Writer.varint w id;
           Bytes_io.Writer.lstring w name)
-        entries);
+        entries
+  | Index_generation { table; column; name; generation; build_ms; prior } ->
+      Bytes_io.Writer.u8 w 8;
+      Bytes_io.Writer.lstring w table;
+      Bytes_io.Writer.lstring w column;
+      Bytes_io.Writer.lstring w name;
+      Bytes_io.Writer.varint w generation;
+      Bytes_io.Writer.varint w build_ms;
+      (match prior with
+      | None -> Bytes_io.Writer.u8 w 0
+      | Some (g, meta) ->
+          Bytes_io.Writer.u8 w 1;
+          Bytes_io.Writer.varint w g;
+          Bytes_io.Writer.varint w meta));
   Bytes_io.Writer.contents w
 
 let decode_entry payload =
@@ -144,6 +165,21 @@ let decode_entry payload =
       let name = Bytes_io.Reader.lstring r in
       let tree_meta = Bytes_io.Reader.varint r in
       Text_index { table; column; name; tree_meta }
+  | 8 ->
+      let table = Bytes_io.Reader.lstring r in
+      let column = Bytes_io.Reader.lstring r in
+      let name = Bytes_io.Reader.lstring r in
+      let generation = Bytes_io.Reader.varint r in
+      let build_ms = Bytes_io.Reader.varint r in
+      let prior =
+        match Bytes_io.Reader.u8 r with
+        | 0 -> None
+        | _ ->
+            let g = Bytes_io.Reader.varint r in
+            let meta = Bytes_io.Reader.varint r in
+            Some (g, meta)
+      in
+      Index_generation { table; column; name; generation; build_ms; prior }
   | n -> invalid_arg (Printf.sprintf "Catalog: bad entry tag %d" n)
 
 let entries t =

@@ -30,6 +30,21 @@ type entry =
   | Schema of { name : string; binary : string }
   | Schema_binding of { table : string; column : string; schema : string }
   | Dictionary of (int * string) list
+  | Index_generation of {
+      table : string;
+      column : string;
+      name : string;
+      generation : int;
+      build_ms : int;
+      prior : (int * int) option;
+          (** (generation, B+tree meta page) of the retained prior
+              generation, kept so [Index.rollback] can restore it; [None]
+              once a generation has no predecessor. *)
+    }
+      (** Generational metadata for one XPath value index, written by
+          online rebuilds next to the [Xml_index] entry (which always
+          describes the {e live} generation). Absent for indexes that have
+          only ever been built once — old catalogs decode unchanged. *)
 
 type t
 

@@ -37,14 +37,19 @@ val anchored_nodeid_list :
     dropped. *)
 
 val and_docids : int list -> int list -> int list
+(** Sorted-list intersection of DocID lists. *)
+
 val or_docids : int list -> int list -> int list
+(** Sorted-list union of DocID lists. *)
 
 val and_nodeids :
   (int * Rx_xmlstore.Node_id.t) list ->
   (int * Rx_xmlstore.Node_id.t) list ->
   (int * Rx_xmlstore.Node_id.t) list
+(** Sorted-list intersection of (DocID, NodeID) lists. *)
 
 val or_nodeids :
   (int * Rx_xmlstore.Node_id.t) list ->
   (int * Rx_xmlstore.Node_id.t) list ->
   (int * Rx_xmlstore.Node_id.t) list
+(** Sorted-list union of (DocID, NodeID) lists. *)

@@ -1,0 +1,87 @@
+open Rx_xmlstore
+
+(* Keys are extracted *eagerly*, at observation time, and the raw record is
+   not retained. Two reasons:
+   - a deleted document's split subtrees (proxy records) are only
+     resolvable while the store still holds the document, so deferring
+     extraction to drain time would mis-key deletions of large documents;
+   - drain then touches only the B+tree, keeping the quiesce window short. *)
+type keys = (Rx_xml.Typed_value.t * Node_id.t) list
+
+type event =
+  | Add of { docid : int; rid : Rx_storage.Rid.t; keys : keys }
+  | Del of { docid : int; keys : keys }
+
+type t = {
+  target : Value_index.t;
+  store : Doc_store.t;
+  lock : Mutex.t;
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  mutable hook_ids : (int * int) option; (* (record, delete) observer ids *)
+}
+
+let push t ev =
+  Mutex.protect t.lock (fun () ->
+      t.events <- ev :: t.events;
+      t.count <- t.count + 1)
+
+let absorb t ~docid ~rid ~record =
+  let keys =
+    Value_index.extract_keys t.target ~docid ~record ~store:(Some t.store)
+  in
+  if keys <> [] then push t (Add { docid; rid; keys })
+
+let absorb_delete t ~docid ~record =
+  let keys =
+    Value_index.extract_keys t.target ~docid ~record ~store:(Some t.store)
+  in
+  if keys <> [] then push t (Del { docid; keys })
+
+let start target store =
+  let t =
+    {
+      target;
+      store;
+      lock = Mutex.create ();
+      events = [];
+      count = 0;
+      hook_ids = None;
+    }
+  in
+  let record_id =
+    Doc_store.add_record_observer store (fun ~docid ~rid ~record ->
+        absorb t ~docid ~rid ~record)
+  in
+  let delete_id =
+    Doc_store.add_delete_observer store (fun ~docid ~rid:_ ~record ->
+        absorb_delete t ~docid ~record)
+  in
+  t.hook_ids <- Some (record_id, delete_id);
+  t
+
+let pending t = Mutex.protect t.lock (fun () -> t.count)
+
+let drain t =
+  let batch =
+    Mutex.protect t.lock (fun () ->
+        let evs = List.rev t.events in
+        t.events <- [];
+        t.count <- 0;
+        evs)
+  in
+  List.iter
+    (function
+      | Add { docid; rid; keys } ->
+          Value_index.insert_keys t.target ~docid ~rid keys
+      | Del { docid; keys } -> Value_index.remove_keys t.target ~docid keys)
+    batch;
+  List.length batch
+
+let stop t =
+  match t.hook_ids with
+  | None -> ()
+  | Some (record_id, delete_id) ->
+      Doc_store.remove_record_observer t.store record_id;
+      Doc_store.remove_delete_observer t.store delete_id;
+      t.hook_ids <- None

@@ -1,0 +1,43 @@
+(** Side-log absorber for online index construction (GenIndex-style).
+
+    An online build snapshot-scans the table while normal DML keeps
+    committing. The absorber is registered as a maintenance observer on the
+    column's document store {e before} the scan starts, so every concurrent
+    insert, update and delete lands in a side log of pre-extracted index
+    keys. The build drains the log incrementally between scan slices and
+    one final time at the quiesce point, then the new generation is swapped
+    in.
+
+    Events store extracted keys, never raw records: a deleted document's
+    split subtrees are only resolvable while the store still holds it, and
+    key-only draining keeps the quiesce window proportional to the log, not
+    to document sizes. Replays are idempotent (B+tree insert replaces,
+    delete ignores missing), so a record observed by both the scan and the
+    log lands exactly once. *)
+
+type t
+(** One side log, bound to the index generation under construction and the
+    document store it observes. *)
+
+val start : Value_index.t -> Rx_xmlstore.Doc_store.t -> t
+(** Registers record and delete observers on the store and returns the
+    live log. Must be called before the snapshot scan captures its docid
+    list, or DML in the gap would be lost. *)
+
+val absorb : t -> docid:int -> rid:Rx_storage.Rid.t -> record:string -> unit
+(** Feeds one inserted record directly — for bulk-load paths that bypass
+    store observers ([Doc_store.insert_tokens_bulk]). Extracts keys
+    immediately, like the observer path. *)
+
+val pending : t -> int
+(** Number of undrained events. *)
+
+val drain : t -> int
+(** Applies all pending events to the target index, oldest first, and
+    returns how many were applied. Call under the engine's write exclusion:
+    draining mutates the B+tree. *)
+
+val stop : t -> unit
+(** Detaches the observers. Call at the quiesce point (after the final
+    {!drain}) or when abandoning a failed build; no-op if already
+    stopped. *)

@@ -12,7 +12,11 @@ val make : name:string -> path:string -> key_type:key_type -> t
     @raise Invalid_argument if the path is not linear and absolute. *)
 
 val key_type_of_string : string -> key_type option
+(** Parses a key-type name ("string", "double", "decimal", "integer",
+    "date"); [None] for anything else. *)
+
 val key_type_to_string : key_type -> string
+(** The persistent/wire spelling of a key type. *)
 
 val typed_of_string : key_type -> string -> Rx_xml.Typed_value.t option
 (** Conversion from a node's string value to the index key type; [None]
@@ -26,3 +30,4 @@ val anchor_level : t -> int option
     variable. *)
 
 val to_string : t -> string
+(** Human-readable rendering: [name : path (type)]. *)

@@ -12,6 +12,7 @@ type t = {
   metrics : Rx_obs.Metrics.t;
   c_fetched : Rx_obs.Metrics.counter;
   mutable hook_ids : (int * int) option; (* (record, delete) observer handles *)
+  mutable generation : int; (* 1 for a first build; bumped by online rebuilds *)
 }
 
 type entry = {
@@ -36,6 +37,7 @@ let create pool dict definition =
     metrics;
     c_fetched = Rx_obs.Metrics.counter metrics "xindex.entries_fetched";
     hook_ids = None;
+    generation = 1;
   }
 
 let attach pool dict definition ~meta_page =
@@ -48,10 +50,13 @@ let attach pool dict definition ~meta_page =
     metrics;
     c_fetched = Rx_obs.Metrics.counter metrics "xindex.entries_fetched";
     hook_ids = None;
+    generation = 1;
   }
 
 let def t = t.definition
 let meta_page t = Rx_btree.Btree.meta_page t.tree
+let generation t = t.generation
+let set_generation t g = t.generation <- g
 
 (* --- key encoding: (keyval, DocID, NodeID) → RID --- *)
 
@@ -200,6 +205,12 @@ let insert_keys t ~docid ~rid keys =
       Rx_btree.Btree.insert t.tree
         ~key:(full_key t typed ~docid ~node:id)
         ~value:(rid_value rid))
+    keys
+
+let remove_keys t ~docid keys =
+  List.iter
+    (fun (typed, id) ->
+      ignore (Rx_btree.Btree.delete t.tree (full_key t typed ~docid ~node:id)))
     keys
 
 let index_record t ~docid ~rid ~record ~store =

@@ -11,9 +11,15 @@
     traversal; text and attribute values are always record-local.
 
     Nodes whose string value does not convert to the key type produce no
-    entry, so containment-matched indexes are only ever used as filters. *)
+    entry, so containment-matched indexes are only ever used as filters.
+
+    An index carries a {e generation} number: 1 for its first build, bumped
+    each time an online rebuild swaps a fresh tree in under the same name
+    (see [Database.Index]). The tag lives here so the catalog can persist
+    it next to the tree's meta page. *)
 
 type t
+(** One attached value index: definition, B+tree, and observer hooks. *)
 
 type entry = {
   key : Rx_xml.Typed_value.t;
@@ -21,15 +27,28 @@ type entry = {
   node : Rx_xmlstore.Node_id.t;
   rid : Rx_storage.Rid.t;
 }
+(** A decoded index entry in (key, docid, node) order. *)
 
 val create :
   Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> Index_def.t -> t
+(** Creates an empty index (fresh B+tree) for [def]; generation 1. *)
 
 val attach :
   Rx_storage.Buffer_pool.t -> Rx_xml.Name_dict.t -> Index_def.t -> meta_page:int -> t
+(** Re-attaches a persisted index from its B+tree meta page. *)
 
 val def : t -> Index_def.t
+(** The definition this index was created with. *)
+
 val meta_page : t -> int
+(** The B+tree meta page number, persisted in the catalog. *)
+
+val generation : t -> int
+(** The generation tag (1 unless an online rebuild bumped it). *)
+
+val set_generation : t -> int -> unit
+(** Stamps the generation tag; called when the catalog records a rebuild
+    or re-attaches a generational index. *)
 
 val hook : t -> Rx_xmlstore.Doc_store.t -> unit
 (** Registers insert and delete observers on the store. Only call once per
@@ -47,6 +66,13 @@ val index_record :
     the split-subtree value fallback. Equivalent to {!extract_keys} piped
     into {!insert_keys}. *)
 
+val unindex_record :
+  t -> docid:int -> record:string ->
+  store:Rx_xmlstore.Doc_store.t option -> unit
+(** The delete-observer side of {!index_record}: removes every entry the
+    record contributes. Must run while the store can still resolve the
+    record's split subtrees (i.e. before the document is gone). *)
+
 val extract_keys :
   t -> docid:int -> record:string ->
   store:Rx_xmlstore.Doc_store.t option ->
@@ -60,7 +86,16 @@ val insert_keys :
   t -> docid:int -> rid:Rx_storage.Rid.t ->
   (Rx_xml.Typed_value.t * Rx_xmlstore.Node_id.t) list -> unit
 (** The mutating half of {!index_record}: inserts previously extracted
-    keys. Single-writer, like all B+tree mutation. *)
+    keys. Single-writer, like all B+tree mutation. Re-inserting an existing
+    (key, docid, node) replaces its RID, so replays are idempotent. *)
+
+val remove_keys :
+  t -> docid:int ->
+  (Rx_xml.Typed_value.t * Rx_xmlstore.Node_id.t) list -> unit
+(** Deletes previously extracted keys — the mutating half of
+    {!unindex_record}, used by side-log draining where the keys were
+    captured at event time and the document may be gone by apply time.
+    Missing keys are ignored, so replays are idempotent. *)
 
 type bound = Rx_xml.Typed_value.t * bool (** value, inclusive? *)
 
@@ -69,5 +104,10 @@ val scan :
 (** Entries in (key, docid, node) order. *)
 
 val entries : t -> ?min:bound -> ?max:bound -> unit -> entry list
+(** {!scan} materialized into a list (tests and small ranges). *)
+
 val entry_count : t -> int
+(** Number of live entries in the B+tree. *)
+
 val page_count : t -> int
+(** Number of pages the B+tree occupies. *)

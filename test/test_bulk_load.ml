@@ -147,8 +147,10 @@ let test_snapshot_visibility () =
 let test_indexes_maintained () =
   let db = Database.create_in_memory () in
   make_table db;
-  Database.create_xml_index db ~table:"books" ~column:"doc" ~name:"by_price"
-    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"books" ~column:"doc" ~name:"by_price"
+    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double));
   Database.create_text_index db ~table:"books" ~column:"doc" ~name:"ft";
   let ids =
     Database.insert_many db ~table:"books" ~column:"doc"

@@ -92,6 +92,128 @@ let test_full_session () =
       let out = expect_ok [ "stats"; "--db"; db ] in
       check Alcotest.bool "stats" true (contains ~needle:"documents: 2" out))
 
+(* --- rx index: the online lifecycle group --- *)
+
+let test_index_lifecycle_session () =
+  with_temp_db (fun db ->
+      ignore (expect_ok [ "init"; "--db"; db ]);
+      ignore
+        (expect_ok
+           [ "create-table"; "--db"; db; "--table"; "books"; "--columns";
+             "info:xml" ]);
+      ignore
+        (expect_ok
+           [ "insert"; "--db"; db; "--table"; "books"; "--xml";
+             "info=<book><title>a</title><price>10</price></book>" ]);
+      ignore
+        (expect_ok
+           [ "insert"; "--db"; db; "--table"; "books"; "--xml";
+             "info=<book><title>b</title><price>90</price></book>" ]);
+      let out =
+        expect_ok
+          [ "index"; "build"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "price"; "--path"; "/book/price"; "--type";
+            "double" ]
+      in
+      check Alcotest.bool "built live" true (contains ~needle:"live" out);
+      check Alcotest.bool "generation 1" true (contains ~needle:"gen 1" out);
+      (* rebuild: a second generation, the first retained *)
+      let out =
+        expect_ok
+          [ "index"; "build"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "price"; "--path"; "/book/price"; "--type";
+            "double" ]
+      in
+      check Alcotest.bool "generation 2" true (contains ~needle:"gen 2" out);
+      check Alcotest.bool "prior retained" true
+        (contains ~needle:"prior gen 1 retained" out);
+      let out =
+        expect_ok
+          [ "index"; "status"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "price" ]
+      in
+      check Alcotest.bool "status shows entries" true
+        (contains ~needle:"entries 2" out);
+      (* the index actually plans across processes *)
+      let out =
+        expect_ok
+          [ "query"; "--db"; db; "--table"; "books"; "--column"; "info";
+            "--xpath"; "/book[price < 50]/title"; "--explain" ]
+      in
+      check Alcotest.bool "planned with the index" true
+        (contains ~needle:"(price)" out);
+      let out =
+        expect_ok
+          [ "index"; "rollback"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "price" ]
+      in
+      check Alcotest.bool "rolled back" true
+        (contains ~needle:"rolled back to generation 1" out);
+      let out =
+        expect_ok
+          [ "index"; "list"; "--db"; db; "--table"; "books"; "--column";
+            "info" ]
+      in
+      check Alcotest.bool "listed" true (contains ~needle:"price ON /book/price" out);
+      ignore
+        (expect_ok
+           [ "index"; "drop"; "--db"; db; "--table"; "books"; "--column";
+             "info"; "--name"; "price" ]);
+      let out =
+        expect_ok
+          [ "index"; "list"; "--db"; db; "--table"; "books"; "--column";
+            "info" ]
+      in
+      check Alcotest.string "empty after drop" "no indexes" out)
+
+let test_index_exit_codes () =
+  with_temp_db (fun db ->
+      ignore (expect_ok [ "init"; "--db"; db ]);
+      ignore
+        (expect_ok
+           [ "create-table"; "--db"; db; "--table"; "books"; "--columns";
+             "info:xml" ]);
+      (* unknown table/column/index all map to the stable application
+         exit code 1 with an "unknown ..." message *)
+      let status, output =
+        run
+          [ "index"; "status"; "--db"; db; "--table"; "nosuch"; "--column";
+            "info"; "--name"; "x" ]
+      in
+      check Alcotest.int "unknown table exit" 1 status;
+      check Alcotest.bool "unknown table message" true
+        (contains ~needle:"unknown table: nosuch" output);
+      let status, output =
+        run
+          [ "index"; "status"; "--db"; db; "--table"; "books"; "--column";
+            "nocol"; "--name"; "x" ]
+      in
+      check Alcotest.int "unknown column exit" 1 status;
+      check Alcotest.bool "unknown column message" true
+        (contains ~needle:"unknown column: nocol" output);
+      let status, output =
+        run
+          [ "index"; "drop"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "ghost" ]
+      in
+      check Alcotest.int "unknown index exit" 1 status;
+      check Alcotest.bool "unknown index message" true
+        (contains ~needle:"unknown index: ghost" output);
+      let status, _ =
+        run
+          [ "index"; "rollback"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "ghost" ]
+      in
+      check Alcotest.int "rollback unknown index exit" 1 status;
+      let status, output =
+        run
+          [ "index"; "build"; "--db"; db; "--table"; "books"; "--column";
+            "info"; "--name"; "x"; "--path"; "/b/p"; "--type"; "quux" ]
+      in
+      check Alcotest.int "bad key type exit" 1 status;
+      check Alcotest.bool "bad key type message" true
+        (contains ~needle:"unknown key type" output))
+
 let test_error_reporting () =
   with_temp_db (fun db ->
       ignore (expect_ok [ "init"; "--db"; db ]);
@@ -181,6 +303,9 @@ let () =
       ( "cli",
         [
           Alcotest.test_case "full session" `Quick test_full_session;
+          Alcotest.test_case "index lifecycle session" `Quick
+            test_index_lifecycle_session;
+          Alcotest.test_case "index exit codes" `Quick test_index_exit_codes;
           Alcotest.test_case "error reporting" `Quick test_error_reporting;
           Alcotest.test_case "exec transactions" `Quick test_exec_transactions;
         ] );

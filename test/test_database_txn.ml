@@ -23,8 +23,10 @@ let make_db ?(with_index = true) ?(n = 5) () =
       ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
   in
   if with_index then
-    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"price"
-      ~path:"/Product/Price" ~key_type:Rx_xindex.Index_def.K_double;
+    ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"price"
+      ~path:"/Product/Price" ~key_type:Rx_xindex.Index_def.K_double));
   for i = 1 to n do
     ignore
       (Database.insert db ~table:"products"

@@ -59,7 +59,35 @@ let all_requests : Rx_wire.request list =
       { table = ""; column = ""; xpath = ""; ns_env = []; chunk_bytes = 0 };
     Rx_wire.Fetch { cursor = 3 };
     Rx_wire.Close_cursor { cursor = max_int };
+    Rx_wire.Index_build
+      {
+        table = "t";
+        column = "doc";
+        name = "by_price";
+        path = "/book/price";
+        key_type = "double";
+      };
+    Rx_wire.Index_build
+      { table = ""; column = ""; name = ""; path = ""; key_type = "" };
+    Rx_wire.Index_status { table = "t"; column = "doc"; name = "by_price" };
+    Rx_wire.Index_rollback { table = "t"; column = "doc"; name = "by_price" };
+    Rx_wire.Index_drop { table = "t"; column = "doc"; name = "n" };
+    Rx_wire.Index_list { table = "t"; column = "doc" };
   ]
+
+let some_index_info : Rx_wire.index_info =
+  {
+    Rx_wire.ix_name = "by_price";
+    ix_path = "/book/price";
+    ix_key_type = "double";
+    ix_state = "live";
+    ix_generation = 3;
+    ix_entries = 123456;
+    ix_build_ms = 78;
+    ix_prior_generation = 2;
+    ix_docs_scanned = 100;
+    ix_docs_total = 100;
+  }
 
 let all_responses : Rx_wire.response list =
   [
@@ -96,6 +124,33 @@ let all_responses : Rx_wire.response list =
     Rx_wire.Ok
       (Rx_wire.R_rows_chunk { matches = [ (4, "<a/>"); (5, String.make 300 'y') ] });
     Rx_wire.Ok Rx_wire.R_rows_end;
+    Rx_wire.Ok (Rx_wire.R_index_info { info = some_index_info });
+    Rx_wire.Ok
+      (Rx_wire.R_index_info
+         {
+           info =
+             {
+               some_index_info with
+               Rx_wire.ix_state = "building";
+               ix_prior_generation = 0;
+               ix_docs_scanned = 17;
+               ix_docs_total = 100_000;
+             };
+         });
+    Rx_wire.Ok (Rx_wire.R_index_list { infos = [] });
+    Rx_wire.Ok
+      (Rx_wire.R_index_list
+         {
+           infos =
+             [
+               some_index_info;
+               {
+                 some_index_info with
+                 Rx_wire.ix_name = "other";
+                 ix_state = "failed: scan died";
+               };
+             ];
+         });
     Rx_wire.Err { status = 3; message = "busy: queue full" };
     Rx_wire.Err { status = 7; message = "" };
   ]
@@ -131,6 +186,22 @@ let test_malformed_payloads () =
       (* trailing garbage after a complete payload *)
       expect_protocol_error (fun () -> Rx_wire.decode_request (full ^ "\x00")))
     all_requests;
+  (* and every response frame, truncated at every prefix length (capped
+     for the multi-KiB payloads — past the cap a cut always lands inside
+     one string field's bytes, the same failure shape) *)
+  List.iter
+    (fun r ->
+      let full = Rx_wire.encode_response r in
+      let n = String.length full in
+      for len = 0 to min (n - 1) 8192 do
+        expect_protocol_error (fun () ->
+            Rx_wire.decode_response (String.sub full 0 len))
+      done;
+      if n > 8193 then
+        expect_protocol_error (fun () ->
+            Rx_wire.decode_response (String.sub full 0 (n - 1)));
+      expect_protocol_error (fun () -> Rx_wire.decode_response (full ^ "\x00")))
+    all_responses;
   expect_protocol_error (fun () -> Rx_wire.decode_request "\xff");
   expect_protocol_error (fun () -> Rx_wire.decode_response "\x00\xfe");
   (* a list count that exceeds the remaining payload *)
@@ -192,8 +263,10 @@ let make_db () =
     Database.create_table db ~name:"products"
       ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
   in
-  Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"price"
-    ~path:"/Product/Price" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"price"
+    ~path:"/Product/Price" ~key_type:Rx_xindex.Index_def.K_double));
   for i = 1 to 5 do
     ignore
       (Database.insert db ~table:"products"
@@ -313,6 +386,75 @@ let test_session_txn () =
     else (Thread.delay 0.02; settled ())
   in
   if not (settled ()) then Alcotest.fail "orphaned transaction not rolled back"
+
+(* --- index lifecycle over the wire --- *)
+
+let test_remote_index_lifecycle () =
+  with_server @@ fun _db srv ->
+  let c = connect srv in
+  Fun.protect ~finally:(fun () -> Rx_client.close c) @@ fun () ->
+  (* make_db built "price" embedded; the wire listing agrees *)
+  let names infos = List.map (fun i -> i.Rx_client.ix_name) infos in
+  check
+    (Alcotest.list Alcotest.string)
+    "initial listing" [ "price" ]
+    (names (Rx_client.list_indexes c ~table:"products" ~column:"doc"));
+  (* first build over the wire *)
+  let i =
+    Rx_client.build_index c ~table:"products" ~column:"doc" ~name:"by_name"
+      ~path:"/Product/Name" ~key_type:"string"
+  in
+  check Alcotest.string "live" "live" i.Rx_client.ix_state;
+  check Alcotest.int "generation 1" 1 i.Rx_client.ix_generation;
+  check Alcotest.int "no prior" 0 i.Rx_client.ix_prior_generation;
+  check Alcotest.int "entries cover the table" 5 i.Rx_client.ix_entries;
+  (* generational rebuild, status, rollback *)
+  let i2 =
+    Rx_client.build_index c ~table:"products" ~column:"doc" ~name:"by_name"
+      ~path:"/Product/Name" ~key_type:"string"
+  in
+  check Alcotest.int "generation 2" 2 i2.Rx_client.ix_generation;
+  check Alcotest.int "prior retained" 1 i2.Rx_client.ix_prior_generation;
+  let st = Rx_client.index_status c ~table:"products" ~column:"doc" ~name:"by_name" in
+  check Alcotest.string "status live" "live" st.Rx_client.ix_state;
+  let rb =
+    Rx_client.rollback_index c ~table:"products" ~column:"doc" ~name:"by_name"
+  in
+  check Alcotest.int "rolled back to generation 1" 1 rb.Rx_client.ix_generation;
+  check Alcotest.int "generation 2 retained in turn" 2
+    rb.Rx_client.ix_prior_generation;
+  (* the restored generation serves queries *)
+  let r =
+    Rx_client.query c ~table:"products" ~column:"doc"
+      ~xpath:"/Product[Name = \"item-3\"]"
+  in
+  check Alcotest.int "query after rollback" 1 (List.length r.Rx_client.matches);
+  (* unknown names are status-1 application errors with stable messages *)
+  (match Rx_client.index_status c ~table:"products" ~column:"doc" ~name:"nope" with
+  | _ -> Alcotest.fail "expected an error for an unknown index"
+  | exception Rx_client.Error { status = 1; message } ->
+      if not (contains ~needle:"unknown index" message) then
+        Alcotest.failf "unexpected message %S" message);
+  (match
+     Rx_client.build_index c ~table:"nosuch" ~column:"doc" ~name:"x" ~path:"/a"
+       ~key_type:"string"
+   with
+  | _ -> Alcotest.fail "expected an error for an unknown table"
+  | exception Rx_client.Error { status = 1; message } ->
+      if not (contains ~needle:"unknown table" message) then
+        Alcotest.failf "unexpected message %S" message);
+  (match
+     Rx_client.build_index c ~table:"products" ~column:"doc" ~name:"x"
+       ~path:"/a" ~key_type:"quux"
+   with
+  | _ -> Alcotest.fail "expected an error for a bad key type"
+  | exception Rx_client.Error { status = 1; _ } -> ());
+  (* drop over the wire *)
+  Rx_client.drop_index c ~table:"products" ~column:"doc" ~name:"by_name";
+  check
+    (Alcotest.list Alcotest.string)
+    "dropped" [ "price" ]
+    (names (Rx_client.list_indexes c ~table:"products" ~column:"doc"))
 
 let test_error_mapping () =
   with_server @@ fun _db srv ->
@@ -745,6 +887,8 @@ let () =
             test_session_query_dml;
           Alcotest.test_case "explicit transactions and disconnect rollback"
             `Quick test_session_txn;
+          Alcotest.test_case "index lifecycle over the wire" `Quick
+            test_remote_index_lifecycle;
           Alcotest.test_case "error mapping" `Quick test_error_mapping;
           Alcotest.test_case "deadlock status reconstructs client-side" `Quick
             test_deadlock_mapping;

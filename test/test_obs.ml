@@ -183,8 +183,10 @@ let make_books_db () =
   ignore
     (Database.create_table db ~name:"books"
        ~columns:[ ("doc", Rx_relational.Value.T_xml) ]);
-  Database.create_xml_index db ~table:"books" ~column:"doc" ~name:"price"
-    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"books" ~column:"doc" ~name:"price"
+    ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double));
   List.iter
     (fun (title, price) ->
       ignore

@@ -323,8 +323,10 @@ let test_parallel_index_build_equivalence () =
       (Database.insert_many db ~table:"books" ~column:"doc"
          (List.init 120 doc));
     (* backfill over the existing 120 documents is what parallelizes *)
-    Database.create_xml_index db ~table:"books" ~column:"doc" ~name:"price_ix"
-      ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double;
+    ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"books" ~column:"doc" ~name:"price_ix"
+      ~path:"/book/price" ~key_type:Rx_xindex.Index_def.K_double));
     db
   in
   let db_par = mk par_config in

@@ -30,11 +30,16 @@ let make_db ?(with_indexes = true) ?(n = 30) () =
       ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
   in
   if with_indexes then begin
-    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"regprice"
+    ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"regprice"
       ~path:"/Catalog/Categories/Product/RegPrice"
-      ~key_type:Rx_xindex.Index_def.K_double;
-    Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"discount"
-      ~path:"//Discount" ~key_type:Rx_xindex.Index_def.K_double
+      ~key_type:Rx_xindex.Index_def.K_double));
+    ignore
+      (Database.Index.await
+         (Database.Index.build db ~table:"products" ~column:"doc"
+            ~name:"discount" ~path:"//Discount"
+            ~key_type:Rx_xindex.Index_def.K_double))
   end;
   for i = 1 to n do
     let doc =
@@ -378,9 +383,11 @@ let test_durability_reopen () =
         Database.create_table db ~name:"products"
           ~columns:[ ("sku", Value.T_varchar); ("doc", Value.T_xml) ]
       in
-      Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"regprice"
+      ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"regprice"
         ~path:"/Catalog/Categories/Product/RegPrice"
-        ~key_type:Rx_xindex.Index_def.K_double;
+        ~key_type:Rx_xindex.Index_def.K_double));
       for i = 1 to 10 do
         ignore
           (Database.insert db ~table:"products"
@@ -407,7 +414,9 @@ let test_durability_reopen () =
       check
         (Alcotest.list Alcotest.string)
         "index restored" [ "regprice" ]
-        (Database.list_xml_indexes db2 ~table:"products" ~column:"doc");
+        (List.map
+           (fun i -> i.Database.Index.ix_name)
+           (Database.Index.list db2 ~table:"products" ~column:"doc"));
       let actual =
         db_query db2 ~table:"products" ~column:"doc"
           ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"
@@ -427,8 +436,10 @@ let test_durability_reopen () =
 let test_index_backfill () =
   (* index created after data exists must see existing documents *)
   let db = make_db ~with_indexes:false ~n:10 () in
-  Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"late"
-    ~path:"/Catalog/Categories/Product/RegPrice" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"late"
+    ~path:"/Catalog/Categories/Product/RegPrice" ~key_type:Rx_xindex.Index_def.K_double));
   let info =
     Database.explain db ~table:"products" ~column:"doc"
       ~xpath:"/Catalog/Categories/Product[RegPrice > 50]"

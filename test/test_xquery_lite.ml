@@ -9,8 +9,10 @@ let make_db () =
     Database.create_table db ~name:"products"
       ~columns:[ ("doc", Value.T_xml) ]
   in
-  Database.create_xml_index db ~table:"products" ~column:"doc" ~name:"price"
-    ~path:"/catalog/product/price" ~key_type:Rx_xindex.Index_def.K_double;
+  ignore
+    (Database.Index.await
+       (Database.Index.build db ~table:"products" ~column:"doc" ~name:"price"
+    ~path:"/catalog/product/price" ~key_type:Rx_xindex.Index_def.K_double));
   List.iteri
     (fun i (name, price, cat) ->
       ignore

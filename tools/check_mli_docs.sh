@@ -14,7 +14,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-dirs="${*:-lib/storage lib/wal lib/core lib/net}"
+dirs="${*:-lib/storage lib/wal lib/core lib/net lib/xindex}"
 status=0
 
 for dir in $dirs; do
